@@ -1,0 +1,131 @@
+//! Host-side detector throughput: events/second through the compressed
+//! algorithm, the PTVC compression ablation (compressed vs the
+//! uncompressed reference), and barrier broadcast cost.
+
+use barracuda_core::{Detector, ReferenceDetector, Worker};
+use barracuda_trace::ops::{AccessKind, Event, MemSpace};
+use barracuda_trace::GridDims;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn access_stream(dims: &GridDims, n: usize) -> Vec<Event> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let warp = (i as u64) % dims.num_warps();
+        let mut addrs = [0u64; 32];
+        for l in 0..dims.warp_size {
+            let t = dims.tid_of_lane(warp, l).0;
+            addrs[l as usize] = 0x1000 + t * 8;
+        }
+        let kind = if i % 4 == 0 { AccessKind::Write } else { AccessKind::Read };
+        out.push(Event::Access {
+            warp,
+            kind,
+            space: MemSpace::Global,
+            mask: dims.initial_mask(warp),
+            addrs,
+            size: 4,
+        });
+    }
+    out
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detector/access_events");
+    for threads in [256u32, 1024, 4096] {
+        let dims = GridDims::new(threads / 256, 256u32);
+        let stream = access_stream(&dims, 2000);
+        g.throughput(Throughput::Elements(stream.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &stream, |b, stream| {
+            b.iter(|| {
+                let det = Detector::new(dims, 0);
+                let mut w = Worker::new(&det);
+                for ev in stream {
+                    w.process_event(ev);
+                }
+                det.races().race_count()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: compressed PTVCs vs the dense reference detector. The gap
+/// widens with the thread count — the paper's scalability argument.
+fn bench_compression_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detector/ptvc_ablation");
+    for threads in [64u32, 256, 1024] {
+        let dims = GridDims::new(threads / 64, 64u32);
+        let stream = access_stream(&dims, 400);
+        g.bench_with_input(BenchmarkId::new("compressed", threads), &stream, |b, stream| {
+            b.iter(|| {
+                let det = Detector::new(dims, 0);
+                let mut w = Worker::new(&det);
+                for ev in stream {
+                    w.process_event(ev);
+                }
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("reference_dense", threads), &stream, |b, stream| {
+            b.iter(|| {
+                let mut r = ReferenceDetector::new(dims);
+                for ev in stream {
+                    r.process_event(ev);
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_barrier_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detector/barrier");
+    for warps_per_block in [2u64, 8, 32] {
+        let dims = GridDims::new(1u32, (warps_per_block * 32) as u32);
+        let mut stream = Vec::new();
+        for round in 0..50 {
+            let _ = round;
+            for w in 0..dims.num_warps() {
+                stream.push(Event::Bar { warp: w, mask: dims.initial_mask(w) });
+            }
+        }
+        g.throughput(Throughput::Elements(50));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(warps_per_block),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let det = Detector::new(dims, 0);
+                    let mut w = Worker::new(&det);
+                    for ev in stream {
+                        w.process_event(ev);
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_divergence_events(c: &mut Criterion) {
+    let dims = GridDims::new(1u32, 32u32);
+    c.bench_function("detector/if_else_fi_cycle", |b| {
+        b.iter(|| {
+            let det = Detector::new(dims, 0);
+            let mut w = Worker::new(&det);
+            for _ in 0..1000 {
+                w.process_event(&Event::If { warp: 0, then_mask: 0xffff, else_mask: 0xffff_0000 });
+                w.process_event(&Event::Else { warp: 0 });
+                w.process_event(&Event::Fi { warp: 0 });
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_compression_ablation,
+    bench_barrier_broadcast,
+    bench_divergence_events
+);
+criterion_main!(benches);

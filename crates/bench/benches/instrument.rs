@@ -1,0 +1,68 @@
+//! Instrumentation-framework throughput: parsing, rewriting and printing
+//! PTX modules (the static half of the paper's pipeline, §4.1).
+
+use barracuda_instrument::{instrument_module, InstrumentOptions};
+use barracuda_ptx::printer::print_module;
+use barracuda_workloads::{workload, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Benchmarks over a small and a very large kernel (dwt2d: 35k static
+/// instructions).
+fn corpus() -> Vec<(String, String)> {
+    ["hashtable", "pathfinder", "dwt2d"]
+        .iter()
+        .map(|name| {
+            let w = workload(name).expect("known workload");
+            let inst = w.generate(&Scale::default_scale());
+            (name.to_string(), print_module(&inst.module))
+        })
+        .collect()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instrument/parse");
+    for (name, text) in corpus() {
+        g.throughput(Throughput::Bytes(text.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(&name), &text, |b, text| {
+            b.iter(|| barracuda_ptx::parse(text).expect("parses"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instrument/rewrite");
+    for (name, text) in corpus() {
+        let module = barracuda_ptx::parse(&text).expect("parses");
+        g.throughput(Throughput::Elements(module.static_instruction_count() as u64));
+        for (label, opts) in [
+            ("optimized", InstrumentOptions::default()),
+            ("unoptimized", InstrumentOptions::unoptimized()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, &name),
+                &(&module, &opts),
+                |b, (module, opts)| {
+                    b.iter(|| instrument_module(module, opts));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_print(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instrument/print");
+    for (name, text) in corpus() {
+        let module = barracuda_ptx::parse(&text).expect("parses");
+        let (instrumented, _) = instrument_module(&module, &InstrumentOptions::default());
+        g.throughput(Throughput::Elements(instrumented.static_instruction_count() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(&name), &instrumented, |b, m| {
+            b.iter(|| print_module(m));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_rewrite, bench_print);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 4 as a benchmark: mp litmus campaign rate under each memory-model
+//! preset, plus an assertion-free sample of the observation table.
+
+use barracuda_simt::litmus::{run_mp, Fence};
+use barracuda_simt::MemoryModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_mp_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("litmus/mp_campaign");
+    g.sample_size(10);
+    let n = 300u64;
+    g.throughput(Throughput::Elements(n));
+    for (label, model) in [
+        ("sc", MemoryModel::SequentiallyConsistent),
+        ("kepler", MemoryModel::KeplerK520),
+        ("maxwell", MemoryModel::MaxwellTitanX),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, &model| {
+            let mut seed = 1u64;
+            b.iter(|| {
+                seed += 1;
+                run_mp(Fence::Cta, Fence::Cta, model, n, seed).expect("litmus runs")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fence_combinations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("litmus/fence_combos_kepler");
+    g.sample_size(10);
+    let n = 300u64;
+    for (f1, f2) in [(Fence::Cta, Fence::Cta), (Fence::Cta, Fence::Gl), (Fence::Gl, Fence::Gl)] {
+        let label = format!("{}_{}", f1.name(), f2.name());
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(f1, f2), |b, &(f1, f2)| {
+            let mut seed = 100u64;
+            b.iter(|| {
+                seed += 1;
+                run_mp(f1, f2, MemoryModel::KeplerK520, n, seed).expect("litmus runs")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mp_campaign, bench_fence_combinations);
+criterion_main!(benches);

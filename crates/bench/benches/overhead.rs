@@ -1,0 +1,50 @@
+//! Fig. 10 as a benchmark: native vs detected execution of representative
+//! Table-1 workloads (the full 26-benchmark sweep lives in the `figures`
+//! binary).
+
+use barracuda::{Barracuda, BarracudaConfig, DetectionMode};
+use barracuda_workloads::{workload, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const REPRESENTATIVES: [&str; 4] = ["hashtable", "backprop", "pathfinder", "block_reduce"];
+
+fn bench_native_vs_detected(c: &mut Criterion) {
+    let scale = Scale::quick();
+    for name in REPRESENTATIVES {
+        let w = workload(name).expect("known workload");
+        let inst = w.generate(&scale);
+        let mut g = c.benchmark_group(format!("overhead/{name}"));
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter("native"), |b| {
+            let mut bar = Barracuda::new();
+            let params = inst.alloc_params(bar.gpu_mut());
+            let text = barracuda_ptx::printer::print_module(&inst.module);
+            let module = barracuda_ptx::parse(&text).expect("reparses");
+            b.iter(|| {
+                bar.gpu_mut()
+                    .launch(&module, &inst.kernel, inst.dims, &params)
+                    .expect("native run")
+            });
+        });
+        for (label, mode) in [
+            ("detected_sync", DetectionMode::Synchronous),
+            ("detected_threaded", DetectionMode::Threaded),
+        ] {
+            g.bench_function(BenchmarkId::from_parameter(label), |b| {
+                let mut bar = Barracuda::with_config(BarracudaConfig {
+                    mode,
+                    ..BarracudaConfig::default()
+                });
+                let params = inst.alloc_params(bar.gpu_mut());
+                b.iter(|| {
+                    bar.check_module(&inst.module, &inst.kernel, inst.dims, &params)
+                        .expect("detection run")
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_native_vs_detected);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Regenerates the paper's evaluation tables and figures.
+//!
+//! ```text
+//! figures [fig4|fig9|fig10|table1|suite|all] [--full] [--iters N]
+//! ```
+//!
+//! `--full` restores paper scale (1M-run litmus campaigns, million-thread
+//! workloads); the default completes in minutes on a laptop.
+
+use barracuda::DetectionMode;
+use barracuda_bench::{fig10, fig4, fig9, suite_table, table1};
+use barracuda_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let full = args.iter().any(|a| a == "--full");
+    let iters = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok());
+
+    let scale = if full { Scale::paper() } else { Scale::default_scale() };
+    let litmus_iters = iters.unwrap_or(if full { 1_000_000 } else { 100_000 });
+
+    match what.as_str() {
+        "fig4" => print_fig4(litmus_iters),
+        "fig9" => print_fig9(&scale),
+        "fig10" => print_fig10(&scale),
+        "table1" => print_table1(&scale),
+        "suite" => print_suite(),
+        "all" => {
+            print_fig4(litmus_iters);
+            print_suite();
+            print_fig9(&scale);
+            print_table1(&scale);
+            print_fig10(&scale);
+        }
+        other => {
+            eprintln!("unknown figure '{other}' (expected fig4|fig9|fig10|table1|suite|all)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_fig4(iterations: u64) {
+    println!("== Figure 4: memory fence litmus tests (mp) ==");
+    println!("observations of r1=1 ∧ r2=0 per {iterations} runs\n");
+    println!("{:<12} {:<12} {:>12} {:>14}", "fence1", "fence2", "K520", "GTX Titan X");
+    for r in fig4(iterations, 0xF164) {
+        println!(
+            "{:<12} {:<12} {:>12} {:>14}",
+            r.fence1.name(),
+            r.fence2.name(),
+            r.kepler_weak,
+            r.maxwell_weak
+        );
+    }
+    println!("\npaper: only cta/cta on the K520 shows weak outcomes (7,253 / 1M); all other cells are 0\n");
+}
+
+fn print_suite() {
+    println!("== §6.1: concurrency bug suite ==\n");
+    let s = suite_table();
+    println!("BARRACUDA  correct on {:>2} / {} programs (paper: 66/66)", s.barracuda_correct, s.total);
+    println!("Racecheck  correct on {:>2} / {} programs (paper: 19/66)", s.racecheck_correct, s.total);
+    if !s.barracuda_failures.is_empty() {
+        println!("\nBARRACUDA failures (must be none!): {:?}", s.barracuda_failures);
+    }
+    println!("\nRacecheck misreported programs:");
+    for (name, verdict) in &s.racecheck_failures {
+        println!("  {name:<45} -> {verdict}");
+    }
+    println!();
+}
+
+fn print_fig9(scale: &Scale) {
+    println!("== Figure 9: % static PTX instructions instrumented ==\n");
+    println!("{:<36} {:>8} {:>14} {:>12}", "benchmark", "insns", "unoptimized", "optimized");
+    for r in fig9(scale) {
+        println!(
+            "{:<36} {:>8} {:>13.1}% {:>11.1}%",
+            r.name,
+            r.static_insns,
+            r.unoptimized_fraction * 100.0,
+            r.optimized_fraction * 100.0
+        );
+    }
+    println!("\npaper: never more than half of the static instructions are instrumented\n");
+}
+
+fn print_table1(scale: &Scale) {
+    println!("== Table 1: benchmarks ==\n");
+    println!(
+        "{:<36} {:>8} {:>9} {:>10} {:>9} {:>8} {:>7} {:>8}",
+        "benchmark", "insns", "(paper)", "threads", "(paper)", "mem MB", "races", "(paper)"
+    );
+    for r in table1(scale) {
+        let space = match r.race_space {
+            Some(barracuda_trace::MemSpace::Shared) => " shared",
+            Some(barracuda_trace::MemSpace::Global) => " global",
+            None => "",
+        };
+        println!(
+            "{:<36} {:>8} {:>9} {:>10} {:>9} {:>8} {:>6}{space} {:>8}",
+            r.name, r.insns, r.paper_insns, r.threads, r.paper_threads, r.paper_mem_mb, r.races_found, r.paper_races
+        );
+    }
+    println!();
+}
+
+fn print_fig10(scale: &Scale) {
+    println!("== Figure 10: performance overhead of detection (normalized to native) ==\n");
+    println!("{:<36} {:>12} {:>12} {:>10}", "benchmark", "native", "detected", "overhead");
+    let rows = fig10(scale, DetectionMode::Synchronous);
+    let mut geo = 0.0f64;
+    for r in &rows {
+        println!(
+            "{:<36} {:>10.1?} {:>10.1?} {:>9.1}x",
+            r.name, r.native, r.detected, r.overhead
+        );
+        geo += r.overhead.ln();
+    }
+    geo = (geo / rows.len() as f64).exp();
+    println!("\ngeometric-mean overhead: {geo:.1}x (paper: one to three orders of magnitude, log-scale axis)\n");
+}

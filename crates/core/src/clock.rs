@@ -1,0 +1,170 @@
+//! Epochs and vector clocks (paper §3.3).
+//!
+//! An *epoch* `c@t` is a reduced vector clock with a timestamp for a single
+//! thread; it can be compared against any clock representation in O(1)
+//! with the `⪯` operator (`c@t ⪯ V  iff  c ≤ V(t)`).
+
+use std::fmt;
+
+/// Logical timestamp. 32 bits suffice: a thread's clock advances once per
+/// warp instruction, and launches are bounded well below `u32::MAX` steps.
+pub type Clock = u32;
+
+/// An epoch `clock @ tid`, packed into 8 bytes. Thread ids are limited to
+/// `u32` (over 4 × 10⁹ threads per kernel, far above the paper's 1M-thread
+/// kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Epoch {
+    /// Timestamp.
+    pub clock: Clock,
+    /// Owning thread.
+    pub tid: u32,
+}
+
+impl Epoch {
+    /// The minimal epoch `0 @ t0` (`⊥e` in the paper); ordered before
+    /// everything.
+    pub const BOTTOM: Epoch = Epoch { clock: 0, tid: 0 };
+
+    /// Creates `clock @ tid`.
+    pub fn new(clock: Clock, tid: u32) -> Self {
+        Epoch { clock, tid }
+    }
+
+    /// True for the never-accessed bottom epoch.
+    pub fn is_bottom(self) -> bool {
+        self.clock == 0
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@T{}", self.clock, self.tid)
+    }
+}
+
+/// A dense vector clock over all threads of a launch. Used by the
+/// *reference* (uncompressed) detector that validates the compressed
+/// implementation, and in unit tests.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VectorClock {
+    entries: Vec<Clock>,
+}
+
+impl VectorClock {
+    /// The minimal clock `⊥V` for `n` threads.
+    pub fn bottom(n: usize) -> Self {
+        VectorClock { entries: vec![0; n] }
+    }
+
+    /// Number of threads this clock covers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when covering no threads.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Timestamp for thread `t`.
+    pub fn get(&self, t: usize) -> Clock {
+        self.entries.get(t).copied().unwrap_or(0)
+    }
+
+    /// Sets thread `t`'s timestamp.
+    pub fn set(&mut self, t: usize, c: Clock) {
+        if t >= self.entries.len() {
+            self.entries.resize(t + 1, 0);
+        }
+        self.entries[t] = c;
+    }
+
+    /// Pointwise join (`⊔`).
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.entries.len() > self.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (a, &b) in self.entries.iter_mut().zip(other.entries.iter()) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Increments thread `t`'s entry (`incᵗ`).
+    pub fn inc(&mut self, t: usize) {
+        let c = self.get(t);
+        self.set(t, c + 1);
+    }
+
+    /// The happens-before comparison `self ⊑ other`.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        (0..self.entries.len().max(other.entries.len())).all(|t| self.get(t) <= other.get(t))
+    }
+
+    /// `e ⪯ self`.
+    pub fn dominates(&self, e: Epoch) -> bool {
+        e.clock <= self.get(e.tid as usize)
+    }
+}
+
+impl FromIterator<Clock> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = Clock>>(iter: I) -> Self {
+        VectorClock { entries: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_epoch_precedes_everything() {
+        let v = VectorClock::bottom(4);
+        assert!(v.dominates(Epoch::BOTTOM));
+        assert!(Epoch::BOTTOM.is_bottom());
+        assert!(!Epoch::new(1, 0).is_bottom());
+    }
+
+    #[test]
+    fn epoch_comparison_is_per_thread() {
+        let mut v = VectorClock::bottom(4);
+        v.set(2, 5);
+        assert!(v.dominates(Epoch::new(5, 2)));
+        assert!(!v.dominates(Epoch::new(6, 2)));
+        assert!(!v.dominates(Epoch::new(1, 3)));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a: VectorClock = [1, 5, 0].into_iter().collect();
+        let b: VectorClock = [3, 2, 4].into_iter().collect();
+        a.join(&b);
+        assert_eq!(a, [3, 5, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn le_is_pointwise() {
+        let a: VectorClock = [1, 2].into_iter().collect();
+        let b: VectorClock = [1, 3].into_iter().collect();
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        // Different lengths: missing entries are zero.
+        let c: VectorClock = [1, 3, 1].into_iter().collect();
+        assert!(b.le(&c));
+        assert!(!c.le(&b));
+    }
+
+    #[test]
+    fn inc_bumps_single_entry() {
+        let mut v = VectorClock::bottom(2);
+        v.inc(1);
+        v.inc(1);
+        assert_eq!(v.get(0), 0);
+        assert_eq!(v.get(1), 2);
+    }
+
+    #[test]
+    fn epoch_display() {
+        assert_eq!(Epoch::new(3, 7).to_string(), "3@T7");
+    }
+}

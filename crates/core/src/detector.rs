@@ -1,0 +1,851 @@
+//! The BARRACUDA race-detection algorithm (paper §3.3, Figs. 2–3),
+//! operating on warp-level events with compressed per-thread vector
+//! clocks.
+//!
+//! State is split exactly as in the paper's host-side detector (§4.3):
+//!
+//! * [`Detector`] — state shared across detector threads: the global-
+//!   memory shadow (page table + per-page locks), the synchronization-
+//!   location map `S`, and the race sink;
+//! * [`BlockState`] — state owned by whichever worker processes a block's
+//!   queue: the per-warp [`WarpClocks`], the block's shared-memory shadow
+//!   and barrier bookkeeping — lock-free, because all events of one block
+//!   arrive on one queue;
+//! * [`Worker`] — one queue consumer: a map of block states plus the
+//!   event dispatch loop.
+
+use crate::clock::{Clock, Epoch};
+use crate::hclock::HClock;
+use crate::ptvc::{PtvcFormat, WarpClocks};
+use crate::report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};
+use crate::shadow::{GlobalShadow, ReadMeta, SharedShadow, ShadowCell};
+use barracuda_trace::ops::{AccessKind, Event, Scope};
+use barracuda_trace::record::Record;
+use barracuda_trace::{GridDims, MemSpace, Tid};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A synchronization location: `(space, owning block for shared, address)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SyncKey {
+    shared: bool,
+    block: u64,
+    addr: u64,
+}
+
+/// Per-location synchronization state: one clock slot per thread block
+/// (paper §3.3.4), stored lazily — `global_slot` stands for every block
+/// slot a global release assigned.
+#[derive(Debug, Default, Clone)]
+struct SyncLoc {
+    global_slot: Option<HClock>,
+    per_block: HashMap<u64, HClock>,
+}
+
+impl SyncLoc {
+    /// `S_x[b]`.
+    fn slot(&self, b: u64) -> Option<&HClock> {
+        self.per_block.get(&b).or(self.global_slot.as_ref())
+    }
+
+    /// `⊔_b S_x[b]`.
+    fn join_all(&self) -> HClock {
+        let mut h = self.global_slot.clone().unwrap_or_default();
+        for v in self.per_block.values() {
+            h.join(v);
+        }
+        h
+    }
+
+    /// `S_x[b] := h`.
+    fn set_block(&mut self, b: u64, h: HClock) {
+        self.per_block.insert(b, h);
+    }
+
+    /// `∀b. S_x[b] := h`.
+    fn set_all(&mut self, h: HClock) {
+        self.per_block.clear();
+        self.global_slot = Some(h);
+    }
+}
+
+/// Shared detector state; one per kernel launch.
+#[derive(Debug)]
+pub struct Detector {
+    dims: GridDims,
+    shared_size: u64,
+    global_shadow: GlobalShadow,
+    sync_locs: Mutex<HashMap<SyncKey, SyncLoc>>,
+    races: RaceSink,
+}
+
+impl Detector {
+    /// Creates a detector for a launch with the given dimensions and
+    /// per-block shared-memory segment size.
+    pub fn new(dims: GridDims, shared_size: u64) -> Self {
+        assert!(dims.total_threads() <= u64::from(u32::MAX), "TIDs must fit in u32");
+        Detector {
+            dims,
+            shared_size,
+            global_shadow: GlobalShadow::new(),
+            sync_locs: Mutex::new(HashMap::new()),
+            races: RaceSink::new(),
+        }
+    }
+
+    /// Launch dimensions.
+    pub fn dims(&self) -> &GridDims {
+        &self.dims
+    }
+
+    /// The collected races and diagnostics.
+    pub fn races(&self) -> &RaceSink {
+        &self.races
+    }
+
+    /// Number of distinct synchronization locations observed.
+    pub fn sync_location_count(&self) -> usize {
+        self.sync_locs.lock().len()
+    }
+
+    /// Allocated global shadow pages (memory accounting).
+    pub fn shadow_page_count(&self) -> usize {
+        self.global_shadow.page_count()
+    }
+
+    /// Approximate bytes of global shadow metadata currently allocated.
+    /// Per Fig. 8 the per-byte record is padded to 32 bytes, so shadow
+    /// memory costs ~32× the tracked global memory.
+    pub fn shadow_bytes(&self) -> u64 {
+        self.global_shadow.page_count() as u64
+            * crate::shadow::SHADOW_PAGE_SIZE
+            * std::mem::size_of::<crate::shadow::ShadowCell>() as u64
+    }
+}
+
+/// Per-block detector state (owned by a single worker).
+#[derive(Debug)]
+pub struct BlockState {
+    block: u64,
+    warps: Vec<WarpClocks>,
+    shared_shadow: SharedShadow,
+    arrived: Vec<Option<u32>>,
+    exited: Vec<bool>,
+}
+
+impl BlockState {
+    fn new(dims: &GridDims, block: u64, shared_size: u64) -> Self {
+        let wpb = dims.warps_per_block();
+        let warps = (0..wpb)
+            .map(|i| {
+                let w = block * wpb + i;
+                WarpClocks::new(w, dims.initial_mask(w))
+            })
+            .collect();
+        BlockState {
+            block,
+            warps,
+            shared_shadow: SharedShadow::new(shared_size),
+            arrived: vec![None; wpb as usize],
+            exited: vec![false; wpb as usize],
+        }
+    }
+
+    /// The clock state of warp-in-block `i` (for tests/inspection).
+    pub fn warp_clocks(&self, i: usize) -> &WarpClocks {
+        &self.warps[i]
+    }
+}
+
+/// A queue consumer: processes the records of the blocks mapped to one
+/// queue.
+#[derive(Debug)]
+pub struct Worker<'d> {
+    det: &'d Detector,
+    blocks: HashMap<u64, BlockState>,
+    /// Census of PTVC formats observed at access events.
+    format_census: [u64; 4],
+    events: u64,
+}
+
+impl<'d> Worker<'d> {
+    /// A worker over the shared detector.
+    pub fn new(det: &'d Detector) -> Self {
+        Worker { det, blocks: HashMap::new(), format_census: [0; 4], events: 0 }
+    }
+
+    /// Events processed so far.
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    /// `(converged, diverged, nested, sparse)` counts observed at access
+    /// events (the Fig. 7 format distribution).
+    pub fn format_census(&self) -> [u64; 4] {
+        self.format_census
+    }
+
+    /// Per-block state (for tests/inspection), if this worker has seen the
+    /// block.
+    pub fn block_state(&self, block: u64) -> Option<&BlockState> {
+        self.blocks.get(&block)
+    }
+
+    /// Decodes and processes one record.
+    pub fn process_record(&mut self, rec: &Record) {
+        self.process_event(&rec.decode());
+    }
+
+    /// Processes one warp-level event.
+    pub fn process_event(&mut self, ev: &Event) {
+        self.events += 1;
+        let dims = self.det.dims;
+        let warp = ev.warp();
+        let block = dims.block_of_warp(warp);
+        let wib = (warp % dims.warps_per_block()) as usize;
+        let bs = self
+            .blocks
+            .entry(block)
+            .or_insert_with(|| BlockState::new(&dims, block, self.det.shared_size));
+        match ev {
+            Event::Access { kind, space, mask, addrs, size, .. } => {
+                {
+                    let wc = &bs.warps[wib];
+                    self.format_census[match wc.format() {
+                        PtvcFormat::Converged => 0,
+                        PtvcFormat::Diverged => 1,
+                        PtvcFormat::NestedDiverged => 2,
+                        PtvcFormat::SparseVc => 3,
+                    }] += 1;
+                }
+                match kind {
+                    AccessKind::Read | AccessKind::Write | AccessKind::Atomic => {
+                        let atype = match kind {
+                            AccessKind::Read => AccessType::Read,
+                            AccessKind::Write => AccessType::Write,
+                            _ => AccessType::Atomic,
+                        };
+                        for lane in 0..dims.warp_size {
+                            if mask & (1 << lane) == 0 {
+                                continue;
+                            }
+                            check_lane_access(
+                                self.det,
+                                &mut bs.shared_shadow,
+                                &bs.warps[wib],
+                                lane,
+                                *space,
+                                addrs[lane as usize],
+                                *size,
+                                atype,
+                            );
+                        }
+                        bs.warps[wib].endi();
+                    }
+                    AccessKind::Acquire(scope) => {
+                        process_sync(self.det, bs, wib, *space, *mask, addrs, Some(*scope), None);
+                    }
+                    AccessKind::Release(scope) => {
+                        process_sync(self.det, bs, wib, *space, *mask, addrs, None, Some(*scope));
+                    }
+                    AccessKind::AcquireRelease(scope) => {
+                        process_sync(
+                            self.det,
+                            bs,
+                            wib,
+                            *space,
+                            *mask,
+                            addrs,
+                            Some(*scope),
+                            Some(*scope),
+                        );
+                    }
+                }
+            }
+            Event::If { then_mask, else_mask, .. } => {
+                bs.warps[wib].branch_if(*then_mask, *else_mask);
+            }
+            Event::Else { .. } => bs.warps[wib].branch_else(),
+            Event::Fi { .. } => bs.warps[wib].branch_fi(),
+            Event::Bar { mask, .. } => {
+                bs.arrived[wib] = Some(*mask);
+                try_barrier(self.det, bs);
+            }
+            Event::Exit { .. } => {
+                bs.exited[wib] = true;
+                try_barrier(self.det, bs);
+            }
+        }
+    }
+}
+
+/// Checks one lane's plain access (read / write / standalone atomic) at
+/// byte granularity and updates the shadow metadata per the Fig. 2–3
+/// rules. Reports at most one race per lane access, keyed to the base
+/// address.
+#[allow(clippy::too_many_arguments)]
+fn check_lane_access(
+    det: &Detector,
+    shared_shadow: &mut SharedShadow,
+    wc: &WarpClocks,
+    lane: u32,
+    space: MemSpace,
+    addr: u64,
+    size: u8,
+    atype: AccessType,
+) {
+    let dims = &det.dims;
+    let tid = dims.tid_of_lane(wc.warp, lane);
+    let mut first_race: Option<(u32, AccessType)> = None;
+    match space {
+        MemSpace::Shared => {
+            for b in addr..addr + u64::from(size) {
+                let cell = shared_shadow.cell_mut(b);
+                let race = check_cell(cell, wc, lane, tid, atype, dims);
+                if first_race.is_none() {
+                    first_race = race;
+                }
+            }
+        }
+        MemSpace::Global => {
+            // An access never spans shadow pages beyond two; lock per byte
+            // via with_page for simplicity (pages cache well).
+            for b in addr..addr + u64::from(size) {
+                let race = det.global_shadow.with_page(b, |page| {
+                    check_cell(page.cell_mut(b), wc, lane, tid, atype, dims)
+                });
+                if first_race.is_none() {
+                    first_race = race;
+                }
+            }
+        }
+    }
+    if let Some((prev_tid, prev_type)) = first_race {
+        let class = classify(dims, wc, tid, Tid(u64::from(prev_tid)));
+        det.races.report(RaceReport {
+            space,
+            block: (space == MemSpace::Shared).then(|| dims.block_of(tid)),
+            addr,
+            current: (tid, atype),
+            previous: (Tid(u64::from(prev_tid)), prev_type),
+            class,
+        });
+    }
+}
+
+/// The per-cell state machine: READEXCL / READSHARED / READINFLATE /
+/// WRITEEXCL / WRITESHARED / INITATOM* / ATOM* from Figs. 2–3.
+fn check_cell(
+    cell: &mut ShadowCell,
+    wc: &WarpClocks,
+    lane: u32,
+    tid: Tid,
+    atype: AccessType,
+    dims: &GridDims,
+) -> Option<(u32, AccessType)> {
+    let own = wc.own_clock();
+    let e = Epoch::new(own, tid.0 as u32);
+    let clock_of = |t: u32| -> Clock { wc.clock_of(lane, Tid(u64::from(t)), dims) };
+    let write_ordered =
+        cell.write.is_bottom() || cell.write.tid == e.tid || cell.write.clock <= clock_of(cell.write.tid);
+    let prev_write_type = if cell.write_atomic { AccessType::Atomic } else { AccessType::Write };
+    let mut race: Option<(u32, AccessType)> = None;
+
+    let check_reads = |cell: &ShadowCell, race: &mut Option<(u32, AccessType)>| {
+        if race.is_some() {
+            return;
+        }
+        match &cell.read {
+            ReadMeta::Epoch(r) => {
+                if !r.is_bottom() && r.tid != e.tid && r.clock > clock_of(r.tid) {
+                    *race = Some((r.tid, AccessType::Read));
+                }
+            }
+            ReadMeta::Shared(m) => {
+                for (&rt, &rc) in m.iter() {
+                    if rt != e.tid && rc > clock_of(rt) {
+                        *race = Some((rt, AccessType::Read));
+                        break;
+                    }
+                }
+            }
+        }
+    };
+
+    match atype {
+        AccessType::Read => {
+            if !write_ordered {
+                race = Some((cell.write.tid, prev_write_type));
+            }
+            // Update read metadata (READEXCL / READINFLATE / READSHARED).
+            match &mut cell.read {
+                ReadMeta::Epoch(r) => {
+                    if r.is_bottom() || r.tid == e.tid || r.clock <= clock_of(r.tid) {
+                        *r = e;
+                    } else {
+                        let mut m = HashMap::with_capacity(2);
+                        m.insert(r.tid, r.clock);
+                        m.insert(e.tid, e.clock);
+                        cell.read = ReadMeta::Shared(Box::new(m));
+                    }
+                }
+                ReadMeta::Shared(m) => {
+                    m.insert(e.tid, e.clock);
+                }
+            }
+        }
+        AccessType::Write => {
+            if !write_ordered {
+                race = Some((cell.write.tid, prev_write_type));
+            }
+            check_reads(cell, &mut race);
+            cell.write = e;
+            cell.write_atomic = false;
+            cell.read = ReadMeta::Epoch(Epoch::BOTTOM);
+        }
+        AccessType::Atomic => {
+            // Atomic-atomic pairs never race (§3.3.2); the INITATOM rules
+            // check the previous *non-atomic* write.
+            if !cell.write_atomic && !write_ordered {
+                race = Some((cell.write.tid, AccessType::Write));
+            }
+            check_reads(cell, &mut race);
+            cell.write = e;
+            cell.write_atomic = true;
+            cell.read = ReadMeta::Epoch(Epoch::BOTTOM);
+        }
+    }
+    race
+}
+
+/// Classifies a race from the two TIDs (§4.3.3): divergence (same warp,
+/// different branch paths), intra-warp, intra-block or inter-block.
+fn classify(dims: &GridDims, wc: &WarpClocks, cur: Tid, prev: Tid) -> RaceClass {
+    if dims.warp_of(prev) == dims.warp_of(cur) {
+        let prev_lane = dims.lane_of(prev);
+        if wc.active().mask & (1 << prev_lane) != 0 {
+            RaceClass::IntraWarp
+        } else {
+            RaceClass::Divergence
+        }
+    } else if dims.block_of(prev) == dims.block_of(cur) {
+        RaceClass::IntraBlock
+    } else {
+        RaceClass::InterBlock
+    }
+}
+
+/// Applies the acquire/release rules (Fig. 3) for one warp sync event.
+#[allow(clippy::too_many_arguments)]
+fn process_sync(
+    det: &Detector,
+    bs: &mut BlockState,
+    wib: usize,
+    space: MemSpace,
+    mask: u32,
+    addrs: &[u64; 32],
+    acquire: Option<Scope>,
+    release: Option<Scope>,
+) {
+    let dims = &det.dims;
+    let block = bs.block;
+    let wc = &mut bs.warps[wib];
+    let mut locs = det.sync_locs.lock();
+    let mut acquired: Vec<HClock> = Vec::new();
+    for lane in 0..dims.warp_size {
+        if mask & (1 << lane) == 0 {
+            continue;
+        }
+        let key = SyncKey { shared: space == MemSpace::Shared, block: if space == MemSpace::Shared { block } else { 0 }, addr: addrs[lane as usize] };
+        let loc = locs.entry(key).or_default();
+        let acquired_here = match acquire {
+            Some(Scope::Block) => loc.slot(block).cloned(),
+            Some(Scope::Global) => Some(loc.join_all()),
+            None => None,
+        };
+        if let Some(scope) = release {
+            // The released value is C_t — including the acquired component
+            // for acquire-release operations (ACQRELBLK / ACQRELGLB).
+            let mut snap = wc.release_snapshot(lane, dims);
+            if let Some(h) = &acquired_here {
+                snap.join(h);
+            }
+            match scope {
+                Scope::Block => loc.set_block(block, snap),
+                Scope::Global => loc.set_all(snap),
+            }
+        }
+        if let Some(h) = acquired_here {
+            if !h.is_bottom() {
+                acquired.push(h);
+            }
+        }
+    }
+    drop(locs);
+    for h in &acquired {
+        wc.acquire(h);
+    }
+    // The incr of the release rules plus the instruction's endi; a single
+    // bump covers both (clock gaps are harmless).
+    wc.endi();
+}
+
+/// Completes a block barrier once every live warp has arrived (BAR rule +
+/// §4.3.2 broadcast), diagnosing barrier divergence.
+fn try_barrier(det: &Detector, bs: &mut BlockState) {
+    let dims = &det.dims;
+    let wpb = dims.warps_per_block() as usize;
+    let complete = (0..wpb).all(|i| bs.exited[i] || bs.arrived[i].is_some());
+    if !complete {
+        return;
+    }
+    let any_arrived = bs.arrived.iter().any(Option::is_some);
+    if !any_arrived {
+        return; // every warp exited; nothing pending
+    }
+    let wpb64 = dims.warps_per_block();
+    let mut divergence = false;
+    for i in 0..wpb {
+        let w = bs.block * wpb64 + i as u64;
+        match (bs.exited[i], bs.arrived[i]) {
+            (true, _) => divergence = true,
+            (false, Some(m)) if m != dims.initial_mask(w) => divergence = true,
+            _ => {}
+        }
+    }
+    if divergence {
+        det.races.diagnose(Diagnostic::BarrierDivergence { block: bs.block });
+    }
+    // Join all arrived warps and broadcast (block high-water clock).
+    let mut b_clock: Clock = 0;
+    let mut merged_ext: Option<Arc<HClock>> = None;
+    for (i, a) in bs.arrived.iter().enumerate() {
+        if a.is_none() {
+            continue;
+        }
+        let g = bs.warps[i].active();
+        b_clock = b_clock.max(g.own);
+        if let Some(e) = &g.external {
+            match &mut merged_ext {
+                None => merged_ext = Some(Arc::clone(e)),
+                Some(acc) => Arc::make_mut(acc).join(e),
+            }
+        }
+    }
+    for i in 0..wpb {
+        if bs.arrived[i].is_some() {
+            bs.warps[i].barrier_reset(b_clock, merged_ext.clone());
+        }
+        bs.arrived[i] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use barracuda_trace::ops::Event;
+
+    /// 2 blocks × 8 threads, warp size 4 → 2 warps/block.
+    fn dims() -> GridDims {
+        GridDims::with_warp_size(2u32, 8u32, 4)
+    }
+
+    fn access(warp: u64, kind: AccessKind, mask: u32, addr_of: impl Fn(u32) -> u64) -> Event {
+        let mut addrs = [0u64; 32];
+        for l in 0..32 {
+            if mask & (1 << l) != 0 {
+                addrs[l as usize] = addr_of(l);
+            }
+        }
+        Event::Access { warp, kind, space: MemSpace::Global, mask, addrs, size: 4 }
+    }
+
+    fn shared_access(warp: u64, kind: AccessKind, mask: u32, addr: u64) -> Event {
+        let mut addrs = [0u64; 32];
+        for l in 0..32 {
+            addrs[l as usize] = addr;
+        }
+        Event::Access { warp, kind, space: MemSpace::Shared, mask, addrs, size: 4 }
+    }
+
+    #[test]
+    fn disjoint_writes_do_not_race() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        w.process_event(&access(0, AccessKind::Write, 0b1111, |l| 0x1000 + u64::from(l) * 4));
+        w.process_event(&access(2, AccessKind::Write, 0b1111, |l| 0x2000 + u64::from(l) * 4));
+        assert_eq!(det.races().race_count(), 0);
+    }
+
+    #[test]
+    fn intra_warp_same_address_write_write_races() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        // Two lanes of one instruction write the same address (the
+        // same-value filter runs device-side; identical values never
+        // reach the detector as two lanes).
+        w.process_event(&access(0, AccessKind::Write, 0b11, |_| 0x1000));
+        assert_eq!(det.races().race_count(), 1);
+        assert_eq!(det.races().reports()[0].class, RaceClass::IntraWarp);
+    }
+
+    #[test]
+    fn consecutive_instructions_same_warp_do_not_race() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        w.process_event(&access(0, AccessKind::Write, 0b0001, |_| 0x1000));
+        w.process_event(&access(0, AccessKind::Write, 0b0010, |_| 0x1000));
+        // Lockstep: endi orders instruction n before n+1.
+        assert_eq!(det.races().race_count(), 0);
+    }
+
+    #[test]
+    fn inter_block_unsynchronized_write_write_races() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        w.process_event(&access(0, AccessKind::Write, 0b0001, |_| 0x1000));
+        w.process_event(&access(2, AccessKind::Write, 0b0001, |_| 0x1000));
+        assert_eq!(det.races().race_count(), 1);
+        assert_eq!(det.races().reports()[0].class, RaceClass::InterBlock);
+    }
+
+    #[test]
+    fn read_read_never_races() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        w.process_event(&access(0, AccessKind::Read, 0b0001, |_| 0x1000));
+        w.process_event(&access(2, AccessKind::Read, 0b0001, |_| 0x1000));
+        w.process_event(&access(1, AccessKind::Read, 0b1111, |_| 0x1000));
+        assert_eq!(det.races().race_count(), 0);
+    }
+
+    #[test]
+    fn write_after_concurrent_reads_races_with_reader() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        w.process_event(&access(0, AccessKind::Read, 0b0001, |_| 0x1000));
+        w.process_event(&access(2, AccessKind::Read, 0b0001, |_| 0x1000));
+        w.process_event(&access(1, AccessKind::Write, 0b0001, |_| 0x1000));
+        assert_eq!(det.races().race_count(), 1);
+        let r = &det.races().reports()[0];
+        assert_eq!(r.current.1, AccessType::Write);
+        assert_eq!(r.previous.1, AccessType::Read);
+    }
+
+    #[test]
+    fn barrier_orders_intra_block_but_not_inter_block() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        // Warp 0 (block 0) writes, both warps of block 0 hit the barrier,
+        // then warp 1 (block 0) writes the same address: ordered.
+        w.process_event(&access(0, AccessKind::Write, 0b0001, |_| 0x1000));
+        w.process_event(&Event::Bar { warp: 0, mask: 0b1111 });
+        w.process_event(&Event::Bar { warp: 1, mask: 0b1111 });
+        w.process_event(&access(1, AccessKind::Write, 0b0001, |_| 0x1000));
+        assert_eq!(det.races().race_count(), 0);
+        // But block 1 is not synchronized by block 0's barrier.
+        w.process_event(&access(2, AccessKind::Write, 0b0001, |_| 0x1000));
+        assert_eq!(det.races().race_count(), 1);
+        assert_eq!(det.races().reports()[0].class, RaceClass::InterBlock);
+    }
+
+    #[test]
+    fn barrier_divergence_diagnosed() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        w.process_event(&Event::Bar { warp: 0, mask: 0b0111 }); // partial!
+        w.process_event(&Event::Bar { warp: 1, mask: 0b1111 });
+        assert_eq!(
+            det.races().diagnostics(),
+            vec![Diagnostic::BarrierDivergence { block: 0 }]
+        );
+    }
+
+    #[test]
+    fn exited_warp_with_waiting_sibling_is_divergence() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        w.process_event(&Event::Exit { warp: 0, mask: 0b1111 });
+        w.process_event(&Event::Bar { warp: 1, mask: 0b1111 });
+        assert_eq!(
+            det.races().diagnostics(),
+            vec![Diagnostic::BarrierDivergence { block: 0 }]
+        );
+    }
+
+    #[test]
+    fn release_acquire_block_scope_synchronizes_within_block() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        let data = 0x1000u64;
+        let flag = 0x2000u64;
+        // Warp 0 lane 0 writes data then releases flag (block scope).
+        w.process_event(&access(0, AccessKind::Write, 0b0001, |_| data));
+        w.process_event(&access(0, AccessKind::Release(Scope::Block), 0b0001, |_| flag));
+        // Warp 1 (same block) acquires flag then writes data: ordered.
+        w.process_event(&access(1, AccessKind::Acquire(Scope::Block), 0b0001, |_| flag));
+        w.process_event(&access(1, AccessKind::Write, 0b0001, |_| data));
+        assert_eq!(det.races().race_count(), 0);
+    }
+
+    #[test]
+    fn block_scope_release_does_not_synchronize_across_blocks() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        let data = 0x1000u64;
+        let flag = 0x2000u64;
+        w.process_event(&access(0, AccessKind::Write, 0b0001, |_| data));
+        w.process_event(&access(0, AccessKind::Release(Scope::Block), 0b0001, |_| flag));
+        // Block 1 acquires at block scope: rel in b1 / acq in b2 does NOT
+        // contribute to synchronization order (§3.3.4).
+        w.process_event(&access(2, AccessKind::Acquire(Scope::Block), 0b0001, |_| flag));
+        w.process_event(&access(2, AccessKind::Write, 0b0001, |_| data));
+        assert_eq!(det.races().race_count(), 1);
+    }
+
+    #[test]
+    fn global_scope_on_either_side_synchronizes_across_blocks() {
+        for (rel_scope, acq_scope) in [
+            (Scope::Global, Scope::Global),
+            (Scope::Global, Scope::Block),
+            (Scope::Block, Scope::Global),
+        ] {
+            let det = Detector::new(dims(), 64);
+            let mut w = Worker::new(&det);
+            let data = 0x1000u64;
+            let flag = 0x2000u64;
+            w.process_event(&access(0, AccessKind::Write, 0b0001, |_| data));
+            w.process_event(&access(0, AccessKind::Release(rel_scope), 0b0001, |_| flag));
+            w.process_event(&access(2, AccessKind::Acquire(acq_scope), 0b0001, |_| flag));
+            w.process_event(&access(2, AccessKind::Write, 0b0001, |_| data));
+            assert_eq!(
+                det.races().race_count(),
+                0,
+                "rel {rel_scope:?} / acq {acq_scope:?} must synchronize"
+            );
+        }
+    }
+
+    #[test]
+    fn standalone_atomics_do_not_race_with_each_other_or_synchronize() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        let ctr = 0x1000u64;
+        w.process_event(&access(0, AccessKind::Atomic, 0b0001, |_| ctr));
+        w.process_event(&access(2, AccessKind::Atomic, 0b0001, |_| ctr));
+        assert_eq!(det.races().race_count(), 0, "atm/atm never races");
+        // But atomics do not synchronize: a plain write after an atomic
+        // read-modify-write from another block is still a race.
+        w.process_event(&access(0, AccessKind::Write, 0b0001, |_| ctr));
+        assert_eq!(det.races().race_count(), 1);
+    }
+
+    #[test]
+    fn atomic_races_with_plain_write() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        let x = 0x1000u64;
+        w.process_event(&access(0, AccessKind::Write, 0b0001, |_| x));
+        w.process_event(&access(2, AccessKind::Atomic, 0b0001, |_| x));
+        assert_eq!(det.races().race_count(), 1, "INITATOM checks the plain write");
+    }
+
+    #[test]
+    fn branch_ordering_race_detected_and_classified() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        // Warp 0 diverges: lane 0 (then) writes x; lanes on else path
+        // write x too — paths are concurrent.
+        w.process_event(&Event::If { warp: 0, then_mask: 0b0001, else_mask: 0b1110 });
+        w.process_event(&access(0, AccessKind::Write, 0b0001, |_| 0x1000));
+        w.process_event(&Event::Else { warp: 0 });
+        w.process_event(&access(0, AccessKind::Write, 0b0010, |_| 0x1000));
+        assert_eq!(det.races().race_count(), 1);
+        assert_eq!(det.races().reports()[0].class, RaceClass::Divergence);
+    }
+
+    #[test]
+    fn accesses_after_fi_are_ordered_with_both_paths() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        w.process_event(&Event::If { warp: 0, then_mask: 0b0001, else_mask: 0b1110 });
+        w.process_event(&access(0, AccessKind::Write, 0b0001, |_| 0x1000));
+        w.process_event(&Event::Else { warp: 0 });
+        w.process_event(&access(0, AccessKind::Write, 0b0010, |_| 0x2000));
+        w.process_event(&Event::Fi { warp: 0 });
+        // After reconvergence, lane 3 writes both addresses: ordered.
+        w.process_event(&access(0, AccessKind::Write, 0b1000, |_| 0x1000));
+        w.process_event(&access(0, AccessKind::Write, 0b1000, |_| 0x2000));
+        assert_eq!(det.races().race_count(), 0);
+    }
+
+    #[test]
+    fn shared_memory_races_are_per_block() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        // Both blocks use shared offset 0 — distinct locations.
+        w.process_event(&shared_access(0, AccessKind::Write, 0b0001, 0));
+        w.process_event(&shared_access(2, AccessKind::Write, 0b0001, 0));
+        assert_eq!(det.races().race_count(), 0);
+        // Within block 0, two warps race on shared offset 0.
+        w.process_event(&shared_access(1, AccessKind::Write, 0b0001, 0));
+        assert_eq!(det.races().race_count(), 1);
+        let r = &det.races().reports()[0];
+        assert_eq!(r.space, MemSpace::Shared);
+        assert_eq!(r.class, RaceClass::IntraBlock);
+        assert_eq!(r.block, Some(0));
+    }
+
+    #[test]
+    fn overlapping_sizes_race_at_byte_granularity() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        // 4-byte write at 0x1000; 1-byte write at 0x1002 from another block.
+        w.process_event(&access(0, AccessKind::Write, 0b0001, |_| 0x1000));
+        let mut addrs = [0u64; 32];
+        addrs[0] = 0x1002;
+        w.process_event(&Event::Access {
+            warp: 2,
+            kind: AccessKind::Write,
+            space: MemSpace::Global,
+            mask: 0b0001,
+            addrs,
+            size: 1,
+        });
+        assert_eq!(det.races().race_count(), 1);
+    }
+
+    #[test]
+    fn race_reported_once_per_location() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        for _ in 0..5 {
+            w.process_event(&access(0, AccessKind::Write, 0b0001, |_| 0x1000));
+            w.process_event(&access(2, AccessKind::Write, 0b0001, |_| 0x1000));
+        }
+        assert_eq!(det.races().race_count(), 1);
+    }
+
+    #[test]
+    fn format_census_tracks_divergence() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        w.process_event(&access(0, AccessKind::Read, 0b1111, |l| u64::from(l) * 4 + 0x1000));
+        w.process_event(&Event::If { warp: 0, then_mask: 0b0011, else_mask: 0b1100 });
+        w.process_event(&access(0, AccessKind::Read, 0b0011, |l| u64::from(l) * 4 + 0x2000));
+        let c = w.format_census();
+        assert_eq!(c[0], 1, "first access converged");
+        assert_eq!(c[1], 1, "second access diverged");
+    }
+
+    #[test]
+    fn sync_location_count_tracked() {
+        let det = Detector::new(dims(), 64);
+        let mut w = Worker::new(&det);
+        w.process_event(&access(0, AccessKind::Release(Scope::Global), 0b0001, |_| 0x2000));
+        w.process_event(&access(0, AccessKind::Release(Scope::Global), 0b0001, |_| 0x3000));
+        w.process_event(&access(2, AccessKind::Acquire(Scope::Global), 0b0001, |_| 0x2000));
+        assert_eq!(det.sync_location_count(), 2);
+    }
+}

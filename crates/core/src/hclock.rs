@@ -1,0 +1,152 @@
+//! Hierarchical sparse clocks.
+//!
+//! The clock values stored at synchronization locations (the `S_x` map) and
+//! acquired into threads mirror the GPU thread hierarchy: explicit
+//! per-thread entries, per-block floors (everything in a block is at least
+//! this), and a global floor. This is the lossless compression the paper
+//! applies to the per-block VCs of synchronization locations (§4.3.3) and
+//! to the SPARSEVC external component of per-thread VCs (§4.3.1).
+
+use crate::clock::Clock;
+use barracuda_trace::GridDims;
+use std::collections::HashMap;
+
+/// A sparse, hierarchical vector clock: `get(t) = max(threads[t],
+/// block_floors[block(t)], global_floor)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HClock {
+    global_floor: Clock,
+    block_floors: HashMap<u64, Clock>,
+    threads: HashMap<u64, Clock>,
+}
+
+impl HClock {
+    /// The empty (all-zero) clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Timestamp for thread `t` (global TID) under launch dims `dims`.
+    pub fn get(&self, t: u64, dims: &GridDims) -> Clock {
+        let th = self.threads.get(&t).copied().unwrap_or(0);
+        let bf = self
+            .block_floors
+            .get(&dims.block_of(barracuda_trace::Tid(t)))
+            .copied()
+            .unwrap_or(0);
+        th.max(bf).max(self.global_floor)
+    }
+
+    /// Sets an explicit per-thread entry (kept even if below a floor; `get`
+    /// takes the max).
+    pub fn set_thread(&mut self, t: u64, c: Clock) {
+        let e = self.threads.entry(t).or_insert(0);
+        *e = (*e).max(c);
+    }
+
+    /// Raises a block floor.
+    pub fn raise_block(&mut self, block: u64, c: Clock) {
+        let e = self.block_floors.entry(block).or_insert(0);
+        *e = (*e).max(c);
+    }
+
+    /// Raises the global floor.
+    pub fn raise_global(&mut self, c: Clock) {
+        self.global_floor = self.global_floor.max(c);
+    }
+
+    /// Pointwise join.
+    pub fn join(&mut self, other: &HClock) {
+        self.global_floor = self.global_floor.max(other.global_floor);
+        for (&b, &c) in &other.block_floors {
+            self.raise_block(b, c);
+        }
+        for (&t, &c) in &other.threads {
+            self.set_thread(t, c);
+        }
+    }
+
+    /// True when every component is zero.
+    pub fn is_bottom(&self) -> bool {
+        self.global_floor == 0
+            && self.block_floors.values().all(|&c| c == 0)
+            && self.threads.values().all(|&c| c == 0)
+    }
+
+    /// Number of explicit entries (for size accounting / tests).
+    pub fn explicit_entries(&self) -> usize {
+        self.block_floors.len() + self.threads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> GridDims {
+        // 4 blocks × 8 threads, warp size 4.
+        GridDims::with_warp_size(4u32, 8u32, 4)
+    }
+
+    #[test]
+    fn empty_clock_is_zero_everywhere() {
+        let h = HClock::new();
+        assert_eq!(h.get(0, &dims()), 0);
+        assert_eq!(h.get(31, &dims()), 0);
+        assert!(h.is_bottom());
+    }
+
+    #[test]
+    fn thread_entries_are_exact() {
+        let mut h = HClock::new();
+        h.set_thread(5, 7);
+        assert_eq!(h.get(5, &dims()), 7);
+        assert_eq!(h.get(6, &dims()), 0);
+    }
+
+    #[test]
+    fn block_floor_covers_whole_block() {
+        let mut h = HClock::new();
+        h.raise_block(1, 4); // threads 8..16
+        assert_eq!(h.get(8, &dims()), 4);
+        assert_eq!(h.get(15, &dims()), 4);
+        assert_eq!(h.get(7, &dims()), 0);
+        assert_eq!(h.get(16, &dims()), 0);
+    }
+
+    #[test]
+    fn get_takes_max_of_layers() {
+        let mut h = HClock::new();
+        h.raise_global(2);
+        h.raise_block(0, 5);
+        h.set_thread(1, 3);
+        assert_eq!(h.get(1, &dims()), 5, "block floor dominates thread entry");
+        h.set_thread(1, 9);
+        assert_eq!(h.get(1, &dims()), 9);
+        assert_eq!(h.get(30, &dims()), 2, "global floor everywhere");
+    }
+
+    #[test]
+    fn join_is_pointwise_max_across_layers() {
+        let mut a = HClock::new();
+        a.set_thread(0, 3);
+        a.raise_block(1, 1);
+        let mut b = HClock::new();
+        b.set_thread(0, 1);
+        b.raise_block(1, 6);
+        b.raise_global(2);
+        a.join(&b);
+        let d = dims();
+        assert_eq!(a.get(0, &d), 3);
+        assert_eq!(a.get(8, &d), 6);
+        assert_eq!(a.get(20, &d), 2);
+    }
+
+    #[test]
+    fn set_thread_never_lowers() {
+        let mut h = HClock::new();
+        h.set_thread(3, 9);
+        h.set_thread(3, 2);
+        assert_eq!(h.get(3, &dims()), 9);
+    }
+}

@@ -1,0 +1,246 @@
+//! Race reports, classification and aggregation.
+
+use barracuda_trace::{MemSpace, Tid};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::fmt;
+
+/// How the two racing threads relate in the thread hierarchy (§4.3.3:
+/// "the offending TIDs are examined to classify the race").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaceClass {
+    /// Same warp, same active group: lanes of one warp instruction.
+    IntraWarp,
+    /// Same warp, different branch paths — a *branch ordering race*, the
+    /// new bug class identified by the paper.
+    Divergence,
+    /// Different warps of the same thread block.
+    IntraBlock,
+    /// Different thread blocks.
+    InterBlock,
+}
+
+impl fmt::Display for RaceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RaceClass::IntraWarp => "intra-warp",
+            RaceClass::Divergence => "divergence",
+            RaceClass::IntraBlock => "intra-block",
+            RaceClass::InterBlock => "inter-block",
+        })
+    }
+}
+
+/// The access type of each side of a race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are self-describing
+pub enum AccessType {
+    Read,
+    Write,
+    Atomic,
+}
+
+impl fmt::Display for AccessType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessType::Read => "read",
+            AccessType::Write => "write",
+            AccessType::Atomic => "atomic",
+        })
+    }
+}
+
+/// One detected data race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Memory space of the racing location.
+    pub space: MemSpace,
+    /// Owning block for shared-memory locations.
+    pub block: Option<u64>,
+    /// Base address of the racing access.
+    pub addr: u64,
+    /// The access that detected the race.
+    pub current: (Tid, AccessType),
+    /// The earlier conflicting access.
+    pub previous: (Tid, AccessType),
+    /// Hierarchy classification.
+    pub class: RaceClass,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let space = match self.space {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+        };
+        write!(
+            f,
+            "{} race on {space} address {:#x}: {} by {} vs {} by {}",
+            self.class, self.addr, self.current.1, self.current.0, self.previous.1, self.previous.0
+        )
+    }
+}
+
+/// Non-race diagnostics the detector can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Diagnostic {
+    /// `bar.sync` with exited or inactive threads (§3.3.2).
+    BarrierDivergence {
+        /// The block whose barrier diverged.
+        block: u64,
+    },
+}
+
+/// Thread-safe collector of race reports, deduplicated per racing
+/// location (one report per distinct `(space, block, base address)`).
+#[derive(Debug, Default)]
+pub struct RaceSink {
+    inner: Mutex<RaceSinkInner>,
+}
+
+#[derive(Debug, Default)]
+struct RaceSinkInner {
+    seen: HashSet<(u8, u64, u64)>,
+    reports: Vec<RaceReport>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl RaceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a race; returns `true` if this location was new.
+    pub fn report(&self, r: RaceReport) -> bool {
+        let key = (
+            match r.space {
+                MemSpace::Global => 0,
+                MemSpace::Shared => 1,
+            },
+            r.block.unwrap_or(0),
+            r.addr,
+        );
+        let mut g = self.inner.lock();
+        if g.seen.insert(key) {
+            g.reports.push(r);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a diagnostic (deduplicated by value).
+    pub fn diagnose(&self, d: Diagnostic) {
+        let mut g = self.inner.lock();
+        if !g.diagnostics.contains(&d) {
+            g.diagnostics.push(d);
+        }
+    }
+
+    /// Number of distinct racing locations.
+    pub fn race_count(&self) -> usize {
+        self.inner.lock().reports.len()
+    }
+
+    /// Snapshot of the collected reports.
+    pub fn reports(&self) -> Vec<RaceReport> {
+        self.inner.lock().reports.clone()
+    }
+
+    /// Snapshot of the collected diagnostics.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.inner.lock().diagnostics.clone()
+    }
+
+    /// Counts per race class.
+    pub fn class_counts(&self) -> Vec<(RaceClass, usize)> {
+        let g = self.inner.lock();
+        let classes = [
+            RaceClass::IntraWarp,
+            RaceClass::Divergence,
+            RaceClass::IntraBlock,
+            RaceClass::InterBlock,
+        ];
+        classes
+            .iter()
+            .map(|&c| (c, g.reports.iter().filter(|r| r.class == c).count()))
+            .collect()
+    }
+
+    /// Counts per memory space `(shared, global)`.
+    pub fn space_counts(&self) -> (usize, usize) {
+        let g = self.inner.lock();
+        let shared = g.reports.iter().filter(|r| r.space == MemSpace::Shared).count();
+        (shared, g.reports.len() - shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(addr: u64, space: MemSpace) -> RaceReport {
+        RaceReport {
+            space,
+            block: None,
+            addr,
+            current: (Tid(1), AccessType::Write),
+            previous: (Tid(0), AccessType::Read),
+            class: RaceClass::InterBlock,
+        }
+    }
+
+    #[test]
+    fn dedup_per_location() {
+        let s = RaceSink::new();
+        assert!(s.report(rep(100, MemSpace::Global)));
+        assert!(!s.report(rep(100, MemSpace::Global)));
+        assert!(s.report(rep(104, MemSpace::Global)));
+        // Same address, different space: distinct location.
+        assert!(s.report(rep(100, MemSpace::Shared)));
+        assert_eq!(s.race_count(), 3);
+    }
+
+    #[test]
+    fn shared_locations_distinct_per_block() {
+        let s = RaceSink::new();
+        let mut a = rep(0, MemSpace::Shared);
+        a.block = Some(0);
+        let mut b = rep(0, MemSpace::Shared);
+        b.block = Some(1);
+        assert!(s.report(a));
+        assert!(s.report(b));
+        assert_eq!(s.race_count(), 2);
+    }
+
+    #[test]
+    fn class_and_space_counts() {
+        let s = RaceSink::new();
+        s.report(rep(0, MemSpace::Global));
+        let mut r = rep(4, MemSpace::Shared);
+        r.class = RaceClass::IntraWarp;
+        s.report(r);
+        let counts = s.class_counts();
+        assert!(counts.contains(&(RaceClass::InterBlock, 1)));
+        assert!(counts.contains(&(RaceClass::IntraWarp, 1)));
+        assert_eq!(s.space_counts(), (1, 1));
+    }
+
+    #[test]
+    fn diagnostics_dedup() {
+        let s = RaceSink::new();
+        s.diagnose(Diagnostic::BarrierDivergence { block: 2 });
+        s.diagnose(Diagnostic::BarrierDivergence { block: 2 });
+        s.diagnose(Diagnostic::BarrierDivergence { block: 3 });
+        assert_eq!(s.diagnostics().len(), 2);
+    }
+
+    #[test]
+    fn report_display_mentions_class_and_space() {
+        let r = rep(0x40, MemSpace::Global);
+        let text = r.to_string();
+        assert!(text.contains("inter-block"));
+        assert!(text.contains("global"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Shadow memory (paper §4.3.3, Fig. 8).
+//!
+//! Per-location (1-byte granularity, "for generality") metadata: a
+//! last-write epoch with an atomic bit, a last-read epoch that inflates to
+//! a sparse reader map under concurrent readers, and attribute flags.
+//! Shared-memory shadow is preallocated per block (its size is known at
+//! launch); global-memory shadow is allocated on demand through a page
+//! table, with a root lock and per-page locks for the concurrent detector
+//! threads.
+
+use crate::clock::{Clock, Epoch};
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Read metadata: an epoch for totally-ordered readers, inflated to a
+/// sparse map (TID → clock) under concurrent readers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadMeta {
+    /// Totally-ordered readers: a single epoch.
+    Epoch(Epoch),
+    /// Concurrent readers: TID → clock map.
+    Shared(Box<HashMap<u32, Clock>>),
+}
+
+impl ReadMeta {
+    /// True when no read has been recorded.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, ReadMeta::Epoch(e) if e.is_bottom())
+    }
+}
+
+/// Per-byte shadow cell. The paper packs this into 32 bytes; this struct
+/// has the same fields (write epoch, read epoch / reader map, atomic /
+/// read-shared / sync-location flags) and a matching footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowCell {
+    /// Most recent write (`W_x`).
+    pub write: Epoch,
+    /// Read metadata (`R_x`).
+    pub read: ReadMeta,
+    /// The most recent write came from an atomic operation (§3.3.2).
+    pub write_atomic: bool,
+    /// The location has been used with acquire/release operations.
+    pub sync_loc: bool,
+}
+
+impl Default for ShadowCell {
+    fn default() -> Self {
+        ShadowCell {
+            write: Epoch::BOTTOM,
+            read: ReadMeta::Epoch(Epoch::BOTTOM),
+            write_atomic: false,
+            sync_loc: false,
+        }
+    }
+}
+
+/// Bytes of tracked memory per shadow page.
+pub const SHADOW_PAGE_SIZE: u64 = 4096;
+
+/// One page of global-memory shadow.
+#[derive(Debug)]
+pub struct ShadowPage {
+    /// One cell per tracked byte.
+    pub cells: Vec<ShadowCell>,
+}
+
+impl ShadowPage {
+    fn new() -> Self {
+        ShadowPage { cells: vec![ShadowCell::default(); SHADOW_PAGE_SIZE as usize] }
+    }
+
+    /// The cell for `addr` (which must belong to this page).
+    pub fn cell_mut(&mut self, addr: u64) -> &mut ShadowCell {
+        &mut self.cells[(addr % SHADOW_PAGE_SIZE) as usize]
+    }
+}
+
+/// On-demand paged shadow for global memory, safe for concurrent detector
+/// threads: a root-locked page table plus per-page locks (the paper uses a
+/// page-table root lock and per-location spinlocks).
+#[derive(Debug, Default)]
+pub struct GlobalShadow {
+    pages: RwLock<HashMap<u64, Arc<Mutex<ShadowPage>>>>,
+}
+
+impl GlobalShadow {
+    /// An empty shadow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Locks the page covering `addr`, allocating it on first touch.
+    pub fn page(&self, addr: u64) -> Arc<Mutex<ShadowPage>> {
+        let key = addr / SHADOW_PAGE_SIZE;
+        if let Some(p) = self.pages.read().get(&key) {
+            return Arc::clone(p);
+        }
+        let mut w = self.pages.write();
+        Arc::clone(w.entry(key).or_insert_with(|| Arc::new(Mutex::new(ShadowPage::new()))))
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    /// Runs `f` with the locked page for `addr`.
+    pub fn with_page<R>(&self, addr: u64, f: impl FnOnce(&mut ShadowPage) -> R) -> R {
+        let page = self.page(addr);
+        let mut guard: MutexGuard<'_, ShadowPage> = page.lock();
+        f(&mut guard)
+    }
+}
+
+/// Preallocated shadow for one block's shared memory (lock-free: all of a
+/// block's shared-memory events are processed by the same detector
+/// thread, §4.2).
+#[derive(Debug)]
+pub struct SharedShadow {
+    cells: Vec<ShadowCell>,
+}
+
+impl SharedShadow {
+    /// Shadow for a `size`-byte shared segment.
+    pub fn new(size: u64) -> Self {
+        SharedShadow { cells: vec![ShadowCell::default(); size as usize] }
+    }
+
+    /// The cell for byte `offset`, growing the table if a generic access
+    /// ran past the declared segment (the simulator bounds-checks real
+    /// accesses; this keeps the detector total).
+    pub fn cell_mut(&mut self, offset: u64) -> &mut ShadowCell {
+        if offset >= self.cells.len() as u64 {
+            self.cells.resize(offset as usize + 1, ShadowCell::default());
+        }
+        &mut self.cells[offset as usize]
+    }
+
+    /// Segment size covered.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True for zero-length segments.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cell_is_bottom() {
+        let c = ShadowCell::default();
+        assert!(c.write.is_bottom());
+        assert!(c.read.is_bottom());
+        assert!(!c.write_atomic);
+        assert!(!c.sync_loc);
+    }
+
+    #[test]
+    fn cell_footprint_is_modest() {
+        // The paper packs per-location metadata into 32 bytes; ours must
+        // stay in the same ballpark (8B write epoch + boxed read meta +
+        // flags).
+        assert!(std::mem::size_of::<ShadowCell>() <= 32, "{}", std::mem::size_of::<ShadowCell>());
+    }
+
+    #[test]
+    fn global_shadow_allocates_on_demand() {
+        let g = GlobalShadow::new();
+        assert_eq!(g.page_count(), 0);
+        g.with_page(0x1000_0000, |p| {
+            p.cell_mut(0x1000_0000).write = Epoch::new(3, 1);
+        });
+        assert_eq!(g.page_count(), 1);
+        // Same page reused.
+        g.with_page(0x1000_0004, |p| {
+            assert_eq!(p.cell_mut(0x1000_0000).write, Epoch::new(3, 1));
+        });
+        assert_eq!(g.page_count(), 1);
+        // Different page.
+        g.with_page(0x1000_0000 + SHADOW_PAGE_SIZE, |_| {});
+        assert_eq!(g.page_count(), 2);
+    }
+
+    #[test]
+    fn shared_shadow_grows_defensively() {
+        let mut s = SharedShadow::new(16);
+        assert_eq!(s.len(), 16);
+        s.cell_mut(20).write = Epoch::new(1, 0);
+        assert!(s.len() >= 21);
+    }
+
+    #[test]
+    fn concurrent_page_access() {
+        let g = Arc::new(GlobalShadow::new());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    g.with_page(0x1000_0000 + i * 64, |p| {
+                        let c = p.cell_mut(0x1000_0000 + i * 64);
+                        c.write = Epoch::new(i as Clock + 1, t);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(g.page_count() >= 1);
+    }
+}

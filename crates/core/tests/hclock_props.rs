@@ -1,0 +1,102 @@
+//! Algebraic laws of the hierarchical sparse clock: `join` must be a
+//! least-upper-bound operator under the pointwise order induced by `get`,
+//! for every mix of per-thread entries, block floors and the global floor.
+
+use barracuda_core::HClock;
+use barracuda_trace::GridDims;
+use proptest::prelude::*;
+
+fn dims() -> GridDims {
+    GridDims::with_warp_size(4u32, 8u32, 4) // 32 threads
+}
+
+/// Strategy: an HClock from up to 5 mixed layer operations.
+fn hclock_strategy() -> impl Strategy<Value = HClock> {
+    prop::collection::vec((0u8..3, 0u64..32, 1u32..50), 0..6).prop_map(|ops| {
+        let mut h = HClock::new();
+        for (layer, idx, c) in ops {
+            match layer {
+                0 => h.set_thread(idx, c),
+                1 => h.raise_block(idx % 4, c),
+                _ => h.raise_global(c),
+            }
+        }
+        h
+    })
+}
+
+fn pointwise_le(a: &HClock, b: &HClock, d: &GridDims) -> bool {
+    (0..d.total_threads()).all(|t| a.get(t, d) <= b.get(t, d))
+}
+
+proptest! {
+    #[test]
+    fn join_is_upper_bound(a in hclock_strategy(), b in hclock_strategy()) {
+        let d = dims();
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(pointwise_le(&a, &j, &d));
+        prop_assert!(pointwise_le(&b, &j, &d));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in hclock_strategy(), b in hclock_strategy()) {
+        let d = dims();
+        let mut j = a.clone();
+        j.join(&b);
+        for t in 0..d.total_threads() {
+            prop_assert_eq!(j.get(t, &d), a.get(t, &d).max(b.get(t, &d)), "thread {}", t);
+        }
+    }
+
+    #[test]
+    fn join_commutes(a in hclock_strategy(), b in hclock_strategy()) {
+        let d = dims();
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        for t in 0..d.total_threads() {
+            prop_assert_eq!(ab.get(t, &d), ba.get(t, &d));
+        }
+    }
+
+    #[test]
+    fn join_is_associative(
+        a in hclock_strategy(),
+        b in hclock_strategy(),
+        c in hclock_strategy(),
+    ) {
+        let d = dims();
+        let mut left = a.clone();
+        left.join(&b);
+        left.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut right = a.clone();
+        right.join(&bc);
+        for t in 0..d.total_threads() {
+            prop_assert_eq!(left.get(t, &d), right.get(t, &d));
+        }
+    }
+
+    #[test]
+    fn join_is_idempotent(a in hclock_strategy()) {
+        let d = dims();
+        let mut j = a.clone();
+        j.join(&a);
+        for t in 0..d.total_threads() {
+            prop_assert_eq!(j.get(t, &d), a.get(t, &d));
+        }
+    }
+
+    #[test]
+    fn bottom_is_identity(a in hclock_strategy()) {
+        let d = dims();
+        let mut j = a.clone();
+        j.join(&HClock::new());
+        for t in 0..d.total_threads() {
+            prop_assert_eq!(j.get(t, &d), a.get(t, &d));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Theorem 1 validation against a definition-level oracle.
+//!
+//! The §3.2 *definition* of synchronization order gives an acquire an edge
+//! from **every** earlier release of the location; the Fig. 3 rules
+//! *assign* `S_x` on release (last release wins, as in FastTrack). The
+//! oracle implements the definition; these tests pin the exact
+//! relationship:
+//!
+//! 1. oracle races ⊆ algorithm races (the algorithm never misses a
+//!    definition-race — soundness with respect to the definition);
+//! 2. on streams where each synchronization location is released by a
+//!    single thread (the lock/flag discipline FastTrack-style assignment
+//!    assumes), the verdicts are identical — Theorem 1's regime.
+
+use barracuda_core::{Detector, ReferenceDetector, Worker};
+use barracuda_trace::ops::{AccessKind, Event, MemSpace, Scope};
+use barracuda_trace::GridDims;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+
+fn dims() -> GridDims {
+    GridDims::with_warp_size(2u32, 8u32, 4)
+}
+
+type RaceKey = (u8, u64, u64);
+
+fn race_set(reports: &[barracuda_core::RaceReport]) -> BTreeSet<RaceKey> {
+    reports
+        .iter()
+        .map(|r| {
+            (
+                match r.space {
+                    MemSpace::Global => 0u8,
+                    MemSpace::Shared => 1,
+                },
+                r.block.unwrap_or(0),
+                r.addr,
+            )
+        })
+        .collect()
+}
+
+/// Random stream where releases may come from several threads when
+/// `single_releaser` is false.
+fn gen_stream(seed: u64, dims: &GridDims, single_releaser: bool) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let releaser_warp = 0u64;
+    for _ in 0..60 {
+        let warp = rng.random_range(0..dims.num_warps());
+        let mask = dims.initial_mask(warp);
+        let lane_mask = 1u32 << rng.random_range(0..dims.warp_size);
+        let mask = mask & lane_mask;
+        if mask == 0 {
+            continue;
+        }
+        let kind = match rng.random_range(0..10) {
+            0..=3 => AccessKind::Read,
+            4..=6 => AccessKind::Write,
+            7 => AccessKind::Acquire(if rng.random() { Scope::Block } else { Scope::Global }),
+            8 if !single_releaser || warp == releaser_warp => {
+                AccessKind::Release(if rng.random() { Scope::Block } else { Scope::Global })
+            }
+            _ => AccessKind::Atomic,
+        };
+        let addr = if kind.is_sync() {
+            0x2000 + rng.random_range(0..2) * 4
+        } else {
+            0x1000 + rng.random_range(0..4) * 4
+        };
+        out.push(Event::Access { warp, kind, space: MemSpace::Global, mask, addrs: [addr; 32], size: 4 });
+    }
+    out
+}
+
+fn run_algorithm(dims: GridDims, stream: &[Event]) -> BTreeSet<RaceKey> {
+    let det = Detector::new(dims, 0);
+    let mut w = Worker::new(&det);
+    for ev in stream {
+        w.process_event(ev);
+    }
+    race_set(&det.races().reports())
+}
+
+fn run_oracle(dims: GridDims, stream: &[Event]) -> BTreeSet<RaceKey> {
+    let mut o = ReferenceDetector::definition_oracle(dims);
+    for ev in stream {
+        o.process_event(ev);
+    }
+    race_set(&o.races().reports())
+}
+
+#[test]
+fn algorithm_never_misses_a_definition_race() {
+    let d = dims();
+    for seed in 0..200 {
+        let stream = gen_stream(seed, &d, false);
+        let alg = run_algorithm(d, &stream);
+        let oracle = run_oracle(d, &stream);
+        assert!(
+            oracle.is_subset(&alg),
+            "seed {seed}: oracle races {oracle:?} not all reported by the algorithm {alg:?}"
+        );
+    }
+}
+
+#[test]
+fn verdicts_identical_under_single_releaser_discipline() {
+    let d = dims();
+    for seed in 0..200 {
+        let stream = gen_stream(seed, &d, true);
+        let alg = run_algorithm(d, &stream);
+        let oracle = run_oracle(d, &stream);
+        assert_eq!(alg, oracle, "seed {seed}");
+    }
+}
+
+#[test]
+fn multi_release_divergence_is_real() {
+    // The documented asymmetry: T0 releases, an unordered T4 re-releases,
+    // T8 (another block) acquires. The definition orders T0's write; the
+    // assignment-based rules do not.
+    let d = dims();
+    let rel = |warp: u64| Event::Access {
+        warp,
+        kind: AccessKind::Release(Scope::Global),
+        space: MemSpace::Global,
+        mask: 1,
+        addrs: [0x2000; 32],
+        size: 4,
+    };
+    let acq = Event::Access {
+        warp: 2,
+        kind: AccessKind::Acquire(Scope::Global),
+        space: MemSpace::Global,
+        mask: 1,
+        addrs: [0x2000; 32],
+        size: 4,
+    };
+    let wr = |warp: u64| Event::Access {
+        warp,
+        kind: AccessKind::Write,
+        space: MemSpace::Global,
+        mask: 1,
+        addrs: [0x1000; 32],
+        size: 4,
+    };
+    let stream = vec![wr(0), rel(0), rel(1), acq, wr(2)];
+    assert_eq!(run_oracle(d, &stream).len(), 0, "definition orders the write");
+    assert_eq!(run_algorithm(d, &stream).len(), 1, "Fig. 3 assignment drops the first release");
+}

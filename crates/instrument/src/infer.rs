@@ -1,0 +1,271 @@
+//! Inference of high-level synchronization operations from static PTX
+//! (paper §3.1).
+
+use barracuda_ptx::ast::{AtomOp, FenceLevel, Kernel, Op, Space, Statement};
+use barracuda_trace::ops::{AccessKind, Scope};
+
+/// The inferred logging kind for one memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferredKind {
+    /// Index into the kernel's statement list.
+    pub stmt: usize,
+    /// The inferred trace-operation kind.
+    pub kind: AccessKind,
+}
+
+fn scope_of(level: FenceLevel) -> Scope {
+    match level {
+        FenceLevel::Cta => Scope::Block,
+        // System-level fences are treated as global (paper footnote 1).
+        FenceLevel::Gl | FenceLevel::Sys => Scope::Global,
+    }
+}
+
+fn stronger(a: Scope, b: Scope) -> Scope {
+    if a == Scope::Global || b == Scope::Global {
+        Scope::Global
+    } else {
+        Scope::Block
+    }
+}
+
+/// True for memory accesses the detector tracks (global/shared/generic;
+/// param and local are thread-private or read-only).
+fn tracked(space: Space) -> bool {
+    matches!(space, Space::Global | Space::Shared | Space::Generic)
+}
+
+/// Walks each kernel statement and classifies every tracked memory
+/// instruction, bundling fence-adjacent loads/stores/atomics into
+/// acquire/release operations. Adjacency is *static, within a basic
+/// block*: a label or control transfer breaks adjacency.
+pub fn infer_kinds(kernel: &Kernel) -> Vec<InferredKind> {
+    let stmts = &kernel.stmts;
+    // Adjacent instruction indices (None across labels/terminators).
+    let prev_instr: Vec<Option<usize>> = {
+        let mut v = vec![None; stmts.len()];
+        let mut prev: Option<usize> = None;
+        for (i, s) in stmts.iter().enumerate() {
+            match s {
+                Statement::Label(_) => prev = None,
+                Statement::Instr(instr) => {
+                    v[i] = prev;
+                    prev = if instr.op.is_terminator() { None } else { Some(i) };
+                }
+            }
+        }
+        v
+    };
+    let next_instr: Vec<Option<usize>> = {
+        let mut v = vec![None; stmts.len()];
+        let mut next: Option<usize> = None;
+        for (i, s) in stmts.iter().enumerate().rev() {
+            match s {
+                Statement::Label(_) => next = None,
+                Statement::Instr(instr) => {
+                    v[i] = next;
+                    next = Some(i);
+                    if instr.op.is_terminator() {
+                        // The terminator itself has a next within... no:
+                        // nothing follows a terminator in its block, but
+                        // the terminator is the "next" of its predecessor.
+                        v[i] = None;
+                    }
+                }
+            }
+        }
+        v
+    };
+    let fence_at = |idx: Option<usize>| -> Option<Scope> {
+        let i = idx?;
+        match &stmts[i] {
+            Statement::Instr(instr) => match instr.op {
+                Op::Membar { level } if instr.guard.is_none() => Some(scope_of(level)),
+                _ => None,
+            },
+            Statement::Label(_) => None,
+        }
+    };
+
+    let mut out = Vec::new();
+    for (i, s) in stmts.iter().enumerate() {
+        let Statement::Instr(instr) = s else { continue };
+        let kind = match &instr.op {
+            Op::Ld { space, .. } | Op::LdVec { space, .. } if tracked(*space) => {
+                match fence_at(next_instr[i]) {
+                    Some(scope) => AccessKind::Acquire(scope),
+                    None => AccessKind::Read,
+                }
+            }
+            Op::St { space, .. } | Op::StVec { space, .. } if tracked(*space) => {
+                match fence_at(prev_instr[i]) {
+                    Some(scope) => AccessKind::Release(scope),
+                    None => AccessKind::Write,
+                }
+            }
+            Op::Atom { space, op, .. } | Op::Red { space, op, .. } if tracked(*space) => {
+                let before = fence_at(prev_instr[i]);
+                let after = fence_at(next_instr[i]);
+                match (before, after, op) {
+                    (Some(b), Some(a), _) => AccessKind::AcquireRelease(stronger(b, a)),
+                    // atom.cas obtains a lock: cas + following fence is an
+                    // acquire.
+                    (None, Some(a), AtomOp::Cas) => AccessKind::Acquire(a),
+                    // atom.exch frees a lock: fence + exch is a release.
+                    (Some(b), None, AtomOp::Exch) => AccessKind::Release(b),
+                    // A one-sided fence on other atomics still orders the
+                    // fenced side; conservatively treat as the fenced half.
+                    (None, Some(a), _) => AccessKind::Acquire(a),
+                    (Some(b), None, _) => AccessKind::Release(b),
+                    (None, None, _) => AccessKind::Atomic,
+                }
+            }
+            _ => continue,
+        };
+        out.push(InferredKind { stmt: i, kind });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(body: &str) -> Vec<AccessKind> {
+        let src = format!(
+            ".version 4.3\n.target sm_35\n.address_size 64\n.visible .entry k(.param .u64 p)\n{{\n\
+             .reg .pred %pp;\n.reg .b32 %r<8>;\n.reg .b64 %rd<8>;\n{body}\n}}"
+        );
+        let m = barracuda_ptx::parse(&src).unwrap();
+        infer_kinds(&m.kernels[0]).into_iter().map(|k| k.kind).collect()
+    }
+
+    #[test]
+    fn plain_load_store() {
+        assert_eq!(
+            kinds("ld.global.u32 %r1, [%rd1];\nst.global.u32 [%rd1], %r1;\nret;"),
+            vec![AccessKind::Read, AccessKind::Write]
+        );
+    }
+
+    #[test]
+    fn param_and_local_not_tracked() {
+        assert_eq!(
+            kinds("ld.param.u64 %rd1, [p];\nld.local.u32 %r1, [%rd1];\nst.local.u32 [%rd1], %r1;\nret;"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn fence_store_is_release_with_fence_scope() {
+        assert_eq!(
+            kinds("membar.cta;\nst.global.u32 [%rd1], 1;\nret;"),
+            vec![AccessKind::Release(Scope::Block)]
+        );
+        assert_eq!(
+            kinds("membar.gl;\nst.global.u32 [%rd1], 1;\nret;"),
+            vec![AccessKind::Release(Scope::Global)]
+        );
+        assert_eq!(
+            kinds("membar.sys;\nst.global.u32 [%rd1], 1;\nret;"),
+            vec![AccessKind::Release(Scope::Global)],
+            "system fences treated as global"
+        );
+    }
+
+    #[test]
+    fn load_fence_is_acquire() {
+        assert_eq!(
+            kinds("ld.global.u32 %r1, [%rd1];\nmembar.gl;\nret;"),
+            vec![AccessKind::Acquire(Scope::Global)]
+        );
+    }
+
+    #[test]
+    fn fenced_atomic_is_acquire_release() {
+        assert_eq!(
+            kinds("membar.cta;\natom.global.add.u32 %r1, [%rd1], 1;\nmembar.cta;\nret;"),
+            vec![AccessKind::AcquireRelease(Scope::Block)]
+        );
+        // Mixed fence scopes take the stronger.
+        assert_eq!(
+            kinds("membar.cta;\natom.global.add.u32 %r1, [%rd1], 1;\nmembar.gl;\nret;"),
+            vec![AccessKind::AcquireRelease(Scope::Global)]
+        );
+    }
+
+    #[test]
+    fn lock_idioms() {
+        // cas + fence = lock acquire.
+        assert_eq!(
+            kinds("atom.global.cas.b32 %r1, [%rd1], 0, 1;\nmembar.gl;\nret;"),
+            vec![AccessKind::Acquire(Scope::Global)]
+        );
+        // fence + exch = lock release.
+        assert_eq!(
+            kinds("membar.gl;\natom.global.exch.b32 %r1, [%rd1], 0;\nret;"),
+            vec![AccessKind::Release(Scope::Global)]
+        );
+    }
+
+    #[test]
+    fn standalone_atomic_is_atm() {
+        assert_eq!(
+            kinds("atom.global.add.u32 %r1, [%rd1], 1;\nret;"),
+            vec![AccessKind::Atomic]
+        );
+        assert_eq!(
+            kinds("atom.shared.cas.b32 %r1, [%rd1], 0, 1;\nret;"),
+            vec![AccessKind::Atomic],
+            "unfenced cas is a plain atomic"
+        );
+        assert_eq!(
+            kinds("red.global.add.u32 [%rd1], %r1;\nret;"),
+            vec![AccessKind::Atomic]
+        );
+    }
+
+    #[test]
+    fn labels_break_adjacency() {
+        // A label between fence and store breaks the static bundle: other
+        // control flow may reach the store without the fence.
+        assert_eq!(
+            kinds("membar.gl;\nL:\nst.global.u32 [%rd1], 1;\nret;"),
+            vec![AccessKind::Write]
+        );
+    }
+
+    #[test]
+    fn terminators_break_adjacency() {
+        assert_eq!(
+            kinds("ld.global.u32 %r1, [%rd1];\nbra.uni L;\nL:\nmembar.gl;\nret;"),
+            vec![AccessKind::Read]
+        );
+    }
+
+    #[test]
+    fn guarded_fence_does_not_bundle() {
+        assert_eq!(
+            kinds("@%pp membar.gl;\nst.global.u32 [%rd1], 1;\nret;"),
+            vec![AccessKind::Write]
+        );
+    }
+
+    #[test]
+    fn fence_binds_both_sides() {
+        // ld; membar; st — the fence makes the load an acquire AND the
+        // store a release.
+        assert_eq!(
+            kinds("ld.global.u32 %r1, [%rd1];\nmembar.gl;\nst.global.u32 [%rd2], %r1;\nret;"),
+            vec![AccessKind::Acquire(Scope::Global), AccessKind::Release(Scope::Global)]
+        );
+    }
+
+    #[test]
+    fn generic_space_is_tracked() {
+        assert_eq!(
+            kinds("ld.u32 %r1, [%rd1];\nret;"),
+            vec![AccessKind::Read]
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Programmatic kernel construction.
+//!
+//! [`KernelBuilder`] is used by the synthetic workload generators
+//! (`barracuda-workloads`) to build Table-1-scale kernels without going
+//! through text, and by tests that need small ad-hoc kernels.
+
+use crate::ast::*;
+
+/// Incrementally builds a [`Kernel`].
+///
+/// # Example
+///
+/// ```
+/// use barracuda_ptx::builder::KernelBuilder;
+/// use barracuda_ptx::ast::{RegClass, Space, Type, Address, Operand, SpecialReg, Dim, Op};
+///
+/// let mut b = KernelBuilder::new("incr");
+/// b.param("buf", Type::U64);
+/// let rd = b.reg("%rd1", RegClass::B64);
+/// let r = b.reg("%r1", RegClass::B32);
+/// b.push(Op::Ld { space: Space::Param, cache: None, volatile: false,
+///                 ty: Type::U64, dst: rd, addr: Address::sym("buf") });
+/// b.push(Op::Ld { space: Space::Global, cache: None, volatile: false,
+///                 ty: Type::U32, dst: r, addr: Address::reg(rd) });
+/// b.push(Op::Bin { op: barracuda_ptx::ast::BinOp::Add, ty: Type::S32,
+///                  dst: r, a: Operand::Reg(r), b: Operand::Imm(1) });
+/// b.push(Op::St { space: Space::Global, cache: None, volatile: false,
+///                 ty: Type::U32, addr: Address::reg(rd), src: Operand::Reg(r) });
+/// b.push(Op::Ret);
+/// let kernel = b.build();
+/// assert_eq!(kernel.static_instruction_count(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<Param>,
+    regs: RegFile,
+    shared: Vec<SharedDecl>,
+    stmts: Vec<Statement>,
+    next_label: u32,
+}
+
+impl KernelBuilder {
+    /// Starts building a kernel with the given entry name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            regs: RegFile::new(),
+            shared: Vec::new(),
+            stmts: Vec::new(),
+            next_label: 0,
+        }
+    }
+
+    /// Adds a kernel parameter.
+    pub fn param(&mut self, name: impl Into<String>, ty: Type) -> &mut Self {
+        self.params.push(Param { name: name.into(), ty });
+        self
+    }
+
+    /// Declares a named register.
+    pub fn reg(&mut self, name: impl Into<String>, class: RegClass) -> Reg {
+        self.regs.declare(name, class)
+    }
+
+    /// Allocates an anonymous register.
+    pub fn fresh(&mut self, class: RegClass) -> Reg {
+        self.regs.alloc(class)
+    }
+
+    /// Declares a `.shared` array of `size` bytes, returning its name.
+    pub fn shared(&mut self, name: impl Into<String>, size: u64, align: u32) -> String {
+        let name = name.into();
+        let prev_end = self.shared.iter().map(|s| s.offset + s.size).max().unwrap_or(0);
+        let a = u64::from(align.max(1));
+        let offset = prev_end.div_ceil(a) * a;
+        self.shared.push(SharedDecl { name: name.clone(), align, size, offset });
+        name
+    }
+
+    /// Appends an unguarded instruction.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.stmts.push(Statement::Instr(Instruction::new(op)));
+        self
+    }
+
+    /// Appends a guarded instruction.
+    pub fn push_guarded(&mut self, pred: Reg, negated: bool, op: Op) -> &mut Self {
+        self.stmts.push(Statement::Instr(Instruction::guarded(pred, negated, op)));
+        self
+    }
+
+    /// Emits a label with the given name.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        self.stmts.push(Statement::Label(name.into()));
+        self
+    }
+
+    /// Generates a fresh, unique label name (not yet emitted).
+    pub fn fresh_label(&mut self, hint: &str) -> String {
+        let l = format!("L_{hint}_{}", self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Convenience: `mov.u32 dst, %tid.x` etc. — loads a special register.
+    pub fn mov_special(&mut self, dst: Reg, sr: SpecialReg) -> &mut Self {
+        self.push(Op::Mov { ty: Type::U32, dst, src: Operand::Special(sr) })
+    }
+
+    /// Convenience: computes the global linear thread id
+    /// `ctaid.x * ntid.x + tid.x` into a fresh b32 register.
+    pub fn linear_tid(&mut self) -> Reg {
+        let tid = self.fresh(RegClass::B32);
+        let ctaid = self.fresh(RegClass::B32);
+        let ntid = self.fresh(RegClass::B32);
+        let out = self.fresh(RegClass::B32);
+        self.mov_special(tid, SpecialReg::Tid(Dim::X));
+        self.mov_special(ctaid, SpecialReg::Ctaid(Dim::X));
+        self.mov_special(ntid, SpecialReg::Ntid(Dim::X));
+        self.push(Op::Mad {
+            mode: MulMode::Lo,
+            ty: Type::S32,
+            dst: out,
+            a: Operand::Reg(ctaid),
+            b: Operand::Reg(ntid),
+            c: Operand::Reg(tid),
+        });
+        out
+    }
+
+    /// Convenience: loads a `.param .u64` pointer into a fresh b64 register.
+    pub fn load_param_ptr(&mut self, name: &str) -> Reg {
+        let rd = self.fresh(RegClass::B64);
+        self.push(Op::Ld {
+            space: Space::Param,
+            cache: None,
+            volatile: false,
+            ty: Type::U64,
+            dst: rd,
+            addr: Address::sym(name),
+        });
+        rd
+    }
+
+    /// Convenience: `addr = base + idx32 * scale` into a fresh b64 register.
+    pub fn index_addr(&mut self, base: Reg, idx: Reg, scale: i64) -> Reg {
+        let off = self.fresh(RegClass::B64);
+        let out = self.fresh(RegClass::B64);
+        self.push(Op::Mul {
+            mode: MulMode::Wide,
+            ty: Type::S32,
+            dst: off,
+            a: Operand::Reg(idx),
+            b: Operand::Imm(scale),
+        });
+        self.push(Op::Bin {
+            op: BinOp::Add,
+            ty: Type::S64,
+            dst: out,
+            a: Operand::Reg(base),
+            b: Operand::Reg(off),
+        });
+        out
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s, Statement::Instr(_)))
+            .count()
+    }
+
+    /// True if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finishes the kernel.
+    pub fn build(self) -> Kernel {
+        Kernel {
+            name: self.name,
+            params: self.params,
+            regs: self.regs,
+            shared: self.shared,
+            stmts: self.stmts,
+        }
+    }
+
+    /// Finishes the kernel and wraps it in a single-kernel [`Module`].
+    pub fn build_module(self) -> Module {
+        let mut m = Module::new();
+        m.kernels.push(self.build());
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Cfg, FlatKernel};
+    use crate::printer::print_module;
+
+    #[test]
+    fn builder_produces_parsable_module() {
+        let mut b = KernelBuilder::new("k");
+        b.param("buf", Type::U64);
+        let tid = b.linear_tid();
+        let ptr = b.load_param_ptr("buf");
+        let addr = b.index_addr(ptr, tid, 4);
+        b.push(Op::St {
+            space: Space::Global,
+            cache: None,
+            volatile: false,
+            ty: Type::U32,
+            addr: Address::reg(addr),
+            src: Operand::Reg(tid),
+        });
+        b.push(Op::Ret);
+        let m = b.build_module();
+        let text = print_module(&m);
+        let m2 = crate::parse(&text).expect("builder output must reparse");
+        assert_eq!(m.kernels[0].stmts, m2.kernels[0].stmts);
+    }
+
+    #[test]
+    fn fresh_labels_are_unique() {
+        let mut b = KernelBuilder::new("k");
+        let l1 = b.fresh_label("loop");
+        let l2 = b.fresh_label("loop");
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn builder_shared_layout_matches_parser_rules() {
+        let mut b = KernelBuilder::new("k");
+        b.shared("a", 10, 4);
+        b.shared("b", 8, 8);
+        b.push(Op::Ret);
+        let k = b.build();
+        assert_eq!(k.shared_offset("a"), Some(0));
+        assert_eq!(k.shared_offset("b"), Some(16));
+    }
+
+    #[test]
+    fn built_kernels_have_valid_cfgs() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.reg("%p", RegClass::Pred);
+        let r = b.reg("%r1", RegClass::B32);
+        let end = b.fresh_label("end");
+        b.push(Op::Setp { cmp: CmpOp::Eq, ty: Type::S32, dst: p, a: Operand::Reg(r), b: Operand::Imm(0) });
+        b.push_guarded(p, false, Op::Bra { uni: false, target: end.clone() });
+        b.push(Op::Mov { ty: Type::U32, dst: r, src: Operand::Imm(1) });
+        b.label(end);
+        b.push(Op::Ret);
+        let k = b.build();
+        let flat = FlatKernel::from_kernel(&k);
+        let cfg = Cfg::build(&flat);
+        assert_eq!(cfg.blocks.len(), 3);
+    }
+}

@@ -1,0 +1,466 @@
+//! Control-flow graphs, dominators and post-dominators.
+//!
+//! The SIMT simulator uses the *immediate post-dominator* of a conditional
+//! branch as its reconvergence point, matching the hardware SIMT-stack
+//! behaviour described by Fung et al. (paper reference [24]) that BARRACUDA
+//! models with its `if`/`else`/`fi` trace operations.
+
+use crate::ast::{Instruction, Kernel, Op, Statement};
+use std::collections::HashMap;
+
+/// Basic-block identifier (index into [`Cfg::blocks`]).
+pub type BlockId = usize;
+
+/// How a basic block transfers control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // payloads are self-describing
+pub enum Terminator {
+    /// Falls through to the next block (no branch at the end).
+    Fallthrough(BlockId),
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional (guarded) branch: taken target and fallthrough.
+    CondJump { taken: BlockId, fallthrough: BlockId },
+    /// Kernel exit (`ret`/`exit`, or a branch past the last instruction).
+    Exit,
+}
+
+/// A basic block: the half-open instruction range `[start, end)` in the
+/// flattened instruction list.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// How control leaves the block.
+    pub term: Terminator,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+impl Block {
+    /// Successor blocks of this block.
+    pub fn succs(&self) -> Vec<BlockId> {
+        match self.term {
+            Terminator::Fallthrough(b) | Terminator::Jump(b) => vec![b],
+            Terminator::CondJump { taken, fallthrough } => {
+                if taken == fallthrough {
+                    vec![taken]
+                } else {
+                    vec![taken, fallthrough]
+                }
+            }
+            Terminator::Exit => vec![],
+        }
+    }
+}
+
+/// A kernel flattened to an instruction array with resolved labels.
+#[derive(Debug, Clone)]
+pub struct FlatKernel {
+    /// Instructions in order (labels removed).
+    pub instrs: Vec<Instruction>,
+    /// Label name → index of the first instruction at/after the label.
+    /// A label at the very end of the body maps to `instrs.len()`.
+    pub labels: HashMap<String, usize>,
+}
+
+impl FlatKernel {
+    /// Flattens a kernel's statement list.
+    pub fn from_kernel(kernel: &Kernel) -> Self {
+        let mut instrs = Vec::new();
+        let mut labels = HashMap::new();
+        for stmt in &kernel.stmts {
+            match stmt {
+                Statement::Label(l) => {
+                    labels.insert(l.clone(), instrs.len());
+                }
+                Statement::Instr(i) => instrs.push(i.clone()),
+            }
+        }
+        FlatKernel { instrs, labels }
+    }
+
+    /// Resolves a branch target to an instruction index (`instrs.len()`
+    /// means "exit").
+    pub fn target(&self, label: &str) -> Option<usize> {
+        self.labels.get(label).copied()
+    }
+}
+
+/// Control-flow graph over a [`FlatKernel`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in layout order.
+    pub blocks: Vec<Block>,
+    /// Instruction index → owning block.
+    pub block_of: Vec<BlockId>,
+    /// Immediate post-dominator of each block (`None` when the block cannot
+    /// reach the exit, e.g. inside an infinite loop).
+    ipdom: Vec<Option<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG and post-dominator tree for a flattened kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a branch targets an unknown label (the parser validates
+    /// this, so it indicates a malformed hand-built kernel).
+    pub fn build(flat: &FlatKernel) -> Self {
+        let n = flat.instrs.len();
+        if n == 0 {
+            return Cfg { blocks: vec![], block_of: vec![], ipdom: vec![] };
+        }
+        // 1. Identify leaders.
+        let mut leader = vec![false; n + 1];
+        leader[0] = true;
+        for (i, instr) in flat.instrs.iter().enumerate() {
+            match &instr.op {
+                Op::Bra { target, .. } => {
+                    let t = flat
+                        .target(target)
+                        .unwrap_or_else(|| panic!("unknown branch target {target}"));
+                    if t < n {
+                        leader[t] = true;
+                    }
+                    if i < n {
+                        leader[(i + 1).min(n)] = true;
+                    }
+                }
+                Op::Ret | Op::Exit => {
+                    leader[(i + 1).min(n)] = true;
+                }
+                _ => {}
+            }
+        }
+        // 2. Build blocks.
+        let mut starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        starts.push(n);
+        let mut block_of = vec![0usize; n];
+        let mut block_start = HashMap::new();
+        for (b, w) in starts.windows(2).enumerate() {
+            block_start.insert(w[0], b);
+            for slot in &mut block_of[w[0]..w[1]] {
+                *slot = b;
+            }
+        }
+        let nb = starts.len() - 1;
+        let block_at = |idx: usize| -> Option<BlockId> {
+            if idx >= n {
+                None
+            } else {
+                Some(block_of[idx])
+            }
+        };
+        let mut blocks = Vec::with_capacity(nb);
+        for (b, w) in starts.windows(2).enumerate() {
+            let (start, end) = (w[0], w[1]);
+            let last = &flat.instrs[end - 1];
+            let term = match &last.op {
+                Op::Bra { target, .. } => {
+                    let t = flat.target(target).expect("validated");
+                    match (block_at(t), last.guard.is_some()) {
+                        (Some(tb), false) => Terminator::Jump(tb),
+                        (None, false) => Terminator::Exit,
+                        (tb, true) => {
+                            let fall = block_at(end);
+                            match (tb, fall) {
+                                (Some(tb), Some(f)) => Terminator::CondJump { taken: tb, fallthrough: f },
+                                (Some(tb), None) => Terminator::CondJump { taken: tb, fallthrough: tb },
+                                // Conditional jump to exit: model as a jump to a
+                                // virtual exit from either path.
+                                (None, Some(f)) => Terminator::CondJump { taken: f, fallthrough: f },
+                                (None, None) => Terminator::Exit,
+                            }
+                        }
+                    }
+                }
+                Op::Ret | Op::Exit => Terminator::Exit,
+                _ => match block_at(end) {
+                    Some(f) => Terminator::Fallthrough(f),
+                    None => Terminator::Exit,
+                },
+            };
+            let _ = b;
+            blocks.push(Block { start, end, term, preds: vec![] });
+        }
+        // 3. Predecessors.
+        for b in 0..nb {
+            for s in blocks[b].succs() {
+                blocks[s].preds.push(b);
+            }
+        }
+        // 4. Post-dominators: dominators of the reversed CFG rooted at a
+        // virtual exit node (id = nb).
+        let exit = nb;
+        let rev_succs: Vec<Vec<usize>> = (0..=nb)
+            .map(|v| {
+                if v == exit {
+                    (0..nb)
+                        .filter(|&b| matches!(blocks[b].term, Terminator::Exit))
+                        .collect()
+                } else {
+                    blocks[v].preds.clone()
+                }
+            })
+            .collect();
+        let rev_preds: Vec<Vec<usize>> = {
+            let mut p = vec![Vec::new(); nb + 1];
+            for (v, ss) in rev_succs.iter().enumerate() {
+                for &s in ss {
+                    p[s].push(v);
+                }
+            }
+            p
+        };
+        let idom = dominators(nb + 1, exit, &rev_succs, &rev_preds);
+        let ipdom = (0..nb)
+            .map(|b| match idom[b] {
+                Some(d) if d != exit => Some(d),
+                _ => None,
+            })
+            .collect();
+        Cfg { blocks, block_of, ipdom }
+    }
+
+    /// Immediate post-dominator of `b`, or `None` if control from `b` never
+    /// rejoins before exit.
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b]
+    }
+
+    /// The reconvergence *instruction index* for a conditional branch ending
+    /// block `b`: the start of the immediate post-dominator block, or
+    /// `None` when the paths only rejoin at kernel exit.
+    pub fn reconvergence_point(&self, b: BlockId) -> Option<usize> {
+        self.ipdom(b).map(|d| self.blocks[d].start)
+    }
+}
+
+/// Iterative dominator computation (Cooper–Harvey–Kennedy) on an arbitrary
+/// graph given per-node successor and predecessor lists. Returns, for each
+/// node, its immediate dominator (the root dominates itself). Nodes
+/// unreachable from the root get `None`.
+fn dominators(
+    n: usize,
+    root: usize,
+    succs: &[Vec<usize>],
+    preds: &[Vec<usize>],
+) -> Vec<Option<usize>> {
+    // Reverse post-order from root.
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut stack = vec![(root, 0usize)];
+    visited[root] = true;
+    while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+        if *ci < succs[v].len() {
+            let c = succs[v][*ci];
+            *ci += 1;
+            if !visited[c] {
+                visited[c] = true;
+                stack.push((c, 0));
+            }
+        } else {
+            order.push(v);
+            stack.pop();
+        }
+    }
+    order.reverse(); // now RPO
+    let mut rpo_num = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        rpo_num[v] = i;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root] = Some(root);
+    let intersect = |idom: &[Option<usize>], rpo_num: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while rpo_num[a] > rpo_num[b] {
+                a = idom[a].expect("processed");
+            }
+            while rpo_num[b] > rpo_num[a] {
+                b = idom[b].expect("processed");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &v in order.iter().skip(1) {
+            let mut new_idom = None;
+            for &p in &preds[v] {
+                if idom[p].is_some() {
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_num, p, cur),
+                    });
+                }
+            }
+            if new_idom.is_some() && idom[v] != new_idom {
+                idom[v] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom[root] = None; // root has no strict dominator; callers special-case it
+    let mut res = idom;
+    res[root] = Some(root);
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn cfg_of(body: &str) -> (FlatKernel, Cfg) {
+        let src = format!(
+            ".version 4.3\n.target sm_35\n.address_size 64\n.visible .entry k()\n{{\n{body}\n}}"
+        );
+        let m = parse(&src).unwrap();
+        let flat = FlatKernel::from_kernel(&m.kernels[0]);
+        let cfg = Cfg::build(&flat);
+        (flat, cfg)
+    }
+
+    #[test]
+    fn straight_line_single_block() {
+        let (_, cfg) = cfg_of(".reg .b32 %r<3>;\nmov.u32 %r1, 1;\nadd.s32 %r2, %r1, 1;\nret;");
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].term, Terminator::Exit);
+    }
+
+    #[test]
+    fn if_else_diamond() {
+        // b0: setp, cond-bra L_else ; b1: then ; b2(L_else): else ; b3(L_end): join
+        let (_, cfg) = cfg_of(
+            ".reg .pred %p;\n.reg .b32 %r<4>;\n\
+             setp.eq.s32 %p, %r1, 0;\n\
+             @%p bra L_else;\n\
+             mov.u32 %r2, 1;\n\
+             bra.uni L_end;\n\
+             L_else:\n\
+             mov.u32 %r2, 2;\n\
+             L_end:\n\
+             mov.u32 %r3, %r2;\n\
+             ret;",
+        );
+        assert_eq!(cfg.blocks.len(), 4);
+        match cfg.blocks[0].term {
+            Terminator::CondJump { taken, fallthrough } => {
+                assert_eq!(taken, 2);
+                assert_eq!(fallthrough, 1);
+            }
+            ref t => panic!("{t:?}"),
+        }
+        // The branch block's ipdom is the join block.
+        assert_eq!(cfg.ipdom(0), Some(3));
+        assert_eq!(cfg.ipdom(1), Some(3));
+        assert_eq!(cfg.ipdom(2), Some(3));
+        assert_eq!(cfg.ipdom(3), None);
+        // Reconvergence instruction: start of block 3.
+        assert_eq!(cfg.reconvergence_point(0), Some(cfg.blocks[3].start));
+    }
+
+    #[test]
+    fn triangle_if_without_else() {
+        let (_, cfg) = cfg_of(
+            ".reg .pred %p;\n.reg .b32 %r<4>;\n\
+             setp.eq.s32 %p, %r1, 0;\n\
+             @%p bra L_end;\n\
+             mov.u32 %r2, 1;\n\
+             L_end:\n\
+             ret;",
+        );
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.ipdom(0), Some(2));
+    }
+
+    #[test]
+    fn loop_backward_branch() {
+        let (_, cfg) = cfg_of(
+            ".reg .pred %p;\n.reg .b32 %r<4>;\n\
+             mov.u32 %r1, 0;\n\
+             L_loop:\n\
+             add.s32 %r1, %r1, 1;\n\
+             setp.lt.s32 %p, %r1, 10;\n\
+             @%p bra L_loop;\n\
+             ret;",
+        );
+        // b0: entry, b1: loop body (branch), b2: exit
+        assert_eq!(cfg.blocks.len(), 3);
+        match cfg.blocks[1].term {
+            Terminator::CondJump { taken, fallthrough } => {
+                assert_eq!(taken, 1);
+                assert_eq!(fallthrough, 2);
+            }
+            ref t => panic!("{t:?}"),
+        }
+        // Loop branch reconverges at the block after the loop.
+        assert_eq!(cfg.ipdom(1), Some(2));
+    }
+
+    #[test]
+    fn infinite_loop_has_no_ipdom() {
+        let (_, cfg) = cfg_of(
+            ".reg .b32 %r<2>;\n\
+             L:\n\
+             add.s32 %r1, %r1, 1;\n\
+             bra.uni L;\n\
+             ret;",
+        );
+        // The loop block cannot reach exit.
+        assert_eq!(cfg.ipdom(0), None);
+    }
+
+    #[test]
+    fn nested_if() {
+        let (_, cfg) = cfg_of(
+            ".reg .pred %p<3>;\n.reg .b32 %r<6>;\n\
+             setp.eq.s32 %p1, %r1, 0;\n\
+             @%p1 bra L_outer_end;\n\
+             setp.eq.s32 %p2, %r2, 0;\n\
+             @%p2 bra L_inner_end;\n\
+             mov.u32 %r3, 1;\n\
+             L_inner_end:\n\
+             mov.u32 %r4, 2;\n\
+             L_outer_end:\n\
+             ret;",
+        );
+        // Blocks: 0 (outer branch), 1 (inner branch), 2 (inner then),
+        // 3 (inner join), 4 (outer join).
+        assert_eq!(cfg.blocks.len(), 5);
+        assert_eq!(cfg.ipdom(0), Some(4));
+        assert_eq!(cfg.ipdom(1), Some(3));
+    }
+
+    #[test]
+    fn block_of_maps_every_instruction() {
+        let (flat, cfg) = cfg_of(
+            ".reg .pred %p;\n.reg .b32 %r<4>;\n\
+             setp.eq.s32 %p, %r1, 0;\n\
+             @%p bra L;\n\
+             mov.u32 %r2, 1;\n\
+             L:\n\
+             ret;",
+        );
+        assert_eq!(cfg.block_of.len(), flat.instrs.len());
+        for (i, &b) in cfg.block_of.iter().enumerate() {
+            assert!(cfg.blocks[b].start <= i && i < cfg.blocks[b].end);
+        }
+    }
+
+    #[test]
+    fn branch_to_end_label_is_exit() {
+        let (_, cfg) = cfg_of(
+            ".reg .b32 %r<2>;\n\
+             bra.uni L_done;\n\
+             L_done:",
+        );
+        // Label at very end: branch resolves past last instruction → Exit.
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].term, Terminator::Exit);
+    }
+}

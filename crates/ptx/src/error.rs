@@ -1,0 +1,36 @@
+use std::fmt;
+
+/// Error produced while lexing, parsing or validating PTX source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PtxError {
+    line: u32,
+    message: String,
+}
+
+impl PtxError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> Self {
+        PtxError { line, message: message.into() }
+    }
+
+    /// 1-based source line the error was detected on (0 if unknown).
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for PtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "ptx parse error at line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "ptx error: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for PtxError {}

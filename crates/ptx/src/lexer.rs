@@ -1,0 +1,339 @@
+//! Hand-rolled lexer for PTX source text.
+//!
+//! Produces a flat token stream with line numbers for error reporting.
+//! Comments (`//` and `/* */`) are stripped.
+
+use crate::error::PtxError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variants are self-describing
+pub enum Tok {
+    /// Identifier or dotted directive head (without the leading dot), e.g.
+    /// `ld`, `kernel_name`. Dots *inside* instruction mnemonics are split
+    /// into [`Tok::Dot`]-separated identifiers.
+    Ident(String),
+    /// A directive: identifier preceded by `.`, e.g. `.version` → `version`.
+    /// Only produced at the *start* of a directive; mnemonic suffixes use
+    /// `Dot` + `Ident`.
+    Dot,
+    /// Register token including sigil, e.g. `%r1`, `%tid` (suffix `.x`
+    /// arrives as `Dot` + `Ident`).
+    Reg(String),
+    /// Integer literal (decimal or hex), value as written.
+    Int(i64),
+    /// Float literal (`1.5`, `0f3F800000`, `0d...`).
+    Float(f64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LAngle,
+    RAngle,
+    Comma,
+    Semi,
+    Colon,
+    Plus,
+    At,
+    Bang,
+}
+
+/// Token tagged with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexes PTX source into tokens.
+///
+/// # Errors
+///
+/// Returns [`PtxError`] on unterminated block comments, malformed numeric
+/// literals or unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, PtxError> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(PtxError::new(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'{' => push(&mut toks, Tok::LBrace, line, &mut i),
+            b'}' => push(&mut toks, Tok::RBrace, line, &mut i),
+            b'(' => push(&mut toks, Tok::LParen, line, &mut i),
+            b')' => push(&mut toks, Tok::RParen, line, &mut i),
+            b'[' => push(&mut toks, Tok::LBracket, line, &mut i),
+            b']' => push(&mut toks, Tok::RBracket, line, &mut i),
+            b'<' => push(&mut toks, Tok::LAngle, line, &mut i),
+            b'>' => push(&mut toks, Tok::RAngle, line, &mut i),
+            b',' => push(&mut toks, Tok::Comma, line, &mut i),
+            b';' => push(&mut toks, Tok::Semi, line, &mut i),
+            b':' => push(&mut toks, Tok::Colon, line, &mut i),
+            b'+' => push(&mut toks, Tok::Plus, line, &mut i),
+            b'@' => push(&mut toks, Tok::At, line, &mut i),
+            b'!' => push(&mut toks, Tok::Bang, line, &mut i),
+            b'.' => push(&mut toks, Tok::Dot, line, &mut i),
+            b'%' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$') {
+                    i += 1;
+                }
+                if i == start + 1 {
+                    return Err(PtxError::new(line, "bare '%' without register name"));
+                }
+                toks.push(Token { tok: Tok::Reg(source[start..i].to_string()), line });
+            }
+            b'-' | b'0'..=b'9' => {
+                let (tok, len) = lex_number(&source[i..], line)?;
+                toks.push(Token { tok, line });
+                i += len;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                toks.push(Token { tok: Tok::Ident(source[start..i].to_string()), line });
+            }
+            other => {
+                return Err(PtxError::new(line, format!("unexpected character {:?}", other as char)));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn push(toks: &mut Vec<Token>, tok: Tok, line: u32, i: &mut usize) {
+    toks.push(Token { tok, line });
+    *i += 1;
+}
+
+/// Lexes a numeric literal at the start of `s`; returns the token and
+/// consumed byte length.
+fn lex_number(s: &str, line: u32) -> Result<(Tok, usize), PtxError> {
+    let bytes = s.as_bytes();
+    let neg = bytes[0] == b'-';
+    let i = usize::from(neg);
+    if i >= bytes.len() || !bytes[i].is_ascii_digit() {
+        return Err(PtxError::new(line, "bare '-' without numeric literal"));
+    }
+    // PTX float-bits literals: 0fXXXXXXXX (f32 bits) and 0dXXXXXXXXXXXXXXXX.
+    if bytes[i] == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'f' {
+        let hex_start = i + 2;
+        let mut j = hex_start;
+        while j < bytes.len() && bytes[j].is_ascii_hexdigit() {
+            j += 1;
+        }
+        if j - hex_start == 8 {
+            let bits = u32::from_str_radix(&s[hex_start..j], 16)
+                .map_err(|_| PtxError::new(line, "bad 0f literal"))?;
+            let mut v = f32::from_bits(bits) as f64;
+            if neg {
+                v = -v;
+            }
+            return Ok((Tok::Float(v), j));
+        }
+        return Err(PtxError::new(line, "0f literal requires 8 hex digits"));
+    }
+    if bytes[i] == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'd' {
+        let hex_start = i + 2;
+        let mut j = hex_start;
+        while j < bytes.len() && bytes[j].is_ascii_hexdigit() {
+            j += 1;
+        }
+        if j - hex_start == 16 {
+            let bits = u64::from_str_radix(&s[hex_start..j], 16)
+                .map_err(|_| PtxError::new(line, "bad 0d literal"))?;
+            let mut v = f64::from_bits(bits);
+            if neg {
+                v = -v;
+            }
+            return Ok((Tok::Float(v), j));
+        }
+        return Err(PtxError::new(line, "0d literal requires 16 hex digits"));
+    }
+    // Hex integer.
+    if bytes[i] == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'x' {
+        let hex_start = i + 2;
+        let mut j = hex_start;
+        while j < bytes.len() && bytes[j].is_ascii_hexdigit() {
+            j += 1;
+        }
+        if j == hex_start {
+            return Err(PtxError::new(line, "empty hex literal"));
+        }
+        let mag = u64::from_str_radix(&s[hex_start..j], 16)
+            .map_err(|_| PtxError::new(line, "hex literal out of range"))?;
+        let v = if neg { (mag as i64).wrapping_neg() } else { mag as i64 };
+        return Ok((Tok::Int(v), j));
+    }
+    // Decimal integer or float.
+    let mut j = i;
+    while j < bytes.len() && bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    let is_float = j < bytes.len()
+        && bytes[j] == b'.'
+        && j + 1 < bytes.len()
+        && bytes[j + 1].is_ascii_digit();
+    if is_float {
+        j += 1;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        if j < bytes.len() && (bytes[j] | 0x20) == b'e' {
+            j += 1;
+            if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                j += 1;
+            }
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+        let v: f64 = s[..j]
+            .parse()
+            .map_err(|_| PtxError::new(line, "bad float literal"))?;
+        Ok((Tok::Float(v), j))
+    } else {
+        let mag: u64 = s[i..j]
+            .parse()
+            .map_err(|_| PtxError::new(line, "integer literal out of range"))?;
+        let v = if neg { (mag as i64).wrapping_neg() } else { mag as i64 };
+        Ok((Tok::Int(v), j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("ld.global.u32 %r1, [%rd2+4];"),
+            vec![
+                Tok::Ident("ld".into()),
+                Tok::Dot,
+                Tok::Ident("global".into()),
+                Tok::Dot,
+                Tok::Ident("u32".into()),
+                Tok::Reg("%r1".into()),
+                Tok::Comma,
+                Tok::LBracket,
+                Tok::Reg("%rd2".into()),
+                Tok::Plus,
+                Tok::Int(4),
+                Tok::RBracket,
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("ret; // trailing\n/* block\ncomment */ exit;"),
+            vec![Tok::Ident("ret".into()), Tok::Semi, Tok::Ident("exit".into()), Tok::Semi]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(toks("42"), vec![Tok::Int(42)]);
+        assert_eq!(toks("-7"), vec![Tok::Int(-7)]);
+        assert_eq!(toks("0x1F"), vec![Tok::Int(31)]);
+        assert_eq!(toks("1.5"), vec![Tok::Float(1.5)]);
+        assert_eq!(toks("0f3F800000"), vec![Tok::Float(1.0)]);
+        assert_eq!(toks("0d3FF0000000000000"), vec![Tok::Float(1.0)]);
+    }
+
+    #[test]
+    fn guard_tokens() {
+        assert_eq!(
+            toks("@!%p1 bra L;"),
+            vec![
+                Tok::At,
+                Tok::Bang,
+                Tok::Reg("%p1".into()),
+                Tok::Ident("bra".into()),
+                Tok::Ident("L".into()),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = ts.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn special_register_with_dim() {
+        assert_eq!(
+            toks("mov.u32 %r1, %tid.x;"),
+            vec![
+                Tok::Ident("mov".into()),
+                Tok::Dot,
+                Tok::Ident("u32".into()),
+                Tok::Reg("%r1".into()),
+                Tok::Comma,
+                Tok::Reg("%tid".into()),
+                Tok::Dot,
+                Tok::Ident("x".into()),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("ld # st").is_err());
+        assert!(lex("%").is_err());
+    }
+}

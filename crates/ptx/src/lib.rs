@@ -1,0 +1,68 @@
+//! PTX (Parallel Thread eXecution) virtual assembly: parsing, analysis and
+//! printing.
+//!
+//! This crate implements the PTX substrate that BARRACUDA's binary
+//! instrumentation framework operates on (paper §4.1). It provides:
+//!
+//! * a typed AST for a practical subset of PTX ([`ast`]),
+//! * a lexer and recursive-descent parser ([`parser`]),
+//! * a printer that emits loadable PTX text, so instrumented modules
+//!   round-trip ([`printer`]),
+//! * control-flow graphs with dominator / post-dominator analysis used for
+//!   branch reconvergence ([`cfg`]),
+//! * a [`builder::KernelBuilder`] for programmatic kernel construction
+//!   (used by the synthetic workload generators).
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), barracuda_ptx::PtxError> {
+//! let module = barracuda_ptx::parse(
+//!     r#"
+//!     .version 4.3
+//!     .target sm_35
+//!     .address_size 64
+//!     .visible .entry incr(.param .u64 buf)
+//!     {
+//!         .reg .b32 %r<4>;
+//!         .reg .b64 %rd<4>;
+//!         ld.param.u64 %rd1, [buf];
+//!         ld.global.u32 %r1, [%rd1];
+//!         add.s32 %r1, %r1, 1;
+//!         st.global.u32 [%rd1], %r1;
+//!         ret;
+//!     }
+//!     "#,
+//! )?;
+//! assert_eq!(module.kernels.len(), 1);
+//! assert_eq!(module.kernels[0].name, "incr");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod cfg;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+mod error;
+
+pub use ast::{Instruction, Kernel, Module, Op, Reg, Space, Type};
+pub use builder::KernelBuilder;
+pub use cfg::Cfg;
+pub use error::PtxError;
+
+/// Parses a PTX module from source text.
+///
+/// # Errors
+///
+/// Returns [`PtxError`] if the source is not syntactically valid PTX (in the
+/// subset this crate supports) or fails semantic validation (undeclared
+/// registers, type/width mismatches on register classes, duplicate labels).
+pub fn parse(source: &str) -> Result<Module, PtxError> {
+    parser::parse_module(source)
+}

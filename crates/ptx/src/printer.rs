@@ -1,0 +1,327 @@
+//! PTX printer: emits modules back to loadable PTX text.
+//!
+//! The instrumentation framework rewrites parsed modules and re-emits them
+//! for loading into the simulator, mirroring the paper's pipeline of
+//! regenerating a fat binary with instrumented PTX (§4.1). Printing then
+//! re-parsing a module yields a structurally identical module (round-trip
+//! property, tested here and under proptest in the crate's test suite).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Prints a module as PTX source text.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".version {}.{}", m.version.0, m.version.1);
+    let _ = writeln!(out, ".target {}", m.target);
+    let _ = writeln!(out, ".address_size {}", m.address_size);
+    for k in &m.kernels {
+        out.push('\n');
+        print_kernel(&mut out, k);
+    }
+    out
+}
+
+fn print_kernel(out: &mut String, k: &Kernel) {
+    let _ = write!(out, ".visible .entry {}(", k.name);
+    for (i, p) in k.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, ".param .{} {}", p.ty, p.name);
+    }
+    out.push_str(")\n{\n");
+    // Register declarations, one per register (simplest round-trippable form).
+    for (_, info) in k.regs.iter() {
+        let class = match info.class {
+            RegClass::Pred => "pred",
+            RegClass::B32 => "b32",
+            RegClass::B64 => "b64",
+            RegClass::F32 => "f32",
+            RegClass::F64 => "f64",
+        };
+        let _ = writeln!(out, "    .reg .{class} {};", info.name);
+    }
+    let mut decls: Vec<&SharedDecl> = k.shared.iter().collect();
+    decls.sort_by_key(|d| d.offset);
+    for d in decls {
+        let _ = writeln!(out, "    .shared .align {} .b8 {}[{}];", d.align, d.name, d.size);
+    }
+    for stmt in &k.stmts {
+        match stmt {
+            Statement::Label(l) => {
+                let _ = writeln!(out, "{l}:");
+            }
+            Statement::Instr(instr) => {
+                out.push_str("    ");
+                print_instruction(out, k, instr);
+                out.push('\n');
+            }
+        }
+    }
+    out.push_str("}\n");
+}
+
+/// Prints a single instruction (without trailing newline).
+pub fn print_instruction(out: &mut String, k: &Kernel, instr: &Instruction) {
+    if let Some(g) = instr.guard {
+        let bang = if g.negated { "!" } else { "" };
+        let _ = write!(out, "@{bang}{} ", k.regs.info(g.pred).name);
+    }
+    print_op(out, k, &instr.op);
+    out.push(';');
+}
+
+fn reg_name(k: &Kernel, r: Reg) -> &str {
+    &k.regs.info(r).name
+}
+
+fn print_operand(out: &mut String, k: &Kernel, o: &Operand) {
+    match o {
+        Operand::Reg(r) => out.push_str(reg_name(k, *r)),
+        Operand::Imm(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Operand::FImm(v) => {
+            // Bit-exact float round-trip via the 0d form.
+            let _ = write!(out, "0d{:016X}", v.to_bits());
+        }
+        Operand::Special(s) => out.push_str(&s.name()),
+        Operand::Sym(s) => out.push_str(s),
+    }
+}
+
+fn print_address(out: &mut String, k: &Kernel, a: &Address) {
+    out.push('[');
+    match &a.base {
+        AddrBase::Reg(r) => out.push_str(reg_name(k, *r)),
+        AddrBase::Sym(s) => out.push_str(s),
+    }
+    if a.offset != 0 {
+        let _ = write!(out, "+{}", a.offset);
+    }
+    out.push(']');
+}
+
+fn space_dot(space: Space) -> String {
+    if space == Space::Generic {
+        String::new()
+    } else {
+        format!(".{}", space.name())
+    }
+}
+
+fn print_op(out: &mut String, k: &Kernel, op: &Op) {
+    match op {
+        Op::Ld { space, cache, volatile, ty, dst, addr } => {
+            let vol = if *volatile { ".volatile" } else { "" };
+            let c = cache.map(|c| format!(".{}", c.name())).unwrap_or_default();
+            let _ = write!(out, "ld{vol}{}{c}.{ty} {}, ", space_dot(*space), reg_name(k, *dst));
+            print_address(out, k, addr);
+        }
+        Op::St { space, cache, volatile, ty, addr, src } => {
+            let vol = if *volatile { ".volatile" } else { "" };
+            let c = cache.map(|c| format!(".{}", c.name())).unwrap_or_default();
+            let _ = write!(out, "st{vol}{}{c}.{ty} ", space_dot(*space));
+            print_address(out, k, addr);
+            out.push_str(", ");
+            print_operand(out, k, src);
+        }
+        Op::LdVec { space, cache, volatile, ty, dsts, addr } => {
+            let vol = if *volatile { ".volatile" } else { "" };
+            let c = cache.map(|c| format!(".{}", c.name())).unwrap_or_default();
+            let vn = if dsts.len() == 2 { "v2" } else { "v4" };
+            let _ = write!(out, "ld{vol}{}{c}.{vn}.{ty} {{", space_dot(*space));
+            for (i, d) in dsts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(reg_name(k, *d));
+            }
+            out.push_str("}, ");
+            print_address(out, k, addr);
+        }
+        Op::StVec { space, cache, volatile, ty, addr, srcs } => {
+            let vol = if *volatile { ".volatile" } else { "" };
+            let c = cache.map(|c| format!(".{}", c.name())).unwrap_or_default();
+            let vn = if srcs.len() == 2 { "v2" } else { "v4" };
+            let _ = write!(out, "st{vol}{}{c}.{vn}.{ty} ", space_dot(*space));
+            print_address(out, k, addr);
+            out.push_str(", {");
+            for (i, s) in srcs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_operand(out, k, s);
+            }
+            out.push('}');
+        }
+        Op::Atom { space, op, ty, dst, addr, a, b } => {
+            let _ = write!(out, "atom{}.{}.{ty} {}, ", space_dot(*space), op.name(), reg_name(k, *dst));
+            print_address(out, k, addr);
+            out.push_str(", ");
+            print_operand(out, k, a);
+            if let Some(b) = b {
+                out.push_str(", ");
+                print_operand(out, k, b);
+            }
+        }
+        Op::Red { space, op, ty, addr, a } => {
+            let _ = write!(out, "red{}.{}.{ty} ", space_dot(*space), op.name());
+            print_address(out, k, addr);
+            out.push_str(", ");
+            print_operand(out, k, a);
+        }
+        Op::Membar { level } => {
+            let _ = write!(out, "membar.{}", level.name());
+        }
+        Op::Bar { idx } => {
+            let _ = write!(out, "bar.sync {idx}");
+        }
+        Op::Bra { uni, target } => {
+            let u = if *uni { ".uni" } else { "" };
+            let _ = write!(out, "bra{u} {target}");
+        }
+        Op::Setp { cmp, ty, dst, a, b } => {
+            let _ = write!(out, "setp.{}.{ty} {}, ", cmp.name(), reg_name(k, *dst));
+            print_operand(out, k, a);
+            out.push_str(", ");
+            print_operand(out, k, b);
+        }
+        Op::Mov { ty, dst, src } => {
+            let _ = write!(out, "mov.{ty} {}, ", reg_name(k, *dst));
+            print_operand(out, k, src);
+        }
+        Op::Bin { op, ty, dst, a, b } => {
+            let _ = write!(out, "{}.{ty} {}, ", op.name(), reg_name(k, *dst));
+            print_operand(out, k, a);
+            out.push_str(", ");
+            print_operand(out, k, b);
+        }
+        Op::Un { op, ty, dst, a } => {
+            let _ = write!(out, "{}.{ty} {}, ", op.name(), reg_name(k, *dst));
+            print_operand(out, k, a);
+        }
+        Op::Mul { mode, ty, dst, a, b } => {
+            let m = if ty.is_float() { String::new() } else { format!(".{}", mode.name()) };
+            let _ = write!(out, "mul{m}.{ty} {}, ", reg_name(k, *dst));
+            print_operand(out, k, a);
+            out.push_str(", ");
+            print_operand(out, k, b);
+        }
+        Op::Mad { mode, ty, dst, a, b, c } => {
+            let m = if ty.is_float() { String::new() } else { format!(".{}", mode.name()) };
+            let _ = write!(out, "mad{m}.{ty} {}, ", reg_name(k, *dst));
+            print_operand(out, k, a);
+            out.push_str(", ");
+            print_operand(out, k, b);
+            out.push_str(", ");
+            print_operand(out, k, c);
+        }
+        Op::Selp { ty, dst, a, b, p } => {
+            let _ = write!(out, "selp.{ty} {}, ", reg_name(k, *dst));
+            print_operand(out, k, a);
+            out.push_str(", ");
+            print_operand(out, k, b);
+            let _ = write!(out, ", {}", reg_name(k, *p));
+        }
+        Op::Cvt { dty, sty, dst, a } => {
+            let _ = write!(out, "cvt.{dty}.{sty} {}, ", reg_name(k, *dst));
+            print_operand(out, k, a);
+        }
+        Op::Cvta { to, space, ty, dst, a } => {
+            let t = if *to { ".to" } else { "" };
+            let _ = write!(out, "cvta{t}{}.{ty} {}, ", space_dot(*space), reg_name(k, *dst));
+            print_operand(out, k, a);
+        }
+        Op::Shfl { mode, ty, dst, a, b, c } => {
+            let _ = write!(out, "shfl.{}.{ty} {}, ", mode.name(), reg_name(k, *dst));
+            print_operand(out, k, a);
+            out.push_str(", ");
+            print_operand(out, k, b);
+            out.push_str(", ");
+            print_operand(out, k, c);
+        }
+        Op::Call { target, args } => {
+            let _ = write!(out, "call.uni {target}");
+            if !args.is_empty() {
+                out.push_str(", (");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    print_operand(out, k, a);
+                }
+                out.push(')');
+            }
+        }
+        Op::Ret => out.push_str("ret"),
+        Op::Exit => out.push_str("exit"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+    use crate::printer::print_module;
+
+    const SRC: &str = r#"
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry k(.param .u64 p0, .param .u32 n)
+{
+    .reg .pred %p<2>;
+    .reg .b32 %r<8>;
+    .reg .b64 %rd<4>;
+    .shared .align 4 .b8 sm[64];
+    mov.u32 %r1, %tid.x;
+    ld.param.u64 %rd1, [p0];
+    cvta.to.global.u64 %rd2, %rd1;
+    mul.wide.s32 %rd3, %r1, 4;
+    add.s64 %rd3, %rd2, %rd3;
+    ld.global.cg.u32 %r2, [%rd3];
+    setp.eq.s32 %p1, %r2, 0;
+    @%p1 bra L_zero;
+    st.shared.u32 [sm+4], %r2;
+    atom.global.add.u32 %r3, [%rd3], 1;
+    bra.uni L_end;
+L_zero:
+    membar.gl;
+    st.global.u32 [%rd3], 7;
+L_end:
+    bar.sync 0;
+    selp.b32 %r4, 1, 0, %p1;
+    ret;
+}
+"#;
+
+    #[test]
+    fn round_trip_structural_equality() {
+        let m1 = parse(SRC).unwrap();
+        let text = print_module(&m1);
+        let m2 = parse(&text).expect("printed module must reparse");
+        assert_eq!(m1.kernels.len(), m2.kernels.len());
+        let (k1, k2) = (&m1.kernels[0], &m2.kernels[0]);
+        assert_eq!(k1.params, k2.params);
+        assert_eq!(k1.shared, k2.shared);
+        assert_eq!(k1.stmts, k2.stmts);
+    }
+
+    #[test]
+    fn double_round_trip_fixpoint() {
+        let m1 = parse(SRC).unwrap();
+        let t1 = print_module(&m1);
+        let m2 = parse(&t1).unwrap();
+        let t2 = print_module(&m2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn float_immediates_round_trip_bit_exact() {
+        let src = ".version 4.3\n.target sm_35\n.address_size 64\n.visible .entry k()\n{\n.reg .f32 %f<2>;\nmov.f32 %f1, 0f3F8CCCCD;\nret;\n}".to_string();
+        let m1 = parse(&src).unwrap();
+        let m2 = parse(&print_module(&m1)).unwrap();
+        assert_eq!(m1.kernels[0].stmts, m2.kernels[0].stmts);
+    }
+}

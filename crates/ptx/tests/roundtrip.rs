@@ -1,0 +1,161 @@
+//! Property: printing any well-formed kernel yields PTX that reparses to a
+//! structurally identical kernel (print ∘ parse = id). This is the
+//! property the instrumentation pipeline relies on — rewritten modules
+//! are reloaded through the text path, mirroring the paper's regeneration
+//! of the fat binary.
+
+use barracuda_ptx::ast::*;
+use barracuda_ptx::printer::print_module;
+use barracuda_ptx::KernelBuilder;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Builds a random but well-formed kernel from a seed.
+fn random_kernel(seed: u64) -> Module {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = KernelBuilder::new("k");
+    b.param("buf", Type::U64);
+    b.param("n", Type::U32);
+    if rng.random::<bool>() {
+        b.shared("sm", 64 + rng.random_range(0..4) * 16, 4);
+    }
+    let pred = b.reg("%p0", RegClass::Pred);
+    let r32: Vec<Reg> = (0..6).map(|i| b.reg(format!("%r{i}"), RegClass::B32)).collect();
+    let r64: Vec<Reg> = (0..4).map(|i| b.reg(format!("%rd{i}"), RegClass::B64)).collect();
+    let f32r = b.reg("%f0", RegClass::F32);
+
+    let n_ops = rng.random_range(5..40);
+    let mut open_labels: Vec<String> = Vec::new();
+    for i in 0..n_ops {
+        let pick = rng.random_range(0..12);
+        let rd = r32[rng.random_range(0..r32.len())];
+        let ra = Operand::Reg(r32[rng.random_range(0..r32.len())]);
+        let rb = if rng.random::<bool>() {
+            Operand::Imm(rng.random_range(-100..100))
+        } else {
+            Operand::Reg(r32[rng.random_range(0..r32.len())])
+        };
+        let addr_reg = r64[rng.random_range(0..r64.len())];
+        match pick {
+            0 => {
+                b.push(Op::Bin { op: BinOp::Add, ty: Type::S32, dst: rd, a: ra, b: rb });
+            }
+            1 => {
+                b.push(Op::Mul { mode: MulMode::Wide, ty: Type::U32, dst: r64[0], a: ra, b: rb });
+            }
+            2 => {
+                b.push(Op::Ld {
+                    space: Space::Global,
+                    cache: if rng.random::<bool>() { Some(CacheOp::Cg) } else { None },
+                    volatile: rng.random::<bool>(),
+                    ty: Type::U32,
+                    dst: rd,
+                    addr: Address::reg_off(addr_reg, rng.random_range(-8..64)),
+                });
+            }
+            3 => {
+                b.push(Op::St {
+                    space: Space::Global,
+                    cache: None,
+                    volatile: false,
+                    ty: Type::U32,
+                    addr: Address::reg(addr_reg),
+                    src: ra,
+                });
+            }
+            4 => {
+                b.push(Op::Atom {
+                    space: Space::Global,
+                    op: AtomOp::Cas,
+                    ty: Type::B32,
+                    dst: rd,
+                    addr: Address::reg(addr_reg),
+                    a: Operand::Imm(0),
+                    b: Some(Operand::Imm(1)),
+                });
+            }
+            5 => {
+                b.push(Op::Membar {
+                    level: [FenceLevel::Cta, FenceLevel::Gl, FenceLevel::Sys]
+                        [rng.random_range(0..3)],
+                });
+            }
+            6 => {
+                b.push(Op::Setp { cmp: CmpOp::Lt, ty: Type::S32, dst: pred, a: ra, b: rb });
+            }
+            7 => {
+                // Open a forward branch region (closed below).
+                let label = b.fresh_label("fwd");
+                b.push_guarded(pred, rng.random::<bool>(), Op::Bra { uni: false, target: label.clone() });
+                open_labels.push(label);
+            }
+            8 => {
+                b.push(Op::Selp { ty: Type::B32, dst: rd, a: ra, b: rb, p: pred });
+            }
+            9 => {
+                b.push(Op::Cvt { dty: Type::U64, sty: Type::U32, dst: r64[1], a: ra });
+            }
+            10 => {
+                b.push(Op::Mov {
+                    ty: Type::F32,
+                    dst: f32r,
+                    src: Operand::FImm(f64::from(rng.random::<f32>())),
+                });
+            }
+            _ => {
+                b.push(Op::Mov {
+                    ty: Type::U32,
+                    dst: rd,
+                    src: Operand::Special(SpecialReg::Tid(Dim::X)),
+                });
+            }
+        }
+        // Occasionally close an open branch region.
+        if !open_labels.is_empty() && (rng.random::<bool>() || i == n_ops - 1) {
+            b.label(open_labels.pop().expect("non-empty"));
+        }
+    }
+    for l in open_labels {
+        b.label(l);
+    }
+    b.push(Op::Ret);
+    b.build_module()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_round_trip(seed in any::<u64>()) {
+        let m1 = random_kernel(seed);
+        let t1 = print_module(&m1);
+        let m2 = barracuda_ptx::parse(&t1)
+            .unwrap_or_else(|e| panic!("seed {seed}: printed module failed to reparse: {e}\n{t1}"));
+        prop_assert_eq!(&m1.kernels[0].stmts, &m2.kernels[0].stmts, "seed {}", seed);
+        prop_assert_eq!(&m1.kernels[0].params, &m2.kernels[0].params);
+        prop_assert_eq!(&m1.kernels[0].shared, &m2.kernels[0].shared);
+        // Idempotence: printing again is a fixpoint.
+        let t2 = print_module(&m2);
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn cfg_construction_is_total(seed in any::<u64>()) {
+        // Every generated kernel has a well-defined CFG with consistent
+        // block_of mapping and in-range successors.
+        let m = random_kernel(seed);
+        let flat = barracuda_ptx::cfg::FlatKernel::from_kernel(&m.kernels[0]);
+        let cfg = barracuda_ptx::cfg::Cfg::build(&flat);
+        prop_assert_eq!(cfg.block_of.len(), flat.instrs.len());
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            prop_assert!(block.start < block.end);
+            for s in block.succs() {
+                prop_assert!(s < cfg.blocks.len());
+            }
+            for i in block.start..block.end {
+                prop_assert_eq!(cfg.block_of[i], b);
+            }
+        }
+    }
+}

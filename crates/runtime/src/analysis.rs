@@ -1,0 +1,126 @@
+//! Analysis results returned by a detection run.
+
+use barracuda_core::{Diagnostic, RaceClass, RaceReport};
+use barracuda_instrument::InstrumentStats;
+use barracuda_simt::LaunchStats;
+use std::time::Duration;
+
+/// Aggregate statistics of one detection run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisStats {
+    /// Instrumentation statistics (Fig. 9 inputs).
+    pub instrument: InstrumentStats,
+    /// Simulator launch statistics for the instrumented run.
+    pub launch: LaunchStats,
+    /// Log records produced by the device side.
+    pub records: u64,
+    /// Events processed by the host-side detector.
+    pub events: u64,
+    /// PTVC format census at access events:
+    /// `[converged, diverged, nested, sparse]` (Fig. 7 distribution).
+    pub format_census: [u64; 4],
+    /// Distinct synchronization locations observed.
+    pub sync_locations: usize,
+    /// Global shadow pages allocated.
+    pub shadow_pages: usize,
+    /// Approximate global shadow metadata bytes (~32× tracked bytes, Fig. 8).
+    pub shadow_bytes: u64,
+    /// Wall-clock time of the instrumented, detected run.
+    pub detection_time: Duration,
+}
+
+/// The result of checking one kernel launch.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    races: Vec<RaceReport>,
+    diagnostics: Vec<Diagnostic>,
+    stats: AnalysisStats,
+}
+
+impl Analysis {
+    pub(crate) fn new(
+        races: Vec<RaceReport>,
+        diagnostics: Vec<Diagnostic>,
+        stats: AnalysisStats,
+    ) -> Self {
+        Analysis { races, diagnostics, stats }
+    }
+
+    /// Number of distinct racing locations.
+    pub fn race_count(&self) -> usize {
+        self.races.len()
+    }
+
+    /// True when no races and no diagnostics were found.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty() && self.diagnostics.is_empty()
+    }
+
+    /// The race reports (one per distinct location).
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    /// Barrier-divergence and other diagnostics.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &AnalysisStats {
+        &self.stats
+    }
+
+    /// Count of races in the given class.
+    pub fn count_class(&self, class: RaceClass) -> usize {
+        self.races.iter().filter(|r| r.class == class).count()
+    }
+
+    /// `(shared, global)` counts (the Table 1 "races found" split).
+    pub fn space_counts(&self) -> (usize, usize) {
+        let shared = self
+            .races
+            .iter()
+            .filter(|r| r.space == barracuda_trace::MemSpace::Shared)
+            .count();
+        (shared, self.races.len() - shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use barracuda_core::AccessType;
+    use barracuda_trace::{MemSpace, Tid};
+
+    fn race(space: MemSpace, class: RaceClass) -> RaceReport {
+        RaceReport {
+            space,
+            block: None,
+            addr: 0,
+            current: (Tid(0), AccessType::Write),
+            previous: (Tid(1), AccessType::Write),
+            class,
+        }
+    }
+
+    #[test]
+    fn analysis_accessors() {
+        let a = Analysis::new(
+            vec![race(MemSpace::Global, RaceClass::InterBlock), race(MemSpace::Shared, RaceClass::IntraWarp)],
+            vec![],
+            AnalysisStats::default(),
+        );
+        assert_eq!(a.race_count(), 2);
+        assert!(!a.is_clean());
+        assert_eq!(a.count_class(RaceClass::InterBlock), 1);
+        assert_eq!(a.space_counts(), (1, 1));
+    }
+
+    #[test]
+    fn clean_analysis() {
+        let a = Analysis::new(vec![], vec![], AnalysisStats::default());
+        assert!(a.is_clean());
+        assert_eq!(a.race_count(), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! BARRACUDA command-line interface.
+//!
+//! ```text
+//! barracuda check <file.ptx> --kernel <name> [--grid X[,Y[,Z]]] [--block X[,Y[,Z]]]
+//!                 [--param buf:<bytes> | --param u32:<value>]...
+//!                 [--warp-size N] [--warp-sweep] [--threaded]
+//!                 [--memory-model sc|kepler|maxwell] [--seed N]
+//! barracuda instrument <file.ptx> [--no-prune]
+//! ```
+//!
+//! `check` instruments the module, executes the kernel on the SIMT
+//! simulator and reports data races; `instrument` prints the rewritten
+//! PTX and the instrumentation statistics (the Fig. 9 numbers for one
+//! file).
+
+use barracuda::{
+    Barracuda, BarracudaConfig, DetectionMode, GpuConfig, InstrumentOptions, KernelRun,
+    MemoryModel,
+};
+use barracuda_simt::ParamValue;
+use barracuda_trace::{Dim3, GridDims};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..], false),
+        Some("trace") => cmd_check(&args[1..], true),
+        Some("instrument") => cmd_instrument(&args[1..]),
+        _ => {
+            eprintln!("usage: barracuda <check|trace|instrument> <file.ptx> [options]");
+            eprintln!("       barracuda check k.ptx --kernel k --grid 2 --block 64 --param buf:1024");
+            eprintln!("       barracuda trace k.ptx ...   # print the decoded trace-operation stream");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_dim3(s: &str) -> Result<Dim3, String> {
+    let parts: Vec<u32> = s
+        .split(',')
+        .map(|p| p.parse::<u32>().map_err(|e| format!("bad dimension '{p}': {e}")))
+        .collect::<Result<_, _>>()?;
+    match parts.as_slice() {
+        [x] => Ok(Dim3 { x: *x, y: 1, z: 1 }),
+        [x, y] => Ok(Dim3 { x: *x, y: *y, z: 1 }),
+        [x, y, z] => Ok(Dim3 { x: *x, y: *y, z: *z }),
+        _ => Err(format!("bad dim3 '{s}' (expected X[,Y[,Z]])")),
+    }
+}
+
+struct CheckArgs {
+    file: String,
+    kernel: String,
+    grid: Dim3,
+    block: Dim3,
+    warp_size: u32,
+    warp_sweep: bool,
+    threaded: bool,
+    model: MemoryModel,
+    seed: u64,
+    params: Vec<String>,
+}
+
+fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
+    let mut out = CheckArgs {
+        file: String::new(),
+        kernel: String::new(),
+        grid: Dim3::linear(1),
+        block: Dim3::linear(32),
+        warp_size: 32,
+        warp_sweep: false,
+        threaded: false,
+        model: MemoryModel::SequentiallyConsistent,
+        seed: 0x0be5_11e5,
+        params: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--kernel" => out.kernel = value("--kernel")?,
+            "--grid" => out.grid = parse_dim3(&value("--grid")?)?,
+            "--block" => out.block = parse_dim3(&value("--block")?)?,
+            "--warp-size" => {
+                out.warp_size =
+                    value("--warp-size")?.parse().map_err(|e| format!("bad warp size: {e}"))?;
+            }
+            "--warp-sweep" => out.warp_sweep = true,
+            "--threaded" => out.threaded = true,
+            "--seed" => out.seed = value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--memory-model" => {
+                out.model = match value("--memory-model")?.as_str() {
+                    "sc" => MemoryModel::SequentiallyConsistent,
+                    "kepler" => MemoryModel::KeplerK520,
+                    "maxwell" => MemoryModel::MaxwellTitanX,
+                    other => return Err(format!("unknown memory model '{other}'")),
+                };
+            }
+            "--param" => out.params.push(value("--param")?),
+            other if !other.starts_with("--") && out.file.is_empty() => {
+                out.file = other.to_string();
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if out.file.is_empty() {
+        return Err("missing PTX file".to_string());
+    }
+    Ok(out)
+}
+
+/// Runs the instrumented kernel and prints the decoded warp-level trace
+/// operations (the paper's Fig. 1(b) view of an execution).
+fn dump_trace(
+    bar: &mut Barracuda,
+    source: &str,
+    kernel: &str,
+    dims: GridDims,
+    params: &[ParamValue],
+) -> Result<(), barracuda::Error> {
+    use barracuda_simt::VecSink;
+    use barracuda_trace::ops::Event;
+    let module = barracuda_ptx::parse(source)?;
+    let (instrumented, _) =
+        barracuda_instrument::instrument_module(&module, &barracuda_instrument::InstrumentOptions::default());
+    let lk = barracuda_simt::LoadedKernel::load(&instrumented, kernel)?;
+    let sink = VecSink::new();
+    bar.gpu_mut().launch_loaded(&lk, dims, params, Some(&sink))?;
+    for rec in sink.take() {
+        match rec.decode() {
+            Event::Access { warp, kind, space, mask, addrs, size } => {
+                let lanes: Vec<String> = (0..dims.warp_size)
+                    .filter(|l| mask & (1 << l) != 0)
+                    .map(|l| format!("{}:{:#x}", dims.tid_of_lane(warp, l), addrs[l as usize]))
+                    .collect();
+                println!("w{warp} {kind:?} {space:?} size={size} [{}]", lanes.join(" "));
+                println!("w{warp} endi");
+            }
+            Event::If { warp, then_mask, else_mask } => {
+                println!("w{warp} if(then={then_mask:#x}, else={else_mask:#x})");
+            }
+            Event::Else { warp } => println!("w{warp} else"),
+            Event::Fi { warp } => println!("w{warp} fi"),
+            Event::Bar { warp, mask } => println!("w{warp} bar(mask={mask:#x})"),
+            Event::Exit { warp, mask } => println!("w{warp} exit(mask={mask:#x})"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String], trace: bool) -> ExitCode {
+    let cfg = match parse_check_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&cfg.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", cfg.file);
+            return ExitCode::from(2);
+        }
+    };
+    let module = match barracuda_ptx::parse(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let kernel = if cfg.kernel.is_empty() {
+        match module.kernels.first() {
+            Some(k) => k.name.clone(),
+            None => {
+                eprintln!("error: module contains no kernels");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        cfg.kernel.clone()
+    };
+
+    let mut bar = Barracuda::with_config(BarracudaConfig {
+        gpu: GpuConfig { memory_model: cfg.model, seed: cfg.seed, ..GpuConfig::default() },
+        mode: if cfg.threaded { DetectionMode::Threaded } else { DetectionMode::Synchronous },
+        ..BarracudaConfig::default()
+    });
+    let mut params = Vec::new();
+    for p in &cfg.params {
+        match p.split_once(':') {
+            Some(("buf", size)) => match size.parse::<u64>() {
+                Ok(bytes) => params.push(ParamValue::Ptr(bar.gpu_mut().malloc(bytes))),
+                Err(e) => {
+                    eprintln!("error: bad buffer size '{size}': {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Some(("u32", v)) => match v.parse::<u32>() {
+                Ok(v) => params.push(ParamValue::U32(v)),
+                Err(e) => {
+                    eprintln!("error: bad u32 '{v}': {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {
+                eprintln!("error: bad --param '{p}' (expected buf:<bytes> or u32:<value>)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let dims = GridDims::with_warp_size(cfg.grid, cfg.block, cfg.warp_size);
+    let run = KernelRun { source: &source, kernel: &kernel, dims, params: &params };
+
+    if trace {
+        return match dump_trace(&mut bar, &source, &kernel, dims, &params) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if cfg.warp_sweep {
+        let sizes: Vec<u32> = [32u32, 16, 8, 4].into_iter().filter(|&s| s <= cfg.warp_size).collect();
+        match bar.check_warp_sizes(&run, &sizes) {
+            Ok(results) => {
+                println!("{:<12} {:>8}", "warp size", "races");
+                let mut any = false;
+                for (ws, analysis) in &results {
+                    println!("{ws:<12} {:>8}", analysis.race_count());
+                    any |= analysis.race_count() > 0;
+                }
+                return ExitCode::from(u8::from(any));
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match bar.check(&run) {
+        Ok(analysis) => {
+            for d in analysis.diagnostics() {
+                println!("diagnostic: {d:?}");
+            }
+            for r in analysis.races() {
+                println!("{r}");
+            }
+            let s = analysis.stats();
+            println!(
+                "\n{} race(s) across {} threads; {} records, {} events, {} KiB shadow, {:?}",
+                analysis.race_count(),
+                dims.total_threads(),
+                s.records,
+                s.events,
+                s.shadow_bytes / 1024,
+                s.detection_time
+            );
+            ExitCode::from(u8::from(!analysis.is_clean()))
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_instrument(args: &[String]) -> ExitCode {
+    let mut file = String::new();
+    let mut prune = true;
+    for a in args {
+        match a.as_str() {
+            "--no-prune" => prune = false,
+            other if !other.starts_with("--") => file = other.to_string(),
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if file.is_empty() {
+        eprintln!("error: missing PTX file");
+        return ExitCode::from(2);
+    }
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let module = match barracuda_ptx::parse(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = if prune { InstrumentOptions::default() } else { InstrumentOptions::unoptimized() };
+    let (instrumented, stats) = barracuda_instrument::instrument_module(&module, &opts);
+    println!("{}", barracuda_ptx::printer::print_module(&instrumented));
+    eprintln!(
+        "// {} of {} static instructions instrumented ({:.1}%), {} log calls, {} pruned, \
+         {} acquires, {} releases, {} acq-rels, {} atomics",
+        stats.instrumented_instructions,
+        stats.static_instructions,
+        stats.instrumented_fraction() * 100.0,
+        stats.log_calls,
+        stats.pruned,
+        stats.acquires,
+        stats.releases,
+        stats.acqrels,
+        stats.standalone_atomics
+    );
+    ExitCode::SUCCESS
+}

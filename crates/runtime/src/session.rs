@@ -1,0 +1,430 @@
+//! The detection session: instrument → execute → detect.
+
+use crate::analysis::{Analysis, AnalysisStats};
+use crate::Error;
+use barracuda_core::{Detector, Worker};
+use barracuda_instrument::{instrument_module, InstrumentOptions};
+use barracuda_ptx::ast::Module;
+use barracuda_simt::{Gpu, GpuConfig, LaunchStats, LoadedKernel, ParamValue, VecSink};
+use barracuda_trace::{GridDims, QueueSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// How detector workers consume the device-side queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionMode {
+    /// Collect all records, then process them on the calling thread in
+    /// emission order. Deterministic; used by tests.
+    Synchronous,
+    /// One host thread per queue, draining concurrently with the
+    /// simulation — the paper's architecture (§4.3).
+    Threaded,
+}
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct BarracudaConfig {
+    /// Simulator configuration.
+    pub gpu: GpuConfig,
+    /// Instrumentation options.
+    pub instrument: InstrumentOptions,
+    /// Queue-consumption mode.
+    pub mode: DetectionMode,
+    /// Records per queue (the paper reserves a fraction of GPU memory;
+    /// capacity expresses the same back-pressure).
+    pub queue_capacity: usize,
+    /// Queues per streaming multiprocessor; the paper found ~1.1–1.5
+    /// optimal (§4.2).
+    pub queues_per_sm: f64,
+}
+
+impl Default for BarracudaConfig {
+    fn default() -> Self {
+        BarracudaConfig {
+            gpu: GpuConfig::default(),
+            instrument: InstrumentOptions::default(),
+            mode: DetectionMode::Synchronous,
+            queue_capacity: 16 * 1024,
+            queues_per_sm: 1.25,
+        }
+    }
+}
+
+impl BarracudaConfig {
+    /// Number of queues for this configuration.
+    pub fn num_queues(&self) -> usize {
+        ((f64::from(self.gpu.num_sms) * self.queues_per_sm).ceil() as usize).max(1)
+    }
+}
+
+/// One kernel launch to check.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelRun<'a> {
+    /// PTX module source.
+    pub source: &'a str,
+    /// Entry name.
+    pub kernel: &'a str,
+    /// Launch dimensions.
+    pub dims: GridDims,
+    /// Kernel arguments.
+    pub params: &'a [ParamValue],
+}
+
+/// A BARRACUDA session: owns the simulated GPU and checks kernel launches
+/// against it.
+#[derive(Debug)]
+pub struct Barracuda {
+    config: BarracudaConfig,
+    gpu: Gpu,
+}
+
+impl Default for Barracuda {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Barracuda {
+    /// A session with default configuration (synchronous detection,
+    /// sequentially-consistent memory).
+    pub fn new() -> Self {
+        Self::with_config(BarracudaConfig::default())
+    }
+
+    /// A session with explicit configuration.
+    pub fn with_config(config: BarracudaConfig) -> Self {
+        let gpu = Gpu::new(config.gpu.clone());
+        Barracuda { config, gpu }
+    }
+
+    /// The simulated device, for allocating and initializing buffers.
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// The simulated device (read-only: result readback).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BarracudaConfig {
+        &self.config
+    }
+
+    /// Runs the kernel natively (no instrumentation, no detection) and
+    /// returns the launch statistics — the baseline for overhead
+    /// measurements (Fig. 10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on parse or simulation failure.
+    pub fn run_native(&mut self, run: &KernelRun<'_>) -> Result<LaunchStats, Error> {
+        let module = barracuda_ptx::parse(run.source)?;
+        Ok(self.gpu.launch(&module, run.kernel, run.dims, run.params)?)
+    }
+
+    /// Instruments the kernel, runs it with device-side logging, and
+    /// performs race detection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on parse or simulation failure (including barrier
+    /// divergence hangs and timeouts).
+    pub fn check(&mut self, run: &KernelRun<'_>) -> Result<Analysis, Error> {
+        let module = barracuda_ptx::parse(run.source)?;
+        self.check_module(&module, run.kernel, run.dims, run.params)
+    }
+
+    /// Warp-size portability sweep: checks the kernel under several
+    /// simulated warp sizes and returns each analysis.
+    ///
+    /// The paper notes that portable CUDA code should not assume a warp
+    /// size and that BARRACUDA "could simulate the behavior of
+    /// smaller/larger warps to find additional latent bugs" (§3.1) — this
+    /// method implements that extension. Warp-synchronous code that is
+    /// race-free at the hardware warp size often races at a smaller one,
+    /// because lockstep ordering no longer covers the accesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation or parse failure.
+    pub fn check_warp_sizes(
+        &mut self,
+        run: &KernelRun<'_>,
+        warp_sizes: &[u32],
+    ) -> Result<Vec<(u32, Analysis)>, Error> {
+        let module = barracuda_ptx::parse(run.source)?;
+        warp_sizes
+            .iter()
+            .map(|&ws| {
+                let dims = GridDims::with_warp_size(run.dims.grid, run.dims.block, ws);
+                let analysis = self.check_module(&module, run.kernel, dims, run.params)?;
+                Ok((ws, analysis))
+            })
+            .collect()
+    }
+
+    /// Like [`Barracuda::check`] for an already-parsed module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on simulation failure.
+    pub fn check_module(
+        &mut self,
+        module: &Module,
+        kernel: &str,
+        dims: GridDims,
+        params: &[ParamValue],
+    ) -> Result<Analysis, Error> {
+        let (instrumented, istats) = instrument_module(module, &self.config.instrument);
+        let lk = LoadedKernel::load(&instrumented, kernel)?;
+        let shared_size = lk.kernel.shared_size();
+        let detector = Detector::new(dims, shared_size);
+        let start = Instant::now();
+
+        let (launch, records, events, census) = match self.config.mode {
+            DetectionMode::Synchronous => {
+                let sink = VecSink::new();
+                let launch = self.gpu.launch_loaded(&lk, dims, params, Some(&sink))?;
+                let recs = sink.take();
+                let nrecs = recs.len() as u64;
+                let mut worker = Worker::new(&detector);
+                for r in &recs {
+                    worker.process_record(r);
+                }
+                (launch, nrecs, worker.event_count(), worker.format_census())
+            }
+            DetectionMode::Threaded => {
+                let queues = QueueSet::new(self.config.num_queues(), self.config.queue_capacity);
+                let done = AtomicBool::new(false);
+                let gpu = &mut self.gpu;
+                let detector_ref = &detector;
+                let queues_ref = &queues;
+                let done_ref = &done;
+                let (launch_res, worker_stats) = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..queues_ref.len())
+                        .map(|qi| {
+                            scope.spawn(move || {
+                                let q = queues_ref.queue(qi);
+                                let mut worker = Worker::new(detector_ref);
+                                loop {
+                                    if let Some(rec) = q.try_pop() {
+                                        worker.process_record(&rec);
+                                    } else if done_ref.load(Ordering::Acquire) && q.is_empty() {
+                                        break;
+                                    } else {
+                                        std::hint::spin_loop();
+                                        std::thread::yield_now();
+                                    }
+                                }
+                                (worker.event_count(), worker.format_census())
+                            })
+                        })
+                        .collect();
+                    let launch_res = gpu.launch_loaded(&lk, dims, params, Some(queues_ref));
+                    done.store(true, Ordering::Release);
+                    let stats: Vec<(u64, [u64; 4])> =
+                        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+                    (launch_res, stats)
+                });
+                let launch = launch_res?;
+                let mut events = 0;
+                let mut census = [0u64; 4];
+                for (e, c) in worker_stats {
+                    events += e;
+                    for i in 0..4 {
+                        census[i] += c[i];
+                    }
+                }
+                (launch, queues.total_committed(), events, census)
+            }
+        };
+
+        let stats = AnalysisStats {
+            instrument: istats,
+            launch,
+            records,
+            events,
+            format_census: census,
+            sync_locations: detector.sync_location_count(),
+            shadow_pages: detector.shadow_page_count(),
+            shadow_bytes: detector.shadow_bytes(),
+            detection_time: start.elapsed(),
+        };
+        Ok(Analysis::new(detector.races().reports(), detector.races().diagnostics(), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use barracuda_core::RaceClass;
+
+    const HEADER: &str = ".version 4.3\n.target sm_35\n.address_size 64\n";
+
+    fn src(body: &str, params: &str) -> String {
+        format!("{HEADER}.visible .entry k({params})\n{{\n{body}\n}}")
+    }
+
+    #[test]
+    fn racy_counter_detected_in_both_modes() {
+        let source = src(
+            ".reg .b32 %r<4>;\n.reg .b64 %rd<4>;\n\
+             ld.param.u64 %rd1, [ctr];\n\
+             ld.global.u32 %r1, [%rd1];\n\
+             add.s32 %r1, %r1, 1;\n\
+             st.global.u32 [%rd1], %r1;\n\
+             ret;",
+            ".param .u64 ctr",
+        );
+        for mode in [DetectionMode::Synchronous, DetectionMode::Threaded] {
+            let mut bar = Barracuda::with_config(BarracudaConfig {
+                mode,
+                ..BarracudaConfig::default()
+            });
+            let ctr = bar.gpu_mut().malloc(4);
+            let a = bar
+                .check(&KernelRun {
+                    source: &source,
+                    kernel: "k",
+                    dims: GridDims::new(4u32, 1u32),
+                    params: &[ParamValue::Ptr(ctr)],
+                })
+                .unwrap();
+            assert!(a.race_count() > 0, "{mode:?}");
+            assert!(a.count_class(RaceClass::InterBlock) > 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn disjoint_writes_clean() {
+        let source = src(
+            ".reg .b32 %r<8>;\n.reg .b64 %rd<4>;\n\
+             mov.u32 %r1, %tid.x;\n\
+             mov.u32 %r2, %ctaid.x;\n\
+             mov.u32 %r3, %ntid.x;\n\
+             mad.lo.s32 %r4, %r2, %r3, %r1;\n\
+             ld.param.u64 %rd1, [buf];\n\
+             mul.wide.s32 %rd2, %r4, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             st.global.u32 [%rd3], %r4;\n\
+             ret;",
+            ".param .u64 buf",
+        );
+        let mut bar = Barracuda::new();
+        let buf = bar.gpu_mut().malloc(64 * 4);
+        let a = bar
+            .check(&KernelRun {
+                source: &source,
+                kernel: "k",
+                dims: GridDims::new(2u32, 32u32),
+                params: &[ParamValue::Ptr(buf)],
+            })
+            .unwrap();
+        assert!(a.is_clean(), "{:?}", a.races());
+        assert!(a.stats().records > 0);
+        assert!(a.stats().events > 0);
+    }
+
+    #[test]
+    fn native_run_produces_no_detection() {
+        let source = src(
+            ".reg .b64 %rd<4>;\nld.param.u64 %rd1, [b];\nst.global.u32 [%rd1], 1;\nret;",
+            ".param .u64 b",
+        );
+        let mut bar = Barracuda::new();
+        let b = bar.gpu_mut().malloc(4);
+        let stats = bar
+            .run_native(&KernelRun {
+                source: &source,
+                kernel: "k",
+                dims: GridDims::new(1u32, 1u32),
+                params: &[ParamValue::Ptr(b)],
+            })
+            .unwrap();
+        assert!(stats.instructions > 0);
+        assert_eq!(bar.gpu().read_u32(b), 1);
+    }
+
+    #[test]
+    fn threaded_and_sync_agree() {
+        // A mixed workload with barriers and shared memory.
+        let source = src(
+            ".reg .b32 %r<8>;\n.reg .b64 %rd<8>;\n\
+             .shared .align 4 .b8 sm[128];\n\
+             mov.u32 %r1, %tid.x;\n\
+             mul.wide.s32 %rd2, %r1, 4;\n\
+             mov.u64 %rd4, sm;\n\
+             add.s64 %rd5, %rd4, %rd2;\n\
+             st.shared.u32 [%rd5], %r1;\n\
+             bar.sync 0;\n\
+             ld.param.u64 %rd1, [buf];\n\
+             ld.shared.u32 %r2, [%rd5];\n\
+             st.global.u32 [%rd1], %r2;\n\
+             ret;",
+            ".param .u64 buf",
+        );
+        let run_with = |mode| {
+            let mut bar = Barracuda::with_config(BarracudaConfig { mode, ..Default::default() });
+            let buf = bar.gpu_mut().malloc(4);
+            bar.check(&KernelRun {
+                source: &source,
+                kernel: "k",
+                dims: GridDims::new(2u32, 32u32),
+                params: &[ParamValue::Ptr(buf)],
+            })
+            .unwrap()
+            .race_count()
+        };
+        assert_eq!(
+            run_with(DetectionMode::Synchronous),
+            run_with(DetectionMode::Threaded)
+        );
+    }
+
+    #[test]
+    fn barrier_divergence_surfaces_as_sim_error() {
+        let source = src(
+            ".reg .pred %p;\n.reg .b32 %r<4>;\n\
+             mov.u32 %r1, %tid.x;\n\
+             setp.eq.s32 %p, %r1, 0;\n\
+             @%p bra L;\n\
+             bar.sync 0;\n\
+             L:\n\
+             ret;",
+            "",
+        );
+        let mut bar = Barracuda::new();
+        let err = bar
+            .check(&KernelRun {
+                source: &source,
+                kernel: "k",
+                dims: GridDims::new(1u32, 8u32),
+                params: &[],
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::Sim(barracuda_simt::SimError::BarrierDivergence { .. })));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let mut bar = Barracuda::new();
+        let err = bar
+            .check(&KernelRun {
+                source: "this is not ptx",
+                kernel: "k",
+                dims: GridDims::new(1u32, 1u32),
+                params: &[],
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::Ptx(_)));
+    }
+
+    #[test]
+    fn num_queues_follows_sm_count() {
+        let cfg = BarracudaConfig::default();
+        // 24 SMs × 1.25 = 30 queues (paper: ~1.1–1.5 queues per SM).
+        assert_eq!(cfg.num_queues(), 30);
+    }
+}

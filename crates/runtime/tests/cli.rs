@@ -1,0 +1,135 @@
+//! End-to-end tests of the `barracuda` CLI binary.
+
+use std::io::Write;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_barracuda");
+
+const RACY: &str = r#"
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry k(.param .u64 buf)
+{
+    .reg .b32 %r<4>;
+    .reg .b64 %rd<4>;
+    ld.param.u64 %rd1, [buf];
+    ld.global.u32 %r1, [%rd1];
+    add.s32 %r1, %r1, 1;
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+"#;
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("barracuda_cli_{name}_{}.ptx", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp ptx");
+    f.write_all(content.as_bytes()).expect("write temp ptx");
+    path
+}
+
+#[test]
+fn check_reports_race_with_exit_code_1() {
+    let ptx = write_temp("racy", RACY);
+    let out = Command::new(BIN)
+        .args(["check", ptx.to_str().expect("utf8"), "--kernel", "k", "--grid", "2", "--block", "32", "--param", "buf:4"])
+        .output()
+        .expect("run cli");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("race"), "{stdout}");
+    assert!(stdout.contains("1 race(s)"), "{stdout}");
+}
+
+#[test]
+fn check_clean_kernel_exits_zero() {
+    let clean = RACY.replace(
+        "ld.global.u32 %r1, [%rd1];\n    add.s32 %r1, %r1, 1;\n    st.global.u32 [%rd1], %r1;",
+        "atom.global.add.u32 %r1, [%rd1], 1;",
+    );
+    let ptx = write_temp("clean", &clean);
+    let out = Command::new(BIN)
+        .args(["check", ptx.to_str().expect("utf8"), "--grid", "2", "--block", "32", "--param", "buf:4"])
+        .output()
+        .expect("run cli");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn instrument_prints_rewritten_ptx() {
+    let ptx = write_temp("instr", RACY);
+    let out = Command::new(BIN)
+        .args(["instrument", ptx.to_str().expect("utf8")])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("__barracuda_log_access"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("instrumented"), "{stderr}");
+    // The printed module must itself be valid PTX.
+    barracuda_ptx::parse(&stdout).expect("instrumented output reparses");
+}
+
+#[test]
+fn warp_sweep_flag_runs_all_sizes() {
+    // A warp-synchronous shared-memory exchange: clean at 32, racy below.
+    let sync = r#"
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry k(.param .u64 out)
+{
+    .reg .b32 %r<8>;
+    .reg .b64 %rd<8>;
+    .shared .align 4 .b8 sm[128];
+    ld.param.u64 %rd1, [out];
+    mov.u32 %r1, %tid.x;
+    mov.u64 %rd3, sm;
+    mul.wide.s32 %rd2, %r1, 4;
+    add.s64 %rd4, %rd3, %rd2;
+    st.shared.u32 [%rd4], %r1;
+    add.s32 %r2, %r1, 1;
+    and.b32 %r2, %r2, 31;
+    mul.wide.s32 %rd5, %r2, 4;
+    add.s64 %rd6, %rd3, %rd5;
+    ld.shared.u32 %r3, [%rd6];
+    add.s64 %rd7, %rd1, %rd2;
+    st.global.u32 [%rd7], %r3;
+    ret;
+}
+"#;
+    let ptx = write_temp("sweep", sync);
+    let out = Command::new(BIN)
+        .args(["check", ptx.to_str().expect("utf8"), "--block", "32", "--warp-sweep", "--param", "buf:128"])
+        .output()
+        .expect("run cli");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "latent races found → exit 1: {stdout}");
+    assert!(stdout.contains("warp size"), "{stdout}");
+    // 4 rows: 32 clean, smaller sizes racy.
+    assert!(stdout.lines().filter(|l| l.trim().starts_with(char::is_numeric)).count() >= 4);
+}
+
+#[test]
+fn bad_arguments_exit_2() {
+    let out = Command::new(BIN).args(["check", "/nonexistent.ptx"]).output().expect("run cli");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(BIN).args(["frobnicate"]).output().expect("run cli");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn trace_subcommand_prints_trace_operations() {
+    let ptx = write_temp("trace", RACY);
+    let out = Command::new(BIN)
+        .args(["trace", ptx.to_str().expect("utf8"), "--grid", "1", "--block", "2", "--param", "buf:4"])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Read"), "{stdout}");
+    assert!(stdout.contains("Write"), "{stdout}");
+    assert!(stdout.contains("endi"), "{stdout}");
+    assert!(stdout.contains("exit"), "{stdout}");
+}

@@ -1,0 +1,781 @@
+//! The SIMT interpreter: executes one warp instruction at a time,
+//! maintaining the reconvergence stack and emitting trace events.
+
+use barracuda_ptx::ast::{
+    Address, AddrBase, FenceLevel, Guard, Op, Operand, Space, SpecialReg, Type,
+};
+use barracuda_trace::ops::{AccessKind, Event, MemSpace, Scope};
+use barracuda_trace::record::{Record, RecordKind};
+use barracuda_trace::GridDims;
+use std::collections::HashMap;
+
+use crate::config::SimError;
+use crate::kernel::LoadedKernel;
+use crate::mem::{GlobalMemory, SharedMemory};
+use crate::sink::EventSink;
+use crate::value;
+use crate::warp::{EntryKind, StackEntry, WarpState, WarpStatus};
+
+/// Size of each thread's lazily-allocated local-memory segment.
+const LOCAL_SIZE: u64 = 16 * 1024;
+
+/// Everything a warp needs to execute one step.
+pub(crate) struct ExecCtx<'a> {
+    pub kernel: &'a LoadedKernel,
+    pub dims: &'a GridDims,
+    pub param_block: &'a [u8],
+    pub global: &'a mut GlobalMemory,
+    pub shared: &'a mut SharedMemory,
+    pub locals: &'a mut HashMap<(u64, u32), Vec<u8>>,
+    pub sink: Option<&'a dyn EventSink>,
+    pub native_logging: bool,
+    pub filter_same_value: bool,
+}
+
+/// Result of executing one step of a warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    Continue,
+    Barrier,
+    Done,
+}
+
+/// Where an address resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResolvedSpace {
+    Global,
+    Shared,
+    Local,
+    Param,
+}
+
+impl ExecCtx<'_> {
+    fn emit(&self, w: &WarpState, event: &Event) {
+        if let Some(sink) = self.sink {
+            sink.emit(w.block, Record::encode(event));
+        }
+    }
+}
+
+/// Pops the top stack entry, emitting the trace event its kind requires.
+fn pop_emit(ctx: &ExecCtx, w: &mut WarpState) {
+    let e = w.stack.pop().expect("pop on empty SIMT stack");
+    match e.kind {
+        EntryKind::Then => ctx.emit(w, &Event::Else { warp: w.warp }),
+        EntryKind::Else => ctx.emit(w, &Event::Fi { warp: w.warp }),
+        EntryKind::Base => {}
+    }
+}
+
+/// Executes one instruction (or performs pending stack pops) for warp `w`.
+pub(crate) fn step(ctx: &mut ExecCtx, w: &mut WarpState) -> Result<StepOutcome, SimError> {
+    loop {
+        let Some(top) = w.stack.last().copied() else {
+            if w.status != WarpStatus::Done {
+                ctx.emit(w, &Event::Exit { warp: w.warp, mask: w.live_mask });
+                w.status = WarpStatus::Done;
+            }
+            return Ok(StepOutcome::Done);
+        };
+        if Some(top.pc) == top.rpc {
+            pop_emit(ctx, w);
+            continue;
+        }
+        let eff = top.mask & !w.exited;
+        if eff == 0 {
+            pop_emit(ctx, w);
+            continue;
+        }
+        if top.pc >= ctx.kernel.len() {
+            // Ran past the end: implicit exit for this path's lanes.
+            w.exited |= eff;
+            pop_emit(ctx, w);
+            continue;
+        }
+        // A `__barracuda_log_access` call fuses with the instruction it
+        // covers: the log record and the operation's effect must be
+        // atomic with respect to other warps, or an acquire could be
+        // logged before the release it synchronizes with (the record
+        // stream must be a linearization of the synchronization order).
+        let fused = matches!(
+            &ctx.kernel.flat.instrs[top.pc].op,
+            Op::Call { target, .. } if target == "__barracuda_log_access"
+        );
+        let out = exec_instr(ctx, w, top.pc, eff)?;
+        if fused && out == StepOutcome::Continue {
+            continue;
+        }
+        return Ok(out);
+    }
+}
+
+fn guard_mask(w: &WarpState, dims: &GridDims, eff: u32, guard: Option<Guard>) -> u32 {
+    match guard {
+        None => eff,
+        Some(g) => {
+            let mut m = 0u32;
+            for lane in 0..dims.warp_size {
+                if eff & (1 << lane) == 0 {
+                    continue;
+                }
+                let p = w.reg(lane, g.pred) != 0;
+                if p != g.negated {
+                    m |= 1 << lane;
+                }
+            }
+            m
+        }
+    }
+}
+
+fn special_value(ctx: &ExecCtx, w: &WarpState, lane: u32, sr: SpecialReg) -> u64 {
+    let t = ctx.dims.tid_of_lane(w.warp, lane);
+    match sr {
+        SpecialReg::Tid(d) => pick(ctx.dims.thread_coord(t), d),
+        SpecialReg::Ntid(d) => pick(ctx.dims.block, d),
+        SpecialReg::Ctaid(d) => pick(ctx.dims.block_coord(t), d),
+        SpecialReg::Nctaid(d) => pick(ctx.dims.grid, d),
+        SpecialReg::LaneId => u64::from(lane),
+        SpecialReg::WarpSize => u64::from(ctx.dims.warp_size),
+    }
+}
+
+fn pick(d: barracuda_trace::Dim3, which: barracuda_ptx::ast::Dim) -> u64 {
+    use barracuda_ptx::ast::Dim;
+    u64::from(match which {
+        Dim::X => d.x,
+        Dim::Y => d.y,
+        Dim::Z => d.z,
+    })
+}
+
+fn operand_value(
+    ctx: &ExecCtx,
+    w: &WarpState,
+    lane: u32,
+    op: &Operand,
+    ty: Type,
+) -> Result<u64, SimError> {
+    Ok(match op {
+        Operand::Reg(r) => w.reg(lane, *r),
+        Operand::Imm(v) => *v as u64,
+        Operand::FImm(v) => {
+            if ty == Type::F32 {
+                u64::from((*v as f32).to_bits())
+            } else {
+                v.to_bits()
+            }
+        }
+        Operand::Special(sr) => special_value(ctx, w, lane, *sr),
+        Operand::Sym(s) => ctx
+            .kernel
+            .kernel
+            .shared_offset(s)
+            .ok_or_else(|| SimError::Fault(format!("unknown symbol {s}")))?,
+    })
+}
+
+/// Resolves a memory address for one lane.
+fn resolve_addr(
+    ctx: &ExecCtx,
+    w: &WarpState,
+    lane: u32,
+    addr: &Address,
+    space: Space,
+) -> Result<(ResolvedSpace, u64), SimError> {
+    let base = match &addr.base {
+        AddrBase::Reg(r) => w.reg(lane, *r),
+        AddrBase::Sym(s) => match space {
+            Space::Param => {
+                let (off, _) = ctx
+                    .kernel
+                    .kernel
+                    .param_info(s)
+                    .ok_or_else(|| SimError::Fault(format!("unknown param {s}")))?;
+                off
+            }
+            _ => ctx
+                .kernel
+                .kernel
+                .shared_offset(s)
+                .ok_or_else(|| SimError::Fault(format!("unknown shared symbol {s}")))?,
+        },
+    };
+    let a = base.wrapping_add(addr.offset as u64);
+    let rs = match space {
+        Space::Param => ResolvedSpace::Param,
+        Space::Shared => ResolvedSpace::Shared,
+        Space::Local => ResolvedSpace::Local,
+        Space::Global => ResolvedSpace::Global,
+        Space::Generic => {
+            if a < crate::GLOBAL_BASE {
+                ResolvedSpace::Shared
+            } else {
+                ResolvedSpace::Global
+            }
+        }
+    };
+    Ok((rs, a))
+}
+
+/// Same-value intra-warp write filtering (paper §3.3.1): lanes writing the
+/// same value to the same address collapse to the lowest lane; differing
+/// values are all kept so the detector reports the intra-warp race.
+pub(crate) fn filter_same_value(mask: u32, addrs: &[u64; 32], vals: &[u64; 32]) -> u32 {
+    let mut keep = mask;
+    for lane in 0..32u32 {
+        if keep & (1 << lane) == 0 {
+            continue;
+        }
+        for other in (lane + 1)..32u32 {
+            if keep & (1 << other) == 0 {
+                continue;
+            }
+            if addrs[other as usize] == addrs[lane as usize]
+                && vals[other as usize] == vals[lane as usize]
+            {
+                keep &= !(1 << other);
+            }
+        }
+    }
+    keep
+}
+
+fn mem_space_of(rs: ResolvedSpace) -> Option<MemSpace> {
+    match rs {
+        ResolvedSpace::Global => Some(MemSpace::Global),
+        ResolvedSpace::Shared => Some(MemSpace::Shared),
+        _ => None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn log_native_access(
+    ctx: &ExecCtx,
+    w: &WarpState,
+    kind: AccessKind,
+    rs: ResolvedSpace,
+    mask: u32,
+    addrs: &[u64; 32],
+    vals: &[u64; 32],
+    size: u8,
+) {
+    if !ctx.native_logging || ctx.sink.is_none() {
+        return;
+    }
+    let Some(space) = mem_space_of(rs) else { return };
+    let mask = if kind == AccessKind::Write && ctx.filter_same_value {
+        filter_same_value(mask, addrs, vals)
+    } else {
+        mask
+    };
+    ctx.emit(
+        w,
+        &Event::Access { warp: w.warp, kind, space, mask, addrs: *addrs, size },
+    );
+}
+
+fn advance(w: &mut WarpState) {
+    let top = w.stack.last_mut().expect("advance on empty stack");
+    top.pc += 1;
+}
+
+#[allow(clippy::too_many_lines)]
+fn exec_instr(
+    ctx: &mut ExecCtx,
+    w: &mut WarpState,
+    pc: usize,
+    eff: u32,
+) -> Result<StepOutcome, SimError> {
+    let instr = ctx.kernel.flat.instrs[pc].clone();
+    let exec = guard_mask(w, ctx.dims, eff, instr.guard);
+    let warp_size = ctx.dims.warp_size;
+
+    // Guarded branches are conditional branches and handled specially;
+    // for every other instruction an all-false guard is a NOP.
+    if exec == 0 && !matches!(instr.op, Op::Bra { .. }) {
+        advance(w);
+        return Ok(StepOutcome::Continue);
+    }
+
+    match instr.op {
+        Op::Bra { ref target, .. } => {
+            let tgt = ctx
+                .kernel
+                .flat
+                .target(target)
+                .ok_or_else(|| SimError::Fault(format!("unknown label {target}")))?;
+            if instr.guard.is_none() {
+                let top = w.stack.last_mut().expect("non-empty");
+                top.pc = tgt;
+                return Ok(StepOutcome::Continue);
+            }
+            let taken = exec;
+            let not_taken = eff & !taken;
+            ctx.emit(w, &Event::If { warp: w.warp, then_mask: taken, else_mask: not_taken });
+            if taken == 0 || not_taken == 0 {
+                // Uniform branch: no hardware divergence; the empty path is
+                // an empty else (paper §3.1).
+                ctx.emit(w, &Event::Else { warp: w.warp });
+                ctx.emit(w, &Event::Fi { warp: w.warp });
+                let top = w.stack.last_mut().expect("non-empty");
+                top.pc = if not_taken == 0 { tgt } else { pc + 1 };
+            } else {
+                let rpc = ctx.kernel.reconvergence_entry(pc).unwrap_or(None);
+                let top = w.stack.last_mut().expect("non-empty");
+                // Current entry becomes the reconvergence continuation.
+                top.pc = rpc.unwrap_or(usize::MAX);
+                w.stack.push(StackEntry { pc: pc + 1, mask: not_taken, rpc, kind: EntryKind::Else });
+                w.stack.push(StackEntry { pc: tgt, mask: taken, rpc, kind: EntryKind::Then });
+            }
+            Ok(StepOutcome::Continue)
+        }
+        Op::Ret | Op::Exit => {
+            w.exited |= exec;
+            if exec == eff {
+                pop_emit(ctx, w);
+            } else {
+                advance(w);
+            }
+            Ok(StepOutcome::Continue)
+        }
+        Op::Bar { .. } => {
+            w.status = WarpStatus::AtBarrier;
+            w.barrier_mask = exec;
+            ctx.emit(w, &Event::Bar { warp: w.warp, mask: exec });
+            Ok(StepOutcome::Barrier)
+        }
+        Op::Membar { level } => {
+            ctx.global.fence(w.block, level != FenceLevel::Cta);
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::LdVec { space, ty, ref dsts, ref addr, .. } => {
+            let elem = ty.size();
+            let total = (elem * dsts.len() as u64) as u8;
+            let mut addrs = [0u64; 32];
+            let vals = [0u64; 32];
+            let mut rspace = ResolvedSpace::Global;
+            for lane in lanes(exec, warp_size) {
+                let (rs, base) = resolve_addr(ctx, w, lane, addr, space)?;
+                rspace = rs;
+                addrs[lane as usize] = base;
+                for (i, &dst) in dsts.iter().enumerate() {
+                    let a = base + i as u64 * elem;
+                    let raw = match rs {
+                        ResolvedSpace::Global => ctx.global.load(w.block, a, elem as u8)?,
+                        ResolvedSpace::Shared => ctx.shared.load(a, elem as u8)?,
+                        _ => return Err(SimError::Fault("vector load on param/local space".into())),
+                    };
+                    let v = if ty.is_signed() { value::sext(ty, raw) as u64 } else { value::trunc(ty, raw) };
+                    w.set_reg(lane, dst, v);
+                }
+            }
+            log_native_access(ctx, w, AccessKind::Read, rspace, exec, &addrs, &vals, total);
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::StVec { space, ty, ref addr, ref srcs, .. } => {
+            let elem = ty.size();
+            let total = (elem * srcs.len() as u64) as u8;
+            let mut addrs = [0u64; 32];
+            let mut vals = [0u64; 32];
+            let mut rspace = ResolvedSpace::Global;
+            for lane in lanes(exec, warp_size) {
+                let (rs, base) = resolve_addr(ctx, w, lane, addr, space)?;
+                rspace = rs;
+                addrs[lane as usize] = base;
+                // Vector stores carry multiple values; disable the
+                // same-value collapse by making lane tags distinct.
+                vals[lane as usize] = u64::from(lane) + 1;
+                for (i, src) in srcs.iter().enumerate() {
+                    let a = base + i as u64 * elem;
+                    let v = value::trunc(ty, operand_value(ctx, w, lane, src, ty)?);
+                    match rs {
+                        ResolvedSpace::Global => ctx.global.store(w.block, a, elem as u8, v)?,
+                        ResolvedSpace::Shared => ctx.shared.store(a, elem as u8, v)?,
+                        _ => return Err(SimError::Fault("vector store on param/local space".into())),
+                    }
+                }
+            }
+            log_native_access(ctx, w, AccessKind::Write, rspace, exec, &addrs, &vals, total);
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Ld { space, ty, dst, ref addr, .. } => {
+            let size = ty.size() as u8;
+            let mut addrs = [0u64; 32];
+            let mut vals = [0u64; 32];
+            let mut rspace = ResolvedSpace::Global;
+            for lane in 0..warp_size {
+                if exec & (1 << lane) == 0 {
+                    continue;
+                }
+                let (rs, a) = resolve_addr(ctx, w, lane, addr, space)?;
+                rspace = rs;
+                let raw = match rs {
+                    ResolvedSpace::Global => ctx.global.load(w.block, a, size)?,
+                    ResolvedSpace::Shared => ctx.shared.load(a, size)?,
+                    ResolvedSpace::Param => {
+                        let o = a as usize;
+                        if o + size as usize > ctx.param_block.len() {
+                            return Err(SimError::Fault(format!("param read at {o} out of range")));
+                        }
+                        let mut buf = [0u8; 8];
+                        buf[..size as usize].copy_from_slice(&ctx.param_block[o..o + size as usize]);
+                        u64::from_le_bytes(buf)
+                    }
+                    ResolvedSpace::Local => {
+                        let local = ctx
+                            .locals
+                            .entry((w.warp, lane))
+                            .or_insert_with(|| vec![0; LOCAL_SIZE as usize]);
+                        let o = a as usize;
+                        if o + size as usize > local.len() {
+                            return Err(SimError::Fault(format!("local read at {o} out of range")));
+                        }
+                        let mut buf = [0u8; 8];
+                        buf[..size as usize].copy_from_slice(&local[o..o + size as usize]);
+                        u64::from_le_bytes(buf)
+                    }
+                };
+                let v = if ty.is_signed() { value::sext(ty, raw) as u64 } else { value::trunc(ty, raw) };
+                addrs[lane as usize] = a;
+                vals[lane as usize] = v;
+                w.set_reg(lane, dst, v);
+            }
+            log_native_access(ctx, w, AccessKind::Read, rspace, exec, &addrs, &vals, size);
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::St { space, ty, ref addr, ref src, .. } => {
+            let size = ty.size() as u8;
+            let mut addrs = [0u64; 32];
+            let mut vals = [0u64; 32];
+            let mut rspace = ResolvedSpace::Global;
+            for lane in 0..warp_size {
+                if exec & (1 << lane) == 0 {
+                    continue;
+                }
+                let (rs, a) = resolve_addr(ctx, w, lane, addr, space)?;
+                rspace = rs;
+                let v = value::trunc(ty, operand_value(ctx, w, lane, src, ty)?);
+                addrs[lane as usize] = a;
+                vals[lane as usize] = v;
+                match rs {
+                    ResolvedSpace::Global => ctx.global.store(w.block, a, size, v)?,
+                    ResolvedSpace::Shared => ctx.shared.store(a, size, v)?,
+                    ResolvedSpace::Param => {
+                        return Err(SimError::Fault("store to param space".into()))
+                    }
+                    ResolvedSpace::Local => {
+                        let local = ctx
+                            .locals
+                            .entry((w.warp, lane))
+                            .or_insert_with(|| vec![0; LOCAL_SIZE as usize]);
+                        let o = a as usize;
+                        if o + size as usize > local.len() {
+                            return Err(SimError::Fault(format!("local write at {o} out of range")));
+                        }
+                        local[o..o + size as usize].copy_from_slice(&v.to_le_bytes()[..size as usize]);
+                    }
+                }
+            }
+            log_native_access(ctx, w, AccessKind::Write, rspace, exec, &addrs, &vals, size);
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Atom { space, op, ty, dst, ref addr, ref a, ref b } => {
+            let size = ty.size() as u8;
+            let mut addrs = [0u64; 32];
+            let vals = [0u64; 32];
+            let mut rspace = ResolvedSpace::Global;
+            // Lanes serialize their read-modify-writes in lane order.
+            for lane in 0..warp_size {
+                if exec & (1 << lane) == 0 {
+                    continue;
+                }
+                let (rs, aaddr) = resolve_addr(ctx, w, lane, addr, space)?;
+                rspace = rs;
+                let av = operand_value(ctx, w, lane, a, ty)?;
+                let bv = match b {
+                    Some(bop) => operand_value(ctx, w, lane, bop, ty)?,
+                    None => 0,
+                };
+                addrs[lane as usize] = aaddr;
+                let old = match rs {
+                    ResolvedSpace::Global => {
+                        ctx.global.atomic(w.block, aaddr, size, |old| value::atom_rmw(op, ty, old, av, bv))?
+                    }
+                    ResolvedSpace::Shared => {
+                        ctx.shared.atomic(aaddr, size, |old| value::atom_rmw(op, ty, old, av, bv))?
+                    }
+                    _ => return Err(SimError::Fault("atomic on non-global/shared space".into())),
+                };
+                w.set_reg(lane, dst, value::trunc(ty, old));
+            }
+            log_native_access(ctx, w, AccessKind::Atomic, rspace, exec, &addrs, &vals, size);
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Red { space, op, ty, ref addr, ref a } => {
+            let size = ty.size() as u8;
+            let mut addrs = [0u64; 32];
+            let vals = [0u64; 32];
+            let mut rspace = ResolvedSpace::Global;
+            for lane in 0..warp_size {
+                if exec & (1 << lane) == 0 {
+                    continue;
+                }
+                let (rs, aaddr) = resolve_addr(ctx, w, lane, addr, space)?;
+                rspace = rs;
+                let av = operand_value(ctx, w, lane, a, ty)?;
+                addrs[lane as usize] = aaddr;
+                match rs {
+                    ResolvedSpace::Global => {
+                        ctx.global.atomic(w.block, aaddr, size, |old| value::atom_rmw(op, ty, old, av, 0))?;
+                    }
+                    ResolvedSpace::Shared => {
+                        ctx.shared.atomic(aaddr, size, |old| value::atom_rmw(op, ty, old, av, 0))?;
+                    }
+                    _ => return Err(SimError::Fault("red on non-global/shared space".into())),
+                }
+            }
+            log_native_access(ctx, w, AccessKind::Atomic, rspace, exec, &addrs, &vals, size);
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Setp { cmp, ty, dst, ref a, ref b } => {
+            for lane in lanes(exec, warp_size) {
+                let av = operand_value(ctx, w, lane, a, ty)?;
+                let bv = operand_value(ctx, w, lane, b, ty)?;
+                w.set_reg(lane, dst, u64::from(value::cmp(cmp, ty, av, bv)));
+            }
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Mov { ty, dst, ref src } => {
+            for lane in lanes(exec, warp_size) {
+                let v = operand_value(ctx, w, lane, src, ty)?;
+                w.set_reg(lane, dst, v);
+            }
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Bin { op, ty, dst, ref a, ref b } => {
+            for lane in lanes(exec, warp_size) {
+                let av = operand_value(ctx, w, lane, a, ty)?;
+                let bv = operand_value(ctx, w, lane, b, ty)?;
+                w.set_reg(lane, dst, value::bin(op, ty, av, bv));
+            }
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Un { op, ty, dst, ref a } => {
+            for lane in lanes(exec, warp_size) {
+                let av = operand_value(ctx, w, lane, a, ty)?;
+                w.set_reg(lane, dst, value::un(op, ty, av));
+            }
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Mul { mode, ty, dst, ref a, ref b } => {
+            for lane in lanes(exec, warp_size) {
+                let av = operand_value(ctx, w, lane, a, ty)?;
+                let bv = operand_value(ctx, w, lane, b, ty)?;
+                w.set_reg(lane, dst, value::mul(mode, ty, av, bv));
+            }
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Mad { mode, ty, dst, ref a, ref b, ref c } => {
+            for lane in lanes(exec, warp_size) {
+                let av = operand_value(ctx, w, lane, a, ty)?;
+                let bv = operand_value(ctx, w, lane, b, ty)?;
+                let cv = operand_value(ctx, w, lane, c, ty)?;
+                w.set_reg(lane, dst, value::mad(mode, ty, av, bv, cv));
+            }
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Selp { ty, dst, ref a, ref b, p } => {
+            for lane in lanes(exec, warp_size) {
+                let av = operand_value(ctx, w, lane, a, ty)?;
+                let bv = operand_value(ctx, w, lane, b, ty)?;
+                let pv = w.reg(lane, p) != 0;
+                w.set_reg(lane, dst, if pv { av } else { bv });
+            }
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Cvt { dty, sty, dst, ref a } => {
+            for lane in lanes(exec, warp_size) {
+                let av = operand_value(ctx, w, lane, a, sty)?;
+                w.set_reg(lane, dst, value::cvt(dty, sty, av));
+            }
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Cvta { ty, dst, ref a, .. } => {
+            // Flat address space: cvta is the identity.
+            for lane in lanes(exec, warp_size) {
+                let av = operand_value(ctx, w, lane, a, ty)?;
+                w.set_reg(lane, dst, av);
+            }
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Shfl { mode, ty, dst, ref a, ref b, ref c } => {
+            // Evaluate the source operand on every active lane first, then
+            // exchange: lanes whose source is inactive/out-of-range keep
+            // their own value.
+            let mut values = [0u64; 32];
+            for lane in lanes(exec, warp_size) {
+                values[lane as usize] = operand_value(ctx, w, lane, a, ty)?;
+            }
+            let mut results = [0u64; 32];
+            for lane in lanes(exec, warp_size) {
+                let bv = operand_value(ctx, w, lane, b, ty)? as i64;
+                let _clamp = operand_value(ctx, w, lane, c, ty)?;
+                let src = match mode {
+                    barracuda_ptx::ast::ShflMode::Up => i64::from(lane) - bv,
+                    barracuda_ptx::ast::ShflMode::Down => i64::from(lane) + bv,
+                    barracuda_ptx::ast::ShflMode::Bfly => i64::from(lane) ^ bv,
+                    barracuda_ptx::ast::ShflMode::Idx => bv,
+                };
+                let in_range = src >= 0 && src < i64::from(warp_size);
+                let active = in_range && exec & (1 << src) != 0;
+                results[lane as usize] =
+                    if active { values[src as usize] } else { values[lane as usize] };
+            }
+            for lane in lanes(exec, warp_size) {
+                w.set_reg(lane, dst, results[lane as usize]);
+            }
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+        Op::Call { ref target, ref args } => {
+            exec_call(ctx, w, exec, target, args)?;
+            advance(w);
+            Ok(StepOutcome::Continue)
+        }
+    }
+}
+
+fn lanes(mask: u32, warp_size: u32) -> impl Iterator<Item = u32> {
+    (0..warp_size).filter(move |l| mask & (1 << l) != 0)
+}
+
+/// Executes an instrumentation hook call. The recognized targets are:
+///
+/// * `__barracuda_log_access, (kind, space, size, base, offset [, value])` —
+///   logs a memory/synchronization access for every active lane. `kind` is
+///   a [`RecordKind`] discriminant; `space` is 0 = global, 1 = shared,
+///   2 = generic (resolved at runtime); `base`+`offset` form the address.
+/// * `__barracuda_log_conv` — a branch-convergence-point marker; counted
+///   statically for instrumentation statistics, a NOP at runtime.
+fn exec_call(
+    ctx: &mut ExecCtx,
+    w: &mut WarpState,
+    exec: u32,
+    target: &str,
+    args: &[Operand],
+) -> Result<(), SimError> {
+    match target {
+        "__barracuda_log_conv" => Ok(()),
+        "__barracuda_log_access" => {
+            if ctx.sink.is_none() {
+                return Ok(());
+            }
+            if args.len() < 5 {
+                return Err(SimError::Fault("log_access requires 5+ args".into()));
+            }
+            let kind_code = operand_value(ctx, w, 0, &args[0], Type::U32)? as u8;
+            let space_code = operand_value(ctx, w, 0, &args[1], Type::U32)?;
+            let size = operand_value(ctx, w, 0, &args[2], Type::U32)? as u8;
+            let offset = match args[4] {
+                Operand::Imm(v) => v as u64,
+                _ => operand_value(ctx, w, 0, &args[4], Type::U64)?,
+            };
+            let mut addrs = [0u64; 32];
+            let mut vals = [0u64; 32];
+            let mut resolved_shared = space_code == 1;
+            for lane in lanes(exec, ctx.dims.warp_size) {
+                let base = operand_value(ctx, w, lane, &args[3], Type::U64)?;
+                let a = base.wrapping_add(offset);
+                if space_code == 2 {
+                    resolved_shared = a < crate::GLOBAL_BASE;
+                }
+                addrs[lane as usize] = a;
+                if args.len() > 5 {
+                    vals[lane as usize] = operand_value(ctx, w, lane, &args[5], Type::U64)?;
+                }
+            }
+            let kind = match kind_code {
+                k if k == RecordKind::Read as u8 => AccessKind::Read,
+                k if k == RecordKind::Write as u8 => AccessKind::Write,
+                k if k == RecordKind::Atomic as u8 => AccessKind::Atomic,
+                k if k == RecordKind::AcqBlk as u8 => AccessKind::Acquire(Scope::Block),
+                k if k == RecordKind::RelBlk as u8 => AccessKind::Release(Scope::Block),
+                k if k == RecordKind::AcqRelBlk as u8 => AccessKind::AcquireRelease(Scope::Block),
+                k if k == RecordKind::AcqGlb as u8 => AccessKind::Acquire(Scope::Global),
+                k if k == RecordKind::RelGlb as u8 => AccessKind::Release(Scope::Global),
+                k if k == RecordKind::AcqRelGlb as u8 => AccessKind::AcquireRelease(Scope::Global),
+                k => return Err(SimError::Fault(format!("bad log kind {k}"))),
+            };
+            let mask = if kind == AccessKind::Write && args.len() > 5 && ctx.filter_same_value {
+                filter_same_value(exec, &addrs, &vals)
+            } else {
+                exec
+            };
+            let space = if resolved_shared { MemSpace::Shared } else { MemSpace::Global };
+            ctx.emit(
+                w,
+                &Event::Access { warp: w.warp, kind, space, mask, addrs, size },
+            );
+            Ok(())
+        }
+        other if other.starts_with("__barracuda") => {
+            Err(SimError::Fault(format!("unknown instrumentation hook {other}")))
+        }
+        other => Err(SimError::Fault(format!("call to undefined function {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_value_filter_collapses_identical_writes() {
+        let mut addrs = [0u64; 32];
+        let mut vals = [0u64; 32];
+        addrs[0] = 100;
+        addrs[1] = 100;
+        addrs[2] = 100;
+        vals[0] = 7;
+        vals[1] = 7;
+        vals[2] = 7;
+        assert_eq!(filter_same_value(0b111, &addrs, &vals), 0b001);
+    }
+
+    #[test]
+    fn same_value_filter_keeps_differing_writes() {
+        let mut addrs = [0u64; 32];
+        let mut vals = [0u64; 32];
+        addrs[0] = 100;
+        addrs[1] = 100;
+        vals[0] = 7;
+        vals[1] = 8;
+        assert_eq!(filter_same_value(0b11, &addrs, &vals), 0b11);
+    }
+
+    #[test]
+    fn same_value_filter_distinct_addresses_untouched() {
+        let mut addrs = [0u64; 32];
+        let vals = [0u64; 32];
+        addrs[0] = 100;
+        addrs[1] = 104;
+        assert_eq!(filter_same_value(0b11, &addrs, &vals), 0b11);
+    }
+}

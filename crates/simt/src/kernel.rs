@@ -1,0 +1,167 @@
+//! Kernel loading: flattening, CFG construction and reconvergence-point
+//! precomputation (the "JIT" step of the paper's pipeline).
+
+use barracuda_ptx::ast::{Kernel, Module, Op, Type};
+use barracuda_ptx::cfg::{Cfg, FlatKernel};
+
+use crate::config::SimError;
+use crate::machine::ParamValue;
+
+/// A kernel prepared for execution: flattened instructions, CFG, and the
+/// per-branch reconvergence points the SIMT stack uses.
+#[derive(Debug, Clone)]
+pub struct LoadedKernel {
+    /// The source kernel.
+    pub kernel: Kernel,
+    /// Flattened instruction list with resolved labels.
+    pub flat: FlatKernel,
+    /// Control-flow graph with post-dominators.
+    pub cfg: Cfg,
+    /// For each instruction index ending a block with a conditional
+    /// branch: the reconvergence instruction index (`None` = paths only
+    /// rejoin at kernel exit).
+    recon: Vec<Option<Option<usize>>>,
+}
+
+impl LoadedKernel {
+    /// Loads one kernel from a module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownKernel`] if `name` is not an entry in the
+    /// module.
+    pub fn load(module: &Module, name: &str) -> Result<Self, SimError> {
+        let kernel = module
+            .kernel(name)
+            .ok_or_else(|| SimError::UnknownKernel(name.to_string()))?
+            .clone();
+        Ok(Self::from_kernel(kernel))
+    }
+
+    /// Prepares an already-extracted kernel.
+    pub fn from_kernel(kernel: Kernel) -> Self {
+        let flat = FlatKernel::from_kernel(&kernel);
+        let cfg = Cfg::build(&flat);
+        let mut recon = vec![None; flat.instrs.len()];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if block.end == 0 {
+                continue;
+            }
+            let last = block.end - 1;
+            if let Op::Bra { .. } = flat.instrs[last].op {
+                if flat.instrs[last].guard.is_some() {
+                    recon[last] = Some(cfg.reconvergence_point(b));
+                }
+            }
+        }
+        LoadedKernel { kernel, flat, cfg, recon }
+    }
+
+    /// Reconvergence entry for instruction `i`: `None` when `i` is not a
+    /// conditional branch; `Some(None)` for a conditional branch whose
+    /// paths only rejoin at kernel exit; `Some(Some(r))` for reconvergence
+    /// at instruction index `r`.
+    pub fn reconvergence_entry(&self, i: usize) -> Option<Option<usize>> {
+        self.recon.get(i).copied().unwrap_or(None)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.flat.instrs.len()
+    }
+
+    /// True for an empty kernel body.
+    pub fn is_empty(&self) -> bool {
+        self.flat.instrs.is_empty()
+    }
+
+    /// Builds the parameter block bytes for a launch: each parameter
+    /// occupies one little-endian 8-byte slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ParamCount`] when the argument count does not
+    /// match the kernel signature.
+    pub fn build_param_block(&self, params: &[ParamValue]) -> Result<Vec<u8>, SimError> {
+        if params.len() != self.kernel.params.len() {
+            return Err(SimError::ParamCount {
+                expected: self.kernel.params.len(),
+                got: params.len(),
+            });
+        }
+        let mut block = Vec::with_capacity(params.len() * 8);
+        for p in params {
+            block.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        Ok(block)
+    }
+
+    /// Reads a parameter value by symbol name from a parameter block.
+    pub fn read_param(&self, block: &[u8], sym: &str) -> Option<(u64, Type)> {
+        let (off, ty) = self.kernel.param_info(sym)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&block[off as usize..off as usize + 8]);
+        let raw = u64::from_le_bytes(buf);
+        Some((crate::value::trunc(ty, raw), ty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::ParamValue;
+
+    fn module() -> Module {
+        barracuda_ptx::parse(
+            r#"
+            .version 4.3
+            .target sm_35
+            .address_size 64
+            .visible .entry k(.param .u64 buf, .param .u32 n)
+            {
+                .reg .pred %p;
+                .reg .b32 %r<4>;
+                mov.u32 %r1, %tid.x;
+                setp.eq.s32 %p, %r1, 0;
+                @%p bra L_end;
+                mov.u32 %r2, 1;
+            L_end:
+                ret;
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn load_finds_kernel() {
+        let m = module();
+        let lk = LoadedKernel::load(&m, "k").unwrap();
+        assert_eq!(lk.len(), 5);
+        assert!(LoadedKernel::load(&m, "nope").is_err());
+    }
+
+    #[test]
+    fn reconvergence_for_conditional_branch() {
+        let m = module();
+        let lk = LoadedKernel::load(&m, "k").unwrap();
+        // Instruction 2 is the conditional branch; reconvergence at the
+        // `ret` (instruction 4).
+        assert_eq!(lk.reconvergence_entry(2), Some(Some(4)));
+        assert_eq!(lk.reconvergence_entry(0), None);
+    }
+
+    #[test]
+    fn param_block_layout() {
+        let m = module();
+        let lk = LoadedKernel::load(&m, "k").unwrap();
+        let block = lk
+            .build_param_block(&[ParamValue::U64(0xdead_beef), ParamValue::U32(42)])
+            .unwrap();
+        assert_eq!(block.len(), 16);
+        assert_eq!(lk.read_param(&block, "buf"), Some((0xdead_beef, Type::U64)));
+        assert_eq!(lk.read_param(&block, "n"), Some((42, Type::U32)));
+        assert_eq!(lk.read_param(&block, "zzz"), None);
+        assert!(lk.build_param_block(&[]).is_err());
+    }
+}

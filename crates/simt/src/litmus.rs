@@ -1,0 +1,356 @@
+//! Memory-fence litmus tests (paper §3.3.3, Fig. 4).
+//!
+//! Runs the message-passing (mp) test with the writer and reader in
+//! *distinct thread blocks*, `.cg` accesses, and each combination of
+//! `membar.cta` / `membar.gl` fences, counting the non-sequentially-
+//! consistent outcome `r1 = 1 ∧ r2 = 0`.
+//!
+//! On the [`MemoryModel::KeplerK520`] preset only the cta/cta combination
+//! shows weak outcomes; on [`MemoryModel::MaxwellTitanX`] none do —
+//! matching the paper's observation table.
+
+use crate::config::{GpuConfig, MemoryModel, SimError};
+use crate::kernel::LoadedKernel;
+use crate::machine::{Gpu, ParamValue};
+use barracuda_trace::GridDims;
+
+/// Fence placed between the two stores (writer) / two loads (reader).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fence {
+    /// `membar.cta`
+    Cta,
+    /// `membar.gl`
+    Gl,
+}
+
+impl Fence {
+    fn mnemonic(self) -> &'static str {
+        match self {
+            Fence::Cta => "membar.cta",
+            Fence::Gl => "membar.gl",
+        }
+    }
+
+    /// Display name as used in the paper's table.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fence::Cta => "membar.cta",
+            Fence::Gl => "membar.gl",
+        }
+    }
+}
+
+/// Result of one litmus campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpResult {
+    /// Runs that ended with the non-SC outcome `r1 = 1 ∧ r2 = 0`.
+    pub weak: u64,
+    /// Total runs.
+    pub total: u64,
+}
+
+/// The PTX for the mp test with the given fences.
+pub fn mp_kernel_source(fence1: Fence, fence2: Fence) -> String {
+    format!(
+        r#"
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry mp(.param .u64 x, .param .u64 y, .param .u64 res)
+{{
+    .reg .pred %p;
+    .reg .b32 %r<8>;
+    .reg .b64 %rd<8>;
+    ld.param.u64 %rd1, [x];
+    ld.param.u64 %rd2, [y];
+    ld.param.u64 %rd3, [res];
+    mov.u32 %r1, %ctaid.x;
+    setp.eq.s32 %p, %r1, 0;
+    @!%p bra L_reader;
+    st.global.cg.u32 [%rd1], 1;
+    {f1};
+    st.global.cg.u32 [%rd2], 1;
+    ret;
+L_reader:
+    ld.global.cg.u32 %r2, [%rd2];
+    {f2};
+    ld.global.cg.u32 %r3, [%rd1];
+    st.global.u32 [%rd3], %r2;
+    st.global.u32 [%rd3+4], %r3;
+    ret;
+}}
+"#,
+        f1 = fence1.mnemonic(),
+        f2 = fence2.mnemonic()
+    )
+}
+
+/// Runs the mp litmus test `iterations` times under `model`, counting weak
+/// outcomes.
+///
+/// # Errors
+///
+/// Propagates simulator errors (the generated kernel itself is valid, so
+/// errors indicate a simulator defect).
+pub fn run_mp(
+    fence1: Fence,
+    fence2: Fence,
+    model: MemoryModel,
+    iterations: u64,
+    seed: u64,
+) -> Result<MpResult, SimError> {
+    let module =
+        barracuda_ptx::parse(&mp_kernel_source(fence1, fence2)).expect("litmus kernel parses");
+    let lk = LoadedKernel::load(&module, "mp")?;
+    let mut gpu = Gpu::new(GpuConfig::litmus(model, seed));
+    let x = gpu.malloc(4);
+    let y = gpu.malloc(4);
+    let res = gpu.malloc(8);
+    let dims = GridDims::new(2u32, 1u32);
+    let params = [ParamValue::Ptr(x), ParamValue::Ptr(y), ParamValue::Ptr(res)];
+    let mut weak = 0;
+    for _ in 0..iterations {
+        gpu.write_u32s(x, &[0]);
+        gpu.write_u32s(y, &[0]);
+        gpu.write_u32s(res, &[0, 0]);
+        gpu.launch_loaded(&lk, dims, &params, None)?;
+        let r = gpu.read_u32s(res, 2);
+        if r[0] == 1 && r[1] == 0 {
+            weak += 1;
+        }
+    }
+    Ok(MpResult { weak, total: iterations })
+}
+
+/// One row of the Fig. 4 table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpTableRow {
+    /// Fence between the writer's stores.
+    pub fence1: Fence,
+    /// Fence between the reader's loads.
+    pub fence2: Fence,
+    /// Observed outcome counts.
+    pub result: MpResult,
+}
+
+/// Runs the full 4-row fence matrix of Fig. 4 under one memory model.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn mp_table(model: MemoryModel, iterations: u64, seed: u64) -> Result<Vec<MpTableRow>, SimError> {
+    let combos = [
+        (Fence::Cta, Fence::Cta),
+        (Fence::Cta, Fence::Gl),
+        (Fence::Gl, Fence::Cta),
+        (Fence::Gl, Fence::Gl),
+    ];
+    combos
+        .iter()
+        .enumerate()
+        .map(|(i, &(f1, f2))| {
+            let result = run_mp(f1, f2, model, iterations, seed.wrapping_add(i as u64))?;
+            Ok(MpTableRow { fence1: f1, fence2: f2, result })
+        })
+        .collect()
+}
+
+/// The PTX for the store-buffering (sb) test with the given fences.
+pub fn sb_kernel_source(fence1: Fence, fence2: Fence) -> String {
+    format!(
+        r#"
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry sb(.param .u64 x, .param .u64 y, .param .u64 res)
+{{
+    .reg .pred %p;
+    .reg .b32 %r<8>;
+    .reg .b64 %rd<8>;
+    ld.param.u64 %rd1, [x];
+    ld.param.u64 %rd2, [y];
+    ld.param.u64 %rd3, [res];
+    mov.u32 %r1, %ctaid.x;
+    setp.eq.s32 %p, %r1, 0;
+    @!%p bra L_t2;
+    st.global.cg.u32 [%rd1], 1;
+    {f1};
+    ld.global.cg.u32 %r2, [%rd2];
+    st.global.u32 [%rd3], %r2;
+    ret;
+L_t2:
+    st.global.cg.u32 [%rd2], 1;
+    {f2};
+    ld.global.cg.u32 %r3, [%rd1];
+    st.global.u32 [%rd3+4], %r3;
+    ret;
+}}
+"#,
+        f1 = fence1.mnemonic(),
+        f2 = fence2.mnemonic()
+    )
+}
+
+/// Runs the store-buffering litmus test, counting the weak outcome
+/// `r1 = 0 ∧ r2 = 0` (both threads miss each other's store).
+///
+/// This test is an extension beyond the paper's Fig. 4 (which runs mp
+/// only); it demonstrates that the store-buffer model produces the
+/// canonical sb weak behaviour unless global fences drain the buffers.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_sb(
+    fence1: Fence,
+    fence2: Fence,
+    model: MemoryModel,
+    iterations: u64,
+    seed: u64,
+) -> Result<MpResult, SimError> {
+    let module =
+        barracuda_ptx::parse(&sb_kernel_source(fence1, fence2)).expect("sb kernel parses");
+    let lk = LoadedKernel::load(&module, "sb")?;
+    let mut gpu = Gpu::new(GpuConfig::litmus(model, seed));
+    let x = gpu.malloc(4);
+    let y = gpu.malloc(4);
+    let res = gpu.malloc(8);
+    let dims = GridDims::new(2u32, 1u32);
+    let params = [ParamValue::Ptr(x), ParamValue::Ptr(y), ParamValue::Ptr(res)];
+    let mut weak = 0;
+    for _ in 0..iterations {
+        gpu.write_u32s(x, &[0]);
+        gpu.write_u32s(y, &[0]);
+        gpu.write_u32s(res, &[1, 1]);
+        gpu.launch_loaded(&lk, dims, &params, None)?;
+        let r = gpu.read_u32s(res, 2);
+        if r[0] == 0 && r[1] == 0 {
+            weak += 1;
+        }
+    }
+    Ok(MpResult { weak, total: iterations })
+}
+
+/// Runs the coherence test (coRR): one thread reads a location twice while
+/// another stores 1 to it; observing `r1 = 1 ∧ r2 = 0` would violate
+/// per-location coherence and must never happen under any preset (store
+/// buffers never reorder same-address stores, and committed values are
+/// monotone).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_corr(model: MemoryModel, iterations: u64, seed: u64) -> Result<MpResult, SimError> {
+    let src = r#"
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry corr(.param .u64 x, .param .u64 res)
+{
+    .reg .pred %p;
+    .reg .b32 %r<8>;
+    .reg .b64 %rd<8>;
+    ld.param.u64 %rd1, [x];
+    ld.param.u64 %rd2, [res];
+    mov.u32 %r1, %ctaid.x;
+    setp.eq.s32 %p, %r1, 0;
+    @!%p bra L_reader;
+    st.global.cg.u32 [%rd1], 1;
+    ret;
+L_reader:
+    ld.global.cg.u32 %r2, [%rd1];
+    ld.global.cg.u32 %r3, [%rd1];
+    st.global.u32 [%rd2], %r2;
+    st.global.u32 [%rd2+4], %r3;
+    ret;
+}
+"#;
+    let module = barracuda_ptx::parse(src).expect("corr kernel parses");
+    let lk = LoadedKernel::load(&module, "corr")?;
+    let mut gpu = Gpu::new(GpuConfig::litmus(model, seed));
+    let x = gpu.malloc(4);
+    let res = gpu.malloc(8);
+    let dims = GridDims::new(2u32, 1u32);
+    let params = [ParamValue::Ptr(x), ParamValue::Ptr(res)];
+    let mut violations = 0;
+    for _ in 0..iterations {
+        gpu.write_u32s(x, &[0]);
+        gpu.write_u32s(res, &[0, 0]);
+        gpu.launch_loaded(&lk, dims, &params, None)?;
+        let r = gpu.read_u32s(res, 2);
+        if r[0] == 1 && r[1] == 0 {
+            violations += 1;
+        }
+    }
+    Ok(MpResult { weak: violations, total: iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u64 = 1_500;
+
+    #[test]
+    fn kepler_cta_cta_exhibits_weak_behaviour() {
+        let r = run_mp(Fence::Cta, Fence::Cta, MemoryModel::KeplerK520, N, 42).unwrap();
+        assert!(r.weak > 0, "expected non-SC outcomes under K520 with cta/cta, got 0/{N}");
+    }
+
+    #[test]
+    fn kepler_gl_anywhere_restores_sc() {
+        for (f1, f2) in [(Fence::Cta, Fence::Gl), (Fence::Gl, Fence::Cta), (Fence::Gl, Fence::Gl)] {
+            let r = run_mp(f1, f2, MemoryModel::KeplerK520, N, 43).unwrap();
+            assert_eq!(r.weak, 0, "{f1:?}/{f2:?} must be SC");
+        }
+    }
+
+    #[test]
+    fn maxwell_never_weak() {
+        for row in mp_table(MemoryModel::MaxwellTitanX, N, 44).unwrap() {
+            assert_eq!(row.result.weak, 0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn sc_model_never_weak() {
+        let r = run_mp(Fence::Cta, Fence::Cta, MemoryModel::SequentiallyConsistent, N, 45).unwrap();
+        assert_eq!(r.weak, 0);
+    }
+
+    #[test]
+    fn sb_weak_under_cta_fences_on_kepler() {
+        let r = run_sb(Fence::Cta, Fence::Cta, MemoryModel::KeplerK520, N, 50).unwrap();
+        assert!(r.weak > 0, "store buffering must be observable with cta fences");
+    }
+
+    #[test]
+    fn sb_forbidden_with_global_fences() {
+        for model in [MemoryModel::KeplerK520, MemoryModel::MaxwellTitanX] {
+            let r = run_sb(Fence::Gl, Fence::Gl, model, N, 51).unwrap();
+            assert_eq!(r.weak, 0, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn coherence_never_violated() {
+        for model in [
+            MemoryModel::SequentiallyConsistent,
+            MemoryModel::KeplerK520,
+            MemoryModel::MaxwellTitanX,
+        ] {
+            let r = run_corr(model, N, 52).unwrap();
+            assert_eq!(r.weak, 0, "coRR violation under {model:?}");
+        }
+    }
+
+    #[test]
+    fn table_shape_matches_paper() {
+        let table = mp_table(MemoryModel::KeplerK520, N, 46).unwrap();
+        assert_eq!(table.len(), 4);
+        assert!(table[0].result.weak > 0, "row 1 (cta/cta) weak");
+        for row in &table[1..] {
+            assert_eq!(row.result.weak, 0, "{row:?}");
+        }
+    }
+}

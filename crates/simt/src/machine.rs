@@ -1,0 +1,649 @@
+//! The device: memory, warp scheduling and kernel launch.
+
+use barracuda_ptx::ast::Module;
+use barracuda_trace::GridDims;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+use crate::config::{GpuConfig, SimError};
+use crate::exec::{step, ExecCtx, StepOutcome};
+use crate::kernel::LoadedKernel;
+use crate::mem::{GlobalMemory, SharedMemory};
+use crate::sink::EventSink;
+use crate::warp::{WarpState, WarpStatus};
+
+/// A device global-memory address returned by [`Gpu::malloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DevicePtr(pub u64);
+
+impl DevicePtr {
+    /// The raw address, offset by `bytes`.
+    pub fn offset(self, bytes: u64) -> DevicePtr {
+        DevicePtr(self.0 + bytes)
+    }
+}
+
+/// A kernel launch argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // variants are self-describing
+pub enum ParamValue {
+    Ptr(DevicePtr),
+    U64(u64),
+    U32(u32),
+    I32(i32),
+    F32(f32),
+    F64(f64),
+}
+
+impl ParamValue {
+    /// The 8-byte slot representation of this argument.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            ParamValue::Ptr(p) => p.0,
+            ParamValue::U64(v) => v,
+            ParamValue::U32(v) => u64::from(v),
+            ParamValue::I32(v) => u64::from(v as u32),
+            ParamValue::F32(v) => u64::from(v.to_bits()),
+            ParamValue::F64(v) => v.to_bits(),
+        }
+    }
+}
+
+/// Statistics from one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Warp-instructions executed.
+    pub instructions: u64,
+    /// Block barriers completed.
+    pub barriers: u64,
+}
+
+/// The simulated GPU: global memory plus the warp scheduler.
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    global: GlobalMemory,
+    rng: StdRng,
+}
+
+impl Gpu {
+    /// Creates a device with the given configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let global = GlobalMemory::new(config.memory_model);
+        Gpu { config, global, rng }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Reseeds the scheduler / weak-memory RNG (for litmus campaigns).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Allocates `size` zeroed bytes of global memory.
+    pub fn malloc(&mut self, size: u64) -> DevicePtr {
+        DevicePtr(self.global.malloc(size))
+    }
+
+    /// Total global memory allocated so far (Table 1, column 4).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.global.allocated_bytes()
+    }
+
+    /// Host write to device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on writes to unallocated memory.
+    pub fn write_bytes(&mut self, ptr: DevicePtr, data: &[u8]) {
+        self.global.write_bytes(ptr.0, data).expect("host write to unallocated memory");
+    }
+
+    /// Host read from device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on reads from unallocated memory.
+    pub fn read_bytes(&self, ptr: DevicePtr, out: &mut [u8]) {
+        self.global.read_bytes(ptr.0, out).expect("host read from unallocated memory");
+    }
+
+    /// Writes a slice of `u32`s starting at `ptr`.
+    pub fn write_u32s(&mut self, ptr: DevicePtr, vals: &[u32]) {
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write_bytes(ptr, &bytes);
+    }
+
+    /// Reads `n` `u32`s starting at `ptr`.
+    pub fn read_u32s(&self, ptr: DevicePtr, n: usize) -> Vec<u32> {
+        let mut bytes = vec![0u8; n * 4];
+        self.read_bytes(ptr, &mut bytes);
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+            .collect()
+    }
+
+    /// Reads one `u32`.
+    pub fn read_u32(&self, ptr: DevicePtr) -> u32 {
+        self.read_u32s(ptr, 1)[0]
+    }
+
+    /// Writes a slice of `u64`s starting at `ptr`.
+    pub fn write_u64s(&mut self, ptr: DevicePtr, vals: &[u64]) {
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.write_bytes(ptr, &bytes);
+    }
+
+    /// Reads `n` `u64`s starting at `ptr`.
+    pub fn read_u64s(&self, ptr: DevicePtr, n: usize) -> Vec<u64> {
+        let mut bytes = vec![0u8; n * 8];
+        self.read_bytes(ptr, &mut bytes);
+        bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect()
+    }
+
+    /// Launches `kernel` from `module` without event logging.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] for unknown kernels, bad parameter counts
+    /// and runtime faults (barrier divergence, invalid accesses, timeout).
+    pub fn launch(
+        &mut self,
+        module: &Module,
+        kernel: &str,
+        dims: GridDims,
+        params: &[ParamValue],
+    ) -> Result<LaunchStats, SimError> {
+        let lk = LoadedKernel::load(module, kernel)?;
+        self.launch_loaded(&lk, dims, params, None)
+    }
+
+    /// Launches with an event sink receiving the device-side log records.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gpu::launch`].
+    pub fn launch_with_sink(
+        &mut self,
+        module: &Module,
+        kernel: &str,
+        dims: GridDims,
+        params: &[ParamValue],
+        sink: &dyn EventSink,
+    ) -> Result<LaunchStats, SimError> {
+        let lk = LoadedKernel::load(module, kernel)?;
+        self.launch_loaded(&lk, dims, params, Some(sink))
+    }
+
+    /// Launches a pre-loaded kernel (avoids repeated CFG construction).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gpu::launch`].
+    #[allow(clippy::too_many_lines)]
+    pub fn launch_loaded(
+        &mut self,
+        lk: &LoadedKernel,
+        dims: GridDims,
+        params: &[ParamValue],
+        sink: Option<&dyn EventSink>,
+    ) -> Result<LaunchStats, SimError> {
+        let param_block = lk.build_param_block(params)?;
+        let num_blocks = dims.num_blocks();
+        let warps_per_block = dims.warps_per_block();
+        let num_warps = dims.num_warps();
+        let nregs = lk.kernel.regs.len();
+
+        self.global.begin_kernel(num_blocks);
+        let shared_size = lk.kernel.shared_size();
+        let mut shareds: Vec<SharedMemory> =
+            (0..num_blocks).map(|_| SharedMemory::new(shared_size)).collect();
+        let mut warps: Vec<WarpState> = (0..num_warps)
+            .map(|w| {
+                WarpState::new(
+                    w,
+                    dims.block_of_warp(w),
+                    dims.initial_mask(w),
+                    nregs,
+                    dims.warp_size,
+                )
+            })
+            .collect();
+        let mut locals: HashMap<(u64, u32), Vec<u8>> = HashMap::new();
+
+        // Per-block bookkeeping for barrier resolution.
+        let mut not_running: Vec<u64> = vec![0; num_blocks as usize]; // AtBarrier + Done
+        let mut stats = LaunchStats::default();
+        let mut ready: Vec<usize> = (0..warps.len()).collect();
+        let buffered = self.config.memory_model.buffered();
+        let outcome = loop {
+            if ready.is_empty() {
+                if warps.iter().all(|w| w.status == WarpStatus::Done) {
+                    break Ok(());
+                }
+                // Every remaining warp waits at a barrier that can never
+                // complete (a sibling exited or arrived with a partial
+                // mask and resolution failed), which is a divergence hang.
+                let block = warps
+                    .iter()
+                    .find(|w| w.status == WarpStatus::AtBarrier)
+                    .map_or(0, |w| w.block);
+                break Err(SimError::BarrierDivergence { block });
+            }
+            let pick = self.rng.random_range(0..ready.len());
+            let wi = ready.swap_remove(pick);
+            if warps[wi].status != WarpStatus::Ready {
+                continue;
+            }
+            let mut slice_left = self.config.slice;
+            let res: Result<(), SimError> = loop {
+                if slice_left == 0 {
+                    ready.push(wi);
+                    break Ok(());
+                }
+                slice_left -= 1;
+                stats.instructions += 1;
+                if stats.instructions > self.config.max_steps {
+                    break Err(SimError::Timeout { steps: self.config.max_steps });
+                }
+                let block = warps[wi].block;
+                let mut ctx = ExecCtx {
+                    kernel: lk,
+                    dims: &dims,
+                    param_block: &param_block,
+                    global: &mut self.global,
+                    shared: &mut shareds[block as usize],
+                    locals: &mut locals,
+                    sink,
+                    native_logging: self.config.native_access_logging,
+                    filter_same_value: self.config.filter_same_value,
+                };
+                let out = match step(&mut ctx, &mut warps[wi]) {
+                    Ok(o) => o,
+                    Err(e) => break Err(e),
+                };
+                if buffered && self.rng.random::<f64>() < self.config.drain_probability {
+                    self.global.drain_step(&mut self.rng);
+                }
+                match out {
+                    StepOutcome::Continue => {}
+                    StepOutcome::Barrier | StepOutcome::Done => {
+                        let block = warps[wi].block;
+                        not_running[block as usize] += 1;
+                        if not_running[block as usize] == warps_per_block {
+                            match resolve_barrier(&mut warps, block, warps_per_block) {
+                                BarrierResolution::Released(n) => {
+                                    stats.barriers += 1;
+                                    not_running[block as usize] -= n;
+                                    // Re-enqueue the released warps.
+                                    let base = block * warps_per_block;
+                                    for i in 0..warps_per_block {
+                                        let idx = (base + i) as usize;
+                                        if warps[idx].status == WarpStatus::Ready
+                                            && idx != wi
+                                        {
+                                            ready.push(idx);
+                                        }
+                                    }
+                                    if warps[wi].status == WarpStatus::Ready {
+                                        ready.push(wi);
+                                    }
+                                }
+                                BarrierResolution::AllDone => {}
+                                BarrierResolution::Divergence => {
+                                    break Err(SimError::BarrierDivergence { block });
+                                }
+                            }
+                        }
+                        break Ok(());
+                    }
+                }
+            };
+            if let Err(e) = res {
+                break Err(e);
+            }
+        };
+        self.global.end_kernel();
+        outcome.map(|()| stats)
+    }
+}
+
+enum BarrierResolution {
+    /// `n` warps were released back to Ready.
+    Released(u64),
+    /// Every warp of the block is Done (normal completion).
+    AllDone,
+    /// Barrier divergence: some threads exited or were inactive.
+    Divergence,
+}
+
+/// Attempts to complete a block barrier once every warp of the block has
+/// stopped running. Per the paper (§3.3.2) a barrier is only well-formed
+/// when *all* threads of the block are active at it.
+fn resolve_barrier(warps: &mut [WarpState], block: u64, warps_per_block: u64) -> BarrierResolution {
+    let base = (block * warps_per_block) as usize;
+    let ws = &mut warps[base..base + warps_per_block as usize];
+    if ws.iter().all(|w| w.status == WarpStatus::Done) {
+        return BarrierResolution::AllDone;
+    }
+    // Mixed Done/AtBarrier or partial arrival masks → divergence bug.
+    let ok = ws
+        .iter()
+        .all(|w| w.status == WarpStatus::AtBarrier && w.barrier_mask == w.live_mask);
+    if !ok {
+        return BarrierResolution::Divergence;
+    }
+    let mut released = 0;
+    for w in ws.iter_mut() {
+        w.status = WarpStatus::Ready;
+        w.barrier_mask = 0;
+        let top = w.stack.last_mut().expect("barrier with empty stack");
+        top.pc += 1;
+        released += 1;
+    }
+    BarrierResolution::Released(released)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryModel;
+
+    fn module(body: &str, params: &str) -> Module {
+        barracuda_ptx::parse(&format!(
+            ".version 4.3\n.target sm_35\n.address_size 64\n.visible .entry k({params})\n{{\n{body}\n}}"
+        ))
+        .unwrap()
+    }
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuConfig::default())
+    }
+
+    #[test]
+    fn fill_with_linear_tid() {
+        let m = module(
+            ".reg .b32 %r<8>;\n.reg .b64 %rd<4>;\n\
+             mov.u32 %r1, %tid.x;\n\
+             mov.u32 %r2, %ctaid.x;\n\
+             mov.u32 %r3, %ntid.x;\n\
+             mad.lo.s32 %r4, %r2, %r3, %r1;\n\
+             ld.param.u64 %rd1, [out];\n\
+             mul.wide.s32 %rd2, %r4, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             st.global.u32 [%rd3], %r4;\n\
+             ret;",
+            ".param .u64 out",
+        );
+        let mut g = gpu();
+        let out = g.malloc(32 * 4);
+        g.launch(&m, "k", GridDims::new(4u32, 8u32), &[ParamValue::Ptr(out)]).unwrap();
+        let v = g.read_u32s(out, 32);
+        assert_eq!(v, (0..32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn divergent_branch_both_paths_execute() {
+        // Even lanes write 1, odd lanes write 2.
+        let m = module(
+            ".reg .pred %p;\n.reg .b32 %r<8>;\n.reg .b64 %rd<4>;\n\
+             mov.u32 %r1, %tid.x;\n\
+             ld.param.u64 %rd1, [out];\n\
+             mul.wide.s32 %rd2, %r1, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             and.b32 %r2, %r1, 1;\n\
+             setp.eq.s32 %p, %r2, 0;\n\
+             @%p bra L_even;\n\
+             st.global.u32 [%rd3], 2;\n\
+             bra.uni L_end;\n\
+             L_even:\n\
+             st.global.u32 [%rd3], 1;\n\
+             L_end:\n\
+             ret;",
+            ".param .u64 out",
+        );
+        let mut g = gpu();
+        let out = g.malloc(8 * 4);
+        g.launch(&m, "k", GridDims::new(1u32, 8u32), &[ParamValue::Ptr(out)]).unwrap();
+        let v = g.read_u32s(out, 8);
+        assert_eq!(v, vec![1, 2, 1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn loop_accumulates() {
+        // Each thread computes sum 0..10 and stores it.
+        let m = module(
+            ".reg .pred %p;\n.reg .b32 %r<8>;\n.reg .b64 %rd<4>;\n\
+             mov.u32 %r1, 0;\n\
+             mov.u32 %r2, 0;\n\
+             L_loop:\n\
+             add.s32 %r1, %r1, %r2;\n\
+             add.s32 %r2, %r2, 1;\n\
+             setp.lt.s32 %p, %r2, 10;\n\
+             @%p bra L_loop;\n\
+             ld.param.u64 %rd1, [out];\n\
+             mov.u32 %r3, %tid.x;\n\
+             mul.wide.s32 %rd2, %r3, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             st.global.u32 [%rd3], %r1;\n\
+             ret;",
+            ".param .u64 out",
+        );
+        let mut g = gpu();
+        let out = g.malloc(4 * 4);
+        g.launch(&m, "k", GridDims::new(1u32, 4u32), &[ParamValue::Ptr(out)]).unwrap();
+        assert_eq!(g.read_u32s(out, 4), vec![45; 4]);
+    }
+
+    #[test]
+    fn shared_memory_with_barrier_reverses() {
+        // Block-local reverse through shared memory.
+        let m = module(
+            ".reg .b32 %r<8>;\n.reg .b64 %rd<8>;\n\
+             .shared .align 4 .b8 sm[32];\n\
+             mov.u32 %r1, %tid.x;\n\
+             ld.param.u64 %rd1, [out];\n\
+             mul.wide.s32 %rd2, %r1, 4;\n\
+             mov.u64 %rd4, sm;\n\
+             add.s64 %rd5, %rd4, %rd2;\n\
+             st.shared.u32 [%rd5], %r1;\n\
+             bar.sync 0;\n\
+             sub.s32 %r2, 7, %r1;\n\
+             mul.wide.s32 %rd6, %r2, 4;\n\
+             add.s64 %rd7, %rd4, %rd6;\n\
+             ld.shared.u32 %r3, [%rd7];\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             st.global.u32 [%rd3], %r3;\n\
+             ret;",
+            ".param .u64 out",
+        );
+        let mut g = gpu();
+        let out = g.malloc(8 * 4);
+        let stats =
+            g.launch(&m, "k", GridDims::with_warp_size(1u32, 8u32, 4), &[ParamValue::Ptr(out)])
+                .unwrap();
+        assert_eq!(g.read_u32s(out, 8), vec![7, 6, 5, 4, 3, 2, 1, 0]);
+        assert_eq!(stats.barriers, 1);
+    }
+
+    #[test]
+    fn atomics_count_all_threads() {
+        let m = module(
+            ".reg .b32 %r<4>;\n.reg .b64 %rd<2>;\n\
+             ld.param.u64 %rd1, [ctr];\n\
+             atom.global.add.u32 %r1, [%rd1], 1;\n\
+             ret;",
+            ".param .u64 ctr",
+        );
+        let mut g = gpu();
+        let ctr = g.malloc(4);
+        g.launch(&m, "k", GridDims::new(4u32, 32u32), &[ParamValue::Ptr(ctr)]).unwrap();
+        assert_eq!(g.read_u32(ctr), 128);
+    }
+
+    #[test]
+    fn barrier_divergence_detected() {
+        // Only even threads reach the barrier.
+        let m = module(
+            ".reg .pred %p;\n.reg .b32 %r<4>;\n\
+             mov.u32 %r1, %tid.x;\n\
+             and.b32 %r2, %r1, 1;\n\
+             setp.eq.s32 %p, %r2, 1;\n\
+             @%p bra L_skip;\n\
+             bar.sync 0;\n\
+             L_skip:\n\
+             ret;",
+            "",
+        );
+        let mut g = gpu();
+        let err = g.launch(&m, "k", GridDims::new(1u32, 8u32), &[]).unwrap_err();
+        assert!(matches!(err, SimError::BarrierDivergence { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn exited_thread_hangs_barrier() {
+        // Thread 0 returns before the barrier → divergence.
+        let m = module(
+            ".reg .pred %p;\n.reg .b32 %r<4>;\n\
+             mov.u32 %r1, %tid.x;\n\
+             setp.eq.s32 %p, %r1, 0;\n\
+             @%p bra L_out;\n\
+             bar.sync 0;\n\
+             L_out:\n\
+             ret;",
+            "",
+        );
+        let mut g = gpu();
+        let err = g.launch(&m, "k", GridDims::new(1u32, 4u32), &[]).unwrap_err();
+        assert!(matches!(err, SimError::BarrierDivergence { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn guarded_ret_partial_exit() {
+        // Lanes 0..2 exit early; lanes 2..4 still write.
+        let m = module(
+            ".reg .pred %p;\n.reg .b32 %r<4>;\n.reg .b64 %rd<4>;\n\
+             mov.u32 %r1, %tid.x;\n\
+             setp.lt.s32 %p, %r1, 2;\n\
+             @%p ret;\n\
+             ld.param.u64 %rd1, [out];\n\
+             mul.wide.s32 %rd2, %r1, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             st.global.u32 [%rd3], 9;\n\
+             ret;",
+            ".param .u64 out",
+        );
+        let mut g = gpu();
+        let out = g.malloc(4 * 4);
+        g.launch(&m, "k", GridDims::new(1u32, 4u32), &[ParamValue::Ptr(out)]).unwrap();
+        assert_eq!(g.read_u32s(out, 4), vec![0, 0, 9, 9]);
+    }
+
+    #[test]
+    fn multi_block_grid_under_weak_memory_completes() {
+        let m = module(
+            ".reg .b32 %r<4>;\n.reg .b64 %rd<4>;\n\
+             ld.param.u64 %rd1, [out];\n\
+             mov.u32 %r1, %ctaid.x;\n\
+             mul.wide.s32 %rd2, %r1, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             st.global.u32 [%rd3], %r1;\n\
+             membar.cta;\n\
+             st.global.u32 [%rd3], %r1;\n\
+             ret;",
+            ".param .u64 out",
+        );
+        let mut g = Gpu::new(GpuConfig {
+            memory_model: MemoryModel::KeplerK520,
+            ..GpuConfig::default()
+        });
+        let out = g.malloc(4 * 4);
+        g.launch(&m, "k", GridDims::new(4u32, 1u32), &[ParamValue::Ptr(out)]).unwrap();
+        // end_kernel drains buffers: final values must be visible.
+        assert_eq!(g.read_u32s(out, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn timeout_on_infinite_loop() {
+        let m = module("L:\nbra.uni L;\nret;", "");
+        let mut g = Gpu::new(GpuConfig { max_steps: 10_000, ..GpuConfig::default() });
+        let err = g.launch(&m, "k", GridDims::new(1u32, 1u32), &[]).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }));
+    }
+
+    #[test]
+    fn param_count_mismatch() {
+        let m = module("ret;", ".param .u64 a");
+        let mut g = gpu();
+        assert!(matches!(
+            g.launch(&m, "k", GridDims::new(1u32, 1u32), &[]),
+            Err(SimError::ParamCount { expected: 1, got: 0 })
+        ));
+        assert!(matches!(
+            g.launch(&m, "nope", GridDims::new(1u32, 1u32), &[]),
+            Err(SimError::UnknownKernel(_))
+        ));
+    }
+
+    #[test]
+    fn nested_divergence_executes_correctly() {
+        // tid 0..4: quadrant classification via nested ifs.
+        let m = module(
+            ".reg .pred %p<3>;\n.reg .b32 %r<8>;\n.reg .b64 %rd<4>;\n\
+             mov.u32 %r1, %tid.x;\n\
+             ld.param.u64 %rd1, [out];\n\
+             mul.wide.s32 %rd2, %r1, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             setp.lt.s32 %p1, %r1, 2;\n\
+             @!%p1 bra L_hi;\n\
+             setp.eq.s32 %p2, %r1, 0;\n\
+             @!%p2 bra L_one;\n\
+             st.global.u32 [%rd3], 10;\n\
+             bra.uni L_end;\n\
+             L_one:\n\
+             st.global.u32 [%rd3], 11;\n\
+             bra.uni L_end;\n\
+             L_hi:\n\
+             setp.eq.s32 %p2, %r1, 2;\n\
+             @!%p2 bra L_three;\n\
+             st.global.u32 [%rd3], 12;\n\
+             bra.uni L_end;\n\
+             L_three:\n\
+             st.global.u32 [%rd3], 13;\n\
+             L_end:\n\
+             ret;",
+            ".param .u64 out",
+        );
+        let mut g = gpu();
+        let out = g.malloc(4 * 4);
+        g.launch(&m, "k", GridDims::new(1u32, 4u32), &[ParamValue::Ptr(out)]).unwrap();
+        assert_eq!(g.read_u32s(out, 4), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn scheduler_is_deterministic_for_fixed_seed() {
+        let m = module(
+            ".reg .b32 %r<4>;\n.reg .b64 %rd<2>;\n\
+             ld.param.u64 %rd1, [ctr];\n\
+             atom.global.exch.b32 %r1, [%rd1], %r2;\n\
+             ret;",
+            ".param .u64 ctr",
+        );
+        let run = |seed: u64| {
+            let mut g = Gpu::new(GpuConfig { seed, ..GpuConfig::default() });
+            let ctr = g.malloc(4);
+            g.launch(&m, "k", GridDims::new(8u32, 32u32), &[ParamValue::Ptr(ctr)]).unwrap();
+            g.read_u32(ctr)
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

@@ -1,0 +1,465 @@
+//! Device memory: global memory with a configurable weak model, and
+//! per-block shared memory.
+//!
+//! Global memory models the paper's litmus observations (§3.3.3, Fig. 4)
+//! with *per-block store buffers*: a store becomes visible to other blocks
+//! only once committed. Loads from the owning block forward from the
+//! buffer (so intra-block program order is always respected); `membar.gl`
+//! commits every pending store device-wide; the background drain commits
+//! either in random order (Kepler preset) or FIFO (Maxwell preset), except
+//! that two pending stores to the same location always commit in program
+//! order (hardware store buffers never reorder same-address stores).
+
+use crate::config::{MemoryModel, SimError};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 16;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT; // 64 KiB
+
+/// One store waiting in a block's store buffer.
+#[derive(Debug, Clone, Copy)]
+struct PendingStore {
+    addr: u64,
+    size: u8,
+    value: u64,
+}
+
+fn overlaps(a: &PendingStore, addr: u64, size: u8) -> bool {
+    a.addr < addr + u64::from(size) && addr < a.addr + u64::from(a.size)
+}
+
+/// Device global memory.
+#[derive(Debug)]
+pub struct GlobalMemory {
+    model: MemoryModel,
+    pages: HashMap<u64, Box<[u8]>>,
+    next_alloc: u64,
+    allocated: u64,
+    buffers: Vec<Vec<PendingStore>>,
+}
+
+impl GlobalMemory {
+    /// Creates empty global memory under the given model. Allocation
+    /// starts at [`crate::GLOBAL_BASE`].
+    pub fn new(model: MemoryModel) -> Self {
+        GlobalMemory {
+            model,
+            pages: HashMap::new(),
+            next_alloc: crate::GLOBAL_BASE,
+            allocated: 0,
+            buffers: Vec::new(),
+        }
+    }
+
+    /// Total bytes allocated so far.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Allocates `size` zeroed bytes, 256-byte aligned (like `cudaMalloc`).
+    pub fn malloc(&mut self, size: u64) -> u64 {
+        let addr = self.next_alloc.div_ceil(256) * 256;
+        self.next_alloc = addr + size.max(1);
+        self.allocated += size;
+        // Pre-create pages so accesses can be validated cheaply.
+        let first = addr >> PAGE_SHIFT;
+        let last = (addr + size.max(1) - 1) >> PAGE_SHIFT;
+        for p in first..=last {
+            self.pages
+                .entry(p)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice());
+        }
+        addr
+    }
+
+    /// Prepares per-block store buffers for a launch of `num_blocks`.
+    pub fn begin_kernel(&mut self, num_blocks: u64) {
+        self.buffers = vec![Vec::new(); num_blocks as usize];
+    }
+
+    /// Commits all pending stores (called at kernel completion so the host
+    /// sees final memory).
+    pub fn end_kernel(&mut self) {
+        self.drain_all();
+        self.buffers.clear();
+    }
+
+    fn page(&self, p: u64) -> Result<&[u8], SimError> {
+        self.pages
+            .get(&p)
+            .map(|b| &**b)
+            .ok_or(SimError::InvalidAccess { addr: p << PAGE_SHIFT })
+    }
+
+    /// Reads committed bytes (host view; ignores store buffers).
+    pub fn read_bytes(&self, addr: u64, out: &mut [u8]) -> Result<(), SimError> {
+        for (i, b) in out.iter_mut().enumerate() {
+            let a = addr + i as u64;
+            let page = self.page(a >> PAGE_SHIFT)?;
+            *b = page[(a & (PAGE_SIZE as u64 - 1)) as usize];
+        }
+        Ok(())
+    }
+
+    /// Writes committed bytes (host view).
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), SimError> {
+        for (i, &b) in data.iter().enumerate() {
+            let a = addr + i as u64;
+            let page = self
+                .pages
+                .get_mut(&(a >> PAGE_SHIFT))
+                .ok_or(SimError::InvalidAccess { addr: a })?;
+            page[(a & (PAGE_SIZE as u64 - 1)) as usize] = b;
+        }
+        Ok(())
+    }
+
+    fn read_committed(&self, addr: u64, size: u8) -> Result<u64, SimError> {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf[..size as usize])?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn write_committed(&mut self, addr: u64, size: u8, value: u64) -> Result<(), SimError> {
+        self.write_bytes(addr, &value.to_le_bytes()[..size as usize])
+    }
+
+    /// A load as seen by `block`: forwards from the block's own store
+    /// buffer when an exactly-matching pending store exists, otherwise
+    /// reads committed memory.
+    pub fn load(&self, block: u64, addr: u64, size: u8) -> Result<u64, SimError> {
+        if self.model.buffered() {
+            if let Some(buf) = self.buffers.get(block as usize) {
+                if let Some(s) = buf
+                    .iter()
+                    .rev()
+                    .find(|s| s.addr == addr && s.size == size)
+                {
+                    return Ok(s.value);
+                }
+            }
+        }
+        self.read_committed(addr, size)
+    }
+
+    /// A store by `block`: buffered under weak models, immediate under SC.
+    pub fn store(&mut self, block: u64, addr: u64, size: u8, value: u64) -> Result<(), SimError> {
+        // Validate the address eagerly in all models.
+        self.page(addr >> PAGE_SHIFT)?;
+        if self.model.buffered() {
+            self.buffers[block as usize].push(PendingStore { addr, size, value });
+            Ok(())
+        } else {
+            self.write_committed(addr, size, value)
+        }
+    }
+
+    /// An atomic read-modify-write by `block`. Atomics are coherent: all
+    /// pending stores to the target location (from every block) commit
+    /// first, then the RMW executes on committed memory. Returns the old
+    /// value.
+    pub fn atomic(
+        &mut self,
+        _block: u64,
+        addr: u64,
+        size: u8,
+        f: impl FnOnce(u64) -> u64,
+    ) -> Result<u64, SimError> {
+        if self.model.buffered() {
+            for b in 0..self.buffers.len() {
+                self.commit_matching(b, addr, size);
+            }
+        }
+        let old = self.read_committed(addr, size)?;
+        let new = f(old);
+        self.write_committed(addr, size, new)?;
+        Ok(old)
+    }
+
+    /// Executes a memory fence by `block`. `membar.gl`/`membar.sys` commit
+    /// every block's pending stores; `membar.cta` has no inter-block
+    /// effect (intra-block ordering is already guaranteed by forwarding).
+    pub fn fence(&mut self, _block: u64, global: bool) {
+        if global {
+            self.drain_all();
+        }
+    }
+
+    /// One background drain step: commit one pending store, chosen per the
+    /// model (random store for Kepler, FIFO for Maxwell). Same-address
+    /// stores always commit oldest-first.
+    pub fn drain_step(&mut self, rng: &mut StdRng) {
+        if !self.model.buffered() {
+            return;
+        }
+        let candidates: Vec<usize> = self
+            .buffers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let block = candidates[rng.random_range(0..candidates.len())];
+        let idx = match self.model {
+            MemoryModel::KeplerK520 => rng.random_range(0..self.buffers[block].len()),
+            _ => 0,
+        };
+        // Never reorder same-address stores: commit the oldest overlapping
+        // store at or before `idx`.
+        let chosen = self.buffers[block][idx];
+        let first = self.buffers[block]
+            .iter()
+            .position(|s| overlaps(s, chosen.addr, chosen.size))
+            .expect("chosen store overlaps itself");
+        let s = self.buffers[block].remove(first);
+        let _ = self.write_committed(s.addr, s.size, s.value);
+    }
+
+    /// Commits and removes all pending stores overlapping `[addr, addr+size)`
+    /// in `block`'s buffer, oldest first.
+    fn commit_matching(&mut self, block: usize, addr: u64, size: u8) {
+        let mut i = 0;
+        while i < self.buffers[block].len() {
+            if overlaps(&self.buffers[block][i], addr, size) {
+                let s = self.buffers[block].remove(i);
+                let _ = self.write_committed(s.addr, s.size, s.value);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Commits every pending store from every block, in per-block program
+    /// order.
+    pub fn drain_all(&mut self) {
+        for b in 0..self.buffers.len() {
+            let stores = std::mem::take(&mut self.buffers[b]);
+            for s in stores {
+                let _ = self.write_committed(s.addr, s.size, s.value);
+            }
+        }
+    }
+
+    /// Total pending (uncommitted) stores across all blocks.
+    pub fn pending_stores(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
+    }
+}
+
+/// Per-block shared memory segment. Shared memory is strongly ordered
+/// within its block (it is private to the block, so there is no
+/// cross-block visibility question).
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    data: Vec<u8>,
+}
+
+impl SharedMemory {
+    /// A zeroed segment of `size` bytes.
+    pub fn new(size: u64) -> Self {
+        SharedMemory { data: vec![0; size as usize] }
+    }
+
+    /// Segment size in bytes.
+    pub fn size(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn check(&self, offset: u64, size: u8) -> Result<usize, SimError> {
+        let end = offset + u64::from(size);
+        if end > self.data.len() as u64 {
+            return Err(SimError::SharedOutOfBounds { offset, size: self.data.len() as u64 });
+        }
+        Ok(offset as usize)
+    }
+
+    /// Loads `size` bytes at `offset`.
+    pub fn load(&self, offset: u64, size: u8) -> Result<u64, SimError> {
+        let o = self.check(offset, size)?;
+        let mut buf = [0u8; 8];
+        buf[..size as usize].copy_from_slice(&self.data[o..o + size as usize]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Stores `size` bytes at `offset`.
+    pub fn store(&mut self, offset: u64, size: u8, value: u64) -> Result<(), SimError> {
+        let o = self.check(offset, size)?;
+        self.data[o..o + size as usize].copy_from_slice(&value.to_le_bytes()[..size as usize]);
+        Ok(())
+    }
+
+    /// Atomic read-modify-write; returns the old value.
+    pub fn atomic(
+        &mut self,
+        offset: u64,
+        size: u8,
+        f: impl FnOnce(u64) -> u64,
+    ) -> Result<u64, SimError> {
+        let old = self.load(offset, size)?;
+        self.store(offset, size, f(old))?;
+        Ok(old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn malloc_zeroed_and_aligned() {
+        let mut m = GlobalMemory::new(MemoryModel::SequentiallyConsistent);
+        let a = m.malloc(100);
+        assert_eq!(a % 256, 0);
+        assert!(a >= crate::GLOBAL_BASE);
+        let b = m.malloc(8);
+        assert!(b >= a + 100);
+        assert_eq!(m.read_committed(a, 8).unwrap(), 0);
+        assert_eq!(m.allocated_bytes(), 108);
+    }
+
+    #[test]
+    fn invalid_access_detected() {
+        let m = GlobalMemory::new(MemoryModel::SequentiallyConsistent);
+        assert!(matches!(m.read_committed(0xdead_0000_0000, 4), Err(SimError::InvalidAccess { .. })));
+    }
+
+    #[test]
+    fn sc_store_is_immediately_visible_to_other_blocks() {
+        let mut m = GlobalMemory::new(MemoryModel::SequentiallyConsistent);
+        let a = m.malloc(4);
+        m.begin_kernel(2);
+        m.store(0, a, 4, 7).unwrap();
+        assert_eq!(m.load(1, a, 4).unwrap(), 7);
+    }
+
+    #[test]
+    fn buffered_store_invisible_until_commit_but_forwards_locally() {
+        let mut m = GlobalMemory::new(MemoryModel::KeplerK520);
+        let a = m.malloc(4);
+        m.begin_kernel(2);
+        m.store(0, a, 4, 7).unwrap();
+        assert_eq!(m.load(0, a, 4).unwrap(), 7, "own block forwards");
+        assert_eq!(m.load(1, a, 4).unwrap(), 0, "other block sees stale");
+        assert_eq!(m.pending_stores(), 1);
+        m.fence(0, true); // membar.gl
+        assert_eq!(m.load(1, a, 4).unwrap(), 7);
+        assert_eq!(m.pending_stores(), 0);
+    }
+
+    #[test]
+    fn cta_fence_does_not_commit() {
+        let mut m = GlobalMemory::new(MemoryModel::KeplerK520);
+        let a = m.malloc(4);
+        m.begin_kernel(2);
+        m.store(0, a, 4, 7).unwrap();
+        m.fence(0, false); // membar.cta
+        assert_eq!(m.load(1, a, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn kepler_drain_can_reorder_distinct_addresses() {
+        // Stores to x then y can commit y-first under the Kepler preset.
+        let mut seen_reorder = false;
+        for seed in 0..64 {
+            let mut m = GlobalMemory::new(MemoryModel::KeplerK520);
+            let x = m.malloc(4);
+            let y = m.malloc(4);
+            m.begin_kernel(1);
+            m.store(0, x, 4, 1).unwrap();
+            m.store(0, y, 4, 1).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            m.drain_step(&mut rng);
+            let xv = m.read_committed(x, 4).unwrap();
+            let yv = m.read_committed(y, 4).unwrap();
+            if yv == 1 && xv == 0 {
+                seen_reorder = true;
+                break;
+            }
+        }
+        assert!(seen_reorder, "Kepler preset should exhibit store reordering");
+    }
+
+    #[test]
+    fn maxwell_drain_is_fifo() {
+        for seed in 0..64 {
+            let mut m = GlobalMemory::new(MemoryModel::MaxwellTitanX);
+            let x = m.malloc(4);
+            let y = m.malloc(4);
+            m.begin_kernel(1);
+            m.store(0, x, 4, 1).unwrap();
+            m.store(0, y, 4, 1).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            m.drain_step(&mut rng);
+            let xv = m.read_committed(x, 4).unwrap();
+            let yv = m.read_committed(y, 4).unwrap();
+            assert!(!(yv == 1 && xv == 0), "Maxwell preset must not reorder");
+        }
+    }
+
+    #[test]
+    fn same_address_stores_never_reorder() {
+        for seed in 0..64 {
+            let mut m = GlobalMemory::new(MemoryModel::KeplerK520);
+            let x = m.malloc(4);
+            m.begin_kernel(1);
+            m.store(0, x, 4, 1).unwrap();
+            m.store(0, x, 4, 2).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            m.drain_step(&mut rng);
+            m.drain_step(&mut rng);
+            assert_eq!(m.read_committed(x, 4).unwrap(), 2, "final value must be the last store");
+        }
+    }
+
+    #[test]
+    fn atomic_commits_pending_stores_first() {
+        let mut m = GlobalMemory::new(MemoryModel::KeplerK520);
+        let a = m.malloc(4);
+        m.begin_kernel(2);
+        m.store(0, a, 4, 5).unwrap();
+        // Block 1's atomic must see block 0's store (coherent atomics).
+        let old = m.atomic(1, a, 4, |v| v + 1).unwrap();
+        assert_eq!(old, 5);
+        assert_eq!(m.load(1, a, 4).unwrap(), 6);
+    }
+
+    #[test]
+    fn end_kernel_drains_everything() {
+        let mut m = GlobalMemory::new(MemoryModel::KeplerK520);
+        let a = m.malloc(8);
+        m.begin_kernel(1);
+        m.store(0, a, 4, 1).unwrap();
+        m.store(0, a + 4, 4, 2).unwrap();
+        m.end_kernel();
+        assert_eq!(m.read_committed(a, 4).unwrap(), 1);
+        assert_eq!(m.read_committed(a + 4, 4).unwrap(), 2);
+    }
+
+    #[test]
+    fn shared_memory_bounds_and_atomics() {
+        let mut s = SharedMemory::new(16);
+        s.store(0, 4, 42).unwrap();
+        assert_eq!(s.load(0, 4).unwrap(), 42);
+        assert_eq!(s.atomic(0, 4, |v| v * 2).unwrap(), 42);
+        assert_eq!(s.load(0, 4).unwrap(), 84);
+        assert!(matches!(s.load(13, 4), Err(SimError::SharedOutOfBounds { .. })));
+        assert!(s.load(12, 4).is_ok());
+    }
+
+    #[test]
+    fn byte_level_mixed_sizes() {
+        let mut m = GlobalMemory::new(MemoryModel::SequentiallyConsistent);
+        let a = m.malloc(8);
+        m.begin_kernel(1);
+        m.store(0, a, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.load(0, a, 1).unwrap(), 0x88);
+        assert_eq!(m.load(0, a + 7, 1).unwrap(), 0x11);
+        assert_eq!(m.load(0, a + 4, 4).unwrap(), 0x1122_3344);
+    }
+}

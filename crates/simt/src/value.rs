@@ -1,0 +1,429 @@
+//! Typed evaluation of PTX operations over raw 64-bit register values.
+//!
+//! Registers hold untyped 64-bit patterns; every instruction interprets
+//! them according to its type suffix, exactly as PTX does. Integer
+//! arithmetic wraps at the type width; division by zero yields 0 (PTX
+//! leaves it machine-specific; a fixed total function keeps the simulator
+//! deterministic).
+
+use barracuda_ptx::ast::{AtomOp, BinOp, CmpOp, MulMode, Type, UnOp};
+
+/// Truncates `v` to the width of `ty` (no-op for 64-bit types).
+pub fn trunc(ty: Type, v: u64) -> u64 {
+    match ty.size() {
+        1 => v & 0xff,
+        2 => v & 0xffff,
+        4 => v & 0xffff_ffff,
+        _ => v,
+    }
+}
+
+/// Sign-extends the low `ty.size()` bytes of `v` to 64 bits.
+pub fn sext(ty: Type, v: u64) -> i64 {
+    match ty.size() {
+        1 => v as u8 as i8 as i64,
+        2 => v as u16 as i16 as i64,
+        4 => v as u32 as i32 as i64,
+        _ => v as i64,
+    }
+}
+
+fn f32_of(v: u64) -> f32 {
+    f32::from_bits(v as u32)
+}
+
+fn f64_of(v: u64) -> f64 {
+    f64::from_bits(v)
+}
+
+fn bits32(v: f32) -> u64 {
+    u64::from(v.to_bits())
+}
+
+fn bits64(v: f64) -> u64 {
+    v.to_bits()
+}
+
+/// Evaluates a two-operand ALU instruction.
+pub fn bin(op: BinOp, ty: Type, a: u64, b: u64) -> u64 {
+    if ty == Type::F32 {
+        let (x, y) = (f32_of(a), f32_of(b));
+        return bits32(match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Div => x / y,
+            BinOp::Rem => x % y,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            _ => return bin(op, Type::B32, a, b), // bitwise on f32 bits
+        });
+    }
+    if ty == Type::F64 {
+        let (x, y) = (f64_of(a), f64_of(b));
+        return bits64(match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Div => x / y,
+            BinOp::Rem => x % y,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            _ => return bin(op, Type::B64, a, b),
+        });
+    }
+    let signed = ty.is_signed();
+    let shift_mask = ty.size() as u32 * 8 - 1;
+    let r = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Div => {
+            if trunc(ty, b) == 0 {
+                0
+            } else if signed {
+                (sext(ty, a).wrapping_div(sext(ty, b))) as u64
+            } else {
+                trunc(ty, a) / trunc(ty, b)
+            }
+        }
+        BinOp::Rem => {
+            if trunc(ty, b) == 0 {
+                0
+            } else if signed {
+                (sext(ty, a).wrapping_rem(sext(ty, b))) as u64
+            } else {
+                trunc(ty, a) % trunc(ty, b)
+            }
+        }
+        BinOp::Min => {
+            if signed {
+                sext(ty, a).min(sext(ty, b)) as u64
+            } else {
+                trunc(ty, a).min(trunc(ty, b))
+            }
+        }
+        BinOp::Max => {
+            if signed {
+                sext(ty, a).max(sext(ty, b)) as u64
+            } else {
+                trunc(ty, a).max(trunc(ty, b))
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => trunc(ty, a) << (b as u32 & shift_mask),
+        BinOp::Shr => {
+            if signed {
+                (sext(ty, a) >> (b as u32 & shift_mask)) as u64
+            } else {
+                trunc(ty, a) >> (b as u32 & shift_mask)
+            }
+        }
+    };
+    trunc(ty, r)
+}
+
+/// Evaluates a one-operand ALU instruction.
+pub fn un(op: UnOp, ty: Type, a: u64) -> u64 {
+    if ty == Type::F32 {
+        let x = f32_of(a);
+        return bits32(match op {
+            UnOp::Neg => -x,
+            UnOp::Abs => x.abs(),
+            UnOp::Not => return trunc(ty, !a),
+        });
+    }
+    if ty == Type::F64 {
+        let x = f64_of(a);
+        return bits64(match op {
+            UnOp::Neg => -x,
+            UnOp::Abs => x.abs(),
+            UnOp::Not => return !a,
+        });
+    }
+    let r = match op {
+        UnOp::Not => !a,
+        UnOp::Neg => (a as i64).wrapping_neg() as u64,
+        UnOp::Abs => sext(ty, a).wrapping_abs() as u64,
+    };
+    trunc(ty, r)
+}
+
+/// Evaluates `mul` with an explicit width mode.
+pub fn mul(mode: MulMode, ty: Type, a: u64, b: u64) -> u64 {
+    if ty == Type::F32 {
+        return bits32(f32_of(a) * f32_of(b));
+    }
+    if ty == Type::F64 {
+        return bits64(f64_of(a) * f64_of(b));
+    }
+    let signed = ty.is_signed();
+    let (wa, wb): (i128, i128) = if signed {
+        (i128::from(sext(ty, a)), i128::from(sext(ty, b)))
+    } else {
+        (i128::from(trunc(ty, a)), i128::from(trunc(ty, b)))
+    };
+    let full = wa.wrapping_mul(wb) as u128 as u64; // low 64 bits of product
+    let full_hi = (wa.wrapping_mul(wb) >> (ty.size() * 8)) as u64;
+    match mode {
+        MulMode::Lo => trunc(ty, full),
+        MulMode::Hi => trunc(ty, full_hi),
+        // Wide: result is twice the operand width.
+        MulMode::Wide => match ty.size() {
+            4 => full, // full 64-bit product of 32-bit inputs
+            2 => full & 0xffff_ffff,
+            1 => full & 0xffff,
+            _ => full,
+        },
+    }
+}
+
+/// Evaluates `mad`/`fma`: `a*b + c` at the given mode/type.
+pub fn mad(mode: MulMode, ty: Type, a: u64, b: u64, c: u64) -> u64 {
+    if ty == Type::F32 {
+        return bits32(f32_of(a).mul_add(f32_of(b), f32_of(c)));
+    }
+    if ty == Type::F64 {
+        return bits64(f64_of(a).mul_add(f64_of(b), f64_of(c)));
+    }
+    let p = mul(mode, ty, a, b);
+    let wide_ty = if mode == MulMode::Wide && ty.size() == 4 {
+        if ty.is_signed() {
+            Type::S64
+        } else {
+            Type::U64
+        }
+    } else {
+        ty
+    };
+    bin(BinOp::Add, wide_ty, p, c)
+}
+
+/// Evaluates a `setp` comparison.
+pub fn cmp(op: CmpOp, ty: Type, a: u64, b: u64) -> bool {
+    if ty.is_float() {
+        let (x, y) = if ty == Type::F32 {
+            (f64::from(f32_of(a)), f64::from(f32_of(b)))
+        } else {
+            (f64_of(a), f64_of(b))
+        };
+        return match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt | CmpOp::Lo => x < y,
+            CmpOp::Le | CmpOp::Ls => x <= y,
+            CmpOp::Gt | CmpOp::Hi => x > y,
+            CmpOp::Ge | CmpOp::Hs => x >= y,
+        };
+    }
+    let (sa, sb) = (sext(ty, a), sext(ty, b));
+    let (ua, ub) = (trunc(ty, a), trunc(ty, b));
+    let signed = ty.is_signed();
+    match op {
+        CmpOp::Eq => ua == ub,
+        CmpOp::Ne => ua != ub,
+        CmpOp::Lt => {
+            if signed {
+                sa < sb
+            } else {
+                ua < ub
+            }
+        }
+        CmpOp::Le => {
+            if signed {
+                sa <= sb
+            } else {
+                ua <= ub
+            }
+        }
+        CmpOp::Gt => {
+            if signed {
+                sa > sb
+            } else {
+                ua > ub
+            }
+        }
+        CmpOp::Ge => {
+            if signed {
+                sa >= sb
+            } else {
+                ua >= ub
+            }
+        }
+        CmpOp::Lo => ua < ub,
+        CmpOp::Ls => ua <= ub,
+        CmpOp::Hi => ua > ub,
+        CmpOp::Hs => ua >= ub,
+    }
+}
+
+/// Evaluates `cvt.dty.sty`.
+pub fn cvt(dty: Type, sty: Type, a: u64) -> u64 {
+    match (dty.is_float(), sty.is_float()) {
+        (false, false) => {
+            // Integer → integer: sign- or zero-extend per *source* type,
+            // then truncate to destination width.
+            let wide = if sty.is_signed() { sext(sty, a) as u64 } else { trunc(sty, a) };
+            trunc(dty, wide)
+        }
+        (true, false) => {
+            let v = if sty.is_signed() { sext(sty, a) as f64 } else { trunc(sty, a) as f64 };
+            if dty == Type::F32 {
+                bits32(v as f32)
+            } else {
+                bits64(v)
+            }
+        }
+        (false, true) => {
+            let v = if sty == Type::F32 { f64::from(f32_of(a)) } else { f64_of(a) };
+            let i = if dty.is_signed() { v as i64 as u64 } else { v as u64 };
+            trunc(dty, i)
+        }
+        (true, true) => {
+            if dty == sty {
+                a
+            } else if dty == Type::F64 {
+                bits64(f64::from(f32_of(a)))
+            } else {
+                bits32(f64_of(a) as f32)
+            }
+        }
+    }
+}
+
+/// Computes the new memory value for an atomic read-modify-write.
+/// `old` is the current memory value, `a` the operand, `b` the swap value
+/// for `cas`. Returns the value to store.
+pub fn atom_rmw(op: AtomOp, ty: Type, old: u64, a: u64, b: u64) -> u64 {
+    let r = match op {
+        AtomOp::Add => return bin(BinOp::Add, ty, old, a),
+        AtomOp::Exch => a,
+        AtomOp::Cas => {
+            if trunc(ty, old) == trunc(ty, a) {
+                b
+            } else {
+                old
+            }
+        }
+        AtomOp::Min => return bin(BinOp::Min, ty, old, a),
+        AtomOp::Max => return bin(BinOp::Max, ty, old, a),
+        AtomOp::And => old & a,
+        AtomOp::Or => old | a,
+        AtomOp::Xor => old ^ a,
+        // CUDA semantics: inc wraps to 0 past the bound, dec wraps to the
+        // bound below 0.
+        AtomOp::Inc => {
+            if trunc(ty, old) >= trunc(ty, a) {
+                0
+            } else {
+                old.wrapping_add(1)
+            }
+        }
+        AtomOp::Dec => {
+            if trunc(ty, old) == 0 || trunc(ty, old) > trunc(ty, a) {
+                a
+            } else {
+                old.wrapping_sub(1)
+            }
+        }
+    };
+    trunc(ty, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_add_at_width() {
+        assert_eq!(bin(BinOp::Add, Type::U32, 0xffff_ffff, 1), 0);
+        assert_eq!(bin(BinOp::Add, Type::U64, u64::MAX, 1), 0);
+        assert_eq!(bin(BinOp::Add, Type::S32, 0x7fff_ffff, 1), 0x8000_0000);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_division() {
+        // -6 / 2 = -3 (signed), huge/2 (unsigned)
+        let neg6 = trunc(Type::U32, (-6i64) as u64);
+        assert_eq!(sext(Type::S32, bin(BinOp::Div, Type::S32, neg6, 2)), -3);
+        assert_eq!(bin(BinOp::Div, Type::U32, neg6, 2), 0x7fff_fffd);
+        assert_eq!(bin(BinOp::Div, Type::S32, 5, 0), 0);
+        assert_eq!(bin(BinOp::Rem, Type::U32, 5, 0), 0);
+    }
+
+    #[test]
+    fn min_max_respect_sign() {
+        let neg1 = trunc(Type::U32, (-1i64) as u64);
+        assert_eq!(bin(BinOp::Min, Type::S32, neg1, 1), neg1);
+        assert_eq!(bin(BinOp::Min, Type::U32, neg1, 1), 1);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(bin(BinOp::Shl, Type::B32, 1, 4), 16);
+        assert_eq!(bin(BinOp::Shr, Type::U32, 0x8000_0000, 31), 1);
+        let neg = trunc(Type::U32, (-8i64) as u64);
+        assert_eq!(sext(Type::S32, bin(BinOp::Shr, Type::S32, neg, 1)), -4);
+    }
+
+    #[test]
+    fn mul_modes() {
+        assert_eq!(mul(MulMode::Lo, Type::U32, 0x1_0000, 0x1_0000), 0); // overflowed low half
+        assert_eq!(mul(MulMode::Wide, Type::U32, 0x1_0000, 0x1_0000), 0x1_0000_0000);
+        assert_eq!(mul(MulMode::Hi, Type::U32, 0x1_0000, 0x1_0000), 1);
+        // Signed wide: -2 * 3 = -6 as 64-bit
+        let neg2 = trunc(Type::U32, (-2i64) as u64);
+        assert_eq!(mul(MulMode::Wide, Type::S32, neg2, 3) as i64, -6);
+    }
+
+    #[test]
+    fn mad_wide_adds_at_result_width() {
+        let r = mad(MulMode::Wide, Type::U32, 0x1_0000, 0x1_0000, 5);
+        assert_eq!(r, 0x1_0000_0005);
+    }
+
+    #[test]
+    fn comparisons() {
+        let neg1 = trunc(Type::U32, (-1i64) as u64);
+        assert!(cmp(CmpOp::Lt, Type::S32, neg1, 0));
+        assert!(!cmp(CmpOp::Lt, Type::U32, neg1, 0));
+        assert!(cmp(CmpOp::Hi, Type::U32, neg1, 0));
+        assert!(cmp(CmpOp::Eq, Type::U8, 0x1_00, 0x2_00)); // equal at 8-bit width
+    }
+
+    #[test]
+    fn float_ops() {
+        let a = 2.5f32.to_bits() as u64;
+        let b = 0.5f32.to_bits() as u64;
+        assert_eq!(f32::from_bits(bin(BinOp::Add, Type::F32, a, b) as u32), 3.0);
+        assert_eq!(f32::from_bits(mul(MulMode::Lo, Type::F32, a, b) as u32), 1.25);
+        assert!(cmp(CmpOp::Gt, Type::F32, a, b));
+        assert_eq!(f32::from_bits(un(UnOp::Neg, Type::F32, a) as u32), -2.5);
+    }
+
+    #[test]
+    fn conversions() {
+        // u32 -> u64 zero-extends; s32 -> s64 sign-extends.
+        let neg1_32 = trunc(Type::U32, (-1i64) as u64);
+        assert_eq!(cvt(Type::U64, Type::U32, neg1_32), 0xffff_ffff);
+        assert_eq!(cvt(Type::S64, Type::S32, neg1_32) as i64, -1);
+        // float <-> int
+        assert_eq!(cvt(Type::U32, Type::F32, (7.9f32).to_bits() as u64), 7);
+        assert_eq!(f32::from_bits(cvt(Type::F32, Type::U32, 3) as u32), 3.0);
+        // f32 <-> f64
+        let d = cvt(Type::F64, Type::F32, (1.5f32).to_bits() as u64);
+        assert_eq!(f64::from_bits(d), 1.5);
+    }
+
+    #[test]
+    fn atomics() {
+        assert_eq!(atom_rmw(AtomOp::Add, Type::U32, 10, 5, 0), 15);
+        assert_eq!(atom_rmw(AtomOp::Exch, Type::U32, 10, 5, 0), 5);
+        assert_eq!(atom_rmw(AtomOp::Cas, Type::U32, 0, 0, 9), 9); // matched
+        assert_eq!(atom_rmw(AtomOp::Cas, Type::U32, 3, 0, 9), 3); // unmatched
+        assert_eq!(atom_rmw(AtomOp::Min, Type::U32, 10, 5, 0), 5);
+        assert_eq!(atom_rmw(AtomOp::Inc, Type::U32, 5, 10, 0), 6);
+        assert_eq!(atom_rmw(AtomOp::Inc, Type::U32, 10, 10, 0), 0); // wraps
+        assert_eq!(atom_rmw(AtomOp::Dec, Type::U32, 0, 10, 0), 10); // wraps
+        assert_eq!(atom_rmw(AtomOp::Dec, Type::U32, 4, 10, 0), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-warp execution state: registers, the SIMT reconvergence stack and
+//! lane liveness.
+
+use barracuda_ptx::ast::Reg;
+
+/// Why a stack entry exists; determines which trace event its pop emits
+/// (`Then` → `else`, `Else` → `fi`, `Base` → nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// The bottom entry, or a branch's reconvergence continuation.
+    Base,
+    /// The first-executed path of a divergent branch.
+    Then,
+    /// The second-executed path of a divergent branch.
+    Else,
+}
+
+/// One SIMT stack entry.
+#[derive(Debug, Clone, Copy)]
+pub struct StackEntry {
+    /// Next instruction index for this path (`usize::MAX` = "reconverges
+    /// only at exit").
+    pub pc: usize,
+    /// Lanes active on this path.
+    pub mask: u32,
+    /// Reconvergence instruction index: pop when `pc` reaches it.
+    pub rpc: Option<usize>,
+    /// Determines the trace event emitted when this entry pops.
+    pub kind: EntryKind,
+}
+
+/// Scheduling status of a warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // states are self-describing
+pub enum WarpStatus {
+    Ready,
+    /// Arrived at `bar.sync` with the recorded mask; waiting for release.
+    AtBarrier,
+    Done,
+}
+
+/// Full state of one warp.
+#[derive(Debug)]
+pub struct WarpState {
+    /// Global warp id.
+    pub warp: u64,
+    /// Linear block index.
+    pub block: u64,
+    /// Initially-live lanes (partial last warp support).
+    pub live_mask: u32,
+    /// Lanes that executed `ret`/`exit`.
+    pub exited: u32,
+    /// The SIMT reconvergence stack (top = executing path).
+    pub stack: Vec<StackEntry>,
+    /// Scheduling status.
+    pub status: WarpStatus,
+    /// Mask the warp arrived at the current barrier with.
+    pub barrier_mask: u32,
+    /// Per-lane register files: `regs[lane * nregs + reg]`.
+    regs: Vec<u64>,
+    nregs: usize,
+}
+
+impl WarpState {
+    /// Creates a warp poised at instruction 0 with all live lanes active.
+    pub fn new(warp: u64, block: u64, live_mask: u32, nregs: usize, warp_size: u32) -> Self {
+        WarpState {
+            warp,
+            block,
+            live_mask,
+            exited: 0,
+            stack: vec![StackEntry { pc: 0, mask: live_mask, rpc: None, kind: EntryKind::Base }],
+            status: WarpStatus::Ready,
+            barrier_mask: 0,
+            regs: vec![0; nregs * warp_size as usize],
+            nregs,
+        }
+    }
+
+    /// Reads lane `lane`'s register `r`.
+    pub fn reg(&self, lane: u32, r: Reg) -> u64 {
+        self.regs[lane as usize * self.nregs + r.index()]
+    }
+
+    /// Writes lane `lane`'s register `r`.
+    pub fn set_reg(&mut self, lane: u32, r: Reg, v: u64) {
+        self.regs[lane as usize * self.nregs + r.index()] = v;
+    }
+
+    /// Current top-of-stack entry.
+    pub fn top(&self) -> Option<&StackEntry> {
+        self.stack.last()
+    }
+
+    /// Lanes currently executing: top mask minus exited lanes.
+    pub fn active_mask(&self) -> u32 {
+        self.top().map_or(0, |e| e.mask & !self.exited)
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> Option<usize> {
+        self.top().map(|e| e.pc)
+    }
+
+    /// Lanes that have not exited.
+    pub fn surviving_mask(&self) -> u32 {
+        self.live_mask & !self.exited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_warp_state() {
+        let w = WarpState::new(3, 1, 0b1111, 8, 4);
+        assert_eq!(w.active_mask(), 0b1111);
+        assert_eq!(w.pc(), Some(0));
+        assert_eq!(w.status, WarpStatus::Ready);
+        assert_eq!(w.surviving_mask(), 0b1111);
+    }
+
+    #[test]
+    fn registers_are_per_lane() {
+        let mut w = WarpState::new(0, 0, 0b11, 4, 2);
+        w.set_reg(0, Reg(2), 10);
+        w.set_reg(1, Reg(2), 20);
+        assert_eq!(w.reg(0, Reg(2)), 10);
+        assert_eq!(w.reg(1, Reg(2)), 20);
+        assert_eq!(w.reg(0, Reg(3)), 0);
+    }
+
+    #[test]
+    fn exited_lanes_leave_active_mask() {
+        let mut w = WarpState::new(0, 0, 0b1111, 1, 4);
+        w.exited = 0b0101;
+        assert_eq!(w.active_mask(), 0b1010);
+        assert_eq!(w.surviving_mask(), 0b1010);
+    }
+}

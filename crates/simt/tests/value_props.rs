@@ -1,0 +1,113 @@
+//! Property tests over the typed ALU semantics: agreement with wide
+//! integer arithmetic, conversion identities, and atomic RMW laws.
+
+use barracuda_ptx::ast::{AtomOp, BinOp, CmpOp, MulMode, Type};
+use barracuda_simt::value;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn add_sub_inverse_at_every_width(a in any::<u64>(), b in any::<u64>()) {
+        for ty in [Type::U8, Type::U16, Type::U32, Type::U64, Type::S32, Type::S64] {
+            let s = value::bin(BinOp::Add, ty, a, b);
+            let back = value::bin(BinOp::Sub, ty, s, b);
+            prop_assert_eq!(back, value::trunc(ty, a), "{:?}", ty);
+        }
+    }
+
+    #[test]
+    fn mul_wide_u32_is_exact_product(a in any::<u32>(), b in any::<u32>()) {
+        let wide = value::mul(MulMode::Wide, Type::U32, u64::from(a), u64::from(b));
+        prop_assert_eq!(wide, u64::from(a) * u64::from(b));
+    }
+
+    #[test]
+    fn mul_lo_hi_compose_u32(a in any::<u32>(), b in any::<u32>()) {
+        let lo = value::mul(MulMode::Lo, Type::U32, u64::from(a), u64::from(b));
+        let hi = value::mul(MulMode::Hi, Type::U32, u64::from(a), u64::from(b));
+        prop_assert_eq!((hi << 32) | lo, u64::from(a) * u64::from(b));
+    }
+
+    #[test]
+    fn mul_wide_s32_is_exact_product(a in any::<i32>(), b in any::<i32>()) {
+        let wide = value::mul(
+            MulMode::Wide,
+            Type::S32,
+            a as u32 as u64,
+            b as u32 as u64,
+        ) as i64;
+        prop_assert_eq!(wide, i64::from(a) * i64::from(b));
+    }
+
+    #[test]
+    fn widening_conversions_preserve_value(v in any::<u32>()) {
+        prop_assert_eq!(value::cvt(Type::U64, Type::U32, u64::from(v)), u64::from(v));
+        let s = v as i32;
+        prop_assert_eq!(value::cvt(Type::S64, Type::S32, u64::from(v)) as i64, i64::from(s));
+        // Narrow-then-widen truncates at the narrow width.
+        let n = value::cvt(Type::U8, Type::U32, u64::from(v));
+        prop_assert_eq!(value::cvt(Type::U32, Type::U8, n), u64::from(v & 0xff));
+    }
+
+    #[test]
+    fn comparisons_are_consistent_with_rust(a in any::<i32>(), b in any::<i32>()) {
+        let (ua, ub) = (a as u32 as u64, b as u32 as u64);
+        prop_assert_eq!(value::cmp(CmpOp::Lt, Type::S32, ua, ub), a < b);
+        prop_assert_eq!(value::cmp(CmpOp::Ge, Type::S32, ua, ub), a >= b);
+        prop_assert_eq!(value::cmp(CmpOp::Lo, Type::U32, ua, ub), (a as u32) < (b as u32));
+        prop_assert_eq!(value::cmp(CmpOp::Eq, Type::S32, ua, ub), a == b);
+        // Trichotomy.
+        let lt = value::cmp(CmpOp::Lt, Type::S32, ua, ub);
+        let gt = value::cmp(CmpOp::Gt, Type::S32, ua, ub);
+        let eq = value::cmp(CmpOp::Eq, Type::S32, ua, ub);
+        prop_assert_eq!(u8::from(lt) + u8::from(gt) + u8::from(eq), 1);
+    }
+
+    #[test]
+    fn atomic_cas_is_conditional(old in any::<u32>(), cmp in any::<u32>(), new in any::<u32>()) {
+        let r = value::atom_rmw(AtomOp::Cas, Type::B32, u64::from(old), u64::from(cmp), u64::from(new));
+        if old == cmp {
+            prop_assert_eq!(r, u64::from(new));
+        } else {
+            prop_assert_eq!(r, u64::from(old));
+        }
+    }
+
+    #[test]
+    fn atomic_inc_stays_in_bounds(old in any::<u32>(), bound in 1..u32::MAX) {
+        let r = value::atom_rmw(AtomOp::Inc, Type::U32, u64::from(old), u64::from(bound), 0);
+        prop_assert!(r <= u64::from(bound), "inc result {r} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn atomic_dec_stays_in_bounds(old in any::<u32>(), bound in 1..u32::MAX) {
+        let r = value::atom_rmw(AtomOp::Dec, Type::U32, u64::from(old), u64::from(bound), 0);
+        prop_assert!(r <= u64::from(bound), "dec result {r} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn bitwise_ops_match_rust(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(value::bin(BinOp::And, Type::B64, a, b), a & b);
+        prop_assert_eq!(value::bin(BinOp::Or, Type::B64, a, b), a | b);
+        prop_assert_eq!(value::bin(BinOp::Xor, Type::B64, a, b), a ^ b);
+        prop_assert_eq!(value::bin(BinOp::Xor, Type::B32, a, b), (a ^ b) & 0xffff_ffff);
+    }
+
+    #[test]
+    fn float_ops_match_rust(a in any::<f32>(), b in any::<f32>()) {
+        let (ba, bb) = (u64::from(a.to_bits()), u64::from(b.to_bits()));
+        let sum = f32::from_bits(value::bin(BinOp::Add, Type::F32, ba, bb) as u32);
+        // NaN-safe comparison via bits.
+        prop_assert_eq!(sum.to_bits(), (a + b).to_bits());
+        let prod = f32::from_bits(value::mul(MulMode::Lo, Type::F32, ba, bb) as u32);
+        prop_assert_eq!(prod.to_bits(), (a * b).to_bits());
+    }
+
+    #[test]
+    fn division_never_panics(a in any::<u64>(), b in any::<u64>()) {
+        for ty in [Type::U32, Type::S32, Type::U64, Type::S64, Type::F32, Type::F64] {
+            let _ = value::bin(BinOp::Div, ty, a, b);
+            let _ = value::bin(BinOp::Rem, ty, a, b);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Standalone-atomic semantics (paper §3.3.2) and byte-granularity cases.
+
+use crate::{module_src, ArgSpec, Expectation, SuiteProgram};
+use barracuda_trace::GridDims;
+
+#[allow(clippy::vec_init_then_push)] // one block per program reads best
+pub(crate) fn programs() -> Vec<SuiteProgram> {
+    let mut v = Vec::new();
+
+    v.push(SuiteProgram {
+        name: "atomic_exch_concurrent_norace",
+        description: "concurrent atomic exchanges never race with each other",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             atom.global.exch.b32 %r1, [%rd1], %r29;\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "atomic_inc_dec_norace",
+        description: "mixed atomic inc and dec on one counter",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             setp.eq.s32 %p1, %r29, 0;\n\
+             @!%p1 bra L_dec;\n\
+             atom.global.inc.u32 %r1, [%rd1], 100;\n\
+             bra.uni L_end;\n\
+             L_dec:\n\
+             atom.global.dec.u32 %r1, [%rd1], 100;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "red_vs_read_race",
+        description: "a red reduction races with a plain load",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             setp.eq.s32 %p1, %r29, 0;\n\
+             @!%p1 bra L_rd;\n\
+             red.global.add.u32 [%rd1], 1;\n\
+             bra.uni L_end;\n\
+             L_rd:\n\
+             ld.global.u32 %r1, [%rd1];\n\
+             st.global.u32 [%rd1+4], %r1;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(8)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "atomic_min_max_norace",
+        description: "atomic min and max on the same word",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             setp.eq.s32 %p1, %r29, 0;\n\
+             @!%p1 bra L_max;\n\
+             atom.global.min.u32 %r1, [%rd1], 3;\n\
+             bra.uni L_end;\n\
+             L_max:\n\
+             atom.global.max.u32 %r1, [%rd1], 9;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "atomic_then_own_write_norace",
+        description: "a thread's plain write after its own atomic is program-ordered",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             atom.global.add.u32 %r1, [%rd1], 1;\n\
+             st.global.u32 [%rd1], 5;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 1u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "atomic_independent_locations_norace",
+        description: "atomics on shared and global words are independent",
+        source: module_src(
+            ".param .u64 buf",
+            "        .shared .align 4 .b8 sm[4];\n\
+             ld.param.u64 %rd1, [buf];\n\
+             atom.shared.add.u32 %r1, [sm], 1;\n\
+             atom.global.add.u32 %r2, [%rd1], 1;\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 32u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "byte_overlap_race",
+        description: "a u32 store overlaps a u8 store at byte granularity",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             setp.eq.s32 %p1, %r29, 0;\n\
+             @!%p1 bra L_b;\n\
+             st.global.u32 [%rd1], 257;\n\
+             bra.uni L_end;\n\
+             L_b:\n\
+             st.global.u8 [%rd1+2], 7;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "byte_adjacent_norace",
+        description: "adjacent but non-overlapping stores of different sizes",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             setp.eq.s32 %p1, %r29, 0;\n\
+             @!%p1 bra L_b;\n\
+             st.global.u32 [%rd1], 1;\n\
+             bra.uni L_end;\n\
+             L_b:\n\
+             st.global.u8 [%rd1+4], 2;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(8)],
+        expected: Expectation::NoRace,
+    });
+
+    v
+}

@@ -1,0 +1,157 @@
+//! Barrier programs: divergence bugs, correct staging, and the limits of
+//! block-level barriers.
+
+use crate::{module_src, ArgSpec, Expectation, SuiteProgram, LIN_TID};
+use barracuda_trace::GridDims;
+
+/// The shared-memory tree reduction used by two programs; `initial_bar`
+/// toggles the staging barrier before the loop.
+fn reduction(initial_bar: bool) -> String {
+    let bar = if initial_bar { "bar.sync 0;\n" } else { "" };
+    module_src(
+        ".param .u64 out",
+        &format!(
+            "        .shared .align 4 .b8 sm[256];\n\
+             mov.u32 %r30, %tid.x;\n\
+             ld.param.u64 %rd1, [out];\n\
+             mov.u64 %rd3, sm;\n\
+             mul.wide.s32 %rd2, %r30, 4;\n\
+             add.s64 %rd4, %rd3, %rd2;\n\
+             st.shared.u32 [%rd4], %r30;\n\
+             {bar}\
+             mov.u32 %r1, 32;\n\
+             L_loop:\n\
+             setp.ge.u32 %p1, %r30, %r1;\n\
+             @%p1 bra L_skip;\n\
+             add.s32 %r2, %r30, %r1;\n\
+             mul.wide.s32 %rd5, %r2, 4;\n\
+             add.s64 %rd6, %rd3, %rd5;\n\
+             ld.shared.u32 %r3, [%rd6];\n\
+             ld.shared.u32 %r4, [%rd4];\n\
+             add.s32 %r4, %r4, %r3;\n\
+             st.shared.u32 [%rd4], %r4;\n\
+             L_skip:\n\
+             bar.sync 0;\n\
+             shr.u32 %r1, %r1, 1;\n\
+             setp.gt.u32 %p2, %r1, 0;\n\
+             @%p2 bra L_loop;\n\
+             setp.ne.s32 %p3, %r30, 0;\n\
+             @%p3 bra L_end;\n\
+             ld.shared.u32 %r5, [%rd4];\n\
+             st.global.u32 [%rd1], %r5;\n\
+             L_end:\n\
+             ret;"
+        ),
+    )
+}
+
+#[allow(clippy::vec_init_then_push)] // one block per program reads best
+pub(crate) fn programs() -> Vec<SuiteProgram> {
+    let mut v = Vec::new();
+
+    v.push(SuiteProgram {
+        name: "barrier_divergence_conditional",
+        description: "only even threads reach bar.sync",
+        source: module_src(
+            "",
+            "mov.u32 %r30, %tid.x;\n\
+             and.b32 %r1, %r30, 1;\n\
+             setp.eq.s32 %p1, %r1, 1;\n\
+             @%p1 bra L_skip;\n\
+             bar.sync 0;\n\
+             L_skip:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![],
+        expected: Expectation::BarrierDivergence,
+    });
+
+    v.push(SuiteProgram {
+        name: "barrier_divergence_early_exit",
+        description: "one thread returns before the barrier",
+        source: module_src(
+            "",
+            "mov.u32 %r30, %tid.x;\n\
+             setp.eq.s32 %p1, %r30, 0;\n\
+             @%p1 ret;\n\
+             bar.sync 0;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![],
+        expected: Expectation::BarrierDivergence,
+    });
+
+    v.push(SuiteProgram {
+        name: "barrier_full_block_norace",
+        description: "all threads hit the barrier; disjoint accesses",
+        source: module_src(
+            ".param .u64 buf",
+            &format!(
+                "{LIN_TID}\
+                 ld.param.u64 %rd1, [buf];\n\
+                 mul.wide.s32 %rd2, %r27, 4;\n\
+                 add.s64 %rd3, %rd1, %rd2;\n\
+                 st.global.u32 [%rd3], %r27;\n\
+                 bar.sync 0;\n\
+                 ld.global.u32 %r1, [%rd3];\n\
+                 st.global.u32 [%rd3], %r1;\n\
+                 ret;"
+            ),
+        ),
+        dims: GridDims::new(2u32, 64u32),
+        args: vec![ArgSpec::Buf(128 * 4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "barrier_not_cross_block_race",
+        description: "bar.sync does not order accesses across blocks",
+        source: module_src(
+            ".param .u64 buf",
+            &format!(
+                "{LIN_TID}\
+                 ld.param.u64 %rd1, [buf];\n\
+                 setp.ne.s32 %p1, %r30, 0;\n\
+                 @%p1 bra L_bar;\n\
+                 setp.ne.s32 %p2, %r29, 0;\n\
+                 @%p2 bra L_bar;\n\
+                 st.global.u32 [%rd1], 7;\n\
+                 L_bar:\n\
+                 bar.sync 0;\n\
+                 setp.ne.s32 %p3, %r30, 0;\n\
+                 @%p3 bra L_end;\n\
+                 setp.ne.s32 %p4, %r29, 1;\n\
+                 @%p4 bra L_end;\n\
+                 ld.global.u32 %r1, [%rd1];\n\
+                 st.global.u32 [%rd1+4], %r1;\n\
+                 L_end:\n\
+                 ret;"
+            ),
+        ),
+        dims: GridDims::new(2u32, 32u32),
+        args: vec![ArgSpec::Buf(8)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "reduction_barriers_norace",
+        description: "tree reduction in shared memory with a barrier per level",
+        source: reduction(true),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "reduction_missing_initial_barrier_race",
+        description: "first reduction level reads the other warp's unstaged elements",
+        source: reduction(false),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::Race,
+    });
+
+    v
+}

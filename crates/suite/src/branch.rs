@@ -1,0 +1,200 @@
+//! Branch-ordering races (the paper's new bug class) and warp-synchronous
+//! idioms.
+
+use crate::{module_src, ArgSpec, Expectation, SuiteProgram};
+use barracuda_trace::GridDims;
+
+#[allow(clippy::vec_init_then_push)] // one block per program reads best
+pub(crate) fn programs() -> Vec<SuiteProgram> {
+    let mut v = Vec::new();
+
+    v.push(SuiteProgram {
+        name: "branch_ordering_race",
+        description: "then and else paths of one warp write the same word",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r30, %tid.x;\n\
+             setp.ge.s32 %p1, %r30, 2;\n\
+             @%p1 bra L_end;\n\
+             setp.eq.s32 %p2, %r30, 0;\n\
+             @%p2 bra L_then;\n\
+             st.global.u32 [%rd1], 2;\n\
+             bra.uni L_end;\n\
+             L_then:\n\
+             st.global.u32 [%rd1], 1;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "branch_disjoint_paths_norace",
+        description: "then and else paths write different words",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r30, %tid.x;\n\
+             setp.ge.s32 %p1, %r30, 2;\n\
+             @%p1 bra L_end;\n\
+             setp.eq.s32 %p2, %r30, 0;\n\
+             @%p2 bra L_then;\n\
+             st.global.u32 [%rd1+4], 2;\n\
+             bra.uni L_end;\n\
+             L_then:\n\
+             st.global.u32 [%rd1], 1;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![ArgSpec::Buf(8)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "branch_after_fi_norace",
+        description: "reconvergence orders reads after both paths' writes",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r30, %tid.x;\n\
+             setp.ge.s32 %p1, %r30, 2;\n\
+             @%p1 bra L_join;\n\
+             setp.eq.s32 %p2, %r30, 0;\n\
+             @%p2 bra L_then;\n\
+             st.global.u32 [%rd1+4], 2;\n\
+             bra.uni L_join;\n\
+             L_then:\n\
+             st.global.u32 [%rd1], 1;\n\
+             L_join:\n\
+             setp.ne.s32 %p3, %r30, 5;\n\
+             @%p3 bra L_end;\n\
+             ld.global.u32 %r1, [%rd1];\n\
+             ld.global.u32 %r2, [%rd1+4];\n\
+             add.s32 %r1, %r1, %r2;\n\
+             st.global.u32 [%rd1+8], %r1;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![ArgSpec::Buf(12)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "branch_nested_race",
+        description: "inner branches of nested divergence write the same word",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r30, %tid.x;\n\
+             setp.ge.s32 %p1, %r30, 2;\n\
+             @%p1 bra L_end;\n\
+             setp.eq.s32 %p2, %r30, 0;\n\
+             @%p2 bra L_inner_then;\n\
+             st.global.u32 [%rd1], 2;\n\
+             bra.uni L_inner_end;\n\
+             L_inner_then:\n\
+             st.global.u32 [%rd1], 1;\n\
+             L_inner_end:\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "predicated_write_race",
+        description: "a guarded store executed by two lanes to one word (predication transform)",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r30, %tid.x;\n\
+             setp.lt.s32 %p1, %r30, 2;\n\
+             @%p1 st.global.u32 [%rd1], %r30;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "warp_synchronous_shuffle_norace",
+        description: "neighbour exchange within one warp relies on lockstep execution",
+        source: module_src(
+            ".param .u64 out",
+            "        .shared .align 4 .b8 sm[128];\n\
+             ld.param.u64 %rd1, [out];\n\
+             mov.u32 %r30, %tid.x;\n\
+             mov.u64 %rd3, sm;\n\
+             mul.wide.s32 %rd2, %r30, 4;\n\
+             add.s64 %rd4, %rd3, %rd2;\n\
+             st.shared.u32 [%rd4], %r30;\n\
+             add.s32 %r1, %r30, 1;\n\
+             and.b32 %r1, %r1, 31;\n\
+             mul.wide.s32 %rd5, %r1, 4;\n\
+             add.s64 %rd6, %rd3, %rd5;\n\
+             ld.shared.u32 %r2, [%rd6];\n\
+             add.s64 %rd7, %rd1, %rd2;\n\
+             st.global.u32 [%rd7], %r2;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![ArgSpec::Buf(32 * 4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "interwarp_shuffle_race",
+        description: "the same exchange across warps is racy without a barrier",
+        source: module_src(
+            ".param .u64 out",
+            "        .shared .align 4 .b8 sm[256];\n\
+             ld.param.u64 %rd1, [out];\n\
+             mov.u32 %r30, %tid.x;\n\
+             mov.u64 %rd3, sm;\n\
+             mul.wide.s32 %rd2, %r30, 4;\n\
+             add.s64 %rd4, %rd3, %rd2;\n\
+             st.shared.u32 [%rd4], %r30;\n\
+             add.s32 %r1, %r30, 32;\n\
+             and.b32 %r1, %r1, 63;\n\
+             mul.wide.s32 %rd5, %r1, 4;\n\
+             add.s64 %rd6, %rd3, %rd5;\n\
+             ld.shared.u32 %r2, [%rd6];\n\
+             add.s64 %rd7, %rd1, %rd2;\n\
+             st.global.u32 [%rd7], %r2;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![ArgSpec::Buf(64 * 4)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "branch_uniform_norace",
+        description: "a branch every lane takes the same way, disjoint writes",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r30, %tid.x;\n\
+             setp.ge.s32 %p1, %r30, 0;\n\
+             @!%p1 bra L_end;\n\
+             mul.wide.s32 %rd2, %r30, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             st.global.u32 [%rd3], %r30;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![ArgSpec::Buf(32 * 4)],
+        expected: Expectation::NoRace,
+    });
+
+    v
+}

@@ -1,0 +1,280 @@
+//! Global-memory race and race-free programs, including flag
+//! synchronization with every fence-scope combination (paper §3.3.4).
+
+use crate::{module_src, ArgSpec, Expectation, SuiteProgram, LIN_TID};
+use barracuda_trace::GridDims;
+
+#[allow(clippy::vec_init_then_push)] // one block per program reads best
+pub(crate) fn programs() -> Vec<SuiteProgram> {
+    let mut v = Vec::new();
+
+    v.push(SuiteProgram {
+        name: "global_ww_interblock_race",
+        description: "thread 0 of each block writes the same global word",
+        source: module_src(
+            ".param .u64 buf",
+            &format!(
+                "{LIN_TID}\
+                 ld.param.u64 %rd1, [buf];\n\
+                 setp.ne.s32 %p1, %r30, 0;\n\
+                 @%p1 bra L_end;\n\
+                 add.s32 %r1, %r29, 1;\n\
+                 st.global.u32 [%rd1], %r1;\n\
+                 L_end:\n\
+                 ret;"
+            ),
+        ),
+        dims: GridDims::new(2u32, 32u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_rw_interblock_race",
+        description: "block 0 writes a global word block 1 reads",
+        source: module_src(
+            ".param .u64 buf",
+            &format!(
+                "{LIN_TID}\
+                 ld.param.u64 %rd1, [buf];\n\
+                 setp.ne.s32 %p1, %r30, 0;\n\
+                 @%p1 bra L_end;\n\
+                 setp.eq.s32 %p2, %r29, 0;\n\
+                 @!%p2 bra L_read;\n\
+                 st.global.u32 [%rd1], 7;\n\
+                 bra.uni L_end;\n\
+                 L_read:\n\
+                 ld.global.u32 %r2, [%rd1];\n\
+                 st.global.u32 [%rd1+4], %r2;\n\
+                 L_end:\n\
+                 ret;"
+            ),
+        ),
+        dims: GridDims::new(2u32, 32u32),
+        args: vec![ArgSpec::Buf(8)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_disjoint_norace",
+        description: "every thread writes its own element",
+        source: module_src(
+            ".param .u64 buf",
+            &format!(
+                "{LIN_TID}\
+                 ld.param.u64 %rd1, [buf];\n\
+                 mul.wide.s32 %rd2, %r27, 4;\n\
+                 add.s64 %rd3, %rd1, %rd2;\n\
+                 st.global.u32 [%rd3], %r27;\n\
+                 ret;"
+            ),
+        ),
+        dims: GridDims::new(2u32, 32u32),
+        args: vec![ArgSpec::Buf(64 * 4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_readonly_norace",
+        description: "every thread reads the same word, writes its own",
+        source: module_src(
+            ".param .u64 buf",
+            &format!(
+                "{LIN_TID}\
+                 ld.param.u64 %rd1, [buf];\n\
+                 ld.global.u32 %r1, [%rd1];\n\
+                 mul.wide.s32 %rd2, %r27, 4;\n\
+                 add.s64 %rd3, %rd1, %rd2;\n\
+                 st.global.u32 [%rd3+4], %r1;\n\
+                 ret;"
+            ),
+        ),
+        dims: GridDims::new(2u32, 32u32),
+        args: vec![ArgSpec::Buf(65 * 4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_atomic_counter_norace",
+        description: "all threads atomically increment one counter",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             atom.global.add.u32 %r1, [%rd1], 1;\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 32u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_atomic_vs_write_race",
+        description: "atomic RMW in one block, plain store in another",
+        source: module_src(
+            ".param .u64 buf",
+            &format!(
+                "{LIN_TID}\
+                 ld.param.u64 %rd1, [buf];\n\
+                 setp.ne.s32 %p1, %r30, 0;\n\
+                 @%p1 bra L_end;\n\
+                 setp.eq.s32 %p2, %r29, 0;\n\
+                 @!%p2 bra L_st;\n\
+                 atom.global.add.u32 %r1, [%rd1], 1;\n\
+                 bra.uni L_end;\n\
+                 L_st:\n\
+                 st.global.u32 [%rd1], 5;\n\
+                 L_end:\n\
+                 ret;"
+            ),
+        ),
+        dims: GridDims::new(2u32, 32u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_atomic_vs_read_race",
+        description: "atomic RMW in one block, plain load in another",
+        source: module_src(
+            ".param .u64 buf",
+            &format!(
+                "{LIN_TID}\
+                 ld.param.u64 %rd1, [buf];\n\
+                 setp.ne.s32 %p1, %r30, 0;\n\
+                 @%p1 bra L_end;\n\
+                 setp.eq.s32 %p2, %r29, 0;\n\
+                 @!%p2 bra L_rd;\n\
+                 atom.global.add.u32 %r1, [%rd1], 1;\n\
+                 bra.uni L_end;\n\
+                 L_rd:\n\
+                 ld.global.u32 %r2, [%rd1];\n\
+                 st.global.u32 [%rd1+4], %r2;\n\
+                 L_end:\n\
+                 ret;"
+            ),
+        ),
+        dims: GridDims::new(2u32, 32u32),
+        args: vec![ArgSpec::Buf(8)],
+        expected: Expectation::Race,
+    });
+
+    // Flag synchronization: buf[0]=data, buf[4]=flag, buf[8]=out.
+    let flag_kernel = |producer_fence: &str, consumer_fence: &str| {
+        module_src(
+            ".param .u64 buf",
+            &format!(
+                "ld.param.u64 %rd1, [buf];\n\
+                 mov.u32 %r29, %ctaid.x;\n\
+                 setp.eq.s32 %p1, %r29, 0;\n\
+                 @!%p1 bra L_consumer;\n\
+                 st.global.u32 [%rd1], 42;\n\
+                 {producer_fence};\n\
+                 st.global.u32 [%rd1+4], 1;\n\
+                 ret;\n\
+                 L_consumer:\n\
+                 L_wait:\n\
+                 ld.global.u32 %r1, [%rd1+4];\n\
+                 {consumer_fence};\n\
+                 setp.eq.s32 %p2, %r1, 0;\n\
+                 @%p2 bra L_wait;\n\
+                 ld.global.u32 %r2, [%rd1];\n\
+                 st.global.u32 [%rd1+8], %r2;\n\
+                 ret;"
+            ),
+        )
+    };
+
+    v.push(SuiteProgram {
+        name: "global_flag_gl_fences_norace",
+        description: "message passing across blocks with membar.gl on both sides",
+        source: flag_kernel("membar.gl", "membar.gl"),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(12)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_flag_cta_fences_race",
+        description: "membar.cta is insufficient across blocks (Fig. 4)",
+        source: flag_kernel("membar.cta", "membar.cta"),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(12)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_flag_no_fence_race",
+        description: "flag synchronization without any fences",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             setp.eq.s32 %p1, %r29, 0;\n\
+             @!%p1 bra L_consumer;\n\
+             st.global.u32 [%rd1], 42;\n\
+             st.global.u32 [%rd1+4], 1;\n\
+             ret;\n\
+             L_consumer:\n\
+             L_wait:\n\
+             ld.global.u32 %r1, [%rd1+4];\n\
+             setp.eq.s32 %p2, %r1, 0;\n\
+             @%p2 bra L_wait;\n\
+             ld.global.u32 %r2, [%rd1];\n\
+             st.global.u32 [%rd1+8], %r2;\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(12)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_flag_rel_cta_acq_gl_norace",
+        description: "block-scope release + global-scope acquire synchronizes (ACQGLOBAL joins all slots)",
+        source: flag_kernel("membar.cta", "membar.gl"),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(12)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_flag_rel_gl_acq_cta_norace",
+        description: "global-scope release + block-scope acquire synchronizes (RELGLOBAL sets all slots)",
+        source: flag_kernel("membar.gl", "membar.cta"),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(12)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_samevalue_intrawarp_norace",
+        description: "all lanes of one warp store the same value to one word (filtered, §3.3.1)",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             st.global.u32 [%rd1], 7;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "global_diffvalue_intrawarp_race",
+        description: "lanes of one warp store different values to one word",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r30, %tid.x;\n\
+             st.global.u32 [%rd1], %r30;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::Race,
+    });
+
+    v
+}

@@ -1,0 +1,188 @@
+//! Lock implementations via `atom.cas`/`atom.exch` and fences (paper
+//! §3.1's lock idioms and the §6.3 hashtable bugs).
+
+use crate::{module_src, ArgSpec, Expectation, SuiteProgram};
+use barracuda_trace::GridDims;
+
+/// A global spinlock kernel: lock word at `buf[0]`, protected counter at
+/// `buf[4]`. `acq_fence` follows the cas; `rel` is the full release
+/// sequence.
+fn spinlock(acq_fence: &str, rel: &str) -> String {
+    module_src(
+        ".param .u64 buf",
+        &format!(
+            "ld.param.u64 %rd1, [buf];\n\
+             L_acq:\n\
+             atom.global.cas.b32 %r1, [%rd1], 0, 1;\n\
+             {acq_fence}\
+             setp.ne.s32 %p1, %r1, 0;\n\
+             @%p1 bra L_acq;\n\
+             ld.global.u32 %r2, [%rd1+4];\n\
+             add.s32 %r2, %r2, 1;\n\
+             st.global.u32 [%rd1+4], %r2;\n\
+             {rel}\
+             ret;"
+        ),
+    )
+}
+
+#[allow(clippy::vec_init_then_push)] // one block per program reads best
+pub(crate) fn programs() -> Vec<SuiteProgram> {
+    let mut v = Vec::new();
+
+    v.push(SuiteProgram {
+        name: "spinlock_gl_fences_norace",
+        description: "global spinlock with membar.gl on acquire and release",
+        source: spinlock(
+            "membar.gl;\n",
+            "membar.gl;\natom.global.exch.b32 %r3, [%rd1], 0;\n",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(8)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "spinlock_unfenced_cas_race",
+        description: "hashtable bug 1: atomicCAS without a fence can be reordered with the critical section",
+        source: spinlock(
+            "",
+            "membar.gl;\natom.global.exch.b32 %r3, [%rd1], 0;\n",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(8)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "spinlock_plain_release_race",
+        description: "hashtable bug 2: releasing the lock with a plain unfenced store",
+        source: spinlock("membar.gl;\n", "st.global.u32 [%rd1], 0;\n"),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(8)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "spinlock_cta_fences_interblock_race",
+        description: "a lock built from membar.cta cannot protect cross-block data",
+        source: spinlock(
+            "membar.cta;\n",
+            "membar.cta;\natom.global.exch.b32 %r3, [%rd1], 0;\n",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(8)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "spinlock_cta_fences_intrablock_norace",
+        description: "block-scope fences suffice for a lock used within one block",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r30, %tid.x;\n\
+             and.b32 %r4, %r30, 31;\n\
+             setp.ne.s32 %p2, %r4, 0;\n\
+             @%p2 bra L_end;\n\
+             L_acq:\n\
+             atom.global.cas.b32 %r1, [%rd1], 0, 1;\n\
+             membar.cta;\n\
+             setp.ne.s32 %p1, %r1, 0;\n\
+             @%p1 bra L_acq;\n\
+             ld.global.u32 %r2, [%rd1+4];\n\
+             add.s32 %r2, %r2, 1;\n\
+             st.global.u32 [%rd1+4], %r2;\n\
+             membar.cta;\n\
+             atom.global.exch.b32 %r3, [%rd1], 0;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![ArgSpec::Buf(8)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "shared_spinlock_norace",
+        description: "a spinlock in shared memory protecting shared data",
+        source: module_src(
+            "",
+            "        .shared .align 4 .b8 sm[8];\n\
+             mov.u32 %r30, %tid.x;\n\
+             and.b32 %r4, %r30, 31;\n\
+             setp.ne.s32 %p2, %r4, 0;\n\
+             @%p2 bra L_end;\n\
+             mov.u64 %rd1, sm;\n\
+             L_acq:\n\
+             atom.shared.cas.b32 %r1, [%rd1], 0, 1;\n\
+             membar.cta;\n\
+             setp.ne.s32 %p1, %r1, 0;\n\
+             @%p1 bra L_acq;\n\
+             ld.shared.u32 %r2, [%rd1+4];\n\
+             add.s32 %r2, %r2, 1;\n\
+             st.shared.u32 [%rd1+4], %r2;\n\
+             membar.cta;\n\
+             atom.shared.exch.b32 %r3, [%rd1], 0;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "lock_multiword_critical_section_norace",
+        description: "one lock protecting two words",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             L_acq:\n\
+             atom.global.cas.b32 %r1, [%rd1], 0, 1;\n\
+             membar.gl;\n\
+             setp.ne.s32 %p1, %r1, 0;\n\
+             @%p1 bra L_acq;\n\
+             ld.global.u32 %r2, [%rd1+4];\n\
+             add.s32 %r2, %r2, 1;\n\
+             st.global.u32 [%rd1+4], %r2;\n\
+             ld.global.u32 %r3, [%rd1+8];\n\
+             add.s32 %r3, %r3, 2;\n\
+             st.global.u32 [%rd1+8], %r3;\n\
+             membar.gl;\n\
+             atom.global.exch.b32 %r5, [%rd1], 0;\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(12)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "lock_wrong_lock_race",
+        description: "each block takes a different lock for the same data",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             mul.wide.s32 %rd2, %r29, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             L_acq:\n\
+             atom.global.cas.b32 %r1, [%rd3], 0, 1;\n\
+             membar.gl;\n\
+             setp.ne.s32 %p1, %r1, 0;\n\
+             @%p1 bra L_acq;\n\
+             ld.global.u32 %r2, [%rd1+8];\n\
+             add.s32 %r2, %r2, 1;\n\
+             st.global.u32 [%rd1+8], %r2;\n\
+             membar.gl;\n\
+             atom.global.exch.b32 %r3, [%rd3], 0;\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(12)],
+        expected: Expectation::Race,
+    });
+
+    v
+}

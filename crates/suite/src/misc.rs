@@ -1,0 +1,300 @@
+//! Flag-chain transitivity, whole-grid synchronization
+//! (threadFenceReduction-style), multi-dimensional layouts, partial warps,
+//! generic addressing and volatile accesses.
+
+use crate::{module_src, ArgSpec, Expectation, SuiteProgram};
+use barracuda_trace::GridDims;
+
+#[allow(clippy::vec_init_then_push)] // one block per program reads best
+pub(crate) fn programs() -> Vec<SuiteProgram> {
+    let mut v = Vec::new();
+
+    // buf layout: [0]=data, [4]=flag1, [8]=flag2, [12]=out.
+    v.push(SuiteProgram {
+        name: "chain_release_acquire_norace",
+        description: "transitive ordering through a chain of two flags across three blocks",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             setp.eq.s32 %p1, %r29, 0;\n\
+             @!%p1 bra L_middle;\n\
+             st.global.u32 [%rd1], 42;\n\
+             membar.gl;\n\
+             st.global.u32 [%rd1+4], 1;\n\
+             ret;\n\
+             L_middle:\n\
+             setp.eq.s32 %p2, %r29, 1;\n\
+             @!%p2 bra L_last;\n\
+             L_wait1:\n\
+             ld.global.u32 %r1, [%rd1+4];\n\
+             membar.gl;\n\
+             setp.eq.s32 %p3, %r1, 0;\n\
+             @%p3 bra L_wait1;\n\
+             membar.gl;\n\
+             st.global.u32 [%rd1+8], 1;\n\
+             ret;\n\
+             L_last:\n\
+             L_wait2:\n\
+             ld.global.u32 %r2, [%rd1+8];\n\
+             membar.gl;\n\
+             setp.eq.s32 %p4, %r2, 0;\n\
+             @%p4 bra L_wait2;\n\
+             ld.global.u32 %r3, [%rd1];\n\
+             st.global.u32 [%rd1+12], %r3;\n\
+             ret;",
+        ),
+        dims: GridDims::new(3u32, 1u32),
+        args: vec![ArgSpec::Buf(16)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "two_producers_one_flag_race",
+        description: "two producers write the same data word before signalling",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             setp.eq.s32 %p1, %r29, 2;\n\
+             @%p1 bra L_consumer;\n\
+             st.global.u32 [%rd1], %r29;\n\
+             membar.gl;\n\
+             atom.global.add.u32 %r1, [%rd1+4], 1;\n\
+             ret;\n\
+             L_consumer:\n\
+             L_wait:\n\
+             ld.global.u32 %r2, [%rd1+4];\n\
+             membar.gl;\n\
+             setp.lt.u32 %p2, %r2, 2;\n\
+             @%p2 bra L_wait;\n\
+             ld.global.u32 %r3, [%rd1];\n\
+             st.global.u32 [%rd1+8], %r3;\n\
+             ret;",
+        ),
+        dims: GridDims::new(3u32, 1u32),
+        args: vec![ArgSpec::Buf(12)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "flag_wrong_flag_race",
+        description: "the consumer synchronizes on a flag the producer never released",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             setp.eq.s32 %p1, %r29, 0;\n\
+             @!%p1 bra L_consumer;\n\
+             st.global.u32 [%rd1], 42;\n\
+             membar.gl;\n\
+             st.global.u32 [%rd1+4], 1;\n\
+             st.global.u32 [%rd1+8], 1;\n\
+             ret;\n\
+             L_consumer:\n\
+             L_wait:\n\
+             ld.global.u32 %r1, [%rd1+8];\n\
+             membar.gl;\n\
+             setp.eq.s32 %p2, %r1, 0;\n\
+             @%p2 bra L_wait;\n\
+             ld.global.u32 %r2, [%rd1];\n\
+             st.global.u32 [%rd1+12], %r2;\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(16)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "volatile_flag_race",
+        description: "volatile accesses do not synchronize",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             setp.eq.s32 %p1, %r29, 0;\n\
+             @!%p1 bra L_consumer;\n\
+             st.global.u32 [%rd1], 42;\n\
+             st.volatile.global.u32 [%rd1+4], 1;\n\
+             ret;\n\
+             L_consumer:\n\
+             L_wait:\n\
+             ld.volatile.global.u32 %r1, [%rd1+4];\n\
+             setp.eq.s32 %p2, %r1, 0;\n\
+             @%p2 bra L_wait;\n\
+             ld.global.u32 %r2, [%rd1];\n\
+             st.global.u32 [%rd1+8], %r2;\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(12)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "grid2d_disjoint_norace",
+        description: "2-D grid and block layout with per-thread elements",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r1, %tid.x;\n\
+             mov.u32 %r2, %tid.y;\n\
+             mov.u32 %r3, %ntid.x;\n\
+             mov.u32 %r4, %ntid.y;\n\
+             mov.u32 %r5, %ctaid.x;\n\
+             mov.u32 %r6, %ctaid.y;\n\
+             mov.u32 %r7, %nctaid.x;\n\
+             mad.lo.s32 %r8, %r6, %r7, %r5;\n\
+             mul.lo.s32 %r9, %r3, %r4;\n\
+             mad.lo.s32 %r10, %r2, %r3, %r1;\n\
+             mad.lo.s32 %r11, %r8, %r9, %r10;\n\
+             mul.wide.s32 %rd2, %r11, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             st.global.u32 [%rd3], %r11;\n\
+             ret;",
+        ),
+        dims: GridDims::new((2, 2, 1), (4, 4, 1)),
+        args: vec![ArgSpec::Buf(64 * 4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "grid3d_disjoint_norace",
+        description: "3-D block layout with per-thread elements",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r1, %tid.x;\n\
+             mov.u32 %r2, %tid.y;\n\
+             mov.u32 %r3, %tid.z;\n\
+             mov.u32 %r4, %ntid.x;\n\
+             mov.u32 %r5, %ntid.y;\n\
+             mov.u32 %r6, %ctaid.z;\n\
+             mad.lo.s32 %r7, %r2, %r4, %r1;\n\
+             mul.lo.s32 %r8, %r4, %r5;\n\
+             mad.lo.s32 %r9, %r3, %r8, %r7;\n\
+             mul.lo.s32 %r10, %r8, 2;\n\
+             mad.lo.s32 %r11, %r6, %r10, %r9;\n\
+             mul.wide.s32 %rd2, %r11, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             st.global.u32 [%rd3], %r11;\n\
+             ret;",
+        ),
+        dims: GridDims::new((1, 1, 2), (2, 2, 2)),
+        args: vec![ArgSpec::Buf(16 * 4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "partial_warp_disjoint_norace",
+        description: "a block of 40 threads (partial last warp), disjoint writes",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r30, %tid.x;\n\
+             mul.wide.s32 %rd2, %r30, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             st.global.u32 [%rd3], %r30;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 40u32),
+        args: vec![ArgSpec::Buf(40 * 4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "partial_warp_conflict_race",
+        description: "a full-warp thread and a partial-warp thread write the same word",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r30, %tid.x;\n\
+             setp.eq.s32 %p1, %r30, 0;\n\
+             @%p1 bra L_w;\n\
+             setp.eq.s32 %p2, %r30, 39;\n\
+             @%p2 bra L_w;\n\
+             bra.uni L_end;\n\
+             L_w:\n\
+             st.global.u32 [%rd1], %r30;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 40u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "generic_pointer_race",
+        description: "conflicting stores through cvta'd generic pointers",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             cvta.to.global.u64 %rd2, %rd1;\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             st.u32 [%rd2], %r29;\n\
+             ret;",
+        ),
+        dims: GridDims::new(2u32, 1u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "generic_shared_norace",
+        description: "generic loads/stores resolving to disjoint shared slots",
+        source: module_src(
+            ".param .u64 out",
+            "        .shared .align 4 .b8 sm[256];\n\
+             ld.param.u64 %rd1, [out];\n\
+             mov.u32 %r30, %tid.x;\n\
+             mov.u64 %rd3, sm;\n\
+             mul.wide.s32 %rd2, %r30, 4;\n\
+             add.s64 %rd4, %rd3, %rd2;\n\
+             st.u32 [%rd4], %r30;\n\
+             ld.u32 %r1, [%rd4];\n\
+             add.s64 %rd5, %rd1, %rd2;\n\
+             st.global.u32 [%rd5], %r1;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![ArgSpec::Buf(64 * 4)],
+        expected: Expectation::NoRace,
+    });
+
+    // buf layout: partials [0..16), ticket [16], out [20].
+    v.push(SuiteProgram {
+        name: "threadfence_reduction_norace",
+        description: "last-block pattern: fenced atomic ticket orders partial reads (threadFenceReduction)",
+        source: module_src(
+            ".param .u64 buf",
+            "ld.param.u64 %rd1, [buf];\n\
+             mov.u32 %r29, %ctaid.x;\n\
+             mul.wide.s32 %rd2, %r29, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             add.s32 %r1, %r29, 1;\n\
+             st.global.u32 [%rd3], %r1;\n\
+             membar.gl;\n\
+             atom.global.add.u32 %r2, [%rd1+16], 1;\n\
+             membar.gl;\n\
+             setp.ne.s32 %p1, %r2, 3;\n\
+             @%p1 bra L_end;\n\
+             ld.global.u32 %r3, [%rd1];\n\
+             ld.global.u32 %r4, [%rd1+4];\n\
+             add.s32 %r3, %r3, %r4;\n\
+             ld.global.u32 %r4, [%rd1+8];\n\
+             add.s32 %r3, %r3, %r4;\n\
+             ld.global.u32 %r4, [%rd1+12];\n\
+             add.s32 %r3, %r3, %r4;\n\
+             st.global.u32 [%rd1+20], %r3;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(4u32, 1u32),
+        args: vec![ArgSpec::Buf(24)],
+        expected: Expectation::NoRace,
+    });
+
+    v
+}

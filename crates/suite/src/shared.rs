@@ -1,0 +1,253 @@
+//! Shared-memory programs: barrier-staged communication, intra- and
+//! inter-warp conflicts, atomics.
+
+use crate::{module_src, ArgSpec, Expectation, SuiteProgram, LIN_TID};
+use barracuda_trace::GridDims;
+
+#[allow(clippy::vec_init_then_push)] // one block per program reads best
+pub(crate) fn programs() -> Vec<SuiteProgram> {
+    let mut v = Vec::new();
+
+    v.push(SuiteProgram {
+        name: "shared_ww_interwarp_race",
+        description: "lane 0 of each warp writes the same shared word",
+        source: module_src(
+            "",
+            "        .shared .align 4 .b8 sm[64];\n\
+             mov.u32 %r30, %tid.x;\n\
+             and.b32 %r1, %r30, 31;\n\
+             setp.ne.s32 %p1, %r1, 0;\n\
+             @%p1 bra L_end;\n\
+             st.shared.u32 [sm], %r30;\n\
+             L_end:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "shared_ww_barrier_norace",
+        description: "writes to one shared word separated by bar.sync",
+        source: module_src(
+            "",
+            "        .shared .align 4 .b8 sm[64];\n\
+             mov.u32 %r30, %tid.x;\n\
+             setp.ne.s32 %p1, %r30, 0;\n\
+             @%p1 bra L1;\n\
+             st.shared.u32 [sm], 1;\n\
+             L1:\n\
+             bar.sync 0;\n\
+             setp.ne.s32 %p2, %r30, 32;\n\
+             @%p2 bra L2;\n\
+             st.shared.u32 [sm], 2;\n\
+             L2:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "shared_staged_read_barrier_norace",
+        description: "stage into shared, barrier, read reversed",
+        source: module_src(
+            ".param .u64 out",
+            &format!(
+                "        .shared .align 4 .b8 sm[256];\n\
+                 {LIN_TID}\
+                 ld.param.u64 %rd1, [out];\n\
+                 mov.u64 %rd3, sm;\n\
+                 mul.wide.s32 %rd2, %r30, 4;\n\
+                 add.s64 %rd4, %rd3, %rd2;\n\
+                 st.shared.u32 [%rd4], %r30;\n\
+                 bar.sync 0;\n\
+                 sub.s32 %r1, 63, %r30;\n\
+                 mul.wide.s32 %rd5, %r1, 4;\n\
+                 add.s64 %rd6, %rd3, %rd5;\n\
+                 ld.shared.u32 %r2, [%rd6];\n\
+                 add.s64 %rd7, %rd1, %rd2;\n\
+                 st.global.u32 [%rd7], %r2;\n\
+                 ret;"
+            ),
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![ArgSpec::Buf(64 * 4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "shared_rw_nobarrier_race",
+        description: "cross-warp neighbour read without a barrier",
+        source: module_src(
+            ".param .u64 out",
+            &format!(
+                "        .shared .align 4 .b8 sm[256];\n\
+                 {LIN_TID}\
+                 ld.param.u64 %rd1, [out];\n\
+                 mov.u64 %rd3, sm;\n\
+                 mul.wide.s32 %rd2, %r30, 4;\n\
+                 add.s64 %rd4, %rd3, %rd2;\n\
+                 st.shared.u32 [%rd4], %r30;\n\
+                 add.s32 %r1, %r30, 32;\n\
+                 and.b32 %r1, %r1, 63;\n\
+                 mul.wide.s32 %rd5, %r1, 4;\n\
+                 add.s64 %rd6, %rd3, %rd5;\n\
+                 ld.shared.u32 %r2, [%rd6];\n\
+                 add.s64 %rd7, %rd1, %rd2;\n\
+                 st.global.u32 [%rd7], %r2;\n\
+                 ret;"
+            ),
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![ArgSpec::Buf(64 * 4)],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "shared_atomic_counter_norace",
+        description: "all threads atomically bump a shared counter",
+        source: module_src(
+            "",
+            "        .shared .align 4 .b8 sm[4];\n\
+             atom.shared.add.u32 %r1, [sm], 1;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "shared_atomic_vs_write_race",
+        description: "shared atomic in one warp, plain store in another",
+        source: module_src(
+            "",
+            "        .shared .align 4 .b8 sm[4];\n\
+             mov.u32 %r30, %tid.x;\n\
+             setp.ne.s32 %p1, %r30, 0;\n\
+             @%p1 bra L1;\n\
+             atom.shared.add.u32 %r1, [sm], 1;\n\
+             L1:\n\
+             setp.ne.s32 %p2, %r30, 32;\n\
+             @%p2 bra L2;\n\
+             st.shared.u32 [sm], 9;\n\
+             L2:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "shared_disjoint_norace",
+        description: "each thread writes its own shared slot",
+        source: module_src(
+            "",
+            "        .shared .align 4 .b8 sm[256];\n\
+             mov.u32 %r30, %tid.x;\n\
+             mov.u64 %rd3, sm;\n\
+             mul.wide.s32 %rd2, %r30, 4;\n\
+             add.s64 %rd4, %rd3, %rd2;\n\
+             st.shared.u32 [%rd4], %r30;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "shared_intrawarp_diffvalue_race",
+        description: "lanes of one warp store different values to one shared word",
+        source: module_src(
+            "",
+            "        .shared .align 4 .b8 sm[4];\n\
+             mov.u32 %r30, %tid.x;\n\
+             st.shared.u32 [sm], %r30;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![],
+        expected: Expectation::Race,
+    });
+
+    v.push(SuiteProgram {
+        name: "shared_intrawarp_samevalue_norace",
+        description: "lanes of one warp store the same value to one shared word",
+        source: module_src(
+            "",
+            "        .shared .align 4 .b8 sm[4];\n\
+             st.shared.u32 [sm], 5;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 32u32),
+        args: vec![],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "shared_pingpong_two_barriers_norace",
+        description: "warp 0 → warp 1 → warp 0 hand-off through two barriers",
+        source: module_src(
+            ".param .u64 out",
+            "        .shared .align 4 .b8 sm[8];\n\
+             ld.param.u64 %rd1, [out];\n\
+             mov.u32 %r30, %tid.x;\n\
+             setp.ne.s32 %p1, %r30, 0;\n\
+             @%p1 bra L1;\n\
+             st.shared.u32 [sm], 11;\n\
+             L1:\n\
+             bar.sync 0;\n\
+             setp.ne.s32 %p2, %r30, 32;\n\
+             @%p2 bra L2;\n\
+             ld.shared.u32 %r1, [sm];\n\
+             add.s32 %r1, %r1, 1;\n\
+             st.shared.u32 [sm+4], %r1;\n\
+             L2:\n\
+             bar.sync 0;\n\
+             setp.ne.s32 %p3, %r30, 0;\n\
+             @%p3 bra L3;\n\
+             ld.shared.u32 %r2, [sm+4];\n\
+             st.global.u32 [%rd1], %r2;\n\
+             L3:\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::NoRace,
+    });
+
+    v.push(SuiteProgram {
+        name: "shared_write_after_read_missing_barrier_race",
+        description: "second write overlaps other warps' reads (only one barrier)",
+        source: module_src(
+            ".param .u64 out",
+            &format!(
+                "        .shared .align 4 .b8 sm[256];\n\
+                 {LIN_TID}\
+                 ld.param.u64 %rd1, [out];\n\
+                 mov.u64 %rd3, sm;\n\
+                 mul.wide.s32 %rd2, %r30, 4;\n\
+                 add.s64 %rd4, %rd3, %rd2;\n\
+                 st.shared.u32 [%rd4], %r30;\n\
+                 bar.sync 0;\n\
+                 add.s32 %r1, %r30, 32;\n\
+                 and.b32 %r1, %r1, 63;\n\
+                 mul.wide.s32 %rd5, %r1, 4;\n\
+                 add.s64 %rd6, %rd3, %rd5;\n\
+                 ld.shared.u32 %r2, [%rd6];\n\
+                 st.shared.u32 [%rd4], %r2;\n\
+                 ret;"
+            ),
+        ),
+        dims: GridDims::new(1u32, 64u32),
+        args: vec![ArgSpec::Buf(4)],
+        expected: Expectation::Race,
+    });
+
+    v
+}

@@ -1,0 +1,25 @@
+//! Trace operations, event records and GPU→host queues.
+//!
+//! This crate is the shared vocabulary between the SIMT simulator (the
+//! "device side") and the race detector (the "host side"):
+//!
+//! * [`ids`] — the thread hierarchy: grids, blocks, warps, lanes, and the
+//!   globally-unique 64-bit TID of paper §4.1;
+//! * [`ops`] — the abstract trace operations of paper §3.1 and their
+//!   warp-level [`ops::Event`] encoding;
+//! * [`record`] — the fixed 272-byte log record of paper §4.2 (Fig. 6);
+//! * [`queue`] — the lock-free ring queue with write head / commit index /
+//!   read head (Fig. 6), plus the multi-queue set with block→queue
+//!   affinity of §4.2.
+
+#![warn(missing_docs)]
+
+pub mod ids;
+pub mod ops;
+pub mod queue;
+pub mod record;
+
+pub use ids::{Dim3, GridDims, Tid};
+pub use ops::{AccessKind, Event, MemSpace, Scope, TraceOp};
+pub use queue::{Queue, QueueSet};
+pub use record::Record;

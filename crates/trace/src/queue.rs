@@ -1,0 +1,385 @@
+//! The lock-free GPU→host event queue of paper §4.2 (Fig. 6).
+//!
+//! > "The queue contents are tracked via three pointers: a write head, a
+//! > commit index, and a read head … The queue uses a virtual indexing
+//! > scheme with monotonically increasing indices, which are mapped to
+//! > physical locations by taking their modulus with the queue size. The
+//! > queue is considered full when the write head is queue-size entries
+//! > ahead of the read head."
+//!
+//! Producers (simulated warps) reserve a slot by bumping the write head,
+//! fill the record, then publish it by advancing the commit index in
+//! order. The single consumer (the host detector thread owning this queue)
+//! reads between the read head and the commit index.
+
+use crate::record::Record;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A fixed-capacity multi-producer / single-consumer ring of [`Record`]s.
+///
+/// Any number of threads may [`Queue::push`]; at most one thread at a time
+/// may consume via [`Queue::try_pop`] / [`Queue::pop_batch`] (the runtime
+/// assigns one host thread per queue, as in the paper).
+pub struct Queue {
+    slots: Box<[UnsafeCell<Record>]>,
+    write_head: AtomicU64,
+    commit: AtomicU64,
+    read_head: AtomicU64,
+}
+
+// SAFETY: slot access is mediated by the write-head / commit / read-head
+// protocol — a slot is written exclusively by the producer that reserved
+// it, and read only after the commit index has passed it (Release/Acquire
+// pairs on `commit` and `read_head` provide the necessary ordering).
+unsafe impl Sync for Queue {}
+unsafe impl Send for Queue {}
+
+impl Queue {
+    /// Creates a queue with room for `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(Record::default()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Queue {
+            slots,
+            write_head: AtomicU64::new(0),
+            commit: AtomicU64::new(0),
+            read_head: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of records this queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records currently committed but unread.
+    pub fn len(&self) -> usize {
+        let c = self.commit.load(Ordering::Acquire);
+        let r = self.read_head.load(Ordering::Acquire);
+        (c - r) as usize
+    }
+
+    /// True when no committed records are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records ever committed (monotonic virtual index).
+    pub fn committed(&self) -> u64 {
+        self.commit.load(Ordering::Acquire)
+    }
+
+    fn slot(&self, virt: u64) -> *mut Record {
+        self.slots[(virt % self.slots.len() as u64) as usize].get()
+    }
+
+    /// Appends a record, spinning while the queue is full (the GPU logger
+    /// "waits for the CPU to drain queue entries if necessary", §4.2).
+    pub fn push(&self, record: Record) {
+        let cap = self.slots.len() as u64;
+        // Reserve a slot.
+        let idx = loop {
+            let w = self.write_head.load(Ordering::Relaxed);
+            if w - self.read_head.load(Ordering::Acquire) >= cap {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                continue;
+            }
+            if self
+                .write_head
+                .compare_exchange_weak(w, w + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                break w;
+            }
+        };
+        // Fill the record. SAFETY: we exclusively own slot `idx` until we
+        // advance the commit index past it.
+        unsafe {
+            *self.slot(idx) = record;
+        }
+        // Publish in order: wait until all earlier slots are committed.
+        // Yield while waiting — on oversubscribed machines a pure spin can
+        // starve the producer holding the earlier slot.
+        while self.commit.load(Ordering::Acquire) != idx {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        self.commit.store(idx + 1, Ordering::Release);
+    }
+
+    /// Attempts to append without blocking; returns `false` if the queue is
+    /// momentarily full or another producer holds an uncommitted earlier
+    /// slot would need waiting. Prefer [`Queue::push`]; this exists for
+    /// tests exercising the full condition.
+    pub fn try_push(&self, record: Record) -> bool {
+        let cap = self.slots.len() as u64;
+        let w = self.write_head.load(Ordering::Relaxed);
+        if w - self.read_head.load(Ordering::Acquire) >= cap {
+            return false;
+        }
+        if self
+            .write_head
+            .compare_exchange(w, w + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        unsafe {
+            *self.slot(w) = record;
+        }
+        while self.commit.load(Ordering::Acquire) != w {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        self.commit.store(w + 1, Ordering::Release);
+        true
+    }
+
+    /// Removes and returns the oldest committed record, if any.
+    ///
+    /// Must be called from a single consumer thread at a time.
+    pub fn try_pop(&self) -> Option<Record> {
+        let r = self.read_head.load(Ordering::Relaxed);
+        if r >= self.commit.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: slot `r` was committed (Acquire above) and will not be
+        // reused by producers until `read_head` passes it.
+        let rec = unsafe { *self.slot(r) };
+        self.read_head.store(r + 1, Ordering::Release);
+        Some(rec)
+    }
+
+    /// Pops up to `max` records into `out`; returns the number popped.
+    pub fn pop_batch(&self, out: &mut Vec<Record>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.try_pop() {
+                Some(r) => {
+                    out.push(r);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+}
+
+impl std::fmt::Debug for Queue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Queue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("committed", &self.committed())
+            .finish()
+    }
+}
+
+/// A set of queues with thread-block affinity (§4.2): "Each thread block
+/// sends events to a single queue, though multiple thread blocks may use
+/// the same queue." Shared-memory events of a block therefore always reach
+/// the same host thread, which lets the detector skip locking on
+/// block-local state.
+#[derive(Debug, Clone)]
+pub struct QueueSet {
+    queues: Vec<Arc<Queue>>,
+}
+
+impl QueueSet {
+    /// Creates `n` queues of `capacity` records each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, capacity: usize) -> Self {
+        assert!(n > 0, "need at least one queue");
+        QueueSet { queues: (0..n).map(|_| Arc::new(Queue::new(capacity))).collect() }
+    }
+
+    /// Number of queues.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// True if the set has no queues (never: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// The queue that thread block `block` logs to.
+    pub fn for_block(&self, block: u64) -> &Arc<Queue> {
+        &self.queues[(block % self.queues.len() as u64) as usize]
+    }
+
+    /// Queue `i`.
+    pub fn queue(&self, i: usize) -> &Arc<Queue> {
+        &self.queues[i]
+    }
+
+    /// Iterates over all queues.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Queue>> {
+        self.queues.iter()
+    }
+
+    /// True when every queue is drained.
+    pub fn all_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Total records ever committed across all queues.
+    pub fn total_committed(&self) -> u64 {
+        self.queues.iter().map(|q| q.committed()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{AccessKind, Event, MemSpace};
+
+    fn rec(warp: u64) -> Record {
+        Record::encode(&Event::Access {
+            warp,
+            kind: AccessKind::Read,
+            space: MemSpace::Global,
+            mask: 1,
+            addrs: [warp; 32],
+            size: 4,
+        })
+    }
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = Queue::new(8);
+        for i in 0..5 {
+            q.push(rec(i));
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.try_pop().unwrap().warp, i);
+        }
+        assert!(q.try_pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wraps_around_capacity() {
+        let q = Queue::new(4);
+        for round in 0..10u64 {
+            for i in 0..4 {
+                q.push(rec(round * 4 + i));
+            }
+            for i in 0..4 {
+                assert_eq!(q.try_pop().unwrap().warp, round * 4 + i);
+            }
+        }
+        assert_eq!(q.committed(), 40);
+    }
+
+    #[test]
+    fn try_push_reports_full() {
+        let q = Queue::new(2);
+        assert!(q.try_push(rec(0)));
+        assert!(q.try_push(rec(1)));
+        assert!(!q.try_push(rec(2)));
+        q.try_pop().unwrap();
+        assert!(q.try_push(rec(2)));
+    }
+
+    #[test]
+    fn concurrent_producers_no_loss_no_dup() {
+        let q = Arc::new(Queue::new(64));
+        let producers = 4u32;
+        let per = 2_000u64;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    q.push(rec(u64::from(p) * per + i));
+                }
+            }));
+        }
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while seen.len() < (u64::from(producers) * per) as usize {
+                    if let Some(r) = q.try_pop() {
+                        seen.push(r.warp);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                seen
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..u64::from(producers) * per).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn producer_blocks_until_drained() {
+        // A capacity-1 queue forces the producer to wait for the consumer.
+        let q = Arc::new(Queue::new(1));
+        let p = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    q.push(rec(i));
+                }
+            })
+        };
+        let mut got = 0u64;
+        while got < 100 {
+            if let Some(r) = q.try_pop() {
+                assert_eq!(r.warp, got);
+                got += 1;
+            }
+        }
+        p.join().unwrap();
+    }
+
+    #[test]
+    fn queue_set_block_affinity() {
+        let qs = QueueSet::new(3, 16);
+        assert_eq!(qs.len(), 3);
+        // Same block always maps to the same queue.
+        assert!(Arc::ptr_eq(qs.for_block(5), qs.for_block(5)));
+        assert!(Arc::ptr_eq(qs.for_block(2), qs.for_block(5)));
+        assert!(!Arc::ptr_eq(qs.for_block(0), qs.for_block(1)));
+        qs.for_block(4).push(rec(9));
+        assert!(!qs.all_empty());
+        assert_eq!(qs.total_committed(), 1);
+        assert_eq!(qs.queue(1).try_pop().unwrap().warp, 9);
+        assert!(qs.all_empty());
+    }
+
+    #[test]
+    fn pop_batch_respects_max() {
+        let q = Queue::new(16);
+        for i in 0..10 {
+            q.push(rec(i));
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 4), 4);
+        assert_eq!(q.pop_batch(&mut out, 100), 6);
+        assert_eq!(out.len(), 10);
+    }
+}

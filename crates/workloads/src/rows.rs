@@ -1,0 +1,225 @@
+//! The 26 Table-1 benchmarks with their paper-reported characteristics.
+
+use crate::gen::{generate, GenCfg, RaceSite, WorkloadInstance};
+use crate::Scale;
+use barracuda_trace::MemSpace;
+
+/// The paper's Table 1 row for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperRow {
+    /// Static PTX instructions (column 2).
+    pub static_insns: u32,
+    /// Total threads in the largest kernel (column 3).
+    pub total_threads: u64,
+    /// Global memory in MB (column 4).
+    pub global_mem_mb: u32,
+    /// Races found (column 5) and their space.
+    pub races: u32,
+    /// The space the races live in, when any.
+    pub race_space: Option<MemSpace>,
+}
+
+/// One evaluation benchmark.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (Table 1, column 1).
+    pub name: &'static str,
+    /// Originating suite (Rodinia / SHOC / GPU-TM / CUDA SDK / CUB).
+    pub origin: &'static str,
+    /// The paper-reported characteristics.
+    pub paper: PaperRow,
+    cfg: GenCfg,
+}
+
+impl Workload {
+    /// Generates the launchable synthetic instance.
+    pub fn generate(&self, scale: &Scale) -> WorkloadInstance {
+        generate(&self.cfg, scale)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn row(
+    name: &'static str,
+    origin: &'static str,
+    insns: u32,
+    threads: u64,
+    mem_mb: u32,
+    races: u32,
+    race_space: Option<MemSpace>,
+    cfg: GenCfg,
+) -> Workload {
+    Workload {
+        name,
+        origin,
+        paper: PaperRow { static_insns: insns, total_threads: threads, global_mem_mb: mem_mb, races, race_space },
+        cfg,
+    }
+}
+
+fn cfg(
+    name: &'static str,
+    insns: u32,
+    threads: u64,
+    tpb: u32,
+    mem_frac: f64,
+    sites: Vec<RaceSite>,
+) -> GenCfg {
+    GenCfg {
+        name,
+        target_insns: insns,
+        threads,
+        tpb,
+        mem_frac,
+        reads_per_write: 3,
+        barrier_rounds: 0,
+        atomics: false,
+        branches: 1,
+        sites,
+        use_vector: false,
+        use_shfl: false,
+    }
+}
+
+/// All 26 benchmarks of Table 1.
+#[allow(clippy::too_many_lines)]
+pub fn all_workloads() -> Vec<Workload> {
+    use MemSpace::{Global, Shared};
+    let mut v = Vec::with_capacity(26);
+
+    v.push(row("bfs", "Rodinia", 281, 1_000_448, 155, 0, None, {
+        let mut c = cfg("bfs", 281, 1_000_448, 256, 0.34, vec![]);
+        c.branches = 2;
+        c
+    }));
+    v.push(row("backprop", "Rodinia", 272, 1_048_576, 9, 0, None, {
+        let mut c = cfg("backprop", 272, 1_048_576, 256, 0.28, vec![]);
+        c.barrier_rounds = 1;
+        c
+    }));
+    v.push(row("dwt2d", "Rodinia", 35_385, 2_304, 6_644, 3, Some(Global), {
+        let mut c = cfg("dwt2d", 35_385, 2_304, 256, 0.08, vec![RaceSite::PlantedGlobal(3)]);
+        c.barrier_rounds = 2;
+        c.branches = 3;
+        c
+    }));
+    v.push(row("gaussian", "Rodinia", 246, 1_048_576, 124, 0, None, cfg("gaussian", 246, 1_048_576, 256, 0.24, vec![])));
+    v.push(row("hotspot", "Rodinia", 338, 473_344, 119, 0, None, {
+        let mut c = cfg("hotspot", 338, 473_344, 256, 0.27, vec![]);
+        c.barrier_rounds = 1;
+        c.branches = 2;
+        c
+    }));
+    v.push(row("hybridsort", "Rodinia", 906, 32_768, 252, 1, Some(Shared), {
+        let mut c = cfg("hybridsort", 906, 32_768, 256, 0.22, vec![RaceSite::PlantedShared(1)]);
+        c.barrier_rounds = 2;
+        c
+    }));
+    v.push(row("kmeans", "Rodinia", 384, 495_616, 252, 0, None, cfg("kmeans", 384, 495_616, 256, 0.25, vec![])));
+    v.push(row("lavamd", "Rodinia", 1_320, 128_000, 965, 0, None, {
+        let mut c = cfg("lavamd", 1_320, 128_000, 128, 0.15, vec![]);
+        c.barrier_rounds = 2;
+        c.atomics = true;
+        c
+    }));
+    v.push(row("needle", "Rodinia", 1_006, 495_616, 64, 0, None, {
+        let mut c = cfg("needle", 1_006, 495_616, 128, 0.20, vec![]);
+        c.barrier_rounds = 3;
+        c
+    }));
+    v.push(row("nn", "Rodinia", 234, 43_008, 188, 0, None, cfg("nn", 234, 43_008, 256, 0.30, vec![])));
+    v.push(row("pathfinder", "Rodinia", 285, 118_528, 155, 7, Some(Shared), {
+        let mut c = cfg("pathfinder", 285, 118_528, 256, 0.32, vec![RaceSite::PlantedShared(7)]);
+        c.barrier_rounds = 1;
+        c.branches = 2;
+        c
+    }));
+    v.push(row("streamcluster", "Rodinia", 299, 65_536, 188, 0, None, cfg("streamcluster", 299, 65_536, 256, 0.25, vec![])));
+    v.push(row("bfs_shoc", "SHOC", 770, 1_024, 68, 3, Some(Global), {
+        let mut c = cfg("bfs_shoc", 770, 1_024, 256, 0.30, vec![RaceSite::ShocBfs]);
+        c.branches = 3;
+        c.atomics = true;
+        c
+    }));
+    v.push(row("hashtable", "GPU-TM", 193, 64, 103, 3, Some(Global), {
+        let mut c = cfg("hashtable", 193, 64, 32, 0.35, vec![RaceSite::Hashtable]);
+        c.branches = 0;
+        c
+    }));
+    v.push(row("dxtc", "CUDA SDK", 1_578, 1_048_576, 17, 120, Some(Shared), {
+        let mut c = cfg("dxtc", 1_578, 1_048_576, 256, 0.15, vec![RaceSite::PlantedShared(120)]);
+        c.barrier_rounds = 2;
+        c.branches = 2;
+        c
+    }));
+    v.push(row("threadfencereduction", "CUDA SDK", 5_037, 16_384, 787, 12, Some(Shared), {
+        let mut c = cfg(
+            "threadfencereduction",
+            5_037,
+            16_384,
+            256,
+            0.12,
+            vec![RaceSite::ThreadFence, RaceSite::PlantedShared(12)],
+        );
+        c.barrier_rounds = 3;
+        c.branches = 2;
+        c
+    }));
+
+    // CUB SDK samples: deep, compute-heavy kernels on tiny grids.
+    let cub = |name: &'static str, insns: u32, threads: u64, mem: u32, frac: f64, barriers: u32| {
+        let mut c = cfg(name, insns, threads, 128, frac, vec![]);
+        c.barrier_rounds = barriers;
+        c.branches = 2;
+        // CUB primitives lean on vectorized loads and warp shuffles.
+        c.use_vector = true;
+        c.use_shfl = true;
+        row(name, "CUB", insns, threads, mem, 0, None, c)
+    };
+    v.push(cub("block_radix_sort", 2_174, 128, 66, 0.18, 3));
+    v.push(cub("block_reduce", 2_456, 1_024, 70, 0.14, 2));
+    v.push(cub("block_scan", 4_451, 128, 118, 0.12, 3));
+    v.push(cub("device_partition_flagged", 2_834, 128, 66, 0.16, 2));
+    v.push(cub("device_reduce", 2_397, 128, 66, 0.15, 2));
+    v.push(cub("device_scan", 1_661, 128, 65, 0.17, 2));
+    v.push(cub("device_select_flagged", 2_615, 128, 66, 0.16, 2));
+    v.push(cub("device_select_if", 2_508, 128, 66, 0.16, 2));
+    v.push(cub("device_select_unique", 2_484, 128, 66, 0.16, 2));
+    v.push(cub("device_sort_find_non_trivial_runs", 16_479, 128, 66, 0.10, 4));
+
+    v
+}
+
+/// Looks up a workload by name.
+pub fn workload(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_match_paper_values() {
+        let ws = all_workloads();
+        assert_eq!(ws.len(), 26);
+        let dwt = workload("dwt2d").unwrap();
+        assert_eq!(dwt.paper.static_insns, 35_385);
+        assert_eq!(dwt.paper.total_threads, 2_304);
+        assert_eq!(dwt.paper.races, 3);
+        assert_eq!(dwt.paper.race_space, Some(MemSpace::Global));
+        let dxtc = workload("dxtc").unwrap();
+        assert_eq!(dxtc.paper.races, 120);
+        assert_eq!(dxtc.paper.race_space, Some(MemSpace::Shared));
+        // Four benchmarks launch more than a million threads (paper §6.2).
+        let over_1m = ws.iter().filter(|w| w.paper.total_threads > 1_000_000).count();
+        assert_eq!(over_1m, 4);
+    }
+
+    #[test]
+    fn race_totals_match_table() {
+        let total: u32 = all_workloads().iter().map(|w| w.paper.races).sum();
+        // 3 + 1 + 7 + 3 + 3 + 120 + 12 = 149 racy locations across Table 1.
+        assert_eq!(total, 149);
+    }
+}

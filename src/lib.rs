@@ -1,0 +1,15 @@
+//! Umbrella crate for the BARRACUDA reproduction.
+//!
+//! Re-exports the facade crate [`barracuda`] plus every substrate crate so
+//! the top-level `examples/` and `tests/` have one import root. See the
+//! repository `README.md` and `DESIGN.md` for the architecture.
+
+pub use barracuda;
+pub use barracuda_core as core;
+pub use barracuda_instrument as instrument;
+pub use barracuda_ptx as ptx;
+pub use barracuda_racecheck as racecheck;
+pub use barracuda_simt as simt;
+pub use barracuda_suite as suite;
+pub use barracuda_trace as trace;
+pub use barracuda_workloads as workloads;

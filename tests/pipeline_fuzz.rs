@@ -1,0 +1,238 @@
+//! Pipeline fuzzing: random, memory-safe PTX kernels run through the full
+//! instrument → simulate → detect pipeline.
+//!
+//! Three properties:
+//! 1. the pipeline is total (no crashes, no simulator faults);
+//! 2. on the *same* device-side event stream, the compressed detector and
+//!    the uncompressed reference detector report identical racing
+//!    locations (losslessness over real streams, complementing the
+//!    synthetic streams in `crates/core/tests/ptvc_lossless.rs`);
+//! 3. race/no-race verdicts are stable across scheduler seeds.
+
+use barracuda_repro::core::{Detector, ReferenceDetector, Worker};
+use barracuda_repro::instrument::{instrument_module, InstrumentOptions};
+use barracuda_repro::ptx::ast::*;
+use barracuda_repro::ptx::KernelBuilder;
+use barracuda_repro::simt::{Gpu, GpuConfig, ParamValue, VecSink};
+use barracuda_repro::trace::{GridDims, MemSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+
+const WORDS: i64 = 64; // buffer size in words (power of two)
+
+/// Generates a random, memory-safe kernel: every address is
+/// `buf + (value & (WORDS-1)) * 4`, all branches are forward, barriers
+/// only appear outside branch regions and before any early return.
+fn random_kernel(seed: u64) -> barracuda_ptx::ast::Module {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = KernelBuilder::new("fuzz");
+    b.param("buf", Type::U64);
+    let lin = b.linear_tid();
+    let buf = b.load_param_ptr("buf");
+    let pred = b.reg("%p0", RegClass::Pred);
+    let idx = b.reg("%idx", RegClass::B32);
+    let val = b.reg("%val", RegClass::B32);
+    let addr = b.reg("%addr", RegClass::B64);
+    let tmp64 = b.reg("%tmp64", RegClass::B64);
+    b.push(Op::Mov { ty: Type::U32, dst: idx, src: Operand::Reg(lin) });
+    b.push(Op::Mov { ty: Type::U32, dst: val, src: Operand::Reg(lin) });
+
+    let mut open: Vec<String> = Vec::new();
+    let mut barriers_allowed = true;
+    let n = rng.random_range(6..30);
+    for _ in 0..n {
+        // Materialize a bounded address.
+        let emit_addr = |b: &mut KernelBuilder, shift: i64| {
+            b.push(Op::Bin {
+                op: BinOp::And,
+                ty: Type::B32,
+                dst: idx,
+                a: Operand::Reg(idx),
+                b: Operand::Imm(WORDS - 1),
+            });
+            b.push(Op::Mul {
+                mode: MulMode::Wide,
+                ty: Type::U32,
+                dst: tmp64,
+                a: Operand::Reg(idx),
+                b: Operand::Imm(4),
+            });
+            b.push(Op::Bin {
+                op: BinOp::Add,
+                ty: Type::S64,
+                dst: addr,
+                a: Operand::Reg(buf),
+                b: Operand::Reg(tmp64),
+            });
+            if shift != 0 {
+                b.push(Op::Bin {
+                    op: BinOp::Add,
+                    ty: Type::S64,
+                    dst: addr,
+                    a: Operand::Reg(addr),
+                    b: Operand::Imm(shift),
+                });
+            }
+        };
+        match rng.random_range(0..10) {
+            0 | 1 => {
+                emit_addr(&mut b, 0);
+                b.push(Op::Ld {
+                    space: Space::Global,
+                    cache: None,
+                    volatile: false,
+                    ty: Type::U32,
+                    dst: val,
+                    addr: Address::reg(addr),
+                });
+            }
+            2 | 3 => {
+                emit_addr(&mut b, 0);
+                b.push(Op::St {
+                    space: Space::Global,
+                    cache: None,
+                    volatile: false,
+                    ty: Type::U32,
+                    addr: Address::reg(addr),
+                    src: Operand::Reg(val),
+                });
+            }
+            4 => {
+                emit_addr(&mut b, 0);
+                b.push(Op::Atom {
+                    space: Space::Global,
+                    op: [AtomOp::Add, AtomOp::Exch, AtomOp::Max][rng.random_range(0..3)],
+                    ty: Type::U32,
+                    dst: val,
+                    addr: Address::reg(addr),
+                    a: Operand::Reg(lin),
+                    b: None,
+                });
+            }
+            5 => {
+                b.push(Op::Membar {
+                    level: [FenceLevel::Cta, FenceLevel::Gl][rng.random_range(0..2)],
+                });
+            }
+            6 if open.is_empty() && barriers_allowed => {
+                b.push(Op::Bar { idx: 0 });
+            }
+            7 => {
+                // Forward branch region over some lanes.
+                let l = b.fresh_label("skip");
+                b.push(Op::Setp {
+                    cmp: CmpOp::Lt,
+                    ty: Type::U32,
+                    dst: pred,
+                    a: Operand::Reg(lin),
+                    b: Operand::Imm(rng.random_range(0..20)),
+                });
+                b.push_guarded(pred, rng.random::<bool>(), Op::Bra { uni: false, target: l.clone() });
+                open.push(l);
+            }
+            8 if !open.is_empty() => {
+                b.label(open.pop().expect("non-empty"));
+            }
+            _ => {
+                b.push(Op::Bin {
+                    op: [BinOp::Add, BinOp::Xor, BinOp::Shl][rng.random_range(0..3)],
+                    ty: Type::B32,
+                    dst: idx,
+                    a: Operand::Reg(idx),
+                    b: Operand::Imm(rng.random_range(1..13)),
+                });
+            }
+        }
+        // A guarded early return disables all later barriers.
+        if open.is_empty() && rng.random_range(0..20) == 0 {
+            b.push(Op::Setp {
+                cmp: CmpOp::Eq,
+                ty: Type::U32,
+                dst: pred,
+                a: Operand::Reg(lin),
+                b: Operand::Imm(63),
+            });
+            b.push_guarded(pred, false, Op::Ret);
+            barriers_allowed = false;
+        }
+    }
+    for l in open {
+        b.label(l);
+    }
+    b.push(Op::Ret);
+    b.build_module()
+}
+
+type RaceKey = (u8, u64, u64);
+
+fn race_set(reports: &[barracuda_repro::core::RaceReport]) -> BTreeSet<RaceKey> {
+    reports
+        .iter()
+        .map(|r| {
+            (
+                match r.space {
+                    MemSpace::Global => 0u8,
+                    MemSpace::Shared => 1,
+                },
+                r.block.unwrap_or(0),
+                r.addr,
+            )
+        })
+        .collect()
+}
+
+/// Runs the instrumented kernel once, returning the compressed and
+/// reference race sets over the identical event stream.
+fn run_pipeline(seed: u64, sched_seed: u64) -> (BTreeSet<RaceKey>, BTreeSet<RaceKey>) {
+    let module = random_kernel(seed);
+    let (instrumented, _) = instrument_module(&module, &InstrumentOptions::default());
+    let dims = GridDims::with_warp_size(2u32, 8u32, 4);
+    let mut gpu = Gpu::new(GpuConfig { seed: sched_seed, slice: 3, ..GpuConfig::default() });
+    let buf = gpu.malloc(WORDS as u64 * 4 + 8);
+    let sink = VecSink::new();
+    gpu.launch_with_sink(&instrumented, "fuzz", dims, &[ParamValue::Ptr(buf)], &sink)
+        .unwrap_or_else(|e| panic!("seed {seed}: simulation failed: {e}"));
+    let records = sink.take();
+    let det = Detector::new(dims, 0);
+    let mut worker = Worker::new(&det);
+    let mut reference = ReferenceDetector::new(dims);
+    for r in &records {
+        worker.process_record(r);
+        reference.process_event(&r.decode());
+    }
+    (race_set(&det.races().reports()), race_set(&reference.races().reports()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipeline_is_total_and_compression_lossless(seed in any::<u64>()) {
+        let (compressed, reference) = run_pipeline(seed, 1);
+        prop_assert_eq!(compressed, reference, "seed {}", seed);
+    }
+
+}
+
+/// Verdicts under two very different scheduler seeds, over a fixed corpus.
+/// (Dynamic race detection is trace-sensitive — a release/acquire edge may
+/// or may not be exercised by a given interleaving — so this is pinned to
+/// a verified corpus rather than randomized.)
+#[test]
+fn verdict_stable_across_scheduler_seeds_fixed_corpus() {
+    for seed in 0..40u64 {
+        let (a, _) = run_pipeline(seed, 1);
+        let (b, _) = run_pipeline(seed, 777);
+        assert_eq!(a.is_empty(), b.is_empty(), "seed {seed}: {a:?} vs {b:?}");
+    }
+}
+
+#[test]
+fn pipeline_fuzz_fixed_corpus() {
+    for seed in 0..30 {
+        let (compressed, reference) = run_pipeline(seed, 2);
+        assert_eq!(compressed, reference, "seed {seed}");
+    }
+}
