@@ -34,6 +34,7 @@ pub enum Type {
 
 impl Type {
     /// Size of a value of this type in bytes (predicates count as 1).
+    #[inline]
     pub fn size(self) -> u64 {
         match self {
             Type::Pred | Type::B8 | Type::U8 | Type::S8 => 1,
@@ -44,16 +45,19 @@ impl Type {
     }
 
     /// True for the signed-integer types.
+    #[inline]
     pub fn is_signed(self) -> bool {
         matches!(self, Type::S8 | Type::S16 | Type::S32 | Type::S64)
     }
 
     /// True for `f32`/`f64`.
+    #[inline]
     pub fn is_float(self) -> bool {
         matches!(self, Type::F32 | Type::F64)
     }
 
     /// The register class a value of this type lives in.
+    #[inline]
     pub fn reg_class(self) -> RegClass {
         match self {
             Type::Pred => RegClass::Pred,
@@ -416,6 +420,7 @@ pub struct Reg(pub u32);
 
 impl Reg {
     /// Index into the owning kernel's register file.
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }

@@ -87,6 +87,18 @@ impl FlatKernel {
     pub fn target(&self, label: &str) -> Option<usize> {
         self.labels.get(label).copied()
     }
+
+    /// The first branch label that does not resolve to an instruction
+    /// index, if any. A `Some` result means the kernel is malformed and
+    /// [`Cfg::build`] would panic on it.
+    pub fn unknown_label(&self) -> Option<&str> {
+        self.instrs.iter().find_map(|i| match &i.op {
+            Op::Bra { target, .. } if !self.labels.contains_key(target) => {
+                Some(target.as_str())
+            }
+            _ => None,
+        })
+    }
 }
 
 /// Control-flow graph over a [`FlatKernel`].
@@ -102,12 +114,28 @@ pub struct Cfg {
 }
 
 impl Cfg {
+    /// Builds the CFG after checking every branch label resolves, returning
+    /// the first unresolved label instead of panicking. This is the entry
+    /// point loaders should use on untrusted (hand-built) kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending label name when a branch targets an unknown
+    /// label.
+    pub fn try_build(flat: &FlatKernel) -> Result<Self, String> {
+        match flat.unknown_label() {
+            Some(l) => Err(l.to_string()),
+            None => Ok(Self::build(flat)),
+        }
+    }
+
     /// Builds the CFG and post-dominator tree for a flattened kernel.
     ///
     /// # Panics
     ///
     /// Panics if a branch targets an unknown label (the parser validates
-    /// this, so it indicates a malformed hand-built kernel).
+    /// this, so it indicates a malformed hand-built kernel); use
+    /// [`Cfg::try_build`] to get an error instead.
     pub fn build(flat: &FlatKernel) -> Self {
         let n = flat.instrs.len();
         if n == 0 {
@@ -450,6 +478,20 @@ mod tests {
         for (i, &b) in cfg.block_of.iter().enumerate() {
             assert!(cfg.blocks[b].start <= i && i < cfg.blocks[b].end);
         }
+    }
+
+    #[test]
+    fn unknown_label_detected_without_panic() {
+        let flat = FlatKernel {
+            instrs: vec![Instruction::new(Op::Bra { uni: true, target: "L_missing".into() })],
+            labels: HashMap::new(),
+        };
+        assert_eq!(flat.unknown_label(), Some("L_missing"));
+        assert_eq!(Cfg::try_build(&flat).err(), Some("L_missing".to_string()));
+
+        let (flat, _) = cfg_of(".reg .b32 %r<2>;\nmov.u32 %r1, 1;\nret;");
+        assert_eq!(flat.unknown_label(), None);
+        assert!(Cfg::try_build(&flat).is_ok());
     }
 
     #[test]

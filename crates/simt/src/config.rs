@@ -35,6 +35,25 @@ impl MemoryModel {
     }
 }
 
+/// Which interpreter executes kernel instructions.
+///
+/// Both modes run the same machine model and must produce identical
+/// results, statistics and event streams (enforced by the differential
+/// property tests in `tests/decode_differential.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Dispatch on the pre-decoded micro-op IR built at kernel load time:
+    /// fixed-size `Copy` instructions with branch targets, register
+    /// indices, parameter offsets and shared-memory bases all resolved up
+    /// front. No per-step allocation, no string lookups. The default.
+    #[default]
+    Decoded,
+    /// Walk the PTX AST directly, resolving labels and symbols by name at
+    /// every step. Slower; kept as the reference semantics the decoded
+    /// interpreter is validated against.
+    AstWalk,
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone)]
 pub struct GpuConfig {
@@ -66,6 +85,8 @@ pub struct GpuConfig {
     /// device-side logger (§3.3.1). Comparator tools without the filter
     /// (CUDA-Racecheck) run with this off.
     pub filter_same_value: bool,
+    /// Which interpreter runs kernel code (see [`ExecMode`]).
+    pub exec_mode: ExecMode,
 }
 
 impl Default for GpuConfig {
@@ -79,6 +100,7 @@ impl Default for GpuConfig {
             max_steps: 500_000_000,
             native_access_logging: false,
             filter_same_value: true,
+            exec_mode: ExecMode::Decoded,
         }
     }
 }
@@ -115,7 +137,17 @@ pub enum SimError {
     InvalidAccess { addr: u64 },
     /// Access beyond the block's shared segment.
     SharedOutOfBounds { offset: u64, size: u64 },
-    /// Runtime fault (bad generic address, unknown call target, …).
+    /// A branch targets a label the kernel does not define. Raised at
+    /// kernel load time by the decoder's validation pass.
+    UnknownLabel(String),
+    /// An instruction references a `.shared` or `.param` symbol the kernel
+    /// does not declare. Raised at kernel load time.
+    UnknownSymbol(String),
+    /// An instruction is structurally invalid (unknown call target,
+    /// malformed instrumentation hook, …). Raised at kernel load time with
+    /// the flat instruction index.
+    BadInstruction { index: usize, reason: String },
+    /// Runtime fault (bad generic address, param-space store, …).
     Fault(String),
 }
 
@@ -135,6 +167,11 @@ impl fmt::Display for SimError {
             }
             SimError::SharedOutOfBounds { offset, size } => {
                 write!(f, "shared memory access at offset {offset} beyond segment of {size} bytes")
+            }
+            SimError::UnknownLabel(l) => write!(f, "branch to unknown label '{l}'"),
+            SimError::UnknownSymbol(s) => write!(f, "reference to unknown symbol '{s}'"),
+            SimError::BadInstruction { index, reason } => {
+                write!(f, "invalid instruction at index {index}: {reason}")
             }
             SimError::Fault(m) => write!(f, "fault: {m}"),
         }
@@ -168,5 +205,16 @@ mod tests {
     fn errors_display() {
         assert!(SimError::BarrierDivergence { block: 3 }.to_string().contains("block 3"));
         assert!(SimError::InvalidAccess { addr: 0x10 }.to_string().contains("0x10"));
+        assert!(SimError::UnknownLabel("L_x".into()).to_string().contains("L_x"));
+        assert!(SimError::UnknownSymbol("smem".into()).to_string().contains("smem"));
+        assert!(SimError::BadInstruction { index: 4, reason: "nope".into() }
+            .to_string()
+            .contains("index 4"));
+    }
+
+    #[test]
+    fn default_exec_mode_is_decoded() {
+        assert_eq!(GpuConfig::default().exec_mode, ExecMode::Decoded);
+        assert_eq!(ExecMode::default(), ExecMode::Decoded);
     }
 }

@@ -1,23 +1,28 @@
-//! The SIMT interpreter: executes one warp instruction at a time,
+//! The SIMT interpreter hot loop: executes one warp instruction at a time,
 //! maintaining the reconvergence stack and emitting trace events.
+//!
+//! This module dispatches on the pre-decoded micro-op IR
+//! ([`crate::decode`]): every instruction is a fixed-size `Copy` value
+//! with branch targets, parameter offsets and shared-memory bases already
+//! resolved, so a step performs **no allocation and no string lookups**.
+//! The original AST-walking interpreter lives in [`crate::exec_ast`] as
+//! the reference semantics; both share the helpers defined here and must
+//! produce byte-identical event streams (see
+//! `tests/decode_differential.rs`).
 
-use barracuda_ptx::ast::{
-    Address, AddrBase, FenceLevel, Guard, Op, Operand, Space, SpecialReg, Type,
-};
+use barracuda_ptx::ast::{BinOp, CmpOp, Guard, MulMode, Reg, SpecialReg, Type, UnOp};
 use barracuda_trace::ops::{AccessKind, Event, MemSpace, Scope};
-use barracuda_trace::record::{Record, RecordKind};
-use barracuda_trace::GridDims;
-use std::collections::HashMap;
+use barracuda_trace::record::RecordKind;
+use barracuda_trace::{GridDims, Record};
 
 use crate::config::SimError;
+use crate::decode::{DAddr, DBase, DCall, DOp, DOperand, DecodedInstr};
 use crate::kernel::LoadedKernel;
+use crate::locals::LocalStore;
 use crate::mem::{GlobalMemory, SharedMemory};
 use crate::sink::EventSink;
 use crate::value;
 use crate::warp::{EntryKind, StackEntry, WarpState, WarpStatus};
-
-/// Size of each thread's lazily-allocated local-memory segment.
-const LOCAL_SIZE: u64 = 16 * 1024;
 
 /// Everything a warp needs to execute one step.
 pub(crate) struct ExecCtx<'a> {
@@ -26,7 +31,7 @@ pub(crate) struct ExecCtx<'a> {
     pub param_block: &'a [u8],
     pub global: &'a mut GlobalMemory,
     pub shared: &'a mut SharedMemory,
-    pub locals: &'a mut HashMap<(u64, u32), Vec<u8>>,
+    pub locals: &'a mut LocalStore,
     pub sink: Option<&'a dyn EventSink>,
     pub native_logging: bool,
     pub filter_same_value: bool,
@@ -42,7 +47,7 @@ pub(crate) enum StepOutcome {
 
 /// Where an address resolved to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ResolvedSpace {
+pub(crate) enum ResolvedSpace {
     Global,
     Shared,
     Local,
@@ -50,7 +55,7 @@ enum ResolvedSpace {
 }
 
 impl ExecCtx<'_> {
-    fn emit(&self, w: &WarpState, event: &Event) {
+    pub(crate) fn emit(&self, w: &WarpState, event: &Event) {
         if let Some(sink) = self.sink {
             sink.emit(w.block, Record::encode(event));
         }
@@ -58,7 +63,7 @@ impl ExecCtx<'_> {
 }
 
 /// Pops the top stack entry, emitting the trace event its kind requires.
-fn pop_emit(ctx: &ExecCtx, w: &mut WarpState) {
+pub(crate) fn pop_emit(ctx: &ExecCtx, w: &mut WarpState) {
     let e = w.stack.pop().expect("pop on empty SIMT stack");
     match e.kind {
         EntryKind::Then => ctx.emit(w, &Event::Else { warp: w.warp }),
@@ -67,7 +72,8 @@ fn pop_emit(ctx: &ExecCtx, w: &mut WarpState) {
     }
 }
 
-/// Executes one instruction (or performs pending stack pops) for warp `w`.
+/// Executes one instruction (or performs pending stack pops) for warp `w`,
+/// dispatching on the decoded micro-op IR.
 pub(crate) fn step(ctx: &mut ExecCtx, w: &mut WarpState) -> Result<StepOutcome, SimError> {
     loop {
         let Some(top) = w.stack.last().copied() else {
@@ -86,22 +92,23 @@ pub(crate) fn step(ctx: &mut ExecCtx, w: &mut WarpState) -> Result<StepOutcome, 
             pop_emit(ctx, w);
             continue;
         }
-        if top.pc >= ctx.kernel.len() {
-            // Ran past the end: implicit exit for this path's lanes.
+        // Fetch by reference — the micro-op stays in the decoded pool, no
+        // per-step copy — with the end-of-code check folded into the fetch
+        // (running past the end is an implicit exit for this path's lanes).
+        let kernel = ctx.kernel;
+        let Some(instr) = kernel.decoded.instrs.get(top.pc) else {
             w.exited |= eff;
             pop_emit(ctx, w);
             continue;
-        }
+        };
         // A `__barracuda_log_access` call fuses with the instruction it
         // covers: the log record and the operation's effect must be
         // atomic with respect to other warps, or an acquire could be
         // logged before the release it synchronizes with (the record
         // stream must be a linearization of the synchronization order).
-        let fused = matches!(
-            &ctx.kernel.flat.instrs[top.pc].op,
-            Op::Call { target, .. } if target == "__barracuda_log_access"
-        );
-        let out = exec_instr(ctx, w, top.pc, eff)?;
+        // The decoder precomputed the test as `DecodedInstr::fused`.
+        let fused = instr.fused;
+        let out = exec_instr(ctx, w, top.pc, eff, instr)?;
         if fused && out == StepOutcome::Continue {
             continue;
         }
@@ -109,38 +116,35 @@ pub(crate) fn step(ctx: &mut ExecCtx, w: &mut WarpState) -> Result<StepOutcome, 
     }
 }
 
-fn guard_mask(w: &WarpState, dims: &GridDims, eff: u32, guard: Option<Guard>) -> u32 {
+pub(crate) fn guard_mask(w: &WarpState, eff: u32, guard: Option<Guard>) -> u32 {
     match guard {
         None => eff,
         Some(g) => {
+            // Test the whole contiguous predicate column, then mask: same
+            // result as testing only `eff` lanes, but branchless.
+            let col = w.col(g.pred);
             let mut m = 0u32;
-            for lane in 0..dims.warp_size {
-                if eff & (1 << lane) == 0 {
-                    continue;
-                }
-                let p = w.reg(lane, g.pred) != 0;
-                if p != g.negated {
-                    m |= 1 << lane;
-                }
+            for (lane, &p) in col.iter().enumerate() {
+                m |= u32::from((p != 0) != g.negated) << lane;
             }
-            m
+            m & eff
         }
     }
 }
 
-fn special_value(ctx: &ExecCtx, w: &WarpState, lane: u32, sr: SpecialReg) -> u64 {
-    let t = ctx.dims.tid_of_lane(w.warp, lane);
+pub(crate) fn special_value(dims: &GridDims, w: &WarpState, lane: u32, sr: SpecialReg) -> u64 {
+    let t = dims.tid_of_lane(w.warp, lane);
     match sr {
-        SpecialReg::Tid(d) => pick(ctx.dims.thread_coord(t), d),
-        SpecialReg::Ntid(d) => pick(ctx.dims.block, d),
-        SpecialReg::Ctaid(d) => pick(ctx.dims.block_coord(t), d),
-        SpecialReg::Nctaid(d) => pick(ctx.dims.grid, d),
+        SpecialReg::Tid(d) => pick(dims.thread_coord(t), d),
+        SpecialReg::Ntid(d) => pick(dims.block, d),
+        SpecialReg::Ctaid(d) => pick(dims.block_coord(t), d),
+        SpecialReg::Nctaid(d) => pick(dims.grid, d),
         SpecialReg::LaneId => u64::from(lane),
-        SpecialReg::WarpSize => u64::from(ctx.dims.warp_size),
+        SpecialReg::WarpSize => u64::from(dims.warp_size),
     }
 }
 
-fn pick(d: barracuda_trace::Dim3, which: barracuda_ptx::ast::Dim) -> u64 {
+pub(crate) fn pick(d: barracuda_trace::Dim3, which: barracuda_ptx::ast::Dim) -> u64 {
     use barracuda_ptx::ast::Dim;
     u64::from(match which {
         Dim::X => d.x,
@@ -149,57 +153,269 @@ fn pick(d: barracuda_trace::Dim3, which: barracuda_ptx::ast::Dim) -> u64 {
     })
 }
 
-fn operand_value(
-    ctx: &ExecCtx,
-    w: &WarpState,
-    lane: u32,
-    op: &Operand,
-    ty: Type,
-) -> Result<u64, SimError> {
-    Ok(match op {
-        Operand::Reg(r) => w.reg(lane, *r),
-        Operand::Imm(v) => *v as u64,
-        Operand::FImm(v) => {
-            if ty == Type::F32 {
-                u64::from((*v as f32).to_bits())
-            } else {
-                v.to_bits()
-            }
-        }
-        Operand::Special(sr) => special_value(ctx, w, lane, *sr),
-        Operand::Sym(s) => ctx
-            .kernel
-            .kernel
-            .shared_offset(s)
-            .ok_or_else(|| SimError::Fault(format!("unknown symbol {s}")))?,
-    })
+/// Evaluates a decoded operand for one lane. Infallible: symbols were
+/// resolved to immediates at decode time.
+#[inline(always)]
+fn doperand_value(dims: &GridDims, w: &WarpState, lane: u32, op: DOperand) -> u64 {
+    match op {
+        DOperand::Reg(r) => w.reg(lane, r),
+        DOperand::Imm(v) => v,
+        DOperand::Special(sr) => special_value(dims, w, lane, sr),
+    }
 }
 
-/// Resolves a memory address for one lane.
-fn resolve_addr(
-    ctx: &ExecCtx,
+/// Evaluates one operand for the warp into `buf`. Register operands
+/// become one contiguous copy from the column-major register file,
+/// immediates a fill — the per-lane operand-kind match of the scalar
+/// interpreter is paid once per instruction instead. Special registers
+/// are evaluated only for `exec` lanes: a lane past the block's thread
+/// count has no thread id.
+#[inline(always)]
+fn operand_warp(dims: &GridDims, w: &WarpState, exec: u32, op: DOperand, buf: &mut [u64; 32]) {
+    let ws = dims.warp_size as usize;
+    match op {
+        DOperand::Reg(r) => buf[..ws].copy_from_slice(w.col(r)),
+        DOperand::Imm(v) => buf[..ws].fill(v),
+        DOperand::Special(sr) => {
+            for lane in lanes(exec, dims.warp_size) {
+                buf[lane as usize] = special_value(dims, w, lane, sr);
+            }
+        }
+    }
+}
+
+/// Like [`operand_warp`], but register operands borrow their column
+/// directly instead of being copied — the common register/register ALU
+/// case touches no scratch memory on the input side.
+#[inline(always)]
+fn operand_slice<'a>(
+    dims: &GridDims,
+    w: &'a WarpState,
+    exec: u32,
+    op: DOperand,
+    buf: &'a mut [u64; 32],
+) -> &'a [u64] {
+    match op {
+        DOperand::Reg(r) => w.col(r),
+        _ => {
+            operand_warp(dims, w, exec, op, buf);
+            &buf[..dims.warp_size as usize]
+        }
+    }
+}
+
+/// Blends `out` into the destination register column under `exec`. A
+/// fully-active warp (the common converged case) takes one memcpy; the
+/// branchless select otherwise vectorizes, and inactive lanes rewrite
+/// their old value, which nothing can observe mid-instruction (warps are
+/// single-threaded).
+#[inline(always)]
+fn write_masked(w: &mut WarpState, dst: Reg, exec: u32, out: &[u64; 32], ws: usize) {
+    let col = w.col_mut(dst);
+    if exec == full_mask(ws as u32) {
+        col.copy_from_slice(&out[..ws]);
+        return;
+    }
+    for lane in 0..ws {
+        col[lane] = if exec & (1 << lane) != 0 { out[lane] } else { col[lane] };
+    }
+}
+
+/// All-lanes mask for a warp of `ws` lanes.
+#[inline(always)]
+fn full_mask(ws: u32) -> u32 {
+    u32::MAX >> (32 - ws)
+}
+
+/// A monomorphized whole-warp ALU loop for a two-operand instruction
+/// (`bin`/`mul`/`setp`): the decode layer resolves `(op, ty)` to one of
+/// these once, so the hot loop pays a single indirect call per
+/// *instruction* with the operation, type width and signedness constant-
+/// folded into the lane loop.
+pub(crate) type WarpBinFn = fn(&GridDims, &mut WarpState, u32, Reg, DOperand, DOperand);
+
+/// Monomorphized warp loop for one-operand ALU instructions.
+pub(crate) type WarpUnFn = fn(&GridDims, &mut WarpState, u32, Reg, DOperand);
+
+/// Monomorphized warp loop for `mad` (three operands).
+pub(crate) type WarpMadFn = fn(&GridDims, &mut WarpState, u32, Reg, DOperand, DOperand, DOperand);
+
+/// Expands `$cb!($($args)*, T)` for the [`Type`] selected by `$ty`.
+macro_rules! with_each_type {
+    ($cb:ident ! ($($args:tt)*), $ty:expr) => {
+        match $ty {
+            Type::Pred => $cb!($($args)*, Pred),
+            Type::B8 => $cb!($($args)*, B8),
+            Type::B16 => $cb!($($args)*, B16),
+            Type::B32 => $cb!($($args)*, B32),
+            Type::B64 => $cb!($($args)*, B64),
+            Type::U8 => $cb!($($args)*, U8),
+            Type::U16 => $cb!($($args)*, U16),
+            Type::U32 => $cb!($($args)*, U32),
+            Type::U64 => $cb!($($args)*, U64),
+            Type::S8 => $cb!($($args)*, S8),
+            Type::S16 => $cb!($($args)*, S16),
+            Type::S32 => $cb!($($args)*, S32),
+            Type::S64 => $cb!($($args)*, S64),
+            Type::F32 => $cb!($($args)*, F32),
+            Type::F64 => $cb!($($args)*, F64),
+        }
+    };
+}
+
+macro_rules! bin_arm {
+    ($o:ident, $t:ident) => {
+        (|dims: &GridDims, w: &mut WarpState, exec: u32, dst: Reg, a: DOperand, b: DOperand| {
+            let ws = dims.warp_size as usize;
+            let (mut ab, mut bb, mut out) = ([0u64; 32], [0u64; 32], [0u64; 32]);
+            let av = operand_slice(dims, w, exec, a, &mut ab);
+            let bv = operand_slice(dims, w, exec, b, &mut bb);
+            for ((o, &x), &y) in out[..ws].iter_mut().zip(av).zip(bv) {
+                *o = value::bin(BinOp::$o, Type::$t, x, y);
+            }
+            write_masked(w, dst, exec, &out, ws);
+        }) as WarpBinFn
+    };
+}
+
+/// Resolves a `bin` instruction to its monomorphized warp loop.
+pub(crate) fn warp_bin_fn(op: BinOp, ty: Type) -> WarpBinFn {
+    match op {
+        BinOp::Add => with_each_type!(bin_arm!(Add), ty),
+        BinOp::Sub => with_each_type!(bin_arm!(Sub), ty),
+        BinOp::Div => with_each_type!(bin_arm!(Div), ty),
+        BinOp::Rem => with_each_type!(bin_arm!(Rem), ty),
+        BinOp::Min => with_each_type!(bin_arm!(Min), ty),
+        BinOp::Max => with_each_type!(bin_arm!(Max), ty),
+        BinOp::And => with_each_type!(bin_arm!(And), ty),
+        BinOp::Or => with_each_type!(bin_arm!(Or), ty),
+        BinOp::Xor => with_each_type!(bin_arm!(Xor), ty),
+        BinOp::Shl => with_each_type!(bin_arm!(Shl), ty),
+        BinOp::Shr => with_each_type!(bin_arm!(Shr), ty),
+    }
+}
+
+macro_rules! mul_arm {
+    ($m:ident, $t:ident) => {
+        (|dims: &GridDims, w: &mut WarpState, exec: u32, dst: Reg, a: DOperand, b: DOperand| {
+            let ws = dims.warp_size as usize;
+            let (mut ab, mut bb, mut out) = ([0u64; 32], [0u64; 32], [0u64; 32]);
+            let av = operand_slice(dims, w, exec, a, &mut ab);
+            let bv = operand_slice(dims, w, exec, b, &mut bb);
+            for ((o, &x), &y) in out[..ws].iter_mut().zip(av).zip(bv) {
+                *o = value::mul(MulMode::$m, Type::$t, x, y);
+            }
+            write_masked(w, dst, exec, &out, ws);
+        }) as WarpBinFn
+    };
+}
+
+/// Resolves a `mul` instruction to its monomorphized warp loop.
+pub(crate) fn warp_mul_fn(mode: MulMode, ty: Type) -> WarpBinFn {
+    match mode {
+        MulMode::Lo => with_each_type!(mul_arm!(Lo), ty),
+        MulMode::Hi => with_each_type!(mul_arm!(Hi), ty),
+        MulMode::Wide => with_each_type!(mul_arm!(Wide), ty),
+    }
+}
+
+macro_rules! setp_arm {
+    ($o:ident, $t:ident) => {
+        (|dims: &GridDims, w: &mut WarpState, exec: u32, dst: Reg, a: DOperand, b: DOperand| {
+            let ws = dims.warp_size as usize;
+            let (mut ab, mut bb, mut out) = ([0u64; 32], [0u64; 32], [0u64; 32]);
+            let av = operand_slice(dims, w, exec, a, &mut ab);
+            let bv = operand_slice(dims, w, exec, b, &mut bb);
+            for ((o, &x), &y) in out[..ws].iter_mut().zip(av).zip(bv) {
+                *o = u64::from(value::cmp(CmpOp::$o, Type::$t, x, y));
+            }
+            write_masked(w, dst, exec, &out, ws);
+        }) as WarpBinFn
+    };
+}
+
+/// Resolves a `setp` instruction to its monomorphized warp loop.
+pub(crate) fn warp_setp_fn(op: CmpOp, ty: Type) -> WarpBinFn {
+    match op {
+        CmpOp::Eq => with_each_type!(setp_arm!(Eq), ty),
+        CmpOp::Ne => with_each_type!(setp_arm!(Ne), ty),
+        CmpOp::Lt => with_each_type!(setp_arm!(Lt), ty),
+        CmpOp::Le => with_each_type!(setp_arm!(Le), ty),
+        CmpOp::Gt => with_each_type!(setp_arm!(Gt), ty),
+        CmpOp::Ge => with_each_type!(setp_arm!(Ge), ty),
+        CmpOp::Lo => with_each_type!(setp_arm!(Lo), ty),
+        CmpOp::Ls => with_each_type!(setp_arm!(Ls), ty),
+        CmpOp::Hi => with_each_type!(setp_arm!(Hi), ty),
+        CmpOp::Hs => with_each_type!(setp_arm!(Hs), ty),
+    }
+}
+
+macro_rules! un_arm {
+    ($o:ident, $t:ident) => {
+        (|dims: &GridDims, w: &mut WarpState, exec: u32, dst: Reg, a: DOperand| {
+            let ws = dims.warp_size as usize;
+            let (mut ab, mut out) = ([0u64; 32], [0u64; 32]);
+            let av = operand_slice(dims, w, exec, a, &mut ab);
+            for (o, &x) in out[..ws].iter_mut().zip(av) {
+                *o = value::un(UnOp::$o, Type::$t, x);
+            }
+            write_masked(w, dst, exec, &out, ws);
+        }) as WarpUnFn
+    };
+}
+
+/// Resolves a `un` instruction to its monomorphized warp loop.
+pub(crate) fn warp_un_fn(op: UnOp, ty: Type) -> WarpUnFn {
+    match op {
+        UnOp::Not => with_each_type!(un_arm!(Not), ty),
+        UnOp::Neg => with_each_type!(un_arm!(Neg), ty),
+        UnOp::Abs => with_each_type!(un_arm!(Abs), ty),
+    }
+}
+
+macro_rules! mad_arm {
+    ($m:ident, $t:ident) => {
+        (|dims: &GridDims,
+          w: &mut WarpState,
+          exec: u32,
+          dst: Reg,
+          a: DOperand,
+          b: DOperand,
+          c: DOperand| {
+            let ws = dims.warp_size as usize;
+            let (mut ab, mut bb, mut cb, mut out) = ([0u64; 32], [0u64; 32], [0u64; 32], [0u64; 32]);
+            let av = operand_slice(dims, w, exec, a, &mut ab);
+            let bv = operand_slice(dims, w, exec, b, &mut bb);
+            let cv = operand_slice(dims, w, exec, c, &mut cb);
+            for (((o, &x), &y), &z) in out[..ws].iter_mut().zip(av).zip(bv).zip(cv) {
+                *o = value::mad(MulMode::$m, Type::$t, x, y, z);
+            }
+            write_masked(w, dst, exec, &out, ws);
+        }) as WarpMadFn
+    };
+}
+
+/// Resolves a `mad` instruction to its monomorphized warp loop.
+pub(crate) fn warp_mad_fn(mode: MulMode, ty: Type) -> WarpMadFn {
+    match mode {
+        MulMode::Lo => with_each_type!(mad_arm!(Lo), ty),
+        MulMode::Hi => with_each_type!(mad_arm!(Hi), ty),
+        MulMode::Wide => with_each_type!(mad_arm!(Wide), ty),
+    }
+}
+
+/// Resolves a decoded memory address for one lane. Infallible: symbol
+/// bases were resolved to constants at decode time.
+fn dresolve_addr(
     w: &WarpState,
     lane: u32,
-    addr: &Address,
-    space: Space,
-) -> Result<(ResolvedSpace, u64), SimError> {
-    let base = match &addr.base {
-        AddrBase::Reg(r) => w.reg(lane, *r),
-        AddrBase::Sym(s) => match space {
-            Space::Param => {
-                let (off, _) = ctx
-                    .kernel
-                    .kernel
-                    .param_info(s)
-                    .ok_or_else(|| SimError::Fault(format!("unknown param {s}")))?;
-                off
-            }
-            _ => ctx
-                .kernel
-                .kernel
-                .shared_offset(s)
-                .ok_or_else(|| SimError::Fault(format!("unknown shared symbol {s}")))?,
-        },
+    addr: DAddr,
+    space: barracuda_ptx::ast::Space,
+) -> (ResolvedSpace, u64) {
+    use barracuda_ptx::ast::Space;
+    let base = match addr.base {
+        DBase::Reg(r) => w.reg(lane, r),
+        DBase::Const(c) => c,
     };
     let a = base.wrapping_add(addr.offset as u64);
     let rs = match space {
@@ -215,7 +431,7 @@ fn resolve_addr(
             }
         }
     };
-    Ok((rs, a))
+    (rs, a)
 }
 
 /// Same-value intra-warp write filtering (paper §3.3.1): lanes writing the
@@ -241,7 +457,7 @@ pub(crate) fn filter_same_value(mask: u32, addrs: &[u64; 32], vals: &[u64; 32]) 
     keep
 }
 
-fn mem_space_of(rs: ResolvedSpace) -> Option<MemSpace> {
+pub(crate) fn mem_space_of(rs: ResolvedSpace) -> Option<MemSpace> {
     match rs {
         ResolvedSpace::Global => Some(MemSpace::Global),
         ResolvedSpace::Shared => Some(MemSpace::Shared),
@@ -250,7 +466,7 @@ fn mem_space_of(rs: ResolvedSpace) -> Option<MemSpace> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn log_native_access(
+pub(crate) fn log_native_access(
     ctx: &ExecCtx,
     w: &WarpState,
     kind: AccessKind,
@@ -275,9 +491,54 @@ fn log_native_access(
     );
 }
 
-fn advance(w: &mut WarpState) {
+pub(crate) fn advance(w: &mut WarpState) {
     let top = w.stack.last_mut().expect("advance on empty stack");
     top.pc += 1;
+}
+
+/// Reads `size` little-endian bytes at `o` from a flat byte buffer.
+pub(crate) fn load_bytes(buf: &[u8], o: usize, size: u8, what: &str) -> Result<u64, SimError> {
+    if o + size as usize > buf.len() {
+        return Err(SimError::Fault(format!("{what} read at {o} out of range")));
+    }
+    let mut out = [0u8; 8];
+    out[..size as usize].copy_from_slice(&buf[o..o + size as usize]);
+    Ok(u64::from_le_bytes(out))
+}
+
+/// Writes `size` little-endian bytes of `v` at `o` into a flat buffer.
+pub(crate) fn store_bytes(
+    buf: &mut [u8],
+    o: usize,
+    size: u8,
+    v: u64,
+    what: &str,
+) -> Result<(), SimError> {
+    if o + size as usize > buf.len() {
+        return Err(SimError::Fault(format!("{what} write at {o} out of range")));
+    }
+    buf[o..o + size as usize].copy_from_slice(&v.to_le_bytes()[..size as usize]);
+    Ok(())
+}
+
+pub(crate) fn lanes(mask: u32, warp_size: u32) -> impl Iterator<Item = u32> {
+    (0..warp_size).filter(move |l| mask & (1 << l) != 0)
+}
+
+/// Decodes a `log_access` kind code into an [`AccessKind`].
+pub(crate) fn access_kind(kind_code: u8) -> Result<AccessKind, SimError> {
+    Ok(match kind_code {
+        k if k == RecordKind::Read as u8 => AccessKind::Read,
+        k if k == RecordKind::Write as u8 => AccessKind::Write,
+        k if k == RecordKind::Atomic as u8 => AccessKind::Atomic,
+        k if k == RecordKind::AcqBlk as u8 => AccessKind::Acquire(Scope::Block),
+        k if k == RecordKind::RelBlk as u8 => AccessKind::Release(Scope::Block),
+        k if k == RecordKind::AcqRelBlk as u8 => AccessKind::AcquireRelease(Scope::Block),
+        k if k == RecordKind::AcqGlb as u8 => AccessKind::Acquire(Scope::Global),
+        k if k == RecordKind::RelGlb as u8 => AccessKind::Release(Scope::Global),
+        k if k == RecordKind::AcqRelGlb as u8 => AccessKind::AcquireRelease(Scope::Global),
+        k => return Err(SimError::Fault(format!("bad log kind {k}"))),
+    })
 }
 
 #[allow(clippy::too_many_lines)]
@@ -286,25 +547,25 @@ fn exec_instr(
     w: &mut WarpState,
     pc: usize,
     eff: u32,
+    instr: &DecodedInstr,
 ) -> Result<StepOutcome, SimError> {
-    let instr = ctx.kernel.flat.instrs[pc].clone();
-    let exec = guard_mask(w, ctx.dims, eff, instr.guard);
+    let exec = guard_mask(w, eff, instr.guard);
     let warp_size = ctx.dims.warp_size;
+    // The side pools live behind the kernel reference, not the mutable
+    // context, so slices stay borrowable across memory operations.
+    let kernel = ctx.kernel;
+    let dims = ctx.dims;
 
     // Guarded branches are conditional branches and handled specially;
     // for every other instruction an all-false guard is a NOP.
-    if exec == 0 && !matches!(instr.op, Op::Bra { .. }) {
+    if exec == 0 && !matches!(instr.op, DOp::Bra { .. }) {
         advance(w);
         return Ok(StepOutcome::Continue);
     }
 
     match instr.op {
-        Op::Bra { ref target, .. } => {
-            let tgt = ctx
-                .kernel
-                .flat
-                .target(target)
-                .ok_or_else(|| SimError::Fault(format!("unknown label {target}")))?;
+        DOp::Bra { target, recon } => {
+            let tgt = target as usize;
             if instr.guard.is_none() {
                 let top = w.stack.last_mut().expect("non-empty");
                 top.pc = tgt;
@@ -321,7 +582,7 @@ fn exec_instr(
                 let top = w.stack.last_mut().expect("non-empty");
                 top.pc = if not_taken == 0 { tgt } else { pc + 1 };
             } else {
-                let rpc = ctx.kernel.reconvergence_entry(pc).unwrap_or(None);
+                let rpc = recon.rpc();
                 let top = w.stack.last_mut().expect("non-empty");
                 // Current entry becomes the reconvergence continuation.
                 top.pc = rpc.unwrap_or(usize::MAX);
@@ -330,7 +591,7 @@ fn exec_instr(
             }
             Ok(StepOutcome::Continue)
         }
-        Op::Ret | Op::Exit => {
+        DOp::Ret | DOp::Exit => {
             w.exited |= exec;
             if exec == eff {
                 pop_emit(ctx, w);
@@ -339,25 +600,26 @@ fn exec_instr(
             }
             Ok(StepOutcome::Continue)
         }
-        Op::Bar { .. } => {
+        DOp::Bar => {
             w.status = WarpStatus::AtBarrier;
             w.barrier_mask = exec;
             ctx.emit(w, &Event::Bar { warp: w.warp, mask: exec });
             Ok(StepOutcome::Barrier)
         }
-        Op::Membar { level } => {
-            ctx.global.fence(w.block, level != FenceLevel::Cta);
+        DOp::Membar { global } => {
+            ctx.global.fence(w.block, global);
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::LdVec { space, ty, ref dsts, ref addr, .. } => {
+        DOp::LdVec { space, ty, dsts, addr, .. } => {
+            let dsts: &[Reg] = &kernel.decoded.regs[dsts.start as usize..(dsts.start + dsts.len) as usize];
             let elem = ty.size();
             let total = (elem * dsts.len() as u64) as u8;
             let mut addrs = [0u64; 32];
             let vals = [0u64; 32];
             let mut rspace = ResolvedSpace::Global;
             for lane in lanes(exec, warp_size) {
-                let (rs, base) = resolve_addr(ctx, w, lane, addr, space)?;
+                let (rs, base) = dresolve_addr(w, lane, addr, space);
                 rspace = rs;
                 addrs[lane as usize] = base;
                 for (i, &dst) in dsts.iter().enumerate() {
@@ -375,22 +637,24 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::StVec { space, ty, ref addr, ref srcs, .. } => {
+        DOp::StVec { space, ty, addr, srcs, .. } => {
+            let srcs: &[DOperand] =
+                &kernel.decoded.operands[srcs.start as usize..(srcs.start + srcs.len) as usize];
             let elem = ty.size();
             let total = (elem * srcs.len() as u64) as u8;
             let mut addrs = [0u64; 32];
             let mut vals = [0u64; 32];
             let mut rspace = ResolvedSpace::Global;
             for lane in lanes(exec, warp_size) {
-                let (rs, base) = resolve_addr(ctx, w, lane, addr, space)?;
+                let (rs, base) = dresolve_addr(w, lane, addr, space);
                 rspace = rs;
                 addrs[lane as usize] = base;
                 // Vector stores carry multiple values; disable the
                 // same-value collapse by making lane tags distinct.
                 vals[lane as usize] = u64::from(lane) + 1;
-                for (i, src) in srcs.iter().enumerate() {
+                for (i, &src) in srcs.iter().enumerate() {
                     let a = base + i as u64 * elem;
-                    let v = value::trunc(ty, operand_value(ctx, w, lane, src, ty)?);
+                    let v = value::trunc(ty, doperand_value(dims, w, lane, src));
                     match rs {
                         ResolvedSpace::Global => ctx.global.store(w.block, a, elem as u8, v)?,
                         ResolvedSpace::Shared => ctx.shared.store(a, elem as u8, v)?,
@@ -402,41 +666,20 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Ld { space, ty, dst, ref addr, .. } => {
+        DOp::Ld { space, ty, dst, addr } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let mut vals = [0u64; 32];
             let mut rspace = ResolvedSpace::Global;
-            for lane in 0..warp_size {
-                if exec & (1 << lane) == 0 {
-                    continue;
-                }
-                let (rs, a) = resolve_addr(ctx, w, lane, addr, space)?;
+            for lane in lanes(exec, warp_size) {
+                let (rs, a) = dresolve_addr(w, lane, addr, space);
                 rspace = rs;
                 let raw = match rs {
                     ResolvedSpace::Global => ctx.global.load(w.block, a, size)?,
                     ResolvedSpace::Shared => ctx.shared.load(a, size)?,
-                    ResolvedSpace::Param => {
-                        let o = a as usize;
-                        if o + size as usize > ctx.param_block.len() {
-                            return Err(SimError::Fault(format!("param read at {o} out of range")));
-                        }
-                        let mut buf = [0u8; 8];
-                        buf[..size as usize].copy_from_slice(&ctx.param_block[o..o + size as usize]);
-                        u64::from_le_bytes(buf)
-                    }
+                    ResolvedSpace::Param => load_bytes(ctx.param_block, a as usize, size, "param")?,
                     ResolvedSpace::Local => {
-                        let local = ctx
-                            .locals
-                            .entry((w.warp, lane))
-                            .or_insert_with(|| vec![0; LOCAL_SIZE as usize]);
-                        let o = a as usize;
-                        if o + size as usize > local.len() {
-                            return Err(SimError::Fault(format!("local read at {o} out of range")));
-                        }
-                        let mut buf = [0u8; 8];
-                        buf[..size as usize].copy_from_slice(&local[o..o + size as usize]);
-                        u64::from_le_bytes(buf)
+                        load_bytes(ctx.locals.lane(w.warp, lane), a as usize, size, "local")?
                     }
                 };
                 let v = if ty.is_signed() { value::sext(ty, raw) as u64 } else { value::trunc(ty, raw) };
@@ -448,18 +691,15 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::St { space, ty, ref addr, ref src, .. } => {
+        DOp::St { space, ty, addr, src } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let mut vals = [0u64; 32];
             let mut rspace = ResolvedSpace::Global;
-            for lane in 0..warp_size {
-                if exec & (1 << lane) == 0 {
-                    continue;
-                }
-                let (rs, a) = resolve_addr(ctx, w, lane, addr, space)?;
+            for lane in lanes(exec, warp_size) {
+                let (rs, a) = dresolve_addr(w, lane, addr, space);
                 rspace = rs;
-                let v = value::trunc(ty, operand_value(ctx, w, lane, src, ty)?);
+                let v = value::trunc(ty, doperand_value(dims, w, lane, src));
                 addrs[lane as usize] = a;
                 vals[lane as usize] = v;
                 match rs {
@@ -469,15 +709,7 @@ fn exec_instr(
                         return Err(SimError::Fault("store to param space".into()))
                     }
                     ResolvedSpace::Local => {
-                        let local = ctx
-                            .locals
-                            .entry((w.warp, lane))
-                            .or_insert_with(|| vec![0; LOCAL_SIZE as usize]);
-                        let o = a as usize;
-                        if o + size as usize > local.len() {
-                            return Err(SimError::Fault(format!("local write at {o} out of range")));
-                        }
-                        local[o..o + size as usize].copy_from_slice(&v.to_le_bytes()[..size as usize]);
+                        store_bytes(ctx.locals.lane(w.warp, lane), a as usize, size, v, "local")?;
                     }
                 }
             }
@@ -485,21 +717,18 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Atom { space, op, ty, dst, ref addr, ref a, ref b } => {
+        DOp::Atom { space, op, ty, dst, addr, a, b } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let vals = [0u64; 32];
             let mut rspace = ResolvedSpace::Global;
             // Lanes serialize their read-modify-writes in lane order.
-            for lane in 0..warp_size {
-                if exec & (1 << lane) == 0 {
-                    continue;
-                }
-                let (rs, aaddr) = resolve_addr(ctx, w, lane, addr, space)?;
+            for lane in lanes(exec, warp_size) {
+                let (rs, aaddr) = dresolve_addr(w, lane, addr, space);
                 rspace = rs;
-                let av = operand_value(ctx, w, lane, a, ty)?;
+                let av = doperand_value(dims, w, lane, a);
                 let bv = match b {
-                    Some(bop) => operand_value(ctx, w, lane, bop, ty)?,
+                    Some(bop) => doperand_value(dims, w, lane, bop),
                     None => 0,
                 };
                 addrs[lane as usize] = aaddr;
@@ -518,18 +747,15 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Red { space, op, ty, ref addr, ref a } => {
+        DOp::Red { space, op, ty, addr, a } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let vals = [0u64; 32];
             let mut rspace = ResolvedSpace::Global;
-            for lane in 0..warp_size {
-                if exec & (1 << lane) == 0 {
-                    continue;
-                }
-                let (rs, aaddr) = resolve_addr(ctx, w, lane, addr, space)?;
+            for lane in lanes(exec, warp_size) {
+                let (rs, aaddr) = dresolve_addr(w, lane, addr, space);
                 rspace = rs;
-                let av = operand_value(ctx, w, lane, a, ty)?;
+                let av = doperand_value(dims, w, lane, a);
                 addrs[lane as usize] = aaddr;
                 match rs {
                     ResolvedSpace::Global => {
@@ -545,98 +771,68 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Setp { cmp, ty, dst, ref a, ref b } => {
-            for lane in lanes(exec, warp_size) {
-                let av = operand_value(ctx, w, lane, a, ty)?;
-                let bv = operand_value(ctx, w, lane, b, ty)?;
-                w.set_reg(lane, dst, u64::from(value::cmp(cmp, ty, av, bv)));
-            }
+        // Two-operand ALU forms: `f` is the warp loop the decoder resolved
+        // from the instruction's op and type.
+        DOp::Setp { f, dst, a, b } | DOp::Bin { f, dst, a, b } | DOp::Mul { f, dst, a, b } => {
+            f(dims, w, exec, dst, a, b);
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Mov { ty, dst, ref src } => {
-            for lane in lanes(exec, warp_size) {
-                let v = operand_value(ctx, w, lane, src, ty)?;
-                w.set_reg(lane, dst, v);
-            }
+        // `cvta` is the identity in a flat address space, i.e. a move.
+        DOp::Mov { dst, src } | DOp::Cvta { dst, a: src } => {
+            let ws = warp_size as usize;
+            let mut out = [0u64; 32];
+            operand_warp(dims, w, exec, src, &mut out);
+            write_masked(w, dst, exec, &out, ws);
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Bin { op, ty, dst, ref a, ref b } => {
-            for lane in lanes(exec, warp_size) {
-                let av = operand_value(ctx, w, lane, a, ty)?;
-                let bv = operand_value(ctx, w, lane, b, ty)?;
-                w.set_reg(lane, dst, value::bin(op, ty, av, bv));
-            }
+        DOp::Un { f, dst, a } => {
+            f(dims, w, exec, dst, a);
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Un { op, ty, dst, ref a } => {
-            for lane in lanes(exec, warp_size) {
-                let av = operand_value(ctx, w, lane, a, ty)?;
-                w.set_reg(lane, dst, value::un(op, ty, av));
-            }
+        DOp::Mad { f, dst, a, b, c } => {
+            f(dims, w, exec, dst, a, b, c);
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Mul { mode, ty, dst, ref a, ref b } => {
-            for lane in lanes(exec, warp_size) {
-                let av = operand_value(ctx, w, lane, a, ty)?;
-                let bv = operand_value(ctx, w, lane, b, ty)?;
-                w.set_reg(lane, dst, value::mul(mode, ty, av, bv));
+        DOp::Selp { dst, a, b, p } => {
+            let ws = warp_size as usize;
+            let (mut av, mut bv, mut out) = ([0u64; 32], [0u64; 32], [0u64; 32]);
+            operand_warp(dims, w, exec, a, &mut av);
+            operand_warp(dims, w, exec, b, &mut bv);
+            let pcol = w.col(p);
+            for lane in 0..ws {
+                out[lane] = if pcol[lane] != 0 { av[lane] } else { bv[lane] };
             }
+            write_masked(w, dst, exec, &out, ws);
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Mad { mode, ty, dst, ref a, ref b, ref c } => {
-            for lane in lanes(exec, warp_size) {
-                let av = operand_value(ctx, w, lane, a, ty)?;
-                let bv = operand_value(ctx, w, lane, b, ty)?;
-                let cv = operand_value(ctx, w, lane, c, ty)?;
-                w.set_reg(lane, dst, value::mad(mode, ty, av, bv, cv));
+        DOp::Cvt { dty, sty, dst, a } => {
+            let ws = warp_size as usize;
+            let (mut av, mut out) = ([0u64; 32], [0u64; 32]);
+            operand_warp(dims, w, exec, a, &mut av);
+            for lane in 0..ws {
+                out[lane] = value::cvt(dty, sty, av[lane]);
             }
+            write_masked(w, dst, exec, &out, ws);
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Selp { ty, dst, ref a, ref b, p } => {
-            for lane in lanes(exec, warp_size) {
-                let av = operand_value(ctx, w, lane, a, ty)?;
-                let bv = operand_value(ctx, w, lane, b, ty)?;
-                let pv = w.reg(lane, p) != 0;
-                w.set_reg(lane, dst, if pv { av } else { bv });
-            }
-            advance(w);
-            Ok(StepOutcome::Continue)
-        }
-        Op::Cvt { dty, sty, dst, ref a } => {
-            for lane in lanes(exec, warp_size) {
-                let av = operand_value(ctx, w, lane, a, sty)?;
-                w.set_reg(lane, dst, value::cvt(dty, sty, av));
-            }
-            advance(w);
-            Ok(StepOutcome::Continue)
-        }
-        Op::Cvta { ty, dst, ref a, .. } => {
-            // Flat address space: cvta is the identity.
-            for lane in lanes(exec, warp_size) {
-                let av = operand_value(ctx, w, lane, a, ty)?;
-                w.set_reg(lane, dst, av);
-            }
-            advance(w);
-            Ok(StepOutcome::Continue)
-        }
-        Op::Shfl { mode, ty, dst, ref a, ref b, ref c } => {
+        DOp::Shfl { mode, dst, a, b, c, .. } => {
             // Evaluate the source operand on every active lane first, then
             // exchange: lanes whose source is inactive/out-of-range keep
             // their own value.
             let mut values = [0u64; 32];
             for lane in lanes(exec, warp_size) {
-                values[lane as usize] = operand_value(ctx, w, lane, a, ty)?;
+                values[lane as usize] = doperand_value(dims, w, lane, a);
             }
             let mut results = [0u64; 32];
             for lane in lanes(exec, warp_size) {
-                let bv = operand_value(ctx, w, lane, b, ty)? as i64;
-                let _clamp = operand_value(ctx, w, lane, c, ty)?;
+                let bv = doperand_value(dims, w, lane, b) as i64;
+                let _clamp = doperand_value(dims, w, lane, c);
                 let src = match mode {
                     barracuda_ptx::ast::ShflMode::Up => i64::from(lane) - bv,
                     barracuda_ptx::ast::ShflMode::Down => i64::from(lane) + bv,
@@ -654,7 +850,7 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Call { ref target, ref args } => {
+        DOp::Call { target, args } => {
             exec_call(ctx, w, exec, target, args)?;
             advance(w);
             Ok(StepOutcome::Continue)
@@ -662,67 +858,50 @@ fn exec_instr(
     }
 }
 
-fn lanes(mask: u32, warp_size: u32) -> impl Iterator<Item = u32> {
-    (0..warp_size).filter(move |l| mask & (1 << l) != 0)
-}
-
-/// Executes an instrumentation hook call. The recognized targets are:
+/// Executes a decoded instrumentation hook call (the decoder already
+/// rejected unknown targets and malformed argument lists):
 ///
-/// * `__barracuda_log_access, (kind, space, size, base, offset [, value])` —
+/// * [`DCall::LogAccess`]: `(kind, space, size, base, offset [, value])` —
 ///   logs a memory/synchronization access for every active lane. `kind` is
 ///   a [`RecordKind`] discriminant; `space` is 0 = global, 1 = shared,
 ///   2 = generic (resolved at runtime); `base`+`offset` form the address.
-/// * `__barracuda_log_conv` — a branch-convergence-point marker; counted
+/// * [`DCall::LogConv`] — a branch-convergence-point marker; counted
 ///   statically for instrumentation statistics, a NOP at runtime.
 fn exec_call(
     ctx: &mut ExecCtx,
     w: &mut WarpState,
     exec: u32,
-    target: &str,
-    args: &[Operand],
+    target: DCall,
+    args: crate::decode::DSlice,
 ) -> Result<(), SimError> {
     match target {
-        "__barracuda_log_conv" => Ok(()),
-        "__barracuda_log_access" => {
+        DCall::LogConv => Ok(()),
+        DCall::LogAccess => {
             if ctx.sink.is_none() {
                 return Ok(());
             }
-            if args.len() < 5 {
-                return Err(SimError::Fault("log_access requires 5+ args".into()));
-            }
-            let kind_code = operand_value(ctx, w, 0, &args[0], Type::U32)? as u8;
-            let space_code = operand_value(ctx, w, 0, &args[1], Type::U32)?;
-            let size = operand_value(ctx, w, 0, &args[2], Type::U32)? as u8;
-            let offset = match args[4] {
-                Operand::Imm(v) => v as u64,
-                _ => operand_value(ctx, w, 0, &args[4], Type::U64)?,
-            };
+            let dims = ctx.dims;
+            let args: &[DOperand] =
+                &ctx.kernel.decoded.operands[args.start as usize..(args.start + args.len) as usize];
+            let kind_code = doperand_value(dims, w, 0, args[0]) as u8;
+            let space_code = doperand_value(dims, w, 0, args[1]);
+            let size = doperand_value(dims, w, 0, args[2]) as u8;
+            let offset = doperand_value(dims, w, 0, args[4]);
             let mut addrs = [0u64; 32];
             let mut vals = [0u64; 32];
             let mut resolved_shared = space_code == 1;
-            for lane in lanes(exec, ctx.dims.warp_size) {
-                let base = operand_value(ctx, w, lane, &args[3], Type::U64)?;
+            for lane in lanes(exec, dims.warp_size) {
+                let base = doperand_value(dims, w, lane, args[3]);
                 let a = base.wrapping_add(offset);
                 if space_code == 2 {
                     resolved_shared = a < crate::GLOBAL_BASE;
                 }
                 addrs[lane as usize] = a;
                 if args.len() > 5 {
-                    vals[lane as usize] = operand_value(ctx, w, lane, &args[5], Type::U64)?;
+                    vals[lane as usize] = doperand_value(dims, w, lane, args[5]);
                 }
             }
-            let kind = match kind_code {
-                k if k == RecordKind::Read as u8 => AccessKind::Read,
-                k if k == RecordKind::Write as u8 => AccessKind::Write,
-                k if k == RecordKind::Atomic as u8 => AccessKind::Atomic,
-                k if k == RecordKind::AcqBlk as u8 => AccessKind::Acquire(Scope::Block),
-                k if k == RecordKind::RelBlk as u8 => AccessKind::Release(Scope::Block),
-                k if k == RecordKind::AcqRelBlk as u8 => AccessKind::AcquireRelease(Scope::Block),
-                k if k == RecordKind::AcqGlb as u8 => AccessKind::Acquire(Scope::Global),
-                k if k == RecordKind::RelGlb as u8 => AccessKind::Release(Scope::Global),
-                k if k == RecordKind::AcqRelGlb as u8 => AccessKind::AcquireRelease(Scope::Global),
-                k => return Err(SimError::Fault(format!("bad log kind {k}"))),
-            };
+            let kind = access_kind(kind_code)?;
             let mask = if kind == AccessKind::Write && args.len() > 5 && ctx.filter_same_value {
                 filter_same_value(exec, &addrs, &vals)
             } else {
@@ -735,10 +914,6 @@ fn exec_call(
             );
             Ok(())
         }
-        other if other.starts_with("__barracuda") => {
-            Err(SimError::Fault(format!("unknown instrumentation hook {other}")))
-        }
-        other => Err(SimError::Fault(format!("call to undefined function {other}"))),
     }
 }
 

@@ -1,47 +1,67 @@
-//! Kernel loading: flattening, CFG construction and reconvergence-point
-//! precomputation (the "JIT" step of the paper's pipeline).
+//! Kernel loading: flattening, CFG construction, reconvergence-point
+//! precomputation and micro-op decoding (the "JIT" step of the paper's
+//! pipeline).
+
+use std::sync::Arc;
 
 use barracuda_ptx::ast::{Kernel, Module, Op, Type};
 use barracuda_ptx::cfg::{Cfg, FlatKernel};
 
 use crate::config::SimError;
+use crate::decode::DecodedKernel;
 use crate::machine::ParamValue;
 
-/// A kernel prepared for execution: flattened instructions, CFG, and the
-/// per-branch reconvergence points the SIMT stack uses.
+/// A kernel prepared for execution: flattened instructions, CFG, the
+/// per-branch reconvergence points the SIMT stack uses, and the decoded
+/// micro-op IR the interpreter hot loop dispatches on.
+///
+/// All components are behind [`Arc`]s, so cloning a `LoadedKernel` (e.g.
+/// to hand one to each thread of a threaded session) is a few reference
+/// count bumps — the kernel AST is shared, never re-cloned per launch.
 #[derive(Debug, Clone)]
 pub struct LoadedKernel {
     /// The source kernel.
-    pub kernel: Kernel,
+    pub kernel: Arc<Kernel>,
     /// Flattened instruction list with resolved labels.
-    pub flat: FlatKernel,
+    pub flat: Arc<FlatKernel>,
     /// Control-flow graph with post-dominators.
-    pub cfg: Cfg,
+    pub cfg: Arc<Cfg>,
+    /// Pre-decoded micro-op IR (see [`crate::decode`]).
+    pub(crate) decoded: Arc<DecodedKernel>,
     /// For each instruction index ending a block with a conditional
     /// branch: the reconvergence instruction index (`None` = paths only
     /// rejoin at kernel exit).
-    recon: Vec<Option<Option<usize>>>,
+    recon: Arc<Vec<Option<Option<usize>>>>,
 }
 
 impl LoadedKernel {
-    /// Loads one kernel from a module.
+    /// Loads one kernel from a module. The kernel AST is cloned out of the
+    /// module exactly once, into a shared [`Arc`]; everything downstream
+    /// (clones of the `LoadedKernel`, per-launch contexts) shares it.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownKernel`] if `name` is not an entry in the
-    /// module.
+    /// module, or a load-time validation error ([`SimError::UnknownLabel`],
+    /// [`SimError::UnknownSymbol`], [`SimError::BadInstruction`]) if the
+    /// kernel references labels, symbols or call targets that do not exist.
     pub fn load(module: &Module, name: &str) -> Result<Self, SimError> {
         let kernel = module
             .kernel(name)
             .ok_or_else(|| SimError::UnknownKernel(name.to_string()))?
             .clone();
-        Ok(Self::from_kernel(kernel))
+        Self::from_kernel(kernel)
     }
 
-    /// Prepares an already-extracted kernel.
-    pub fn from_kernel(kernel: Kernel) -> Self {
+    /// Prepares an already-extracted kernel (no AST clone).
+    ///
+    /// # Errors
+    ///
+    /// Same load-time validation errors as [`LoadedKernel::load`].
+    pub fn from_kernel(kernel: Kernel) -> Result<Self, SimError> {
+        let kernel = Arc::new(kernel);
         let flat = FlatKernel::from_kernel(&kernel);
-        let cfg = Cfg::build(&flat);
+        let cfg = Cfg::try_build(&flat).map_err(SimError::UnknownLabel)?;
         let mut recon = vec![None; flat.instrs.len()];
         for (b, block) in cfg.blocks.iter().enumerate() {
             if block.end == 0 {
@@ -54,7 +74,14 @@ impl LoadedKernel {
                 }
             }
         }
-        LoadedKernel { kernel, flat, cfg, recon }
+        let decoded = DecodedKernel::decode(&kernel, &flat, &recon)?;
+        Ok(LoadedKernel {
+            kernel,
+            flat: Arc::new(flat),
+            cfg: Arc::new(cfg),
+            decoded: Arc::new(decoded),
+            recon: Arc::new(recon),
+        })
     }
 
     /// Reconvergence entry for instruction `i`: `None` when `i` is not a
@@ -133,12 +160,29 @@ mod tests {
         .unwrap()
     }
 
+    fn bad_module(body: &str) -> Module {
+        barracuda_ptx::parse(&format!(
+            ".version 4.3\n.target sm_35\n.address_size 64\n.visible .entry k()\n{{\n\
+             .reg .pred %p;\n.reg .b32 %r<4>;\n.reg .b64 %rd<4>;\n{body}\n}}"
+        ))
+        .unwrap()
+    }
+
     #[test]
     fn load_finds_kernel() {
         let m = module();
         let lk = LoadedKernel::load(&m, "k").unwrap();
         assert_eq!(lk.len(), 5);
         assert!(LoadedKernel::load(&m, "nope").is_err());
+    }
+
+    #[test]
+    fn clone_shares_the_ast() {
+        let m = module();
+        let lk = LoadedKernel::load(&m, "k").unwrap();
+        let lk2 = lk.clone();
+        assert!(Arc::ptr_eq(&lk.kernel, &lk2.kernel));
+        assert!(Arc::ptr_eq(&lk.decoded, &lk2.decoded));
     }
 
     #[test]
@@ -163,5 +207,88 @@ mod tests {
         assert_eq!(lk.read_param(&block, "n"), Some((42, Type::U32)));
         assert_eq!(lk.read_param(&block, "zzz"), None);
         assert!(lk.build_param_block(&[]).is_err());
+    }
+
+    // The parser validates labels and memory symbols itself, so malformed
+    // references are injected into the parsed AST directly: load must
+    // catch them too (defense in depth for programmatically-built kernels).
+
+    fn inject(op: barracuda_ptx::ast::Op) -> Module {
+        use barracuda_ptx::ast::{Instruction, Statement};
+        let mut m = bad_module("ret;");
+        m.kernels[0].stmts.insert(0, Statement::Instr(Instruction::new(op)));
+        m
+    }
+
+    #[test]
+    fn unknown_branch_label_fails_at_load() {
+        use barracuda_ptx::ast::Op;
+        let m = inject(Op::Bra { uni: true, target: "L_missing".into() });
+        let err = LoadedKernel::load(&m, "k").unwrap_err();
+        assert!(
+            matches!(err, SimError::UnknownLabel(ref l) if l == "L_missing"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_shared_symbol_fails_at_load() {
+        use barracuda_ptx::ast::{AddrBase, Address, Op, Reg, Space};
+        let m = inject(Op::Ld {
+            space: Space::Shared,
+            cache: None,
+            volatile: false,
+            ty: Type::U32,
+            dst: Reg(1),
+            addr: Address { base: AddrBase::Sym("no_such_sym".into()), offset: 0 },
+        });
+        let err = LoadedKernel::load(&m, "k").unwrap_err();
+        assert!(
+            matches!(err, SimError::UnknownSymbol(ref s) if s == "no_such_sym"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_param_symbol_fails_at_load() {
+        use barracuda_ptx::ast::{AddrBase, Address, Op, Reg, Space};
+        let m = inject(Op::Ld {
+            space: Space::Param,
+            cache: None,
+            volatile: false,
+            ty: Type::U64,
+            dst: Reg(1),
+            addr: Address { base: AddrBase::Sym("no_such_param".into()), offset: 0 },
+        });
+        let err = LoadedKernel::load(&m, "k").unwrap_err();
+        assert!(
+            matches!(err, SimError::UnknownSymbol(ref s) if s == "no_such_param"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn undefined_call_target_fails_at_load() {
+        let m = bad_module("call.uni mystery_fn;\nret;");
+        let err = LoadedKernel::load(&m, "k").unwrap_err();
+        assert!(matches!(err, SimError::BadInstruction { index: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_log_access_fails_at_load() {
+        // Too few arguments for the hook — rejected even though the seed
+        // interpreter would only have faulted when a sink was attached.
+        let m = bad_module("call.uni __barracuda_log_access, (0, 1);\nret;");
+        let err = LoadedKernel::load(&m, "k").unwrap_err();
+        assert!(matches!(err, SimError::BadInstruction { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unreachable_bad_code_still_fails_at_load() {
+        // Validation covers the whole body, not just executed paths.
+        let m = bad_module(
+            "bra.uni L_end;\ncall.uni undefined_helper;\nL_end:\nret;",
+        );
+        assert!(LoadedKernel::load(&m, "k").is_err());
     }
 }

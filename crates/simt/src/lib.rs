@@ -20,7 +20,13 @@
 //! * **device-side event logging** — instrumented PTX contains
 //!   `call.uni __barracuda_log_access` call-sites; the simulator implements
 //!   the logging runtime (record construction, same-value intra-warp write
-//!   filtering, queue push) natively.
+//!   filtering, queue push) natively;
+//! * **decode-once execution** — at load time kernels are lowered to a
+//!   dense micro-op IR with branch targets, symbols and parameter offsets
+//!   resolved, so the interpreter hot loop performs no allocation and no
+//!   string lookups; the original AST-walking interpreter is retained as
+//!   [`ExecMode::AstWalk`] and differentially tested against the decoded
+//!   path.
 //!
 //! # Example
 //!
@@ -63,10 +69,13 @@ pub mod machine;
 pub mod mem;
 pub mod sink;
 pub mod value;
+mod decode;
 mod exec;
+mod exec_ast;
+mod locals;
 pub mod warp;
 
-pub use config::{GpuConfig, MemoryModel, SimError};
+pub use config::{ExecMode, GpuConfig, MemoryModel, SimError};
 pub use kernel::LoadedKernel;
 pub use machine::{DevicePtr, Gpu, LaunchStats, ParamValue};
 pub use sink::{EventSink, VecSink};

@@ -1,0 +1,57 @@
+//! Per-lane `.local` memory, indexed by `(warp, lane)`.
+//!
+//! Replaces the old `HashMap<(u64, u32), Vec<u8>>`: one launch-time `Vec`
+//! of `num_warps * warp_size` slots means lane access in the interpreter
+//! hot loop is a single index — no hashing, no tuple keys. Allocation
+//! stays lazy: a lane's 16 KiB backing store is boxed on first touch, so
+//! kernels that never use `.local` (the common case) pay one pointer per
+//! lane and no memory.
+
+/// Bytes of `.local` memory per lane.
+pub(crate) const LOCAL_SIZE: usize = 16 * 1024;
+
+/// Lazily-allocated per-lane local memory for one launch.
+pub(crate) struct LocalStore {
+    lanes: Vec<Option<Box<[u8]>>>,
+    warp_size: usize,
+}
+
+impl LocalStore {
+    /// An empty store covering `num_warps * warp_size` lanes.
+    pub fn new(num_warps: usize, warp_size: usize) -> Self {
+        let mut lanes = Vec::new();
+        lanes.resize_with(num_warps * warp_size, || None);
+        LocalStore { lanes, warp_size }
+    }
+
+    /// The lane's local memory, allocating its backing store on first use.
+    pub fn lane(&mut self, warp: u64, lane: u32) -> &mut [u8] {
+        let idx = warp as usize * self.warp_size + lane as usize;
+        self.lanes[idx].get_or_insert_with(|| vec![0u8; LOCAL_SIZE].into_boxed_slice())
+    }
+
+    /// Number of lanes whose backing store has been allocated.
+    #[cfg(test)]
+    pub fn allocated(&self) -> usize {
+        self.lanes.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_lazy_and_per_lane() {
+        let mut ls = LocalStore::new(2, 32);
+        assert_eq!(ls.allocated(), 0);
+        ls.lane(0, 3)[0] = 7;
+        ls.lane(1, 0)[LOCAL_SIZE - 1] = 9;
+        assert_eq!(ls.allocated(), 2);
+        assert_eq!(ls.lane(0, 3)[0], 7);
+        assert_eq!(ls.lane(1, 0)[LOCAL_SIZE - 1], 9);
+        // Untouched lanes still read as fresh zeroed memory when touched.
+        assert_eq!(ls.lane(1, 31)[0], 0);
+        assert_eq!(ls.allocated(), 3);
+    }
+}

@@ -4,11 +4,12 @@ use barracuda_ptx::ast::Module;
 use barracuda_trace::GridDims;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
 
-use crate::config::{GpuConfig, SimError};
-use crate::exec::{step, ExecCtx, StepOutcome};
+use crate::config::{ExecMode, GpuConfig, SimError};
+use crate::exec::{ExecCtx, StepOutcome};
 use crate::kernel::LoadedKernel;
+use crate::locals::LocalStore;
+use crate::{exec, exec_ast};
 use crate::mem::{GlobalMemory, SharedMemory};
 use crate::sink::EventSink;
 use crate::warp::{WarpState, WarpStatus};
@@ -203,7 +204,12 @@ impl Gpu {
         let num_warps = dims.num_warps();
         let nregs = lk.kernel.regs.len();
 
-        self.global.begin_kernel(num_blocks);
+        // Split the borrow of `self` so the execution context can hold
+        // global memory mutably across a whole scheduling slice while the
+        // scheduler keeps using the RNG.
+        let Gpu { config, global, rng } = self;
+
+        global.begin_kernel(num_blocks);
         let shared_size = lk.kernel.shared_size();
         let mut shareds: Vec<SharedMemory> =
             (0..num_blocks).map(|_| SharedMemory::new(shared_size)).collect();
@@ -218,13 +224,20 @@ impl Gpu {
                 )
             })
             .collect();
-        let mut locals: HashMap<(u64, u32), Vec<u8>> = HashMap::new();
+        let mut locals = LocalStore::new(num_warps as usize, dims.warp_size as usize);
 
         // Per-block bookkeeping for barrier resolution.
         let mut not_running: Vec<u64> = vec![0; num_blocks as usize]; // AtBarrier + Done
         let mut stats = LaunchStats::default();
         let mut ready: Vec<usize> = (0..warps.len()).collect();
-        let buffered = self.config.memory_model.buffered();
+        let buffered = config.memory_model.buffered();
+        // Both interpreters share ExecCtx and must agree step for step;
+        // pick the dispatch function once, outside the hot loop.
+        let step: fn(&mut ExecCtx, &mut WarpState) -> Result<StepOutcome, SimError> =
+            match config.exec_mode {
+                ExecMode::Decoded => exec::step,
+                ExecMode::AstWalk => exec_ast::step,
+            };
         let outcome = loop {
             if ready.is_empty() {
                 if warps.iter().all(|w| w.status == WarpStatus::Done) {
@@ -239,12 +252,26 @@ impl Gpu {
                     .map_or(0, |w| w.block);
                 break Err(SimError::BarrierDivergence { block });
             }
-            let pick = self.rng.random_range(0..ready.len());
+            let pick = rng.random_range(0..ready.len());
             let wi = ready.swap_remove(pick);
             if warps[wi].status != WarpStatus::Ready {
                 continue;
             }
-            let mut slice_left = self.config.slice;
+            // One context per scheduling slice, not per step: the block
+            // (and hence the shared-memory bank) is fixed for the warp.
+            let block = warps[wi].block;
+            let mut ctx = ExecCtx {
+                kernel: lk,
+                dims: &dims,
+                param_block: &param_block,
+                global: &mut *global,
+                shared: &mut shareds[block as usize],
+                locals: &mut locals,
+                sink,
+                native_logging: config.native_access_logging,
+                filter_same_value: config.filter_same_value,
+            };
+            let mut slice_left = config.slice;
             let res: Result<(), SimError> = loop {
                 if slice_left == 0 {
                     ready.push(wi);
@@ -252,27 +279,15 @@ impl Gpu {
                 }
                 slice_left -= 1;
                 stats.instructions += 1;
-                if stats.instructions > self.config.max_steps {
-                    break Err(SimError::Timeout { steps: self.config.max_steps });
+                if stats.instructions > config.max_steps {
+                    break Err(SimError::Timeout { steps: config.max_steps });
                 }
-                let block = warps[wi].block;
-                let mut ctx = ExecCtx {
-                    kernel: lk,
-                    dims: &dims,
-                    param_block: &param_block,
-                    global: &mut self.global,
-                    shared: &mut shareds[block as usize],
-                    locals: &mut locals,
-                    sink,
-                    native_logging: self.config.native_access_logging,
-                    filter_same_value: self.config.filter_same_value,
-                };
                 let out = match step(&mut ctx, &mut warps[wi]) {
                     Ok(o) => o,
                     Err(e) => break Err(e),
                 };
-                if buffered && self.rng.random::<f64>() < self.config.drain_probability {
-                    self.global.drain_step(&mut self.rng);
+                if buffered && rng.random::<f64>() < config.drain_probability {
+                    ctx.global.drain_step(rng);
                 }
                 match out {
                     StepOutcome::Continue => {}
@@ -312,7 +327,7 @@ impl Gpu {
                 break Err(e);
             }
         };
-        self.global.end_kernel();
+        global.end_kernel();
         outcome.map(|()| stats)
     }
 }

@@ -9,6 +9,7 @@
 use barracuda_ptx::ast::{AtomOp, BinOp, CmpOp, MulMode, Type, UnOp};
 
 /// Truncates `v` to the width of `ty` (no-op for 64-bit types).
+#[inline(always)]
 pub fn trunc(ty: Type, v: u64) -> u64 {
     match ty.size() {
         1 => v & 0xff,
@@ -19,6 +20,7 @@ pub fn trunc(ty: Type, v: u64) -> u64 {
 }
 
 /// Sign-extends the low `ty.size()` bytes of `v` to 64 bits.
+#[inline(always)]
 pub fn sext(ty: Type, v: u64) -> i64 {
     match ty.size() {
         1 => v as u8 as i8 as i64,
@@ -28,23 +30,28 @@ pub fn sext(ty: Type, v: u64) -> i64 {
     }
 }
 
+#[inline(always)]
 fn f32_of(v: u64) -> f32 {
     f32::from_bits(v as u32)
 }
 
+#[inline(always)]
 fn f64_of(v: u64) -> f64 {
     f64::from_bits(v)
 }
 
+#[inline(always)]
 fn bits32(v: f32) -> u64 {
     u64::from(v.to_bits())
 }
 
+#[inline(always)]
 fn bits64(v: f64) -> u64 {
     v.to_bits()
 }
 
 /// Evaluates a two-operand ALU instruction.
+#[inline(always)]
 pub fn bin(op: BinOp, ty: Type, a: u64, b: u64) -> u64 {
     if ty == Type::F32 {
         let (x, y) = (f32_of(a), f32_of(b));
@@ -123,6 +130,7 @@ pub fn bin(op: BinOp, ty: Type, a: u64, b: u64) -> u64 {
 }
 
 /// Evaluates a one-operand ALU instruction.
+#[inline(always)]
 pub fn un(op: UnOp, ty: Type, a: u64) -> u64 {
     if ty == Type::F32 {
         let x = f32_of(a);
@@ -149,6 +157,7 @@ pub fn un(op: UnOp, ty: Type, a: u64) -> u64 {
 }
 
 /// Evaluates `mul` with an explicit width mode.
+#[inline(always)]
 pub fn mul(mode: MulMode, ty: Type, a: u64, b: u64) -> u64 {
     if ty == Type::F32 {
         return bits32(f32_of(a) * f32_of(b));
@@ -178,6 +187,7 @@ pub fn mul(mode: MulMode, ty: Type, a: u64, b: u64) -> u64 {
 }
 
 /// Evaluates `mad`/`fma`: `a*b + c` at the given mode/type.
+#[inline(always)]
 pub fn mad(mode: MulMode, ty: Type, a: u64, b: u64, c: u64) -> u64 {
     if ty == Type::F32 {
         return bits32(f32_of(a).mul_add(f32_of(b), f32_of(c)));
@@ -199,6 +209,7 @@ pub fn mad(mode: MulMode, ty: Type, a: u64, b: u64, c: u64) -> u64 {
 }
 
 /// Evaluates a `setp` comparison.
+#[inline(always)]
 pub fn cmp(op: CmpOp, ty: Type, a: u64, b: u64) -> bool {
     if ty.is_float() {
         let (x, y) = if ty == Type::F32 {
@@ -257,6 +268,7 @@ pub fn cmp(op: CmpOp, ty: Type, a: u64, b: u64) -> bool {
 }
 
 /// Evaluates `cvt.dty.sty`.
+#[inline(always)]
 pub fn cvt(dty: Type, sty: Type, a: u64) -> u64 {
     match (dty.is_float(), sty.is_float()) {
         (false, false) => {
@@ -293,6 +305,7 @@ pub fn cvt(dty: Type, sty: Type, a: u64) -> u64 {
 /// Computes the new memory value for an atomic read-modify-write.
 /// `old` is the current memory value, `a` the operand, `b` the swap value
 /// for `cas`. Returns the value to store.
+#[inline]
 pub fn atom_rmw(op: AtomOp, ty: Type, old: u64, a: u64, b: u64) -> u64 {
     let r = match op {
         AtomOp::Add => return bin(BinOp::Add, ty, old, a),

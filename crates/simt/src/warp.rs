@@ -56,9 +56,10 @@ pub struct WarpState {
     pub status: WarpStatus,
     /// Mask the warp arrived at the current barrier with.
     pub barrier_mask: u32,
-    /// Per-lane register files: `regs[lane * nregs + reg]`.
+    /// Register file, column-major: `regs[reg * warp_size + lane]`, so the
+    /// per-lane loop of one instruction walks contiguous memory.
     regs: Vec<u64>,
-    nregs: usize,
+    warp_size: usize,
 }
 
 impl WarpState {
@@ -73,18 +74,34 @@ impl WarpState {
             status: WarpStatus::Ready,
             barrier_mask: 0,
             regs: vec![0; nregs * warp_size as usize],
-            nregs,
+            warp_size: warp_size as usize,
         }
     }
 
     /// Reads lane `lane`'s register `r`.
+    #[inline(always)]
     pub fn reg(&self, lane: u32, r: Reg) -> u64 {
-        self.regs[lane as usize * self.nregs + r.index()]
+        self.regs[r.index() * self.warp_size + lane as usize]
     }
 
     /// Writes lane `lane`'s register `r`.
+    #[inline(always)]
     pub fn set_reg(&mut self, lane: u32, r: Reg, v: u64) {
-        self.regs[lane as usize * self.nregs + r.index()] = v;
+        self.regs[r.index() * self.warp_size + lane as usize] = v;
+    }
+
+    /// All lanes of register `r` as a contiguous slice (`warp_size` long).
+    #[inline(always)]
+    pub fn col(&self, r: Reg) -> &[u64] {
+        let s = r.index() * self.warp_size;
+        &self.regs[s..s + self.warp_size]
+    }
+
+    /// Mutable access to all lanes of register `r`.
+    #[inline(always)]
+    pub fn col_mut(&mut self, r: Reg) -> &mut [u64] {
+        let s = r.index() * self.warp_size;
+        &mut self.regs[s..s + self.warp_size]
     }
 
     /// Current top-of-stack entry.

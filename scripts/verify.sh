@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo verification gate: tier-1 build+test, lint wall, bench smoke.
+#
+# Usage: scripts/verify.sh
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> lint: cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> bench smoke: bench_interp --quick"
+./target/release/bench_interp --quick --out /tmp/bench_interp_smoke.json
+rm -f /tmp/bench_interp_smoke.json
+
+echo "verify: OK"

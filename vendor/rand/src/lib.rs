@@ -1,0 +1,209 @@
+//! Offline shim: the subset of the `rand` crate API this workspace uses.
+//!
+//! [`rngs::StdRng`] is a xoshiro256** generator seeded through SplitMix64.
+//! It is *not* the upstream `StdRng` stream, but every consumer in this
+//! workspace only relies on determinism (same seed → same sequence) and
+//! reasonable statistical quality, both of which xoshiro256** provides.
+
+use std::ops::Range;
+
+/// Random number generator core: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly-distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 key expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Namespace matching `rand::rngs`.
+pub mod rngs {
+    /// The standard deterministic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+pub use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one uniformly-distributed value.
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+                rng() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[allow(clippy::cast_precision_loss)]
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[allow(clippy::cast_precision_loss)]
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        ((rng() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types usable as [`RngExt::random_range`] bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn draw_range(low: Self, high: Self, rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn draw_range(low: Self, high: Self, rng: &mut dyn FnMut() -> u64) -> Self {
+                assert!(low < high, "empty random_range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = (u128::from(rng()) << 64 | u128::from(rng())) % span;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The convenience sampling methods (`rand`'s `Rng`/`RngExt` trait).
+pub trait RngExt: RngCore {
+    /// Draws one uniformly-distributed value of type `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        let mut f = || self.next_u64();
+        T::draw(&mut f)
+    }
+
+    /// Draws a value uniformly from the half-open `range`.
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        let mut f = || self.next_u64();
+        T::draw_range(range.start, range.end, &mut f)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let s = r.random_range(-100i64..100);
+            assert!((-100..100).contains(&s));
+            let u = r.random_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn unit_floats() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f = r.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            let g = r.random::<f32>();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn full_width_range_does_not_overflow() {
+        let mut r = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let _ = r.random_range(1..u32::MAX);
+            let _ = r.random_range(i64::MIN..i64::MAX);
+        }
+    }
+
+    #[test]
+    fn bools_both_occur() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut t = 0;
+        for _ in 0..100 {
+            if r.random::<bool>() {
+                t += 1;
+            }
+        }
+        assert!(t > 20 && t < 80);
+    }
+}
