@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/barracuda-393e12abc4c5a8b2.d: crates/runtime/src/bin/barracuda.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda-393e12abc4c5a8b2.rmeta: crates/runtime/src/bin/barracuda.rs Cargo.toml
+
+crates/runtime/src/bin/barracuda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

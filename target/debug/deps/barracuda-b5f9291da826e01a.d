@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/barracuda-b5f9291da826e01a.d: crates/runtime/src/lib.rs crates/runtime/src/analysis.rs crates/runtime/src/session.rs
+
+/root/repo/target/debug/deps/libbarracuda-b5f9291da826e01a.rlib: crates/runtime/src/lib.rs crates/runtime/src/analysis.rs crates/runtime/src/session.rs
+
+/root/repo/target/debug/deps/libbarracuda-b5f9291da826e01a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/analysis.rs crates/runtime/src/session.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/analysis.rs:
+crates/runtime/src/session.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/barracuda-ffd666aa3414ef8d.d: crates/runtime/src/lib.rs crates/runtime/src/analysis.rs crates/runtime/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda-ffd666aa3414ef8d.rmeta: crates/runtime/src/lib.rs crates/runtime/src/analysis.rs crates/runtime/src/session.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/analysis.rs:
+crates/runtime/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

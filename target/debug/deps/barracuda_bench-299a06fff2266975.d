@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/barracuda_bench-299a06fff2266975.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda_bench-299a06fff2266975.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/barracuda_core-0c6c16ce09f2426e.d: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/detector.rs crates/core/src/hclock.rs crates/core/src/ptvc.rs crates/core/src/reference.rs crates/core/src/report.rs crates/core/src/shadow.rs
+
+/root/repo/target/debug/deps/libbarracuda_core-0c6c16ce09f2426e.rlib: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/detector.rs crates/core/src/hclock.rs crates/core/src/ptvc.rs crates/core/src/reference.rs crates/core/src/report.rs crates/core/src/shadow.rs
+
+/root/repo/target/debug/deps/libbarracuda_core-0c6c16ce09f2426e.rmeta: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/detector.rs crates/core/src/hclock.rs crates/core/src/ptvc.rs crates/core/src/reference.rs crates/core/src/report.rs crates/core/src/shadow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clock.rs:
+crates/core/src/detector.rs:
+crates/core/src/hclock.rs:
+crates/core/src/ptvc.rs:
+crates/core/src/reference.rs:
+crates/core/src/report.rs:
+crates/core/src/shadow.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/barracuda_core-b5c8e9d65c40aa61.d: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/detector.rs crates/core/src/hclock.rs crates/core/src/ptvc.rs crates/core/src/reference.rs crates/core/src/report.rs crates/core/src/shadow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda_core-b5c8e9d65c40aa61.rmeta: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/detector.rs crates/core/src/hclock.rs crates/core/src/ptvc.rs crates/core/src/reference.rs crates/core/src/report.rs crates/core/src/shadow.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/clock.rs:
+crates/core/src/detector.rs:
+crates/core/src/hclock.rs:
+crates/core/src/ptvc.rs:
+crates/core/src/reference.rs:
+crates/core/src/report.rs:
+crates/core/src/shadow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/barracuda_instrument-90cef85f9556c587.d: crates/instrument/src/lib.rs crates/instrument/src/infer.rs crates/instrument/src/rewrite.rs
+
+/root/repo/target/debug/deps/libbarracuda_instrument-90cef85f9556c587.rlib: crates/instrument/src/lib.rs crates/instrument/src/infer.rs crates/instrument/src/rewrite.rs
+
+/root/repo/target/debug/deps/libbarracuda_instrument-90cef85f9556c587.rmeta: crates/instrument/src/lib.rs crates/instrument/src/infer.rs crates/instrument/src/rewrite.rs
+
+crates/instrument/src/lib.rs:
+crates/instrument/src/infer.rs:
+crates/instrument/src/rewrite.rs:

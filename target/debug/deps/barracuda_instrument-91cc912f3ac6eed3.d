@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/barracuda_instrument-91cc912f3ac6eed3.d: crates/instrument/src/lib.rs crates/instrument/src/infer.rs crates/instrument/src/rewrite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda_instrument-91cc912f3ac6eed3.rmeta: crates/instrument/src/lib.rs crates/instrument/src/infer.rs crates/instrument/src/rewrite.rs Cargo.toml
+
+crates/instrument/src/lib.rs:
+crates/instrument/src/infer.rs:
+crates/instrument/src/rewrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

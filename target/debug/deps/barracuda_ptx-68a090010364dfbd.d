@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/barracuda_ptx-68a090010364dfbd.d: crates/ptx/src/lib.rs crates/ptx/src/ast.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/lexer.rs crates/ptx/src/parser.rs crates/ptx/src/printer.rs crates/ptx/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda_ptx-68a090010364dfbd.rmeta: crates/ptx/src/lib.rs crates/ptx/src/ast.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/lexer.rs crates/ptx/src/parser.rs crates/ptx/src/printer.rs crates/ptx/src/error.rs Cargo.toml
+
+crates/ptx/src/lib.rs:
+crates/ptx/src/ast.rs:
+crates/ptx/src/builder.rs:
+crates/ptx/src/cfg.rs:
+crates/ptx/src/lexer.rs:
+crates/ptx/src/parser.rs:
+crates/ptx/src/printer.rs:
+crates/ptx/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

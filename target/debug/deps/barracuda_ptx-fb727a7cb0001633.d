@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/barracuda_ptx-fb727a7cb0001633.d: crates/ptx/src/lib.rs crates/ptx/src/ast.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/lexer.rs crates/ptx/src/parser.rs crates/ptx/src/printer.rs crates/ptx/src/error.rs
+
+/root/repo/target/debug/deps/libbarracuda_ptx-fb727a7cb0001633.rlib: crates/ptx/src/lib.rs crates/ptx/src/ast.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/lexer.rs crates/ptx/src/parser.rs crates/ptx/src/printer.rs crates/ptx/src/error.rs
+
+/root/repo/target/debug/deps/libbarracuda_ptx-fb727a7cb0001633.rmeta: crates/ptx/src/lib.rs crates/ptx/src/ast.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/lexer.rs crates/ptx/src/parser.rs crates/ptx/src/printer.rs crates/ptx/src/error.rs
+
+crates/ptx/src/lib.rs:
+crates/ptx/src/ast.rs:
+crates/ptx/src/builder.rs:
+crates/ptx/src/cfg.rs:
+crates/ptx/src/lexer.rs:
+crates/ptx/src/parser.rs:
+crates/ptx/src/printer.rs:
+crates/ptx/src/error.rs:

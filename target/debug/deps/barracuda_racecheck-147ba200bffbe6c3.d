@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/barracuda_racecheck-147ba200bffbe6c3.d: crates/racecheck/src/lib.rs
+
+/root/repo/target/debug/deps/libbarracuda_racecheck-147ba200bffbe6c3.rlib: crates/racecheck/src/lib.rs
+
+/root/repo/target/debug/deps/libbarracuda_racecheck-147ba200bffbe6c3.rmeta: crates/racecheck/src/lib.rs
+
+crates/racecheck/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/barracuda_racecheck-88c538dd15425d57.d: crates/racecheck/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda_racecheck-88c538dd15425d57.rmeta: crates/racecheck/src/lib.rs Cargo.toml
+
+crates/racecheck/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/barracuda_repro-1d262f04203210bd.d: src/lib.rs
+
+/root/repo/target/debug/deps/barracuda_repro-1d262f04203210bd: src/lib.rs
+
+src/lib.rs:

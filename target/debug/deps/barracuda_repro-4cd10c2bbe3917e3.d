@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/barracuda_repro-4cd10c2bbe3917e3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbarracuda_repro-4cd10c2bbe3917e3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbarracuda_repro-4cd10c2bbe3917e3.rmeta: src/lib.rs
+
+src/lib.rs:

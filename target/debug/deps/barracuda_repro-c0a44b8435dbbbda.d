@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/barracuda_repro-c0a44b8435dbbbda.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda_repro-c0a44b8435dbbbda.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/barracuda_simt-43287488f0c8bef4.d: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/kernel.rs crates/simt/src/litmus.rs crates/simt/src/machine.rs crates/simt/src/mem.rs crates/simt/src/sink.rs crates/simt/src/value.rs crates/simt/src/decode.rs crates/simt/src/exec.rs crates/simt/src/exec_ast.rs crates/simt/src/locals.rs crates/simt/src/warp.rs
+
+/root/repo/target/debug/deps/libbarracuda_simt-43287488f0c8bef4.rlib: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/kernel.rs crates/simt/src/litmus.rs crates/simt/src/machine.rs crates/simt/src/mem.rs crates/simt/src/sink.rs crates/simt/src/value.rs crates/simt/src/decode.rs crates/simt/src/exec.rs crates/simt/src/exec_ast.rs crates/simt/src/locals.rs crates/simt/src/warp.rs
+
+/root/repo/target/debug/deps/libbarracuda_simt-43287488f0c8bef4.rmeta: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/kernel.rs crates/simt/src/litmus.rs crates/simt/src/machine.rs crates/simt/src/mem.rs crates/simt/src/sink.rs crates/simt/src/value.rs crates/simt/src/decode.rs crates/simt/src/exec.rs crates/simt/src/exec_ast.rs crates/simt/src/locals.rs crates/simt/src/warp.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/config.rs:
+crates/simt/src/kernel.rs:
+crates/simt/src/litmus.rs:
+crates/simt/src/machine.rs:
+crates/simt/src/mem.rs:
+crates/simt/src/sink.rs:
+crates/simt/src/value.rs:
+crates/simt/src/decode.rs:
+crates/simt/src/exec.rs:
+crates/simt/src/exec_ast.rs:
+crates/simt/src/locals.rs:
+crates/simt/src/warp.rs:

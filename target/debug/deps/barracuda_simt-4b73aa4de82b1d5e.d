@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/barracuda_simt-4b73aa4de82b1d5e.d: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/kernel.rs crates/simt/src/litmus.rs crates/simt/src/machine.rs crates/simt/src/mem.rs crates/simt/src/sink.rs crates/simt/src/value.rs crates/simt/src/decode.rs crates/simt/src/exec.rs crates/simt/src/exec_ast.rs crates/simt/src/locals.rs crates/simt/src/warp.rs
+
+/root/repo/target/debug/deps/barracuda_simt-4b73aa4de82b1d5e: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/kernel.rs crates/simt/src/litmus.rs crates/simt/src/machine.rs crates/simt/src/mem.rs crates/simt/src/sink.rs crates/simt/src/value.rs crates/simt/src/decode.rs crates/simt/src/exec.rs crates/simt/src/exec_ast.rs crates/simt/src/locals.rs crates/simt/src/warp.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/config.rs:
+crates/simt/src/kernel.rs:
+crates/simt/src/litmus.rs:
+crates/simt/src/machine.rs:
+crates/simt/src/mem.rs:
+crates/simt/src/sink.rs:
+crates/simt/src/value.rs:
+crates/simt/src/decode.rs:
+crates/simt/src/exec.rs:
+crates/simt/src/exec_ast.rs:
+crates/simt/src/locals.rs:
+crates/simt/src/warp.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/barracuda_simt-9e9c25f87d8884fc.d: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/kernel.rs crates/simt/src/litmus.rs crates/simt/src/machine.rs crates/simt/src/mem.rs crates/simt/src/sink.rs crates/simt/src/value.rs crates/simt/src/decode.rs crates/simt/src/exec.rs crates/simt/src/exec_ast.rs crates/simt/src/locals.rs crates/simt/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda_simt-9e9c25f87d8884fc.rmeta: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/kernel.rs crates/simt/src/litmus.rs crates/simt/src/machine.rs crates/simt/src/mem.rs crates/simt/src/sink.rs crates/simt/src/value.rs crates/simt/src/decode.rs crates/simt/src/exec.rs crates/simt/src/exec_ast.rs crates/simt/src/locals.rs crates/simt/src/warp.rs Cargo.toml
+
+crates/simt/src/lib.rs:
+crates/simt/src/config.rs:
+crates/simt/src/kernel.rs:
+crates/simt/src/litmus.rs:
+crates/simt/src/machine.rs:
+crates/simt/src/mem.rs:
+crates/simt/src/sink.rs:
+crates/simt/src/value.rs:
+crates/simt/src/decode.rs:
+crates/simt/src/exec.rs:
+crates/simt/src/exec_ast.rs:
+crates/simt/src/locals.rs:
+crates/simt/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

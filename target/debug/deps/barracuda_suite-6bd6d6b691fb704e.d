@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/barracuda_suite-6bd6d6b691fb704e.d: crates/suite/src/lib.rs crates/suite/src/atomics.rs crates/suite/src/barriers.rs crates/suite/src/branch.rs crates/suite/src/global.rs crates/suite/src/locks.rs crates/suite/src/misc.rs crates/suite/src/shared.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda_suite-6bd6d6b691fb704e.rmeta: crates/suite/src/lib.rs crates/suite/src/atomics.rs crates/suite/src/barriers.rs crates/suite/src/branch.rs crates/suite/src/global.rs crates/suite/src/locks.rs crates/suite/src/misc.rs crates/suite/src/shared.rs Cargo.toml
+
+crates/suite/src/lib.rs:
+crates/suite/src/atomics.rs:
+crates/suite/src/barriers.rs:
+crates/suite/src/branch.rs:
+crates/suite/src/global.rs:
+crates/suite/src/locks.rs:
+crates/suite/src/misc.rs:
+crates/suite/src/shared.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/barracuda_suite-7aef8b97a5fb5500.d: crates/suite/src/lib.rs crates/suite/src/atomics.rs crates/suite/src/barriers.rs crates/suite/src/branch.rs crates/suite/src/global.rs crates/suite/src/locks.rs crates/suite/src/misc.rs crates/suite/src/shared.rs
+
+/root/repo/target/debug/deps/libbarracuda_suite-7aef8b97a5fb5500.rlib: crates/suite/src/lib.rs crates/suite/src/atomics.rs crates/suite/src/barriers.rs crates/suite/src/branch.rs crates/suite/src/global.rs crates/suite/src/locks.rs crates/suite/src/misc.rs crates/suite/src/shared.rs
+
+/root/repo/target/debug/deps/libbarracuda_suite-7aef8b97a5fb5500.rmeta: crates/suite/src/lib.rs crates/suite/src/atomics.rs crates/suite/src/barriers.rs crates/suite/src/branch.rs crates/suite/src/global.rs crates/suite/src/locks.rs crates/suite/src/misc.rs crates/suite/src/shared.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/atomics.rs:
+crates/suite/src/barriers.rs:
+crates/suite/src/branch.rs:
+crates/suite/src/global.rs:
+crates/suite/src/locks.rs:
+crates/suite/src/misc.rs:
+crates/suite/src/shared.rs:

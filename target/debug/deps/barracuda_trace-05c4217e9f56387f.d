@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/barracuda_trace-05c4217e9f56387f.d: crates/trace/src/lib.rs crates/trace/src/ids.rs crates/trace/src/ops.rs crates/trace/src/queue.rs crates/trace/src/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda_trace-05c4217e9f56387f.rmeta: crates/trace/src/lib.rs crates/trace/src/ids.rs crates/trace/src/ops.rs crates/trace/src/queue.rs crates/trace/src/record.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/ops.rs:
+crates/trace/src/queue.rs:
+crates/trace/src/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

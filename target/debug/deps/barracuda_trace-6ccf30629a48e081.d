@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/barracuda_trace-6ccf30629a48e081.d: crates/trace/src/lib.rs crates/trace/src/ids.rs crates/trace/src/ops.rs crates/trace/src/queue.rs crates/trace/src/record.rs
+
+/root/repo/target/debug/deps/libbarracuda_trace-6ccf30629a48e081.rlib: crates/trace/src/lib.rs crates/trace/src/ids.rs crates/trace/src/ops.rs crates/trace/src/queue.rs crates/trace/src/record.rs
+
+/root/repo/target/debug/deps/libbarracuda_trace-6ccf30629a48e081.rmeta: crates/trace/src/lib.rs crates/trace/src/ids.rs crates/trace/src/ops.rs crates/trace/src/queue.rs crates/trace/src/record.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/ops.rs:
+crates/trace/src/queue.rs:
+crates/trace/src/record.rs:

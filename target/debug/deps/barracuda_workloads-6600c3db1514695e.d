@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/barracuda_workloads-6600c3db1514695e.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/rows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarracuda_workloads-6600c3db1514695e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/rows.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/rows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/barracuda_workloads-e00062f5c5da7997.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/rows.rs
+
+/root/repo/target/debug/deps/libbarracuda_workloads-e00062f5c5da7997.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/rows.rs
+
+/root/repo/target/debug/deps/libbarracuda_workloads-e00062f5c5da7997.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/rows.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/rows.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_interp-7db063344ba35437.d: crates/bench/src/bin/bench_interp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_interp-7db063344ba35437.rmeta: crates/bench/src/bin/bench_interp.rs Cargo.toml
+
+crates/bench/src/bin/bench_interp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

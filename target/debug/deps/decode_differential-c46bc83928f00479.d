@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decode_differential-c46bc83928f00479.d: tests/decode_differential.rs
+
+/root/repo/target/debug/deps/decode_differential-c46bc83928f00479: tests/decode_differential.rs
+
+tests/decode_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/divergent_loops-58c813f104c93378.d: tests/divergent_loops.rs
+
+/root/repo/target/debug/deps/divergent_loops-58c813f104c93378: tests/divergent_loops.rs
+
+tests/divergent_loops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-37cd252450df6063.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-37cd252450df6063: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_translation-5ee3c9a5726f56a0.d: tests/fig1_translation.rs
+
+/root/repo/target/debug/deps/fig1_translation-5ee3c9a5726f56a0: tests/fig1_translation.rs
+
+tests/fig1_translation.rs:

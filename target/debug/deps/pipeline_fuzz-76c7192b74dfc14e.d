@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_fuzz-76c7192b74dfc14e.d: tests/pipeline_fuzz.rs
+
+/root/repo/target/debug/deps/pipeline_fuzz-76c7192b74dfc14e: tests/pipeline_fuzz.rs
+
+tests/pipeline_fuzz.rs:

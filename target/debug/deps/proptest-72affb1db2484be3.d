@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-72affb1db2484be3.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-72affb1db2484be3.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-72affb1db2484be3.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b0773b985d8ebb18.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b0773b985d8ebb18.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b0773b985d8ebb18.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_behavior-66692042aef8eaec.d: tests/runtime_behavior.rs
+
+/root/repo/target/debug/deps/runtime_behavior-66692042aef8eaec: tests/runtime_behavior.rs
+
+tests/runtime_behavior.rs:

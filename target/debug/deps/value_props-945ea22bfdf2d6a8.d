@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/value_props-945ea22bfdf2d6a8.d: crates/simt/tests/value_props.rs
+
+/root/repo/target/debug/deps/value_props-945ea22bfdf2d6a8: crates/simt/tests/value_props.rs
+
+crates/simt/tests/value_props.rs:

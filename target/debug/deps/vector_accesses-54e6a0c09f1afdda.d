@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vector_accesses-54e6a0c09f1afdda.d: tests/vector_accesses.rs
+
+/root/repo/target/debug/deps/vector_accesses-54e6a0c09f1afdda: tests/vector_accesses.rs
+
+tests/vector_accesses.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warp_shuffle-0851ede78b2fb757.d: tests/warp_shuffle.rs
+
+/root/repo/target/debug/deps/warp_shuffle-0851ede78b2fb757: tests/warp_shuffle.rs
+
+tests/warp_shuffle.rs:

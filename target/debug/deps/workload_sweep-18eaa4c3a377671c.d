@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_sweep-18eaa4c3a377671c.d: tests/workload_sweep.rs
+
+/root/repo/target/debug/deps/workload_sweep-18eaa4c3a377671c: tests/workload_sweep.rs
+
+tests/workload_sweep.rs:

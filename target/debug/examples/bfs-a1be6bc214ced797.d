@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bfs-a1be6bc214ced797.d: examples/bfs.rs
+
+/root/repo/target/debug/examples/bfs-a1be6bc214ced797: examples/bfs.rs
+
+examples/bfs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/branch_ordering-8b746bd30d0580ef.d: examples/branch_ordering.rs
+
+/root/repo/target/debug/examples/branch_ordering-8b746bd30d0580ef: examples/branch_ordering.rs
+
+examples/branch_ordering.rs:

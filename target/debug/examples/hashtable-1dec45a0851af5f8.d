@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hashtable-1dec45a0851af5f8.d: examples/hashtable.rs
+
+/root/repo/target/debug/examples/hashtable-1dec45a0851af5f8: examples/hashtable.rs
+
+examples/hashtable.rs:

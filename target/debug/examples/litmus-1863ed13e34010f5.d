@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/litmus-1863ed13e34010f5.d: examples/litmus.rs
+
+/root/repo/target/debug/examples/litmus-1863ed13e34010f5: examples/litmus.rs
+
+examples/litmus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dfde725a51b5061b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dfde725a51b5061b: examples/quickstart.rs
+
+examples/quickstart.rs:

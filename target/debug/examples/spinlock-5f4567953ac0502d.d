@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spinlock-5f4567953ac0502d.d: examples/spinlock.rs
+
+/root/repo/target/debug/examples/spinlock-5f4567953ac0502d: examples/spinlock.rs
+
+examples/spinlock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/warp_portability-b19a2706ee45e686.d: examples/warp_portability.rs
+
+/root/repo/target/debug/examples/warp_portability-b19a2706ee45e686: examples/warp_portability.rs
+
+examples/warp_portability.rs:

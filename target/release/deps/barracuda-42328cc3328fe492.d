@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/barracuda-42328cc3328fe492.d: crates/runtime/src/lib.rs crates/runtime/src/analysis.rs crates/runtime/src/session.rs
+
+/root/repo/target/release/deps/libbarracuda-42328cc3328fe492.rlib: crates/runtime/src/lib.rs crates/runtime/src/analysis.rs crates/runtime/src/session.rs
+
+/root/repo/target/release/deps/libbarracuda-42328cc3328fe492.rmeta: crates/runtime/src/lib.rs crates/runtime/src/analysis.rs crates/runtime/src/session.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/analysis.rs:
+crates/runtime/src/session.rs:

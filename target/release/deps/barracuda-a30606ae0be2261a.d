@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/barracuda-a30606ae0be2261a.d: crates/runtime/src/lib.rs crates/runtime/src/analysis.rs crates/runtime/src/session.rs
+
+/root/repo/target/release/deps/libbarracuda-a30606ae0be2261a.rlib: crates/runtime/src/lib.rs crates/runtime/src/analysis.rs crates/runtime/src/session.rs
+
+/root/repo/target/release/deps/libbarracuda-a30606ae0be2261a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/analysis.rs crates/runtime/src/session.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/analysis.rs:
+crates/runtime/src/session.rs:

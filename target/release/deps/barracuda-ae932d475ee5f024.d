@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/barracuda-ae932d475ee5f024.d: crates/runtime/src/bin/barracuda.rs
+
+/root/repo/target/release/deps/barracuda-ae932d475ee5f024: crates/runtime/src/bin/barracuda.rs
+
+crates/runtime/src/bin/barracuda.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/barracuda_bench-447fdc82e2e90d5f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbarracuda_bench-447fdc82e2e90d5f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbarracuda_bench-447fdc82e2e90d5f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

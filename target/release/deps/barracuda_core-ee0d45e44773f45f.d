@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/barracuda_core-ee0d45e44773f45f.d: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/detector.rs crates/core/src/hclock.rs crates/core/src/ptvc.rs crates/core/src/reference.rs crates/core/src/report.rs crates/core/src/shadow.rs
+
+/root/repo/target/release/deps/libbarracuda_core-ee0d45e44773f45f.rlib: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/detector.rs crates/core/src/hclock.rs crates/core/src/ptvc.rs crates/core/src/reference.rs crates/core/src/report.rs crates/core/src/shadow.rs
+
+/root/repo/target/release/deps/libbarracuda_core-ee0d45e44773f45f.rmeta: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/detector.rs crates/core/src/hclock.rs crates/core/src/ptvc.rs crates/core/src/reference.rs crates/core/src/report.rs crates/core/src/shadow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clock.rs:
+crates/core/src/detector.rs:
+crates/core/src/hclock.rs:
+crates/core/src/ptvc.rs:
+crates/core/src/reference.rs:
+crates/core/src/report.rs:
+crates/core/src/shadow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/barracuda_instrument-3c393b9b1b37ae5a.d: crates/instrument/src/lib.rs crates/instrument/src/infer.rs crates/instrument/src/rewrite.rs
+
+/root/repo/target/release/deps/libbarracuda_instrument-3c393b9b1b37ae5a.rlib: crates/instrument/src/lib.rs crates/instrument/src/infer.rs crates/instrument/src/rewrite.rs
+
+/root/repo/target/release/deps/libbarracuda_instrument-3c393b9b1b37ae5a.rmeta: crates/instrument/src/lib.rs crates/instrument/src/infer.rs crates/instrument/src/rewrite.rs
+
+crates/instrument/src/lib.rs:
+crates/instrument/src/infer.rs:
+crates/instrument/src/rewrite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/barracuda_instrument-6ed00f831c126131.d: crates/instrument/src/lib.rs crates/instrument/src/infer.rs crates/instrument/src/rewrite.rs
+
+/root/repo/target/release/deps/libbarracuda_instrument-6ed00f831c126131.rlib: crates/instrument/src/lib.rs crates/instrument/src/infer.rs crates/instrument/src/rewrite.rs
+
+/root/repo/target/release/deps/libbarracuda_instrument-6ed00f831c126131.rmeta: crates/instrument/src/lib.rs crates/instrument/src/infer.rs crates/instrument/src/rewrite.rs
+
+crates/instrument/src/lib.rs:
+crates/instrument/src/infer.rs:
+crates/instrument/src/rewrite.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/barracuda_ptx-0d48d093c65c678a.d: crates/ptx/src/lib.rs crates/ptx/src/ast.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/lexer.rs crates/ptx/src/parser.rs crates/ptx/src/printer.rs crates/ptx/src/error.rs
+
+/root/repo/target/release/deps/libbarracuda_ptx-0d48d093c65c678a.rlib: crates/ptx/src/lib.rs crates/ptx/src/ast.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/lexer.rs crates/ptx/src/parser.rs crates/ptx/src/printer.rs crates/ptx/src/error.rs
+
+/root/repo/target/release/deps/libbarracuda_ptx-0d48d093c65c678a.rmeta: crates/ptx/src/lib.rs crates/ptx/src/ast.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/lexer.rs crates/ptx/src/parser.rs crates/ptx/src/printer.rs crates/ptx/src/error.rs
+
+crates/ptx/src/lib.rs:
+crates/ptx/src/ast.rs:
+crates/ptx/src/builder.rs:
+crates/ptx/src/cfg.rs:
+crates/ptx/src/lexer.rs:
+crates/ptx/src/parser.rs:
+crates/ptx/src/printer.rs:
+crates/ptx/src/error.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/barracuda_ptx-bc1283024db8308d.d: crates/ptx/src/lib.rs crates/ptx/src/ast.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/lexer.rs crates/ptx/src/parser.rs crates/ptx/src/printer.rs crates/ptx/src/error.rs
+
+/root/repo/target/release/deps/libbarracuda_ptx-bc1283024db8308d.rlib: crates/ptx/src/lib.rs crates/ptx/src/ast.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/lexer.rs crates/ptx/src/parser.rs crates/ptx/src/printer.rs crates/ptx/src/error.rs
+
+/root/repo/target/release/deps/libbarracuda_ptx-bc1283024db8308d.rmeta: crates/ptx/src/lib.rs crates/ptx/src/ast.rs crates/ptx/src/builder.rs crates/ptx/src/cfg.rs crates/ptx/src/lexer.rs crates/ptx/src/parser.rs crates/ptx/src/printer.rs crates/ptx/src/error.rs
+
+crates/ptx/src/lib.rs:
+crates/ptx/src/ast.rs:
+crates/ptx/src/builder.rs:
+crates/ptx/src/cfg.rs:
+crates/ptx/src/lexer.rs:
+crates/ptx/src/parser.rs:
+crates/ptx/src/printer.rs:
+crates/ptx/src/error.rs:

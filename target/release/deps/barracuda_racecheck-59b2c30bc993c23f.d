@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/barracuda_racecheck-59b2c30bc993c23f.d: crates/racecheck/src/lib.rs
+
+/root/repo/target/release/deps/libbarracuda_racecheck-59b2c30bc993c23f.rlib: crates/racecheck/src/lib.rs
+
+/root/repo/target/release/deps/libbarracuda_racecheck-59b2c30bc993c23f.rmeta: crates/racecheck/src/lib.rs
+
+crates/racecheck/src/lib.rs:

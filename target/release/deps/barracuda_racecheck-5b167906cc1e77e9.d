@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/barracuda_racecheck-5b167906cc1e77e9.d: crates/racecheck/src/lib.rs
+
+/root/repo/target/release/deps/libbarracuda_racecheck-5b167906cc1e77e9.rlib: crates/racecheck/src/lib.rs
+
+/root/repo/target/release/deps/libbarracuda_racecheck-5b167906cc1e77e9.rmeta: crates/racecheck/src/lib.rs
+
+crates/racecheck/src/lib.rs:

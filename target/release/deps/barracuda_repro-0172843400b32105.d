@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/barracuda_repro-0172843400b32105.d: src/lib.rs
+
+/root/repo/target/release/deps/libbarracuda_repro-0172843400b32105.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbarracuda_repro-0172843400b32105.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/barracuda_repro-3e30b0eb2572edbc.d: src/lib.rs
+
+/root/repo/target/release/deps/libbarracuda_repro-3e30b0eb2572edbc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbarracuda_repro-3e30b0eb2572edbc.rmeta: src/lib.rs
+
+src/lib.rs:

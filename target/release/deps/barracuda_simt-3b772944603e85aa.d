@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/barracuda_simt-3b772944603e85aa.d: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/kernel.rs crates/simt/src/litmus.rs crates/simt/src/machine.rs crates/simt/src/mem.rs crates/simt/src/sink.rs crates/simt/src/value.rs crates/simt/src/decode.rs crates/simt/src/exec.rs crates/simt/src/exec_ast.rs crates/simt/src/locals.rs crates/simt/src/warp.rs
+
+/root/repo/target/release/deps/libbarracuda_simt-3b772944603e85aa.rlib: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/kernel.rs crates/simt/src/litmus.rs crates/simt/src/machine.rs crates/simt/src/mem.rs crates/simt/src/sink.rs crates/simt/src/value.rs crates/simt/src/decode.rs crates/simt/src/exec.rs crates/simt/src/exec_ast.rs crates/simt/src/locals.rs crates/simt/src/warp.rs
+
+/root/repo/target/release/deps/libbarracuda_simt-3b772944603e85aa.rmeta: crates/simt/src/lib.rs crates/simt/src/config.rs crates/simt/src/kernel.rs crates/simt/src/litmus.rs crates/simt/src/machine.rs crates/simt/src/mem.rs crates/simt/src/sink.rs crates/simt/src/value.rs crates/simt/src/decode.rs crates/simt/src/exec.rs crates/simt/src/exec_ast.rs crates/simt/src/locals.rs crates/simt/src/warp.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/config.rs:
+crates/simt/src/kernel.rs:
+crates/simt/src/litmus.rs:
+crates/simt/src/machine.rs:
+crates/simt/src/mem.rs:
+crates/simt/src/sink.rs:
+crates/simt/src/value.rs:
+crates/simt/src/decode.rs:
+crates/simt/src/exec.rs:
+crates/simt/src/exec_ast.rs:
+crates/simt/src/locals.rs:
+crates/simt/src/warp.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/barracuda_suite-c00c28f25cb1c303.d: crates/suite/src/lib.rs crates/suite/src/atomics.rs crates/suite/src/barriers.rs crates/suite/src/branch.rs crates/suite/src/global.rs crates/suite/src/locks.rs crates/suite/src/misc.rs crates/suite/src/shared.rs
+
+/root/repo/target/release/deps/libbarracuda_suite-c00c28f25cb1c303.rlib: crates/suite/src/lib.rs crates/suite/src/atomics.rs crates/suite/src/barriers.rs crates/suite/src/branch.rs crates/suite/src/global.rs crates/suite/src/locks.rs crates/suite/src/misc.rs crates/suite/src/shared.rs
+
+/root/repo/target/release/deps/libbarracuda_suite-c00c28f25cb1c303.rmeta: crates/suite/src/lib.rs crates/suite/src/atomics.rs crates/suite/src/barriers.rs crates/suite/src/branch.rs crates/suite/src/global.rs crates/suite/src/locks.rs crates/suite/src/misc.rs crates/suite/src/shared.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/atomics.rs:
+crates/suite/src/barriers.rs:
+crates/suite/src/branch.rs:
+crates/suite/src/global.rs:
+crates/suite/src/locks.rs:
+crates/suite/src/misc.rs:
+crates/suite/src/shared.rs:

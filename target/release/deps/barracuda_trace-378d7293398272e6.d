@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/barracuda_trace-378d7293398272e6.d: crates/trace/src/lib.rs crates/trace/src/ids.rs crates/trace/src/ops.rs crates/trace/src/queue.rs crates/trace/src/record.rs
+
+/root/repo/target/release/deps/libbarracuda_trace-378d7293398272e6.rlib: crates/trace/src/lib.rs crates/trace/src/ids.rs crates/trace/src/ops.rs crates/trace/src/queue.rs crates/trace/src/record.rs
+
+/root/repo/target/release/deps/libbarracuda_trace-378d7293398272e6.rmeta: crates/trace/src/lib.rs crates/trace/src/ids.rs crates/trace/src/ops.rs crates/trace/src/queue.rs crates/trace/src/record.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/ops.rs:
+crates/trace/src/queue.rs:
+crates/trace/src/record.rs:

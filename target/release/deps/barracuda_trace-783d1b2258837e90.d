@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/barracuda_trace-783d1b2258837e90.d: crates/trace/src/lib.rs crates/trace/src/ids.rs crates/trace/src/ops.rs crates/trace/src/queue.rs crates/trace/src/record.rs
+
+/root/repo/target/release/deps/libbarracuda_trace-783d1b2258837e90.rlib: crates/trace/src/lib.rs crates/trace/src/ids.rs crates/trace/src/ops.rs crates/trace/src/queue.rs crates/trace/src/record.rs
+
+/root/repo/target/release/deps/libbarracuda_trace-783d1b2258837e90.rmeta: crates/trace/src/lib.rs crates/trace/src/ids.rs crates/trace/src/ops.rs crates/trace/src/queue.rs crates/trace/src/record.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/ids.rs:
+crates/trace/src/ops.rs:
+crates/trace/src/queue.rs:
+crates/trace/src/record.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/barracuda_workloads-915d38e96be9f85a.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/rows.rs
+
+/root/repo/target/release/deps/libbarracuda_workloads-915d38e96be9f85a.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/rows.rs
+
+/root/repo/target/release/deps/libbarracuda_workloads-915d38e96be9f85a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/rows.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/rows.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/barracuda_workloads-c30b2e77660684fe.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/rows.rs
+
+/root/repo/target/release/deps/libbarracuda_workloads-c30b2e77660684fe.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/rows.rs
+
+/root/repo/target/release/deps/libbarracuda_workloads-c30b2e77660684fe.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/rows.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/rows.rs:

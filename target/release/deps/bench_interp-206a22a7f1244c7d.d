@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_interp-206a22a7f1244c7d.d: crates/bench/src/bin/bench_interp.rs
+
+/root/repo/target/release/deps/bench_interp-206a22a7f1244c7d: crates/bench/src/bin/bench_interp.rs
+
+crates/bench/src/bin/bench_interp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decode_differential-0bc3ee274e1b6935.d: tests/decode_differential.rs
+
+/root/repo/target/release/deps/decode_differential-0bc3ee274e1b6935: tests/decode_differential.rs
+
+tests/decode_differential.rs:

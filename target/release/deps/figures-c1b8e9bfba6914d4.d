@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-c1b8e9bfba6914d4.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-c1b8e9bfba6914d4: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-45b1af50ef2ab53b.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-45b1af50ef2ab53b.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-45b1af50ef2ab53b.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-0b6a062edbb7e3ae.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0b6a062edbb7e3ae.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0b6a062edbb7e3ae.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9a9c814809f83a71.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9a9c814809f83a71.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9a9c814809f83a71.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

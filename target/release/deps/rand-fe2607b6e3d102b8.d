@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-fe2607b6e3d102b8.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fe2607b6e3d102b8.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fe2607b6e3d102b8.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:
