@@ -16,7 +16,11 @@ fn access_stream(dims: &GridDims, n: usize) -> Vec<Event> {
             let t = dims.tid_of_lane(warp, l).0;
             addrs[l as usize] = 0x1000 + t * 8;
         }
-        let kind = if i % 4 == 0 { AccessKind::Write } else { AccessKind::Read };
+        let kind = if i % 4 == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         out.push(Event::Access {
             warp,
             kind,
@@ -35,16 +39,20 @@ fn bench_event_throughput(c: &mut Criterion) {
         let dims = GridDims::new(threads / 256, 256u32);
         let stream = access_stream(&dims, 2000);
         g.throughput(Throughput::Elements(stream.len() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &stream, |b, stream| {
-            b.iter(|| {
-                let det = Detector::new(dims, 0);
-                let mut w = Worker::new(&det);
-                for ev in stream {
-                    w.process_event(ev);
-                }
-                det.races().race_count()
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let det = Detector::new(dims, 0);
+                    let mut w = Worker::new(&det);
+                    for ev in stream {
+                        w.process_event(ev);
+                    }
+                    det.races().race_count()
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -56,23 +64,31 @@ fn bench_compression_ablation(c: &mut Criterion) {
     for threads in [64u32, 256, 1024] {
         let dims = GridDims::new(threads / 64, 64u32);
         let stream = access_stream(&dims, 400);
-        g.bench_with_input(BenchmarkId::new("compressed", threads), &stream, |b, stream| {
-            b.iter(|| {
-                let det = Detector::new(dims, 0);
-                let mut w = Worker::new(&det);
-                for ev in stream {
-                    w.process_event(ev);
-                }
-            });
-        });
-        g.bench_with_input(BenchmarkId::new("reference_dense", threads), &stream, |b, stream| {
-            b.iter(|| {
-                let mut r = ReferenceDetector::new(dims);
-                for ev in stream {
-                    r.process_event(ev);
-                }
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("compressed", threads),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let det = Detector::new(dims, 0);
+                    let mut w = Worker::new(&det);
+                    for ev in stream {
+                        w.process_event(ev);
+                    }
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("reference_dense", threads),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let mut r = ReferenceDetector::new(dims);
+                    for ev in stream {
+                        r.process_event(ev);
+                    }
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -85,7 +101,10 @@ fn bench_barrier_broadcast(c: &mut Criterion) {
         for round in 0..50 {
             let _ = round;
             for w in 0..dims.num_warps() {
-                stream.push(Event::Bar { warp: w, mask: dims.initial_mask(w) });
+                stream.push(Event::Bar {
+                    warp: w,
+                    mask: dims.initial_mask(w),
+                });
             }
         }
         g.throughput(Throughput::Elements(50));
@@ -113,7 +132,11 @@ fn bench_divergence_events(c: &mut Criterion) {
             let det = Detector::new(dims, 0);
             let mut w = Worker::new(&det);
             for _ in 0..1000 {
-                w.process_event(&Event::If { warp: 0, then_mask: 0xffff, else_mask: 0xffff_0000 });
+                w.process_event(&Event::If {
+                    warp: 0,
+                    then_mask: 0xffff,
+                    else_mask: 0xffff_0000,
+                });
                 w.process_event(&Event::Else { warp: 0 });
                 w.process_event(&Event::Fi { warp: 0 });
             }

@@ -34,7 +34,9 @@ fn bench_rewrite(c: &mut Criterion) {
     let mut g = c.benchmark_group("instrument/rewrite");
     for (name, text) in corpus() {
         let module = barracuda_ptx::parse(&text).expect("parses");
-        g.throughput(Throughput::Elements(module.static_instruction_count() as u64));
+        g.throughput(Throughput::Elements(
+            module.static_instruction_count() as u64
+        ));
         for (label, opts) in [
             ("optimized", InstrumentOptions::default()),
             ("unoptimized", InstrumentOptions::unoptimized()),
@@ -56,7 +58,9 @@ fn bench_print(c: &mut Criterion) {
     for (name, text) in corpus() {
         let module = barracuda_ptx::parse(&text).expect("parses");
         let (instrumented, _) = instrument_module(&module, &InstrumentOptions::default());
-        g.throughput(Throughput::Elements(instrumented.static_instruction_count() as u64));
+        g.throughput(Throughput::Elements(
+            instrumented.static_instruction_count() as u64,
+        ));
         g.bench_with_input(BenchmarkId::from_parameter(&name), &instrumented, |b, m| {
             b.iter(|| print_module(m));
         });

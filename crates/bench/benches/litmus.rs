@@ -30,15 +30,23 @@ fn bench_fence_combinations(c: &mut Criterion) {
     let mut g = c.benchmark_group("litmus/fence_combos_kepler");
     g.sample_size(10);
     let n = 300u64;
-    for (f1, f2) in [(Fence::Cta, Fence::Cta), (Fence::Cta, Fence::Gl), (Fence::Gl, Fence::Gl)] {
+    for (f1, f2) in [
+        (Fence::Cta, Fence::Cta),
+        (Fence::Cta, Fence::Gl),
+        (Fence::Gl, Fence::Gl),
+    ] {
         let label = format!("{}_{}", f1.name(), f2.name());
-        g.bench_with_input(BenchmarkId::from_parameter(label), &(f1, f2), |b, &(f1, f2)| {
-            let mut seed = 100u64;
-            b.iter(|| {
-                seed += 1;
-                run_mp(f1, f2, MemoryModel::KeplerK520, n, seed).expect("litmus runs")
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(f1, f2),
+            |b, &(f1, f2)| {
+                let mut seed = 100u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_mp(f1, f2, MemoryModel::KeplerK520, n, seed).expect("litmus runs")
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -43,34 +43,38 @@ fn bench_producer_consumer(c: &mut Criterion) {
     let mut g = c.benchmark_group("queue/producer_consumer");
     for producers in [1usize, 2, 4] {
         g.throughput(Throughput::Elements(8 * 1024));
-        g.bench_with_input(BenchmarkId::from_parameter(producers), &producers, |b, &np| {
-            b.iter(|| {
-                let q = Arc::new(Queue::new(4096));
-                let per = 8 * 1024 / np as u64;
-                let handles: Vec<_> = (0..np)
-                    .map(|p| {
-                        let q = Arc::clone(&q);
-                        std::thread::spawn(move || {
-                            let rec = sample_record(p as u64);
-                            for _ in 0..per {
-                                q.push(rec);
-                            }
+        g.bench_with_input(
+            BenchmarkId::from_parameter(producers),
+            &producers,
+            |b, &np| {
+                b.iter(|| {
+                    let q = Arc::new(Queue::new(4096));
+                    let per = 8 * 1024 / np as u64;
+                    let handles: Vec<_> = (0..np)
+                        .map(|p| {
+                            let q = Arc::clone(&q);
+                            std::thread::spawn(move || {
+                                let rec = sample_record(p as u64);
+                                for _ in 0..per {
+                                    q.push(rec);
+                                }
+                            })
                         })
-                    })
-                    .collect();
-                let mut got = 0u64;
-                while got < per * np as u64 {
-                    if q.try_pop().is_some() {
-                        got += 1;
-                    } else {
-                        std::thread::yield_now();
+                        .collect();
+                    let mut got = 0u64;
+                    while got < per * np as u64 {
+                        if q.try_pop().is_some() {
+                            got += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
                     }
-                }
-                for h in handles {
-                    h.join().unwrap();
-                }
-            });
-        });
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -122,5 +126,51 @@ fn bench_queue_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_single_thread, bench_producer_consumer, bench_queue_scaling);
+/// Overhead of the bounded-stall push (the chaos-hardened producer path)
+/// and of `try_push` against the plain blocking push: the resilience
+/// machinery must be free when the consumer keeps up.
+fn bench_resilient_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue/resilient_push");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("push_bounded_1024", |b| {
+        let q = Queue::new(2048);
+        let rec = sample_record(1);
+        b.iter(|| {
+            for _ in 0..1024 {
+                assert!(matches!(
+                    q.push_bounded(rec, 1 << 16),
+                    barracuda_trace::PushOutcome::Pushed { .. }
+                ));
+            }
+            let mut n = 0;
+            while q.try_pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 1024);
+        });
+    });
+    g.bench_function("try_push_1024", |b| {
+        let q = Queue::new(2048);
+        let rec = sample_record(1);
+        b.iter(|| {
+            for _ in 0..1024 {
+                assert!(q.try_push(rec));
+            }
+            let mut n = 0;
+            while q.try_pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 1024);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_thread,
+    bench_producer_consumer,
+    bench_queue_scaling,
+    bench_resilient_push
+);
 criterion_main!(benches);

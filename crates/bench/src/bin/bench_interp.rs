@@ -130,7 +130,11 @@ fn workloads() -> Vec<Workload> {
         ".param .u64 out",
     );
     vec![
-        Workload { name: "alu_loop", module: alu, dims: GridDims::new(4u32, 128u32) },
+        Workload {
+            name: "alu_loop",
+            module: alu,
+            dims: GridDims::new(4u32, 128u32),
+        },
         Workload {
             name: "divergent_loop",
             module: divergent,
@@ -158,7 +162,10 @@ struct Measurement {
 /// elapses, returning warp-instructions per second.
 fn round(w: &Workload, lk: &LoadedKernel, mode: ExecMode, quick: bool) -> (u64, f64) {
     let run = || {
-        let mut gpu = Gpu::new(GpuConfig { exec_mode: mode, ..GpuConfig::default() });
+        let mut gpu = Gpu::new(GpuConfig {
+            exec_mode: mode,
+            ..GpuConfig::default()
+        });
         let out = gpu.malloc(4 * u64::from(w.dims.block.x) * 4);
         gpu.launch_loaded(lk, w.dims, &[ParamValue::Ptr(out)], None)
             .expect("workload runs")
@@ -182,8 +189,14 @@ fn round(w: &Workload, lk: &LoadedKernel, mode: ExecMode, quick: bool) -> (u64, 
 fn measure(w: &Workload, quick: bool) -> (Measurement, Measurement) {
     let lk = LoadedKernel::load(&w.module, "k").expect("workload loads");
     let rounds = if quick { 1 } else { ROUNDS };
-    let mut ast = Measurement { instructions_per_launch: 0, ips: 0.0 };
-    let mut dec = Measurement { instructions_per_launch: 0, ips: 0.0 };
+    let mut ast = Measurement {
+        instructions_per_launch: 0,
+        ips: 0.0,
+    };
+    let mut dec = Measurement {
+        instructions_per_launch: 0,
+        ips: 0.0,
+    };
     for _ in 0..rounds {
         let (n, ips) = round(w, &lk, ExecMode::AstWalk, quick);
         ast.instructions_per_launch = n;

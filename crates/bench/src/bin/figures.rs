@@ -25,7 +25,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<u64>().ok());
 
-    let scale = if full { Scale::paper() } else { Scale::default_scale() };
+    let scale = if full {
+        Scale::paper()
+    } else {
+        Scale::default_scale()
+    };
     let litmus_iters = iters.unwrap_or(if full { 1_000_000 } else { 100_000 });
 
     match what.as_str() {
@@ -51,7 +55,10 @@ fn main() {
 fn print_fig4(iterations: u64) {
     println!("== Figure 4: memory fence litmus tests (mp) ==");
     println!("observations of r1=1 ∧ r2=0 per {iterations} runs\n");
-    println!("{:<12} {:<12} {:>12} {:>14}", "fence1", "fence2", "K520", "GTX Titan X");
+    println!(
+        "{:<12} {:<12} {:>12} {:>14}",
+        "fence1", "fence2", "K520", "GTX Titan X"
+    );
     for r in fig4(iterations, 0xF164) {
         println!(
             "{:<12} {:<12} {:>12} {:>14}",
@@ -67,10 +74,19 @@ fn print_fig4(iterations: u64) {
 fn print_suite() {
     println!("== §6.1: concurrency bug suite ==\n");
     let s = suite_table();
-    println!("BARRACUDA  correct on {:>2} / {} programs (paper: 66/66)", s.barracuda_correct, s.total);
-    println!("Racecheck  correct on {:>2} / {} programs (paper: 19/66)", s.racecheck_correct, s.total);
+    println!(
+        "BARRACUDA  correct on {:>2} / {} programs (paper: 66/66)",
+        s.barracuda_correct, s.total
+    );
+    println!(
+        "Racecheck  correct on {:>2} / {} programs (paper: 19/66)",
+        s.racecheck_correct, s.total
+    );
     if !s.barracuda_failures.is_empty() {
-        println!("\nBARRACUDA failures (must be none!): {:?}", s.barracuda_failures);
+        println!(
+            "\nBARRACUDA failures (must be none!): {:?}",
+            s.barracuda_failures
+        );
     }
     println!("\nRacecheck misreported programs:");
     for (name, verdict) in &s.racecheck_failures {
@@ -81,7 +97,10 @@ fn print_suite() {
 
 fn print_fig9(scale: &Scale) {
     println!("== Figure 9: % static PTX instructions instrumented ==\n");
-    println!("{:<36} {:>8} {:>14} {:>12}", "benchmark", "insns", "unoptimized", "optimized");
+    println!(
+        "{:<36} {:>8} {:>14} {:>12}",
+        "benchmark", "insns", "unoptimized", "optimized"
+    );
     for r in fig9(scale) {
         println!(
             "{:<36} {:>8} {:>13.1}% {:>11.1}%",
@@ -108,7 +127,14 @@ fn print_table1(scale: &Scale) {
         };
         println!(
             "{:<36} {:>8} {:>9} {:>10} {:>9} {:>8} {:>6}{space} {:>8}",
-            r.name, r.insns, r.paper_insns, r.threads, r.paper_threads, r.paper_mem_mb, r.races_found, r.paper_races
+            r.name,
+            r.insns,
+            r.paper_insns,
+            r.threads,
+            r.paper_threads,
+            r.paper_mem_mb,
+            r.races_found,
+            r.paper_races
         );
     }
     println!();
@@ -116,7 +142,10 @@ fn print_table1(scale: &Scale) {
 
 fn print_fig10(scale: &Scale) {
     println!("== Figure 10: performance overhead of detection (normalized to native) ==\n");
-    println!("{:<36} {:>12} {:>12} {:>10}", "benchmark", "native", "detected", "overhead");
+    println!(
+        "{:<36} {:>12} {:>12} {:>10}",
+        "benchmark", "native", "detected", "overhead"
+    );
     let rows = fig10(scale, DetectionMode::Synchronous);
     let mut geo = 0.0f64;
     for r in &rows {

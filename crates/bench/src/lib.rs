@@ -103,12 +103,21 @@ pub struct Fig10Row {
 pub fn measure_workload(w: &Workload, scale: &Scale, mode: DetectionMode) -> Fig10Row {
     let inst = w.generate(scale);
     // Native baseline.
-    let mut bar = Barracuda::with_config(BarracudaConfig { mode, ..BarracudaConfig::default() });
+    let mut bar = Barracuda::with_config(BarracudaConfig {
+        mode,
+        ..BarracudaConfig::default()
+    });
     let params = inst.alloc_params(bar.gpu_mut());
     let text = barracuda_ptx::printer::print_module(&inst.module);
-    let run = KernelRun { source: &text, kernel: &inst.kernel, dims: inst.dims, params: &params };
+    let run = KernelRun {
+        source: &text,
+        kernel: &inst.kernel,
+        dims: inst.dims,
+        params: &params,
+    };
     let t0 = Instant::now();
-    bar.run_native(&run).unwrap_or_else(|e| panic!("{}: native run failed: {e}", w.name));
+    bar.run_native(&run)
+        .unwrap_or_else(|e| panic!("{}: native run failed: {e}", w.name));
     let native = t0.elapsed();
     let t1 = Instant::now();
     let analysis = bar
@@ -122,12 +131,20 @@ pub fn measure_workload(w: &Workload, scale: &Scale, mode: DetectionMode) -> Fig
         w.name
     );
     let overhead = detected.as_secs_f64() / native.as_secs_f64().max(1e-9);
-    Fig10Row { name: w.name.to_string(), native, detected, overhead }
+    Fig10Row {
+        name: w.name.to_string(),
+        native,
+        detected,
+        overhead,
+    }
 }
 
 /// Fig. 10: per-benchmark slowdown of detection vs native execution.
 pub fn fig10(scale: &Scale, mode: DetectionMode) -> Vec<Fig10Row> {
-    all_workloads().iter().map(|w| measure_workload(w, scale, mode)).collect()
+    all_workloads()
+        .iter()
+        .map(|w| measure_workload(w, scale, mode))
+        .collect()
 }
 
 /// One row of Table 1, paper values alongside measured ones.
@@ -224,11 +241,19 @@ pub fn suite_table() -> SuiteSummary {
         if barracuda_racecheck::correct_on(p) {
             racecheck_correct += 1;
         } else {
-            racecheck_failures
-                .push((p.name.to_string(), format!("{:?}", barracuda_racecheck::check_program(p))));
+            racecheck_failures.push((
+                p.name.to_string(),
+                format!("{:?}", barracuda_racecheck::check_program(p)),
+            ));
         }
     }
-    SuiteSummary { barracuda_correct, racecheck_correct, total, barracuda_failures, racecheck_failures }
+    SuiteSummary {
+        barracuda_correct,
+        racecheck_correct,
+        total,
+        barracuda_failures,
+        racecheck_failures,
+    }
 }
 
 #[cfg(test)]
@@ -239,7 +264,10 @@ mod tests {
     fn fig4_shape() {
         let rows = fig4(400, 11);
         assert_eq!(rows.len(), 4);
-        assert!(rows[0].kepler_weak > 0, "cta/cta on K520 must show weak outcomes");
+        assert!(
+            rows[0].kepler_weak > 0,
+            "cta/cta on K520 must show weak outcomes"
+        );
         for r in &rows[1..] {
             assert_eq!(r.kepler_weak, 0, "{r:?}");
         }
@@ -253,19 +281,29 @@ mod tests {
         let rows = fig9(&Scale::quick());
         assert_eq!(rows.len(), 26);
         for r in &rows {
-            assert!(r.unoptimized_fraction <= 0.55, "{}: {}", r.name, r.unoptimized_fraction);
+            assert!(
+                r.unoptimized_fraction <= 0.55,
+                "{}: {}",
+                r.name,
+                r.unoptimized_fraction
+            );
             assert!(r.optimized_fraction <= r.unoptimized_fraction, "{}", r.name);
             assert!(r.optimized_fraction > 0.0, "{}", r.name);
         }
         // Pruning must help at least some benchmarks.
-        assert!(rows.iter().any(|r| r.optimized_fraction < r.unoptimized_fraction));
+        assert!(rows
+            .iter()
+            .any(|r| r.optimized_fraction < r.unoptimized_fraction));
     }
 
     #[test]
     fn fig10_overhead_is_positive() {
         let w = barracuda_workloads::workload("hashtable").unwrap();
         let row = measure_workload(&w, &Scale::quick(), DetectionMode::Synchronous);
-        assert!(row.overhead > 1.0, "detection must cost more than native: {row:?}");
+        assert!(
+            row.overhead > 1.0,
+            "detection must cost more than native: {row:?}"
+        );
     }
 
     #[test]

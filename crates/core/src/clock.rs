@@ -54,7 +54,9 @@ pub struct VectorClock {
 impl VectorClock {
     /// The minimal clock `⊥V` for `n` threads.
     pub fn bottom(n: usize) -> Self {
-        VectorClock { entries: vec![0; n] }
+        VectorClock {
+            entries: vec![0; n],
+        }
     }
 
     /// Number of threads this clock covers.
@@ -109,7 +111,9 @@ impl VectorClock {
 
 impl FromIterator<Clock> for VectorClock {
     fn from_iter<I: IntoIterator<Item = Clock>>(iter: I) -> Self {
-        VectorClock { entries: iter.into_iter().collect() }
+        VectorClock {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 

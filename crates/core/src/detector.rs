@@ -18,7 +18,7 @@ use crate::clock::{Clock, Epoch};
 use crate::hclock::HClock;
 use crate::ptvc::{PtvcFormat, WarpClocks};
 use crate::report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};
-use crate::shadow::{GlobalShadow, ReadMeta, SharedShadow, ShadowCell};
+use crate::shadow::{GlobalShadow, ReadMeta, ShadowCell, SharedShadow};
 use barracuda_trace::ops::{AccessKind, Event, Scope};
 use barracuda_trace::record::Record;
 use barracuda_trace::{GridDims, MemSpace, Tid};
@@ -84,7 +84,10 @@ impl Detector {
     /// Creates a detector for a launch with the given dimensions and
     /// per-block shared-memory segment size.
     pub fn new(dims: GridDims, shared_size: u64) -> Self {
-        assert!(dims.total_threads() <= u64::from(u32::MAX), "TIDs must fit in u32");
+        assert!(
+            dims.total_threads() <= u64::from(u32::MAX),
+            "TIDs must fit in u32"
+        );
         Detector {
             dims,
             shared_size,
@@ -172,7 +175,12 @@ pub struct Worker<'d> {
 impl<'d> Worker<'d> {
     /// A worker over the shared detector.
     pub fn new(det: &'d Detector) -> Self {
-        Worker { det, blocks: HashMap::new(), format_census: [0; 4], events: 0 }
+        Worker {
+            det,
+            blocks: HashMap::new(),
+            format_census: [0; 4],
+            events: 0,
+        }
     }
 
     /// Events processed so far.
@@ -209,7 +217,14 @@ impl<'d> Worker<'d> {
             .entry(block)
             .or_insert_with(|| BlockState::new(&dims, block, self.det.shared_size));
         match ev {
-            Event::Access { kind, space, mask, addrs, size, .. } => {
+            Event::Access {
+                kind,
+                space,
+                mask,
+                addrs,
+                size,
+                ..
+            } => {
                 {
                     let wc = &bs.warps[wib];
                     self.format_census[match wc.format() {
@@ -263,7 +278,11 @@ impl<'d> Worker<'d> {
                     }
                 }
             }
-            Event::If { then_mask, else_mask, .. } => {
+            Event::If {
+                then_mask,
+                else_mask,
+                ..
+            } => {
                 bs.warps[wib].branch_if(*then_mask, *else_mask);
             }
             Event::Else { .. } => bs.warps[wib].branch_else(),
@@ -347,9 +366,14 @@ fn check_cell(
     let own = wc.own_clock();
     let e = Epoch::new(own, tid.0 as u32);
     let clock_of = |t: u32| -> Clock { wc.clock_of(lane, Tid(u64::from(t)), dims) };
-    let write_ordered =
-        cell.write.is_bottom() || cell.write.tid == e.tid || cell.write.clock <= clock_of(cell.write.tid);
-    let prev_write_type = if cell.write_atomic { AccessType::Atomic } else { AccessType::Write };
+    let write_ordered = cell.write.is_bottom()
+        || cell.write.tid == e.tid
+        || cell.write.clock <= clock_of(cell.write.tid);
+    let prev_write_type = if cell.write_atomic {
+        AccessType::Atomic
+    } else {
+        AccessType::Write
+    };
     let mut race: Option<(u32, AccessType)> = None;
 
     let check_reads = |cell: &ShadowCell, race: &mut Option<(u32, AccessType)>| {
@@ -457,7 +481,11 @@ fn process_sync(
         if mask & (1 << lane) == 0 {
             continue;
         }
-        let key = SyncKey { shared: space == MemSpace::Shared, block: if space == MemSpace::Shared { block } else { 0 }, addr: addrs[lane as usize] };
+        let key = SyncKey {
+            shared: space == MemSpace::Shared,
+            block: if space == MemSpace::Shared { block } else { 0 },
+            addr: addrs[lane as usize],
+        };
         let loc = locs.entry(key).or_default();
         let acquired_here = match acquire {
             Some(Scope::Block) => loc.slot(block).cloned(),
@@ -515,7 +543,8 @@ fn try_barrier(det: &Detector, bs: &mut BlockState) {
         }
     }
     if divergence {
-        det.races.diagnose(Diagnostic::BarrierDivergence { block: bs.block });
+        det.races
+            .diagnose(Diagnostic::BarrierDivergence { block: bs.block });
     }
     // Join all arrived warps and broadcast (block high-water clock).
     let mut b_clock: Clock = 0;
@@ -558,7 +587,14 @@ mod tests {
                 addrs[l as usize] = addr_of(l);
             }
         }
-        Event::Access { warp, kind, space: MemSpace::Global, mask, addrs, size: 4 }
+        Event::Access {
+            warp,
+            kind,
+            space: MemSpace::Global,
+            mask,
+            addrs,
+            size: 4,
+        }
     }
 
     fn shared_access(warp: u64, kind: AccessKind, mask: u32, addr: u64) -> Event {
@@ -566,15 +602,26 @@ mod tests {
         for l in 0..32 {
             addrs[l as usize] = addr;
         }
-        Event::Access { warp, kind, space: MemSpace::Shared, mask, addrs, size: 4 }
+        Event::Access {
+            warp,
+            kind,
+            space: MemSpace::Shared,
+            mask,
+            addrs,
+            size: 4,
+        }
     }
 
     #[test]
     fn disjoint_writes_do_not_race() {
         let det = Detector::new(dims(), 64);
         let mut w = Worker::new(&det);
-        w.process_event(&access(0, AccessKind::Write, 0b1111, |l| 0x1000 + u64::from(l) * 4));
-        w.process_event(&access(2, AccessKind::Write, 0b1111, |l| 0x2000 + u64::from(l) * 4));
+        w.process_event(&access(0, AccessKind::Write, 0b1111, |l| {
+            0x1000 + u64::from(l) * 4
+        }));
+        w.process_event(&access(2, AccessKind::Write, 0b1111, |l| {
+            0x2000 + u64::from(l) * 4
+        }));
         assert_eq!(det.races().race_count(), 0);
     }
 
@@ -640,8 +687,14 @@ mod tests {
         // Warp 0 (block 0) writes, both warps of block 0 hit the barrier,
         // then warp 1 (block 0) writes the same address: ordered.
         w.process_event(&access(0, AccessKind::Write, 0b0001, |_| 0x1000));
-        w.process_event(&Event::Bar { warp: 0, mask: 0b1111 });
-        w.process_event(&Event::Bar { warp: 1, mask: 0b1111 });
+        w.process_event(&Event::Bar {
+            warp: 0,
+            mask: 0b1111,
+        });
+        w.process_event(&Event::Bar {
+            warp: 1,
+            mask: 0b1111,
+        });
         w.process_event(&access(1, AccessKind::Write, 0b0001, |_| 0x1000));
         assert_eq!(det.races().race_count(), 0);
         // But block 1 is not synchronized by block 0's barrier.
@@ -654,8 +707,14 @@ mod tests {
     fn barrier_divergence_diagnosed() {
         let det = Detector::new(dims(), 64);
         let mut w = Worker::new(&det);
-        w.process_event(&Event::Bar { warp: 0, mask: 0b0111 }); // partial!
-        w.process_event(&Event::Bar { warp: 1, mask: 0b1111 });
+        w.process_event(&Event::Bar {
+            warp: 0,
+            mask: 0b0111,
+        }); // partial!
+        w.process_event(&Event::Bar {
+            warp: 1,
+            mask: 0b1111,
+        });
         assert_eq!(
             det.races().diagnostics(),
             vec![Diagnostic::BarrierDivergence { block: 0 }]
@@ -666,8 +725,14 @@ mod tests {
     fn exited_warp_with_waiting_sibling_is_divergence() {
         let det = Detector::new(dims(), 64);
         let mut w = Worker::new(&det);
-        w.process_event(&Event::Exit { warp: 0, mask: 0b1111 });
-        w.process_event(&Event::Bar { warp: 1, mask: 0b1111 });
+        w.process_event(&Event::Exit {
+            warp: 0,
+            mask: 0b1111,
+        });
+        w.process_event(&Event::Bar {
+            warp: 1,
+            mask: 0b1111,
+        });
         assert_eq!(
             det.races().diagnostics(),
             vec![Diagnostic::BarrierDivergence { block: 0 }]
@@ -682,9 +747,19 @@ mod tests {
         let flag = 0x2000u64;
         // Warp 0 lane 0 writes data then releases flag (block scope).
         w.process_event(&access(0, AccessKind::Write, 0b0001, |_| data));
-        w.process_event(&access(0, AccessKind::Release(Scope::Block), 0b0001, |_| flag));
+        w.process_event(&access(
+            0,
+            AccessKind::Release(Scope::Block),
+            0b0001,
+            |_| flag,
+        ));
         // Warp 1 (same block) acquires flag then writes data: ordered.
-        w.process_event(&access(1, AccessKind::Acquire(Scope::Block), 0b0001, |_| flag));
+        w.process_event(&access(
+            1,
+            AccessKind::Acquire(Scope::Block),
+            0b0001,
+            |_| flag,
+        ));
         w.process_event(&access(1, AccessKind::Write, 0b0001, |_| data));
         assert_eq!(det.races().race_count(), 0);
     }
@@ -696,10 +771,20 @@ mod tests {
         let data = 0x1000u64;
         let flag = 0x2000u64;
         w.process_event(&access(0, AccessKind::Write, 0b0001, |_| data));
-        w.process_event(&access(0, AccessKind::Release(Scope::Block), 0b0001, |_| flag));
+        w.process_event(&access(
+            0,
+            AccessKind::Release(Scope::Block),
+            0b0001,
+            |_| flag,
+        ));
         // Block 1 acquires at block scope: rel in b1 / acq in b2 does NOT
         // contribute to synchronization order (§3.3.4).
-        w.process_event(&access(2, AccessKind::Acquire(Scope::Block), 0b0001, |_| flag));
+        w.process_event(&access(
+            2,
+            AccessKind::Acquire(Scope::Block),
+            0b0001,
+            |_| flag,
+        ));
         w.process_event(&access(2, AccessKind::Write, 0b0001, |_| data));
         assert_eq!(det.races().race_count(), 1);
     }
@@ -748,7 +833,11 @@ mod tests {
         let x = 0x1000u64;
         w.process_event(&access(0, AccessKind::Write, 0b0001, |_| x));
         w.process_event(&access(2, AccessKind::Atomic, 0b0001, |_| x));
-        assert_eq!(det.races().race_count(), 1, "INITATOM checks the plain write");
+        assert_eq!(
+            det.races().race_count(),
+            1,
+            "INITATOM checks the plain write"
+        );
     }
 
     #[test]
@@ -757,7 +846,11 @@ mod tests {
         let mut w = Worker::new(&det);
         // Warp 0 diverges: lane 0 (then) writes x; lanes on else path
         // write x too — paths are concurrent.
-        w.process_event(&Event::If { warp: 0, then_mask: 0b0001, else_mask: 0b1110 });
+        w.process_event(&Event::If {
+            warp: 0,
+            then_mask: 0b0001,
+            else_mask: 0b1110,
+        });
         w.process_event(&access(0, AccessKind::Write, 0b0001, |_| 0x1000));
         w.process_event(&Event::Else { warp: 0 });
         w.process_event(&access(0, AccessKind::Write, 0b0010, |_| 0x1000));
@@ -769,7 +862,11 @@ mod tests {
     fn accesses_after_fi_are_ordered_with_both_paths() {
         let det = Detector::new(dims(), 64);
         let mut w = Worker::new(&det);
-        w.process_event(&Event::If { warp: 0, then_mask: 0b0001, else_mask: 0b1110 });
+        w.process_event(&Event::If {
+            warp: 0,
+            then_mask: 0b0001,
+            else_mask: 0b1110,
+        });
         w.process_event(&access(0, AccessKind::Write, 0b0001, |_| 0x1000));
         w.process_event(&Event::Else { warp: 0 });
         w.process_event(&access(0, AccessKind::Write, 0b0010, |_| 0x2000));
@@ -831,9 +928,17 @@ mod tests {
     fn format_census_tracks_divergence() {
         let det = Detector::new(dims(), 64);
         let mut w = Worker::new(&det);
-        w.process_event(&access(0, AccessKind::Read, 0b1111, |l| u64::from(l) * 4 + 0x1000));
-        w.process_event(&Event::If { warp: 0, then_mask: 0b0011, else_mask: 0b1100 });
-        w.process_event(&access(0, AccessKind::Read, 0b0011, |l| u64::from(l) * 4 + 0x2000));
+        w.process_event(&access(0, AccessKind::Read, 0b1111, |l| {
+            u64::from(l) * 4 + 0x1000
+        }));
+        w.process_event(&Event::If {
+            warp: 0,
+            then_mask: 0b0011,
+            else_mask: 0b1100,
+        });
+        w.process_event(&access(0, AccessKind::Read, 0b0011, |l| {
+            u64::from(l) * 4 + 0x2000
+        }));
         let c = w.format_census();
         assert_eq!(c[0], 1, "first access converged");
         assert_eq!(c[1], 1, "second access diverged");
@@ -843,9 +948,24 @@ mod tests {
     fn sync_location_count_tracked() {
         let det = Detector::new(dims(), 64);
         let mut w = Worker::new(&det);
-        w.process_event(&access(0, AccessKind::Release(Scope::Global), 0b0001, |_| 0x2000));
-        w.process_event(&access(0, AccessKind::Release(Scope::Global), 0b0001, |_| 0x3000));
-        w.process_event(&access(2, AccessKind::Acquire(Scope::Global), 0b0001, |_| 0x2000));
+        w.process_event(&access(
+            0,
+            AccessKind::Release(Scope::Global),
+            0b0001,
+            |_| 0x2000,
+        ));
+        w.process_event(&access(
+            0,
+            AccessKind::Release(Scope::Global),
+            0b0001,
+            |_| 0x3000,
+        ));
+        w.process_event(&access(
+            2,
+            AccessKind::Acquire(Scope::Global),
+            0b0001,
+            |_| 0x2000,
+        ));
         assert_eq!(det.sync_location_count(), 2);
     }
 }

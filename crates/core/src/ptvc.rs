@@ -104,7 +104,11 @@ pub enum PtvcFormat {
 enum Frame {
     /// A frozen not-yet-executed path plus the finished paths of one
     /// branch, waiting for reconvergence.
-    Reconv { pre_mask: u32, frozen: GroupState, finished: Vec<GroupState> },
+    Reconv {
+        pre_mask: u32,
+        frozen: GroupState,
+        finished: Vec<GroupState>,
+    },
     /// The currently-executing group (always the top frame).
     Active(GroupState),
 }
@@ -145,7 +149,10 @@ impl WarpClocks {
     pub fn active(&self) -> &GroupState {
         match self.stack.last() {
             Some(Frame::Active(g)) => g,
-            _ => panic!("warp {} has no active group (unbalanced branch events)", self.warp),
+            _ => panic!(
+                "warp {} has no active group (unbalanced branch events)",
+                self.warp
+            ),
         }
     }
 
@@ -249,7 +256,11 @@ impl WarpClocks {
             block_clock: g.block_clock,
             external: g.external.clone(),
         };
-        self.stack.push(Frame::Reconv { pre_mask, frozen: else_g, finished: Vec::new() });
+        self.stack.push(Frame::Reconv {
+            pre_mask,
+            frozen: else_g,
+            finished: Vec::new(),
+        });
         self.stack.push(Frame::Active(then_g));
     }
 
@@ -259,7 +270,10 @@ impl WarpClocks {
         let Frame::Active(then_final) = self.stack.pop().expect("else on empty stack") else {
             panic!("else without active group");
         };
-        let Some(Frame::Reconv { frozen, finished, .. }) = self.stack.last_mut() else {
+        let Some(Frame::Reconv {
+            frozen, finished, ..
+        }) = self.stack.last_mut()
+        else {
             panic!("else without open branch");
         };
         finished.push(then_final);
@@ -274,8 +288,9 @@ impl WarpClocks {
         let Frame::Active(else_final) = self.stack.pop().expect("fi on empty stack") else {
             panic!("fi without active group");
         };
-        let Some(Frame::Reconv { pre_mask, finished, .. }) =
-            self.stack.pop()
+        let Some(Frame::Reconv {
+            pre_mask, finished, ..
+        }) = self.stack.pop()
         else {
             panic!("fi without open branch");
         };
@@ -293,7 +308,11 @@ impl WarpClocks {
             }
         } else {
             let own = groups.iter().map(|g| g.own).max().expect("non-empty") + 1;
-            let block_clock = groups.iter().map(|g| g.block_clock).max().expect("non-empty");
+            let block_clock = groups
+                .iter()
+                .map(|g| g.block_clock)
+                .max()
+                .expect("non-empty");
             // Outside view: per-lane max over the merged groups.
             let mut per_lane = [0 as Clock; 32];
             let mut uniform: Option<Clock> = None;
@@ -335,7 +354,13 @@ impl WarpClocks {
                     }
                 }
             }
-            GroupState { mask: pre_mask, own, warp_view, block_clock, external }
+            GroupState {
+                mask: pre_mask,
+                own,
+                warp_view,
+                block_clock,
+                external,
+            }
         };
         self.stack.push(Frame::Active(merged));
     }
@@ -363,7 +388,11 @@ impl WarpClocks {
                 continue;
             }
             let t = dims.tid_of_lane(self.warp, l);
-            let v = if g.mask & (1 << l) != 0 { g.own.saturating_sub(1) } else { g.warp_view.get(l) };
+            let v = if g.mask & (1 << l) != 0 {
+                g.own.saturating_sub(1)
+            } else {
+                g.warp_view.get(l)
+            };
             if v > 0 {
                 h.set_thread(t.0, v);
             }

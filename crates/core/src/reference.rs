@@ -12,7 +12,7 @@
 //! which they perform no operations.)
 
 use crate::clock::{Clock, VectorClock};
-use crate::report::{AccessType, RaceSink, RaceReport, RaceClass, Diagnostic};
+use crate::report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};
 use barracuda_trace::ops::{AccessKind, Event, Scope};
 use barracuda_trace::{GridDims, MemSpace, Tid};
 use std::collections::HashMap;
@@ -73,7 +73,9 @@ impl ReferenceDetector {
         for (t, c) in clocks.iter_mut().enumerate() {
             c.inc(t); // C_t = inc_t(⊥)
         }
-        let stacks = (0..dims.num_warps()).map(|w| vec![dims.initial_mask(w)]).collect();
+        let stacks = (0..dims.num_warps())
+            .map(|w| vec![dims.initial_mask(w)])
+            .collect();
         ReferenceDetector {
             dims,
             clocks,
@@ -124,7 +126,11 @@ impl ReferenceDetector {
     fn loc(&self, space: MemSpace, warp: u64, byte: u64) -> Loc {
         Loc {
             shared: space == MemSpace::Shared,
-            block: if space == MemSpace::Shared { self.dims.block_of_warp(warp) } else { 0 },
+            block: if space == MemSpace::Shared {
+                self.dims.block_of_warp(warp)
+            } else {
+                0
+            },
             byte,
         }
     }
@@ -155,7 +161,14 @@ impl ReferenceDetector {
                 AccessType::Read => {
                     if !write_ordered {
                         let (_, wt, at) = cell.write.expect("checked");
-                        race = Some((wt, if at { AccessType::Atomic } else { AccessType::Write }));
+                        race = Some((
+                            wt,
+                            if at {
+                                AccessType::Atomic
+                            } else {
+                                AccessType::Write
+                            },
+                        ));
                     }
                     cell.readers.insert(ti as u32, own);
                 }
@@ -164,7 +177,14 @@ impl ReferenceDetector {
                     let skip_write_check = atype == AccessType::Atomic && prev_atomic;
                     if !skip_write_check && !write_ordered {
                         let (_, wt, at) = cell.write.expect("checked");
-                        race = Some((wt, if at { AccessType::Atomic } else { AccessType::Write }));
+                        race = Some((
+                            wt,
+                            if at {
+                                AccessType::Atomic
+                            } else {
+                                AccessType::Write
+                            },
+                        ));
                     }
                     if race.is_none() {
                         for (&rt, &rc) in &cell.readers {
@@ -270,7 +290,10 @@ impl ReferenceDetector {
         let wpb = self.dims.warps_per_block();
         let base = (block * wpb) as usize;
         let range = base..base + wpb as usize;
-        if !range.clone().all(|i| self.exited[i] || self.arrived[i].is_some()) {
+        if !range
+            .clone()
+            .all(|i| self.exited[i] || self.arrived[i].is_some())
+        {
             return;
         }
         if !range.clone().any(|i| self.arrived[i].is_some()) {
@@ -305,7 +328,14 @@ impl ReferenceDetector {
     /// detector's worker).
     pub fn process_event(&mut self, ev: &Event) {
         match ev {
-            Event::Access { warp, kind, space, mask, addrs, size } => {
+            Event::Access {
+                warp,
+                kind,
+                space,
+                mask,
+                addrs,
+                size,
+            } => {
                 match kind {
                     AccessKind::Read | AccessKind::Write | AccessKind::Atomic => {
                         let atype = match kind {
@@ -315,7 +345,14 @@ impl ReferenceDetector {
                         };
                         for lane in 0..self.dims.warp_size {
                             if mask & (1 << lane) != 0 {
-                                self.check_access(*warp, lane, *space, addrs[lane as usize], *size, atype);
+                                self.check_access(
+                                    *warp,
+                                    lane,
+                                    *space,
+                                    addrs[lane as usize],
+                                    *size,
+                                    atype,
+                                );
                             }
                         }
                     }
@@ -335,7 +372,11 @@ impl ReferenceDetector {
                 let tids = self.tids_of_mask(*warp, active);
                 self.join_fork(&tids);
             }
-            Event::If { warp, then_mask, else_mask } => {
+            Event::If {
+                warp,
+                then_mask,
+                else_mask,
+            } => {
                 let w = *warp as usize;
                 self.stacks[w].push(*else_mask);
                 self.stacks[w].push(*then_mask);
@@ -400,8 +441,14 @@ mod tests {
     fn barrier_synchronizes_block() {
         let mut r = ReferenceDetector::new(dims());
         r.process_event(&write(0, 0b0001, 0x100));
-        r.process_event(&Event::Bar { warp: 0, mask: 0b1111 });
-        r.process_event(&Event::Bar { warp: 1, mask: 0b1111 });
+        r.process_event(&Event::Bar {
+            warp: 0,
+            mask: 0b1111,
+        });
+        r.process_event(&Event::Bar {
+            warp: 1,
+            mask: 0b1111,
+        });
         r.process_event(&write(1, 0b0001, 0x100));
         assert_eq!(r.races().race_count(), 0);
     }
@@ -409,7 +456,11 @@ mod tests {
     #[test]
     fn branch_paths_concurrent_then_ordered_after_fi() {
         let mut r = ReferenceDetector::new(dims());
-        r.process_event(&Event::If { warp: 0, then_mask: 0b0011, else_mask: 0b1100 });
+        r.process_event(&Event::If {
+            warp: 0,
+            then_mask: 0b0011,
+            else_mask: 0b1100,
+        });
         r.process_event(&write(0, 0b0011, 0x100));
         r.process_event(&Event::Else { warp: 0 });
         r.process_event(&write(0, 0b0100, 0x100));
@@ -424,7 +475,11 @@ mod tests {
         let d = dims();
         let mut r = ReferenceDetector::new(d);
         r.process_event(&write(0, 0b1111, 0x100));
-        r.process_event(&Event::If { warp: 0, then_mask: 0b0011, else_mask: 0b1100 });
+        r.process_event(&Event::If {
+            warp: 0,
+            then_mask: 0b0011,
+            else_mask: 0b1100,
+        });
         r.process_event(&write(0, 0b0011, 0x200));
         r.process_event(&Event::Else { warp: 0 });
         r.process_event(&Event::Fi { warp: 0 });

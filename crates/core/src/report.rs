@@ -89,6 +89,49 @@ pub enum Diagnostic {
         /// The block whose barrier diverged.
         block: u64,
     },
+    /// A detector worker thread panicked mid-run; its remaining records
+    /// were not processed. The analysis it belongs to is *partial*: the
+    /// reported races are sound but events routed to this worker after
+    /// the panic were never checked.
+    WorkerPanic {
+        /// Index of the worker (and so of the queue it was draining).
+        worker: u64,
+        /// The panic payload's message, when it carried one.
+        message: String,
+    },
+    /// Records never reached the detector: `dropped` were shed by
+    /// bounded-stall backpressure (full queue with a stalled consumer)
+    /// and `corrupt` failed to decode on the host side. Races involving
+    /// only lost records cannot have been detected.
+    LostRecords {
+        /// Records dropped by producers after exhausting the stall budget.
+        dropped: u64,
+        /// Records the workers skipped because they failed to decode.
+        corrupt: u64,
+    },
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::BarrierDivergence { block } => {
+                write!(f, "barrier divergence in block {block}")
+            }
+            Diagnostic::WorkerPanic { worker, message } => {
+                write!(
+                    f,
+                    "detector worker {worker} panicked ({message}); results are partial"
+                )
+            }
+            Diagnostic::LostRecords { dropped, corrupt } => {
+                write!(
+                    f,
+                    "{dropped} record(s) dropped under backpressure, {corrupt} corrupt; \
+                     results are partial"
+                )
+            }
+        }
+    }
 }
 
 /// Thread-safe collector of race reports, deduplicated per racing
@@ -171,7 +214,11 @@ impl RaceSink {
     /// Counts per memory space `(shared, global)`.
     pub fn space_counts(&self) -> (usize, usize) {
         let g = self.inner.lock();
-        let shared = g.reports.iter().filter(|r| r.space == MemSpace::Shared).count();
+        let shared = g
+            .reports
+            .iter()
+            .filter(|r| r.space == MemSpace::Shared)
+            .count();
         (shared, g.reports.len() - shared)
     }
 }

@@ -68,7 +68,9 @@ pub struct ShadowPage {
 
 impl ShadowPage {
     fn new() -> Self {
-        ShadowPage { cells: vec![ShadowCell::default(); SHADOW_PAGE_SIZE as usize] }
+        ShadowPage {
+            cells: vec![ShadowCell::default(); SHADOW_PAGE_SIZE as usize],
+        }
     }
 
     /// The cell for `addr` (which must belong to this page).
@@ -98,7 +100,10 @@ impl GlobalShadow {
             return Arc::clone(p);
         }
         let mut w = self.pages.write();
-        Arc::clone(w.entry(key).or_insert_with(|| Arc::new(Mutex::new(ShadowPage::new()))))
+        Arc::clone(
+            w.entry(key)
+                .or_insert_with(|| Arc::new(Mutex::new(ShadowPage::new()))),
+        )
     }
 
     /// Number of allocated pages.
@@ -125,7 +130,9 @@ pub struct SharedShadow {
 impl SharedShadow {
     /// Shadow for a `size`-byte shared segment.
     pub fn new(size: u64) -> Self {
-        SharedShadow { cells: vec![ShadowCell::default(); size as usize] }
+        SharedShadow {
+            cells: vec![ShadowCell::default(); size as usize],
+        }
     }
 
     /// The cell for byte `offset`, growing the table if a generic access
@@ -133,7 +140,8 @@ impl SharedShadow {
     /// accesses; this keeps the detector total).
     pub fn cell_mut(&mut self, offset: u64) -> &mut ShadowCell {
         if offset >= self.cells.len() as u64 {
-            self.cells.resize(offset as usize + 1, ShadowCell::default());
+            self.cells
+                .resize(offset as usize + 1, ShadowCell::default());
         }
         &mut self.cells[offset as usize]
     }
@@ -167,7 +175,11 @@ mod tests {
         // The paper packs per-location metadata into 32 bytes; ours must
         // stay in the same ballpark (8B write epoch + boxed read meta +
         // flags).
-        assert!(std::mem::size_of::<ShadowCell>() <= 32, "{}", std::mem::size_of::<ShadowCell>());
+        assert!(
+            std::mem::size_of::<ShadowCell>() <= 32,
+            "{}",
+            std::mem::size_of::<ShadowCell>()
+        );
     }
 
     #[test]

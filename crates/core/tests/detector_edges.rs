@@ -12,14 +12,24 @@ fn dims() -> GridDims {
 }
 
 fn access(warp: u64, kind: AccessKind, mask: u32, addr: u64) -> Event {
-    Event::Access { warp, kind, space: MemSpace::Global, mask, addrs: [addr; 32], size: 4 }
+    Event::Access {
+        warp,
+        kind,
+        space: MemSpace::Global,
+        mask,
+        addrs: [addr; 32],
+        size: 4,
+    }
 }
 
 fn bar_all(w: &mut Worker<'_>, dims: &GridDims, block: u64) {
     let wpb = dims.warps_per_block();
     for i in 0..wpb {
         let warp = block * wpb + i;
-        w.process_event(&Event::Bar { warp, mask: dims.initial_mask(warp) });
+        w.process_event(&Event::Bar {
+            warp,
+            mask: dims.initial_mask(warp),
+        });
     }
 }
 
@@ -59,7 +69,12 @@ fn acquire_of_never_released_location_is_a_noop() {
     let mut w = Worker::new(&det);
     w.process_event(&access(0, AccessKind::Write, 0b0001, 0x1000));
     // Block 1 acquires a flag nobody released: no ordering created.
-    w.process_event(&access(2, AccessKind::Acquire(Scope::Global), 0b0001, 0x2000));
+    w.process_event(&access(
+        2,
+        AccessKind::Acquire(Scope::Global),
+        0b0001,
+        0x2000,
+    ));
     w.process_event(&access(2, AccessKind::Write, 0b0001, 0x1000));
     assert_eq!(det.races().race_count(), 1);
 }
@@ -82,7 +97,11 @@ fn release_is_assignment_not_join() {
     // Block 1 acquires: sees only T4's clock → T0's write unordered.
     w.process_event(&access(2, AccessKind::Acquire(Scope::Global), 0b0001, flag));
     w.process_event(&access(2, AccessKind::Write, 0b0001, data));
-    assert_eq!(det.races().race_count(), 1, "the first release was overwritten");
+    assert_eq!(
+        det.races().race_count(),
+        1,
+        "the first release was overwritten"
+    );
 }
 
 #[test]
@@ -96,11 +115,21 @@ fn acqrel_ticket_chain_orders_all_participants() {
     let ticket = 0x3000;
     // Block 0 warp 0 writes partial 0 and acq-rels the ticket.
     w.process_event(&access(0, AccessKind::Write, 0b0001, 0x1000));
-    w.process_event(&access(0, AccessKind::AcquireRelease(Scope::Global), 0b0001, ticket));
+    w.process_event(&access(
+        0,
+        AccessKind::AcquireRelease(Scope::Global),
+        0b0001,
+        ticket,
+    ));
     // Block 1 warp 0 writes partial 1 and acq-rels the ticket (joins block
     // 0's clock before re-assigning — the C' ⊔ S_x step).
     w.process_event(&access(2, AccessKind::Write, 0b0001, 0x1004));
-    w.process_event(&access(2, AccessKind::AcquireRelease(Scope::Global), 0b0001, ticket));
+    w.process_event(&access(
+        2,
+        AccessKind::AcquireRelease(Scope::Global),
+        0b0001,
+        ticket,
+    ));
     // Block 1 then reads both partials: fully ordered.
     w.process_event(&access(2, AccessKind::Read, 0b0001, 0x1000));
     w.process_event(&access(2, AccessKind::Read, 0b0001, 0x1004));
@@ -116,8 +145,14 @@ fn partial_last_warp_barrier_is_well_formed() {
     let det = Detector::new(d, 0);
     let mut w = Worker::new(&det);
     w.process_event(&access(0, AccessKind::Write, 0b0001, 0x1000));
-    w.process_event(&Event::Bar { warp: 0, mask: 0b1111 });
-    w.process_event(&Event::Bar { warp: 1, mask: 0b0011 });
+    w.process_event(&Event::Bar {
+        warp: 0,
+        mask: 0b1111,
+    });
+    w.process_event(&Event::Bar {
+        warp: 1,
+        mask: 0b0011,
+    });
     assert!(det.races().diagnostics().is_empty());
     // And the barrier ordered the write for warp 1's lanes.
     w.process_event(&access(1, AccessKind::Write, 0b0001, 0x1000));
@@ -129,7 +164,12 @@ fn same_thread_never_races_with_itself() {
     let d = dims();
     let det = Detector::new(d, 0);
     let mut w = Worker::new(&det);
-    for kind in [AccessKind::Read, AccessKind::Write, AccessKind::Atomic, AccessKind::Write] {
+    for kind in [
+        AccessKind::Read,
+        AccessKind::Write,
+        AccessKind::Atomic,
+        AccessKind::Write,
+    ] {
         w.process_event(&access(0, kind, 0b0001, 0x1000));
     }
     assert_eq!(det.races().race_count(), 0);
@@ -159,7 +199,11 @@ fn sparse_acquire_inside_divergent_branch_survives_fi() {
     w.process_event(&access(2, AccessKind::Write, 0b0001, data));
     w.process_event(&access(2, AccessKind::Release(Scope::Global), 0b0001, flag));
     // Warp 0 diverges; the then-path (lane 0) acquires.
-    w.process_event(&Event::If { warp: 0, then_mask: 0b0001, else_mask: 0b1110 });
+    w.process_event(&Event::If {
+        warp: 0,
+        then_mask: 0b0001,
+        else_mask: 0b1110,
+    });
     w.process_event(&access(0, AccessKind::Acquire(Scope::Global), 0b0001, flag));
     w.process_event(&Event::Else { warp: 0 });
     w.process_event(&Event::Fi { warp: 0 });
@@ -180,7 +224,11 @@ fn divergent_else_path_does_not_inherit_then_acquire() {
     let flag = 0x2000;
     w.process_event(&access(2, AccessKind::Write, 0b0001, data));
     w.process_event(&access(2, AccessKind::Release(Scope::Global), 0b0001, flag));
-    w.process_event(&Event::If { warp: 0, then_mask: 0b0001, else_mask: 0b1110 });
+    w.process_event(&Event::If {
+        warp: 0,
+        then_mask: 0b0001,
+        else_mask: 0b1110,
+    });
     w.process_event(&access(0, AccessKind::Acquire(Scope::Global), 0b0001, flag));
     w.process_event(&Event::Else { warp: 0 });
     // Else-path lane 1 writes the data without having acquired.
@@ -215,7 +263,12 @@ fn shadow_memory_costs_about_32x_tracked_bytes() {
     // Touch 4 full shadow pages of global memory.
     let page = barracuda_core::shadow::SHADOW_PAGE_SIZE;
     for p in 0..4u64 {
-        w.process_event(&access(0, AccessKind::Write, 0b0001, 0x1000_0000 + p * page));
+        w.process_event(&access(
+            0,
+            AccessKind::Write,
+            0b0001,
+            0x1000_0000 + p * page,
+        ));
     }
     assert_eq!(det.shadow_page_count(), 4);
     let tracked = 4 * page;

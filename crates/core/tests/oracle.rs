@@ -58,9 +58,17 @@ fn gen_stream(seed: u64, dims: &GridDims, single_releaser: bool) -> Vec<Event> {
         let kind = match rng.random_range(0..10) {
             0..=3 => AccessKind::Read,
             4..=6 => AccessKind::Write,
-            7 => AccessKind::Acquire(if rng.random() { Scope::Block } else { Scope::Global }),
+            7 => AccessKind::Acquire(if rng.random() {
+                Scope::Block
+            } else {
+                Scope::Global
+            }),
             8 if !single_releaser || warp == releaser_warp => {
-                AccessKind::Release(if rng.random() { Scope::Block } else { Scope::Global })
+                AccessKind::Release(if rng.random() {
+                    Scope::Block
+                } else {
+                    Scope::Global
+                })
             }
             _ => AccessKind::Atomic,
         };
@@ -69,7 +77,14 @@ fn gen_stream(seed: u64, dims: &GridDims, single_releaser: bool) -> Vec<Event> {
         } else {
             0x1000 + rng.random_range(0..4) * 4
         };
-        out.push(Event::Access { warp, kind, space: MemSpace::Global, mask, addrs: [addr; 32], size: 4 });
+        out.push(Event::Access {
+            warp,
+            kind,
+            space: MemSpace::Global,
+            mask,
+            addrs: [addr; 32],
+            size: 4,
+        });
     }
     out
 }
@@ -147,6 +162,14 @@ fn multi_release_divergence_is_real() {
         size: 4,
     };
     let stream = vec![wr(0), rel(0), rel(1), acq, wr(2)];
-    assert_eq!(run_oracle(d, &stream).len(), 0, "definition orders the write");
-    assert_eq!(run_algorithm(d, &stream).len(), 1, "Fig. 3 assignment drops the first release");
+    assert_eq!(
+        run_oracle(d, &stream).len(),
+        0,
+        "definition orders the write"
+    );
+    assert_eq!(
+        run_algorithm(d, &stream).len(),
+        1,
+        "Fig. 3 assignment drops the first release"
+    );
 }

@@ -29,7 +29,11 @@ fn gen_body(rng: &mut StdRng, warp: u64, mask: u32, depth: u32, out: &mut Vec<Ev
                 }
             }
             let else_mask = mask & !then_mask;
-            out.push(Event::If { warp, then_mask, else_mask });
+            out.push(Event::If {
+                warp,
+                then_mask,
+                else_mask,
+            });
             if then_mask != 0 {
                 gen_body(rng, warp, then_mask, depth + 1, out);
             }
@@ -58,7 +62,11 @@ fn gen_access(rng: &mut StdRng, warp: u64, mask: u32) -> Event {
         }
         _ => AccessKind::AcquireRelease(random_scope(rng)),
     };
-    let space = if rng.random::<bool>() { MemSpace::Global } else { MemSpace::Shared };
+    let space = if rng.random::<bool>() {
+        MemSpace::Global
+    } else {
+        MemSpace::Shared
+    };
     let size = [1u8, 2, 4][rng.random_range(0..3)];
     let mut addrs = [0u64; 32];
     for l in 0..32 {
@@ -68,7 +76,14 @@ fn gen_access(rng: &mut StdRng, warp: u64, mask: u32) -> Event {
             addrs[l as usize] = 0x1000 + rng.random_range(0..6) * 4 + rng.random_range(0..2);
         }
     }
-    Event::Access { warp, kind, space, mask, addrs, size }
+    Event::Access {
+        warp,
+        kind,
+        space,
+        mask,
+        addrs,
+        size,
+    }
 }
 
 fn random_scope(rng: &mut StdRng) -> Scope {
@@ -96,8 +111,9 @@ fn gen_stream(seed: u64, dims: &GridDims, rounds: usize) -> Vec<Event> {
             .collect();
         // Random interleaving preserving per-warp order.
         loop {
-            let alive: Vec<usize> =
-                (0..programs.len()).filter(|&i| !programs[i].is_empty()).collect();
+            let alive: Vec<usize> = (0..programs.len())
+                .filter(|&i| !programs[i].is_empty())
+                .collect();
             if alive.is_empty() {
                 break;
             }
@@ -107,12 +123,18 @@ fn gen_stream(seed: u64, dims: &GridDims, rounds: usize) -> Vec<Event> {
         // Barrier round (not after the last round half the time).
         if round + 1 < rounds || rng.random::<bool>() {
             for w in 0..dims.num_warps() {
-                out.push(Event::Bar { warp: w, mask: dims.initial_mask(w) });
+                out.push(Event::Bar {
+                    warp: w,
+                    mask: dims.initial_mask(w),
+                });
             }
         }
     }
     for w in 0..dims.num_warps() {
-        out.push(Event::Exit { warp: w, mask: dims.initial_mask(w) });
+        out.push(Event::Exit {
+            warp: w,
+            mask: dims.initial_mask(w),
+        });
     }
     out
 }
@@ -143,7 +165,10 @@ fn run_both(dims: GridDims, stream: &[Event]) -> (BTreeSet<RaceKey>, BTreeSet<Ra
         worker.process_event(ev);
         reference.process_event(ev);
     }
-    (race_set(&det.races().reports()), race_set(&reference.races().reports()))
+    (
+        race_set(&det.races().reports()),
+        race_set(&reference.races().reports()),
+    )
 }
 
 proptest! {

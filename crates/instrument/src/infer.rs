@@ -50,7 +50,11 @@ pub fn infer_kinds(kernel: &Kernel) -> Vec<InferredKind> {
                 Statement::Label(_) => prev = None,
                 Statement::Instr(instr) => {
                     v[i] = prev;
-                    prev = if instr.op.is_terminator() { None } else { Some(i) };
+                    prev = if instr.op.is_terminator() {
+                        None
+                    } else {
+                        Some(i)
+                    };
                 }
             }
         }
@@ -137,7 +141,10 @@ mod tests {
              .reg .pred %pp;\n.reg .b32 %r<8>;\n.reg .b64 %rd<8>;\n{body}\n}}"
         );
         let m = barracuda_ptx::parse(&src).unwrap();
-        infer_kinds(&m.kernels[0]).into_iter().map(|k| k.kind).collect()
+        infer_kinds(&m.kernels[0])
+            .into_iter()
+            .map(|k| k.kind)
+            .collect()
     }
 
     #[test]
@@ -257,15 +264,15 @@ mod tests {
         // store a release.
         assert_eq!(
             kinds("ld.global.u32 %r1, [%rd1];\nmembar.gl;\nst.global.u32 [%rd2], %r1;\nret;"),
-            vec![AccessKind::Acquire(Scope::Global), AccessKind::Release(Scope::Global)]
+            vec![
+                AccessKind::Acquire(Scope::Global),
+                AccessKind::Release(Scope::Global)
+            ]
         );
     }
 
     #[test]
     fn generic_space_is_tracked() {
-        assert_eq!(
-            kinds("ld.u32 %r1, [%rd1];\nret;"),
-            vec![AccessKind::Read]
-        );
+        assert_eq!(kinds("ld.u32 %r1, [%rd1];\nret;"), vec![AccessKind::Read]);
     }
 }

@@ -24,7 +24,11 @@ pub struct InstrumentOptions {
 
 impl Default for InstrumentOptions {
     fn default() -> Self {
-        InstrumentOptions { prune_redundant: true, convergence_markers: true, compute_tid: true }
+        InstrumentOptions {
+            prune_redundant: true,
+            convergence_markers: true,
+            compute_tid: true,
+        }
     }
 }
 
@@ -32,7 +36,10 @@ impl InstrumentOptions {
     /// The unoptimized configuration (no pruning), for the Fig. 9
     /// before/after comparison.
     pub fn unoptimized() -> Self {
-        InstrumentOptions { prune_redundant: false, ..Self::default() }
+        InstrumentOptions {
+            prune_redundant: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -133,27 +140,52 @@ fn space_code(space: barracuda_ptx::ast::Space) -> i64 {
 /// memory instruction.
 fn access_parts(op: &Op) -> Option<(barracuda_ptx::ast::Space, u64, &Address, Option<&Operand>)> {
     match op {
-        Op::Ld { space, ty, addr, .. } => Some((*space, ty.size(), addr, None)),
-        Op::St { space, ty, addr, src, .. } => Some((*space, ty.size(), addr, Some(src))),
-        Op::LdVec { space, ty, dsts, addr, .. } => {
-            Some((*space, ty.size() * dsts.len() as u64, addr, None))
-        }
+        Op::Ld {
+            space, ty, addr, ..
+        } => Some((*space, ty.size(), addr, None)),
+        Op::St {
+            space,
+            ty,
+            addr,
+            src,
+            ..
+        } => Some((*space, ty.size(), addr, Some(src))),
+        Op::LdVec {
+            space,
+            ty,
+            dsts,
+            addr,
+            ..
+        } => Some((*space, ty.size() * dsts.len() as u64, addr, None)),
         // Vector stores carry several values: logged without the
         // same-value filter operand.
-        Op::StVec { space, ty, srcs, addr, .. } => {
-            Some((*space, ty.size() * srcs.len() as u64, addr, None))
-        }
-        Op::Atom { space, ty, addr, .. } => Some((*space, ty.size(), addr, None)),
-        Op::Red { space, ty, addr, .. } => Some((*space, ty.size(), addr, None)),
+        Op::StVec {
+            space,
+            ty,
+            srcs,
+            addr,
+            ..
+        } => Some((*space, ty.size() * srcs.len() as u64, addr, None)),
+        Op::Atom {
+            space, ty, addr, ..
+        } => Some((*space, ty.size(), addr, None)),
+        Op::Red {
+            space, ty, addr, ..
+        } => Some((*space, ty.size(), addr, None)),
         _ => None,
     }
 }
 
 /// Instruments one kernel.
 pub fn instrument_kernel(kernel: &Kernel, opts: &InstrumentOptions) -> (Kernel, InstrumentStats) {
-    let mut stats = InstrumentStats { static_instructions: kernel.static_instruction_count(), ..Default::default() };
-    let kinds: HashMap<usize, AccessKind> =
-        infer_kinds(kernel).into_iter().map(|k| (k.stmt, k.kind)).collect();
+    let mut stats = InstrumentStats {
+        static_instructions: kernel.static_instruction_count(),
+        ..Default::default()
+    };
+    let kinds: HashMap<usize, AccessKind> = infer_kinds(kernel)
+        .into_iter()
+        .map(|k| (k.stmt, k.kind))
+        .collect();
 
     // Convergence points: reconvergence targets of conditional branches,
     // mapped back from flat instruction indices to statement indices.
@@ -257,7 +289,8 @@ pub fn instrument_kernel(kernel: &Kernel, opts: &InstrumentOptions) -> (Kernel, 
 
                 let mut emit_plain = true;
                 if let Some(&kind) = kinds.get(&i) {
-                    let (space, size, addr, value) = access_parts(&instr.op).expect("inferred kinds are memory ops");
+                    let (space, size, addr, value) =
+                        access_parts(&instr.op).expect("inferred kinds are memory ops");
                     // Pruning: only plain reads/writes; sync kinds always log.
                     let key = addr_key(addr);
                     let prunable = matches!(kind, AccessKind::Read | AccessKind::Write)
@@ -266,7 +299,8 @@ pub fn instrument_kernel(kernel: &Kernel, opts: &InstrumentOptions) -> (Kernel, 
                     let covered = prunable
                         && matches!(
                             (logged.get(&key), kind),
-                            (Some(LoggedKind::Write), _) | (Some(LoggedKind::Read), AccessKind::Read)
+                            (Some(LoggedKind::Write), _)
+                                | (Some(LoggedKind::Read), AccessKind::Read)
                         );
                     if covered {
                         stats.pruned += 1;
@@ -307,7 +341,10 @@ pub fn instrument_kernel(kernel: &Kernel, opts: &InstrumentOptions) -> (Kernel, 
                             out.push(Statement::Instr(Instruction::guarded(
                                 pred,
                                 !negated,
-                                Op::Bra { uni: false, target: label.clone() },
+                                Op::Bra {
+                                    uni: false,
+                                    target: label.clone(),
+                                },
                             )));
                             out.push(Statement::Instr(call));
                             out.push(Statement::Instr(Instruction::new(instr.op.clone())));
@@ -408,7 +445,9 @@ mod tests {
         let instrs: Vec<&Op> = im.kernels[0].instructions().map(|i| &i.op).collect();
         let call_pos = instrs
             .iter()
-            .position(|o| matches!(o, Op::Call { target, .. } if target == "__barracuda_log_access"))
+            .position(
+                |o| matches!(o, Op::Call { target, .. } if target == "__barracuda_log_access"),
+            )
             .expect("log call present");
         assert!(matches!(instrs[call_pos + 1], Op::St { .. }));
         // Store value passed for same-value filtering.
@@ -561,7 +600,10 @@ mod tests {
         let m = module("ret;");
         let (im, _) = instrument_module(&m, &InstrumentOptions::default());
         assert!(im.kernels[0].static_instruction_count() > 1);
-        let off = InstrumentOptions { compute_tid: false, ..InstrumentOptions::default() };
+        let off = InstrumentOptions {
+            compute_tid: false,
+            ..InstrumentOptions::default()
+        };
         let (im2, _) = instrument_module(&m, &off);
         assert_eq!(im2.kernels[0].static_instruction_count(), 1);
     }

@@ -462,7 +462,10 @@ impl RegFile {
     /// Declares a register with an explicit name, returning its handle.
     pub fn declare(&mut self, name: impl Into<String>, class: RegClass) -> Reg {
         let idx = self.regs.len() as u32;
-        self.regs.push(RegInfo { name: name.into(), class });
+        self.regs.push(RegInfo {
+            name: name.into(),
+            class,
+        });
         Reg(idx)
     }
 
@@ -557,22 +560,34 @@ pub enum AddrBase {
 impl Address {
     /// Address based at a register with zero offset.
     pub fn reg(r: Reg) -> Self {
-        Address { base: AddrBase::Reg(r), offset: 0 }
+        Address {
+            base: AddrBase::Reg(r),
+            offset: 0,
+        }
     }
 
     /// Address based at a register with a byte offset.
     pub fn reg_off(r: Reg, offset: i64) -> Self {
-        Address { base: AddrBase::Reg(r), offset }
+        Address {
+            base: AddrBase::Reg(r),
+            offset,
+        }
     }
 
     /// Address based at a named symbol.
     pub fn sym(name: impl Into<String>) -> Self {
-        Address { base: AddrBase::Sym(name.into()), offset: 0 }
+        Address {
+            base: AddrBase::Sym(name.into()),
+            offset: 0,
+        }
     }
 
     /// Address based at a named symbol plus byte offset.
     pub fn sym_off(name: impl Into<String>, offset: i64) -> Self {
-        Address { base: AddrBase::Sym(name.into()), offset }
+        Address {
+            base: AddrBase::Sym(name.into()),
+            offset,
+        }
     }
 
     /// The base register, if the base is a register.
@@ -660,32 +675,86 @@ pub enum Op {
     /// branch.
     Bra { uni: bool, target: String },
     /// `setp.cmp.type dst, a, b`
-    Setp { cmp: CmpOp, ty: Type, dst: Reg, a: Operand, b: Operand },
+    Setp {
+        cmp: CmpOp,
+        ty: Type,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
     /// `mov.type dst, src`
     Mov { ty: Type, dst: Reg, src: Operand },
     /// Binary ALU: `op.type dst, a, b`
-    Bin { op: BinOp, ty: Type, dst: Reg, a: Operand, b: Operand },
+    Bin {
+        op: BinOp,
+        ty: Type,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
     /// Unary ALU: `op.type dst, a`
-    Un { op: UnOp, ty: Type, dst: Reg, a: Operand },
+    Un {
+        op: UnOp,
+        ty: Type,
+        dst: Reg,
+        a: Operand,
+    },
     /// `mul.mode.type dst, a, b`
-    Mul { mode: MulMode, ty: Type, dst: Reg, a: Operand, b: Operand },
+    Mul {
+        mode: MulMode,
+        ty: Type,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
     /// `mad.mode.type dst, a, b, c` — `dst = a*b + c`
-    Mad { mode: MulMode, ty: Type, dst: Reg, a: Operand, b: Operand, c: Operand },
+    Mad {
+        mode: MulMode,
+        ty: Type,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
     /// `selp.type dst, a, b, p` — `dst = p ? a : b`
-    Selp { ty: Type, dst: Reg, a: Operand, b: Operand, p: Reg },
+    Selp {
+        ty: Type,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        p: Reg,
+    },
     /// `cvt.dty.sty dst, a`
-    Cvt { dty: Type, sty: Type, dst: Reg, a: Operand },
+    Cvt {
+        dty: Type,
+        sty: Type,
+        dst: Reg,
+        a: Operand,
+    },
     /// `cvta.to.space.type dst, a` (to=true) or `cvta.space.type dst, a`.
     /// Address-space conversion; a no-op in this flat-address simulator but
     /// parsed and preserved for compatibility with compiler output.
-    Cvta { to: bool, space: Space, ty: Type, dst: Reg, a: Operand },
+    Cvta {
+        to: bool,
+        space: Space,
+        ty: Type,
+        dst: Reg,
+        a: Operand,
+    },
     /// `call.uni target, (args...);` — used for instrumentation hooks.
     Call { target: String, args: Vec<Operand> },
     /// `shfl.mode.b32 dst, a, b, c` — intra-warp register exchange: every
     /// active lane receives `a` as evaluated on its source lane (its own
     /// value when the source lane is inactive or out of range). A pure
     /// register operation: no memory access, no logging.
-    Shfl { mode: ShflMode, ty: Type, dst: Reg, a: Operand, b: Operand, c: Operand },
+    Shfl {
+        mode: ShflMode,
+        ty: Type,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
     /// `ret;`
     Ret,
     /// `exit;`
@@ -758,7 +827,10 @@ impl Instruction {
 
     /// Instruction guarded by `@pred` (or `@!pred` if `negated`).
     pub fn guarded(pred: Reg, negated: bool, op: Op) -> Self {
-        Instruction { guard: Some(Guard { pred, negated }), op }
+        Instruction {
+            guard: Some(Guard { pred, negated }),
+            op,
+        }
     }
 }
 
@@ -821,7 +893,10 @@ impl Kernel {
 
     /// Byte offset of a `.shared` symbol within the block's shared segment.
     pub fn shared_offset(&self, name: &str) -> Option<u64> {
-        self.shared.iter().find(|s| s.name == name).map(|s| s.offset)
+        self.shared
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.offset)
     }
 
     /// Byte offset of a parameter within the (packed, 8-byte-aligned)
@@ -871,7 +946,12 @@ impl Module {
     /// An empty module with the defaults used throughout this repo
     /// (`.version 4.3`, `.target sm_35`, `.address_size 64`).
     pub fn new() -> Self {
-        Module { version: (4, 3), target: "sm_35".to_string(), address_size: 64, kernels: Vec::new() }
+        Module {
+            version: (4, 3),
+            target: "sm_35".to_string(),
+            address_size: 64,
+            kernels: Vec::new(),
+        }
     }
 
     /// Finds a kernel by name.
@@ -881,7 +961,10 @@ impl Module {
 
     /// Total static instruction count across all kernels.
     pub fn static_instruction_count(&self) -> usize {
-        self.kernels.iter().map(Kernel::static_instruction_count).sum()
+        self.kernels
+            .iter()
+            .map(Kernel::static_instruction_count)
+            .sum()
     }
 }
 
@@ -945,7 +1028,11 @@ mod tests {
         assert!(ld.is_memory_access());
         assert!(!ld.is_terminator());
         assert!(Op::Ret.is_terminator());
-        assert!(Op::Bra { uni: true, target: "L".into() }.is_terminator());
+        assert!(Op::Bra {
+            uni: true,
+            target: "L".into()
+        }
+        .is_terminator());
         assert_eq!(Op::Ret.def(), None);
     }
 
@@ -954,8 +1041,14 @@ mod tests {
         let k = Kernel {
             name: "k".into(),
             params: vec![
-                Param { name: "a".into(), ty: Type::U64 },
-                Param { name: "b".into(), ty: Type::U32 },
+                Param {
+                    name: "a".into(),
+                    ty: Type::U64,
+                },
+                Param {
+                    name: "b".into(),
+                    ty: Type::U32,
+                },
             ],
             regs: RegFile::new(),
             shared: vec![],
@@ -973,8 +1066,18 @@ mod tests {
             params: vec![],
             regs: RegFile::new(),
             shared: vec![
-                SharedDecl { name: "a".into(), align: 4, size: 64, offset: 0 },
-                SharedDecl { name: "b".into(), align: 8, size: 32, offset: 64 },
+                SharedDecl {
+                    name: "a".into(),
+                    align: 4,
+                    size: 64,
+                    offset: 0,
+                },
+                SharedDecl {
+                    name: "b".into(),
+                    align: 8,
+                    size: 32,
+                    offset: 64,
+                },
             ],
             stmts: vec![],
         };

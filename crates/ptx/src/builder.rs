@@ -55,7 +55,10 @@ impl KernelBuilder {
 
     /// Adds a kernel parameter.
     pub fn param(&mut self, name: impl Into<String>, ty: Type) -> &mut Self {
-        self.params.push(Param { name: name.into(), ty });
+        self.params.push(Param {
+            name: name.into(),
+            ty,
+        });
         self
     }
 
@@ -72,10 +75,20 @@ impl KernelBuilder {
     /// Declares a `.shared` array of `size` bytes, returning its name.
     pub fn shared(&mut self, name: impl Into<String>, size: u64, align: u32) -> String {
         let name = name.into();
-        let prev_end = self.shared.iter().map(|s| s.offset + s.size).max().unwrap_or(0);
+        let prev_end = self
+            .shared
+            .iter()
+            .map(|s| s.offset + s.size)
+            .max()
+            .unwrap_or(0);
         let a = u64::from(align.max(1));
         let offset = prev_end.div_ceil(a) * a;
-        self.shared.push(SharedDecl { name: name.clone(), align, size, offset });
+        self.shared.push(SharedDecl {
+            name: name.clone(),
+            align,
+            size,
+            offset,
+        });
         name
     }
 
@@ -87,7 +100,8 @@ impl KernelBuilder {
 
     /// Appends a guarded instruction.
     pub fn push_guarded(&mut self, pred: Reg, negated: bool, op: Op) -> &mut Self {
-        self.stmts.push(Statement::Instr(Instruction::guarded(pred, negated, op)));
+        self.stmts
+            .push(Statement::Instr(Instruction::guarded(pred, negated, op)));
         self
     }
 
@@ -106,7 +120,11 @@ impl KernelBuilder {
 
     /// Convenience: `mov.u32 dst, %tid.x` etc. — loads a special register.
     pub fn mov_special(&mut self, dst: Reg, sr: SpecialReg) -> &mut Self {
-        self.push(Op::Mov { ty: Type::U32, dst, src: Operand::Special(sr) })
+        self.push(Op::Mov {
+            ty: Type::U32,
+            dst,
+            src: Operand::Special(sr),
+        })
     }
 
     /// Convenience: computes the global linear thread id
@@ -250,9 +268,26 @@ mod tests {
         let p = b.reg("%p", RegClass::Pred);
         let r = b.reg("%r1", RegClass::B32);
         let end = b.fresh_label("end");
-        b.push(Op::Setp { cmp: CmpOp::Eq, ty: Type::S32, dst: p, a: Operand::Reg(r), b: Operand::Imm(0) });
-        b.push_guarded(p, false, Op::Bra { uni: false, target: end.clone() });
-        b.push(Op::Mov { ty: Type::U32, dst: r, src: Operand::Imm(1) });
+        b.push(Op::Setp {
+            cmp: CmpOp::Eq,
+            ty: Type::S32,
+            dst: p,
+            a: Operand::Reg(r),
+            b: Operand::Imm(0),
+        });
+        b.push_guarded(
+            p,
+            false,
+            Op::Bra {
+                uni: false,
+                target: end.clone(),
+            },
+        );
+        b.push(Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: Operand::Imm(1),
+        });
         b.label(end);
         b.push(Op::Ret);
         let k = b.build();

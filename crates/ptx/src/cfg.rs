@@ -20,7 +20,10 @@ pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),
     /// Conditional (guarded) branch: taken target and fallthrough.
-    CondJump { taken: BlockId, fallthrough: BlockId },
+    CondJump {
+        taken: BlockId,
+        fallthrough: BlockId,
+    },
     /// Kernel exit (`ret`/`exit`, or a branch past the last instruction).
     Exit,
 }
@@ -93,9 +96,7 @@ impl FlatKernel {
     /// [`Cfg::build`] would panic on it.
     pub fn unknown_label(&self) -> Option<&str> {
         self.instrs.iter().find_map(|i| match &i.op {
-            Op::Bra { target, .. } if !self.labels.contains_key(target) => {
-                Some(target.as_str())
-            }
+            Op::Bra { target, .. } if !self.labels.contains_key(target) => Some(target.as_str()),
             _ => None,
         })
     }
@@ -139,7 +140,11 @@ impl Cfg {
     pub fn build(flat: &FlatKernel) -> Self {
         let n = flat.instrs.len();
         if n == 0 {
-            return Cfg { blocks: vec![], block_of: vec![], ipdom: vec![] };
+            return Cfg {
+                blocks: vec![],
+                block_of: vec![],
+                ipdom: vec![],
+            };
         }
         // 1. Identify leaders.
         let mut leader = vec![false; n + 1];
@@ -195,11 +200,20 @@ impl Cfg {
                         (tb, true) => {
                             let fall = block_at(end);
                             match (tb, fall) {
-                                (Some(tb), Some(f)) => Terminator::CondJump { taken: tb, fallthrough: f },
-                                (Some(tb), None) => Terminator::CondJump { taken: tb, fallthrough: tb },
+                                (Some(tb), Some(f)) => Terminator::CondJump {
+                                    taken: tb,
+                                    fallthrough: f,
+                                },
+                                (Some(tb), None) => Terminator::CondJump {
+                                    taken: tb,
+                                    fallthrough: tb,
+                                },
                                 // Conditional jump to exit: model as a jump to a
                                 // virtual exit from either path.
-                                (None, Some(f)) => Terminator::CondJump { taken: f, fallthrough: f },
+                                (None, Some(f)) => Terminator::CondJump {
+                                    taken: f,
+                                    fallthrough: f,
+                                },
                                 (None, None) => Terminator::Exit,
                             }
                         }
@@ -212,7 +226,12 @@ impl Cfg {
                 },
             };
             let _ = b;
-            blocks.push(Block { start, end, term, preds: vec![] });
+            blocks.push(Block {
+                start,
+                end,
+                term,
+                preds: vec![],
+            });
         }
         // 3. Predecessors.
         for b in 0..nb {
@@ -250,7 +269,11 @@ impl Cfg {
                 _ => None,
             })
             .collect();
-        Cfg { blocks, block_of, ipdom }
+        Cfg {
+            blocks,
+            block_of,
+            ipdom,
+        }
     }
 
     /// Immediate post-dominator of `b`, or `None` if control from `b` never
@@ -483,7 +506,10 @@ mod tests {
     #[test]
     fn unknown_label_detected_without_panic() {
         let flat = FlatKernel {
-            instrs: vec![Instruction::new(Op::Bra { uni: true, target: "L_missing".into() })],
+            instrs: vec![Instruction::new(Op::Bra {
+                uni: true,
+                target: "L_missing".into(),
+            })],
             labels: HashMap::new(),
         };
         assert_eq!(flat.unknown_label(), Some("L_missing"));

@@ -9,7 +9,10 @@ pub struct PtxError {
 
 impl PtxError {
     pub(crate) fn new(line: u32, message: impl Into<String>) -> Self {
-        PtxError { line, message: message.into() }
+        PtxError {
+            line,
+            message: message.into(),
+        }
     }
 
     /// 1-based source line the error was detected on (0 if unknown).

@@ -108,13 +108,18 @@ pub fn lex(source: &str) -> Result<Vec<Token>, PtxError> {
             b'%' => {
                 let start = i;
                 i += 1;
-                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$') {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
                     i += 1;
                 }
                 if i == start + 1 {
                     return Err(PtxError::new(line, "bare '%' without register name"));
                 }
-                toks.push(Token { tok: Tok::Reg(source[start..i].to_string()), line });
+                toks.push(Token {
+                    tok: Tok::Reg(source[start..i].to_string()),
+                    line,
+                });
             }
             b'-' | b'0'..=b'9' => {
                 let (tok, len) = lex_number(&source[i..], line)?;
@@ -128,10 +133,16 @@ pub fn lex(source: &str) -> Result<Vec<Token>, PtxError> {
                 {
                     i += 1;
                 }
-                toks.push(Token { tok: Tok::Ident(source[start..i].to_string()), line });
+                toks.push(Token {
+                    tok: Tok::Ident(source[start..i].to_string()),
+                    line,
+                });
             }
             other => {
-                return Err(PtxError::new(line, format!("unexpected character {:?}", other as char)));
+                return Err(PtxError::new(
+                    line,
+                    format!("unexpected character {:?}", other as char),
+                ));
             }
         }
     }
@@ -199,7 +210,11 @@ fn lex_number(s: &str, line: u32) -> Result<(Tok, usize), PtxError> {
         }
         let mag = u64::from_str_radix(&s[hex_start..j], 16)
             .map_err(|_| PtxError::new(line, "hex literal out of range"))?;
-        let v = if neg { (mag as i64).wrapping_neg() } else { mag as i64 };
+        let v = if neg {
+            (mag as i64).wrapping_neg()
+        } else {
+            mag as i64
+        };
         return Ok((Tok::Int(v), j));
     }
     // Decimal integer or float.
@@ -207,10 +222,8 @@ fn lex_number(s: &str, line: u32) -> Result<(Tok, usize), PtxError> {
     while j < bytes.len() && bytes[j].is_ascii_digit() {
         j += 1;
     }
-    let is_float = j < bytes.len()
-        && bytes[j] == b'.'
-        && j + 1 < bytes.len()
-        && bytes[j + 1].is_ascii_digit();
+    let is_float =
+        j < bytes.len() && bytes[j] == b'.' && j + 1 < bytes.len() && bytes[j + 1].is_ascii_digit();
     if is_float {
         j += 1;
         while j < bytes.len() && bytes[j].is_ascii_digit() {
@@ -233,7 +246,11 @@ fn lex_number(s: &str, line: u32) -> Result<(Tok, usize), PtxError> {
         let mag: u64 = s[i..j]
             .parse()
             .map_err(|_| PtxError::new(line, "integer literal out of range"))?;
-        let v = if neg { (mag as i64).wrapping_neg() } else { mag as i64 };
+        let v = if neg {
+            (mag as i64).wrapping_neg()
+        } else {
+            mag as i64
+        };
         Ok((Tok::Int(v), j))
     }
 }
@@ -272,7 +289,12 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             toks("ret; // trailing\n/* block\ncomment */ exit;"),
-            vec![Tok::Ident("ret".into()), Tok::Semi, Tok::Ident("exit".into()), Tok::Semi]
+            vec![
+                Tok::Ident("ret".into()),
+                Tok::Semi,
+                Tok::Ident("exit".into()),
+                Tok::Semi
+            ]
         );
     }
 

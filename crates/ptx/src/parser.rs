@@ -105,7 +105,9 @@ impl Parser {
                     }
                 }
                 other => {
-                    return Err(self.err(format!("expected directive at module scope, found {other:?}")))
+                    return Err(self.err(format!(
+                        "expected directive at module scope, found {other:?}"
+                    )))
                 }
             }
         }
@@ -139,7 +141,8 @@ impl Parser {
                 }
                 self.expect(&Tok::Dot, "param type")?;
                 let tyname = self.expect_ident("param type")?;
-                let ty = parse_type(&tyname).ok_or_else(|| self.err(format!("bad param type .{tyname}")))?;
+                let ty = parse_type(&tyname)
+                    .ok_or_else(|| self.err(format!("bad param type .{tyname}")))?;
                 // Optional `.ptr .space .align N` annotations.
                 while self.peek() == Some(&Tok::Dot) {
                     self.bump();
@@ -175,7 +178,9 @@ impl Parser {
                         "reg" => self.reg_decl(&mut regs)?,
                         "shared" => self.shared_decl(&mut shared)?,
                         "local" => self.skip_through_semi(),
-                        other => return Err(self.err(format!("unsupported body directive .{other}"))),
+                        other => {
+                            return Err(self.err(format!("unsupported body directive .{other}")))
+                        }
                     }
                 }
                 Some(Tok::Ident(_)) if self.peek2() == Some(&Tok::Colon) => {
@@ -189,7 +194,13 @@ impl Parser {
                 }
             }
         }
-        Ok(Kernel { name, params, regs, shared, stmts })
+        Ok(Kernel {
+            name,
+            params,
+            regs,
+            shared,
+            stmts,
+        })
     }
 
     fn skip_through_semi(&mut self) {
@@ -258,7 +269,12 @@ impl Parser {
         let prev_end = shared.iter().map(|s| s.offset + s.size).max().unwrap_or(0);
         let align64 = u64::from(align.max(1));
         let offset = prev_end.div_ceil(align64) * align64;
-        shared.push(SharedDecl { name, align, size, offset });
+        shared.push(SharedDecl {
+            name,
+            align,
+            size,
+            offset,
+        });
         Ok(())
     }
 
@@ -375,7 +391,13 @@ impl Parser {
                 let a = self.operand(regs)?;
                 self.expect(&Tok::Comma, "','")?;
                 let b = self.operand(regs)?;
-                Ok(Op::Mul { mode, ty, dst, a, b })
+                Ok(Op::Mul {
+                    mode,
+                    ty,
+                    dst,
+                    a,
+                    b,
+                })
             }
             "mad" | "fma" => {
                 let (mode, rest) = take_mul_mode(suffixes);
@@ -387,7 +409,14 @@ impl Parser {
                 let b = self.operand(regs)?;
                 self.expect(&Tok::Comma, "','")?;
                 let c = self.operand(regs)?;
-                Ok(Op::Mad { mode, ty, dst, a, b, c })
+                Ok(Op::Mad {
+                    mode,
+                    ty,
+                    dst,
+                    a,
+                    b,
+                    c,
+                })
             }
             "selp" => {
                 let ty = self.type_from_suffixes(suffixes)?;
@@ -408,7 +437,12 @@ impl Parser {
                 let dst = self.reg_operand(regs)?;
                 self.expect(&Tok::Comma, "','")?;
                 let a = self.operand(regs)?;
-                Ok(Op::Cvt { dty: tys[0], sty: tys[1], dst, a })
+                Ok(Op::Cvt {
+                    dty: tys[0],
+                    sty: tys[1],
+                    dst,
+                    a,
+                })
             }
             "cvta" => {
                 let to = suffixes.first().map(String::as_str) == Some("to");
@@ -420,7 +454,13 @@ impl Parser {
                 let dst = self.reg_operand(regs)?;
                 self.expect(&Tok::Comma, "','")?;
                 let a = self.operand(regs)?;
-                Ok(Op::Cvta { to, space, ty, dst, a })
+                Ok(Op::Cvta {
+                    to,
+                    space,
+                    ty,
+                    dst,
+                    a,
+                })
             }
             "shfl" => {
                 let mode = match suffixes.first().map(String::as_str) {
@@ -438,7 +478,14 @@ impl Parser {
                 let b = self.operand(regs)?;
                 self.expect(&Tok::Comma, "','")?;
                 let c = self.operand(regs)?;
-                Ok(Op::Shfl { mode, ty, dst, a, b, c })
+                Ok(Op::Shfl {
+                    mode,
+                    ty,
+                    dst,
+                    a,
+                    b,
+                    c,
+                })
             }
             "call" => {
                 let target = self.expect_ident("call target")?;
@@ -490,13 +537,27 @@ impl Parser {
                 let dst = self.reg_operand(regs)?;
                 self.expect(&Tok::Comma, "','")?;
                 let addr = self.address(regs)?;
-                Ok(Op::Ld { space, cache, volatile, ty, dst, addr })
+                Ok(Op::Ld {
+                    space,
+                    cache,
+                    volatile,
+                    ty,
+                    dst,
+                    addr,
+                })
             }
             (false, None) => {
                 let addr = self.address(regs)?;
                 self.expect(&Tok::Comma, "','")?;
                 let src = self.operand(regs)?;
-                Ok(Op::St { space, cache, volatile, ty, addr, src })
+                Ok(Op::St {
+                    space,
+                    cache,
+                    volatile,
+                    ty,
+                    addr,
+                    src,
+                })
             }
             (true, Some(n)) => {
                 self.expect(&Tok::LBrace, "'{' before vector destinations")?;
@@ -510,7 +571,14 @@ impl Parser {
                 self.expect(&Tok::RBrace, "'}' after vector destinations")?;
                 self.expect(&Tok::Comma, "','")?;
                 let addr = self.address(regs)?;
-                Ok(Op::LdVec { space, cache, volatile, ty, dsts, addr })
+                Ok(Op::LdVec {
+                    space,
+                    cache,
+                    volatile,
+                    ty,
+                    dsts,
+                    addr,
+                })
             }
             (false, Some(n)) => {
                 let addr = self.address(regs)?;
@@ -524,7 +592,14 @@ impl Parser {
                     srcs.push(self.operand(regs)?);
                 }
                 self.expect(&Tok::RBrace, "'}' after vector sources")?;
-                Ok(Op::StVec { space, cache, volatile, ty, addr, srcs })
+                Ok(Op::StVec {
+                    space,
+                    cache,
+                    volatile,
+                    ty,
+                    addr,
+                    srcs,
+                })
             }
         }
     }
@@ -550,7 +625,13 @@ impl Parser {
             let addr = self.address(regs)?;
             self.expect(&Tok::Comma, "','")?;
             let a = self.operand(regs)?;
-            return Ok(Op::Red { space, op, ty, addr, a });
+            return Ok(Op::Red {
+                space,
+                op,
+                ty,
+                addr,
+                a,
+            });
         }
         let dst = self.reg_operand(regs)?;
         self.expect(&Tok::Comma, "','")?;
@@ -563,7 +644,15 @@ impl Parser {
         } else {
             None
         };
-        Ok(Op::Atom { space, op, ty, dst, addr, a, b })
+        Ok(Op::Atom {
+            space,
+            op,
+            ty,
+            dst,
+            addr,
+            a,
+            b,
+        })
     }
 
     // -------------------------------------------------------------- operands
@@ -745,20 +834,26 @@ fn validate(m: &Module) -> Result<(), PtxError> {
         for s in &k.stmts {
             if let Statement::Label(l) = s {
                 if !labels.insert(l.clone()) {
-                    return Err(PtxError::new(0, format!("duplicate label {l} in kernel {}", k.name)));
+                    return Err(PtxError::new(
+                        0,
+                        format!("duplicate label {l} in kernel {}", k.name),
+                    ));
                 }
             }
         }
         for instr in k.instructions() {
             match &instr.op {
-                Op::Bra { target, .. }
-                    if !labels.contains(target) => {
-                        return Err(PtxError::new(
-                            0,
-                            format!("branch to undefined label {target} in kernel {}", k.name),
-                        ));
-                    }
-                Op::Ld { space: Space::Param, addr, .. } => {
+                Op::Bra { target, .. } if !labels.contains(target) => {
+                    return Err(PtxError::new(
+                        0,
+                        format!("branch to undefined label {target} in kernel {}", k.name),
+                    ));
+                }
+                Op::Ld {
+                    space: Space::Param,
+                    addr,
+                    ..
+                } => {
                     if let AddrBase::Sym(sym) = &addr.base {
                         if k.param_info(sym).is_none() {
                             return Err(PtxError::new(
@@ -768,8 +863,16 @@ fn validate(m: &Module) -> Result<(), PtxError> {
                         }
                     }
                 }
-                Op::Ld { space: Space::Shared, addr, .. }
-                | Op::St { space: Space::Shared, addr, .. } => {
+                Op::Ld {
+                    space: Space::Shared,
+                    addr,
+                    ..
+                }
+                | Op::St {
+                    space: Space::Shared,
+                    addr,
+                    ..
+                } => {
                     if let AddrBase::Sym(sym) = &addr.base {
                         if k.shared_offset(sym).is_none() {
                             return Err(PtxError::new(
@@ -825,8 +928,14 @@ mod tests {
         assert!(k.regs.find("%r0").is_some());
         assert!(k.regs.find("%r2").is_some());
         assert!(k.regs.find("%r3").is_none());
-        assert_eq!(k.regs.info(k.regs.find("%p").unwrap()).class, RegClass::Pred);
-        assert_eq!(k.regs.info(k.regs.find("%q").unwrap()).class, RegClass::Pred);
+        assert_eq!(
+            k.regs.info(k.regs.find("%p").unwrap()).class,
+            RegClass::Pred
+        );
+        assert_eq!(
+            k.regs.info(k.regs.find("%q").unwrap()).class,
+            RegClass::Pred
+        );
     }
 
     #[test]
@@ -857,7 +966,13 @@ mod tests {
         let k = &m.kernels[0];
         let ops: Vec<&Op> = k.instructions().map(|i| &i.op).collect();
         match ops[1] {
-            Op::Ld { space, cache, ty, addr, .. } => {
+            Op::Ld {
+                space,
+                cache,
+                ty,
+                addr,
+                ..
+            } => {
                 assert_eq!(*space, Space::Global);
                 assert_eq!(*cache, Some(CacheOp::Cg));
                 assert_eq!(*ty, Type::U32);
@@ -866,7 +981,9 @@ mod tests {
             other => panic!("expected ld, got {other:?}"),
         }
         match ops[3] {
-            Op::Ld { volatile, space, .. } => {
+            Op::Ld {
+                volatile, space, ..
+            } => {
                 assert!(volatile);
                 assert_eq!(*space, Space::Shared);
             }
@@ -906,7 +1023,13 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert!(matches!(ops[3], Op::Red { op: AtomOp::Add, .. }));
+        assert!(matches!(
+            ops[3],
+            Op::Red {
+                op: AtomOp::Add,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -922,8 +1045,18 @@ mod tests {
         .unwrap();
         let k = &m.kernels[0];
         let instrs: Vec<&Instruction> = k.instructions().collect();
-        assert!(matches!(instrs[0].op, Op::Membar { level: FenceLevel::Cta }));
-        assert!(matches!(instrs[1].op, Op::Membar { level: FenceLevel::Gl }));
+        assert!(matches!(
+            instrs[0].op,
+            Op::Membar {
+                level: FenceLevel::Cta
+            }
+        ));
+        assert!(matches!(
+            instrs[1].op,
+            Op::Membar {
+                level: FenceLevel::Gl
+            }
+        ));
         assert!(matches!(instrs[3].op, Op::Bar { idx: 0 }));
         assert!(instrs[5].guard.is_some());
         assert!(!instrs[5].guard.unwrap().negated);
@@ -956,8 +1089,20 @@ mod tests {
         )
         .unwrap();
         let ops: Vec<&Op> = m.kernels[0].instructions().map(|i| &i.op).collect();
-        assert!(matches!(ops[0], Op::Mov { src: Operand::Special(SpecialReg::Tid(Dim::X)), .. }));
-        assert!(matches!(ops[2], Op::Mul { mode: MulMode::Wide, .. }));
+        assert!(matches!(
+            ops[0],
+            Op::Mov {
+                src: Operand::Special(SpecialReg::Tid(Dim::X)),
+                ..
+            }
+        ));
+        assert!(matches!(
+            ops[2],
+            Op::Mul {
+                mode: MulMode::Wide,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1004,10 +1149,9 @@ mod tests {
 
     #[test]
     fn mov_shared_symbol_address() {
-        let m = parse_kernel_body(
-            ".shared .b8 sm[64];\n.reg .b64 %rd<2>;\nmov.u64 %rd1, sm;\nret;",
-        )
-        .unwrap();
+        let m =
+            parse_kernel_body(".shared .b8 sm[64];\n.reg .b64 %rd<2>;\nmov.u64 %rd1, sm;\nret;")
+                .unwrap();
         let ops: Vec<&Op> = m.kernels[0].instructions().map(|i| &i.op).collect();
         assert!(matches!(ops[0], Op::Mov { src: Operand::Sym(s), .. } if s == "sm"));
     }

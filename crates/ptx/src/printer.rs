@@ -45,7 +45,11 @@ fn print_kernel(out: &mut String, k: &Kernel) {
     let mut decls: Vec<&SharedDecl> = k.shared.iter().collect();
     decls.sort_by_key(|d| d.offset);
     for d in decls {
-        let _ = writeln!(out, "    .shared .align {} .b8 {}[{}];", d.align, d.name, d.size);
+        let _ = writeln!(
+            out,
+            "    .shared .align {} .b8 {}[{}];",
+            d.align, d.name, d.size
+        );
     }
     for stmt in &k.stmts {
         match stmt {
@@ -113,13 +117,32 @@ fn space_dot(space: Space) -> String {
 
 fn print_op(out: &mut String, k: &Kernel, op: &Op) {
     match op {
-        Op::Ld { space, cache, volatile, ty, dst, addr } => {
+        Op::Ld {
+            space,
+            cache,
+            volatile,
+            ty,
+            dst,
+            addr,
+        } => {
             let vol = if *volatile { ".volatile" } else { "" };
             let c = cache.map(|c| format!(".{}", c.name())).unwrap_or_default();
-            let _ = write!(out, "ld{vol}{}{c}.{ty} {}, ", space_dot(*space), reg_name(k, *dst));
+            let _ = write!(
+                out,
+                "ld{vol}{}{c}.{ty} {}, ",
+                space_dot(*space),
+                reg_name(k, *dst)
+            );
             print_address(out, k, addr);
         }
-        Op::St { space, cache, volatile, ty, addr, src } => {
+        Op::St {
+            space,
+            cache,
+            volatile,
+            ty,
+            addr,
+            src,
+        } => {
             let vol = if *volatile { ".volatile" } else { "" };
             let c = cache.map(|c| format!(".{}", c.name())).unwrap_or_default();
             let _ = write!(out, "st{vol}{}{c}.{ty} ", space_dot(*space));
@@ -127,7 +150,14 @@ fn print_op(out: &mut String, k: &Kernel, op: &Op) {
             out.push_str(", ");
             print_operand(out, k, src);
         }
-        Op::LdVec { space, cache, volatile, ty, dsts, addr } => {
+        Op::LdVec {
+            space,
+            cache,
+            volatile,
+            ty,
+            dsts,
+            addr,
+        } => {
             let vol = if *volatile { ".volatile" } else { "" };
             let c = cache.map(|c| format!(".{}", c.name())).unwrap_or_default();
             let vn = if dsts.len() == 2 { "v2" } else { "v4" };
@@ -141,7 +171,14 @@ fn print_op(out: &mut String, k: &Kernel, op: &Op) {
             out.push_str("}, ");
             print_address(out, k, addr);
         }
-        Op::StVec { space, cache, volatile, ty, addr, srcs } => {
+        Op::StVec {
+            space,
+            cache,
+            volatile,
+            ty,
+            addr,
+            srcs,
+        } => {
             let vol = if *volatile { ".volatile" } else { "" };
             let c = cache.map(|c| format!(".{}", c.name())).unwrap_or_default();
             let vn = if srcs.len() == 2 { "v2" } else { "v4" };
@@ -156,8 +193,22 @@ fn print_op(out: &mut String, k: &Kernel, op: &Op) {
             }
             out.push('}');
         }
-        Op::Atom { space, op, ty, dst, addr, a, b } => {
-            let _ = write!(out, "atom{}.{}.{ty} {}, ", space_dot(*space), op.name(), reg_name(k, *dst));
+        Op::Atom {
+            space,
+            op,
+            ty,
+            dst,
+            addr,
+            a,
+            b,
+        } => {
+            let _ = write!(
+                out,
+                "atom{}.{}.{ty} {}, ",
+                space_dot(*space),
+                op.name(),
+                reg_name(k, *dst)
+            );
             print_address(out, k, addr);
             out.push_str(", ");
             print_operand(out, k, a);
@@ -166,7 +217,13 @@ fn print_op(out: &mut String, k: &Kernel, op: &Op) {
                 print_operand(out, k, b);
             }
         }
-        Op::Red { space, op, ty, addr, a } => {
+        Op::Red {
+            space,
+            op,
+            ty,
+            addr,
+            a,
+        } => {
             let _ = write!(out, "red{}.{}.{ty} ", space_dot(*space), op.name());
             print_address(out, k, addr);
             out.push_str(", ");
@@ -202,15 +259,36 @@ fn print_op(out: &mut String, k: &Kernel, op: &Op) {
             let _ = write!(out, "{}.{ty} {}, ", op.name(), reg_name(k, *dst));
             print_operand(out, k, a);
         }
-        Op::Mul { mode, ty, dst, a, b } => {
-            let m = if ty.is_float() { String::new() } else { format!(".{}", mode.name()) };
+        Op::Mul {
+            mode,
+            ty,
+            dst,
+            a,
+            b,
+        } => {
+            let m = if ty.is_float() {
+                String::new()
+            } else {
+                format!(".{}", mode.name())
+            };
             let _ = write!(out, "mul{m}.{ty} {}, ", reg_name(k, *dst));
             print_operand(out, k, a);
             out.push_str(", ");
             print_operand(out, k, b);
         }
-        Op::Mad { mode, ty, dst, a, b, c } => {
-            let m = if ty.is_float() { String::new() } else { format!(".{}", mode.name()) };
+        Op::Mad {
+            mode,
+            ty,
+            dst,
+            a,
+            b,
+            c,
+        } => {
+            let m = if ty.is_float() {
+                String::new()
+            } else {
+                format!(".{}", mode.name())
+            };
             let _ = write!(out, "mad{m}.{ty} {}, ", reg_name(k, *dst));
             print_operand(out, k, a);
             out.push_str(", ");
@@ -229,12 +307,30 @@ fn print_op(out: &mut String, k: &Kernel, op: &Op) {
             let _ = write!(out, "cvt.{dty}.{sty} {}, ", reg_name(k, *dst));
             print_operand(out, k, a);
         }
-        Op::Cvta { to, space, ty, dst, a } => {
+        Op::Cvta {
+            to,
+            space,
+            ty,
+            dst,
+            a,
+        } => {
             let t = if *to { ".to" } else { "" };
-            let _ = write!(out, "cvta{t}{}.{ty} {}, ", space_dot(*space), reg_name(k, *dst));
+            let _ = write!(
+                out,
+                "cvta{t}{}.{ty} {}, ",
+                space_dot(*space),
+                reg_name(k, *dst)
+            );
             print_operand(out, k, a);
         }
-        Op::Shfl { mode, ty, dst, a, b, c } => {
+        Op::Shfl {
+            mode,
+            ty,
+            dst,
+            a,
+            b,
+            c,
+        } => {
             let _ = write!(out, "shfl.{}.{ty} {}, ", mode.name(), reg_name(k, *dst));
             print_operand(out, k, a);
             out.push_str(", ");

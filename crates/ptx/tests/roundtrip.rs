@@ -21,8 +21,12 @@ fn random_kernel(seed: u64) -> Module {
         b.shared("sm", 64 + rng.random_range(0..4) * 16, 4);
     }
     let pred = b.reg("%p0", RegClass::Pred);
-    let r32: Vec<Reg> = (0..6).map(|i| b.reg(format!("%r{i}"), RegClass::B32)).collect();
-    let r64: Vec<Reg> = (0..4).map(|i| b.reg(format!("%rd{i}"), RegClass::B64)).collect();
+    let r32: Vec<Reg> = (0..6)
+        .map(|i| b.reg(format!("%r{i}"), RegClass::B32))
+        .collect();
+    let r64: Vec<Reg> = (0..4)
+        .map(|i| b.reg(format!("%rd{i}"), RegClass::B64))
+        .collect();
     let f32r = b.reg("%f0", RegClass::F32);
 
     let n_ops = rng.random_range(5..40);
@@ -39,15 +43,31 @@ fn random_kernel(seed: u64) -> Module {
         let addr_reg = r64[rng.random_range(0..r64.len())];
         match pick {
             0 => {
-                b.push(Op::Bin { op: BinOp::Add, ty: Type::S32, dst: rd, a: ra, b: rb });
+                b.push(Op::Bin {
+                    op: BinOp::Add,
+                    ty: Type::S32,
+                    dst: rd,
+                    a: ra,
+                    b: rb,
+                });
             }
             1 => {
-                b.push(Op::Mul { mode: MulMode::Wide, ty: Type::U32, dst: r64[0], a: ra, b: rb });
+                b.push(Op::Mul {
+                    mode: MulMode::Wide,
+                    ty: Type::U32,
+                    dst: r64[0],
+                    a: ra,
+                    b: rb,
+                });
             }
             2 => {
                 b.push(Op::Ld {
                     space: Space::Global,
-                    cache: if rng.random::<bool>() { Some(CacheOp::Cg) } else { None },
+                    cache: if rng.random::<bool>() {
+                        Some(CacheOp::Cg)
+                    } else {
+                        None
+                    },
                     volatile: rng.random::<bool>(),
                     ty: Type::U32,
                     dst: rd,
@@ -82,19 +102,43 @@ fn random_kernel(seed: u64) -> Module {
                 });
             }
             6 => {
-                b.push(Op::Setp { cmp: CmpOp::Lt, ty: Type::S32, dst: pred, a: ra, b: rb });
+                b.push(Op::Setp {
+                    cmp: CmpOp::Lt,
+                    ty: Type::S32,
+                    dst: pred,
+                    a: ra,
+                    b: rb,
+                });
             }
             7 => {
                 // Open a forward branch region (closed below).
                 let label = b.fresh_label("fwd");
-                b.push_guarded(pred, rng.random::<bool>(), Op::Bra { uni: false, target: label.clone() });
+                b.push_guarded(
+                    pred,
+                    rng.random::<bool>(),
+                    Op::Bra {
+                        uni: false,
+                        target: label.clone(),
+                    },
+                );
                 open_labels.push(label);
             }
             8 => {
-                b.push(Op::Selp { ty: Type::B32, dst: rd, a: ra, b: rb, p: pred });
+                b.push(Op::Selp {
+                    ty: Type::B32,
+                    dst: rd,
+                    a: ra,
+                    b: rb,
+                    p: pred,
+                });
             }
             9 => {
-                b.push(Op::Cvt { dty: Type::U64, sty: Type::U32, dst: r64[1], a: ra });
+                b.push(Op::Cvt {
+                    dty: Type::U64,
+                    sty: Type::U32,
+                    dst: r64[1],
+                    a: ra,
+                });
             }
             10 => {
                 b.push(Op::Mov {

@@ -50,7 +50,9 @@ pub enum RcVerdict {
 /// Static spin-loop detection: a guarded backward branch whose loop body
 /// contains a global/generic load or a compare-and-swap.
 pub fn spin_hang_heuristic(module: &Module, kernel: &str) -> bool {
-    let Some(k) = module.kernel(kernel) else { return false };
+    let Some(k) = module.kernel(kernel) else {
+        return false;
+    };
     // Map labels to statement indices.
     let mut label_at: HashMap<&str, usize> = HashMap::new();
     for (i, s) in k.stmts.iter().enumerate() {
@@ -60,11 +62,15 @@ pub fn spin_hang_heuristic(module: &Module, kernel: &str) -> bool {
     }
     for (i, s) in k.stmts.iter().enumerate() {
         let Statement::Instr(instr) = s else { continue };
-        let Op::Bra { target, .. } = &instr.op else { continue };
+        let Op::Bra { target, .. } = &instr.op else {
+            continue;
+        };
         if instr.guard.is_none() {
             continue;
         }
-        let Some(&t) = label_at.get(target.as_str()) else { continue };
+        let Some(&t) = label_at.get(target.as_str()) else {
+            continue;
+        };
         if t >= i {
             continue; // forward branch
         }
@@ -72,8 +78,13 @@ pub fn spin_hang_heuristic(module: &Module, kernel: &str) -> bool {
         for body in &k.stmts[t..i] {
             let Statement::Instr(bi) = body else { continue };
             match &bi.op {
-                Op::Ld { space: Space::Global | Space::Generic, .. } => return true,
-                Op::Atom { op: AtomOp::Cas, .. } => return true,
+                Op::Ld {
+                    space: Space::Global | Space::Generic,
+                    ..
+                } => return true,
+                Op::Atom {
+                    op: AtomOp::Cas, ..
+                } => return true,
                 _ => {}
             }
         }
@@ -119,7 +130,14 @@ impl IntervalDetector {
                     *self.intervals.entry(block).or_insert(0) += 1;
                 }
             }
-            Event::Access { warp, kind, space, mask, addrs, size } => {
+            Event::Access {
+                warp,
+                kind,
+                space,
+                mask,
+                addrs,
+                size,
+            } => {
                 if *space != MemSpace::Shared {
                     return; // global memory is invisible to Racecheck
                 }
@@ -182,7 +200,11 @@ pub fn check_program(p: &SuiteProgram) -> RcVerdict {
     if spin_hang_heuristic(&module, KERNEL) {
         return RcVerdict::Hang;
     }
-    let mut gpu = Gpu::new(GpuConfig { native_access_logging: true, filter_same_value: false, ..GpuConfig::default() });
+    let mut gpu = Gpu::new(GpuConfig {
+        native_access_logging: true,
+        filter_same_value: false,
+        ..GpuConfig::default()
+    });
     let mut params = Vec::new();
     for a in &p.args {
         match a {
@@ -232,7 +254,11 @@ mod tests {
     #[test]
     fn misses_global_memory_races() {
         let p = program("global_ww_interblock_race").unwrap();
-        assert_eq!(check_program(&p), RcVerdict::NoRace, "global races are invisible");
+        assert_eq!(
+            check_program(&p),
+            RcVerdict::NoRace,
+            "global races are invisible"
+        );
     }
 
     #[test]
@@ -264,7 +290,11 @@ mod tests {
 
     #[test]
     fn hangs_on_spinlocks() {
-        for name in ["spinlock_gl_fences_norace", "spinlock_unfenced_cas_race", "shared_spinlock_norace"] {
+        for name in [
+            "spinlock_gl_fences_norace",
+            "spinlock_unfenced_cas_race",
+            "shared_spinlock_norace",
+        ] {
             let p = program(name).unwrap();
             assert_eq!(check_program(&p), RcVerdict::Hang, "{name}");
         }
@@ -298,6 +328,9 @@ mod tests {
             correct < 45,
             "racecheck must be substantially worse than 66/66, got {correct}"
         );
-        assert!(correct > 10, "the model should still pass the easy cases, got {correct}");
+        assert!(
+            correct > 10,
+            "the model should still pass the easy cases, got {correct}"
+        );
     }
 }

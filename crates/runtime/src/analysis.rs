@@ -5,6 +5,51 @@ use barracuda_instrument::InstrumentStats;
 use barracuda_simt::LaunchStats;
 use std::time::Duration;
 
+/// Telemetry of one detector worker (one per queue in threaded mode; a
+/// single pseudo-worker in synchronous mode).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerTelemetry {
+    /// Worker index == index of the queue it drained.
+    pub worker: usize,
+    /// Events this worker processed.
+    pub events: u64,
+    /// PTVC format census this worker observed
+    /// (`[converged, diverged, nested, sparse]`).
+    pub format_census: [u64; 4],
+    /// Corrupt records this worker skipped.
+    pub corrupt_records: u64,
+    /// True when the worker died mid-run (its tallies stop at the panic).
+    pub panicked: bool,
+}
+
+/// Queue and worker telemetry of the host-side pipeline (§4.2–4.3): the
+/// observability layer for backpressure, degradation and load balance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Number of GPU→host queues (0 in synchronous mode).
+    pub queues: usize,
+    /// Peak committed-but-unread depth across all queues.
+    pub queue_high_water: u64,
+    /// Producer spin-yield cycles spent waiting for space or for earlier
+    /// commits (queue pressure).
+    pub producer_stall_cycles: u64,
+    /// Records shed by bounded-stall backpressure.
+    pub records_dropped: u64,
+    /// Records that failed to decode on the host side.
+    pub records_corrupt: u64,
+    /// Workers that panicked mid-run.
+    pub worker_panics: u64,
+    /// Per-worker event/census tallies, ordered by worker index.
+    pub per_worker: Vec<WorkerTelemetry>,
+}
+
+impl PipelineStats {
+    /// True when every produced record reached a live worker and decoded.
+    pub fn is_lossless(&self) -> bool {
+        self.records_dropped == 0 && self.records_corrupt == 0 && self.worker_panics == 0
+    }
+}
+
 /// Aggregate statistics of one detection run.
 #[derive(Debug, Clone, Default)]
 pub struct AnalysisStats {
@@ -27,6 +72,8 @@ pub struct AnalysisStats {
     pub shadow_bytes: u64,
     /// Wall-clock time of the instrumented, detected run.
     pub detection_time: Duration,
+    /// Queue and worker telemetry of the detection pipeline.
+    pub pipeline: PipelineStats,
 }
 
 /// The result of checking one kernel launch.
@@ -43,7 +90,11 @@ impl Analysis {
         diagnostics: Vec<Diagnostic>,
         stats: AnalysisStats,
     ) -> Self {
-        Analysis { races, diagnostics, stats }
+        Analysis {
+            races,
+            diagnostics,
+            stats,
+        }
     }
 
     /// Number of distinct racing locations.
@@ -64,6 +115,18 @@ impl Analysis {
     /// Barrier-divergence and other diagnostics.
     pub fn diagnostics(&self) -> &[Diagnostic] {
         &self.diagnostics
+    }
+
+    /// True when the pipeline degraded mid-run (a worker panicked or
+    /// records were lost): the verdict is then a sound lower bound, not a
+    /// complete analysis.
+    pub fn is_degraded(&self) -> bool {
+        self.diagnostics.iter().any(|d| {
+            matches!(
+                d,
+                Diagnostic::WorkerPanic { .. } | Diagnostic::LostRecords { .. }
+            )
+        })
     }
 
     /// Run statistics.
@@ -107,7 +170,10 @@ mod tests {
     #[test]
     fn analysis_accessors() {
         let a = Analysis::new(
-            vec![race(MemSpace::Global, RaceClass::InterBlock), race(MemSpace::Shared, RaceClass::IntraWarp)],
+            vec![
+                race(MemSpace::Global, RaceClass::InterBlock),
+                race(MemSpace::Shared, RaceClass::IntraWarp),
+            ],
             vec![],
             AnalysisStats::default(),
         );

@@ -5,6 +5,7 @@
 //!                 [--param buf:<bytes> | --param u32:<value>]...
 //!                 [--warp-size N] [--warp-sweep] [--threaded]
 //!                 [--memory-model sc|kepler|maxwell] [--seed N]
+//!                 [--max-steps N] [--stats-json] [--chaos-stalls SEED]
 //! barracuda instrument <file.ptx> [--no-prune]
 //! ```
 //!
@@ -12,9 +13,19 @@
 //! simulator and reports data races; `instrument` prints the rewritten
 //! PTX and the instrumentation statistics (the Fig. 9 numbers for one
 //! file).
+//!
+//! Exit codes of `check`: `0` clean, `1` race or diagnostic, `2` usage /
+//! parse / simulation error, `3` simulation timeout (`--max-steps`
+//! exceeded).
+//!
+//! `--stats-json` prints one machine-readable JSON object (see
+//! `barracuda::statsjson`) with the verdict and the full pipeline
+//! telemetry. `--chaos-stalls SEED` enables stall-only fault injection in
+//! the threaded pipeline (implies `--threaded`): verdicts must match the
+//! synchronous mode, making it a quick self-check of pipeline robustness.
 
 use barracuda::{
-    Barracuda, BarracudaConfig, DetectionMode, GpuConfig, InstrumentOptions, KernelRun,
+    Barracuda, BarracudaConfig, DetectionMode, FaultPlan, GpuConfig, InstrumentOptions, KernelRun,
     MemoryModel,
 };
 use barracuda_simt::ParamValue;
@@ -29,8 +40,12 @@ fn main() -> ExitCode {
         Some("instrument") => cmd_instrument(&args[1..]),
         _ => {
             eprintln!("usage: barracuda <check|trace|instrument> <file.ptx> [options]");
-            eprintln!("       barracuda check k.ptx --kernel k --grid 2 --block 64 --param buf:1024");
-            eprintln!("       barracuda trace k.ptx ...   # print the decoded trace-operation stream");
+            eprintln!(
+                "       barracuda check k.ptx --kernel k --grid 2 --block 64 --param buf:1024"
+            );
+            eprintln!(
+                "       barracuda trace k.ptx ...   # print the decoded trace-operation stream"
+            );
             ExitCode::from(2)
         }
     }
@@ -39,12 +54,19 @@ fn main() -> ExitCode {
 fn parse_dim3(s: &str) -> Result<Dim3, String> {
     let parts: Vec<u32> = s
         .split(',')
-        .map(|p| p.parse::<u32>().map_err(|e| format!("bad dimension '{p}': {e}")))
+        .map(|p| {
+            p.parse::<u32>()
+                .map_err(|e| format!("bad dimension '{p}': {e}"))
+        })
         .collect::<Result<_, _>>()?;
     match parts.as_slice() {
         [x] => Ok(Dim3 { x: *x, y: 1, z: 1 }),
         [x, y] => Ok(Dim3 { x: *x, y: *y, z: 1 }),
-        [x, y, z] => Ok(Dim3 { x: *x, y: *y, z: *z }),
+        [x, y, z] => Ok(Dim3 {
+            x: *x,
+            y: *y,
+            z: *z,
+        }),
         _ => Err(format!("bad dim3 '{s}' (expected X[,Y[,Z]])")),
     }
 }
@@ -59,6 +81,9 @@ struct CheckArgs {
     threaded: bool,
     model: MemoryModel,
     seed: u64,
+    max_steps: Option<u64>,
+    stats_json: bool,
+    chaos_stalls: Option<u64>,
     params: Vec<String>,
 }
 
@@ -73,24 +98,50 @@ fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
         threaded: false,
         model: MemoryModel::SequentiallyConsistent,
         seed: 0x0be5_11e5,
+        max_steps: None,
+        stats_json: false,
+        chaos_stalls: None,
         params: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
-            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
         };
         match a.as_str() {
             "--kernel" => out.kernel = value("--kernel")?,
             "--grid" => out.grid = parse_dim3(&value("--grid")?)?,
             "--block" => out.block = parse_dim3(&value("--block")?)?,
             "--warp-size" => {
-                out.warp_size =
-                    value("--warp-size")?.parse().map_err(|e| format!("bad warp size: {e}"))?;
+                out.warp_size = value("--warp-size")?
+                    .parse()
+                    .map_err(|e| format!("bad warp size: {e}"))?;
             }
             "--warp-sweep" => out.warp_sweep = true,
             "--threaded" => out.threaded = true,
-            "--seed" => out.seed = value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--stats-json" => out.stats_json = true,
+            "--max-steps" => {
+                out.max_steps = Some(
+                    value("--max-steps")?
+                        .parse()
+                        .map_err(|e| format!("bad max steps: {e}"))?,
+                );
+            }
+            "--chaos-stalls" => {
+                out.chaos_stalls = Some(
+                    value("--chaos-stalls")?
+                        .parse()
+                        .map_err(|e| format!("bad chaos seed: {e}"))?,
+                );
+                out.threaded = true;
+            }
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
             "--memory-model" => {
                 out.model = match value("--memory-model")?.as_str() {
                     "sc" => MemoryModel::SequentiallyConsistent,
@@ -124,22 +175,39 @@ fn dump_trace(
     use barracuda_simt::VecSink;
     use barracuda_trace::ops::Event;
     let module = barracuda_ptx::parse(source)?;
-    let (instrumented, _) =
-        barracuda_instrument::instrument_module(&module, &barracuda_instrument::InstrumentOptions::default());
+    let (instrumented, _) = barracuda_instrument::instrument_module(
+        &module,
+        &barracuda_instrument::InstrumentOptions::default(),
+    );
     let lk = barracuda_simt::LoadedKernel::load(&instrumented, kernel)?;
     let sink = VecSink::new();
-    bar.gpu_mut().launch_loaded(&lk, dims, params, Some(&sink))?;
+    bar.gpu_mut()
+        .launch_loaded(&lk, dims, params, Some(&sink))?;
     for rec in sink.take() {
         match rec.decode() {
-            Event::Access { warp, kind, space, mask, addrs, size } => {
+            Event::Access {
+                warp,
+                kind,
+                space,
+                mask,
+                addrs,
+                size,
+            } => {
                 let lanes: Vec<String> = (0..dims.warp_size)
                     .filter(|l| mask & (1 << l) != 0)
                     .map(|l| format!("{}:{:#x}", dims.tid_of_lane(warp, l), addrs[l as usize]))
                     .collect();
-                println!("w{warp} {kind:?} {space:?} size={size} [{}]", lanes.join(" "));
+                println!(
+                    "w{warp} {kind:?} {space:?} size={size} [{}]",
+                    lanes.join(" ")
+                );
                 println!("w{warp} endi");
             }
-            Event::If { warp, then_mask, else_mask } => {
+            Event::If {
+                warp,
+                then_mask,
+                else_mask,
+            } => {
                 println!("w{warp} if(then={then_mask:#x}, else={else_mask:#x})");
             }
             Event::Else { warp } => println!("w{warp} else"),
@@ -185,9 +253,22 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
         cfg.kernel.clone()
     };
 
+    let mut gpu = GpuConfig {
+        memory_model: cfg.model,
+        seed: cfg.seed,
+        ..GpuConfig::default()
+    };
+    if let Some(steps) = cfg.max_steps {
+        gpu.max_steps = steps;
+    }
     let mut bar = Barracuda::with_config(BarracudaConfig {
-        gpu: GpuConfig { memory_model: cfg.model, seed: cfg.seed, ..GpuConfig::default() },
-        mode: if cfg.threaded { DetectionMode::Threaded } else { DetectionMode::Synchronous },
+        gpu,
+        mode: if cfg.threaded {
+            DetectionMode::Threaded
+        } else {
+            DetectionMode::Synchronous
+        },
+        fault_plan: cfg.chaos_stalls.map(FaultPlan::stalls_only),
         ..BarracudaConfig::default()
     });
     let mut params = Vec::new();
@@ -215,7 +296,12 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
     }
 
     let dims = GridDims::with_warp_size(cfg.grid, cfg.block, cfg.warp_size);
-    let run = KernelRun { source: &source, kernel: &kernel, dims, params: &params };
+    let run = KernelRun {
+        source: &source,
+        kernel: &kernel,
+        dims,
+        params: &params,
+    };
 
     if trace {
         return match dump_trace(&mut bar, &source, &kernel, dims, &params) {
@@ -228,7 +314,10 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
     }
 
     if cfg.warp_sweep {
-        let sizes: Vec<u32> = [32u32, 16, 8, 4].into_iter().filter(|&s| s <= cfg.warp_size).collect();
+        let sizes: Vec<u32> = [32u32, 16, 8, 4]
+            .into_iter()
+            .filter(|&s| s <= cfg.warp_size)
+            .collect();
         match bar.check_warp_sizes(&run, &sizes) {
             Ok(results) => {
                 println!("{:<12} {:>8}", "warp size", "races");
@@ -248,8 +337,13 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
 
     match bar.check(&run) {
         Ok(analysis) => {
+            if cfg.stats_json {
+                // Machine-readable mode: exactly one JSON object on stdout.
+                println!("{}", barracuda::statsjson::to_json(&analysis));
+                return ExitCode::from(u8::from(!analysis.is_clean()));
+            }
             for d in analysis.diagnostics() {
-                println!("diagnostic: {d:?}");
+                println!("diagnostic: {d}");
             }
             for r in analysis.races() {
                 println!("{r}");
@@ -264,7 +358,23 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
                 s.shadow_bytes / 1024,
                 s.detection_time
             );
+            if s.pipeline.queues > 0 {
+                println!(
+                    "pipeline: {} queue(s), high-water {}, {} stall cycle(s), \
+                     {} dropped, {} corrupt, {} worker panic(s)",
+                    s.pipeline.queues,
+                    s.pipeline.queue_high_water,
+                    s.pipeline.producer_stall_cycles,
+                    s.pipeline.records_dropped,
+                    s.pipeline.records_corrupt,
+                    s.pipeline.worker_panics
+                );
+            }
             ExitCode::from(u8::from(!analysis.is_clean()))
+        }
+        Err(barracuda::Error::Sim(barracuda::SimError::Timeout { steps })) => {
+            eprintln!("error: timeout — execution exceeded {steps} steps");
+            ExitCode::from(3)
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -304,7 +414,11 @@ fn cmd_instrument(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let opts = if prune { InstrumentOptions::default() } else { InstrumentOptions::unoptimized() };
+    let opts = if prune {
+        InstrumentOptions::default()
+    } else {
+        InstrumentOptions::unoptimized()
+    };
     let (instrumented, stats) = barracuda_instrument::instrument_module(&module, &opts);
     println!("{}", barracuda_ptx::printer::print_module(&instrumented));
     eprintln!(

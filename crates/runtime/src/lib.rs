@@ -53,14 +53,15 @@
 
 mod analysis;
 mod session;
+pub mod statsjson;
 
-pub use analysis::{Analysis, AnalysisStats};
+pub use analysis::{Analysis, AnalysisStats, PipelineStats, WorkerTelemetry};
 pub use session::{Barracuda, BarracudaConfig, DetectionMode, KernelRun};
 
 pub use barracuda_core::{Diagnostic, RaceClass, RaceReport};
 pub use barracuda_instrument::{InstrumentOptions, InstrumentStats};
 pub use barracuda_simt::{GpuConfig, MemoryModel, ParamValue, SimError};
-pub use barracuda_trace::GridDims;
+pub use barracuda_trace::{ConsumerStall, FaultPlan, GridDims, WorkerPanic};
 
 use std::fmt;
 

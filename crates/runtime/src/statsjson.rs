@@ -1,0 +1,502 @@
+//! Machine-readable analysis output (`barracuda check --stats-json`).
+//!
+//! Emits one JSON object per analysis with the verdict, race/diagnostic
+//! breakdown and the full [`AnalysisStats`] including the pipeline
+//! telemetry (queue high-water marks, producer stall cycles, per-worker
+//! event counts, drop counts). The build environment has no registry
+//! access, so — in the same spirit as the `vendor/` shims — serialization
+//! is hand-rolled here and paired with [`parse`], a minimal JSON reader
+//! used by the round-trip tests and available to downstream tooling.
+
+use crate::analysis::Analysis;
+use barracuda_core::{Diagnostic, RaceClass};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (the subset the stats schema uses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as f64; the schema only emits integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, key-ordered for deterministic comparison.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value at `key` of an object, if present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as an integer, if it is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// This value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes one analysis to the stats-JSON schema.
+pub fn to_json(a: &Analysis) -> String {
+    let mut s = String::with_capacity(1024);
+    let verdict = if a.race_count() > 0 {
+        "race"
+    } else if a.diagnostics().is_empty() {
+        "clean"
+    } else {
+        "diagnostic"
+    };
+    let (shared, global) = a.space_counts();
+    let st = a.stats();
+    let p = &st.pipeline;
+    let _ = write!(
+        s,
+        "{{\"verdict\":\"{verdict}\",\"degraded\":{},\"races\":{},\
+         \"race_classes\":{{\"intra_warp\":{},\"divergence\":{},\"intra_block\":{},\
+         \"inter_block\":{}}},\"spaces\":{{\"shared\":{shared},\"global\":{global}}}",
+        a.is_degraded(),
+        a.race_count(),
+        a.count_class(RaceClass::IntraWarp),
+        a.count_class(RaceClass::Divergence),
+        a.count_class(RaceClass::IntraBlock),
+        a.count_class(RaceClass::InterBlock),
+    );
+    s.push_str(",\"diagnostics\":[");
+    for (i, d) in a.diagnostics().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        match d {
+            Diagnostic::BarrierDivergence { block } => {
+                let _ = write!(s, "{{\"kind\":\"barrier_divergence\",\"block\":{block}}}");
+            }
+            Diagnostic::WorkerPanic { worker, message } => {
+                let _ = write!(
+                    s,
+                    "{{\"kind\":\"worker_panic\",\"worker\":{worker},\"message\":"
+                );
+                escape(message, &mut s);
+                s.push('}');
+            }
+            Diagnostic::LostRecords { dropped, corrupt } => {
+                let _ = write!(
+                    s,
+                    "{{\"kind\":\"lost_records\",\"dropped\":{dropped},\"corrupt\":{corrupt}}}"
+                );
+            }
+        }
+    }
+    let _ = write!(
+        s,
+        "],\"stats\":{{\"records\":{},\"events\":{},\
+         \"format_census\":[{},{},{},{}],\"sync_locations\":{},\"shadow_pages\":{},\
+         \"shadow_bytes\":{},\"detection_time_us\":{},\
+         \"launch\":{{\"instructions\":{},\"barriers\":{}}},\
+         \"instrument\":{{\"static_instructions\":{},\"instrumented_instructions\":{},\
+         \"log_calls\":{},\"pruned\":{}}}",
+        st.records,
+        st.events,
+        st.format_census[0],
+        st.format_census[1],
+        st.format_census[2],
+        st.format_census[3],
+        st.sync_locations,
+        st.shadow_pages,
+        st.shadow_bytes,
+        st.detection_time.as_micros(),
+        st.launch.instructions,
+        st.launch.barriers,
+        st.instrument.static_instructions,
+        st.instrument.instrumented_instructions,
+        st.instrument.log_calls,
+        st.instrument.pruned,
+    );
+    let _ = write!(
+        s,
+        ",\"pipeline\":{{\"queues\":{},\"queue_high_water\":{},\
+         \"producer_stall_cycles\":{},\"records_dropped\":{},\"records_corrupt\":{},\
+         \"worker_panics\":{},\"per_worker\":[",
+        p.queues,
+        p.queue_high_water,
+        p.producer_stall_cycles,
+        p.records_dropped,
+        p.records_corrupt,
+        p.worker_panics,
+    );
+    for (i, w) in p.per_worker.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"worker\":{},\"events\":{},\"format_census\":[{},{},{},{}],\
+             \"corrupt_records\":{},\"panicked\":{}}}",
+            w.worker,
+            w.events,
+            w.format_census[0],
+            w.format_census[1],
+            w.format_census[2],
+            w.format_census[3],
+            w.corrupt_records,
+            w.panicked,
+        );
+    }
+    s.push_str("]}}}");
+    s
+}
+
+/// Parses a JSON document (the subset [`to_json`] emits: objects, arrays,
+/// strings with basic escapes, numbers, booleans, null).
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_str(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always on a char boundary).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("empty char")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut m = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(m));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        m.insert(key, val);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(m));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut v = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(v));
+    }
+    loop {
+        v.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(v));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{AnalysisStats, PipelineStats, WorkerTelemetry};
+    use crate::Analysis;
+    use barracuda_core::{AccessType, RaceReport};
+    use barracuda_trace::{MemSpace, Tid};
+
+    fn sample_analysis() -> Analysis {
+        let race = RaceReport {
+            space: MemSpace::Global,
+            block: None,
+            addr: 0x40,
+            current: (Tid(1), AccessType::Write),
+            previous: (Tid(9), AccessType::Read),
+            class: RaceClass::InterBlock,
+        };
+        let stats = AnalysisStats {
+            records: 128,
+            events: 120,
+            format_census: [100, 12, 5, 3],
+            sync_locations: 2,
+            shadow_pages: 1,
+            shadow_bytes: 4096,
+            pipeline: PipelineStats {
+                queues: 4,
+                queue_high_water: 37,
+                producer_stall_cycles: 991,
+                records_dropped: 6,
+                records_corrupt: 2,
+                worker_panics: 1,
+                per_worker: vec![
+                    WorkerTelemetry {
+                        worker: 0,
+                        events: 120,
+                        format_census: [100, 12, 5, 3],
+                        corrupt_records: 2,
+                        panicked: false,
+                    },
+                    WorkerTelemetry {
+                        worker: 1,
+                        panicked: true,
+                        ..WorkerTelemetry::default()
+                    },
+                ],
+            },
+            ..AnalysisStats::default()
+        };
+        Analysis::new(
+            vec![race],
+            vec![
+                Diagnostic::WorkerPanic {
+                    worker: 1,
+                    message: "chaos \"quoted\"".to_string(),
+                },
+                Diagnostic::LostRecords {
+                    dropped: 6,
+                    corrupt: 2,
+                },
+            ],
+            stats,
+        )
+    }
+
+    #[test]
+    fn emitted_json_parses() {
+        let j = parse(&to_json(&sample_analysis())).expect("valid json");
+        assert_eq!(j.get("verdict").and_then(Json::as_str), Some("race"));
+        assert_eq!(j.get("degraded"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("races").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn schema_round_trips_every_field() {
+        let a = sample_analysis();
+        let j = parse(&to_json(&a)).unwrap();
+        let stats = j.get("stats").expect("stats object");
+        assert_eq!(stats.get("records").and_then(Json::as_u64), Some(128));
+        assert_eq!(stats.get("events").and_then(Json::as_u64), Some(120));
+        let census = stats.get("format_census").and_then(Json::as_arr).unwrap();
+        let census: Vec<u64> = census.iter().map(|c| c.as_u64().unwrap()).collect();
+        assert_eq!(census, vec![100, 12, 5, 3]);
+        let p = stats.get("pipeline").expect("pipeline object");
+        assert_eq!(p.get("queues").and_then(Json::as_u64), Some(4));
+        assert_eq!(p.get("queue_high_water").and_then(Json::as_u64), Some(37));
+        assert_eq!(
+            p.get("producer_stall_cycles").and_then(Json::as_u64),
+            Some(991)
+        );
+        assert_eq!(p.get("records_dropped").and_then(Json::as_u64), Some(6));
+        assert_eq!(p.get("records_corrupt").and_then(Json::as_u64), Some(2));
+        assert_eq!(p.get("worker_panics").and_then(Json::as_u64), Some(1));
+        let workers = p.get("per_worker").and_then(Json::as_arr).unwrap();
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers[0].get("events").and_then(Json::as_u64), Some(120));
+        assert_eq!(workers[1].get("panicked"), Some(&Json::Bool(true)));
+        let diags = j.get("diagnostics").and_then(Json::as_arr).unwrap();
+        assert_eq!(diags.len(), 2);
+        assert_eq!(
+            diags[0].get("kind").and_then(Json::as_str),
+            Some("worker_panic")
+        );
+        assert_eq!(
+            diags[0].get("message").and_then(Json::as_str),
+            Some("chaos \"quoted\""),
+            "string escapes must round-trip"
+        );
+        assert_eq!(
+            diags[1].get("kind").and_then(Json::as_str),
+            Some("lost_records")
+        );
+        assert_eq!(diags[1].get("dropped").and_then(Json::as_u64), Some(6));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1} x", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn parser_handles_nested_structures_and_escapes() {
+        let j = parse(r#"{"a":[1,2,{"b":"x\ny"}],"c":null,"d":-3.5,"e":true}"#).unwrap();
+        assert_eq!(
+            j.get("a").and_then(Json::as_arr).unwrap()[2]
+                .get("b")
+                .and_then(Json::as_str),
+            Some("x\ny")
+        );
+        assert_eq!(j.get("c"), Some(&Json::Null));
+        assert_eq!(j.get("d"), Some(&Json::Num(-3.5)));
+        assert_eq!(j.get("e"), Some(&Json::Bool(true)));
+    }
+}

@@ -22,7 +22,8 @@ const RACY: &str = r#"
 "#;
 
 fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!("barracuda_cli_{name}_{}.ptx", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("barracuda_cli_{name}_{}.ptx", std::process::id()));
     let mut f = std::fs::File::create(&path).expect("create temp ptx");
     f.write_all(content.as_bytes()).expect("write temp ptx");
     path
@@ -32,7 +33,18 @@ fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
 fn check_reports_race_with_exit_code_1() {
     let ptx = write_temp("racy", RACY);
     let out = Command::new(BIN)
-        .args(["check", ptx.to_str().expect("utf8"), "--kernel", "k", "--grid", "2", "--block", "32", "--param", "buf:4"])
+        .args([
+            "check",
+            ptx.to_str().expect("utf8"),
+            "--kernel",
+            "k",
+            "--grid",
+            "2",
+            "--block",
+            "32",
+            "--param",
+            "buf:4",
+        ])
         .output()
         .expect("run cli");
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -49,10 +61,24 @@ fn check_clean_kernel_exits_zero() {
     );
     let ptx = write_temp("clean", &clean);
     let out = Command::new(BIN)
-        .args(["check", ptx.to_str().expect("utf8"), "--grid", "2", "--block", "32", "--param", "buf:4"])
+        .args([
+            "check",
+            ptx.to_str().expect("utf8"),
+            "--grid",
+            "2",
+            "--block",
+            "32",
+            "--param",
+            "buf:4",
+        ])
         .output()
         .expect("run cli");
-    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 }
 
 #[test]
@@ -101,29 +127,189 @@ fn warp_sweep_flag_runs_all_sizes() {
 "#;
     let ptx = write_temp("sweep", sync);
     let out = Command::new(BIN)
-        .args(["check", ptx.to_str().expect("utf8"), "--block", "32", "--warp-sweep", "--param", "buf:128"])
+        .args([
+            "check",
+            ptx.to_str().expect("utf8"),
+            "--block",
+            "32",
+            "--warp-sweep",
+            "--param",
+            "buf:128",
+        ])
         .output()
         .expect("run cli");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(out.status.code(), Some(1), "latent races found → exit 1: {stdout}");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "latent races found → exit 1: {stdout}"
+    );
     assert!(stdout.contains("warp size"), "{stdout}");
     // 4 rows: 32 clean, smaller sizes racy.
-    assert!(stdout.lines().filter(|l| l.trim().starts_with(char::is_numeric)).count() >= 4);
+    assert!(
+        stdout
+            .lines()
+            .filter(|l| l.trim().starts_with(char::is_numeric))
+            .count()
+            >= 4
+    );
 }
 
 #[test]
 fn bad_arguments_exit_2() {
-    let out = Command::new(BIN).args(["check", "/nonexistent.ptx"]).output().expect("run cli");
+    let out = Command::new(BIN)
+        .args(["check", "/nonexistent.ptx"])
+        .output()
+        .expect("run cli");
     assert_eq!(out.status.code(), Some(2));
-    let out = Command::new(BIN).args(["frobnicate"]).output().expect("run cli");
+    let out = Command::new(BIN)
+        .args(["frobnicate"])
+        .output()
+        .expect("run cli");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unparseable_ptx_exits_2() {
+    let ptx = write_temp("garbage", ".version 4.3\nthis is not ptx at all {{{");
+    let out = Command::new(BIN)
+        .args(["check", ptx.to_str().expect("utf8")])
+        .output()
+        .expect("run cli");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn timeout_exits_3() {
+    let spin = r#"
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry k()
+{
+L:
+    bra L;
+}
+"#;
+    let ptx = write_temp("spin", spin);
+    let out = Command::new(BIN)
+        .args(["check", ptx.to_str().expect("utf8"), "--max-steps", "10000"])
+        .output()
+        .expect("run cli");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("timeout"));
+}
+
+#[test]
+fn stats_json_emits_parseable_schema_and_nothing_else() {
+    let ptx = write_temp("statsjson", RACY);
+    let out = Command::new(BIN)
+        .args([
+            "check",
+            ptx.to_str().expect("utf8"),
+            "--grid",
+            "2",
+            "--block",
+            "32",
+            "--param",
+            "buf:4",
+            "--stats-json",
+        ])
+        .output()
+        .expect("run cli");
+    assert_eq!(out.status.code(), Some(1), "racy input still exits 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = barracuda::statsjson::parse(&stdout).expect("stdout is exactly one JSON document");
+    assert_eq!(doc.get("verdict").and_then(|v| v.as_str()), Some("race"));
+    assert_eq!(doc.get("degraded").and_then(|v| v.as_bool()), Some(false));
+    assert!(doc.get("races").and_then(|v| v.as_u64()).unwrap_or(0) >= 1);
+    let stats = doc.get("stats").expect("stats object");
+    assert!(stats.get("records").and_then(|v| v.as_u64()).unwrap_or(0) > 0);
+    let pipeline = stats.get("pipeline").expect("pipeline telemetry");
+    for key in [
+        "queues",
+        "queue_high_water",
+        "producer_stall_cycles",
+        "records_dropped",
+        "records_corrupt",
+        "worker_panics",
+    ] {
+        assert!(
+            pipeline.get(key).and_then(|v| v.as_u64()).is_some(),
+            "missing {key}"
+        );
+    }
+    assert!(pipeline
+        .get("per_worker")
+        .and_then(|v| v.as_arr())
+        .is_some());
+}
+
+#[test]
+fn chaos_stalls_flag_preserves_verdict_and_reports_telemetry() {
+    let ptx = write_temp("chaos", RACY);
+    let out = Command::new(BIN)
+        .args([
+            "check",
+            ptx.to_str().expect("utf8"),
+            "--grid",
+            "2",
+            "--block",
+            "32",
+            "--param",
+            "buf:4",
+            "--chaos-stalls",
+            "42",
+            "--stats-json",
+        ])
+        .output()
+        .expect("run cli");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = barracuda::statsjson::parse(&stdout).expect("json parses");
+    assert_eq!(doc.get("verdict").and_then(|v| v.as_str()), Some("race"));
+    // --chaos-stalls implies the threaded pipeline: queues are live.
+    let pipeline = doc
+        .get("stats")
+        .and_then(|s| s.get("pipeline"))
+        .expect("pipeline");
+    assert!(pipeline.get("queues").and_then(|v| v.as_u64()).unwrap_or(0) > 0);
+    // Stall-only chaos is lossless.
+    assert_eq!(
+        pipeline.get("records_dropped").and_then(|v| v.as_u64()),
+        Some(0)
+    );
 }
 
 #[test]
 fn trace_subcommand_prints_trace_operations() {
     let ptx = write_temp("trace", RACY);
     let out = Command::new(BIN)
-        .args(["trace", ptx.to_str().expect("utf8"), "--grid", "1", "--block", "2", "--param", "buf:4"])
+        .args([
+            "trace",
+            ptx.to_str().expect("utf8"),
+            "--grid",
+            "1",
+            "--block",
+            "2",
+            "--param",
+            "buf:4",
+        ])
         .output()
         .expect("run cli");
     assert!(out.status.success());

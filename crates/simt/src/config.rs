@@ -159,14 +159,20 @@ impl fmt::Display for SimError {
                 write!(f, "kernel expects {expected} params, got {got}")
             }
             SimError::BarrierDivergence { block } => {
-                write!(f, "barrier divergence in block {block}: bar.sync with inactive or exited threads")
+                write!(
+                    f,
+                    "barrier divergence in block {block}: bar.sync with inactive or exited threads"
+                )
             }
             SimError::Timeout { steps } => write!(f, "execution exceeded {steps} steps"),
             SimError::InvalidAccess { addr } => {
                 write!(f, "invalid global memory access at {addr:#x}")
             }
             SimError::SharedOutOfBounds { offset, size } => {
-                write!(f, "shared memory access at offset {offset} beyond segment of {size} bytes")
+                write!(
+                    f,
+                    "shared memory access at offset {offset} beyond segment of {size} bytes"
+                )
             }
             SimError::UnknownLabel(l) => write!(f, "branch to unknown label '{l}'"),
             SimError::UnknownSymbol(s) => write!(f, "reference to unknown symbol '{s}'"),
@@ -203,13 +209,24 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(SimError::BarrierDivergence { block: 3 }.to_string().contains("block 3"));
-        assert!(SimError::InvalidAccess { addr: 0x10 }.to_string().contains("0x10"));
-        assert!(SimError::UnknownLabel("L_x".into()).to_string().contains("L_x"));
-        assert!(SimError::UnknownSymbol("smem".into()).to_string().contains("smem"));
-        assert!(SimError::BadInstruction { index: 4, reason: "nope".into() }
+        assert!(SimError::BarrierDivergence { block: 3 }
             .to_string()
-            .contains("index 4"));
+            .contains("block 3"));
+        assert!(SimError::InvalidAccess { addr: 0x10 }
+            .to_string()
+            .contains("0x10"));
+        assert!(SimError::UnknownLabel("L_x".into())
+            .to_string()
+            .contains("L_x"));
+        assert!(SimError::UnknownSymbol("smem".into())
+            .to_string()
+            .contains("smem"));
+        assert!(SimError::BadInstruction {
+            index: 4,
+            reason: "nope".into()
+        }
+        .to_string()
+        .contains("index 4"));
     }
 
     #[test]

@@ -29,7 +29,9 @@ use barracuda_ptx::ast::{
 use barracuda_ptx::cfg::FlatKernel;
 
 use crate::config::SimError;
-use crate::exec::{warp_bin_fn, warp_mad_fn, warp_mul_fn, warp_setp_fn, warp_un_fn, WarpBinFn, WarpMadFn, WarpUnFn};
+use crate::exec::{
+    warp_bin_fn, warp_mad_fn, warp_mul_fn, warp_setp_fn, warp_un_fn, WarpBinFn, WarpMadFn, WarpUnFn,
+};
 
 /// A decoded operand: register, pre-converted immediate bits, or a special
 /// register. Symbol operands were resolved to immediates at decode time.
@@ -100,26 +102,115 @@ impl DRecon {
 #[derive(Debug, Clone, Copy)]
 #[allow(clippy::enum_variant_names)]
 pub(crate) enum DOp {
-    Ld { space: Space, ty: Type, dst: Reg, addr: DAddr },
-    St { space: Space, ty: Type, addr: DAddr, src: DOperand },
-    LdVec { space: Space, ty: Type, dsts: DSlice, addr: DAddr },
-    StVec { space: Space, ty: Type, addr: DAddr, srcs: DSlice },
-    Atom { space: Space, op: AtomOp, ty: Type, dst: Reg, addr: DAddr, a: DOperand, b: Option<DOperand> },
-    Red { space: Space, op: AtomOp, ty: Type, addr: DAddr, a: DOperand },
-    Membar { global: bool },
+    Ld {
+        space: Space,
+        ty: Type,
+        dst: Reg,
+        addr: DAddr,
+    },
+    St {
+        space: Space,
+        ty: Type,
+        addr: DAddr,
+        src: DOperand,
+    },
+    LdVec {
+        space: Space,
+        ty: Type,
+        dsts: DSlice,
+        addr: DAddr,
+    },
+    StVec {
+        space: Space,
+        ty: Type,
+        addr: DAddr,
+        srcs: DSlice,
+    },
+    Atom {
+        space: Space,
+        op: AtomOp,
+        ty: Type,
+        dst: Reg,
+        addr: DAddr,
+        a: DOperand,
+        b: Option<DOperand>,
+    },
+    Red {
+        space: Space,
+        op: AtomOp,
+        ty: Type,
+        addr: DAddr,
+        a: DOperand,
+    },
+    Membar {
+        global: bool,
+    },
     Bar,
-    Bra { target: u32, recon: DRecon },
-    Setp { f: WarpBinFn, dst: Reg, a: DOperand, b: DOperand },
-    Mov { dst: Reg, src: DOperand },
-    Bin { f: WarpBinFn, dst: Reg, a: DOperand, b: DOperand },
-    Un { f: WarpUnFn, dst: Reg, a: DOperand },
-    Mul { f: WarpBinFn, dst: Reg, a: DOperand, b: DOperand },
-    Mad { f: WarpMadFn, dst: Reg, a: DOperand, b: DOperand, c: DOperand },
-    Selp { dst: Reg, a: DOperand, b: DOperand, p: Reg },
-    Cvt { dty: Type, sty: Type, dst: Reg, a: DOperand },
-    Cvta { dst: Reg, a: DOperand },
-    Shfl { mode: ShflMode, dst: Reg, a: DOperand, b: DOperand, c: DOperand },
-    Call { target: DCall, args: DSlice },
+    Bra {
+        target: u32,
+        recon: DRecon,
+    },
+    Setp {
+        f: WarpBinFn,
+        dst: Reg,
+        a: DOperand,
+        b: DOperand,
+    },
+    Mov {
+        dst: Reg,
+        src: DOperand,
+    },
+    Bin {
+        f: WarpBinFn,
+        dst: Reg,
+        a: DOperand,
+        b: DOperand,
+    },
+    Un {
+        f: WarpUnFn,
+        dst: Reg,
+        a: DOperand,
+    },
+    Mul {
+        f: WarpBinFn,
+        dst: Reg,
+        a: DOperand,
+        b: DOperand,
+    },
+    Mad {
+        f: WarpMadFn,
+        dst: Reg,
+        a: DOperand,
+        b: DOperand,
+        c: DOperand,
+    },
+    Selp {
+        dst: Reg,
+        a: DOperand,
+        b: DOperand,
+        p: Reg,
+    },
+    Cvt {
+        dty: Type,
+        sty: Type,
+        dst: Reg,
+        a: DOperand,
+    },
+    Cvta {
+        dst: Reg,
+        a: DOperand,
+    },
+    Shfl {
+        mode: ShflMode,
+        dst: Reg,
+        a: DOperand,
+        b: DOperand,
+        c: DOperand,
+    },
+    Call {
+        target: DCall,
+        args: DSlice,
+    },
     Ret,
     Exit,
 }
@@ -168,8 +259,18 @@ impl DecodedKernel {
         dk.instrs.reserve(flat.instrs.len());
         for (i, instr) in flat.instrs.iter().enumerate() {
             let op = decode_op(kernel, flat, recon, i, &instr.op, &mut dk)?;
-            let fused = matches!(op, DOp::Call { target: DCall::LogAccess, .. });
-            dk.instrs.push(DecodedInstr { guard: instr.guard, fused, op });
+            let fused = matches!(
+                op,
+                DOp::Call {
+                    target: DCall::LogAccess,
+                    ..
+                }
+            );
+            dk.instrs.push(DecodedInstr {
+                guard: instr.guard,
+                fused,
+                op,
+            });
         }
         Ok(dk)
     }
@@ -210,7 +311,10 @@ fn addr(kernel: &Kernel, a: &Address, space: Space) -> Result<DAddr, SimError> {
                 .ok_or_else(|| SimError::UnknownSymbol(s.clone()))?,
         }),
     };
-    Ok(DAddr { base, offset: a.offset })
+    Ok(DAddr {
+        base,
+        offset: a.offset,
+    })
 }
 
 fn pool_operands(
@@ -223,7 +327,10 @@ fn pool_operands(
     for op in ops {
         pool.push(operand(kernel, op, ty)?);
     }
-    Ok(DSlice { start, len: ops.len() as u32 })
+    Ok(DSlice {
+        start,
+        len: ops.len() as u32,
+    })
 }
 
 #[allow(clippy::too_many_lines)]
@@ -236,32 +343,70 @@ fn decode_op(
     dk: &mut DecodedKernel,
 ) -> Result<DOp, SimError> {
     Ok(match op {
-        Op::Ld { space, ty, dst, addr: a, .. } => {
-            DOp::Ld { space: *space, ty: *ty, dst: *dst, addr: addr(kernel, a, *space)? }
-        }
-        Op::St { space, ty, addr: a, src, .. } => DOp::St {
+        Op::Ld {
+            space,
+            ty,
+            dst,
+            addr: a,
+            ..
+        } => DOp::Ld {
+            space: *space,
+            ty: *ty,
+            dst: *dst,
+            addr: addr(kernel, a, *space)?,
+        },
+        Op::St {
+            space,
+            ty,
+            addr: a,
+            src,
+            ..
+        } => DOp::St {
             space: *space,
             ty: *ty,
             addr: addr(kernel, a, *space)?,
             src: operand(kernel, src, *ty)?,
         },
-        Op::LdVec { space, ty, dsts, addr: a, .. } => {
+        Op::LdVec {
+            space,
+            ty,
+            dsts,
+            addr: a,
+            ..
+        } => {
             let start = dk.regs.len() as u32;
             dk.regs.extend_from_slice(dsts);
             DOp::LdVec {
                 space: *space,
                 ty: *ty,
-                dsts: DSlice { start, len: dsts.len() as u32 },
+                dsts: DSlice {
+                    start,
+                    len: dsts.len() as u32,
+                },
                 addr: addr(kernel, a, *space)?,
             }
         }
-        Op::StVec { space, ty, addr: a, srcs, .. } => DOp::StVec {
+        Op::StVec {
+            space,
+            ty,
+            addr: a,
+            srcs,
+            ..
+        } => DOp::StVec {
             space: *space,
             ty: *ty,
             addr: addr(kernel, a, *space)?,
             srcs: pool_operands(kernel, srcs, *ty, &mut dk.operands)?,
         },
-        Op::Atom { space, op, ty, dst, addr: a, a: av, b } => DOp::Atom {
+        Op::Atom {
+            space,
+            op,
+            ty,
+            dst,
+            addr: a,
+            a: av,
+            b,
+        } => DOp::Atom {
             space: *space,
             op: *op,
             ty: *ty,
@@ -273,14 +418,22 @@ fn decode_op(
                 None => None,
             },
         },
-        Op::Red { space, op, ty, addr: a, a: av } => DOp::Red {
+        Op::Red {
+            space,
+            op,
+            ty,
+            addr: a,
+            a: av,
+        } => DOp::Red {
             space: *space,
             op: *op,
             ty: *ty,
             addr: addr(kernel, a, *space)?,
             a: operand(kernel, av, *ty)?,
         },
-        Op::Membar { level } => DOp::Membar { global: *level != FenceLevel::Cta },
+        Op::Membar { level } => DOp::Membar {
+            global: *level != FenceLevel::Cta,
+        },
         Op::Bar { .. } => DOp::Bar,
         Op::Bra { target, .. } => {
             let tgt = flat
@@ -290,7 +443,10 @@ fn decode_op(
                 Some(Some(r)) => DRecon::At(r as u32),
                 _ => DRecon::Exit,
             };
-            DOp::Bra { target: tgt as u32, recon }
+            DOp::Bra {
+                target: tgt as u32,
+                recon,
+            }
         }
         Op::Setp { cmp, ty, dst, a, b } => DOp::Setp {
             f: warp_setp_fn(*cmp, *ty),
@@ -298,25 +454,41 @@ fn decode_op(
             a: operand(kernel, a, *ty)?,
             b: operand(kernel, b, *ty)?,
         },
-        Op::Mov { ty, dst, src } => {
-            DOp::Mov { dst: *dst, src: operand(kernel, src, *ty)? }
-        }
+        Op::Mov { ty, dst, src } => DOp::Mov {
+            dst: *dst,
+            src: operand(kernel, src, *ty)?,
+        },
         Op::Bin { op, ty, dst, a, b } => DOp::Bin {
             f: warp_bin_fn(*op, *ty),
             dst: *dst,
             a: operand(kernel, a, *ty)?,
             b: operand(kernel, b, *ty)?,
         },
-        Op::Un { op, ty, dst, a } => {
-            DOp::Un { f: warp_un_fn(*op, *ty), dst: *dst, a: operand(kernel, a, *ty)? }
-        }
-        Op::Mul { mode, ty, dst, a, b } => DOp::Mul {
+        Op::Un { op, ty, dst, a } => DOp::Un {
+            f: warp_un_fn(*op, *ty),
+            dst: *dst,
+            a: operand(kernel, a, *ty)?,
+        },
+        Op::Mul {
+            mode,
+            ty,
+            dst,
+            a,
+            b,
+        } => DOp::Mul {
             f: warp_mul_fn(*mode, *ty),
             dst: *dst,
             a: operand(kernel, a, *ty)?,
             b: operand(kernel, b, *ty)?,
         },
-        Op::Mad { mode, ty, dst, a, b, c } => DOp::Mad {
+        Op::Mad {
+            mode,
+            ty,
+            dst,
+            a,
+            b,
+            c,
+        } => DOp::Mad {
             f: warp_mad_fn(*mode, *ty),
             dst: *dst,
             a: operand(kernel, a, *ty)?,
@@ -329,13 +501,24 @@ fn decode_op(
             b: operand(kernel, b, *ty)?,
             p: *p,
         },
-        Op::Cvt { dty, sty, dst, a } => {
-            DOp::Cvt { dty: *dty, sty: *sty, dst: *dst, a: operand(kernel, a, *sty)? }
-        }
-        Op::Cvta { ty, dst, a, .. } => {
-            DOp::Cvta { dst: *dst, a: operand(kernel, a, *ty)? }
-        }
-        Op::Shfl { mode, ty, dst, a, b, c } => DOp::Shfl {
+        Op::Cvt { dty, sty, dst, a } => DOp::Cvt {
+            dty: *dty,
+            sty: *sty,
+            dst: *dst,
+            a: operand(kernel, a, *sty)?,
+        },
+        Op::Cvta { ty, dst, a, .. } => DOp::Cvta {
+            dst: *dst,
+            a: operand(kernel, a, *ty)?,
+        },
+        Op::Shfl {
+            mode,
+            ty,
+            dst,
+            a,
+            b,
+            c,
+        } => DOp::Shfl {
             mode: *mode,
             dst: *dst,
             a: operand(kernel, a, *ty)?,
@@ -374,7 +557,13 @@ fn decode_op(
                 let ty = if j < 3 { Type::U32 } else { Type::U64 };
                 dk.operands.push(operand(kernel, a, ty)?);
             }
-            DOp::Call { target: tgt, args: DSlice { start, len: args.len() as u32 } }
+            DOp::Call {
+                target: tgt,
+                args: DSlice {
+                    start,
+                    len: args.len() as u32,
+                },
+            }
         }
         Op::Ret => DOp::Ret,
         Op::Exit => DOp::Exit,
@@ -399,10 +588,7 @@ mod tests {
 
     #[test]
     fn branch_targets_become_indices() {
-        let dk = decode_src(
-            ".reg .b32 %r<2>;\nbra.uni L;\nmov.u32 %r1, 1;\nL:\nret;",
-        )
-        .unwrap();
+        let dk = decode_src(".reg .b32 %r<2>;\nbra.uni L;\nmov.u32 %r1, 1;\nL:\nret;").unwrap();
         assert!(matches!(dk.instrs[0].op, DOp::Bra { target: 2, .. }));
     }
 
@@ -410,7 +596,14 @@ mod tests {
     fn param_symbol_resolves_to_offset() {
         let dk = decode_src(".reg .b64 %rd<2>;\nld.param.u64 %rd1, [p];\nret;").unwrap();
         match dk.instrs[0].op {
-            DOp::Ld { addr: DAddr { base: DBase::Const(0), offset: 0 }, .. } => {}
+            DOp::Ld {
+                addr:
+                    DAddr {
+                        base: DBase::Const(0),
+                        offset: 0,
+                    },
+                ..
+            } => {}
             ref op => panic!("{op:?}"),
         }
     }
@@ -426,7 +619,13 @@ mod tests {
         let flat = FlatKernel::from_kernel(&m.kernels[0]);
         let _cfg = Cfg::build(&flat);
         let dk = DecodedKernel::decode(&m.kernels[0], &flat, &[None, None]).unwrap();
-        assert!(matches!(dk.instrs[0].op, DOp::Mov { src: DOperand::Imm(0), .. }));
+        assert!(matches!(
+            dk.instrs[0].op,
+            DOp::Mov {
+                src: DOperand::Imm(0),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -439,23 +638,33 @@ mod tests {
         .unwrap();
         assert!(dk.instrs[0].fused);
         assert!(!dk.instrs[1].fused);
-        assert!(matches!(dk.instrs[0].op, DOp::Call { target: DCall::LogAccess, args } if args.len == 5));
-        assert!(matches!(dk.instrs[1].op, DOp::Call { target: DCall::LogConv, .. }));
+        assert!(
+            matches!(dk.instrs[0].op, DOp::Call { target: DCall::LogAccess, args } if args.len == 5)
+        );
+        assert!(matches!(
+            dk.instrs[1].op,
+            DOp::Call {
+                target: DCall::LogConv,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn unknown_call_target_rejected_at_decode() {
         let err = decode_src(".reg .b32 %r<2>;\ncall.uni some_function;\nret;").unwrap_err();
-        assert!(matches!(err, SimError::BadInstruction { index: 0, .. }), "{err:?}");
+        assert!(
+            matches!(err, SimError::BadInstruction { index: 0, .. }),
+            "{err:?}"
+        );
         let err = decode_src(".reg .b32 %r<2>;\ncall.uni __barracuda_bogus;\nret;").unwrap_err();
         assert!(matches!(err, SimError::BadInstruction { .. }), "{err:?}");
     }
 
     #[test]
     fn short_log_access_rejected_at_decode() {
-        let err =
-            decode_src(".reg .b32 %r<2>;\ncall.uni __barracuda_log_access, (0, 0);\nret;")
-                .unwrap_err();
+        let err = decode_src(".reg .b32 %r<2>;\ncall.uni __barracuda_log_access, (0, 0);\nret;")
+            .unwrap_err();
         assert!(matches!(err, SimError::BadInstruction { .. }), "{err:?}");
     }
 

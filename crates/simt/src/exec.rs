@@ -78,7 +78,13 @@ pub(crate) fn step(ctx: &mut ExecCtx, w: &mut WarpState) -> Result<StepOutcome, 
     loop {
         let Some(top) = w.stack.last().copied() else {
             if w.status != WarpStatus::Done {
-                ctx.emit(w, &Event::Exit { warp: w.warp, mask: w.live_mask });
+                ctx.emit(
+                    w,
+                    &Event::Exit {
+                        warp: w.warp,
+                        mask: w.live_mask,
+                    },
+                );
                 w.status = WarpStatus::Done;
             }
             return Ok(StepOutcome::Done);
@@ -217,7 +223,11 @@ fn write_masked(w: &mut WarpState, dst: Reg, exec: u32, out: &[u64; 32], ws: usi
         return;
     }
     for lane in 0..ws {
-        col[lane] = if exec & (1 << lane) != 0 { out[lane] } else { col[lane] };
+        col[lane] = if exec & (1 << lane) != 0 {
+            out[lane]
+        } else {
+            col[lane]
+        };
     }
 }
 
@@ -383,7 +393,8 @@ macro_rules! mad_arm {
           b: DOperand,
           c: DOperand| {
             let ws = dims.warp_size as usize;
-            let (mut ab, mut bb, mut cb, mut out) = ([0u64; 32], [0u64; 32], [0u64; 32], [0u64; 32]);
+            let (mut ab, mut bb, mut cb, mut out) =
+                ([0u64; 32], [0u64; 32], [0u64; 32], [0u64; 32]);
             let av = operand_slice(dims, w, exec, a, &mut ab);
             let bv = operand_slice(dims, w, exec, b, &mut bb);
             let cv = operand_slice(dims, w, exec, c, &mut cb);
@@ -479,7 +490,9 @@ pub(crate) fn log_native_access(
     if !ctx.native_logging || ctx.sink.is_none() {
         return;
     }
-    let Some(space) = mem_space_of(rs) else { return };
+    let Some(space) = mem_space_of(rs) else {
+        return;
+    };
     let mask = if kind == AccessKind::Write && ctx.filter_same_value {
         filter_same_value(mask, addrs, vals)
     } else {
@@ -487,7 +500,14 @@ pub(crate) fn log_native_access(
     };
     ctx.emit(
         w,
-        &Event::Access { warp: w.warp, kind, space, mask, addrs: *addrs, size },
+        &Event::Access {
+            warp: w.warp,
+            kind,
+            space,
+            mask,
+            addrs: *addrs,
+            size,
+        },
     );
 }
 
@@ -573,7 +593,14 @@ fn exec_instr(
             }
             let taken = exec;
             let not_taken = eff & !taken;
-            ctx.emit(w, &Event::If { warp: w.warp, then_mask: taken, else_mask: not_taken });
+            ctx.emit(
+                w,
+                &Event::If {
+                    warp: w.warp,
+                    then_mask: taken,
+                    else_mask: not_taken,
+                },
+            );
             if taken == 0 || not_taken == 0 {
                 // Uniform branch: no hardware divergence; the empty path is
                 // an empty else (paper §3.1).
@@ -586,8 +613,18 @@ fn exec_instr(
                 let top = w.stack.last_mut().expect("non-empty");
                 // Current entry becomes the reconvergence continuation.
                 top.pc = rpc.unwrap_or(usize::MAX);
-                w.stack.push(StackEntry { pc: pc + 1, mask: not_taken, rpc, kind: EntryKind::Else });
-                w.stack.push(StackEntry { pc: tgt, mask: taken, rpc, kind: EntryKind::Then });
+                w.stack.push(StackEntry {
+                    pc: pc + 1,
+                    mask: not_taken,
+                    rpc,
+                    kind: EntryKind::Else,
+                });
+                w.stack.push(StackEntry {
+                    pc: tgt,
+                    mask: taken,
+                    rpc,
+                    kind: EntryKind::Then,
+                });
             }
             Ok(StepOutcome::Continue)
         }
@@ -603,7 +640,13 @@ fn exec_instr(
         DOp::Bar => {
             w.status = WarpStatus::AtBarrier;
             w.barrier_mask = exec;
-            ctx.emit(w, &Event::Bar { warp: w.warp, mask: exec });
+            ctx.emit(
+                w,
+                &Event::Bar {
+                    warp: w.warp,
+                    mask: exec,
+                },
+            );
             Ok(StepOutcome::Barrier)
         }
         DOp::Membar { global } => {
@@ -611,8 +654,15 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        DOp::LdVec { space, ty, dsts, addr, .. } => {
-            let dsts: &[Reg] = &kernel.decoded.regs[dsts.start as usize..(dsts.start + dsts.len) as usize];
+        DOp::LdVec {
+            space,
+            ty,
+            dsts,
+            addr,
+            ..
+        } => {
+            let dsts: &[Reg] =
+                &kernel.decoded.regs[dsts.start as usize..(dsts.start + dsts.len) as usize];
             let elem = ty.size();
             let total = (elem * dsts.len() as u64) as u8;
             let mut addrs = [0u64; 32];
@@ -627,9 +677,15 @@ fn exec_instr(
                     let raw = match rs {
                         ResolvedSpace::Global => ctx.global.load(w.block, a, elem as u8)?,
                         ResolvedSpace::Shared => ctx.shared.load(a, elem as u8)?,
-                        _ => return Err(SimError::Fault("vector load on param/local space".into())),
+                        _ => {
+                            return Err(SimError::Fault("vector load on param/local space".into()))
+                        }
                     };
-                    let v = if ty.is_signed() { value::sext(ty, raw) as u64 } else { value::trunc(ty, raw) };
+                    let v = if ty.is_signed() {
+                        value::sext(ty, raw) as u64
+                    } else {
+                        value::trunc(ty, raw)
+                    };
                     w.set_reg(lane, dst, v);
                 }
             }
@@ -637,7 +693,13 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        DOp::StVec { space, ty, addr, srcs, .. } => {
+        DOp::StVec {
+            space,
+            ty,
+            addr,
+            srcs,
+            ..
+        } => {
             let srcs: &[DOperand] =
                 &kernel.decoded.operands[srcs.start as usize..(srcs.start + srcs.len) as usize];
             let elem = ty.size();
@@ -658,15 +720,31 @@ fn exec_instr(
                     match rs {
                         ResolvedSpace::Global => ctx.global.store(w.block, a, elem as u8, v)?,
                         ResolvedSpace::Shared => ctx.shared.store(a, elem as u8, v)?,
-                        _ => return Err(SimError::Fault("vector store on param/local space".into())),
+                        _ => {
+                            return Err(SimError::Fault("vector store on param/local space".into()))
+                        }
                     }
                 }
             }
-            log_native_access(ctx, w, AccessKind::Write, rspace, exec, &addrs, &vals, total);
+            log_native_access(
+                ctx,
+                w,
+                AccessKind::Write,
+                rspace,
+                exec,
+                &addrs,
+                &vals,
+                total,
+            );
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        DOp::Ld { space, ty, dst, addr } => {
+        DOp::Ld {
+            space,
+            ty,
+            dst,
+            addr,
+        } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let mut vals = [0u64; 32];
@@ -682,7 +760,11 @@ fn exec_instr(
                         load_bytes(ctx.locals.lane(w.warp, lane), a as usize, size, "local")?
                     }
                 };
-                let v = if ty.is_signed() { value::sext(ty, raw) as u64 } else { value::trunc(ty, raw) };
+                let v = if ty.is_signed() {
+                    value::sext(ty, raw) as u64
+                } else {
+                    value::trunc(ty, raw)
+                };
                 addrs[lane as usize] = a;
                 vals[lane as usize] = v;
                 w.set_reg(lane, dst, v);
@@ -691,7 +773,12 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        DOp::St { space, ty, addr, src } => {
+        DOp::St {
+            space,
+            ty,
+            addr,
+            src,
+        } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let mut vals = [0u64; 32];
@@ -717,7 +804,15 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        DOp::Atom { space, op, ty, dst, addr, a, b } => {
+        DOp::Atom {
+            space,
+            op,
+            ty,
+            dst,
+            addr,
+            a,
+            b,
+        } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let vals = [0u64; 32];
@@ -733,21 +828,36 @@ fn exec_instr(
                 };
                 addrs[lane as usize] = aaddr;
                 let old = match rs {
-                    ResolvedSpace::Global => {
-                        ctx.global.atomic(w.block, aaddr, size, |old| value::atom_rmw(op, ty, old, av, bv))?
-                    }
-                    ResolvedSpace::Shared => {
-                        ctx.shared.atomic(aaddr, size, |old| value::atom_rmw(op, ty, old, av, bv))?
-                    }
+                    ResolvedSpace::Global => ctx.global.atomic(w.block, aaddr, size, |old| {
+                        value::atom_rmw(op, ty, old, av, bv)
+                    })?,
+                    ResolvedSpace::Shared => ctx
+                        .shared
+                        .atomic(aaddr, size, |old| value::atom_rmw(op, ty, old, av, bv))?,
                     _ => return Err(SimError::Fault("atomic on non-global/shared space".into())),
                 };
                 w.set_reg(lane, dst, value::trunc(ty, old));
             }
-            log_native_access(ctx, w, AccessKind::Atomic, rspace, exec, &addrs, &vals, size);
+            log_native_access(
+                ctx,
+                w,
+                AccessKind::Atomic,
+                rspace,
+                exec,
+                &addrs,
+                &vals,
+                size,
+            );
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        DOp::Red { space, op, ty, addr, a } => {
+        DOp::Red {
+            space,
+            op,
+            ty,
+            addr,
+            a,
+        } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let vals = [0u64; 32];
@@ -759,15 +869,27 @@ fn exec_instr(
                 addrs[lane as usize] = aaddr;
                 match rs {
                     ResolvedSpace::Global => {
-                        ctx.global.atomic(w.block, aaddr, size, |old| value::atom_rmw(op, ty, old, av, 0))?;
+                        ctx.global.atomic(w.block, aaddr, size, |old| {
+                            value::atom_rmw(op, ty, old, av, 0)
+                        })?;
                     }
                     ResolvedSpace::Shared => {
-                        ctx.shared.atomic(aaddr, size, |old| value::atom_rmw(op, ty, old, av, 0))?;
+                        ctx.shared
+                            .atomic(aaddr, size, |old| value::atom_rmw(op, ty, old, av, 0))?;
                     }
                     _ => return Err(SimError::Fault("red on non-global/shared space".into())),
                 }
             }
-            log_native_access(ctx, w, AccessKind::Atomic, rspace, exec, &addrs, &vals, size);
+            log_native_access(
+                ctx,
+                w,
+                AccessKind::Atomic,
+                rspace,
+                exec,
+                &addrs,
+                &vals,
+                size,
+            );
             advance(w);
             Ok(StepOutcome::Continue)
         }
@@ -821,7 +943,9 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        DOp::Shfl { mode, dst, a, b, c, .. } => {
+        DOp::Shfl {
+            mode, dst, a, b, c, ..
+        } => {
             // Evaluate the source operand on every active lane first, then
             // exchange: lanes whose source is inactive/out-of-range keep
             // their own value.
@@ -841,8 +965,11 @@ fn exec_instr(
                 };
                 let in_range = src >= 0 && src < i64::from(warp_size);
                 let active = in_range && exec & (1 << src) != 0;
-                results[lane as usize] =
-                    if active { values[src as usize] } else { values[lane as usize] };
+                results[lane as usize] = if active {
+                    values[src as usize]
+                } else {
+                    values[lane as usize]
+                };
             }
             for lane in lanes(exec, warp_size) {
                 w.set_reg(lane, dst, results[lane as usize]);
@@ -907,10 +1034,21 @@ fn exec_call(
             } else {
                 exec
             };
-            let space = if resolved_shared { MemSpace::Shared } else { MemSpace::Global };
+            let space = if resolved_shared {
+                MemSpace::Shared
+            } else {
+                MemSpace::Global
+            };
             ctx.emit(
                 w,
-                &Event::Access { warp: w.warp, kind, space, mask, addrs, size },
+                &Event::Access {
+                    warp: w.warp,
+                    kind,
+                    space,
+                    mask,
+                    addrs,
+                    size,
+                },
             );
             Ok(())
         }

@@ -26,7 +26,13 @@ pub(crate) fn step(ctx: &mut ExecCtx, w: &mut WarpState) -> Result<StepOutcome, 
     loop {
         let Some(top) = w.stack.last().copied() else {
             if w.status != WarpStatus::Done {
-                ctx.emit(w, &Event::Exit { warp: w.warp, mask: w.live_mask });
+                ctx.emit(
+                    w,
+                    &Event::Exit {
+                        warp: w.warp,
+                        mask: w.live_mask,
+                    },
+                );
                 w.status = WarpStatus::Done;
             }
             return Ok(StepOutcome::Done);
@@ -160,7 +166,14 @@ fn exec_instr(
             }
             let taken = exec;
             let not_taken = eff & !taken;
-            ctx.emit(w, &Event::If { warp: w.warp, then_mask: taken, else_mask: not_taken });
+            ctx.emit(
+                w,
+                &Event::If {
+                    warp: w.warp,
+                    then_mask: taken,
+                    else_mask: not_taken,
+                },
+            );
             if taken == 0 || not_taken == 0 {
                 // Uniform branch: no hardware divergence; the empty path is
                 // an empty else (paper §3.1).
@@ -173,8 +186,18 @@ fn exec_instr(
                 let top = w.stack.last_mut().expect("non-empty");
                 // Current entry becomes the reconvergence continuation.
                 top.pc = rpc.unwrap_or(usize::MAX);
-                w.stack.push(StackEntry { pc: pc + 1, mask: not_taken, rpc, kind: EntryKind::Else });
-                w.stack.push(StackEntry { pc: tgt, mask: taken, rpc, kind: EntryKind::Then });
+                w.stack.push(StackEntry {
+                    pc: pc + 1,
+                    mask: not_taken,
+                    rpc,
+                    kind: EntryKind::Else,
+                });
+                w.stack.push(StackEntry {
+                    pc: tgt,
+                    mask: taken,
+                    rpc,
+                    kind: EntryKind::Then,
+                });
             }
             Ok(StepOutcome::Continue)
         }
@@ -190,7 +213,13 @@ fn exec_instr(
         Op::Bar { .. } => {
             w.status = WarpStatus::AtBarrier;
             w.barrier_mask = exec;
-            ctx.emit(w, &Event::Bar { warp: w.warp, mask: exec });
+            ctx.emit(
+                w,
+                &Event::Bar {
+                    warp: w.warp,
+                    mask: exec,
+                },
+            );
             Ok(StepOutcome::Barrier)
         }
         Op::Membar { level } => {
@@ -198,7 +227,13 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::LdVec { space, ty, ref dsts, ref addr, .. } => {
+        Op::LdVec {
+            space,
+            ty,
+            ref dsts,
+            ref addr,
+            ..
+        } => {
             let elem = ty.size();
             let total = (elem * dsts.len() as u64) as u8;
             let mut addrs = [0u64; 32];
@@ -213,9 +248,15 @@ fn exec_instr(
                     let raw = match rs {
                         ResolvedSpace::Global => ctx.global.load(w.block, a, elem as u8)?,
                         ResolvedSpace::Shared => ctx.shared.load(a, elem as u8)?,
-                        _ => return Err(SimError::Fault("vector load on param/local space".into())),
+                        _ => {
+                            return Err(SimError::Fault("vector load on param/local space".into()))
+                        }
                     };
-                    let v = if ty.is_signed() { value::sext(ty, raw) as u64 } else { value::trunc(ty, raw) };
+                    let v = if ty.is_signed() {
+                        value::sext(ty, raw) as u64
+                    } else {
+                        value::trunc(ty, raw)
+                    };
                     w.set_reg(lane, dst, v);
                 }
             }
@@ -223,7 +264,13 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::StVec { space, ty, ref addr, ref srcs, .. } => {
+        Op::StVec {
+            space,
+            ty,
+            ref addr,
+            ref srcs,
+            ..
+        } => {
             let elem = ty.size();
             let total = (elem * srcs.len() as u64) as u8;
             let mut addrs = [0u64; 32];
@@ -242,15 +289,32 @@ fn exec_instr(
                     match rs {
                         ResolvedSpace::Global => ctx.global.store(w.block, a, elem as u8, v)?,
                         ResolvedSpace::Shared => ctx.shared.store(a, elem as u8, v)?,
-                        _ => return Err(SimError::Fault("vector store on param/local space".into())),
+                        _ => {
+                            return Err(SimError::Fault("vector store on param/local space".into()))
+                        }
                     }
                 }
             }
-            log_native_access(ctx, w, AccessKind::Write, rspace, exec, &addrs, &vals, total);
+            log_native_access(
+                ctx,
+                w,
+                AccessKind::Write,
+                rspace,
+                exec,
+                &addrs,
+                &vals,
+                total,
+            );
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Ld { space, ty, dst, ref addr, .. } => {
+        Op::Ld {
+            space,
+            ty,
+            dst,
+            ref addr,
+            ..
+        } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let mut vals = [0u64; 32];
@@ -266,7 +330,11 @@ fn exec_instr(
                         load_bytes(ctx.locals.lane(w.warp, lane), a as usize, size, "local")?
                     }
                 };
-                let v = if ty.is_signed() { value::sext(ty, raw) as u64 } else { value::trunc(ty, raw) };
+                let v = if ty.is_signed() {
+                    value::sext(ty, raw) as u64
+                } else {
+                    value::trunc(ty, raw)
+                };
                 addrs[lane as usize] = a;
                 vals[lane as usize] = v;
                 w.set_reg(lane, dst, v);
@@ -275,7 +343,13 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::St { space, ty, ref addr, ref src, .. } => {
+        Op::St {
+            space,
+            ty,
+            ref addr,
+            ref src,
+            ..
+        } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let mut vals = [0u64; 32];
@@ -301,7 +375,15 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Atom { space, op, ty, dst, ref addr, ref a, ref b } => {
+        Op::Atom {
+            space,
+            op,
+            ty,
+            dst,
+            ref addr,
+            ref a,
+            ref b,
+        } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let vals = [0u64; 32];
@@ -317,21 +399,36 @@ fn exec_instr(
                 };
                 addrs[lane as usize] = aaddr;
                 let old = match rs {
-                    ResolvedSpace::Global => {
-                        ctx.global.atomic(w.block, aaddr, size, |old| value::atom_rmw(op, ty, old, av, bv))?
-                    }
-                    ResolvedSpace::Shared => {
-                        ctx.shared.atomic(aaddr, size, |old| value::atom_rmw(op, ty, old, av, bv))?
-                    }
+                    ResolvedSpace::Global => ctx.global.atomic(w.block, aaddr, size, |old| {
+                        value::atom_rmw(op, ty, old, av, bv)
+                    })?,
+                    ResolvedSpace::Shared => ctx
+                        .shared
+                        .atomic(aaddr, size, |old| value::atom_rmw(op, ty, old, av, bv))?,
                     _ => return Err(SimError::Fault("atomic on non-global/shared space".into())),
                 };
                 w.set_reg(lane, dst, value::trunc(ty, old));
             }
-            log_native_access(ctx, w, AccessKind::Atomic, rspace, exec, &addrs, &vals, size);
+            log_native_access(
+                ctx,
+                w,
+                AccessKind::Atomic,
+                rspace,
+                exec,
+                &addrs,
+                &vals,
+                size,
+            );
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Red { space, op, ty, ref addr, ref a } => {
+        Op::Red {
+            space,
+            op,
+            ty,
+            ref addr,
+            ref a,
+        } => {
             let size = ty.size() as u8;
             let mut addrs = [0u64; 32];
             let vals = [0u64; 32];
@@ -343,19 +440,37 @@ fn exec_instr(
                 addrs[lane as usize] = aaddr;
                 match rs {
                     ResolvedSpace::Global => {
-                        ctx.global.atomic(w.block, aaddr, size, |old| value::atom_rmw(op, ty, old, av, 0))?;
+                        ctx.global.atomic(w.block, aaddr, size, |old| {
+                            value::atom_rmw(op, ty, old, av, 0)
+                        })?;
                     }
                     ResolvedSpace::Shared => {
-                        ctx.shared.atomic(aaddr, size, |old| value::atom_rmw(op, ty, old, av, 0))?;
+                        ctx.shared
+                            .atomic(aaddr, size, |old| value::atom_rmw(op, ty, old, av, 0))?;
                     }
                     _ => return Err(SimError::Fault("red on non-global/shared space".into())),
                 }
             }
-            log_native_access(ctx, w, AccessKind::Atomic, rspace, exec, &addrs, &vals, size);
+            log_native_access(
+                ctx,
+                w,
+                AccessKind::Atomic,
+                rspace,
+                exec,
+                &addrs,
+                &vals,
+                size,
+            );
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Setp { cmp, ty, dst, ref a, ref b } => {
+        Op::Setp {
+            cmp,
+            ty,
+            dst,
+            ref a,
+            ref b,
+        } => {
             for lane in lanes(exec, warp_size) {
                 let av = operand_value(ctx, w, lane, a, ty)?;
                 let bv = operand_value(ctx, w, lane, b, ty)?;
@@ -372,7 +487,13 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Bin { op, ty, dst, ref a, ref b } => {
+        Op::Bin {
+            op,
+            ty,
+            dst,
+            ref a,
+            ref b,
+        } => {
             for lane in lanes(exec, warp_size) {
                 let av = operand_value(ctx, w, lane, a, ty)?;
                 let bv = operand_value(ctx, w, lane, b, ty)?;
@@ -389,7 +510,13 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Mul { mode, ty, dst, ref a, ref b } => {
+        Op::Mul {
+            mode,
+            ty,
+            dst,
+            ref a,
+            ref b,
+        } => {
             for lane in lanes(exec, warp_size) {
                 let av = operand_value(ctx, w, lane, a, ty)?;
                 let bv = operand_value(ctx, w, lane, b, ty)?;
@@ -398,7 +525,14 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Mad { mode, ty, dst, ref a, ref b, ref c } => {
+        Op::Mad {
+            mode,
+            ty,
+            dst,
+            ref a,
+            ref b,
+            ref c,
+        } => {
             for lane in lanes(exec, warp_size) {
                 let av = operand_value(ctx, w, lane, a, ty)?;
                 let bv = operand_value(ctx, w, lane, b, ty)?;
@@ -408,7 +542,13 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Selp { ty, dst, ref a, ref b, p } => {
+        Op::Selp {
+            ty,
+            dst,
+            ref a,
+            ref b,
+            p,
+        } => {
             for lane in lanes(exec, warp_size) {
                 let av = operand_value(ctx, w, lane, a, ty)?;
                 let bv = operand_value(ctx, w, lane, b, ty)?;
@@ -418,7 +558,12 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Cvt { dty, sty, dst, ref a } => {
+        Op::Cvt {
+            dty,
+            sty,
+            dst,
+            ref a,
+        } => {
             for lane in lanes(exec, warp_size) {
                 let av = operand_value(ctx, w, lane, a, sty)?;
                 w.set_reg(lane, dst, value::cvt(dty, sty, av));
@@ -435,7 +580,14 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Shfl { mode, ty, dst, ref a, ref b, ref c } => {
+        Op::Shfl {
+            mode,
+            ty,
+            dst,
+            ref a,
+            ref b,
+            ref c,
+        } => {
             // Evaluate the source operand on every active lane first, then
             // exchange: lanes whose source is inactive/out-of-range keep
             // their own value.
@@ -455,8 +607,11 @@ fn exec_instr(
                 };
                 let in_range = src >= 0 && src < i64::from(warp_size);
                 let active = in_range && exec & (1 << src) != 0;
-                results[lane as usize] =
-                    if active { values[src as usize] } else { values[lane as usize] };
+                results[lane as usize] = if active {
+                    values[src as usize]
+                } else {
+                    values[lane as usize]
+                };
             }
             for lane in lanes(exec, warp_size) {
                 w.set_reg(lane, dst, results[lane as usize]);
@@ -464,7 +619,10 @@ fn exec_instr(
             advance(w);
             Ok(StepOutcome::Continue)
         }
-        Op::Call { ref target, ref args } => {
+        Op::Call {
+            ref target,
+            ref args,
+        } => {
             exec_call(ctx, w, exec, target, args)?;
             advance(w);
             Ok(StepOutcome::Continue)
@@ -519,16 +677,29 @@ fn exec_call(
             } else {
                 exec
             };
-            let space = if resolved_shared { MemSpace::Shared } else { MemSpace::Global };
+            let space = if resolved_shared {
+                MemSpace::Shared
+            } else {
+                MemSpace::Global
+            };
             ctx.emit(
                 w,
-                &Event::Access { warp: w.warp, kind, space, mask, addrs, size },
+                &Event::Access {
+                    warp: w.warp,
+                    kind,
+                    space,
+                    mask,
+                    addrs,
+                    size,
+                },
             );
             Ok(())
         }
-        other if other.starts_with("__barracuda") => {
-            Err(SimError::Fault(format!("unknown instrumentation hook {other}")))
-        }
-        other => Err(SimError::Fault(format!("call to undefined function {other}"))),
+        other if other.starts_with("__barracuda") => Err(SimError::Fault(format!(
+            "unknown instrumentation hook {other}"
+        ))),
+        other => Err(SimError::Fault(format!(
+            "call to undefined function {other}"
+        ))),
     }
 }

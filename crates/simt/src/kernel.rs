@@ -216,14 +216,19 @@ mod tests {
     fn inject(op: barracuda_ptx::ast::Op) -> Module {
         use barracuda_ptx::ast::{Instruction, Statement};
         let mut m = bad_module("ret;");
-        m.kernels[0].stmts.insert(0, Statement::Instr(Instruction::new(op)));
+        m.kernels[0]
+            .stmts
+            .insert(0, Statement::Instr(Instruction::new(op)));
         m
     }
 
     #[test]
     fn unknown_branch_label_fails_at_load() {
         use barracuda_ptx::ast::Op;
-        let m = inject(Op::Bra { uni: true, target: "L_missing".into() });
+        let m = inject(Op::Bra {
+            uni: true,
+            target: "L_missing".into(),
+        });
         let err = LoadedKernel::load(&m, "k").unwrap_err();
         assert!(
             matches!(err, SimError::UnknownLabel(ref l) if l == "L_missing"),
@@ -240,7 +245,10 @@ mod tests {
             volatile: false,
             ty: Type::U32,
             dst: Reg(1),
-            addr: Address { base: AddrBase::Sym("no_such_sym".into()), offset: 0 },
+            addr: Address {
+                base: AddrBase::Sym("no_such_sym".into()),
+                offset: 0,
+            },
         });
         let err = LoadedKernel::load(&m, "k").unwrap_err();
         assert!(
@@ -258,7 +266,10 @@ mod tests {
             volatile: false,
             ty: Type::U64,
             dst: Reg(1),
-            addr: Address { base: AddrBase::Sym("no_such_param".into()), offset: 0 },
+            addr: Address {
+                base: AddrBase::Sym("no_such_param".into()),
+                offset: 0,
+            },
         });
         let err = LoadedKernel::load(&m, "k").unwrap_err();
         assert!(
@@ -271,7 +282,10 @@ mod tests {
     fn undefined_call_target_fails_at_load() {
         let m = bad_module("call.uni mystery_fn;\nret;");
         let err = LoadedKernel::load(&m, "k").unwrap_err();
-        assert!(matches!(err, SimError::BadInstruction { index: 0, .. }), "{err:?}");
+        assert!(
+            matches!(err, SimError::BadInstruction { index: 0, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -286,9 +300,7 @@ mod tests {
     #[test]
     fn unreachable_bad_code_still_fails_at_load() {
         // Validation covers the whole body, not just executed paths.
-        let m = bad_module(
-            "bra.uni L_end;\ncall.uni undefined_helper;\nL_end:\nret;",
-        );
+        let m = bad_module("bra.uni L_end;\ncall.uni undefined_helper;\nL_end:\nret;");
         assert!(LoadedKernel::load(&m, "k").is_err());
     }
 }

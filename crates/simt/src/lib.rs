@@ -63,16 +63,16 @@
 #![warn(missing_docs)]
 
 pub mod config;
+mod decode;
+mod exec;
+mod exec_ast;
 pub mod kernel;
 pub mod litmus;
+mod locals;
 pub mod machine;
 pub mod mem;
 pub mod sink;
 pub mod value;
-mod decode;
-mod exec;
-mod exec_ast;
-mod locals;
 pub mod warp;
 
 pub use config::{ExecMode, GpuConfig, MemoryModel, SimError};

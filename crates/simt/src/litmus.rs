@@ -119,7 +119,10 @@ pub fn run_mp(
             weak += 1;
         }
     }
-    Ok(MpResult { weak, total: iterations })
+    Ok(MpResult {
+        weak,
+        total: iterations,
+    })
 }
 
 /// One row of the Fig. 4 table.
@@ -138,7 +141,11 @@ pub struct MpTableRow {
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn mp_table(model: MemoryModel, iterations: u64, seed: u64) -> Result<Vec<MpTableRow>, SimError> {
+pub fn mp_table(
+    model: MemoryModel,
+    iterations: u64,
+    seed: u64,
+) -> Result<Vec<MpTableRow>, SimError> {
     let combos = [
         (Fence::Cta, Fence::Cta),
         (Fence::Cta, Fence::Gl),
@@ -150,7 +157,11 @@ pub fn mp_table(model: MemoryModel, iterations: u64, seed: u64) -> Result<Vec<Mp
         .enumerate()
         .map(|(i, &(f1, f2))| {
             let result = run_mp(f1, f2, model, iterations, seed.wrapping_add(i as u64))?;
-            Ok(MpTableRow { fence1: f1, fence2: f2, result })
+            Ok(MpTableRow {
+                fence1: f1,
+                fence2: f2,
+                result,
+            })
         })
         .collect()
 }
@@ -208,8 +219,7 @@ pub fn run_sb(
     iterations: u64,
     seed: u64,
 ) -> Result<MpResult, SimError> {
-    let module =
-        barracuda_ptx::parse(&sb_kernel_source(fence1, fence2)).expect("sb kernel parses");
+    let module = barracuda_ptx::parse(&sb_kernel_source(fence1, fence2)).expect("sb kernel parses");
     let lk = LoadedKernel::load(&module, "sb")?;
     let mut gpu = Gpu::new(GpuConfig::litmus(model, seed));
     let x = gpu.malloc(4);
@@ -228,7 +238,10 @@ pub fn run_sb(
             weak += 1;
         }
     }
-    Ok(MpResult { weak, total: iterations })
+    Ok(MpResult {
+        weak,
+        total: iterations,
+    })
 }
 
 /// Runs the coherence test (coRR): one thread reads a location twice while
@@ -282,7 +295,10 @@ L_reader:
             violations += 1;
         }
     }
-    Ok(MpResult { weak: violations, total: iterations })
+    Ok(MpResult {
+        weak: violations,
+        total: iterations,
+    })
 }
 
 #[cfg(test)]
@@ -294,12 +310,19 @@ mod tests {
     #[test]
     fn kepler_cta_cta_exhibits_weak_behaviour() {
         let r = run_mp(Fence::Cta, Fence::Cta, MemoryModel::KeplerK520, N, 42).unwrap();
-        assert!(r.weak > 0, "expected non-SC outcomes under K520 with cta/cta, got 0/{N}");
+        assert!(
+            r.weak > 0,
+            "expected non-SC outcomes under K520 with cta/cta, got 0/{N}"
+        );
     }
 
     #[test]
     fn kepler_gl_anywhere_restores_sc() {
-        for (f1, f2) in [(Fence::Cta, Fence::Gl), (Fence::Gl, Fence::Cta), (Fence::Gl, Fence::Gl)] {
+        for (f1, f2) in [
+            (Fence::Cta, Fence::Gl),
+            (Fence::Gl, Fence::Cta),
+            (Fence::Gl, Fence::Gl),
+        ] {
             let r = run_mp(f1, f2, MemoryModel::KeplerK520, N, 43).unwrap();
             assert_eq!(r.weak, 0, "{f1:?}/{f2:?} must be SC");
         }
@@ -314,14 +337,24 @@ mod tests {
 
     #[test]
     fn sc_model_never_weak() {
-        let r = run_mp(Fence::Cta, Fence::Cta, MemoryModel::SequentiallyConsistent, N, 45).unwrap();
+        let r = run_mp(
+            Fence::Cta,
+            Fence::Cta,
+            MemoryModel::SequentiallyConsistent,
+            N,
+            45,
+        )
+        .unwrap();
         assert_eq!(r.weak, 0);
     }
 
     #[test]
     fn sb_weak_under_cta_fences_on_kepler() {
         let r = run_sb(Fence::Cta, Fence::Cta, MemoryModel::KeplerK520, N, 50).unwrap();
-        assert!(r.weak > 0, "store buffering must be observable with cta fences");
+        assert!(
+            r.weak > 0,
+            "store buffering must be observable with cta fences"
+        );
     }
 
     #[test]

@@ -9,10 +9,10 @@ use crate::config::{ExecMode, GpuConfig, SimError};
 use crate::exec::{ExecCtx, StepOutcome};
 use crate::kernel::LoadedKernel;
 use crate::locals::LocalStore;
-use crate::{exec, exec_ast};
 use crate::mem::{GlobalMemory, SharedMemory};
 use crate::sink::EventSink;
 use crate::warp::{WarpState, WarpStatus};
+use crate::{exec, exec_ast};
 
 /// A device global-memory address returned by [`Gpu::malloc`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,7 +73,11 @@ impl Gpu {
     pub fn new(config: GpuConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
         let global = GlobalMemory::new(config.memory_model);
-        Gpu { config, global, rng }
+        Gpu {
+            config,
+            global,
+            rng,
+        }
     }
 
     /// The active configuration.
@@ -102,7 +106,9 @@ impl Gpu {
     ///
     /// Panics on writes to unallocated memory.
     pub fn write_bytes(&mut self, ptr: DevicePtr, data: &[u8]) {
-        self.global.write_bytes(ptr.0, data).expect("host write to unallocated memory");
+        self.global
+            .write_bytes(ptr.0, data)
+            .expect("host write to unallocated memory");
     }
 
     /// Host read from device memory.
@@ -111,7 +117,9 @@ impl Gpu {
     ///
     /// Panics on reads from unallocated memory.
     pub fn read_bytes(&self, ptr: DevicePtr, out: &mut [u8]) {
-        self.global.read_bytes(ptr.0, out).expect("host read from unallocated memory");
+        self.global
+            .read_bytes(ptr.0, out)
+            .expect("host read from unallocated memory");
     }
 
     /// Writes a slice of `u32`s starting at `ptr`.
@@ -207,12 +215,17 @@ impl Gpu {
         // Split the borrow of `self` so the execution context can hold
         // global memory mutably across a whole scheduling slice while the
         // scheduler keeps using the RNG.
-        let Gpu { config, global, rng } = self;
+        let Gpu {
+            config,
+            global,
+            rng,
+        } = self;
 
         global.begin_kernel(num_blocks);
         let shared_size = lk.kernel.shared_size();
-        let mut shareds: Vec<SharedMemory> =
-            (0..num_blocks).map(|_| SharedMemory::new(shared_size)).collect();
+        let mut shareds: Vec<SharedMemory> = (0..num_blocks)
+            .map(|_| SharedMemory::new(shared_size))
+            .collect();
         let mut warps: Vec<WarpState> = (0..num_warps)
             .map(|w| {
                 WarpState::new(
@@ -280,7 +293,9 @@ impl Gpu {
                 slice_left -= 1;
                 stats.instructions += 1;
                 if stats.instructions > config.max_steps {
-                    break Err(SimError::Timeout { steps: config.max_steps });
+                    break Err(SimError::Timeout {
+                        steps: config.max_steps,
+                    });
                 }
                 let out = match step(&mut ctx, &mut warps[wi]) {
                     Ok(o) => o,
@@ -303,9 +318,7 @@ impl Gpu {
                                     let base = block * warps_per_block;
                                     for i in 0..warps_per_block {
                                         let idx = (base + i) as usize;
-                                        if warps[idx].status == WarpStatus::Ready
-                                            && idx != wi
-                                        {
+                                        if warps[idx].status == WarpStatus::Ready && idx != wi {
                                             ready.push(idx);
                                         }
                                     }
@@ -401,7 +414,8 @@ mod tests {
         );
         let mut g = gpu();
         let out = g.malloc(32 * 4);
-        g.launch(&m, "k", GridDims::new(4u32, 8u32), &[ParamValue::Ptr(out)]).unwrap();
+        g.launch(&m, "k", GridDims::new(4u32, 8u32), &[ParamValue::Ptr(out)])
+            .unwrap();
         let v = g.read_u32s(out, 32);
         assert_eq!(v, (0..32).collect::<Vec<u32>>());
     }
@@ -428,7 +442,8 @@ mod tests {
         );
         let mut g = gpu();
         let out = g.malloc(8 * 4);
-        g.launch(&m, "k", GridDims::new(1u32, 8u32), &[ParamValue::Ptr(out)]).unwrap();
+        g.launch(&m, "k", GridDims::new(1u32, 8u32), &[ParamValue::Ptr(out)])
+            .unwrap();
         let v = g.read_u32s(out, 8);
         assert_eq!(v, vec![1, 2, 1, 2, 1, 2, 1, 2]);
     }
@@ -455,7 +470,8 @@ mod tests {
         );
         let mut g = gpu();
         let out = g.malloc(4 * 4);
-        g.launch(&m, "k", GridDims::new(1u32, 4u32), &[ParamValue::Ptr(out)]).unwrap();
+        g.launch(&m, "k", GridDims::new(1u32, 4u32), &[ParamValue::Ptr(out)])
+            .unwrap();
         assert_eq!(g.read_u32s(out, 4), vec![45; 4]);
     }
 
@@ -483,9 +499,14 @@ mod tests {
         );
         let mut g = gpu();
         let out = g.malloc(8 * 4);
-        let stats =
-            g.launch(&m, "k", GridDims::with_warp_size(1u32, 8u32, 4), &[ParamValue::Ptr(out)])
-                .unwrap();
+        let stats = g
+            .launch(
+                &m,
+                "k",
+                GridDims::with_warp_size(1u32, 8u32, 4),
+                &[ParamValue::Ptr(out)],
+            )
+            .unwrap();
         assert_eq!(g.read_u32s(out, 8), vec![7, 6, 5, 4, 3, 2, 1, 0]);
         assert_eq!(stats.barriers, 1);
     }
@@ -501,7 +522,8 @@ mod tests {
         );
         let mut g = gpu();
         let ctr = g.malloc(4);
-        g.launch(&m, "k", GridDims::new(4u32, 32u32), &[ParamValue::Ptr(ctr)]).unwrap();
+        g.launch(&m, "k", GridDims::new(4u32, 32u32), &[ParamValue::Ptr(ctr)])
+            .unwrap();
         assert_eq!(g.read_u32(ctr), 128);
     }
 
@@ -520,7 +542,9 @@ mod tests {
             "",
         );
         let mut g = gpu();
-        let err = g.launch(&m, "k", GridDims::new(1u32, 8u32), &[]).unwrap_err();
+        let err = g
+            .launch(&m, "k", GridDims::new(1u32, 8u32), &[])
+            .unwrap_err();
         assert!(matches!(err, SimError::BarrierDivergence { .. }), "{err:?}");
     }
 
@@ -538,7 +562,9 @@ mod tests {
             "",
         );
         let mut g = gpu();
-        let err = g.launch(&m, "k", GridDims::new(1u32, 4u32), &[]).unwrap_err();
+        let err = g
+            .launch(&m, "k", GridDims::new(1u32, 4u32), &[])
+            .unwrap_err();
         assert!(matches!(err, SimError::BarrierDivergence { .. }), "{err:?}");
     }
 
@@ -559,7 +585,8 @@ mod tests {
         );
         let mut g = gpu();
         let out = g.malloc(4 * 4);
-        g.launch(&m, "k", GridDims::new(1u32, 4u32), &[ParamValue::Ptr(out)]).unwrap();
+        g.launch(&m, "k", GridDims::new(1u32, 4u32), &[ParamValue::Ptr(out)])
+            .unwrap();
         assert_eq!(g.read_u32s(out, 4), vec![0, 0, 9, 9]);
     }
 
@@ -582,7 +609,8 @@ mod tests {
             ..GpuConfig::default()
         });
         let out = g.malloc(4 * 4);
-        g.launch(&m, "k", GridDims::new(4u32, 1u32), &[ParamValue::Ptr(out)]).unwrap();
+        g.launch(&m, "k", GridDims::new(4u32, 1u32), &[ParamValue::Ptr(out)])
+            .unwrap();
         // end_kernel drains buffers: final values must be visible.
         assert_eq!(g.read_u32s(out, 4), vec![0, 1, 2, 3]);
     }
@@ -590,8 +618,13 @@ mod tests {
     #[test]
     fn timeout_on_infinite_loop() {
         let m = module("L:\nbra.uni L;\nret;", "");
-        let mut g = Gpu::new(GpuConfig { max_steps: 10_000, ..GpuConfig::default() });
-        let err = g.launch(&m, "k", GridDims::new(1u32, 1u32), &[]).unwrap_err();
+        let mut g = Gpu::new(GpuConfig {
+            max_steps: 10_000,
+            ..GpuConfig::default()
+        });
+        let err = g
+            .launch(&m, "k", GridDims::new(1u32, 1u32), &[])
+            .unwrap_err();
         assert!(matches!(err, SimError::Timeout { .. }));
     }
 
@@ -601,7 +634,10 @@ mod tests {
         let mut g = gpu();
         assert!(matches!(
             g.launch(&m, "k", GridDims::new(1u32, 1u32), &[]),
-            Err(SimError::ParamCount { expected: 1, got: 0 })
+            Err(SimError::ParamCount {
+                expected: 1,
+                got: 0
+            })
         ));
         assert!(matches!(
             g.launch(&m, "nope", GridDims::new(1u32, 1u32), &[]),
@@ -640,7 +676,8 @@ mod tests {
         );
         let mut g = gpu();
         let out = g.malloc(4 * 4);
-        g.launch(&m, "k", GridDims::new(1u32, 4u32), &[ParamValue::Ptr(out)]).unwrap();
+        g.launch(&m, "k", GridDims::new(1u32, 4u32), &[ParamValue::Ptr(out)])
+            .unwrap();
         assert_eq!(g.read_u32s(out, 4), vec![10, 11, 12, 13]);
     }
 
@@ -654,9 +691,13 @@ mod tests {
             ".param .u64 ctr",
         );
         let run = |seed: u64| {
-            let mut g = Gpu::new(GpuConfig { seed, ..GpuConfig::default() });
+            let mut g = Gpu::new(GpuConfig {
+                seed,
+                ..GpuConfig::default()
+            });
             let ctr = g.malloc(4);
-            g.launch(&m, "k", GridDims::new(8u32, 32u32), &[ParamValue::Ptr(ctr)]).unwrap();
+            g.launch(&m, "k", GridDims::new(8u32, 32u32), &[ParamValue::Ptr(ctr)])
+                .unwrap();
             g.read_u32(ctr)
         };
         assert_eq!(run(1), run(1));

@@ -90,7 +90,9 @@ impl GlobalMemory {
         self.pages
             .get(&p)
             .map(|b| &**b)
-            .ok_or(SimError::InvalidAccess { addr: p << PAGE_SHIFT })
+            .ok_or(SimError::InvalidAccess {
+                addr: p << PAGE_SHIFT,
+            })
     }
 
     /// Reads committed bytes (host view; ignores store buffers).
@@ -132,11 +134,7 @@ impl GlobalMemory {
     pub fn load(&self, block: u64, addr: u64, size: u8) -> Result<u64, SimError> {
         if self.model.buffered() {
             if let Some(buf) = self.buffers.get(block as usize) {
-                if let Some(s) = buf
-                    .iter()
-                    .rev()
-                    .find(|s| s.addr == addr && s.size == size)
-                {
+                if let Some(s) = buf.iter().rev().find(|s| s.addr == addr && s.size == size) {
                     return Ok(s.value);
                 }
             }
@@ -262,7 +260,9 @@ pub struct SharedMemory {
 impl SharedMemory {
     /// A zeroed segment of `size` bytes.
     pub fn new(size: u64) -> Self {
-        SharedMemory { data: vec![0; size as usize] }
+        SharedMemory {
+            data: vec![0; size as usize],
+        }
     }
 
     /// Segment size in bytes.
@@ -273,7 +273,10 @@ impl SharedMemory {
     fn check(&self, offset: u64, size: u8) -> Result<usize, SimError> {
         let end = offset + u64::from(size);
         if end > self.data.len() as u64 {
-            return Err(SimError::SharedOutOfBounds { offset, size: self.data.len() as u64 });
+            return Err(SimError::SharedOutOfBounds {
+                offset,
+                size: self.data.len() as u64,
+            });
         }
         Ok(offset as usize)
     }
@@ -326,7 +329,10 @@ mod tests {
     #[test]
     fn invalid_access_detected() {
         let m = GlobalMemory::new(MemoryModel::SequentiallyConsistent);
-        assert!(matches!(m.read_committed(0xdead_0000_0000, 4), Err(SimError::InvalidAccess { .. })));
+        assert!(matches!(
+            m.read_committed(0xdead_0000_0000, 4),
+            Err(SimError::InvalidAccess { .. })
+        ));
     }
 
     #[test]
@@ -382,7 +388,10 @@ mod tests {
                 break;
             }
         }
-        assert!(seen_reorder, "Kepler preset should exhibit store reordering");
+        assert!(
+            seen_reorder,
+            "Kepler preset should exhibit store reordering"
+        );
     }
 
     #[test]
@@ -413,7 +422,11 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             m.drain_step(&mut rng);
             m.drain_step(&mut rng);
-            assert_eq!(m.read_committed(x, 4).unwrap(), 2, "final value must be the last store");
+            assert_eq!(
+                m.read_committed(x, 4).unwrap(),
+                2,
+                "final value must be the last store"
+            );
         }
     }
 
@@ -448,7 +461,10 @@ mod tests {
         assert_eq!(s.load(0, 4).unwrap(), 42);
         assert_eq!(s.atomic(0, 4, |v| v * 2).unwrap(), 42);
         assert_eq!(s.load(0, 4).unwrap(), 84);
-        assert!(matches!(s.load(13, 4), Err(SimError::SharedOutOfBounds { .. })));
+        assert!(matches!(
+            s.load(13, 4),
+            Err(SimError::SharedOutOfBounds { .. })
+        ));
         assert!(s.load(12, 4).is_ok());
     }
 

@@ -274,11 +274,19 @@ pub fn cvt(dty: Type, sty: Type, a: u64) -> u64 {
         (false, false) => {
             // Integer → integer: sign- or zero-extend per *source* type,
             // then truncate to destination width.
-            let wide = if sty.is_signed() { sext(sty, a) as u64 } else { trunc(sty, a) };
+            let wide = if sty.is_signed() {
+                sext(sty, a) as u64
+            } else {
+                trunc(sty, a)
+            };
             trunc(dty, wide)
         }
         (true, false) => {
-            let v = if sty.is_signed() { sext(sty, a) as f64 } else { trunc(sty, a) as f64 };
+            let v = if sty.is_signed() {
+                sext(sty, a) as f64
+            } else {
+                trunc(sty, a) as f64
+            };
             if dty == Type::F32 {
                 bits32(v as f32)
             } else {
@@ -286,8 +294,16 @@ pub fn cvt(dty: Type, sty: Type, a: u64) -> u64 {
             }
         }
         (false, true) => {
-            let v = if sty == Type::F32 { f64::from(f32_of(a)) } else { f64_of(a) };
-            let i = if dty.is_signed() { v as i64 as u64 } else { v as u64 };
+            let v = if sty == Type::F32 {
+                f64::from(f32_of(a))
+            } else {
+                f64_of(a)
+            };
+            let i = if dty.is_signed() {
+                v as i64 as u64
+            } else {
+                v as u64
+            };
             trunc(dty, i)
         }
         (true, true) => {
@@ -381,7 +397,10 @@ mod tests {
     #[test]
     fn mul_modes() {
         assert_eq!(mul(MulMode::Lo, Type::U32, 0x1_0000, 0x1_0000), 0); // overflowed low half
-        assert_eq!(mul(MulMode::Wide, Type::U32, 0x1_0000, 0x1_0000), 0x1_0000_0000);
+        assert_eq!(
+            mul(MulMode::Wide, Type::U32, 0x1_0000, 0x1_0000),
+            0x1_0000_0000
+        );
         assert_eq!(mul(MulMode::Hi, Type::U32, 0x1_0000, 0x1_0000), 1);
         // Signed wide: -2 * 3 = -6 as 64-bit
         let neg2 = trunc(Type::U32, (-2i64) as u64);
@@ -408,7 +427,10 @@ mod tests {
         let a = 2.5f32.to_bits() as u64;
         let b = 0.5f32.to_bits() as u64;
         assert_eq!(f32::from_bits(bin(BinOp::Add, Type::F32, a, b) as u32), 3.0);
-        assert_eq!(f32::from_bits(mul(MulMode::Lo, Type::F32, a, b) as u32), 1.25);
+        assert_eq!(
+            f32::from_bits(mul(MulMode::Lo, Type::F32, a, b) as u32),
+            1.25
+        );
         assert!(cmp(CmpOp::Gt, Type::F32, a, b));
         assert_eq!(f32::from_bits(un(UnOp::Neg, Type::F32, a) as u32), -2.5);
     }

@@ -70,7 +70,12 @@ impl WarpState {
             block,
             live_mask,
             exited: 0,
-            stack: vec![StackEntry { pc: 0, mask: live_mask, rpc: None, kind: EntryKind::Base }],
+            stack: vec![StackEntry {
+                pc: 0,
+                mask: live_mask,
+                rpc: None,
+                kind: EntryKind::Base,
+            }],
             status: WarpStatus::Ready,
             barrier_mask: 0,
             regs: vec![0; nregs * warp_size as usize],

@@ -231,7 +231,8 @@ pub(crate) fn programs() -> Vec<SuiteProgram> {
 
     v.push(SuiteProgram {
         name: "global_flag_rel_cta_acq_gl_norace",
-        description: "block-scope release + global-scope acquire synchronizes (ACQGLOBAL joins all slots)",
+        description:
+            "block-scope release + global-scope acquire synchronizes (ACQGLOBAL joins all slots)",
         source: flag_kernel("membar.cta", "membar.gl"),
         dims: GridDims::new(2u32, 1u32),
         args: vec![ArgSpec::Buf(12)],
@@ -240,7 +241,8 @@ pub(crate) fn programs() -> Vec<SuiteProgram> {
 
     v.push(SuiteProgram {
         name: "global_flag_rel_gl_acq_cta_norace",
-        description: "global-scope release + block-scope acquire synchronizes (RELGLOBAL sets all slots)",
+        description:
+            "global-scope release + block-scope acquire synchronizes (RELGLOBAL sets all slots)",
         source: flag_kernel("membar.gl", "membar.cta"),
         dims: GridDims::new(2u32, 1u32),
         args: vec![ArgSpec::Buf(12)],

@@ -81,7 +81,11 @@ pub enum Verdict {
 
 /// The standard module header for suite kernels.
 pub(crate) fn module_src(params: &str, body: &str) -> String {
-    let plist = if params.is_empty() { String::new() } else { params.to_string() };
+    let plist = if params.is_empty() {
+        String::new()
+    } else {
+        params.to_string()
+    };
     format!(
         ".version 4.3\n.target sm_35\n.address_size 64\n\
          .visible .entry k({plist})\n{{\n\
@@ -115,9 +119,19 @@ pub fn program(name: &str) -> Option<SuiteProgram> {
     all_programs().into_iter().find(|p| p.name == name)
 }
 
-/// Runs one program under BARRACUDA and returns the observed verdict.
+/// Runs one program under BARRACUDA with the default configuration and
+/// returns the observed verdict.
 pub fn run_program(p: &SuiteProgram) -> Verdict {
-    let mut bar = Barracuda::with_config(BarracudaConfig::default());
+    run_program_with(p, BarracudaConfig::default())
+}
+
+/// Runs one program under BARRACUDA with an explicit configuration
+/// (detection mode, queue sizing, fault plan, …) and returns the observed
+/// verdict. Degradation diagnostics ([`barracuda::Diagnostic::WorkerPanic`],
+/// [`barracuda::Diagnostic::LostRecords`]) do not affect the verdict; only
+/// barrier divergence does.
+pub fn run_program_with(p: &SuiteProgram, config: BarracudaConfig) -> Verdict {
+    let mut bar = Barracuda::with_config(config);
     let mut params = Vec::with_capacity(p.args.len());
     for a in &p.args {
         match a {
@@ -125,10 +139,19 @@ pub fn run_program(p: &SuiteProgram) -> Verdict {
             ArgSpec::U32(v) => params.push(ParamValue::U32(*v)),
         }
     }
-    let run = KernelRun { source: &p.source, kernel: KERNEL, dims: p.dims, params: &params };
+    let run = KernelRun {
+        source: &p.source,
+        kernel: KERNEL,
+        dims: p.dims,
+        params: &params,
+    };
     match bar.check(&run) {
         Ok(analysis) => {
-            if !analysis.diagnostics().is_empty() {
+            let diverged = analysis
+                .diagnostics()
+                .iter()
+                .any(|d| matches!(d, barracuda::Diagnostic::BarrierDivergence { .. }));
+            if diverged {
                 Verdict::BarrierDivergence
             } else if analysis.race_count() > 0 {
                 Verdict::Race

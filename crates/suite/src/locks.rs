@@ -44,11 +44,9 @@ pub(crate) fn programs() -> Vec<SuiteProgram> {
 
     v.push(SuiteProgram {
         name: "spinlock_unfenced_cas_race",
-        description: "hashtable bug 1: atomicCAS without a fence can be reordered with the critical section",
-        source: spinlock(
-            "",
-            "membar.gl;\natom.global.exch.b32 %r3, [%rd1], 0;\n",
-        ),
+        description:
+            "hashtable bug 1: atomicCAS without a fence can be reordered with the critical section",
+        source: spinlock("", "membar.gl;\natom.global.exch.b32 %r3, [%rd1], 0;\n"),
         dims: GridDims::new(2u32, 1u32),
         args: vec![ArgSpec::Buf(8)],
         expected: Expectation::Race,

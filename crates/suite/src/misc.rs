@@ -266,7 +266,8 @@ pub(crate) fn programs() -> Vec<SuiteProgram> {
     // buf layout: partials [0..16), ticket [16], out [20].
     v.push(SuiteProgram {
         name: "threadfence_reduction_norace",
-        description: "last-block pattern: fenced atomic ticket orders partial reads (threadFenceReduction)",
+        description:
+            "last-block pattern: fenced atomic ticket orders partial reads (threadFenceReduction)",
         source: module_src(
             ".param .u64 buf",
             "ld.param.u64 %rd1, [buf];\n\

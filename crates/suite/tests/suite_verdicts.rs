@@ -16,7 +16,10 @@ fn barracuda_correct_on_all_66_programs() {
                 | (Verdict::BarrierDivergence, Expectation::BarrierDivergence)
         );
         if !ok {
-            failures.push(format!("{}: expected {:?}, got {:?}", p.name, p.expected, verdict));
+            failures.push(format!(
+                "{}: expected {:?}, got {:?}",
+                p.name, p.expected, verdict
+            ));
         }
     }
     assert!(

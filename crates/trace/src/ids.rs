@@ -29,7 +29,8 @@ impl Dim3 {
     /// Linearizes a coordinate within this extent (CUDA order:
     /// `x + y*X + z*X*Y`).
     pub fn linearize(self, c: Dim3) -> u64 {
-        u64::from(c.x) + u64::from(c.y) * u64::from(self.x)
+        u64::from(c.x)
+            + u64::from(c.y) * u64::from(self.x)
             + u64::from(c.z) * u64::from(self.x) * u64::from(self.y)
     }
 
@@ -45,7 +46,11 @@ impl Dim3 {
 
 impl From<(u32, u32, u32)> for Dim3 {
     fn from(v: (u32, u32, u32)) -> Self {
-        Dim3 { x: v.0, y: v.1, z: v.2 }
+        Dim3 {
+            x: v.0,
+            y: v.1,
+            z: v.2,
+        }
     }
 }
 
@@ -105,7 +110,11 @@ impl GridDims {
             warp_size.is_power_of_two() && warp_size <= 32,
             "warp size must be a power of two ≤ 32"
         );
-        GridDims { grid, block, warp_size }
+        GridDims {
+            grid,
+            block,
+            warp_size,
+        }
     }
 
     /// Threads per block.
@@ -170,7 +179,10 @@ impl GridDims {
     pub fn tid_of_lane(&self, w: u64, lane: u32) -> Tid {
         let block = self.block_of_warp(w);
         let warp_in_block = w % self.warps_per_block();
-        self.tid(block, warp_in_block * u64::from(self.warp_size) + u64::from(lane))
+        self.tid(
+            block,
+            warp_in_block * u64::from(self.warp_size) + u64::from(lane),
+        )
     }
 
     /// Number of live lanes in global warp `w` (the last warp of each block

@@ -10,16 +10,25 @@
 //! * [`record`] — the fixed 272-byte log record of paper §4.2 (Fig. 6);
 //! * [`queue`] — the lock-free ring queue with write head / commit index /
 //!   read head (Fig. 6), plus the multi-queue set with block→queue
-//!   affinity of §4.2.
+//!   affinity of §4.2;
+//! * [`order`] — the ticketed total order over cross-queue
+//!   synchronization records (§4.3): consumer timing must never change
+//!   which happens-before edges the detector sees;
+//! * [`chaos`] — deterministic fault injection (stalled consumers, worker
+//!   panics, dropped/corrupted records) for hardening the pipeline.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod ids;
 pub mod ops;
+pub mod order;
 pub mod queue;
 pub mod record;
 
+pub use chaos::{ConsumerStall, FaultPlan, WorkerPanic};
 pub use ids::{Dim3, GridDims, Tid};
 pub use ops::{AccessKind, Event, MemSpace, Scope, TraceOp};
-pub use queue::{Queue, QueueSet};
+pub use order::SyncOrder;
+pub use queue::{PushOutcome, Queue, QueueSet};
 pub use record::Record;

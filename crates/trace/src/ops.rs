@@ -67,17 +67,62 @@ impl AccessKind {
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[allow(missing_docs)] // variants are self-describing
 pub enum TraceOp {
-    Rd { t: Tid, space: MemSpace, addr: u64, size: u8 },
-    Wr { t: Tid, space: MemSpace, addr: u64, size: u8 },
-    Endi { warp: u64 },
-    If { warp: u64, then_mask: u32, else_mask: u32 },
-    Else { warp: u64 },
-    Fi { warp: u64 },
-    Bar { block: u64 },
-    Atm { t: Tid, space: MemSpace, addr: u64, size: u8 },
-    Acq { t: Tid, space: MemSpace, addr: u64, size: u8, scope: Scope },
-    Rel { t: Tid, space: MemSpace, addr: u64, size: u8, scope: Scope },
-    AcqRel { t: Tid, space: MemSpace, addr: u64, size: u8, scope: Scope },
+    Rd {
+        t: Tid,
+        space: MemSpace,
+        addr: u64,
+        size: u8,
+    },
+    Wr {
+        t: Tid,
+        space: MemSpace,
+        addr: u64,
+        size: u8,
+    },
+    Endi {
+        warp: u64,
+    },
+    If {
+        warp: u64,
+        then_mask: u32,
+        else_mask: u32,
+    },
+    Else {
+        warp: u64,
+    },
+    Fi {
+        warp: u64,
+    },
+    Bar {
+        block: u64,
+    },
+    Atm {
+        t: Tid,
+        space: MemSpace,
+        addr: u64,
+        size: u8,
+    },
+    Acq {
+        t: Tid,
+        space: MemSpace,
+        addr: u64,
+        size: u8,
+        scope: Scope,
+    },
+    Rel {
+        t: Tid,
+        space: MemSpace,
+        addr: u64,
+        size: u8,
+        scope: Scope,
+    },
+    AcqRel {
+        t: Tid,
+        space: MemSpace,
+        addr: u64,
+        size: u8,
+        scope: Scope,
+    },
 }
 
 /// A warp-level event: the logical content of one 272-byte log record.
@@ -99,7 +144,11 @@ pub enum Event {
     },
     /// Warp executed a conditional branch; the active set split into the
     /// then-path and else-path masks (either may be empty).
-    If { warp: u64, then_mask: u32, else_mask: u32 },
+    If {
+        warp: u64,
+        then_mask: u32,
+        else_mask: u32,
+    },
     /// Warp switched to the else path of the innermost open branch.
     Else { warp: u64 },
     /// Warp reconverged at the end of the innermost open branch.
@@ -131,7 +180,14 @@ impl Event {
     /// detector's job since `bar(b)` is a *block*-level operation.
     pub fn expand(&self, dims: &GridDims) -> Vec<TraceOp> {
         match *self {
-            Event::Access { warp, kind, space, mask, ref addrs, size } => {
+            Event::Access {
+                warp,
+                kind,
+                space,
+                mask,
+                ref addrs,
+                size,
+            } => {
                 let mut ops = Vec::with_capacity(mask.count_ones() as usize + 1);
                 for lane in 0..dims.warp_size {
                     if mask & (1 << lane) == 0 {
@@ -140,21 +196,60 @@ impl Event {
                     let t = dims.tid_of_lane(warp, lane);
                     let addr = addrs[lane as usize];
                     ops.push(match kind {
-                        AccessKind::Read => TraceOp::Rd { t, space, addr, size },
-                        AccessKind::Write => TraceOp::Wr { t, space, addr, size },
-                        AccessKind::Atomic => TraceOp::Atm { t, space, addr, size },
-                        AccessKind::Acquire(scope) => TraceOp::Acq { t, space, addr, size, scope },
-                        AccessKind::Release(scope) => TraceOp::Rel { t, space, addr, size, scope },
-                        AccessKind::AcquireRelease(scope) => {
-                            TraceOp::AcqRel { t, space, addr, size, scope }
-                        }
+                        AccessKind::Read => TraceOp::Rd {
+                            t,
+                            space,
+                            addr,
+                            size,
+                        },
+                        AccessKind::Write => TraceOp::Wr {
+                            t,
+                            space,
+                            addr,
+                            size,
+                        },
+                        AccessKind::Atomic => TraceOp::Atm {
+                            t,
+                            space,
+                            addr,
+                            size,
+                        },
+                        AccessKind::Acquire(scope) => TraceOp::Acq {
+                            t,
+                            space,
+                            addr,
+                            size,
+                            scope,
+                        },
+                        AccessKind::Release(scope) => TraceOp::Rel {
+                            t,
+                            space,
+                            addr,
+                            size,
+                            scope,
+                        },
+                        AccessKind::AcquireRelease(scope) => TraceOp::AcqRel {
+                            t,
+                            space,
+                            addr,
+                            size,
+                            scope,
+                        },
                     });
                 }
                 ops.push(TraceOp::Endi { warp });
                 ops
             }
-            Event::If { warp, then_mask, else_mask } => {
-                vec![TraceOp::If { warp, then_mask, else_mask }]
+            Event::If {
+                warp,
+                then_mask,
+                else_mask,
+            } => {
+                vec![TraceOp::If {
+                    warp,
+                    then_mask,
+                    else_mask,
+                }]
             }
             Event::Else { warp } => vec![TraceOp::Else { warp }],
             Event::Fi { warp } => vec![TraceOp::Fi { warp }],
@@ -197,11 +292,21 @@ mod tests {
         assert_eq!(ops.len(), 3);
         assert_eq!(
             ops[0],
-            TraceOp::Rd { t: Tid(0), space: MemSpace::Global, addr: 100, size: 4 }
+            TraceOp::Rd {
+                t: Tid(0),
+                space: MemSpace::Global,
+                addr: 100,
+                size: 4
+            }
         );
         assert_eq!(
             ops[1],
-            TraceOp::Rd { t: Tid(2), space: MemSpace::Global, addr: 108, size: 4 }
+            TraceOp::Rd {
+                t: Tid(2),
+                space: MemSpace::Global,
+                addr: 108,
+                size: 4
+            }
         );
         assert_eq!(ops[2], TraceOp::Endi { warp: 0 });
     }
@@ -220,18 +325,46 @@ mod tests {
         };
         let ops = e.expand(&dims());
         // Warp 1 lane 1 = thread 5 of the block.
-        assert_eq!(ops[0], TraceOp::Wr { t: Tid(5), space: MemSpace::Shared, addr: 4, size: 4 });
+        assert_eq!(
+            ops[0],
+            TraceOp::Wr {
+                t: Tid(5),
+                space: MemSpace::Shared,
+                addr: 4,
+                size: 4
+            }
+        );
     }
 
     #[test]
     fn branch_events_expand_directly() {
         let d = dims();
         assert_eq!(
-            Event::If { warp: 0, then_mask: 1, else_mask: 2 }.expand(&d),
-            vec![TraceOp::If { warp: 0, then_mask: 1, else_mask: 2 }]
+            Event::If {
+                warp: 0,
+                then_mask: 1,
+                else_mask: 2
+            }
+            .expand(&d),
+            vec![TraceOp::If {
+                warp: 0,
+                then_mask: 1,
+                else_mask: 2
+            }]
         );
-        assert_eq!(Event::Else { warp: 0 }.expand(&d), vec![TraceOp::Else { warp: 0 }]);
-        assert_eq!(Event::Fi { warp: 0 }.expand(&d), vec![TraceOp::Fi { warp: 0 }]);
-        assert!(Event::Bar { warp: 0, mask: 0b1111 }.expand(&d).is_empty());
+        assert_eq!(
+            Event::Else { warp: 0 }.expand(&d),
+            vec![TraceOp::Else { warp: 0 }]
+        );
+        assert_eq!(
+            Event::Fi { warp: 0 }.expand(&d),
+            vec![TraceOp::Fi { warp: 0 }]
+        );
+        assert!(Event::Bar {
+            warp: 0,
+            mask: 0b1111
+        }
+        .expand(&d)
+        .is_empty());
     }
 }

@@ -27,6 +27,23 @@ pub struct Queue {
     write_head: AtomicU64,
     commit: AtomicU64,
     read_head: AtomicU64,
+    // Telemetry (monotonic; written by producers, read by anyone).
+    high_water: AtomicU64,
+    stall_cycles: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// Outcome of a bounded-stall push ([`Queue::push_bounded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The record was committed after `stalled` spin-yield cycles.
+    Pushed {
+        /// Cycles spent waiting for space or earlier commits.
+        stalled: u64,
+    },
+    /// The stall budget ran out; the record was dropped and counted in
+    /// [`Queue::dropped`].
+    Dropped,
 }
 
 // SAFETY: slot access is mediated by the write-head / commit / read-head
@@ -53,6 +70,9 @@ impl Queue {
             write_head: AtomicU64::new(0),
             commit: AtomicU64::new(0),
             read_head: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+            stall_cycles: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -82,16 +102,54 @@ impl Queue {
         self.slots[(virt % self.slots.len() as u64) as usize].get()
     }
 
+    /// Highest committed-but-unread depth ever observed at a publish
+    /// (queue pressure high-water mark).
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Total producer spin-yield cycles spent waiting for space or for
+    /// earlier slots to commit.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Records dropped by [`Queue::push_bounded`] after exhausting their
+    /// stall budget.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Publishes slot `idx` (which this thread reserved and filled) once
+    /// every earlier slot has committed, counting stall cycles, and
+    /// updates the high-water mark.
+    fn publish(&self, idx: u64, stalled: &mut u64) {
+        // Publish in order: wait until all earlier slots are committed.
+        // Yield while waiting — on oversubscribed machines a pure spin can
+        // starve the producer holding the earlier slot.
+        while self.commit.load(Ordering::Acquire) != idx {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+            *stalled += 1;
+        }
+        self.commit.store(idx + 1, Ordering::Release);
+        // read_head may already have raced past idx+1; saturate to zero.
+        let depth = (idx + 1).saturating_sub(self.read_head.load(Ordering::Relaxed));
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Appends a record, spinning while the queue is full (the GPU logger
     /// "waits for the CPU to drain queue entries if necessary", §4.2).
     pub fn push(&self, record: Record) {
         let cap = self.slots.len() as u64;
+        let mut stalled = 0u64;
         // Reserve a slot.
         let idx = loop {
             let w = self.write_head.load(Ordering::Relaxed);
             if w - self.read_head.load(Ordering::Acquire) >= cap {
                 std::hint::spin_loop();
                 std::thread::yield_now();
+                stalled += 1;
                 continue;
             }
             if self
@@ -107,23 +165,80 @@ impl Queue {
         unsafe {
             *self.slot(idx) = record;
         }
-        // Publish in order: wait until all earlier slots are committed.
-        // Yield while waiting — on oversubscribed machines a pure spin can
-        // starve the producer holding the earlier slot.
-        while self.commit.load(Ordering::Acquire) != idx {
-            std::hint::spin_loop();
-            std::thread::yield_now();
+        self.publish(idx, &mut stalled);
+        if stalled > 0 {
+            self.stall_cycles.fetch_add(stalled, Ordering::Relaxed);
         }
-        self.commit.store(idx + 1, Ordering::Release);
     }
 
-    /// Attempts to append without blocking; returns `false` if the queue is
-    /// momentarily full or another producer holds an uncommitted earlier
-    /// slot would need waiting. Prefer [`Queue::push`]; this exists for
-    /// tests exercising the full condition.
+    /// Like [`Queue::push`], but gives up after `max_stalls` spin-yield
+    /// cycles (spent waiting either for space or for earlier producers to
+    /// commit). A record that cannot be committed within the budget is
+    /// dropped and counted in [`Queue::dropped`] — the degradation path
+    /// for a dead or wedged consumer, instead of deadlocking the
+    /// producer.
+    ///
+    /// Note the budget is only consulted *before* the slot reservation:
+    /// once the reservation CAS succeeds the slot must be committed (a
+    /// reservation cannot be rolled back), so the publish wait runs to
+    /// completion and may overshoot the budget while earlier producers
+    /// finish. That wait is bounded by the other producers' progress, not
+    /// the consumer's, so it cannot deadlock on a dead consumer.
+    pub fn push_bounded(&self, record: Record, max_stalls: u64) -> PushOutcome {
+        let cap = self.slots.len() as u64;
+        let mut stalled = 0u64;
+        let idx = loop {
+            let w = self.write_head.load(Ordering::Relaxed);
+            if w - self.read_head.load(Ordering::Acquire) >= cap {
+                if stalled >= max_stalls {
+                    self.stall_cycles.fetch_add(stalled, Ordering::Relaxed);
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return PushOutcome::Dropped;
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                stalled += 1;
+                continue;
+            }
+            if self
+                .write_head
+                .compare_exchange_weak(w, w + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                break w;
+            }
+        };
+        unsafe {
+            *self.slot(idx) = record;
+        }
+        self.publish(idx, &mut stalled);
+        if stalled > 0 {
+            self.stall_cycles.fetch_add(stalled, Ordering::Relaxed);
+        }
+        PushOutcome::Pushed { stalled }
+    }
+
+    /// Attempts to append without blocking: returns `false` when the queue
+    /// is full *or* another producer holds an uncommitted earlier slot
+    /// (i.e. the call would otherwise have to wait). Never spins.
+    ///
+    /// The reserve-then-publish protocol cannot roll a reservation back,
+    /// so the only way to stay non-blocking is to reserve *only when this
+    /// push can also publish immediately* — that is, when the commit index
+    /// has caught up with the write head. Concurrent `push` callers may
+    /// make this fail spuriously; callers must treat `false` as "retry or
+    /// drop", not "full".
     pub fn try_push(&self, record: Record) -> bool {
         let cap = self.slots.len() as u64;
+        // Read commit BEFORE write_head: commit is monotonic and never
+        // exceeds write_head, so observing c == w here and winning the CAS
+        // below proves commit == w for the whole window (any later
+        // reservation would have bumped write_head and failed our CAS).
+        let c = self.commit.load(Ordering::Acquire);
         let w = self.write_head.load(Ordering::Relaxed);
+        if w != c {
+            return false; // an earlier slot is reserved but uncommitted
+        }
         if w - self.read_head.load(Ordering::Acquire) >= cap {
             return false;
         }
@@ -137,12 +252,30 @@ impl Queue {
         unsafe {
             *self.slot(w) = record;
         }
-        while self.commit.load(Ordering::Acquire) != w {
-            std::hint::spin_loop();
-            std::thread::yield_now();
-        }
+        // No earlier uncommitted slot can exist (see above): publish
+        // immediately, without waiting.
         self.commit.store(w + 1, Ordering::Release);
+        let depth = (w + 1).saturating_sub(self.read_head.load(Ordering::Relaxed));
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
         true
+    }
+
+    /// Test-only: reserves a slot without committing it, simulating a
+    /// producer paused between reservation and publish.
+    #[cfg(test)]
+    fn reserve_uncommitted(&self) -> u64 {
+        self.write_head.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Test-only: fills and publishes a slot taken by
+    /// [`Queue::reserve_uncommitted`].
+    #[cfg(test)]
+    fn commit_reserved(&self, idx: u64, record: Record) {
+        unsafe {
+            *self.slot(idx) = record;
+        }
+        let mut stalled = 0u64;
+        self.publish(idx, &mut stalled);
     }
 
     /// Removes and returns the oldest committed record, if any.
@@ -204,7 +337,9 @@ impl QueueSet {
     /// Panics if `n` is zero.
     pub fn new(n: usize, capacity: usize) -> Self {
         assert!(n > 0, "need at least one queue");
-        QueueSet { queues: (0..n).map(|_| Arc::new(Queue::new(capacity))).collect() }
+        QueueSet {
+            queues: (0..n).map(|_| Arc::new(Queue::new(capacity))).collect(),
+        }
     }
 
     /// Number of queues.
@@ -240,6 +375,25 @@ impl QueueSet {
     /// Total records ever committed across all queues.
     pub fn total_committed(&self) -> u64 {
         self.queues.iter().map(|q| q.committed()).sum()
+    }
+
+    /// Largest high-water mark across all queues.
+    pub fn max_high_water(&self) -> u64 {
+        self.queues
+            .iter()
+            .map(|q| q.high_water())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total producer stall cycles across all queues.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.queues.iter().map(|q| q.stall_cycles()).sum()
+    }
+
+    /// Total records dropped by bounded pushes across all queues.
+    pub fn total_dropped(&self) -> u64 {
+        self.queues.iter().map(|q| q.dropped()).sum()
     }
 }
 
@@ -369,6 +523,170 @@ mod tests {
         assert_eq!(qs.total_committed(), 1);
         assert_eq!(qs.queue(1).try_pop().unwrap().warp, 9);
         assert!(qs.all_empty());
+    }
+
+    #[test]
+    fn try_push_does_not_wait_for_uncommitted_producers() {
+        // Simulate a producer paused between its reservation CAS and its
+        // publish. The old try_push would spin forever here waiting for
+        // the earlier slot to commit; the contract says it never blocks.
+        let q = Queue::new(8);
+        let idx = q.reserve_uncommitted();
+        assert!(!q.try_push(rec(1)), "must bail instead of waiting");
+        assert!(q.is_empty(), "nothing may be committed");
+        // Once the paused producer publishes, try_push works again.
+        q.commit_reserved(idx, rec(0));
+        assert!(q.try_push(rec(1)));
+        assert_eq!(q.try_pop().unwrap().warp, 0);
+        assert_eq!(q.try_pop().unwrap().warp, 1);
+    }
+
+    #[test]
+    fn push_bounded_drops_when_consumer_is_dead() {
+        let q = Queue::new(2);
+        assert_eq!(
+            q.push_bounded(rec(0), 16),
+            PushOutcome::Pushed { stalled: 0 }
+        );
+        assert_eq!(
+            q.push_bounded(rec(1), 16),
+            PushOutcome::Pushed { stalled: 0 }
+        );
+        // Queue full, nobody draining: the budget runs out and the record
+        // is dropped instead of deadlocking.
+        assert_eq!(q.push_bounded(rec(2), 16), PushOutcome::Dropped);
+        assert_eq!(q.dropped(), 1);
+        assert!(q.stall_cycles() >= 16);
+        // Draining restores the push path.
+        q.try_pop().unwrap();
+        assert!(matches!(
+            q.push_bounded(rec(3), 16),
+            PushOutcome::Pushed { .. }
+        ));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let q = Queue::new(8);
+        assert_eq!(q.high_water(), 0);
+        for i in 0..5 {
+            q.push(rec(i));
+        }
+        assert_eq!(q.high_water(), 5);
+        for _ in 0..5 {
+            q.try_pop().unwrap();
+        }
+        // Draining does not lower the mark; shallow refills do not raise it.
+        q.push(rec(9));
+        assert_eq!(q.high_water(), 5);
+    }
+
+    #[test]
+    fn mpsc_stress_no_loss_no_dup_per_producer_fifo() {
+        // N producers push tagged records through a deliberately tiny
+        // queue; the consumer checks global no-loss/no-dup and that each
+        // producer's records arrive in its emission order.
+        let q = Arc::new(Queue::new(8));
+        let producers = 8u64;
+        let per = 3_000u64;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        // warp field carries (producer, sequence).
+                        q.push(rec(p * per + i));
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut next = vec![0u64; producers as usize];
+                let mut total = 0u64;
+                while total < producers * per {
+                    if let Some(r) = q.try_pop() {
+                        let p = (r.warp / per) as usize;
+                        let seq = r.warp % per;
+                        assert_eq!(next[p], seq, "producer {p} out of order");
+                        next[p] += 1;
+                        total += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                next
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        let next = consumer.join().unwrap();
+        assert!(
+            next.iter().all(|&n| n == per),
+            "loss or duplication: {next:?}"
+        );
+        assert_eq!(q.committed(), producers * per);
+        assert!(q.is_empty());
+        assert!(q.high_water() <= 8);
+    }
+
+    #[test]
+    fn try_push_under_contention_completes_without_blocking_calls() {
+        // Producers use only try_push (retrying on false); the whole run
+        // finishing proves no call ever wedged on another producer's
+        // uncommitted slot.
+        let q = Arc::new(Queue::new(4));
+        let producers = 4u64;
+        let per = 500u64;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        while !q.try_push(rec(p * per + i)) {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while seen.len() < (producers * per) as usize {
+                    match q.try_pop() {
+                        Some(r) => seen.push(r.warp),
+                        None => std::thread::yield_now(),
+                    }
+                }
+                seen
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..producers * per).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn queue_set_aggregates_telemetry() {
+        let qs = QueueSet::new(2, 4);
+        for i in 0..4 {
+            qs.queue(0).push(rec(i));
+        }
+        qs.queue(1).push(rec(9));
+        assert_eq!(qs.max_high_water(), 4);
+        assert_eq!(qs.total_dropped(), 0);
+        assert_eq!(qs.queue(0).push_bounded(rec(5), 4), PushOutcome::Dropped);
+        assert_eq!(qs.total_dropped(), 1);
+        assert!(qs.total_stall_cycles() >= 4);
     }
 
     #[test]

@@ -61,15 +61,24 @@ impl std::fmt::Debug for Record {
     }
 }
 
-
-const _: () = assert!(std::mem::size_of::<Record>() == 272, "record must be 16 + 8*32 bytes");
+const _: () = assert!(
+    std::mem::size_of::<Record>() == 272,
+    "record must be 16 + 8*32 bytes"
+);
 
 impl Record {
     /// Encodes a warp-level [`Event`] as a record.
     pub fn encode(event: &Event) -> Record {
         let mut r = Record::default();
         match *event {
-            Event::Access { warp, kind, space, mask, addrs, size } => {
+            Event::Access {
+                warp,
+                kind,
+                space,
+                mask,
+                addrs,
+                size,
+            } => {
                 r.warp = warp;
                 r.kind = match kind {
                     AccessKind::Read => RecordKind::Read,
@@ -90,7 +99,11 @@ impl Record {
                 r.mask = mask;
                 r.addrs = addrs;
             }
-            Event::If { warp, then_mask, else_mask } => {
+            Event::If {
+                warp,
+                then_mask,
+                else_mask,
+            } => {
                 r.warp = warp;
                 r.kind = RecordKind::If as u8;
                 r.mask = then_mask;
@@ -118,17 +131,45 @@ impl Record {
         r
     }
 
+    /// True for synchronization records on *global* memory — the records
+    /// whose effect on the detector's shared synchronization-location map
+    /// is order-sensitive across queues and must go through a
+    /// [`SyncOrder`](crate::SyncOrder) ticket. Shared-memory
+    /// synchronization is per-block (one queue) and needs no ordering.
+    pub fn is_global_sync(&self) -> bool {
+        self.space == 0
+            && self.kind >= RecordKind::AcqBlk as u8
+            && self.kind <= RecordKind::AcqRelGlb as u8
+    }
+
+    /// Decodes a record back to an [`Event`], or `None` when the kind
+    /// byte is not one [`Record::encode`] produces (a corrupted record).
+    /// Fault-tolerant consumers use this to skip and count damaged
+    /// records instead of crashing.
+    pub fn try_decode(&self) -> Option<Event> {
+        if self.kind <= RecordKind::Exit as u8 {
+            Some(self.decode())
+        } else {
+            None
+        }
+    }
+
     /// Decodes a record back to an [`Event`].
     ///
     /// # Panics
     ///
     /// Panics on a corrupted kind byte (records are produced only by
-    /// [`Record::encode`]).
+    /// [`Record::encode`]); see [`Record::try_decode`] for the tolerant
+    /// variant.
     pub fn decode(&self) -> Event {
         let access = |kind: AccessKind| Event::Access {
             warp: self.warp,
             kind,
-            space: if self.space == 0 { MemSpace::Global } else { MemSpace::Shared },
+            space: if self.space == 0 {
+                MemSpace::Global
+            } else {
+                MemSpace::Shared
+            },
             mask: self.mask,
             addrs: self.addrs,
             size: self.size,
@@ -154,8 +195,14 @@ impl Record {
             },
             k if k == RecordKind::Else as u8 => Event::Else { warp: self.warp },
             k if k == RecordKind::Fi as u8 => Event::Fi { warp: self.warp },
-            k if k == RecordKind::Bar as u8 => Event::Bar { warp: self.warp, mask: self.mask },
-            k if k == RecordKind::Exit as u8 => Event::Exit { warp: self.warp, mask: self.mask },
+            k if k == RecordKind::Bar as u8 => Event::Bar {
+                warp: self.warp,
+                mask: self.mask,
+            },
+            k if k == RecordKind::Exit as u8 => Event::Exit {
+                warp: self.warp,
+                mask: self.mask,
+            },
             k => panic!("corrupt record kind {k}"),
         }
     }
@@ -214,13 +261,68 @@ mod tests {
     #[test]
     fn control_events_round_trip() {
         for e in [
-            Event::If { warp: 3, then_mask: 0b0110, else_mask: 0b1001 },
+            Event::If {
+                warp: 3,
+                then_mask: 0b0110,
+                else_mask: 0b1001,
+            },
             Event::Else { warp: 3 },
             Event::Fi { warp: 3 },
-            Event::Bar { warp: 9, mask: 0xffff },
+            Event::Bar {
+                warp: 9,
+                mask: 0xffff,
+            },
             Event::Exit { warp: 9, mask: 0x3 },
         ] {
             assert_eq!(Record::encode(&e).decode(), e, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn global_sync_records_are_flagged_for_ordering() {
+        let sync = Event::Access {
+            warp: 0,
+            kind: AccessKind::Release(Scope::Global),
+            space: MemSpace::Global,
+            mask: 1,
+            addrs: [0; 32],
+            size: 4,
+        };
+        assert!(Record::encode(&sync).is_global_sync());
+        // Shared-memory sync is per-block: no cross-queue ordering.
+        let shared = Event::Access {
+            warp: 0,
+            kind: AccessKind::Acquire(Scope::Block),
+            space: MemSpace::Shared,
+            mask: 1,
+            addrs: [0; 32],
+            size: 4,
+        };
+        assert!(!Record::encode(&shared).is_global_sync());
+        // Plain accesses and control records are unordered.
+        let write = Event::Access {
+            warp: 0,
+            kind: AccessKind::Write,
+            space: MemSpace::Global,
+            mask: 1,
+            addrs: [0; 32],
+            size: 4,
+        };
+        assert!(!Record::encode(&write).is_global_sync());
+        assert!(!Record::encode(&Event::Bar { warp: 0, mask: 1 }).is_global_sync());
+        // A corrupted kind byte is never treated as ordered.
+        let mut r = Record::encode(&sync);
+        r.kind = 0xC3;
+        assert!(!r.is_global_sync());
+    }
+
+    #[test]
+    fn try_decode_rejects_corrupt_kinds_accepts_valid_ones() {
+        let mut r = Record::encode(&Event::Bar { warp: 1, mask: 0xf });
+        assert_eq!(r.try_decode(), Some(Event::Bar { warp: 1, mask: 0xf }));
+        for bad in [14u8, 0x40, 0xC7, 0xff] {
+            r.kind = bad;
+            assert_eq!(r.try_decode(), None, "kind {bad} must be rejected");
         }
     }
 }

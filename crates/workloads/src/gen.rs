@@ -134,7 +134,10 @@ pub fn generate(cfg: &GenCfg, scale: &Scale) -> WorkloadInstance {
     let tpb = cfg.tpb;
     let mut threads = cfg.threads.min(scale.max_threads);
     let min_blocks = if cfg.sites.iter().any(|s| {
-        matches!(s, RaceSite::PlantedGlobal(_) | RaceSite::Hashtable | RaceSite::ShocBfs)
+        matches!(
+            s,
+            RaceSite::PlantedGlobal(_) | RaceSite::Hashtable | RaceSite::ShocBfs
+        )
     }) {
         2
     } else {
@@ -193,12 +196,16 @@ pub fn generate(cfg: &GenCfg, scale: &Scale) -> WorkloadInstance {
     b.push(Op::Mov {
         ty: Type::U32,
         dst: tidx,
-        src: Operand::Special(barracuda_ptx::ast::SpecialReg::Tid(barracuda_ptx::ast::Dim::X)),
+        src: Operand::Special(barracuda_ptx::ast::SpecialReg::Tid(
+            barracuda_ptx::ast::Dim::X,
+        )),
     });
     b.push(Op::Mov {
         ty: Type::U32,
         dst: ctaid,
-        src: Operand::Special(barracuda_ptx::ast::SpecialReg::Ctaid(barracuda_ptx::ast::Dim::X)),
+        src: Operand::Special(barracuda_ptx::ast::SpecialReg::Ctaid(
+            barracuda_ptx::ast::Dim::X,
+        )),
     });
     let buf = b.load_param_ptr("buf");
     let my = b.index_addr(buf, lin, 4);
@@ -212,8 +219,23 @@ pub fn generate(cfg: &GenCfg, scale: &Scale) -> WorkloadInstance {
     });
     let acc = b.fresh(RegClass::B32);
     let scratch = b.fresh(RegClass::B32);
-    b.push(Op::Mov { ty: Type::U32, dst: acc, src: Operand::Reg(lin) });
-    let mut e = Emitter { b, acc, scratch, lin, tidx, ctaid, buf, my, ro, pad_salt: 7 };
+    b.push(Op::Mov {
+        ty: Type::U32,
+        dst: acc,
+        src: Operand::Reg(lin),
+    });
+    let mut e = Emitter {
+        b,
+        acc,
+        scratch,
+        lin,
+        tidx,
+        ctaid,
+        buf,
+        my,
+        ro,
+        pad_salt: 7,
+    };
 
     // Shared staging + barriers (all threads participate).
     let needs_shared = cfg.barrier_rounds > 0 || shared_races > 0;
@@ -224,7 +246,11 @@ pub fn generate(cfg: &GenCfg, scale: &Scale) -> WorkloadInstance {
             let smp = e.b.fresh(RegClass::B64);
             let smn = e.b.fresh(RegClass::B64);
             let neigh = e.b.fresh(RegClass::B32);
-            e.b.push(Op::Mov { ty: Type::U64, dst: smp, src: Operand::Sym("sm".into()) });
+            e.b.push(Op::Mov {
+                ty: Type::U64,
+                dst: smp,
+                src: Operand::Sym("sm".into()),
+            });
             let off = e.b.fresh(RegClass::B64);
             e.b.push(Op::Mul {
                 mode: MulMode::Wide,
@@ -233,14 +259,48 @@ pub fn generate(cfg: &GenCfg, scale: &Scale) -> WorkloadInstance {
                 a: Operand::Reg(e.tidx),
                 b: Operand::Imm(4),
             });
-            e.b.push(Op::Bin { op: BinOp::Add, ty: Type::S64, dst: smp, a: Operand::Reg(smp), b: Operand::Reg(off) });
+            e.b.push(Op::Bin {
+                op: BinOp::Add,
+                ty: Type::S64,
+                dst: smp,
+                a: Operand::Reg(smp),
+                b: Operand::Reg(off),
+            });
             // neighbour = (tidx + 1) & (tpb - 1)
-            e.b.push(Op::Bin { op: BinOp::Add, ty: Type::S32, dst: neigh, a: Operand::Reg(e.tidx), b: Operand::Imm(1) });
-            e.b.push(Op::Bin { op: BinOp::And, ty: Type::B32, dst: neigh, a: Operand::Reg(neigh), b: Operand::Imm(i64::from(tpb) - 1) });
-            e.b.push(Op::Mov { ty: Type::U64, dst: smn, src: Operand::Sym("sm".into()) });
+            e.b.push(Op::Bin {
+                op: BinOp::Add,
+                ty: Type::S32,
+                dst: neigh,
+                a: Operand::Reg(e.tidx),
+                b: Operand::Imm(1),
+            });
+            e.b.push(Op::Bin {
+                op: BinOp::And,
+                ty: Type::B32,
+                dst: neigh,
+                a: Operand::Reg(neigh),
+                b: Operand::Imm(i64::from(tpb) - 1),
+            });
+            e.b.push(Op::Mov {
+                ty: Type::U64,
+                dst: smn,
+                src: Operand::Sym("sm".into()),
+            });
             let noff = e.b.fresh(RegClass::B64);
-            e.b.push(Op::Mul { mode: MulMode::Wide, ty: Type::U32, dst: noff, a: Operand::Reg(neigh), b: Operand::Imm(4) });
-            e.b.push(Op::Bin { op: BinOp::Add, ty: Type::S64, dst: smn, a: Operand::Reg(smn), b: Operand::Reg(noff) });
+            e.b.push(Op::Mul {
+                mode: MulMode::Wide,
+                ty: Type::U32,
+                dst: noff,
+                a: Operand::Reg(neigh),
+                b: Operand::Imm(4),
+            });
+            e.b.push(Op::Bin {
+                op: BinOp::Add,
+                ty: Type::S64,
+                dst: smn,
+                a: Operand::Reg(smn),
+                b: Operand::Reg(noff),
+            });
             for _ in 0..cfg.barrier_rounds {
                 e.b.push(Op::St {
                     space: barracuda_ptx::Space::Shared,
@@ -269,20 +329,60 @@ pub fn generate(cfg: &GenCfg, scale: &Scale) -> WorkloadInstance {
         let p = e.b.fresh(RegClass::Pred);
         let l_else = e.b.fresh_label("else");
         let l_end = e.b.fresh_label("fi");
-        e.b.push(Op::Bin { op: BinOp::And, ty: Type::B32, dst: e.scratch, a: Operand::Reg(e.tidx), b: Operand::Imm(1 << (i % 3)) });
-        e.b.push(Op::Setp { cmp: CmpOp::Eq, ty: Type::S32, dst: p, a: Operand::Reg(e.scratch), b: Operand::Imm(0) });
-        e.b.push_guarded(p, true, Op::Bra { uni: false, target: l_else.clone() });
-        e.b.push(Op::Bin { op: BinOp::Xor, ty: Type::B32, dst: e.acc, a: Operand::Reg(e.acc), b: Operand::Imm(0x5a5a) });
-        e.b.push(Op::Bra { uni: true, target: l_end.clone() });
+        e.b.push(Op::Bin {
+            op: BinOp::And,
+            ty: Type::B32,
+            dst: e.scratch,
+            a: Operand::Reg(e.tidx),
+            b: Operand::Imm(1 << (i % 3)),
+        });
+        e.b.push(Op::Setp {
+            cmp: CmpOp::Eq,
+            ty: Type::S32,
+            dst: p,
+            a: Operand::Reg(e.scratch),
+            b: Operand::Imm(0),
+        });
+        e.b.push_guarded(
+            p,
+            true,
+            Op::Bra {
+                uni: false,
+                target: l_else.clone(),
+            },
+        );
+        e.b.push(Op::Bin {
+            op: BinOp::Xor,
+            ty: Type::B32,
+            dst: e.acc,
+            a: Operand::Reg(e.acc),
+            b: Operand::Imm(0x5a5a),
+        });
+        e.b.push(Op::Bra {
+            uni: true,
+            target: l_end.clone(),
+        });
         e.b.label(l_else);
-        e.b.push(Op::Bin { op: BinOp::Add, ty: Type::S32, dst: e.acc, a: Operand::Reg(e.acc), b: Operand::Imm(3) });
+        e.b.push(Op::Bin {
+            op: BinOp::Add,
+            ty: Type::S32,
+            dst: e.acc,
+            a: Operand::Reg(e.acc),
+            b: Operand::Imm(3),
+        });
         e.b.label(l_end);
     }
 
     // Global atomic counter.
     if cfg.atomics {
         let ctr = e.b.fresh(RegClass::B64);
-        e.b.push(Op::Bin { op: BinOp::Add, ty: Type::S64, dst: ctr, a: Operand::Reg(e.buf), b: Operand::Imm(ctr_off as i64) });
+        e.b.push(Op::Bin {
+            op: BinOp::Add,
+            ty: Type::S64,
+            dst: ctr,
+            a: Operand::Reg(e.buf),
+            b: Operand::Imm(ctr_off as i64),
+        });
         let old = e.b.fresh(RegClass::B32);
         e.b.push(Op::Atom {
             space: barracuda_ptx::Space::Global,
@@ -398,12 +498,44 @@ fn emit_site(e: &mut Emitter, site: &RaceSite, race_off: u64, ctr_off: u64, tpb:
             let p1 = e.b.fresh(RegClass::Pred);
             let p2 = e.b.fresh(RegClass::Pred);
             let l_end = e.b.fresh_label("pg");
-            e.b.push(Op::Setp { cmp: CmpOp::Ge, ty: Type::U32, dst: p1, a: Operand::Reg(e.ctaid), b: Operand::Imm(2) });
-            e.b.push_guarded(p1, false, Op::Bra { uni: false, target: l_end.clone() });
-            e.b.push(Op::Setp { cmp: CmpOp::Ge, ty: Type::U32, dst: p2, a: Operand::Reg(e.tidx), b: Operand::Imm(i64::from(n)) });
-            e.b.push_guarded(p2, false, Op::Bra { uni: false, target: l_end.clone() });
+            e.b.push(Op::Setp {
+                cmp: CmpOp::Ge,
+                ty: Type::U32,
+                dst: p1,
+                a: Operand::Reg(e.ctaid),
+                b: Operand::Imm(2),
+            });
+            e.b.push_guarded(
+                p1,
+                false,
+                Op::Bra {
+                    uni: false,
+                    target: l_end.clone(),
+                },
+            );
+            e.b.push(Op::Setp {
+                cmp: CmpOp::Ge,
+                ty: Type::U32,
+                dst: p2,
+                a: Operand::Reg(e.tidx),
+                b: Operand::Imm(i64::from(n)),
+            });
+            e.b.push_guarded(
+                p2,
+                false,
+                Op::Bra {
+                    uni: false,
+                    target: l_end.clone(),
+                },
+            );
             let addr = e.b.index_addr(e.buf, e.tidx, 4);
-            e.b.push(Op::Bin { op: BinOp::Add, ty: Type::S64, dst: addr, a: Operand::Reg(addr), b: Operand::Imm(race_off as i64) });
+            e.b.push(Op::Bin {
+                op: BinOp::Add,
+                ty: Type::S64,
+                dst: addr,
+                a: Operand::Reg(addr),
+                b: Operand::Imm(race_off as i64),
+            });
             e.b.push(Op::St {
                 space: barracuda_ptx::Space::Global,
                 cache: None,
@@ -419,19 +551,73 @@ fn emit_site(e: &mut Emitter, site: &RaceSite, race_off: u64, ctr_off: u64, tpb:
             let p1 = e.b.fresh(RegClass::Pred);
             let p2 = e.b.fresh(RegClass::Pred);
             let l_end = e.b.fresh_label("ps");
-            e.b.push(Op::Setp { cmp: CmpOp::Ne, ty: Type::U32, dst: p1, a: Operand::Reg(e.ctaid), b: Operand::Imm(0) });
-            e.b.push_guarded(p1, false, Op::Bra { uni: false, target: l_end.clone() });
-            e.b.push(Op::Setp { cmp: CmpOp::Ge, ty: Type::U32, dst: p2, a: Operand::Reg(e.tidx), b: Operand::Imm(i64::from(n) * 2) });
-            e.b.push_guarded(p2, false, Op::Bra { uni: false, target: l_end.clone() });
+            e.b.push(Op::Setp {
+                cmp: CmpOp::Ne,
+                ty: Type::U32,
+                dst: p1,
+                a: Operand::Reg(e.ctaid),
+                b: Operand::Imm(0),
+            });
+            e.b.push_guarded(
+                p1,
+                false,
+                Op::Bra {
+                    uni: false,
+                    target: l_end.clone(),
+                },
+            );
+            e.b.push(Op::Setp {
+                cmp: CmpOp::Ge,
+                ty: Type::U32,
+                dst: p2,
+                a: Operand::Reg(e.tidx),
+                b: Operand::Imm(i64::from(n) * 2),
+            });
+            e.b.push_guarded(
+                p2,
+                false,
+                Op::Bra {
+                    uni: false,
+                    target: l_end.clone(),
+                },
+            );
             let slot = e.b.fresh(RegClass::B32);
-            e.b.push(Op::Bin { op: BinOp::Shr, ty: Type::U32, dst: slot, a: Operand::Reg(e.tidx), b: Operand::Imm(1) });
+            e.b.push(Op::Bin {
+                op: BinOp::Shr,
+                ty: Type::U32,
+                dst: slot,
+                a: Operand::Reg(e.tidx),
+                b: Operand::Imm(1),
+            });
             let sm = e.b.fresh(RegClass::B64);
-            e.b.push(Op::Mov { ty: Type::U64, dst: sm, src: Operand::Sym("sm".into()) });
+            e.b.push(Op::Mov {
+                ty: Type::U64,
+                dst: sm,
+                src: Operand::Sym("sm".into()),
+            });
             // The race slots sit after the staging area (tpb words).
-            e.b.push(Op::Bin { op: BinOp::Add, ty: Type::S64, dst: sm, a: Operand::Reg(sm), b: Operand::Imm(i64::from(tpb) * 4) });
+            e.b.push(Op::Bin {
+                op: BinOp::Add,
+                ty: Type::S64,
+                dst: sm,
+                a: Operand::Reg(sm),
+                b: Operand::Imm(i64::from(tpb) * 4),
+            });
             let soff = e.b.fresh(RegClass::B64);
-            e.b.push(Op::Mul { mode: MulMode::Wide, ty: Type::U32, dst: soff, a: Operand::Reg(slot), b: Operand::Imm(4) });
-            e.b.push(Op::Bin { op: BinOp::Add, ty: Type::S64, dst: sm, a: Operand::Reg(sm), b: Operand::Reg(soff) });
+            e.b.push(Op::Mul {
+                mode: MulMode::Wide,
+                ty: Type::U32,
+                dst: soff,
+                a: Operand::Reg(slot),
+                b: Operand::Imm(4),
+            });
+            e.b.push(Op::Bin {
+                op: BinOp::Add,
+                ty: Type::S64,
+                dst: sm,
+                a: Operand::Reg(sm),
+                b: Operand::Reg(soff),
+            });
             e.b.push(Op::St {
                 space: barracuda_ptx::Space::Shared,
                 cache: None,
@@ -450,12 +636,44 @@ fn emit_site(e: &mut Emitter, site: &RaceSite, race_off: u64, ctr_off: u64, tpb:
             let p2 = e.b.fresh(RegClass::Pred);
             let l_end = e.b.fresh_label("ht");
             let l_acq = e.b.fresh_label("htacq");
-            e.b.push(Op::Setp { cmp: CmpOp::Ne, ty: Type::U32, dst: p1, a: Operand::Reg(e.tidx), b: Operand::Imm(0) });
-            e.b.push_guarded(p1, false, Op::Bra { uni: false, target: l_end.clone() });
-            e.b.push(Op::Setp { cmp: CmpOp::Ge, ty: Type::U32, dst: p2, a: Operand::Reg(e.ctaid), b: Operand::Imm(2) });
-            e.b.push_guarded(p2, false, Op::Bra { uni: false, target: l_end.clone() });
+            e.b.push(Op::Setp {
+                cmp: CmpOp::Ne,
+                ty: Type::U32,
+                dst: p1,
+                a: Operand::Reg(e.tidx),
+                b: Operand::Imm(0),
+            });
+            e.b.push_guarded(
+                p1,
+                false,
+                Op::Bra {
+                    uni: false,
+                    target: l_end.clone(),
+                },
+            );
+            e.b.push(Op::Setp {
+                cmp: CmpOp::Ge,
+                ty: Type::U32,
+                dst: p2,
+                a: Operand::Reg(e.ctaid),
+                b: Operand::Imm(2),
+            });
+            e.b.push_guarded(
+                p2,
+                false,
+                Op::Bra {
+                    uni: false,
+                    target: l_end.clone(),
+                },
+            );
             let lock = e.b.fresh(RegClass::B64);
-            e.b.push(Op::Bin { op: BinOp::Add, ty: Type::S64, dst: lock, a: Operand::Reg(e.buf), b: Operand::Imm(race_off as i64) });
+            e.b.push(Op::Bin {
+                op: BinOp::Add,
+                ty: Type::S64,
+                dst: lock,
+                a: Operand::Reg(e.buf),
+                b: Operand::Imm(race_off as i64),
+            });
             let old = e.b.fresh(RegClass::B32);
             let pl = e.b.fresh(RegClass::Pred);
             e.b.label(l_acq.clone());
@@ -469,8 +687,21 @@ fn emit_site(e: &mut Emitter, site: &RaceSite, race_off: u64, ctr_off: u64, tpb:
                 a: Operand::Imm(0),
                 b: Some(Operand::Imm(1)),
             });
-            e.b.push(Op::Setp { cmp: CmpOp::Ne, ty: Type::S32, dst: pl, a: Operand::Reg(old), b: Operand::Imm(0) });
-            e.b.push_guarded(pl, false, Op::Bra { uni: false, target: l_acq });
+            e.b.push(Op::Setp {
+                cmp: CmpOp::Ne,
+                ty: Type::S32,
+                dst: pl,
+                a: Operand::Reg(old),
+                b: Operand::Imm(0),
+            });
+            e.b.push_guarded(
+                pl,
+                false,
+                Op::Bra {
+                    uni: false,
+                    target: l_acq,
+                },
+            );
             // Critical section: two bucket words.
             e.b.push(Op::St {
                 space: barracuda_ptx::Space::Global,
@@ -505,12 +736,44 @@ fn emit_site(e: &mut Emitter, site: &RaceSite, race_off: u64, ctr_off: u64, tpb:
             let p1 = e.b.fresh(RegClass::Pred);
             let p2 = e.b.fresh(RegClass::Pred);
             let l_end = e.b.fresh_label("bfs");
-            e.b.push(Op::Setp { cmp: CmpOp::Ne, ty: Type::U32, dst: p1, a: Operand::Reg(e.tidx), b: Operand::Imm(0) });
-            e.b.push_guarded(p1, false, Op::Bra { uni: false, target: l_end.clone() });
-            e.b.push(Op::Setp { cmp: CmpOp::Ge, ty: Type::U32, dst: p2, a: Operand::Reg(e.ctaid), b: Operand::Imm(2) });
-            e.b.push_guarded(p2, false, Op::Bra { uni: false, target: l_end.clone() });
+            e.b.push(Op::Setp {
+                cmp: CmpOp::Ne,
+                ty: Type::U32,
+                dst: p1,
+                a: Operand::Reg(e.tidx),
+                b: Operand::Imm(0),
+            });
+            e.b.push_guarded(
+                p1,
+                false,
+                Op::Bra {
+                    uni: false,
+                    target: l_end.clone(),
+                },
+            );
+            e.b.push(Op::Setp {
+                cmp: CmpOp::Ge,
+                ty: Type::U32,
+                dst: p2,
+                a: Operand::Reg(e.ctaid),
+                b: Operand::Imm(2),
+            });
+            e.b.push_guarded(
+                p2,
+                false,
+                Op::Bra {
+                    uni: false,
+                    target: l_end.clone(),
+                },
+            );
             let base = e.b.fresh(RegClass::B64);
-            e.b.push(Op::Bin { op: BinOp::Add, ty: Type::S64, dst: base, a: Operand::Reg(e.buf), b: Operand::Imm(race_off as i64) });
+            e.b.push(Op::Bin {
+                op: BinOp::Add,
+                ty: Type::S64,
+                dst: base,
+                a: Operand::Reg(e.buf),
+                b: Operand::Imm(race_off as i64),
+            });
             for w in 0..2i64 {
                 e.b.push(Op::St {
                     space: barracuda_ptx::Space::Global,
@@ -536,9 +799,17 @@ fn emit_site(e: &mut Emitter, site: &RaceSite, race_off: u64, ctr_off: u64, tpb:
         RaceSite::ThreadFence => {
             // threadFenceReduction's fenced atomic ticket (race-free).
             let ctr = e.b.fresh(RegClass::B64);
-            e.b.push(Op::Bin { op: BinOp::Add, ty: Type::S64, dst: ctr, a: Operand::Reg(e.buf), b: Operand::Imm(ctr_off as i64 + 8) });
+            e.b.push(Op::Bin {
+                op: BinOp::Add,
+                ty: Type::S64,
+                dst: ctr,
+                a: Operand::Reg(e.buf),
+                b: Operand::Imm(ctr_off as i64 + 8),
+            });
             let old = e.b.fresh(RegClass::B32);
-            e.b.push(Op::Membar { level: FenceLevel::Gl });
+            e.b.push(Op::Membar {
+                level: FenceLevel::Gl,
+            });
             e.b.push(Op::Atom {
                 space: barracuda_ptx::Space::Global,
                 op: AtomOp::Add,
@@ -548,7 +819,9 @@ fn emit_site(e: &mut Emitter, site: &RaceSite, race_off: u64, ctr_off: u64, tpb:
                 a: Operand::Imm(1),
                 b: None,
             });
-            e.b.push(Op::Membar { level: FenceLevel::Gl });
+            e.b.push(Op::Membar {
+                level: FenceLevel::Gl,
+            });
         }
     }
 }

@@ -49,17 +49,29 @@ impl Scale {
     /// Default scale: ≤ 4096 threads, ≤ 16 MiB data, faithful instruction
     /// counts. Completes the full 26-benchmark sweep in seconds.
     pub fn default_scale() -> Self {
-        Scale { max_threads: 4096, max_alloc_bytes: 16 << 20, insn_scale: 1.0 }
+        Scale {
+            max_threads: 4096,
+            max_alloc_bytes: 16 << 20,
+            insn_scale: 1.0,
+        }
     }
 
     /// Quick scale for unit tests.
     pub fn quick() -> Self {
-        Scale { max_threads: 512, max_alloc_bytes: 1 << 20, insn_scale: 0.25 }
+        Scale {
+            max_threads: 512,
+            max_alloc_bytes: 1 << 20,
+            insn_scale: 0.25,
+        }
     }
 
     /// The paper's scale (over a million threads; needs a large machine).
     pub fn paper() -> Self {
-        Scale { max_threads: u64::MAX, max_alloc_bytes: u64::MAX, insn_scale: 1.0 }
+        Scale {
+            max_threads: u64::MAX,
+            max_alloc_bytes: u64::MAX,
+            insn_scale: 1.0,
+        }
     }
 }
 

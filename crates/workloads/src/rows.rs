@@ -52,7 +52,13 @@ fn row(
     Workload {
         name,
         origin,
-        paper: PaperRow { static_insns: insns, total_threads: threads, global_mem_mb: mem_mb, races, race_space },
+        paper: PaperRow {
+            static_insns: insns,
+            total_threads: threads,
+            global_mem_mb: mem_mb,
+            races,
+            race_space,
+        },
         cfg,
     }
 }
@@ -97,25 +103,75 @@ pub fn all_workloads() -> Vec<Workload> {
         c.barrier_rounds = 1;
         c
     }));
-    v.push(row("dwt2d", "Rodinia", 35_385, 2_304, 6_644, 3, Some(Global), {
-        let mut c = cfg("dwt2d", 35_385, 2_304, 256, 0.08, vec![RaceSite::PlantedGlobal(3)]);
-        c.barrier_rounds = 2;
-        c.branches = 3;
-        c
-    }));
-    v.push(row("gaussian", "Rodinia", 246, 1_048_576, 124, 0, None, cfg("gaussian", 246, 1_048_576, 256, 0.24, vec![])));
+    v.push(row(
+        "dwt2d",
+        "Rodinia",
+        35_385,
+        2_304,
+        6_644,
+        3,
+        Some(Global),
+        {
+            let mut c = cfg(
+                "dwt2d",
+                35_385,
+                2_304,
+                256,
+                0.08,
+                vec![RaceSite::PlantedGlobal(3)],
+            );
+            c.barrier_rounds = 2;
+            c.branches = 3;
+            c
+        },
+    ));
+    v.push(row(
+        "gaussian",
+        "Rodinia",
+        246,
+        1_048_576,
+        124,
+        0,
+        None,
+        cfg("gaussian", 246, 1_048_576, 256, 0.24, vec![]),
+    ));
     v.push(row("hotspot", "Rodinia", 338, 473_344, 119, 0, None, {
         let mut c = cfg("hotspot", 338, 473_344, 256, 0.27, vec![]);
         c.barrier_rounds = 1;
         c.branches = 2;
         c
     }));
-    v.push(row("hybridsort", "Rodinia", 906, 32_768, 252, 1, Some(Shared), {
-        let mut c = cfg("hybridsort", 906, 32_768, 256, 0.22, vec![RaceSite::PlantedShared(1)]);
-        c.barrier_rounds = 2;
-        c
-    }));
-    v.push(row("kmeans", "Rodinia", 384, 495_616, 252, 0, None, cfg("kmeans", 384, 495_616, 256, 0.25, vec![])));
+    v.push(row(
+        "hybridsort",
+        "Rodinia",
+        906,
+        32_768,
+        252,
+        1,
+        Some(Shared),
+        {
+            let mut c = cfg(
+                "hybridsort",
+                906,
+                32_768,
+                256,
+                0.22,
+                vec![RaceSite::PlantedShared(1)],
+            );
+            c.barrier_rounds = 2;
+            c
+        },
+    ));
+    v.push(row(
+        "kmeans",
+        "Rodinia",
+        384,
+        495_616,
+        252,
+        0,
+        None,
+        cfg("kmeans", 384, 495_616, 256, 0.25, vec![]),
+    ));
     v.push(row("lavamd", "Rodinia", 1_320, 128_000, 965, 0, None, {
         let mut c = cfg("lavamd", 1_320, 128_000, 128, 0.15, vec![]);
         c.barrier_rounds = 2;
@@ -127,14 +183,48 @@ pub fn all_workloads() -> Vec<Workload> {
         c.barrier_rounds = 3;
         c
     }));
-    v.push(row("nn", "Rodinia", 234, 43_008, 188, 0, None, cfg("nn", 234, 43_008, 256, 0.30, vec![])));
-    v.push(row("pathfinder", "Rodinia", 285, 118_528, 155, 7, Some(Shared), {
-        let mut c = cfg("pathfinder", 285, 118_528, 256, 0.32, vec![RaceSite::PlantedShared(7)]);
-        c.barrier_rounds = 1;
-        c.branches = 2;
-        c
-    }));
-    v.push(row("streamcluster", "Rodinia", 299, 65_536, 188, 0, None, cfg("streamcluster", 299, 65_536, 256, 0.25, vec![])));
+    v.push(row(
+        "nn",
+        "Rodinia",
+        234,
+        43_008,
+        188,
+        0,
+        None,
+        cfg("nn", 234, 43_008, 256, 0.30, vec![]),
+    ));
+    v.push(row(
+        "pathfinder",
+        "Rodinia",
+        285,
+        118_528,
+        155,
+        7,
+        Some(Shared),
+        {
+            let mut c = cfg(
+                "pathfinder",
+                285,
+                118_528,
+                256,
+                0.32,
+                vec![RaceSite::PlantedShared(7)],
+            );
+            c.barrier_rounds = 1;
+            c.branches = 2;
+            c
+        },
+    ));
+    v.push(row(
+        "streamcluster",
+        "Rodinia",
+        299,
+        65_536,
+        188,
+        0,
+        None,
+        cfg("streamcluster", 299, 65_536, 256, 0.25, vec![]),
+    ));
     v.push(row("bfs_shoc", "SHOC", 770, 1_024, 68, 3, Some(Global), {
         let mut c = cfg("bfs_shoc", 770, 1_024, 256, 0.30, vec![RaceSite::ShocBfs]);
         c.branches = 3;
@@ -146,25 +236,50 @@ pub fn all_workloads() -> Vec<Workload> {
         c.branches = 0;
         c
     }));
-    v.push(row("dxtc", "CUDA SDK", 1_578, 1_048_576, 17, 120, Some(Shared), {
-        let mut c = cfg("dxtc", 1_578, 1_048_576, 256, 0.15, vec![RaceSite::PlantedShared(120)]);
-        c.barrier_rounds = 2;
-        c.branches = 2;
-        c
-    }));
-    v.push(row("threadfencereduction", "CUDA SDK", 5_037, 16_384, 787, 12, Some(Shared), {
-        let mut c = cfg(
-            "threadfencereduction",
-            5_037,
-            16_384,
-            256,
-            0.12,
-            vec![RaceSite::ThreadFence, RaceSite::PlantedShared(12)],
-        );
-        c.barrier_rounds = 3;
-        c.branches = 2;
-        c
-    }));
+    v.push(row(
+        "dxtc",
+        "CUDA SDK",
+        1_578,
+        1_048_576,
+        17,
+        120,
+        Some(Shared),
+        {
+            let mut c = cfg(
+                "dxtc",
+                1_578,
+                1_048_576,
+                256,
+                0.15,
+                vec![RaceSite::PlantedShared(120)],
+            );
+            c.barrier_rounds = 2;
+            c.branches = 2;
+            c
+        },
+    ));
+    v.push(row(
+        "threadfencereduction",
+        "CUDA SDK",
+        5_037,
+        16_384,
+        787,
+        12,
+        Some(Shared),
+        {
+            let mut c = cfg(
+                "threadfencereduction",
+                5_037,
+                16_384,
+                256,
+                0.12,
+                vec![RaceSite::ThreadFence, RaceSite::PlantedShared(12)],
+            );
+            c.barrier_rounds = 3;
+            c.branches = 2;
+            c
+        },
+    ));
 
     // CUB SDK samples: deep, compute-heavy kernels on tiny grids.
     let cub = |name: &'static str, insns: u32, threads: u64, mem: u32, frac: f64, barriers: u32| {
@@ -185,7 +300,14 @@ pub fn all_workloads() -> Vec<Workload> {
     v.push(cub("device_select_flagged", 2_615, 128, 66, 0.16, 2));
     v.push(cub("device_select_if", 2_508, 128, 66, 0.16, 2));
     v.push(cub("device_select_unique", 2_484, 128, 66, 0.16, 2));
-    v.push(cub("device_sort_find_non_trivial_runs", 16_479, 128, 66, 0.10, 4));
+    v.push(cub(
+        "device_sort_find_non_trivial_runs",
+        16_479,
+        128,
+        66,
+        0.10,
+        4,
+    ));
 
     v
 }
@@ -212,7 +334,10 @@ mod tests {
         assert_eq!(dxtc.paper.races, 120);
         assert_eq!(dxtc.paper.race_space, Some(MemSpace::Shared));
         // Four benchmarks launch more than a million threads (paper §6.2).
-        let over_1m = ws.iter().filter(|w| w.paper.total_threads > 1_000_000).count();
+        let over_1m = ws
+            .iter()
+            .filter(|w| w.paper.total_threads > 1_000_000)
+            .count();
         assert_eq!(over_1m, 4);
     }
 

@@ -19,9 +19,15 @@ fn kernel_src(fixed: bool) -> String {
     let (frontier_load, frontier_check_note) = if fixed {
         // Atomic read (add 0): neighbours update dist with atomics, and
         // mixed atomic/non-atomic accesses race (paper §3.3.2).
-        ("atom.global.add.u32 %r2, [%rd6], 0;\n    ", "reads atomically: other blocks atom.min this word concurrently.")
+        (
+            "atom.global.add.u32 %r2, [%rd6], 0;\n    ",
+            "reads atomically: other blocks atom.min this word concurrently.",
+        )
     } else {
-        ("ld.global.u32 %r2, [%rd6];\n    ", "is a plain load (racy against concurrent relaxations).")
+        (
+            "ld.global.u32 %r2, [%rd6];\n    ",
+            "is a plain load (racy against concurrent relaxations).",
+        )
     };
     let relax = if fixed {
         // dist[nbr] = min(dist[nbr], level+1), atomically; signal via an
@@ -138,7 +144,11 @@ fn run_bfs(fixed: bool) -> Result<BfsRun, Error> {
         }
         level += 1;
     }
-    Ok(BfsRun { distances: bar.gpu().read_u32s(d_dist, n as usize), total_races, levels: level })
+    Ok(BfsRun {
+        distances: bar.gpu().read_u32s(d_dist, n as usize),
+        total_races,
+        levels: level,
+    })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

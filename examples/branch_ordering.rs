@@ -48,12 +48,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params: &[ParamValue::Ptr(x)],
     })?;
 
-    println!("final value of x: {} (depends on the SIMT stack's path order!)", bar.gpu().read_u32(x));
+    println!(
+        "final value of x: {} (depends on the SIMT stack's path order!)",
+        bar.gpu().read_u32(x)
+    );
     println!("races found: {}", analysis.race_count());
     for race in analysis.races() {
         println!("  {race}");
     }
-    assert_eq!(analysis.count_class(RaceClass::Divergence), 1, "classified as a divergence race");
+    assert_eq!(
+        analysis.count_class(RaceClass::Divergence),
+        1,
+        "classified as a divergence race"
+    );
 
     // The fixed version writes disjoint locations on each path.
     let fixed = RACY.replace("st.global.u32 [%rd1], 2;", "st.global.u32 [%rd1+4], 2;");
@@ -65,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dims: GridDims::new(1u32, 32u32),
         params: &[ParamValue::Ptr(x2)],
     })?;
-    println!("\nwith disjoint per-path writes: races = {}", analysis2.race_count());
+    println!(
+        "\nwith disjoint per-path writes: races = {}",
+        analysis2.race_count()
+    );
     assert!(analysis2.is_clean());
     Ok(())
 }

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = inst.alloc_params(bar.gpu_mut());
     let analysis = bar.check_module(&inst.module, &inst.kernel, inst.dims, &params)?;
 
-    println!("races found: {} (expected {})", analysis.race_count(), inst.expected_races());
+    println!(
+        "races found: {} (expected {})",
+        analysis.race_count(),
+        inst.expected_races()
+    );
     for race in analysis.races() {
         println!("  {race}");
     }

@@ -17,13 +17,19 @@ fn main() {
         .unwrap_or(50_000);
 
     println!("message-passing litmus kernel (cta/cta variant):");
-    println!("{}", mp_kernel_source(
-        barracuda_repro::simt::litmus::Fence::Cta,
-        barracuda_repro::simt::litmus::Fence::Cta,
-    ));
+    println!(
+        "{}",
+        mp_kernel_source(
+            barracuda_repro::simt::litmus::Fence::Cta,
+            barracuda_repro::simt::litmus::Fence::Cta,
+        )
+    );
 
     println!("observations of r1=1 ∧ r2=0 per {iterations} runs:\n");
-    println!("{:<12} {:<12} {:>10} {:>14}", "fence1", "fence2", "K520", "GTX Titan X");
+    println!(
+        "{:<12} {:<12} {:>10} {:>14}",
+        "fence1", "fence2", "K520", "GTX Titan X"
+    );
     let kepler = mp_table(MemoryModel::KeplerK520, iterations, 7).expect("litmus");
     let maxwell = mp_table(MemoryModel::MaxwellTitanX, iterations, 7).expect("litmus");
     for (k, m) in kepler.iter().zip(&maxwell) {

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.instrument.instrumented_fraction() * 100.0
     );
     println!("device-side log records: {}", stats.records);
-    assert!(analysis.race_count() > 0, "the lost-update race must be detected");
+    assert!(
+        analysis.race_count() > 0,
+        "the lost-update race must be detected"
+    );
 
     // The same kernel with an atomic increment is race-free.
     let fixed = PTX.replace(
@@ -65,8 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dims: GridDims::new(2u32, 32u32),
         params: &[ParamValue::Ptr(ctr2)],
     })?;
-    println!("\nwith atom.global.add instead: races = {} and counter = {}",
-        analysis2.race_count(), bar2.gpu().read_u32(ctr2));
+    println!(
+        "\nwith atom.global.add instead: races = {} and counter = {}",
+        analysis2.race_count(),
+        bar2.gpu().read_u32(ctr2)
+    );
     assert!(analysis2.is_clean());
     Ok(())
 }

@@ -55,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (ws, analysis) in &results {
         println!("{ws:<12} {:>8}", analysis.race_count());
     }
-    assert_eq!(results[0].1.race_count(), 0, "race-free at the hardware warp size");
+    assert_eq!(
+        results[0].1.race_count(),
+        0,
+        "race-free at the hardware warp size"
+    );
     assert!(
         results.iter().skip(1).all(|(_, a)| a.race_count() > 0),
         "latent races at smaller warp sizes"

@@ -43,10 +43,22 @@ fn random_kernel(seed: u64) -> barracuda_ptx::ast::Module {
     let addr = b.reg("%addr", RegClass::B64);
     let smbase = b.reg("%smb", RegClass::B64);
     let tmp64 = b.reg("%tmp64", RegClass::B64);
-    b.push(Op::Mov { ty: Type::U32, dst: idx, src: Operand::Reg(lin) });
-    b.push(Op::Mov { ty: Type::U32, dst: val, src: Operand::Reg(lin) });
+    b.push(Op::Mov {
+        ty: Type::U32,
+        dst: idx,
+        src: Operand::Reg(lin),
+    });
+    b.push(Op::Mov {
+        ty: Type::U32,
+        dst: val,
+        src: Operand::Reg(lin),
+    });
     // Shared-symbol operand: exercises decode-time symbol resolution.
-    b.push(Op::Mov { ty: Type::U64, dst: smbase, src: Operand::Sym(sm.clone()) });
+    b.push(Op::Mov {
+        ty: Type::U64,
+        dst: smbase,
+        src: Operand::Sym(sm.clone()),
+    });
 
     // Materializes `addr = base + (idx & (words-1)) * 4`.
     let emit_addr = |b: &mut KernelBuilder, base: Reg, words: i64| {
@@ -159,7 +171,14 @@ fn random_kernel(seed: u64) -> barracuda_ptx::ast::Module {
                     a: Operand::Reg(lin),
                     b: Operand::Imm(rng.random_range(0..20)),
                 });
-                b.push_guarded(pred, rng.random::<bool>(), Op::Bra { uni: false, target: l.clone() });
+                b.push_guarded(
+                    pred,
+                    rng.random::<bool>(),
+                    Op::Bra {
+                        uni: false,
+                        target: l.clone(),
+                    },
+                );
                 open.push(l);
             }
             10 if !open.is_empty() => {
@@ -326,7 +345,11 @@ fn decoded_matches_ast_walk_native_logging() {
                 .collect();
             (stats, mem, recs)
         };
-        assert_eq!(run(ExecMode::Decoded), run(ExecMode::AstWalk), "seed {seed}");
+        assert_eq!(
+            run(ExecMode::Decoded),
+            run(ExecMode::AstWalk),
+            "seed {seed}"
+        );
     }
 }
 
@@ -335,11 +358,17 @@ fn malformed_kernels_fail_identically_at_load() {
     // Load-time validation is shared by both modes: a kernel with an
     // unknown call target never reaches either interpreter.
     let mut b = KernelBuilder::new("bad");
-    b.push(Op::Call { target: "mystery".into(), args: vec![] });
+    b.push(Op::Call {
+        target: "mystery".into(),
+        args: vec![],
+    });
     b.push(Op::Ret);
     let module = b.build_module();
     for mode in [ExecMode::Decoded, ExecMode::AstWalk] {
-        let mut gpu = Gpu::new(GpuConfig { exec_mode: mode, ..GpuConfig::default() });
+        let mut gpu = Gpu::new(GpuConfig {
+            exec_mode: mode,
+            ..GpuConfig::default()
+        });
         let err = gpu
             .launch(&module, "bad", GridDims::new(1u32, 4u32), &[])
             .unwrap_err();

@@ -37,7 +37,8 @@ fn variable_trip_counts_compute_correctly() {
     let m = barracuda_ptx::parse(&variable_trip_src()).unwrap();
     let mut gpu = Gpu::new(GpuConfig::default());
     let out = gpu.malloc(32 * 4);
-    gpu.launch(&m, "k", GridDims::new(1u32, 32u32), &[ParamValue::Ptr(out)]).unwrap();
+    gpu.launch(&m, "k", GridDims::new(1u32, 32u32), &[ParamValue::Ptr(out)])
+        .unwrap();
     let v = gpu.read_u32s(out, 32);
     for (i, &x) in v.iter().enumerate() {
         let n = i as u32 + 1;

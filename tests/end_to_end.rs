@@ -6,7 +6,9 @@ use barracuda_repro::barracuda::{
     Barracuda, BarracudaConfig, DetectionMode, GpuConfig, KernelRun, MemoryModel,
 };
 use barracuda_repro::simt::ParamValue;
-use barracuda_repro::suite::{all_programs, program, run_program, ArgSpec, SuiteProgram, Verdict, KERNEL};
+use barracuda_repro::suite::{
+    all_programs, program, run_program, ArgSpec, SuiteProgram, Verdict, KERNEL,
+};
 
 fn run_with_config(p: &SuiteProgram, config: BarracudaConfig) -> Verdict {
     let mut bar = Barracuda::with_config(config);
@@ -17,8 +19,12 @@ fn run_with_config(p: &SuiteProgram, config: BarracudaConfig) -> Verdict {
             ArgSpec::U32(v) => params.push(ParamValue::U32(*v)),
         }
     }
-    match bar.check(&KernelRun { source: &p.source, kernel: KERNEL, dims: p.dims, params: &params })
-    {
+    match bar.check(&KernelRun {
+        source: &p.source,
+        kernel: KERNEL,
+        dims: p.dims,
+        params: &params,
+    }) {
         Ok(a) if !a.diagnostics().is_empty() => Verdict::BarrierDivergence,
         Ok(a) if a.race_count() > 0 => Verdict::Race,
         Ok(_) => Verdict::NoRace,
@@ -48,7 +54,11 @@ fn verdicts_stable_across_scheduler_seeds() {
         let base = run_program(&p);
         for seed in [1u64, 99, 4242] {
             let cfg = BarracudaConfig {
-                gpu: GpuConfig { seed, slice: 4, ..GpuConfig::default() },
+                gpu: GpuConfig {
+                    seed,
+                    slice: 4,
+                    ..GpuConfig::default()
+                },
                 ..BarracudaConfig::default()
             };
             let v = run_with_config(&p, cfg);
@@ -73,7 +83,10 @@ fn threaded_mode_agrees_with_synchronous_on_block_local_programs() {
         let sync = run_with_config(&p, BarracudaConfig::default());
         let threaded = run_with_config(
             &p,
-            BarracudaConfig { mode: DetectionMode::Threaded, ..BarracudaConfig::default() },
+            BarracudaConfig {
+                mode: DetectionMode::Threaded,
+                ..BarracudaConfig::default()
+            },
         );
         assert_eq!(sync, threaded, "{name}");
     }
@@ -103,7 +116,10 @@ fn race_counts_are_deterministic_for_fixed_seed() {
     let p = program("reduction_missing_initial_barrier_race").expect("known program");
     let count = |seed: u64| {
         let mut bar = Barracuda::with_config(BarracudaConfig {
-            gpu: GpuConfig { seed, ..GpuConfig::default() },
+            gpu: GpuConfig {
+                seed,
+                ..GpuConfig::default()
+            },
             ..BarracudaConfig::default()
         });
         let params: Vec<ParamValue> = p
@@ -114,9 +130,14 @@ fn race_counts_are_deterministic_for_fixed_seed() {
                 ArgSpec::U32(v) => ParamValue::U32(*v),
             })
             .collect();
-        bar.check(&KernelRun { source: &p.source, kernel: KERNEL, dims: p.dims, params: &params })
-            .expect("runs")
-            .race_count()
+        bar.check(&KernelRun {
+            source: &p.source,
+            kernel: KERNEL,
+            dims: p.dims,
+            params: &params,
+        })
+        .expect("runs")
+        .race_count()
     };
     assert_eq!(count(5), count(5));
 }
@@ -126,7 +147,11 @@ fn every_suite_program_has_plausible_structure() {
     // Sanity over the whole corpus: sources parse, dims are small enough
     // for CI, and racy programs declare at least one buffer or shared use.
     for p in all_programs() {
-        assert!(p.dims.total_threads() <= 256, "{} too large for the suite", p.name);
+        assert!(
+            p.dims.total_threads() <= 256,
+            "{} too large for the suite",
+            p.name
+        );
         let m = barracuda_ptx::parse(&p.source).expect("parses");
         assert_eq!(m.kernels.len(), 1);
         assert!(m.kernels[0].static_instruction_count() >= 2, "{}", p.name);
@@ -147,7 +172,12 @@ fn warp_size_sweep_finds_latent_races() {
             ArgSpec::U32(v) => ParamValue::U32(*v),
         })
         .collect();
-    let run = KernelRun { source: &p.source, kernel: KERNEL, dims: p.dims, params: &params };
+    let run = KernelRun {
+        source: &p.source,
+        kernel: KERNEL,
+        dims: p.dims,
+        params: &params,
+    };
     let results = bar.check_warp_sizes(&run, &[32, 8]).expect("sweep runs");
     assert_eq!(results[0].1.race_count(), 0, "safe at warp size 32");
     assert!(results[1].1.race_count() > 0, "latent race at warp size 8");

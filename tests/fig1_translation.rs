@@ -59,7 +59,11 @@ fn fig1_ptx_translates_to_expected_trace_operations() {
     )
     .expect("fig1 runs");
 
-    let events: Vec<Event> = sink.take().iter().map(barracuda_repro::trace::Record::decode).collect();
+    let events: Vec<Event> = sink
+        .take()
+        .iter()
+        .map(barracuda_repro::trace::Record::decode)
+        .collect();
     // Expected translation (Fig. 1b): the warp-level read, the branch
     // split, the then-path store (here: lane 0, the fall-through path,
     // since the taken path is empty), reconvergence, and the fenced
@@ -68,7 +72,11 @@ fn fig1_ptx_translates_to_expected_trace_operations() {
         .iter()
         .map(|e| match e {
             Event::Access { kind, mask, .. } => format!("{kind:?}@{mask:b}"),
-            Event::If { then_mask, else_mask, .. } => format!("if({then_mask:b},{else_mask:b})"),
+            Event::If {
+                then_mask,
+                else_mask,
+                ..
+            } => format!("if({then_mask:b},{else_mask:b})"),
             Event::Else { .. } => "else".into(),
             Event::Fi { .. } => "fi".into(),
             Event::Bar { .. } => "bar".into(),
@@ -78,11 +86,11 @@ fn fig1_ptx_translates_to_expected_trace_operations() {
     assert_eq!(
         kinds,
         vec![
-            "Read@11".to_string(),          // rd(t0,a), rd(t1,a), endi(w)
-            "if(10,1)".to_string(),         // branch: lane 1 taken (empty path), lane 0 falls through
-            "else".to_string(),             // empty taken path finishes immediately
-            "Write@1".to_string(),          // wr(t0,b), endi(w)
-            "fi".to_string(),               // reconvergence
+            "Read@11".to_string(),  // rd(t0,a), rd(t1,a), endi(w)
+            "if(10,1)".to_string(), // branch: lane 1 taken (empty path), lane 0 falls through
+            "else".to_string(),     // empty taken path finishes immediately
+            "Write@1".to_string(),  // wr(t0,b), endi(w)
+            "fi".to_string(),       // reconvergence
             format!("{:?}@11", AccessKind::Release(Scope::Block)), // relBlk(t0,d), relBlk(t1,d), endi(w)
             "exit".to_string(),
         ],

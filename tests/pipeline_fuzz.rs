@@ -36,8 +36,16 @@ fn random_kernel(seed: u64) -> barracuda_ptx::ast::Module {
     let val = b.reg("%val", RegClass::B32);
     let addr = b.reg("%addr", RegClass::B64);
     let tmp64 = b.reg("%tmp64", RegClass::B64);
-    b.push(Op::Mov { ty: Type::U32, dst: idx, src: Operand::Reg(lin) });
-    b.push(Op::Mov { ty: Type::U32, dst: val, src: Operand::Reg(lin) });
+    b.push(Op::Mov {
+        ty: Type::U32,
+        dst: idx,
+        src: Operand::Reg(lin),
+    });
+    b.push(Op::Mov {
+        ty: Type::U32,
+        dst: val,
+        src: Operand::Reg(lin),
+    });
 
     let mut open: Vec<String> = Vec::new();
     let mut barriers_allowed = true;
@@ -129,7 +137,14 @@ fn random_kernel(seed: u64) -> barracuda_ptx::ast::Module {
                     a: Operand::Reg(lin),
                     b: Operand::Imm(rng.random_range(0..20)),
                 });
-                b.push_guarded(pred, rng.random::<bool>(), Op::Bra { uni: false, target: l.clone() });
+                b.push_guarded(
+                    pred,
+                    rng.random::<bool>(),
+                    Op::Bra {
+                        uni: false,
+                        target: l.clone(),
+                    },
+                );
                 open.push(l);
             }
             8 if !open.is_empty() => {
@@ -189,7 +204,11 @@ fn run_pipeline(seed: u64, sched_seed: u64) -> (BTreeSet<RaceKey>, BTreeSet<Race
     let module = random_kernel(seed);
     let (instrumented, _) = instrument_module(&module, &InstrumentOptions::default());
     let dims = GridDims::with_warp_size(2u32, 8u32, 4);
-    let mut gpu = Gpu::new(GpuConfig { seed: sched_seed, slice: 3, ..GpuConfig::default() });
+    let mut gpu = Gpu::new(GpuConfig {
+        seed: sched_seed,
+        slice: 3,
+        ..GpuConfig::default()
+    });
     let buf = gpu.malloc(WORDS as u64 * 4 + 8);
     let sink = VecSink::new();
     gpu.launch_with_sink(&instrumented, "fuzz", dims, &[ParamValue::Ptr(buf)], &sink)
@@ -202,7 +221,10 @@ fn run_pipeline(seed: u64, sched_seed: u64) -> (BTreeSet<RaceKey>, BTreeSet<Race
         worker.process_record(r);
         reference.process_event(&r.decode());
     }
-    (race_set(&det.races().reports()), race_set(&reference.races().reports()))
+    (
+        race_set(&det.races().reports()),
+        race_set(&reference.races().reports()),
+    )
 }
 
 proptest! {

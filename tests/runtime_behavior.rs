@@ -69,7 +69,12 @@ fn multiple_kernels_share_one_session() {
     let out = bar.gpu_mut().malloc(4);
     let dims = GridDims::new(1u32, 32u32);
     let a1 = bar
-        .check(&KernelRun { source: fill, kernel: "fill", dims, params: &[ParamValue::Ptr(buf)] })
+        .check(&KernelRun {
+            source: fill,
+            kernel: "fill",
+            dims,
+            params: &[ParamValue::Ptr(buf)],
+        })
         .unwrap();
     assert!(a1.is_clean());
     let a2 = bar
@@ -112,7 +117,12 @@ fn ptvc_formats_are_mostly_cheap() {
             })
             .collect();
         let analysis = bar
-            .check(&KernelRun { source: &p.source, kernel: KERNEL, dims: p.dims, params: &params })
+            .check(&KernelRun {
+                source: &p.source,
+                kernel: KERNEL,
+                dims: p.dims,
+                params: &params,
+            })
             .unwrap();
         for (acc, c) in census.iter_mut().zip(analysis.stats().format_census) {
             *acc += c;

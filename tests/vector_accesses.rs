@@ -39,7 +39,8 @@ fn vector_load_store_executes_correctly() {
     let mut gpu = Gpu::new(GpuConfig::default());
     let p = gpu.malloc(32);
     gpu.write_u32s(p, &[10, 20, 30, 40]);
-    gpu.launch(&m, "k", GridDims::new(1u32, 1u32), &[ParamValue::Ptr(p)]).unwrap();
+    gpu.launch(&m, "k", GridDims::new(1u32, 1u32), &[ParamValue::Ptr(p)])
+        .unwrap();
     assert_eq!(gpu.read_u32s(p.offset(16), 4), vec![40, 30, 20, 10]);
 }
 

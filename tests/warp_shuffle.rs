@@ -54,7 +54,13 @@ fn butterfly_reduction_computes_warp_sum() {
     let m = barracuda_ptx::parse(&butterfly_reduce_src()).unwrap();
     let mut gpu = Gpu::new(GpuConfig::default());
     let out = gpu.malloc(32 * 4);
-    gpu.launch(&m, "reduce", GridDims::new(1u32, 32u32), &[ParamValue::Ptr(out)]).unwrap();
+    gpu.launch(
+        &m,
+        "reduce",
+        GridDims::new(1u32, 32u32),
+        &[ParamValue::Ptr(out)],
+    )
+    .unwrap();
     let expect: u32 = (0..32).sum(); // 496
     assert_eq!(gpu.read_u32s(out, 32), vec![expect; 32]);
 }
@@ -95,7 +101,8 @@ fn shfl_modes_select_expected_lanes() {
     let m = barracuda_ptx::parse(&src).unwrap();
     let mut gpu = Gpu::new(GpuConfig::default());
     let out = gpu.malloc(32 * 4);
-    gpu.launch(&m, "k", GridDims::new(1u32, 32u32), &[ParamValue::Ptr(out)]).unwrap();
+    gpu.launch(&m, "k", GridDims::new(1u32, 32u32), &[ParamValue::Ptr(out)])
+        .unwrap();
     let v = gpu.read_u32s(out, 32);
     for (i, &x) in v.iter().enumerate().take(31) {
         assert_eq!(x, i as u32 + 1);
@@ -124,7 +131,8 @@ fn shfl_respects_divergence() {
     let m = barracuda_ptx::parse(&src).unwrap();
     let mut gpu = Gpu::new(GpuConfig::default());
     let out = gpu.malloc(32 * 4);
-    gpu.launch(&m, "k", GridDims::new(1u32, 32u32), &[ParamValue::Ptr(out)]).unwrap();
+    gpu.launch(&m, "k", GridDims::new(1u32, 32u32), &[ParamValue::Ptr(out)])
+        .unwrap();
     let v = gpu.read_u32s(out, 32);
     for (i, &x) in v.iter().enumerate().take(16) {
         assert_eq!(x, i as u32, "inactive source lane → own value");

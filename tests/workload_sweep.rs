@@ -43,7 +43,11 @@ fn all_26_workloads_match_table1_race_content() {
             ));
         }
         if !analysis.diagnostics().is_empty() {
-            failures.push(format!("{}: unexpected diagnostics {:?}", w.name, analysis.diagnostics()));
+            failures.push(format!(
+                "{}: unexpected diagnostics {:?}",
+                w.name,
+                analysis.diagnostics()
+            ));
         }
     }
     assert!(failures.is_empty(), "{}", failures.join("\n"));
@@ -70,7 +74,11 @@ fn instrumentation_stats_are_sane_across_workloads() {
             w.name,
             unopt.instrumented_fraction()
         );
-        assert!(opt.instrumented_fraction() <= unopt.instrumented_fraction(), "{}", w.name);
+        assert!(
+            opt.instrumented_fraction() <= unopt.instrumented_fraction(),
+            "{}",
+            w.name
+        );
         assert!(opt.log_calls > 0, "{}", w.name);
     }
 }

@@ -22,18 +22,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id with a function label and a parameter.
     pub fn new(function: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{function}/{parameter}") }
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
     }
 
     /// An id that is only a parameter value.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { label: s.to_string() }
+        BenchmarkId {
+            label: s.to_string(),
+        }
     }
 }
 
@@ -125,7 +131,11 @@ impl Criterion {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        let mut b = Bencher { test_mode: self.test_mode, elapsed: Duration::ZERO, iters: 1 };
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
         f(&mut b);
         report(&id.label, &b, None);
         self
@@ -133,7 +143,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 }
 
@@ -168,7 +182,11 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        let mut b = Bencher { test_mode: self.c.test_mode, elapsed: Duration::ZERO, iters: 1 };
+        let mut b = Bencher {
+            test_mode: self.c.test_mode,
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
         f(&mut b);
         report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
         self
@@ -182,7 +200,11 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        let mut b = Bencher { test_mode: self.c.test_mode, elapsed: Duration::ZERO, iters: 1 };
+        let mut b = Bencher {
+            test_mode: self.c.test_mode,
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
         f(&mut b, input);
         report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
         self
@@ -194,7 +216,9 @@ impl BenchmarkGroup<'_> {
 
 impl fmt::Debug for Criterion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Criterion").field("test_mode", &self.test_mode).finish()
+        f.debug_struct("Criterion")
+            .field("test_mode", &self.test_mode)
+            .finish()
     }
 }
 

@@ -21,26 +21,34 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates an unlocked mutex holding `value`.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available. Never poisons.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner) }
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard { inner: p.into_inner() }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: p.into_inner(),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -89,24 +97,32 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
 impl<T> RwLock<T> {
     /// Creates an unlocked lock holding `value`.
     pub const fn new(value: T) -> Self {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock. Never poisons.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(PoisonError::into_inner) }
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Acquires an exclusive write lock. Never poisons.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(PoisonError::into_inner) }
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).

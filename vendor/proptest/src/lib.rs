@@ -168,7 +168,11 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let n = if self.len.is_empty() { 0 } else { rng.range(self.len.clone()) };
+            let n = if self.len.is_empty() {
+                0
+            } else {
+                rng.range(self.len.clone())
+            };
             (0..n).map(|_| self.element.sample(rng)).collect()
         }
     }
@@ -213,7 +217,9 @@ pub mod test_runner {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
-            TestRng { inner: StdRng::seed_from_u64(h) }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
         }
 
         /// Uniform draw of any supported primitive.
