@@ -16,6 +16,7 @@
 
 use crate::clock::{Clock, Epoch};
 use crate::hclock::HClock;
+use crate::launch::{LaunchRegistry, HOST_TID_KEY};
 use crate::ptvc::{PtvcFormat, WarpClocks};
 use crate::report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};
 use crate::shadow::{GlobalShadow, ReadMeta, ShadowCell, SharedShadow};
@@ -26,19 +27,22 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A synchronization location: `(space, owning block for shared, address)`.
+/// A synchronization location: `(space, owning global block for shared,
+/// address)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct SyncKey {
-    shared: bool,
-    block: u64,
-    addr: u64,
+pub(crate) struct SyncKey {
+    pub(crate) shared: bool,
+    pub(crate) block: u64,
+    pub(crate) addr: u64,
 }
 
 /// Per-location synchronization state: one clock slot per thread block
 /// (paper §3.3.4), stored lazily — `global_slot` stands for every block
-/// slot a global release assigned.
+/// slot a global release assigned. In engine mode slots are keyed by
+/// *global* block id, so the map can persist across launches without
+/// one launch's block 0 aliasing another's.
 #[derive(Debug, Default, Clone)]
-struct SyncLoc {
+pub(crate) struct SyncLoc {
     global_slot: Option<HClock>,
     per_block: HashMap<u64, HClock>,
 }
@@ -70,36 +74,105 @@ impl SyncLoc {
     }
 }
 
-/// Shared detector state; one per kernel launch.
+/// The shared synchronization-location map `S` (persistent in engine
+/// mode).
+pub(crate) type SyncMap = Mutex<HashMap<SyncKey, SyncLoc>>;
+
+/// How one launch's detector maps into an engine's global id space: its
+/// epoch, TID/block offsets, the frozen predecessor frontier (everything
+/// that happened-before this launch: the host clock at launch time plus
+/// fully-synchronized earlier launches), and the shared launch registry.
+///
+/// A standalone [`Detector::new`] detector is the degenerate scope:
+/// epoch 0, zero bases, bottom frontier.
+#[derive(Debug, Clone)]
+pub(crate) struct LaunchScope {
+    pub(crate) epoch: u32,
+    pub(crate) tid_base: u64,
+    pub(crate) threads: u64,
+    pub(crate) block_base: u64,
+    pub(crate) preds: Arc<HClock>,
+    pub(crate) registry: Arc<LaunchRegistry>,
+}
+
+impl LaunchScope {
+    /// Launch-local TID for a global TID of *this* launch, `None` for
+    /// foreign ids (other epochs, the host sentinel).
+    fn local_of(&self, gt: u64) -> Option<Tid> {
+        (gt >= self.tid_base && gt < self.tid_base + self.threads).then(|| Tid(gt - self.tid_base))
+    }
+}
+
+/// Detector state shared across worker threads: the global-memory
+/// shadow, the synchronization-location map `S`, and the race sink. One
+/// `Detector` checks one kernel launch; in engine mode the `Arc`-shared
+/// parts outlive it and carry happens-before state to the next launch.
 #[derive(Debug)]
 pub struct Detector {
     dims: GridDims,
     shared_size: u64,
-    global_shadow: GlobalShadow,
-    sync_locs: Mutex<HashMap<SyncKey, SyncLoc>>,
-    races: RaceSink,
+    global_shadow: Arc<GlobalShadow>,
+    sync_locs: Arc<SyncMap>,
+    races: Arc<RaceSink>,
+    scope: LaunchScope,
 }
 
 impl Detector {
-    /// Creates a detector for a launch with the given dimensions and
-    /// per-block shared-memory segment size.
+    /// Creates a standalone single-launch detector with the given
+    /// dimensions and per-block shared-memory segment size.
     pub fn new(dims: GridDims, shared_size: u64) -> Self {
         assert!(
             dims.total_threads() <= u64::from(u32::MAX),
             "TIDs must fit in u32"
         );
+        let mut reg = LaunchRegistry::new();
+        let epoch = reg.register(dims);
+        Detector::scoped(
+            dims,
+            shared_size,
+            Arc::new(GlobalShadow::new()),
+            Arc::new(Mutex::new(HashMap::new())),
+            Arc::new(RaceSink::new()),
+            LaunchScope {
+                epoch,
+                tid_base: 0,
+                threads: dims.total_threads(),
+                block_base: 0,
+                preds: Arc::new(HClock::new()),
+                registry: Arc::new(reg),
+            },
+        )
+    }
+
+    /// A detector over engine-owned shared state (used by
+    /// [`EngineCore`](crate::EngineCore)).
+    pub(crate) fn scoped(
+        dims: GridDims,
+        shared_size: u64,
+        global_shadow: Arc<GlobalShadow>,
+        sync_locs: Arc<SyncMap>,
+        races: Arc<RaceSink>,
+        scope: LaunchScope,
+    ) -> Self {
         Detector {
             dims,
             shared_size,
-            global_shadow: GlobalShadow::new(),
-            sync_locs: Mutex::new(HashMap::new()),
-            races: RaceSink::new(),
+            global_shadow,
+            sync_locs,
+            races,
+            scope,
         }
     }
 
     /// Launch dimensions.
     pub fn dims(&self) -> &GridDims {
         &self.dims
+    }
+
+    /// The engine epoch this detector checks (0 for standalone
+    /// detectors).
+    pub fn epoch(&self) -> u32 {
+        self.scope.epoch
     }
 
     /// The collected races and diagnostics.
@@ -315,13 +388,32 @@ fn check_lane_access(
     atype: AccessType,
 ) {
     let dims = &det.dims;
+    let scope = &det.scope;
     let tid = dims.tid_of_lane(wc.warp, lane);
+    let gt = scope.tid_base + tid.0;
+    #[allow(clippy::cast_possible_truncation)] // registry caps TIDs below u32::MAX
+    let e = Epoch::new(wc.own_clock(), gt as u32);
+    // This lane's view of a global TID: structural clocks for same-epoch
+    // threads, the frozen predecessor frontier for foreign epochs and the
+    // host, plus the (globally keyed) external clock in either case.
+    let ext = wc.active().external.as_ref();
+    let clock_of = |t: u32| -> Clock {
+        let key = u64::from(t);
+        let mut c = match scope.local_of(key) {
+            Some(local) => wc.clock_of_structural(lane, local, dims),
+            None => scope.preds.get_scoped(key, &scope.registry),
+        };
+        if let Some(eh) = ext {
+            c = c.max(eh.get_scoped(key, &scope.registry));
+        }
+        c
+    };
     let mut first_race: Option<(u32, AccessType)> = None;
     match space {
         MemSpace::Shared => {
             for b in addr..addr + u64::from(size) {
                 let cell = shared_shadow.cell_mut(b);
-                let race = check_cell(cell, wc, lane, tid, atype, dims);
+                let race = check_cell(cell, e, &clock_of, atype);
                 if first_race.is_none() {
                     first_race = race;
                 }
@@ -331,9 +423,9 @@ fn check_lane_access(
             // An access never spans shadow pages beyond two; lock per byte
             // via with_page for simplicity (pages cache well).
             for b in addr..addr + u64::from(size) {
-                let race = det.global_shadow.with_page(b, |page| {
-                    check_cell(page.cell_mut(b), wc, lane, tid, atype, dims)
-                });
+                let race = det
+                    .global_shadow
+                    .with_page(b, |page| check_cell(page.cell_mut(b), e, &clock_of, atype));
                 if first_race.is_none() {
                     first_race = race;
                 }
@@ -341,12 +433,12 @@ fn check_lane_access(
         }
     }
     if let Some((prev_tid, prev_type)) = first_race {
-        let class = classify(dims, wc, tid, Tid(u64::from(prev_tid)));
+        let class = classify(scope, dims, wc, tid, u64::from(prev_tid));
         det.races.report(RaceReport {
             space,
             block: (space == MemSpace::Shared).then(|| dims.block_of(tid)),
             addr,
-            current: (tid, atype),
+            current: (Tid(gt), atype),
             previous: (Tid(u64::from(prev_tid)), prev_type),
             class,
         });
@@ -355,17 +447,16 @@ fn check_lane_access(
 
 /// The per-cell state machine: READEXCL / READSHARED / READINFLATE /
 /// WRITEEXCL / WRITESHARED / INITATOM* / ATOM* from Figs. 2–3.
-fn check_cell(
+///
+/// `e` is the accessing thread's epoch (globally keyed in engine mode)
+/// and `clock_of` its view of any global TID. Shared with the engine's
+/// host-access checks, where the "thread" is the host.
+pub(crate) fn check_cell<F: Fn(u32) -> Clock>(
     cell: &mut ShadowCell,
-    wc: &WarpClocks,
-    lane: u32,
-    tid: Tid,
+    e: Epoch,
+    clock_of: &F,
     atype: AccessType,
-    dims: &GridDims,
 ) -> Option<(u32, AccessType)> {
-    let own = wc.own_clock();
-    let e = Epoch::new(own, tid.0 as u32);
-    let clock_of = |t: u32| -> Clock { wc.clock_of(lane, Tid(u64::from(t)), dims) };
     let write_ordered = cell.write.is_bottom()
         || cell.write.tid == e.tid
         || cell.write.clock <= clock_of(cell.write.tid);
@@ -444,8 +535,23 @@ fn check_cell(
 }
 
 /// Classifies a race from the two TIDs (§4.3.3): divergence (same warp,
-/// different branch paths), intra-warp, intra-block or inter-block.
-fn classify(dims: &GridDims, wc: &WarpClocks, cur: Tid, prev: Tid) -> RaceClass {
+/// different branch paths), intra-warp, intra-block or inter-block —
+/// extended in engine mode with host-device (the previous access was a
+/// host memory operation) and inter-kernel (a different launch epoch).
+/// `cur` is launch-local, `prev_gt` globally keyed.
+fn classify(
+    scope: &LaunchScope,
+    dims: &GridDims,
+    wc: &WarpClocks,
+    cur: Tid,
+    prev_gt: u64,
+) -> RaceClass {
+    if prev_gt == HOST_TID_KEY {
+        return RaceClass::HostDevice;
+    }
+    let Some(prev) = scope.local_of(prev_gt) else {
+        return RaceClass::InterKernel;
+    };
     if dims.warp_of(prev) == dims.warp_of(cur) {
         let prev_lane = dims.lane_of(prev);
         if wc.active().mask & (1 << prev_lane) != 0 {
@@ -473,7 +579,10 @@ fn process_sync(
     release: Option<Scope>,
 ) {
     let dims = &det.dims;
-    let block = bs.block;
+    let lscope = &det.scope;
+    // Slots (and shared-space keys) use the *global* block id so the
+    // persistent map never aliases blocks of different launches.
+    let gblock = lscope.block_base + bs.block;
     let wc = &mut bs.warps[wib];
     let mut locs = det.sync_locs.lock();
     let mut acquired: Vec<HClock> = Vec::new();
@@ -483,24 +592,31 @@ fn process_sync(
         }
         let key = SyncKey {
             shared: space == MemSpace::Shared,
-            block: if space == MemSpace::Shared { block } else { 0 },
+            block: if space == MemSpace::Shared { gblock } else { 0 },
             addr: addrs[lane as usize],
         };
         let loc = locs.entry(key).or_default();
         let acquired_here = match acquire {
-            Some(Scope::Block) => loc.slot(block).cloned(),
+            Some(Scope::Block) => loc.slot(gblock).cloned(),
             Some(Scope::Global) => Some(loc.join_all()),
             None => None,
         };
         if let Some(scope) = release {
             // The released value is C_t — including the acquired component
-            // for acquire-release operations (ACQRELBLK / ACQRELGLB).
-            let mut snap = wc.release_snapshot(lane, dims);
+            // for acquire-release operations (ACQRELBLK / ACQRELGLB), and
+            // the launch's predecessor frontier, so transitive
+            // happens-before through persisted sync locations carries
+            // host/prior-kernel history to a later acquirer.
+            let mut snap =
+                wc.release_snapshot_scoped(lane, dims, lscope.tid_base, lscope.block_base);
+            if !lscope.preds.is_bottom() {
+                snap.join(&lscope.preds);
+            }
             if let Some(h) = &acquired_here {
                 snap.join(h);
             }
             match scope {
-                Scope::Block => loc.set_block(block, snap),
+                Scope::Block => loc.set_block(gblock, snap),
                 Scope::Global => loc.set_all(snap),
             }
         }

@@ -1,0 +1,441 @@
+//! Persistent device-lifetime detection state.
+//!
+//! The real BARRACUDA attaches to a live CUDA process and watches its
+//! whole lifetime: a stream of kernel launches interleaved with host
+//! memory operations. [`EngineCore`] is the detector-side half of that
+//! model: it owns the state that must outlive a single launch — the
+//! global-memory shadow, the synchronization-location map `S`, the
+//! launch registry, and the *host* clock — and mints a per-launch
+//! [`Detector`] whose scope ties launch-local thread clocks into the
+//! global TID space.
+//!
+//! ## Happens-before model
+//!
+//! * The host is a single sequential thread with epoch
+//!   `host_clock @ HOST_TID`; every host memory operation bumps it.
+//! * A kernel launch is ordered after everything its *predecessor
+//!   frontier* covers: the host's accesses up to the launch call, plus —
+//!   for same-stream launches — the whole previous launch on that stream
+//!   (a launch-epoch floor of `Clock::MAX`) and, transitively, that
+//!   launch's own frontier. Launches on different streams share no edge
+//!   and are concurrent.
+//! * `stream_synchronize`/`device_synchronize` (and the implicit wait of
+//!   a blocking memcpy) join launch frontiers into the host's view.
+//!
+//! Races whose previous access belongs to a different epoch are
+//! classified [`RaceClass::InterKernel`]; races against a host operation
+//! are [`RaceClass::HostDevice`].
+
+use crate::clock::{Clock, Epoch};
+use crate::detector::{check_cell, Detector, LaunchScope, SyncMap};
+use crate::hclock::HClock;
+use crate::launch::{LaunchRegistry, HOST_TID, HOST_TID_KEY};
+use crate::report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};
+use crate::shadow::GlobalShadow;
+use barracuda_trace::{GridDims, MemSpace, Tid};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The persistent half of a detection engine: shadow memory, sync map,
+/// launch registry and host clock, surviving across kernel launches.
+#[derive(Debug)]
+pub struct EngineCore {
+    global_shadow: Arc<GlobalShadow>,
+    sync_locs: Arc<SyncMap>,
+    races: Arc<RaceSink>,
+    registry: Arc<LaunchRegistry>,
+    /// Frozen predecessor frontier of each launch epoch.
+    epoch_preds: Vec<Arc<HClock>>,
+    /// The host thread's own clock (starts at 1; bumped per host op and
+    /// per launch call).
+    host_clock: Clock,
+    /// What the host has synchronized with (stream/device syncs and
+    /// blocking memcpys join launch frontiers in here).
+    host_view: HClock,
+}
+
+impl Default for EngineCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineCore {
+    /// A fresh engine: empty shadow, empty sync map, host clock at 1.
+    pub fn new() -> Self {
+        EngineCore {
+            global_shadow: Arc::new(GlobalShadow::new()),
+            sync_locs: Arc::new(Mutex::new(HashMap::new())),
+            races: Arc::new(RaceSink::new()),
+            registry: Arc::new(LaunchRegistry::new()),
+            epoch_preds: Vec::new(),
+            host_clock: 1,
+            host_view: HClock::new(),
+        }
+    }
+
+    /// Registers a launch and returns its detector. `pred_epoch` is the
+    /// epoch of the previous launch on the same stream, if any: that
+    /// launch (and its own frontier, transitively) happens-before this
+    /// one. The host's accesses so far are always in the frontier, and
+    /// the launch call bumps the host clock so *later* host operations
+    /// stay concurrent with this kernel.
+    pub fn begin_launch(
+        &mut self,
+        dims: GridDims,
+        shared_size: u64,
+        pred_epoch: Option<u32>,
+    ) -> Detector {
+        let mut preds = self.host_view.clone();
+        preds.set_thread(HOST_TID_KEY, self.host_clock);
+        if let Some(p) = pred_epoch {
+            preds.raise_launch(p, Clock::MAX);
+            preds.join(&self.epoch_preds[p as usize]);
+        }
+        self.host_clock += 1;
+        let epoch = Arc::make_mut(&mut self.registry).register(dims);
+        let preds = Arc::new(preds);
+        self.epoch_preds.push(Arc::clone(&preds));
+        let info = self.registry.info(epoch);
+        let scope = LaunchScope {
+            epoch,
+            tid_base: info.tid_base,
+            threads: info.threads,
+            block_base: info.block_base,
+            preds,
+            registry: Arc::clone(&self.registry),
+        };
+        Detector::scoped(
+            dims,
+            shared_size,
+            Arc::clone(&self.global_shadow),
+            Arc::clone(&self.sync_locs),
+            Arc::clone(&self.races),
+            scope,
+        )
+    }
+
+    /// Marks a launch finished: shared-memory synchronization locations
+    /// die with the launch (shared memory resets), so their entries are
+    /// dropped from the persistent map. Global locations persist — they
+    /// are what lets a later launch acquire a flag released here.
+    pub fn finish_launch(&mut self) {
+        self.sync_locs.lock().retain(|k, _| !k.shared);
+    }
+
+    /// A host write of `len` bytes at `addr` (H2D memcpy destination).
+    /// Conflicts with unsynchronized device accesses are reported as
+    /// [`RaceClass::HostDevice`].
+    pub fn host_write(&mut self, addr: u64, len: u64) {
+        self.host_access(addr, len, AccessType::Write);
+    }
+
+    /// A host read of `len` bytes at `addr` (D2H memcpy source).
+    pub fn host_read(&mut self, addr: u64, len: u64) {
+        self.host_access(addr, len, AccessType::Read);
+    }
+
+    fn host_access(&mut self, addr: u64, len: u64, atype: AccessType) {
+        let e = Epoch::new(self.host_clock, HOST_TID);
+        let hc = self.host_clock;
+        let view = &self.host_view;
+        let reg = &self.registry;
+        let clock_of = |t: u32| -> Clock {
+            if t == HOST_TID {
+                hc // the host is sequential: it has seen all its own ops
+            } else {
+                view.get_scoped(u64::from(t), reg)
+            }
+        };
+        // Every byte's metadata is updated (later launches must observe
+        // the host epochs); at most one race is reported, keyed to the
+        // operation's base address.
+        let mut first: Option<(u32, AccessType)> = None;
+        for b in addr..addr + len {
+            let race = self
+                .global_shadow
+                .with_page(b, |page| check_cell(page.cell_mut(b), e, &clock_of, atype));
+            if first.is_none() {
+                first = race;
+            }
+        }
+        if let Some((prev_tid, prev_type)) = first {
+            self.races.report(RaceReport {
+                space: MemSpace::Global,
+                block: None,
+                addr,
+                current: (Tid(HOST_TID_KEY), atype),
+                previous: (Tid(u64::from(prev_tid)), prev_type),
+                class: RaceClass::HostDevice,
+            });
+        }
+        self.host_clock += 1;
+    }
+
+    /// The host waits for launch `epoch` (stream synchronization or the
+    /// implicit wait of a blocking memcpy): its whole epoch, and the
+    /// epoch's own frontier, join the host's view.
+    pub fn join_epoch(&mut self, epoch: u32) {
+        self.host_view.raise_launch(epoch, Clock::MAX);
+        let preds = Arc::clone(&self.epoch_preds[epoch as usize]);
+        self.host_view.join(&preds);
+    }
+
+    /// The host waits for every launch so far (`cudaDeviceSynchronize`).
+    pub fn join_all(&mut self) {
+        for epoch in 0..self.epoch_preds.len() as u32 {
+            self.host_view.raise_launch(epoch, Clock::MAX);
+        }
+    }
+
+    /// Takes the races and diagnostics collected since the last drain,
+    /// resetting per-location dedup (the engine drains after every
+    /// launch / host op, attributing races to the operation that exposed
+    /// them).
+    pub fn drain(&mut self) -> (Vec<RaceReport>, Vec<Diagnostic>) {
+        self.races.drain()
+    }
+
+    /// The race sink shared with every launch's detector.
+    pub fn races(&self) -> &RaceSink {
+        &self.races
+    }
+
+    /// Number of launches registered so far.
+    pub fn launch_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// The host thread's current clock.
+    pub fn host_clock(&self) -> Clock {
+        self.host_clock
+    }
+
+    /// Distinct synchronization locations currently tracked.
+    pub fn sync_location_count(&self) -> usize {
+        self.sync_locs.lock().len()
+    }
+
+    /// Allocated global shadow pages.
+    pub fn shadow_page_count(&self) -> usize {
+        self.global_shadow.page_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Worker;
+    use barracuda_trace::ops::{AccessKind, Event};
+
+    /// 2 blocks × 8 threads, warp size 4.
+    fn dims() -> GridDims {
+        GridDims::with_warp_size(2u32, 8u32, 4)
+    }
+
+    fn write(warp: u64, addr: u64) -> Event {
+        Event::Access {
+            warp,
+            kind: AccessKind::Write,
+            space: MemSpace::Global,
+            mask: 0b0001,
+            addrs: [addr; 32],
+            size: 4,
+        }
+    }
+
+    fn run_launch(core: &mut EngineCore, pred: Option<u32>, events: &[Event]) -> u32 {
+        let det = core.begin_launch(dims(), 0, pred);
+        let epoch = det.epoch();
+        let mut w = Worker::new(&det);
+        for ev in events {
+            w.process_event(ev);
+        }
+        core.finish_launch();
+        epoch
+    }
+
+    #[test]
+    fn concurrent_launches_race_inter_kernel() {
+        let mut core = EngineCore::new();
+        run_launch(&mut core, None, &[write(0, 0x1000)]);
+        run_launch(&mut core, None, &[write(0, 0x1000)]);
+        let (races, _) = core.drain();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].class, RaceClass::InterKernel);
+    }
+
+    #[test]
+    fn same_stream_launches_are_ordered() {
+        let mut core = EngineCore::new();
+        let e0 = run_launch(&mut core, None, &[write(0, 0x1000)]);
+        run_launch(&mut core, Some(e0), &[write(0, 0x1000)]);
+        let (races, _) = core.drain();
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn stream_chain_is_transitive() {
+        let mut core = EngineCore::new();
+        let e0 = run_launch(&mut core, None, &[write(0, 0x1000)]);
+        let e1 = run_launch(&mut core, Some(e0), &[]);
+        run_launch(&mut core, Some(e1), &[write(0, 0x1000)]);
+        let (races, _) = core.drain();
+        assert!(races.is_empty(), "K0 → K1 → K2 must order K0 before K2");
+    }
+
+    #[test]
+    fn host_write_races_with_unsynced_kernel() {
+        let mut core = EngineCore::new();
+        run_launch(&mut core, None, &[write(0, 0x1000)]);
+        core.host_write(0x1000, 4);
+        let (races, _) = core.drain();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].class, RaceClass::HostDevice);
+        assert_eq!(races[0].current.0, Tid(HOST_TID_KEY));
+    }
+
+    #[test]
+    fn host_write_after_join_is_ordered() {
+        let mut core = EngineCore::new();
+        let e0 = run_launch(&mut core, None, &[write(0, 0x1000)]);
+        core.join_epoch(e0);
+        core.host_write(0x1000, 4);
+        let (races, _) = core.drain();
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn kernel_sees_prior_host_writes_but_not_later_ones() {
+        let mut core = EngineCore::new();
+        core.host_write(0x1000, 4);
+        run_launch(&mut core, None, &[write(0, 0x1000)]);
+        let (races, _) = core.drain();
+        assert!(races.is_empty(), "launch is ordered after prior host ops");
+        // A later host write to what the kernel wrote, without a sync,
+        // races.
+        core.host_write(0x1000, 4);
+        let (races, _) = core.drain();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].class, RaceClass::HostDevice);
+    }
+
+    #[test]
+    fn device_synchronize_orders_everything() {
+        let mut core = EngineCore::new();
+        run_launch(&mut core, None, &[write(0, 0x1000)]);
+        run_launch(&mut core, None, &[write(0, 0x2000)]);
+        core.join_all();
+        core.host_write(0x1000, 4);
+        core.host_write(0x2000, 4);
+        let (races, _) = core.drain();
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn sequential_launches_do_not_cross_contaminate_reports() {
+        let mut core = EngineCore::new();
+        // Launch 1 has an internal inter-block race.
+        run_launch(&mut core, None, &[write(0, 0x1000), write(2, 0x1000)]);
+        let (races, _) = core.drain();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].class, RaceClass::InterBlock);
+        // Launch 2 (same stream would be ordered; use an independent
+        // stream but a disjoint address) is clean: no reports leak over.
+        run_launch(&mut core, None, &[write(0, 0x4000)]);
+        let (races, _) = core.drain();
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn flag_handoff_across_launches_synchronizes() {
+        use barracuda_trace::ops::Scope;
+        let data = 0x1000u64;
+        let flag = 0x2000u64;
+        let rel = |warp: u64, addr: u64| Event::Access {
+            warp,
+            kind: AccessKind::Release(Scope::Global),
+            space: MemSpace::Global,
+            mask: 0b0001,
+            addrs: [addr; 32],
+            size: 4,
+        };
+        let acq = |warp: u64, addr: u64| Event::Access {
+            warp,
+            kind: AccessKind::Acquire(Scope::Global),
+            space: MemSpace::Global,
+            mask: 0b0001,
+            addrs: [addr; 32],
+            size: 4,
+        };
+        // Launch 1 (stream A) writes data, releases flag. Launch 2
+        // (stream B, concurrent) acquires flag, then writes data: the
+        // handoff is only visible because the sync-location map
+        // persists across launches.
+        let mut core = EngineCore::new();
+        run_launch(&mut core, None, &[write(0, data), rel(0, flag)]);
+        run_launch(&mut core, None, &[acq(0, flag), write(0, data)]);
+        let (races, _) = core.drain();
+        assert!(races.is_empty(), "{races:?}");
+
+        // Without the release, the same shape races inter-kernel.
+        let mut core = EngineCore::new();
+        run_launch(&mut core, None, &[write(0, data)]);
+        run_launch(&mut core, None, &[acq(0, flag), write(0, data)]);
+        let (races, _) = core.drain();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].class, RaceClass::InterKernel);
+    }
+
+    #[test]
+    fn handoff_carries_host_history_transitively() {
+        use barracuda_trace::ops::Scope;
+        // Host writes X; K1 (ordered after host) releases a flag; K2 on
+        // another stream acquires the flag and writes X. K2 must inherit
+        // K1's view of the host write through the release.
+        let mut core = EngineCore::new();
+        core.host_write(0x1000, 4);
+        let rel = Event::Access {
+            warp: 0,
+            kind: AccessKind::Release(Scope::Global),
+            space: MemSpace::Global,
+            mask: 0b0001,
+            addrs: [0x2000; 32],
+            size: 4,
+        };
+        let acq = Event::Access {
+            warp: 0,
+            kind: AccessKind::Acquire(Scope::Global),
+            space: MemSpace::Global,
+            mask: 0b0001,
+            addrs: [0x2000; 32],
+            size: 4,
+        };
+        run_launch(&mut core, None, &[rel]);
+        run_launch(&mut core, None, &[acq, write(0, 0x1000)]);
+        let (races, _) = core.drain();
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn shared_sync_locations_cleared_between_launches() {
+        use barracuda_trace::ops::Scope;
+        let mut core = EngineCore::new();
+        let det = core.begin_launch(dims(), 64, None);
+        let mut w = Worker::new(&det);
+        w.process_event(&Event::Access {
+            warp: 0,
+            kind: AccessKind::Release(Scope::Block),
+            space: MemSpace::Shared,
+            mask: 0b0001,
+            addrs: [0; 32],
+            size: 4,
+        });
+        drop(w);
+        drop(det);
+        assert_eq!(core.sync_location_count(), 1);
+        core.finish_launch();
+        assert_eq!(core.sync_location_count(), 0);
+    }
+}

@@ -8,15 +8,32 @@
 //! to the SPARSEVC external component of per-thread VCs (§4.3.1).
 
 use crate::clock::Clock;
+use crate::launch::LaunchRegistry;
 use barracuda_trace::GridDims;
 use std::collections::HashMap;
 
 /// A sparse, hierarchical vector clock: `get(t) = max(threads[t],
-/// block_floors[block(t)], global_floor)`.
+/// block_floors[block(t)], launch_floors[epoch(t)], global_floor)`.
+///
+/// The launch layer exists only in engine mode (persistent detection
+/// across kernel launches): a launch floor covers every thread of one
+/// launch epoch, which is how "the host synchronized with kernel K"
+/// is represented without enumerating K's threads. Single-launch
+/// detectors never set launch floors, and [`HClock::get`] (the
+/// launch-unaware lookup) ignores them.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HClock {
     global_floor: Clock,
     block_floors: HashMap<u64, Clock>,
+    launch_floors: HashMap<u32, Clock>,
+    /// Every launch epoch below this is fully ordered (floor `Clock::MAX`).
+    ///
+    /// Long same-stream chains raise one `Clock::MAX` floor per epoch;
+    /// without compaction a device-lifetime clock would grow by one entry
+    /// per launch and every clone (launch preds, release snapshots) would
+    /// pay O(launches). Contiguous fully-ordered prefixes collapse into
+    /// this single watermark instead, keeping chained clocks O(1).
+    epoch_watermark: u32,
     threads: HashMap<u64, Clock>,
 }
 
@@ -37,6 +54,32 @@ impl HClock {
         th.max(bf).max(self.global_floor)
     }
 
+    /// Timestamp for *global* thread id `t` in engine mode, resolving the
+    /// owning block and launch epoch through `reg`. For ids the registry
+    /// does not know (the host sentinel, or a thread of a launch recorded
+    /// in a newer registry snapshot) only the explicit entry and the
+    /// global floor apply.
+    pub fn get_scoped(&self, t: u64, reg: &LaunchRegistry) -> Clock {
+        let mut c = self
+            .threads
+            .get(&t)
+            .copied()
+            .unwrap_or(0)
+            .max(self.global_floor);
+        if let Some(info) = reg.lookup(t) {
+            if info.epoch < self.epoch_watermark {
+                return Clock::MAX;
+            }
+            if let Some(&lf) = self.launch_floors.get(&info.epoch) {
+                c = c.max(lf);
+            }
+            if let Some(&bf) = self.block_floors.get(&info.global_block_of(t)) {
+                c = c.max(bf);
+            }
+        }
+        c
+    }
+
     /// Sets an explicit per-thread entry (kept even if below a floor; `get`
     /// takes the max).
     pub fn set_thread(&mut self, t: u64, c: Clock) {
@@ -50,6 +93,33 @@ impl HClock {
         *e = (*e).max(c);
     }
 
+    /// Raises a launch-epoch floor (engine mode): every thread of launch
+    /// `epoch` is known to be at least at `c`. Floors of `Clock::MAX`
+    /// contiguous with the watermark collapse into it.
+    pub fn raise_launch(&mut self, epoch: u32, c: Clock) {
+        if epoch < self.epoch_watermark {
+            return;
+        }
+        if c == Clock::MAX && epoch == self.epoch_watermark {
+            self.epoch_watermark += 1;
+            self.absorb_watermark();
+            return;
+        }
+        let e = self.launch_floors.entry(epoch).or_insert(0);
+        *e = (*e).max(c);
+    }
+
+    /// Folds explicit floors subsumed by (or contiguous with) the
+    /// watermark into it.
+    fn absorb_watermark(&mut self) {
+        while self.launch_floors.get(&self.epoch_watermark) == Some(&Clock::MAX) {
+            self.launch_floors.remove(&self.epoch_watermark);
+            self.epoch_watermark += 1;
+        }
+        let w = self.epoch_watermark;
+        self.launch_floors.retain(|&e, _| e >= w);
+    }
+
     /// Raises the global floor.
     pub fn raise_global(&mut self, c: Clock) {
         self.global_floor = self.global_floor.max(c);
@@ -58,9 +128,14 @@ impl HClock {
     /// Pointwise join.
     pub fn join(&mut self, other: &HClock) {
         self.global_floor = self.global_floor.max(other.global_floor);
+        self.epoch_watermark = self.epoch_watermark.max(other.epoch_watermark);
         for (&b, &c) in &other.block_floors {
             self.raise_block(b, c);
         }
+        for (&l, &c) in &other.launch_floors {
+            self.raise_launch(l, c);
+        }
+        self.absorb_watermark();
         for (&t, &c) in &other.threads {
             self.set_thread(t, c);
         }
@@ -69,13 +144,15 @@ impl HClock {
     /// True when every component is zero.
     pub fn is_bottom(&self) -> bool {
         self.global_floor == 0
+            && self.epoch_watermark == 0
             && self.block_floors.values().all(|&c| c == 0)
+            && self.launch_floors.values().all(|&c| c == 0)
             && self.threads.values().all(|&c| c == 0)
     }
 
     /// Number of explicit entries (for size accounting / tests).
     pub fn explicit_entries(&self) -> usize {
-        self.block_floors.len() + self.threads.len()
+        self.block_floors.len() + self.launch_floors.len() + self.threads.len()
     }
 }
 
@@ -148,5 +225,99 @@ mod tests {
         h.set_thread(3, 9);
         h.set_thread(3, 2);
         assert_eq!(h.get(3, &dims()), 9);
+    }
+
+    #[test]
+    fn launch_floor_covers_one_epoch_only() {
+        let mut reg = LaunchRegistry::new();
+        let e0 = reg.register(dims()); // tids 0..32
+        let e1 = reg.register(dims()); // tids 32..64
+        let mut h = HClock::new();
+        h.raise_launch(e0, 7);
+        assert_eq!(h.get_scoped(0, &reg), 7);
+        assert_eq!(h.get_scoped(31, &reg), 7);
+        assert_eq!(h.get_scoped(32, &reg), 0, "next epoch unaffected");
+        let _ = e1;
+        // Thread entries and the global floor still apply on top.
+        h.set_thread(40, 3);
+        h.raise_global(1);
+        assert_eq!(h.get_scoped(40, &reg), 3);
+        assert_eq!(h.get_scoped(50, &reg), 1);
+    }
+
+    #[test]
+    fn scoped_block_floors_use_global_block_ids() {
+        let mut reg = LaunchRegistry::new();
+        let _e0 = reg.register(dims()); // 4 blocks: global blocks 0..4
+        let _e1 = reg.register(dims()); // 4 blocks: global blocks 4..8
+        let mut h = HClock::new();
+        h.raise_block(4, 9); // block 0 of the second launch
+        assert_eq!(h.get_scoped(32, &reg), 9, "t0 of launch 1 is in block 4");
+        assert_eq!(h.get_scoped(0, &reg), 0, "t0 of launch 0 is in block 0");
+    }
+
+    #[test]
+    fn fully_ordered_epoch_chain_stays_compact() {
+        // A same-stream launch chain raises a MAX floor per epoch; the
+        // watermark must absorb them so the clock stays O(1).
+        let mut reg = LaunchRegistry::new();
+        let mut h = HClock::new();
+        for _ in 0..100 {
+            let e = reg.register(dims());
+            h.raise_launch(e, Clock::MAX);
+        }
+        assert_eq!(h.explicit_entries(), 0, "contiguous MAX floors collapse");
+        assert_eq!(h.get_scoped(5, &reg), Clock::MAX);
+        assert_eq!(h.get_scoped(99 * 32 + 3, &reg), Clock::MAX);
+        assert!(!h.is_bottom());
+    }
+
+    #[test]
+    fn out_of_order_max_floors_absorb_once_contiguous() {
+        let mut reg = LaunchRegistry::new();
+        for _ in 0..3 {
+            reg.register(dims());
+        }
+        let mut h = HClock::new();
+        h.raise_launch(2, Clock::MAX); // gap: stays explicit
+        h.raise_launch(1, Clock::MAX);
+        assert_eq!(h.explicit_entries(), 2);
+        h.raise_launch(0, Clock::MAX); // closes the gap: all absorb
+        assert_eq!(h.explicit_entries(), 0);
+        assert_eq!(h.get_scoped(2 * 32, &reg), Clock::MAX);
+    }
+
+    #[test]
+    fn join_absorbs_floors_subsumed_by_the_other_watermark() {
+        let mut reg = LaunchRegistry::new();
+        for _ in 0..2 {
+            reg.register(dims());
+        }
+        let mut a = HClock::new();
+        a.raise_launch(1, Clock::MAX); // explicit: epoch 0 not ordered yet
+        let mut b = HClock::new();
+        b.raise_launch(0, Clock::MAX); // watermark 1
+        a.join(&b);
+        assert_eq!(a.explicit_entries(), 0, "join made the prefix contiguous");
+        assert_eq!(a.get_scoped(0, &reg), Clock::MAX);
+        assert_eq!(a.get_scoped(32, &reg), Clock::MAX);
+        // Partial floors below the watermark are dropped as subsumed.
+        let mut c = HClock::new();
+        c.raise_launch(0, 5);
+        c.join(&b);
+        assert_eq!(c.explicit_entries(), 0);
+        assert_eq!(c.get_scoped(0, &reg), Clock::MAX);
+    }
+
+    #[test]
+    fn join_carries_launch_floors() {
+        let mut reg = LaunchRegistry::new();
+        let e0 = reg.register(dims());
+        let mut a = HClock::new();
+        let mut b = HClock::new();
+        b.raise_launch(e0, 5);
+        a.join(&b);
+        assert_eq!(a.get_scoped(3, &reg), 5);
+        assert!(!a.is_bottom());
     }
 }

@@ -1,0 +1,166 @@
+//! Launch epochs: the global thread-id space of a persistent engine.
+//!
+//! The paper's detector observes one kernel launch; the persistent engine
+//! observes a device lifetime — many launches plus host memory
+//! operations. Each launch is assigned an *epoch* and a contiguous range
+//! of the global 32-bit TID space (shadow epochs store `u32` thread ids,
+//! Fig. 8), so per-byte shadow state written by launch *k* remains
+//! attributable — and orderable — when launch *k+1* touches the same
+//! byte. The [`LaunchRegistry`] maps a global TID back to its epoch,
+//! launch-local TID, and *global block id* (blocks are offset the same
+//! way, keeping synchronization-location slots distinct across launches).
+
+use barracuda_trace::{GridDims, Tid};
+
+/// Sentinel TID for the host thread (never a device thread: the registry
+/// caps cumulative device TIDs below it).
+pub const HOST_TID: u32 = u32::MAX;
+
+/// [`HOST_TID`] widened to the `u64` key space used by [`HClock`]
+/// entries and race reports.
+///
+/// [`HClock`]: crate::HClock
+pub const HOST_TID_KEY: u64 = HOST_TID as u64;
+
+/// Identity of one kernel launch within an engine's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchInfo {
+    /// Launch epoch (index into the registry).
+    pub epoch: u32,
+    /// First global TID of this launch.
+    pub tid_base: u64,
+    /// Total threads in this launch.
+    pub threads: u64,
+    /// First global block id of this launch.
+    pub block_base: u64,
+    /// Number of blocks in this launch.
+    pub blocks: u64,
+    /// The launch dimensions.
+    pub dims: GridDims,
+}
+
+impl LaunchInfo {
+    /// The global block id owning global TID `t` (which must belong to
+    /// this launch).
+    pub fn global_block_of(&self, t: u64) -> u64 {
+        self.block_base + self.dims.block_of(Tid(t - self.tid_base))
+    }
+}
+
+/// Append-only map from global TIDs to launches, shared (via `Arc`) by
+/// every clock that needs to resolve foreign thread ids.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchRegistry {
+    launches: Vec<LaunchInfo>,
+}
+
+impl LaunchRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a launch, assigning it the next epoch and TID/block
+    /// ranges; returns the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cumulative thread count would no longer fit the
+    /// 32-bit shadow TID space (reserving [`HOST_TID`]).
+    pub fn register(&mut self, dims: GridDims) -> u32 {
+        let (tid_base, block_base) = match self.launches.last() {
+            Some(l) => (l.tid_base + l.threads, l.block_base + l.blocks),
+            None => (0, 0),
+        };
+        let threads = dims.total_threads();
+        assert!(
+            tid_base + threads < HOST_TID_KEY,
+            "cumulative launch TIDs must fit in u32 (engine epoch space exhausted)"
+        );
+        let epoch = self.launches.len() as u32;
+        self.launches.push(LaunchInfo {
+            epoch,
+            tid_base,
+            threads,
+            block_base,
+            blocks: dims.num_blocks(),
+            dims,
+        });
+        epoch
+    }
+
+    /// The launch record for `epoch`.
+    pub fn info(&self, epoch: u32) -> &LaunchInfo {
+        &self.launches[epoch as usize]
+    }
+
+    /// Number of launches registered.
+    pub fn len(&self) -> usize {
+        self.launches.len()
+    }
+
+    /// True before the first launch.
+    pub fn is_empty(&self) -> bool {
+        self.launches.is_empty()
+    }
+
+    /// The launch owning global TID `t`, or `None` for the host sentinel
+    /// and out-of-range ids.
+    pub fn lookup(&self, t: u64) -> Option<&LaunchInfo> {
+        let idx = self.launches.partition_point(|l| l.tid_base <= t);
+        let info = self.launches.get(idx.checked_sub(1)?)?;
+        (t < info.tid_base + info.threads).then_some(info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_assigns_contiguous_ranges() {
+        let mut r = LaunchRegistry::new();
+        let d1 = GridDims::with_warp_size(2u32, 8u32, 4); // 16 threads, 2 blocks
+        let d2 = GridDims::with_warp_size(3u32, 4u32, 4); // 12 threads, 3 blocks
+        assert_eq!(r.register(d1), 0);
+        assert_eq!(r.register(d2), 1);
+        assert_eq!(r.info(1).tid_base, 16);
+        assert_eq!(r.info(1).block_base, 2);
+        assert_eq!(r.info(1).blocks, 3);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn lookup_resolves_epochs_and_rejects_host() {
+        let mut r = LaunchRegistry::new();
+        let d = GridDims::with_warp_size(2u32, 8u32, 4);
+        r.register(d);
+        r.register(d);
+        assert_eq!(r.lookup(0).unwrap().epoch, 0);
+        assert_eq!(r.lookup(15).unwrap().epoch, 0);
+        assert_eq!(r.lookup(16).unwrap().epoch, 1);
+        assert_eq!(r.lookup(31).unwrap().epoch, 1);
+        assert!(r.lookup(32).is_none());
+        assert!(r.lookup(HOST_TID_KEY).is_none());
+    }
+
+    #[test]
+    fn global_block_ids_are_offset() {
+        let mut r = LaunchRegistry::new();
+        let d = GridDims::with_warp_size(2u32, 8u32, 4);
+        r.register(d);
+        r.register(d);
+        let second = r.lookup(24).unwrap(); // thread 8 of launch 1 → its block 1
+        assert_eq!(second.global_block_of(24), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch space exhausted")]
+    fn tid_overflow_panics() {
+        let mut r = LaunchRegistry::new();
+        // 2^16 blocks × 2^16 threads = 2^32 threads: one launch already
+        // exceeds the reserved space.
+        let d = GridDims::new(65536u32, 65536u32);
+        r.register(d);
+    }
+}

@@ -17,7 +17,7 @@
 //!   for global memory and preallocated tables for shared memory
 //!   ([`shadow`], Fig. 8).
 //!
-//! The [`reference`] module contains an uncompressed reference detector
+//! The [`mod@reference`] module contains an uncompressed reference detector
 //! implementing the operational semantics literally; property tests
 //! validate that the compressed detector produces identical verdicts.
 //!
@@ -51,7 +51,9 @@
 
 pub mod clock;
 pub mod detector;
+pub mod engine;
 pub mod hclock;
+pub mod launch;
 pub mod ptvc;
 pub mod reference;
 pub mod report;
@@ -59,7 +61,9 @@ pub mod shadow;
 
 pub use clock::{Clock, Epoch, VectorClock};
 pub use detector::{BlockState, Detector, Worker};
+pub use engine::EngineCore;
 pub use hclock::HClock;
+pub use launch::{LaunchInfo, LaunchRegistry, HOST_TID, HOST_TID_KEY};
 pub use ptvc::{PtvcFormat, WarpClocks};
 pub use reference::ReferenceDetector;
 pub use report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};

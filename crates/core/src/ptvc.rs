@@ -172,8 +172,22 @@ impl WarpClocks {
     /// (which must be active).
     pub fn clock_of(&self, lane: u32, target: Tid, dims: &GridDims) -> Clock {
         let g = self.active();
+        let structural = self.clock_of_structural(lane, target, dims);
+        match &g.external {
+            Some(e) => structural.max(e.get(target.0, dims)),
+            None => structural,
+        }
+    }
+
+    /// The warp/block-structural component of [`WarpClocks::clock_of`],
+    /// without the external [`HClock`]. The engine-mode detector uses
+    /// this and resolves the external component itself (its external
+    /// clocks are keyed by *global* TIDs, which the structural lookup
+    /// must not see).
+    pub fn clock_of_structural(&self, lane: u32, target: Tid, dims: &GridDims) -> Clock {
+        let g = self.active();
         let self_tid = dims.tid_of_lane(self.warp, lane);
-        let structural = if target == self_tid {
+        if target == self_tid {
             g.own
         } else if dims.warp_of(target) == self.warp {
             let tl = dims.lane_of(target);
@@ -186,10 +200,6 @@ impl WarpClocks {
             g.block_clock
         } else {
             0
-        };
-        match &g.external {
-            Some(e) => structural.max(e.get(target.0, dims)),
-            None => structural,
         }
     }
 
@@ -377,11 +387,27 @@ impl WarpClocks {
     /// active) as a hierarchical clock — the value a release stores into
     /// `S_x`.
     pub fn release_snapshot(&self, lane: u32, dims: &GridDims) -> HClock {
+        self.release_snapshot_scoped(lane, dims, 0, 0)
+    }
+
+    /// [`WarpClocks::release_snapshot`] with the thread and block keys
+    /// offset into an engine's global id space: thread entries are keyed
+    /// `tid_base + local`, the block floor `block_base + local block`.
+    /// The external clock is joined as-is (in engine mode it is already
+    /// globally keyed). With zero bases this is exactly the single-launch
+    /// snapshot.
+    pub fn release_snapshot_scoped(
+        &self,
+        lane: u32,
+        dims: &GridDims,
+        tid_base: u64,
+        block_base: u64,
+    ) -> HClock {
         let g = self.active();
         let mut h = HClock::new();
         let self_tid = dims.tid_of_lane(self.warp, lane);
         let block = dims.block_of(self_tid);
-        h.set_thread(self_tid.0, g.own);
+        h.set_thread(tid_base + self_tid.0, g.own);
         let live = dims.initial_mask(self.warp);
         for l in 0..dims.warp_size {
             if l == lane || live & (1 << l) == 0 {
@@ -394,11 +420,11 @@ impl WarpClocks {
                 g.warp_view.get(l)
             };
             if v > 0 {
-                h.set_thread(t.0, v);
+                h.set_thread(tid_base + t.0, v);
             }
         }
         if g.block_clock > 0 {
-            h.raise_block(block, g.block_clock);
+            h.raise_block(block_base + block, g.block_clock);
         }
         if let Some(e) = &g.external {
             h.join(e);

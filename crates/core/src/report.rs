@@ -18,6 +18,24 @@ pub enum RaceClass {
     IntraBlock,
     /// Different thread blocks.
     InterBlock,
+    /// Different kernel launches on concurrent streams (persistent-engine
+    /// mode: the shadow cell was last touched in an earlier, unordered
+    /// launch epoch).
+    InterKernel,
+    /// A host memory operation (memcpy) conflicting with a device thread.
+    HostDevice,
+}
+
+impl RaceClass {
+    /// Every class, in reporting order.
+    pub const ALL: [RaceClass; 6] = [
+        RaceClass::IntraWarp,
+        RaceClass::Divergence,
+        RaceClass::IntraBlock,
+        RaceClass::InterBlock,
+        RaceClass::InterKernel,
+        RaceClass::HostDevice,
+    ];
 }
 
 impl fmt::Display for RaceClass {
@@ -27,6 +45,8 @@ impl fmt::Display for RaceClass {
             RaceClass::Divergence => "divergence",
             RaceClass::IntraBlock => "intra-block",
             RaceClass::InterBlock => "inter-block",
+            RaceClass::InterKernel => "inter-kernel",
+            RaceClass::HostDevice => "host-device",
         })
     }
 }
@@ -73,10 +93,22 @@ impl fmt::Display for RaceReport {
             MemSpace::Global => "global",
             MemSpace::Shared => "shared",
         };
+        let side = |t: Tid| -> String {
+            if t.0 == crate::launch::HOST_TID_KEY {
+                "host".to_string()
+            } else {
+                t.to_string()
+            }
+        };
         write!(
             f,
             "{} race on {space} address {:#x}: {} by {} vs {} by {}",
-            self.class, self.addr, self.current.1, self.current.0, self.previous.1, self.previous.0
+            self.class,
+            self.addr,
+            self.current.1,
+            side(self.current.0),
+            self.previous.1,
+            side(self.previous.0)
         )
     }
 }
@@ -199,16 +231,23 @@ impl RaceSink {
     /// Counts per race class.
     pub fn class_counts(&self) -> Vec<(RaceClass, usize)> {
         let g = self.inner.lock();
-        let classes = [
-            RaceClass::IntraWarp,
-            RaceClass::Divergence,
-            RaceClass::IntraBlock,
-            RaceClass::InterBlock,
-        ];
-        classes
+        RaceClass::ALL
             .iter()
             .map(|&c| (c, g.reports.iter().filter(|r| r.class == c).count()))
             .collect()
+    }
+
+    /// Takes every collected report and diagnostic, resetting the
+    /// dedup state. The persistent engine drains after each launch or
+    /// host operation so races are attributed to the operation that
+    /// exposed them and never leak into a later operation's analysis.
+    pub fn drain(&self) -> (Vec<RaceReport>, Vec<Diagnostic>) {
+        let mut g = self.inner.lock();
+        g.seen.clear();
+        (
+            std::mem::take(&mut g.reports),
+            std::mem::take(&mut g.diagnostics),
+        )
     }
 
     /// Counts per memory space `(shared, global)`.
@@ -289,5 +328,29 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("inter-block"));
         assert!(text.contains("global"));
+    }
+
+    #[test]
+    fn host_side_displayed_as_host() {
+        let mut r = rep(0x40, MemSpace::Global);
+        r.current = (Tid(crate::launch::HOST_TID_KEY), AccessType::Write);
+        r.class = RaceClass::HostDevice;
+        let text = r.to_string();
+        assert!(text.contains("host-device"), "{text}");
+        assert!(text.contains("write by host"), "{text}");
+    }
+
+    #[test]
+    fn drain_resets_reports_and_dedup_state() {
+        let s = RaceSink::new();
+        s.report(rep(100, MemSpace::Global));
+        s.diagnose(Diagnostic::BarrierDivergence { block: 1 });
+        let (reports, diags) = s.drain();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(s.race_count(), 0);
+        assert!(s.diagnostics().is_empty());
+        // The same location can be reported again in a later window.
+        assert!(s.report(rep(100, MemSpace::Global)));
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! The SIMT simulator uses the *immediate post-dominator* of a conditional
 //! branch as its reconvergence point, matching the hardware SIMT-stack
-//! behaviour described by Fung et al. (paper reference [24]) that BARRACUDA
+//! behaviour described by Fung et al. (paper reference \[24\]) that BARRACUDA
 //! models with its `if`/`else`/`fi` trace operations.
 
 use crate::ast::{Instruction, Kernel, Op, Statement};

@@ -9,7 +9,7 @@
 //! * a printer that emits loadable PTX text, so instrumented modules
 //!   round-trip ([`printer`]),
 //! * control-flow graphs with dominator / post-dominator analysis used for
-//!   branch reconvergence ([`cfg`]),
+//!   branch reconvergence ([`mod@cfg`]),
 //! * a [`builder::KernelBuilder`] for programmatic kernel construction
 //!   (used by the synthetic workload generators).
 //!

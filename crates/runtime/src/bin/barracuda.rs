@@ -338,8 +338,12 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
     match bar.check(&run) {
         Ok(analysis) => {
             if cfg.stats_json {
-                // Machine-readable mode: exactly one JSON object on stdout.
-                println!("{}", barracuda::statsjson::to_json(&analysis));
+                // Machine-readable mode: exactly one JSON object on stdout,
+                // including the engine's per-launch race counts.
+                println!(
+                    "{}",
+                    barracuda::statsjson::to_json_with_launches(&analysis, bar.engine().launches())
+                );
                 return ExitCode::from(u8::from(!analysis.is_clean()));
             }
             for d in analysis.diagnostics() {

@@ -1,0 +1,154 @@
+//! The CUDA-style host API of a persistent engine: streams, asynchronous
+//! launches, checked memory copies, and synchronization.
+//!
+//! These entry points mirror the driver calls the paper's tool interposes
+//! on (§4.1) and build the host↔device happens-before edges the engine
+//! detects against:
+//!
+//! * launches on the **same stream** are ordered; launches on different
+//!   streams are concurrent;
+//! * a **memcpy** is stream-ordered *and* blocks the host thread, so it
+//!   joins its stream's work into the host's view — but it does not wait
+//!   for other streams, and can race with their in-flight kernels;
+//! * **`stream_synchronize`** / **`device_synchronize`** join the waited
+//!   work into the host's view, cutting later host-device races.
+
+use crate::engine::{hash_key, Engine};
+use crate::session::KernelRun;
+use crate::sink::HostOpBuffer;
+use crate::{Analysis, Error};
+use barracuda_core::RaceReport;
+use barracuda_instrument::instrument_module;
+use barracuda_simt::DevicePtr;
+use barracuda_trace::HostOp;
+
+/// Handle to an execution stream. Stream 0 is the default stream and
+/// exists from engine construction; others come from
+/// [`Engine::create_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The default stream.
+    pub const DEFAULT: StreamId = StreamId(0);
+
+    /// The stream's index into the engine's stream table.
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-stream ordering state.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StreamState {
+    /// Epoch of the most recent launch on this stream (the predecessor of
+    /// the next launch).
+    pub(crate) last_epoch: Option<u32>,
+}
+
+impl Engine {
+    /// Creates a new stream, concurrent with every other stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        let id = StreamId(self.streams.len() as u32);
+        self.streams.push(StreamState::default());
+        id
+    }
+
+    /// Launches a kernel asynchronously on `stream`: ordered after the
+    /// stream's previous launch, concurrent with other streams and with
+    /// later host operations. Returns the launch's analysis — races it
+    /// exposes may be against *earlier launches* (inter-kernel) or *host
+    /// operations* (host-device), not just within the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on parse or simulation failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stream handle not created by this engine.
+    pub fn launch_async(
+        &mut self,
+        stream: StreamId,
+        run: &KernelRun<'_>,
+    ) -> Result<Analysis, Error> {
+        assert!(stream.index() < self.streams.len(), "unknown stream");
+        let key = hash_key(0, run.source);
+        let source = run.source;
+        let (lk, istats) = self.cached_kernel(
+            key,
+            |opts| {
+                let module = barracuda_ptx::parse(source)?;
+                Ok(instrument_module(&module, opts))
+            },
+            run.kernel,
+        )?;
+        self.run_launch(stream, run.kernel, &lk, istats, run.dims, run.params)
+    }
+
+    /// Host-to-device copy on `stream` (`cudaMemcpy` H2D): waits for the
+    /// stream's previous work, then writes `data` at `dst` as the host
+    /// thread. Returns the races the copy exposed — conflicts with
+    /// kernels still in flight on *other* streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream or an unallocated destination.
+    pub fn memcpy_h2d(&mut self, stream: StreamId, dst: DevicePtr, data: &[u8]) -> Vec<RaceReport> {
+        self.join_stream(stream);
+        let buf = HostOpBuffer::new();
+        self.gpu.write_bytes_traced(dst, data, stream.0, &buf);
+        self.host_trace.extend(buf.take());
+        self.core.host_write(dst.0, data.len() as u64);
+        self.core.drain().0
+    }
+
+    /// Device-to-host copy on `stream` (`cudaMemcpy` D2H): waits for the
+    /// stream's previous work, then reads `len = out.len()` bytes at
+    /// `src` as the host thread. Returns the races the copy exposed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream or an unallocated source.
+    pub fn memcpy_d2h(
+        &mut self,
+        stream: StreamId,
+        src: DevicePtr,
+        out: &mut [u8],
+    ) -> Vec<RaceReport> {
+        self.join_stream(stream);
+        let buf = HostOpBuffer::new();
+        self.gpu.read_bytes_traced(src, out, stream.0, &buf);
+        self.host_trace.extend(buf.take());
+        self.core.host_read(src.0, out.len() as u64);
+        self.core.drain().0
+    }
+
+    /// `cudaStreamSynchronize`: the host waits for everything previously
+    /// enqueued on `stream`; later host operations are ordered after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream.
+    pub fn stream_synchronize(&mut self, stream: StreamId) {
+        self.join_stream(stream);
+        self.host_trace
+            .push(HostOp::StreamSynchronize { stream: stream.0 });
+    }
+
+    /// `cudaDeviceSynchronize`: the host waits for every launch on every
+    /// stream.
+    pub fn device_synchronize(&mut self) {
+        self.core.join_all();
+        self.host_trace.push(HostOp::DeviceSynchronize);
+    }
+
+    /// Joins the stream's most recent launch (and, transitively, all its
+    /// predecessors) into the host's view.
+    fn join_stream(&mut self, stream: StreamId) {
+        assert!(stream.index() < self.streams.len(), "unknown stream");
+        if let Some(e) = self.streams[stream.index()].last_epoch {
+            self.core.join_epoch(e);
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! The persistent detection engine.
+//!
+//! The paper's tool attaches to a CUDA *process*, not to a single kernel:
+//! detection state lives as long as the device does. [`Engine`] is that
+//! model. It owns
+//!
+//! * the simulated GPU and its memory,
+//! * an [`EngineCore`] whose global shadow memory, synchronization-location
+//!   map and clocks persist across kernel launches,
+//! * a pool of long-lived detector worker threads (threaded mode) that are
+//!   reused by every launch instead of being respawned,
+//! * a cache of instrumented modules keyed by module identity, so checking
+//!   the same kernel repeatedly pays for one rewrite,
+//! * the device-lifetime host trace ([`HostOp`] records) and per-launch
+//!   [`LaunchSummary`] telemetry.
+//!
+//! The CUDA-style host API (streams, `launch_async`, `memcpy_h2d`/`d2h`,
+//! synchronization) lives in the [`device`](crate::StreamId) layer; the
+//! one-shot [`Barracuda`](crate::Barracuda) session is a thin facade over
+//! an engine's default stream.
+
+use crate::analysis::{Analysis, AnalysisStats, PipelineStats, WorkerTelemetry};
+use crate::config::{BarracudaConfig, DetectionMode};
+use crate::device::{StreamId, StreamState};
+use crate::session::KernelRun;
+use crate::sink::{drain_queue, panic_message, PipelineSink, WorkerOutcome};
+use crate::Error;
+use barracuda_core::{Detector, Diagnostic, EngineCore, Worker};
+use barracuda_instrument::{instrument_module, InstrumentStats};
+use barracuda_ptx::ast::Module;
+use barracuda_simt::{Gpu, LaunchStats, LoadedKernel, ParamValue, VecSink};
+use barracuda_trace::{FaultPlan, GridDims, HostOp, QueueSet, SyncOrder};
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Per-launch summary of a device-lifetime run (the `--stats-json`
+/// `launches` array).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchSummary {
+    /// Launch epoch assigned by the engine (launch order).
+    pub epoch: u32,
+    /// Stream the launch ran on.
+    pub stream: u32,
+    /// Kernel entry name.
+    pub kernel: String,
+    /// Distinct racing locations this launch exposed.
+    pub races: usize,
+    /// Device log records produced.
+    pub records: u64,
+    /// Events processed by the detector.
+    pub events: u64,
+}
+
+/// One instrumented module, cached so repeated checks of the same source
+/// reuse the rewrite and the per-kernel load (CFG construction, decode).
+#[derive(Debug)]
+struct CachedModule {
+    module: Arc<Module>,
+    stats: InstrumentStats,
+    kernels: HashMap<String, LoadedKernel>,
+}
+
+/// Work order for one pool worker: drain your queue for this launch.
+struct LaunchCmd {
+    det: Arc<Detector>,
+    plan: Option<Arc<FaultPlan>>,
+    order: Arc<SyncOrder>,
+    done: Arc<AtomicBool>,
+}
+
+/// Long-lived detector workers, one per queue, reused across launches.
+/// A worker that panics (injected or real) fails only the launch it was
+/// serving: the panic is caught in its command loop and the thread stays
+/// available for the next launch.
+#[derive(Debug)]
+struct WorkerPool {
+    queues: Arc<QueueSet>,
+    txs: Vec<mpsc::Sender<LaunchCmd>>,
+    rx: mpsc::Receiver<(usize, WorkerOutcome)>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    // Cumulative queue counters as of the end of the previous launch;
+    // QueueSet counters are monotonic, so per-launch figures are deltas.
+    committed: u64,
+    dropped: u64,
+    stalls: u64,
+}
+
+impl WorkerPool {
+    fn spawn(nqueues: usize, capacity: usize) -> Self {
+        let queues = Arc::new(QueueSet::new(nqueues, capacity));
+        let (out_tx, rx) = mpsc::channel();
+        let mut txs = Vec::with_capacity(nqueues);
+        let mut handles = Vec::with_capacity(nqueues);
+        for qi in 0..nqueues {
+            let (tx, cmd_rx) = mpsc::channel::<LaunchCmd>();
+            let out = out_tx.clone();
+            let q = Arc::clone(&queues);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(cmd) = cmd_rx.recv() {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        drain_queue(
+                            qi,
+                            nqueues,
+                            &q,
+                            &cmd.det,
+                            cmd.plan.as_deref(),
+                            &cmd.done,
+                            &cmd.order,
+                        )
+                    }));
+                    let outcome = match r {
+                        Ok((e, c, bad)) => WorkerOutcome::Finished(e, c, bad),
+                        Err(payload) => {
+                            // A dead worker must not wedge the sync order
+                            // for the survivors of this launch.
+                            cmd.order.mark_dead(qi);
+                            WorkerOutcome::Panicked(panic_message(payload.as_ref()))
+                        }
+                    };
+                    if out.send((qi, outcome)).is_err() {
+                        break;
+                    }
+                }
+            }));
+            txs.push(tx);
+        }
+        WorkerPool {
+            queues,
+            txs,
+            rx,
+            handles,
+            committed: 0,
+            dropped: 0,
+            stalls: 0,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the command channels ends each worker's loop.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A persistent, device-lifetime detection engine (see the module docs).
+#[derive(Debug)]
+pub struct Engine {
+    pub(crate) config: BarracudaConfig,
+    pub(crate) gpu: Gpu,
+    pub(crate) core: EngineCore,
+    pub(crate) streams: Vec<StreamState>,
+    pub(crate) host_trace: Vec<HostOp>,
+    pub(crate) launches: Vec<LaunchSummary>,
+    module_cache: HashMap<u64, CachedModule>,
+    cache_hits: u64,
+    pool: Option<WorkerPool>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(BarracudaConfig::default())
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(config: BarracudaConfig) -> Self {
+        let gpu = Gpu::new(config.gpu.clone());
+        Engine {
+            config,
+            gpu,
+            core: EngineCore::new(),
+            streams: vec![StreamState::default()], // the default stream
+            host_trace: Vec::new(),
+            launches: Vec::new(),
+            module_cache: HashMap::new(),
+            cache_hits: 0,
+            pool: None,
+        }
+    }
+
+    /// The simulated device, for allocating and initializing buffers.
+    /// Raw device access bypasses detection; use
+    /// [`memcpy_h2d`](Engine::memcpy_h2d) /
+    /// [`memcpy_d2h`](Engine::memcpy_d2h) for checked host transfers.
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// The simulated device (read-only: result readback).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BarracudaConfig {
+        &self.config
+    }
+
+    /// Per-launch summaries, in launch order.
+    pub fn launches(&self) -> &[LaunchSummary] {
+        &self.launches
+    }
+
+    /// The device-lifetime host trace (launches, memcpys, syncs).
+    pub fn host_trace(&self) -> &[HostOp] {
+        &self.host_trace
+    }
+
+    /// Distinct modules instrumented so far.
+    pub fn module_cache_len(&self) -> usize {
+        self.module_cache.len()
+    }
+
+    /// Checks that reused a cached instrumentation instead of rewriting.
+    pub fn module_cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Runs the kernel natively (no instrumentation, no detection) and
+    /// returns the launch statistics — the baseline for overhead
+    /// measurements (Fig. 10). Native runs are invisible to the detector:
+    /// they create no happens-before edges and no shadow state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on parse or simulation failure.
+    pub fn run_native(&mut self, run: &KernelRun<'_>) -> Result<LaunchStats, Error> {
+        let module = barracuda_ptx::parse(run.source)?;
+        Ok(self.gpu.launch(&module, run.kernel, run.dims, run.params)?)
+    }
+
+    /// Instruments (or reuses the cached instrumentation of) the kernel,
+    /// runs it on the default stream, and performs race detection. The
+    /// default stream orders its launches, so repeated `check` calls on
+    /// one engine never race with each other — but their shadow state
+    /// persists, and a later launch on another stream can still race with
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on parse or simulation failure (including barrier
+    /// divergence hangs and timeouts).
+    pub fn check(&mut self, run: &KernelRun<'_>) -> Result<Analysis, Error> {
+        self.launch_async(StreamId::DEFAULT, run)
+    }
+
+    /// Like [`Engine::check`] for an already-parsed module. The cache key
+    /// is the module's printed PTX (its identity), so an AST checked twice
+    /// is still instrumented once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on simulation failure.
+    pub fn check_module(
+        &mut self,
+        module: &Module,
+        kernel: &str,
+        dims: GridDims,
+        params: &[ParamValue],
+    ) -> Result<Analysis, Error> {
+        let key = hash_key(1, &barracuda_ptx::printer::print_module(module));
+        let (lk, istats) =
+            self.cached_kernel(key, |opts| Ok(instrument_module(module, opts)), kernel)?;
+        self.run_launch(StreamId::DEFAULT, kernel, &lk, istats, dims, params)
+    }
+
+    /// Warp-size portability sweep: checks the kernel under several
+    /// simulated warp sizes and returns each analysis.
+    ///
+    /// The paper notes that portable CUDA code should not assume a warp
+    /// size and that BARRACUDA "could simulate the behavior of
+    /// smaller/larger warps to find additional latent bugs" (§3.1) — this
+    /// method implements that extension. Warp-synchronous code that is
+    /// race-free at the hardware warp size often races at a smaller one,
+    /// because lockstep ordering no longer covers the accesses. The
+    /// module is instrumented once for the whole sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation or parse failure.
+    pub fn check_warp_sizes(
+        &mut self,
+        run: &KernelRun<'_>,
+        warp_sizes: &[u32],
+    ) -> Result<Vec<(u32, Analysis)>, Error> {
+        warp_sizes
+            .iter()
+            .map(|&ws| {
+                let dims = GridDims::with_warp_size(run.dims.grid, run.dims.block, ws);
+                let analysis = self.check(&KernelRun { dims, ..*run })?;
+                Ok((ws, analysis))
+            })
+            .collect()
+    }
+
+    /// Resolves `kernel` in the module cached under `key`, instrumenting
+    /// via `build` on a miss. Returns the loaded kernel (cheap clone) and
+    /// the instrumentation stats.
+    pub(crate) fn cached_kernel(
+        &mut self,
+        key: u64,
+        build: impl FnOnce(
+            &barracuda_instrument::InstrumentOptions,
+        ) -> Result<(Module, InstrumentStats), Error>,
+        kernel: &str,
+    ) -> Result<(LoadedKernel, InstrumentStats), Error> {
+        match self.module_cache.entry(key) {
+            Entry::Occupied(_) => self.cache_hits += 1,
+            Entry::Vacant(v) => {
+                let (module, stats) = build(&self.config.instrument)?;
+                v.insert(CachedModule {
+                    module: Arc::new(module),
+                    stats,
+                    kernels: HashMap::new(),
+                });
+            }
+        }
+        let cm = self.module_cache.get_mut(&key).expect("cached above");
+        let stats = cm.stats;
+        let lk = match cm.kernels.get(kernel) {
+            Some(lk) => lk.clone(),
+            None => {
+                let lk = LoadedKernel::load(&cm.module, kernel)?;
+                cm.kernels.insert(kernel.to_string(), lk.clone());
+                lk
+            }
+        };
+        Ok((lk, stats))
+    }
+
+    /// The instrumented-run pipeline shared by every launch entry point:
+    /// registers a launch epoch (ordered after `stream`'s previous launch),
+    /// executes with logging, detects, and drains the races the launch
+    /// exposed — which may involve state left by *earlier* launches
+    /// (inter-kernel races) or host operations (host-device races).
+    pub(crate) fn run_launch(
+        &mut self,
+        stream: StreamId,
+        kernel: &str,
+        lk: &LoadedKernel,
+        istats: InstrumentStats,
+        dims: GridDims,
+        params: &[ParamValue],
+    ) -> Result<Analysis, Error> {
+        let shared_size = lk.kernel.shared_size();
+        let pred = self.streams[stream.index()].last_epoch;
+        let det = Arc::new(self.core.begin_launch(dims, shared_size, pred));
+        let epoch = det.epoch();
+        let start = Instant::now();
+
+        let mut degradation: Vec<Diagnostic> = Vec::new();
+        let result = match self.config.mode {
+            DetectionMode::Synchronous => self.run_sync(lk, dims, params, &det),
+            DetectionMode::Threaded => self.run_threaded(lk, dims, params, &det, &mut degradation),
+        };
+        // Whatever happened, the launch epoch is over: shared-memory sync
+        // state dies with it.
+        self.core.finish_launch();
+        let (launch, records, events, census, pipeline) = match result {
+            Ok(t) => t,
+            Err(e) => {
+                // Partial reports of a failed launch must not leak into
+                // the next operation's analysis.
+                let _ = self.core.drain();
+                return Err(e);
+            }
+        };
+        self.streams[stream.index()].last_epoch = Some(epoch);
+
+        let stats = AnalysisStats {
+            instrument: istats,
+            launch,
+            records,
+            events,
+            format_census: census,
+            sync_locations: self.core.sync_location_count(),
+            shadow_pages: self.core.shadow_page_count(),
+            shadow_bytes: det.shadow_bytes(),
+            detection_time: start.elapsed(),
+            pipeline,
+        };
+        let (races, mut diagnostics) = self.core.drain();
+        diagnostics.extend(degradation);
+        self.host_trace.push(HostOp::LaunchKernel {
+            stream: stream.0,
+            epoch,
+        });
+        self.launches.push(LaunchSummary {
+            epoch,
+            stream: stream.0,
+            kernel: kernel.to_string(),
+            races: races.len(),
+            records,
+            events,
+        });
+        Ok(Analysis::new(races, diagnostics, stats))
+    }
+
+    /// Synchronous path: collect, then process on the calling thread.
+    fn run_sync(
+        &mut self,
+        lk: &LoadedKernel,
+        dims: GridDims,
+        params: &[ParamValue],
+        det: &Arc<Detector>,
+    ) -> Result<(LaunchStats, u64, u64, [u64; 4], PipelineStats), Error> {
+        let sink = VecSink::new();
+        let launch = self.gpu.launch_loaded(lk, dims, params, Some(&sink))?;
+        let recs = sink.take();
+        let nrecs = recs.len() as u64;
+        let mut worker = Worker::new(det);
+        for r in &recs {
+            worker.process_record(r);
+        }
+        let events = worker.event_count();
+        let census = worker.format_census();
+        let pipeline = PipelineStats {
+            queues: 0,
+            per_worker: vec![WorkerTelemetry {
+                worker: 0,
+                events,
+                format_census: census,
+                corrupt_records: 0,
+                panicked: false,
+            }],
+            ..PipelineStats::default()
+        };
+        Ok((launch, nrecs, events, census, pipeline))
+    }
+
+    /// Threaded path: the persistent worker pool drains the queues while
+    /// the simulation produces into them.
+    fn run_threaded(
+        &mut self,
+        lk: &LoadedKernel,
+        dims: GridDims,
+        params: &[ParamValue],
+        det: &Arc<Detector>,
+        degradation: &mut Vec<Diagnostic>,
+    ) -> Result<(LaunchStats, u64, u64, [u64; 4], PipelineStats), Error> {
+        let nqueues = self.config.num_queues();
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::spawn(nqueues, self.config.queue_capacity));
+        }
+        let plan = self.config.fault_plan.clone().map(Arc::new);
+        let order = Arc::new(SyncOrder::new(nqueues));
+        let done = Arc::new(AtomicBool::new(false));
+        let queues = {
+            let pool = self.pool.as_ref().expect("spawned above");
+            for tx in &pool.txs {
+                tx.send(LaunchCmd {
+                    det: Arc::clone(det),
+                    plan: plan.clone(),
+                    order: Arc::clone(&order),
+                    done: Arc::clone(&done),
+                })
+                .expect("pool worker alive");
+            }
+            Arc::clone(&pool.queues)
+        };
+        let sink = PipelineSink::new(
+            &queues,
+            plan.as_deref(),
+            self.config.push_stall_budget,
+            &order,
+        );
+        let launch_res = self.gpu.launch_loaded(lk, dims, params, Some(&sink));
+        done.store(true, Ordering::Release);
+        let injected = sink.injected_drops();
+
+        // Collect exactly one outcome per worker, indexed by queue.
+        let pool = self.pool.as_mut().expect("spawned above");
+        let mut slots: Vec<Option<WorkerOutcome>> = (0..nqueues).map(|_| None).collect();
+        for _ in 0..nqueues {
+            let (qi, outcome) = pool.rx.recv().expect("pool worker alive");
+            slots[qi] = Some(outcome);
+        }
+        // Purge anything a dead worker left behind so the next launch
+        // starts with empty queues.
+        for q in pool.queues.iter() {
+            while q.try_pop().is_some() {}
+        }
+        // Per-launch queue telemetry: deltas of the monotonic counters.
+        let committed_now = pool.queues.total_committed();
+        let dropped_now = pool.queues.total_dropped();
+        let stalls_now = pool.queues.total_stall_cycles();
+        let committed = committed_now - pool.committed;
+        let shed = dropped_now - pool.dropped;
+        let stall_cycles = stalls_now - pool.stalls;
+        pool.committed = committed_now;
+        pool.dropped = dropped_now;
+        pool.stalls = stalls_now;
+        let high_water = pool.queues.max_high_water();
+        let launch = launch_res?;
+
+        // Merge worker outcomes deterministically, in queue order.
+        let mut events = 0u64;
+        let mut census = [0u64; 4];
+        let mut corrupt = 0u64;
+        let mut per_worker = Vec::with_capacity(nqueues);
+        for (qi, outcome) in slots.into_iter().enumerate() {
+            match outcome.expect("one outcome per worker") {
+                WorkerOutcome::Finished(e, c, bad) => {
+                    events += e;
+                    for i in 0..4 {
+                        census[i] += c[i];
+                    }
+                    corrupt += bad;
+                    per_worker.push(WorkerTelemetry {
+                        worker: qi,
+                        events: e,
+                        format_census: c,
+                        corrupt_records: bad,
+                        panicked: false,
+                    });
+                }
+                WorkerOutcome::Panicked(message) => {
+                    degradation.push(Diagnostic::WorkerPanic {
+                        worker: qi as u64,
+                        message,
+                    });
+                    per_worker.push(WorkerTelemetry {
+                        worker: qi,
+                        panicked: true,
+                        ..WorkerTelemetry::default()
+                    });
+                }
+            }
+        }
+        let dropped = shed + injected;
+        if dropped > 0 || corrupt > 0 {
+            degradation.push(Diagnostic::LostRecords { dropped, corrupt });
+        }
+        let pipeline = PipelineStats {
+            queues: nqueues,
+            queue_high_water: high_water,
+            producer_stall_cycles: stall_cycles,
+            records_dropped: dropped,
+            records_corrupt: corrupt,
+            worker_panics: degradation
+                .iter()
+                .filter(|d| matches!(d, Diagnostic::WorkerPanic { .. }))
+                .count() as u64,
+            per_worker,
+        };
+        // `records` counts what the device logger produced, whether or
+        // not it survived the trip to a worker.
+        Ok((launch, committed + dropped, events, census, pipeline))
+    }
+}
+
+/// Cache key: a tagged hash (text sources and printed ASTs share the map
+/// but can never collide by construction).
+pub(crate) fn hash_key(tag: u8, text: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    tag.hash(&mut h);
+    text.hash(&mut h);
+    h.finish()
+}

@@ -52,16 +52,23 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod config;
+mod device;
+mod engine;
 mod session;
+mod sink;
 pub mod statsjson;
 
 pub use analysis::{Analysis, AnalysisStats, PipelineStats, WorkerTelemetry};
-pub use session::{Barracuda, BarracudaConfig, DetectionMode, KernelRun};
+pub use config::{BarracudaConfig, DetectionMode};
+pub use device::StreamId;
+pub use engine::{Engine, LaunchSummary};
+pub use session::{Barracuda, KernelRun};
 
 pub use barracuda_core::{Diagnostic, RaceClass, RaceReport};
 pub use barracuda_instrument::{InstrumentOptions, InstrumentStats};
-pub use barracuda_simt::{GpuConfig, MemoryModel, ParamValue, SimError};
-pub use barracuda_trace::{ConsumerStall, FaultPlan, GridDims, WorkerPanic};
+pub use barracuda_simt::{DevicePtr, GpuConfig, MemoryModel, ParamValue, SimError};
+pub use barracuda_trace::{ConsumerStall, FaultPlan, GridDims, HostOp, WorkerPanic};
 
 use std::fmt;
 

@@ -1,165 +1,21 @@
-//! The detection session: instrument → execute → detect.
+//! The one-shot detection session: a thin facade over the persistent
+//! [`Engine`].
+//!
+//! [`Barracuda`] keeps the original instrument → execute → detect API for
+//! callers that check a single kernel at a time. Every call routes through
+//! an engine's *default stream*, so sequential `check` calls are ordered
+//! (never racing with each other) while still sharing the engine's
+//! persistent shadow memory, module cache and worker pool. Multi-stream
+//! workloads use [`Barracuda::engine_mut`] (or [`Engine`] directly) for
+//! `launch_async`, checked memcpys and synchronization.
 
-use crate::analysis::{Analysis, AnalysisStats, PipelineStats, WorkerTelemetry};
+use crate::analysis::Analysis;
+use crate::config::BarracudaConfig;
+use crate::engine::Engine;
 use crate::Error;
-use barracuda_core::{Detector, Diagnostic, Worker};
-use barracuda_instrument::{instrument_module, InstrumentOptions};
 use barracuda_ptx::ast::Module;
-use barracuda_simt::{EventSink, Gpu, GpuConfig, LaunchStats, LoadedKernel, ParamValue, VecSink};
-use barracuda_trace::{FaultPlan, GridDims, PushOutcome, QueueSet, Record, SyncOrder};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
-
-/// How detector workers consume the device-side queues.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DetectionMode {
-    /// Collect all records, then process them on the calling thread in
-    /// emission order. Deterministic; used by tests.
-    Synchronous,
-    /// One host thread per queue, draining concurrently with the
-    /// simulation — the paper's architecture (§4.3).
-    Threaded,
-}
-
-/// Session configuration.
-#[derive(Debug, Clone)]
-pub struct BarracudaConfig {
-    /// Simulator configuration.
-    pub gpu: GpuConfig,
-    /// Instrumentation options.
-    pub instrument: InstrumentOptions,
-    /// Queue-consumption mode.
-    pub mode: DetectionMode,
-    /// Records per queue (the paper reserves a fraction of GPU memory;
-    /// capacity expresses the same back-pressure).
-    pub queue_capacity: usize,
-    /// Queues per streaming multiprocessor; the paper found ~1.1–1.5
-    /// optimal (§4.2).
-    pub queues_per_sm: f64,
-    /// Producer stall budget (spin-yield cycles) before a full queue
-    /// sheds the record instead of blocking forever. Bounds the damage of
-    /// a dead or wedged consumer: shed records surface as a
-    /// [`Diagnostic::LostRecords`] rather than a deadlock. The default is
-    /// generous enough that healthy runs never shed.
-    pub push_stall_budget: u64,
-    /// Deterministic fault injection for the threaded pipeline
-    /// (chaos testing); `None` injects nothing.
-    pub fault_plan: Option<FaultPlan>,
-}
-
-impl Default for BarracudaConfig {
-    fn default() -> Self {
-        BarracudaConfig {
-            gpu: GpuConfig::default(),
-            instrument: InstrumentOptions::default(),
-            mode: DetectionMode::Synchronous,
-            queue_capacity: 16 * 1024,
-            queues_per_sm: 1.25,
-            push_stall_budget: 1 << 18,
-            fault_plan: None,
-        }
-    }
-}
-
-impl BarracudaConfig {
-    /// Number of queues for this configuration.
-    pub fn num_queues(&self) -> usize {
-        ((f64::from(self.gpu.num_sms) * self.queues_per_sm).ceil() as usize).max(1)
-    }
-}
-
-/// The producer-side sink of the threaded pipeline: routes records to
-/// their block's queue with bounded-stall backpressure, and applies the
-/// producer-side faults of a [`FaultPlan`] (drops, corruption).
-///
-/// A queue whose bounded push ever times out is marked *wedged*: its
-/// consumer is presumed dead or badly stalled, and later records for it
-/// pay at most one fast full-check instead of the whole stall budget
-/// again, so a single dead worker cannot slow the simulation to a crawl.
-struct PipelineSink<'a> {
-    queues: &'a QueueSet,
-    plan: Option<&'a FaultPlan>,
-    stall_budget: u64,
-    /// Cross-queue ordering of synchronization records: a ticket is
-    /// issued for every global-sync record that actually enqueues, so
-    /// workers apply them in emission order.
-    order: &'a SyncOrder,
-    /// Per-queue producer sequence numbers (fault-decision coordinates).
-    seq: Vec<AtomicU64>,
-    /// Queues that exhausted a stall budget once.
-    wedged: Vec<AtomicBool>,
-    /// Records dropped by fault injection (not by backpressure).
-    injected_drops: AtomicU64,
-}
-
-impl<'a> PipelineSink<'a> {
-    fn new(
-        queues: &'a QueueSet,
-        plan: Option<&'a FaultPlan>,
-        stall_budget: u64,
-        order: &'a SyncOrder,
-    ) -> Self {
-        PipelineSink {
-            queues,
-            plan,
-            stall_budget,
-            order,
-            seq: (0..queues.len()).map(|_| AtomicU64::new(0)).collect(),
-            wedged: (0..queues.len()).map(|_| AtomicBool::new(false)).collect(),
-            injected_drops: AtomicU64::new(0),
-        }
-    }
-}
-
-impl EventSink for PipelineSink<'_> {
-    fn emit(&self, block: u64, mut record: Record) {
-        let qi = (block % self.queues.len() as u64) as usize;
-        if let Some(plan) = self.plan {
-            let seq = self.seq[qi].fetch_add(1, Ordering::Relaxed);
-            if plan.should_drop(qi as u64, seq) {
-                self.injected_drops.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            if let Some(kind) = plan.corrupt_kind(qi as u64, seq) {
-                record.kind = kind;
-            }
-        }
-        let q = self.queues.queue(qi);
-        // A wedged queue gets a zero budget: drop immediately when full.
-        let budget = if self.wedged[qi].load(Ordering::Relaxed) {
-            0
-        } else {
-            self.stall_budget
-        };
-        if q.push_bounded(record, budget) == PushOutcome::Dropped {
-            self.wedged[qi].store(true, Ordering::Relaxed);
-        } else if record.is_global_sync() {
-            // Only records that made it into a queue get a ticket — a
-            // ticket must never wait on a record that is not coming.
-            self.order.issue(qi);
-        }
-    }
-}
-
-/// What one detector worker came back with.
-enum WorkerOutcome {
-    /// `(events, format census, corrupt records skipped)`.
-    Finished(u64, [u64; 4], u64),
-    /// The worker panicked; the payload's message.
-    Panicked(String),
-}
-
-/// Extracts a human-readable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
-        (*s).to_string()
-    } else {
-        "unknown panic payload".to_string()
-    }
-}
+use barracuda_simt::{Gpu, LaunchStats, ParamValue};
+use barracuda_trace::GridDims;
 
 /// One kernel launch to check.
 #[derive(Debug, Clone, Copy)]
@@ -178,8 +34,7 @@ pub struct KernelRun<'a> {
 /// against it.
 #[derive(Debug)]
 pub struct Barracuda {
-    config: BarracudaConfig,
-    gpu: Gpu,
+    engine: Engine,
 }
 
 impl Default for Barracuda {
@@ -197,23 +52,35 @@ impl Barracuda {
 
     /// A session with explicit configuration.
     pub fn with_config(config: BarracudaConfig) -> Self {
-        let gpu = Gpu::new(config.gpu.clone());
-        Barracuda { config, gpu }
+        Barracuda {
+            engine: Engine::with_config(config),
+        }
+    }
+
+    /// The underlying persistent engine (streams, memcpys, host trace).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The underlying persistent engine, mutably — the door to the
+    /// multi-stream host API ([`Engine::launch_async`] and friends).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
     }
 
     /// The simulated device, for allocating and initializing buffers.
     pub fn gpu_mut(&mut self) -> &mut Gpu {
-        &mut self.gpu
+        self.engine.gpu_mut()
     }
 
     /// The simulated device (read-only: result readback).
     pub fn gpu(&self) -> &Gpu {
-        &self.gpu
+        self.engine.gpu()
     }
 
     /// The active configuration.
     pub fn config(&self) -> &BarracudaConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Runs the kernel natively (no instrumentation, no detection) and
@@ -224,8 +91,7 @@ impl Barracuda {
     ///
     /// Returns [`Error`] on parse or simulation failure.
     pub fn run_native(&mut self, run: &KernelRun<'_>) -> Result<LaunchStats, Error> {
-        let module = barracuda_ptx::parse(run.source)?;
-        Ok(self.gpu.launch(&module, run.kernel, run.dims, run.params)?)
+        self.engine.run_native(run)
     }
 
     /// Instruments the kernel, runs it with device-side logging, and
@@ -236,37 +102,7 @@ impl Barracuda {
     /// Returns [`Error`] on parse or simulation failure (including barrier
     /// divergence hangs and timeouts).
     pub fn check(&mut self, run: &KernelRun<'_>) -> Result<Analysis, Error> {
-        let module = barracuda_ptx::parse(run.source)?;
-        self.check_module(&module, run.kernel, run.dims, run.params)
-    }
-
-    /// Warp-size portability sweep: checks the kernel under several
-    /// simulated warp sizes and returns each analysis.
-    ///
-    /// The paper notes that portable CUDA code should not assume a warp
-    /// size and that BARRACUDA "could simulate the behavior of
-    /// smaller/larger warps to find additional latent bugs" (§3.1) — this
-    /// method implements that extension. Warp-synchronous code that is
-    /// race-free at the hardware warp size often races at a smaller one,
-    /// because lockstep ordering no longer covers the accesses.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first simulation or parse failure.
-    pub fn check_warp_sizes(
-        &mut self,
-        run: &KernelRun<'_>,
-        warp_sizes: &[u32],
-    ) -> Result<Vec<(u32, Analysis)>, Error> {
-        let module = barracuda_ptx::parse(run.source)?;
-        warp_sizes
-            .iter()
-            .map(|&ws| {
-                let dims = GridDims::with_warp_size(run.dims.grid, run.dims.block, ws);
-                let analysis = self.check_module(&module, run.kernel, dims, run.params)?;
-                Ok((ws, analysis))
-            })
-            .collect()
+        self.engine.check(run)
     }
 
     /// Like [`Barracuda::check`] for an already-parsed module.
@@ -281,607 +117,21 @@ impl Barracuda {
         dims: GridDims,
         params: &[ParamValue],
     ) -> Result<Analysis, Error> {
-        let (instrumented, istats) = instrument_module(module, &self.config.instrument);
-        let lk = LoadedKernel::load(&instrumented, kernel)?;
-        let shared_size = lk.kernel.shared_size();
-        let detector = Detector::new(dims, shared_size);
-        let start = Instant::now();
-
-        let mut degradation: Vec<Diagnostic> = Vec::new();
-        let (launch, records, events, census, pipeline) = match self.config.mode {
-            DetectionMode::Synchronous => {
-                let sink = VecSink::new();
-                let launch = self.gpu.launch_loaded(&lk, dims, params, Some(&sink))?;
-                let recs = sink.take();
-                let nrecs = recs.len() as u64;
-                let mut worker = Worker::new(&detector);
-                for r in &recs {
-                    worker.process_record(r);
-                }
-                let events = worker.event_count();
-                let census = worker.format_census();
-                let pipeline = PipelineStats {
-                    queues: 0,
-                    per_worker: vec![WorkerTelemetry {
-                        worker: 0,
-                        events,
-                        format_census: census,
-                        corrupt_records: 0,
-                        panicked: false,
-                    }],
-                    ..PipelineStats::default()
-                };
-                (launch, nrecs, events, census, pipeline)
-            }
-            DetectionMode::Threaded => {
-                let nqueues = self.config.num_queues();
-                let queues = QueueSet::new(nqueues, self.config.queue_capacity);
-                let plan = self.config.fault_plan.as_ref();
-                let order = SyncOrder::new(nqueues);
-                let sink = PipelineSink::new(&queues, plan, self.config.push_stall_budget, &order);
-                let done = AtomicBool::new(false);
-                let gpu = &mut self.gpu;
-                let detector_ref = &detector;
-                let queues_ref = &queues;
-                let done_ref = &done;
-                let sink_ref = &sink;
-                let order_ref = &order;
-                let (launch_res, outcomes) = std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..nqueues)
-                        .map(|qi| {
-                            scope.spawn(move || {
-                                // Contain panics (injected or real) to
-                                // this worker: the session completes with
-                                // partial results instead of aborting.
-                                let r = catch_unwind(AssertUnwindSafe(|| {
-                                    drain_queue(
-                                        qi,
-                                        nqueues,
-                                        queues_ref,
-                                        detector_ref,
-                                        plan,
-                                        done_ref,
-                                        order_ref,
-                                    )
-                                }));
-                                if r.is_err() {
-                                    // A dead worker must not wedge the
-                                    // sync order for the survivors.
-                                    order_ref.mark_dead(qi);
-                                }
-                                r
-                            })
-                        })
-                        .collect();
-                    let launch_res = gpu.launch_loaded(&lk, dims, params, Some(sink_ref));
-                    done.store(true, Ordering::Release);
-                    let outcomes: Vec<WorkerOutcome> = handles
-                        .into_iter()
-                        .map(|h| match h.join() {
-                            Ok(Ok(fine)) => WorkerOutcome::Finished(fine.0, fine.1, fine.2),
-                            Ok(Err(payload)) => {
-                                WorkerOutcome::Panicked(panic_message(payload.as_ref()))
-                            }
-                            Err(payload) => {
-                                WorkerOutcome::Panicked(panic_message(payload.as_ref()))
-                            }
-                        })
-                        .collect();
-                    (launch_res, outcomes)
-                });
-                let launch = launch_res?;
-
-                // Merge worker outcomes deterministically, in queue order.
-                let mut events = 0u64;
-                let mut census = [0u64; 4];
-                let mut corrupt = 0u64;
-                let mut per_worker = Vec::with_capacity(outcomes.len());
-                for (qi, outcome) in outcomes.into_iter().enumerate() {
-                    match outcome {
-                        WorkerOutcome::Finished(e, c, bad) => {
-                            events += e;
-                            for i in 0..4 {
-                                census[i] += c[i];
-                            }
-                            corrupt += bad;
-                            per_worker.push(WorkerTelemetry {
-                                worker: qi,
-                                events: e,
-                                format_census: c,
-                                corrupt_records: bad,
-                                panicked: false,
-                            });
-                        }
-                        WorkerOutcome::Panicked(message) => {
-                            degradation.push(Diagnostic::WorkerPanic {
-                                worker: qi as u64,
-                                message,
-                            });
-                            per_worker.push(WorkerTelemetry {
-                                worker: qi,
-                                panicked: true,
-                                ..WorkerTelemetry::default()
-                            });
-                        }
-                    }
-                }
-                let dropped = queues.total_dropped() + sink.injected_drops.load(Ordering::Relaxed);
-                if dropped > 0 || corrupt > 0 {
-                    degradation.push(Diagnostic::LostRecords { dropped, corrupt });
-                }
-                let pipeline = PipelineStats {
-                    queues: nqueues,
-                    queue_high_water: queues.max_high_water(),
-                    producer_stall_cycles: queues.total_stall_cycles(),
-                    records_dropped: dropped,
-                    records_corrupt: corrupt,
-                    worker_panics: degradation
-                        .iter()
-                        .filter(|d| matches!(d, Diagnostic::WorkerPanic { .. }))
-                        .count() as u64,
-                    per_worker,
-                };
-                // `records` counts what the device logger produced,
-                // whether or not it survived the trip to a worker.
-                (
-                    launch,
-                    queues.total_committed() + dropped,
-                    events,
-                    census,
-                    pipeline,
-                )
-            }
-        };
-
-        let stats = AnalysisStats {
-            instrument: istats,
-            launch,
-            records,
-            events,
-            format_census: census,
-            sync_locations: detector.sync_location_count(),
-            shadow_pages: detector.shadow_page_count(),
-            shadow_bytes: detector.shadow_bytes(),
-            detection_time: start.elapsed(),
-            pipeline,
-        };
-        let mut diagnostics = detector.races().diagnostics();
-        diagnostics.extend(degradation);
-        Ok(Analysis::new(
-            detector.races().reports(),
-            diagnostics,
-            stats,
-        ))
-    }
-}
-
-/// The worker loop of one queue consumer: drains records until the launch
-/// finishes and the queue is empty, applying the consumer-side faults of
-/// the plan (periodic stalls, an injected panic at the Nth record) and
-/// skipping records that fail to decode.
-///
-/// Global-sync records go through the [`SyncOrder`]: the worker waits for
-/// the record's ticket to come up, applies it, and completes the ticket,
-/// so releases and acquires on different queues hit the detector's
-/// synchronization map in device emission order no matter how consumers
-/// are scheduled (or chaos-stalled).
-///
-/// Returns `(events, format census, corrupt records skipped)`.
-fn drain_queue(
-    qi: usize,
-    nworkers: usize,
-    queues: &QueueSet,
-    detector: &Detector,
-    plan: Option<&FaultPlan>,
-    done: &AtomicBool,
-    order: &SyncOrder,
-) -> (u64, [u64; 4], u64) {
-    let q = queues.queue(qi);
-    let mut worker = Worker::new(detector);
-    let mut processed = 0u64;
-    let mut corrupt = 0u64;
-    let mut sync_idx = 0usize;
-    let panic_at = plan.and_then(|p| p.panic_after(qi, nworkers));
-    loop {
-        if let Some(rec) = q.try_pop() {
-            processed += 1;
-            if panic_at.is_some_and(|at| processed > at) {
-                // resume_unwind skips the panic hook: an injected crash
-                // should not spray a backtrace over the test output.
-                std::panic::resume_unwind(Box::new(format!(
-                    "chaos: injected worker panic after {at} records",
-                    at = panic_at.unwrap_or(0)
-                )));
-            }
-            if rec.is_global_sync() {
-                // The producer issues the ticket right after the push;
-                // spin out the tiny window where it is not visible yet.
-                let ticket = loop {
-                    if let Some(t) = order.ticket(qi, sync_idx) {
-                        break t;
-                    }
-                    std::hint::spin_loop();
-                    std::thread::yield_now();
-                };
-                sync_idx += 1;
-                while !order.is_turn(ticket) {
-                    std::hint::spin_loop();
-                    std::thread::yield_now();
-                }
-                match rec.try_decode() {
-                    Some(ev) => worker.process_event(&ev),
-                    None => corrupt += 1,
-                }
-                order.complete(ticket);
-            } else {
-                match rec.try_decode() {
-                    Some(ev) => worker.process_event(&ev),
-                    None => corrupt += 1,
-                }
-            }
-            if let Some(p) = plan {
-                for _ in 0..p.consumer_stall_yields(qi, processed) {
-                    std::hint::spin_loop();
-                    std::thread::yield_now();
-                }
-            }
-        } else if done.load(Ordering::Acquire) && q.is_empty() {
-            break;
-        } else {
-            std::hint::spin_loop();
-            std::thread::yield_now();
-        }
-    }
-    (worker.event_count(), worker.format_census(), corrupt)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use barracuda_core::RaceClass;
-
-    const HEADER: &str = ".version 4.3\n.target sm_35\n.address_size 64\n";
-
-    fn src(body: &str, params: &str) -> String {
-        format!("{HEADER}.visible .entry k({params})\n{{\n{body}\n}}")
+        self.engine.check_module(module, kernel, dims, params)
     }
 
-    #[test]
-    fn racy_counter_detected_in_both_modes() {
-        let source = src(
-            ".reg .b32 %r<4>;\n.reg .b64 %rd<4>;\n\
-             ld.param.u64 %rd1, [ctr];\n\
-             ld.global.u32 %r1, [%rd1];\n\
-             add.s32 %r1, %r1, 1;\n\
-             st.global.u32 [%rd1], %r1;\n\
-             ret;",
-            ".param .u64 ctr",
-        );
-        for mode in [DetectionMode::Synchronous, DetectionMode::Threaded] {
-            let mut bar = Barracuda::with_config(BarracudaConfig {
-                mode,
-                ..BarracudaConfig::default()
-            });
-            let ctr = bar.gpu_mut().malloc(4);
-            let a = bar
-                .check(&KernelRun {
-                    source: &source,
-                    kernel: "k",
-                    dims: GridDims::new(4u32, 1u32),
-                    params: &[ParamValue::Ptr(ctr)],
-                })
-                .unwrap();
-            assert!(a.race_count() > 0, "{mode:?}");
-            assert!(a.count_class(RaceClass::InterBlock) > 0, "{mode:?}");
-        }
-    }
-
-    #[test]
-    fn disjoint_writes_clean() {
-        let source = src(
-            ".reg .b32 %r<8>;\n.reg .b64 %rd<4>;\n\
-             mov.u32 %r1, %tid.x;\n\
-             mov.u32 %r2, %ctaid.x;\n\
-             mov.u32 %r3, %ntid.x;\n\
-             mad.lo.s32 %r4, %r2, %r3, %r1;\n\
-             ld.param.u64 %rd1, [buf];\n\
-             mul.wide.s32 %rd2, %r4, 4;\n\
-             add.s64 %rd3, %rd1, %rd2;\n\
-             st.global.u32 [%rd3], %r4;\n\
-             ret;",
-            ".param .u64 buf",
-        );
-        let mut bar = Barracuda::new();
-        let buf = bar.gpu_mut().malloc(64 * 4);
-        let a = bar
-            .check(&KernelRun {
-                source: &source,
-                kernel: "k",
-                dims: GridDims::new(2u32, 32u32),
-                params: &[ParamValue::Ptr(buf)],
-            })
-            .unwrap();
-        assert!(a.is_clean(), "{:?}", a.races());
-        assert!(a.stats().records > 0);
-        assert!(a.stats().events > 0);
-    }
-
-    #[test]
-    fn native_run_produces_no_detection() {
-        let source = src(
-            ".reg .b64 %rd<4>;\nld.param.u64 %rd1, [b];\nst.global.u32 [%rd1], 1;\nret;",
-            ".param .u64 b",
-        );
-        let mut bar = Barracuda::new();
-        let b = bar.gpu_mut().malloc(4);
-        let stats = bar
-            .run_native(&KernelRun {
-                source: &source,
-                kernel: "k",
-                dims: GridDims::new(1u32, 1u32),
-                params: &[ParamValue::Ptr(b)],
-            })
-            .unwrap();
-        assert!(stats.instructions > 0);
-        assert_eq!(bar.gpu().read_u32(b), 1);
-    }
-
-    #[test]
-    fn threaded_and_sync_agree() {
-        // A mixed workload with barriers and shared memory.
-        let source = src(
-            ".reg .b32 %r<8>;\n.reg .b64 %rd<8>;\n\
-             .shared .align 4 .b8 sm[128];\n\
-             mov.u32 %r1, %tid.x;\n\
-             mul.wide.s32 %rd2, %r1, 4;\n\
-             mov.u64 %rd4, sm;\n\
-             add.s64 %rd5, %rd4, %rd2;\n\
-             st.shared.u32 [%rd5], %r1;\n\
-             bar.sync 0;\n\
-             ld.param.u64 %rd1, [buf];\n\
-             ld.shared.u32 %r2, [%rd5];\n\
-             st.global.u32 [%rd1], %r2;\n\
-             ret;",
-            ".param .u64 buf",
-        );
-        let run_with = |mode| {
-            let mut bar = Barracuda::with_config(BarracudaConfig {
-                mode,
-                ..Default::default()
-            });
-            let buf = bar.gpu_mut().malloc(4);
-            bar.check(&KernelRun {
-                source: &source,
-                kernel: "k",
-                dims: GridDims::new(2u32, 32u32),
-                params: &[ParamValue::Ptr(buf)],
-            })
-            .unwrap()
-            .race_count()
-        };
-        assert_eq!(
-            run_with(DetectionMode::Synchronous),
-            run_with(DetectionMode::Threaded)
-        );
-    }
-
-    #[test]
-    fn barrier_divergence_surfaces_as_sim_error() {
-        let source = src(
-            ".reg .pred %p;\n.reg .b32 %r<4>;\n\
-             mov.u32 %r1, %tid.x;\n\
-             setp.eq.s32 %p, %r1, 0;\n\
-             @%p bra L;\n\
-             bar.sync 0;\n\
-             L:\n\
-             ret;",
-            "",
-        );
-        let mut bar = Barracuda::new();
-        let err = bar
-            .check(&KernelRun {
-                source: &source,
-                kernel: "k",
-                dims: GridDims::new(1u32, 8u32),
-                params: &[],
-            })
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            Error::Sim(barracuda_simt::SimError::BarrierDivergence { .. })
-        ));
-    }
-
-    #[test]
-    fn parse_errors_propagate() {
-        let mut bar = Barracuda::new();
-        let err = bar
-            .check(&KernelRun {
-                source: "this is not ptx",
-                kernel: "k",
-                dims: GridDims::new(1u32, 1u32),
-                params: &[],
-            })
-            .unwrap_err();
-        assert!(matches!(err, Error::Ptx(_)));
-    }
-
-    #[test]
-    fn num_queues_follows_sm_count() {
-        let cfg = BarracudaConfig::default();
-        // 24 SMs × 1.25 = 30 queues (paper: ~1.1–1.5 queues per SM).
-        assert_eq!(cfg.num_queues(), 30);
-    }
-
-    /// A racy whole-grid counter: every thread of every block increments
-    /// `[ctr]` without atomics, producing records on every queue.
-    fn racy_counter_src() -> String {
-        src(
-            ".reg .b32 %r<4>;\n.reg .b64 %rd<4>;\n\
-             ld.param.u64 %rd1, [ctr];\n\
-             ld.global.u32 %r1, [%rd1];\n\
-             add.s32 %r1, %r1, 1;\n\
-             st.global.u32 [%rd1], %r1;\n\
-             ret;",
-            ".param .u64 ctr",
-        )
-    }
-
-    fn chaos_config(plan: FaultPlan) -> BarracudaConfig {
-        BarracudaConfig {
-            mode: DetectionMode::Threaded,
-            gpu: barracuda_simt::GpuConfig {
-                num_sms: 2,
-                ..Default::default()
-            },
-            queues_per_sm: 1.0, // → 2 queues / 2 workers
-            queue_capacity: 64,
-            push_stall_budget: 4_096,
-            fault_plan: Some(plan),
-            ..BarracudaConfig::default()
-        }
-    }
-
-    #[test]
-    fn injected_worker_panic_degrades_instead_of_aborting() {
-        let source = racy_counter_src();
-        let plan = FaultPlan::none().with_worker_panic(barracuda_trace::WorkerPanic {
-            worker: 0,
-            after_records: 5,
-        });
-        let mut cfg = chaos_config(plan);
-        // Small enough that the dead worker's queue overflows its stall
-        // budget and sheds records.
-        cfg.queue_capacity = 8;
-        cfg.push_stall_budget = 512;
-        let mut bar = Barracuda::with_config(cfg);
-        let ctr = bar.gpu_mut().malloc(4);
-        let a = bar
-            .check(&KernelRun {
-                source: &source,
-                kernel: "k",
-                dims: GridDims::new(32u32, 32u32),
-                params: &[ParamValue::Ptr(ctr)],
-            })
-            .expect("check completes despite the panic");
-        assert!(a.is_degraded(), "{:?}", a.diagnostics());
-        assert!(a
-            .diagnostics()
-            .iter()
-            .any(|d| matches!(d, barracuda_core::Diagnostic::WorkerPanic { worker: 0, .. })));
-        let p = &a.stats().pipeline;
-        assert_eq!(p.worker_panics, 1);
-        assert_eq!(p.queues, 2);
-        assert!(p.per_worker[0].panicked && !p.per_worker[1].panicked);
-        // The surviving worker still processed its queue's events.
-        assert!(p.per_worker[1].events > 0);
-        // The panicked worker's queue backed up and shed records once the
-        // stall budget ran out — accounted, not deadlocked.
-        assert!(p.records_dropped > 0, "{p:?}");
-        assert!(a.diagnostics().iter().any(
-            |d| matches!(d, barracuda_core::Diagnostic::LostRecords { dropped, .. } if *dropped > 0)
-        ));
-    }
-
-    #[test]
-    fn full_queue_stall_window_counts_pressure_without_losing_records() {
-        let source = racy_counter_src();
-        // Aggressive consumer stalls against a tiny queue: producers must
-        // wait (bounded), but with a live consumer nothing is lost.
-        let plan = FaultPlan::none().with_consumer_stall(barracuda_trace::ConsumerStall {
-            every_records: 1,
-            yields: 50,
-        });
-        let mut cfg = chaos_config(plan);
-        cfg.queue_capacity = 4;
-        cfg.push_stall_budget = 1 << 20;
-        let mut bar = Barracuda::with_config(cfg);
-        let ctr = bar.gpu_mut().malloc(4);
-        let a = bar
-            .check(&KernelRun {
-                source: &source,
-                kernel: "k",
-                dims: GridDims::new(4u32, 32u32),
-                params: &[ParamValue::Ptr(ctr)],
-            })
-            .unwrap();
-        let p = &a.stats().pipeline;
-        assert_eq!(
-            p.records_dropped, 0,
-            "stall-only chaos must not lose records"
-        );
-        assert_eq!(p.records_corrupt, 0);
-        assert_eq!(p.worker_panics, 0);
-        assert!(!a.is_degraded());
-        assert!(p.queue_high_water >= 1 && p.queue_high_water <= 4, "{p:?}");
-        assert!(
-            p.producer_stall_cycles > 0,
-            "a 4-deep queue must have stalled producers"
-        );
-        // All produced records were processed.
-        assert_eq!(
-            a.stats().records,
-            p.per_worker.iter().map(|w| w.events).sum::<u64>()
-        );
-        assert!(
-            a.race_count() > 0,
-            "the racy counter must still be detected"
-        );
-    }
-
-    #[test]
-    fn injected_drops_and_corruption_are_accounted() {
-        let source = racy_counter_src();
-        let plan = FaultPlan {
-            seed: 9,
-            drop_rate: 0.5,
-            corrupt_rate: 0.2,
-            ..FaultPlan::none()
-        };
-        let mut bar = Barracuda::with_config(chaos_config(plan));
-        let ctr = bar.gpu_mut().malloc(4);
-        let a = bar
-            .check(&KernelRun {
-                source: &source,
-                kernel: "k",
-                dims: GridDims::new(8u32, 32u32),
-                params: &[ParamValue::Ptr(ctr)],
-            })
-            .unwrap();
-        let p = &a.stats().pipeline;
-        assert!(p.records_dropped > 0);
-        assert!(p.records_corrupt > 0);
-        assert!(a.is_degraded());
-        // Produced = delivered-and-decoded + corrupt + dropped.
-        let delivered: u64 = p.per_worker.iter().map(|w| w.events).sum();
-        assert_eq!(
-            a.stats().records,
-            delivered + p.records_corrupt + p.records_dropped
-        );
-    }
-
-    #[test]
-    fn stall_only_chaos_agrees_with_synchronous_verdict() {
-        let source = racy_counter_src();
-        let race_count = |cfg: BarracudaConfig| {
-            let mut bar = Barracuda::with_config(cfg);
-            let ctr = bar.gpu_mut().malloc(4);
-            bar.check(&KernelRun {
-                source: &source,
-                kernel: "k",
-                dims: GridDims::new(4u32, 32u32),
-                params: &[ParamValue::Ptr(ctr)],
-            })
-            .unwrap()
-            .race_count()
-        };
-        let sync = race_count(BarracudaConfig::default());
-        for seed in [1u64, 2, 3] {
-            assert_eq!(
-                race_count(chaos_config(FaultPlan::stalls_only(seed))),
-                sync,
-                "seed {seed}"
-            );
-        }
+    /// Warp-size portability sweep: checks the kernel under several
+    /// simulated warp sizes and returns each analysis (see
+    /// [`Engine::check_warp_sizes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation or parse failure.
+    pub fn check_warp_sizes(
+        &mut self,
+        run: &KernelRun<'_>,
+        warp_sizes: &[u32],
+    ) -> Result<Vec<(u32, Analysis)>, Error> {
+        self.engine.check_warp_sizes(run, warp_sizes)
     }
 }

@@ -1,0 +1,213 @@
+//! Pipeline plumbing between the simulated device and the detector: the
+//! producer-side record sink, the consumer worker loop, and the host-op
+//! buffer used by the CUDA-style host API.
+
+use barracuda_core::{Detector, Worker};
+use barracuda_simt::EventSink;
+use barracuda_trace::{FaultPlan, HostOp, PushOutcome, QueueSet, Record, SyncOrder};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The producer-side sink of the threaded pipeline: routes records to
+/// their block's queue with bounded-stall backpressure, and applies the
+/// producer-side faults of a [`FaultPlan`] (drops, corruption).
+///
+/// A queue whose bounded push ever times out is marked *wedged*: its
+/// consumer is presumed dead or badly stalled, and later records for it
+/// pay at most one fast full-check instead of the whole stall budget
+/// again, so a single dead worker cannot slow the simulation to a crawl.
+pub(crate) struct PipelineSink<'a> {
+    queues: &'a QueueSet,
+    plan: Option<&'a FaultPlan>,
+    stall_budget: u64,
+    /// Cross-queue ordering of synchronization records: a ticket is
+    /// issued for every global-sync record that actually enqueues, so
+    /// workers apply them in emission order.
+    order: &'a SyncOrder,
+    /// Per-queue producer sequence numbers (fault-decision coordinates).
+    seq: Vec<AtomicU64>,
+    /// Queues that exhausted a stall budget once.
+    wedged: Vec<AtomicBool>,
+    /// Records dropped by fault injection (not by backpressure).
+    injected_drops: AtomicU64,
+}
+
+impl<'a> PipelineSink<'a> {
+    pub(crate) fn new(
+        queues: &'a QueueSet,
+        plan: Option<&'a FaultPlan>,
+        stall_budget: u64,
+        order: &'a SyncOrder,
+    ) -> Self {
+        PipelineSink {
+            queues,
+            plan,
+            stall_budget,
+            order,
+            seq: (0..queues.len()).map(|_| AtomicU64::new(0)).collect(),
+            wedged: (0..queues.len()).map(|_| AtomicBool::new(false)).collect(),
+            injected_drops: AtomicU64::new(0),
+        }
+    }
+
+    /// Records dropped by fault injection so far.
+    pub(crate) fn injected_drops(&self) -> u64 {
+        self.injected_drops.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for PipelineSink<'_> {
+    fn emit(&self, block: u64, mut record: Record) {
+        let qi = (block % self.queues.len() as u64) as usize;
+        if let Some(plan) = self.plan {
+            let seq = self.seq[qi].fetch_add(1, Ordering::Relaxed);
+            if plan.should_drop(qi as u64, seq) {
+                self.injected_drops.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if let Some(kind) = plan.corrupt_kind(qi as u64, seq) {
+                record.kind = kind;
+            }
+        }
+        let q = self.queues.queue(qi);
+        // A wedged queue gets a zero budget: drop immediately when full.
+        let budget = if self.wedged[qi].load(Ordering::Relaxed) {
+            0
+        } else {
+            self.stall_budget
+        };
+        if q.push_bounded(record, budget) == PushOutcome::Dropped {
+            self.wedged[qi].store(true, Ordering::Relaxed);
+        } else if record.is_global_sync() {
+            // Only records that made it into a queue get a ticket — a
+            // ticket must never wait on a record that is not coming.
+            self.order.issue(qi);
+        }
+    }
+}
+
+/// What one detector worker came back with.
+pub(crate) enum WorkerOutcome {
+    /// `(events, format census, corrupt records skipped)`.
+    Finished(u64, [u64; 4], u64),
+    /// The worker panicked; the payload's message.
+    Panicked(String),
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// The worker loop of one queue consumer: drains records until the launch
+/// finishes and the queue is empty, applying the consumer-side faults of
+/// the plan (periodic stalls, an injected panic at the Nth record) and
+/// skipping records that fail to decode.
+///
+/// Global-sync records go through the [`SyncOrder`]: the worker waits for
+/// the record's ticket to come up, applies it, and completes the ticket,
+/// so releases and acquires on different queues hit the detector's
+/// synchronization map in device emission order no matter how consumers
+/// are scheduled (or chaos-stalled).
+///
+/// Returns `(events, format census, corrupt records skipped)`.
+pub(crate) fn drain_queue(
+    qi: usize,
+    nworkers: usize,
+    queues: &QueueSet,
+    detector: &Detector,
+    plan: Option<&FaultPlan>,
+    done: &AtomicBool,
+    order: &SyncOrder,
+) -> (u64, [u64; 4], u64) {
+    let q = queues.queue(qi);
+    let mut worker = Worker::new(detector);
+    let mut processed = 0u64;
+    let mut corrupt = 0u64;
+    let mut sync_idx = 0usize;
+    let panic_at = plan.and_then(|p| p.panic_after(qi, nworkers));
+    loop {
+        if let Some(rec) = q.try_pop() {
+            processed += 1;
+            if panic_at.is_some_and(|at| processed > at) {
+                // resume_unwind skips the panic hook: an injected crash
+                // should not spray a backtrace over the test output.
+                std::panic::resume_unwind(Box::new(format!(
+                    "chaos: injected worker panic after {at} records",
+                    at = panic_at.unwrap_or(0)
+                )));
+            }
+            if rec.is_global_sync() {
+                // The producer issues the ticket right after the push;
+                // spin out the tiny window where it is not visible yet.
+                let ticket = loop {
+                    if let Some(t) = order.ticket(qi, sync_idx) {
+                        break t;
+                    }
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                };
+                sync_idx += 1;
+                while !order.is_turn(ticket) {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+                match rec.try_decode() {
+                    Some(ev) => worker.process_event(&ev),
+                    None => corrupt += 1,
+                }
+                order.complete(ticket);
+            } else {
+                match rec.try_decode() {
+                    Some(ev) => worker.process_event(&ev),
+                    None => corrupt += 1,
+                }
+            }
+            if let Some(p) = plan {
+                for _ in 0..p.consumer_stall_yields(qi, processed) {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+        } else if done.load(Ordering::Acquire) && q.is_empty() {
+            break;
+        } else {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+    (worker.event_count(), worker.format_census(), corrupt)
+}
+
+/// An [`EventSink`] that captures only host-side operations: the engine
+/// passes it to the device's traced memcpy entry points and appends the
+/// captured ops to its device-lifetime host trace.
+#[derive(Debug, Default)]
+pub(crate) struct HostOpBuffer {
+    ops: Mutex<Vec<HostOp>>,
+}
+
+impl HostOpBuffer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the captured host ops.
+    pub(crate) fn take(&self) -> Vec<HostOp> {
+        std::mem::take(&mut self.ops.lock().expect("host-op buffer poisoned"))
+    }
+}
+
+impl EventSink for HostOpBuffer {
+    fn emit(&self, _block: u64, _record: Record) {}
+
+    fn emit_host(&self, op: &HostOp) {
+        self.ops.lock().expect("host-op buffer poisoned").push(*op);
+    }
+}

@@ -1,7 +1,7 @@
 //! Machine-readable analysis output (`barracuda check --stats-json`).
 //!
 //! Emits one JSON object per analysis with the verdict, race/diagnostic
-//! breakdown and the full [`AnalysisStats`] including the pipeline
+//! breakdown and the full [`crate::AnalysisStats`] including the pipeline
 //! telemetry (queue high-water marks, producer stall cycles, per-worker
 //! event counts, drop counts). The build environment has no registry
 //! access, so — in the same spirit as the `vendor/` shims — serialization
@@ -108,13 +108,16 @@ pub fn to_json(a: &Analysis) -> String {
         s,
         "{{\"verdict\":\"{verdict}\",\"degraded\":{},\"races\":{},\
          \"race_classes\":{{\"intra_warp\":{},\"divergence\":{},\"intra_block\":{},\
-         \"inter_block\":{}}},\"spaces\":{{\"shared\":{shared},\"global\":{global}}}",
+         \"inter_block\":{},\"inter_kernel\":{},\"host_device\":{}}},\
+         \"spaces\":{{\"shared\":{shared},\"global\":{global}}}",
         a.is_degraded(),
         a.race_count(),
         a.count_class(RaceClass::IntraWarp),
         a.count_class(RaceClass::Divergence),
         a.count_class(RaceClass::IntraBlock),
         a.count_class(RaceClass::InterBlock),
+        a.count_class(RaceClass::InterKernel),
+        a.count_class(RaceClass::HostDevice),
     );
     s.push_str(",\"diagnostics\":[");
     for (i, d) in a.diagnostics().iter().enumerate() {
@@ -197,6 +200,45 @@ pub fn to_json(a: &Analysis) -> String {
         );
     }
     s.push_str("]}}}");
+    s
+}
+
+/// Serializes an engine's per-launch summaries as a JSON array (the
+/// `launches` field of `--stats-json` output): launch order, stream,
+/// kernel, and the races each launch exposed — including inter-kernel and
+/// host-device races only a persistent engine can see.
+pub fn launches_to_json(launches: &[crate::engine::LaunchSummary]) -> String {
+    let mut s = String::with_capacity(64 * launches.len() + 2);
+    s.push('[');
+    for (i, l) in launches.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"epoch\":{},\"stream\":{},\"kernel\":",
+            l.epoch, l.stream
+        );
+        escape(&l.kernel, &mut s);
+        let _ = write!(
+            s,
+            ",\"races\":{},\"records\":{},\"events\":{}}}",
+            l.races, l.records, l.events
+        );
+    }
+    s.push(']');
+    s
+}
+
+/// [`to_json`] plus the engine's per-launch `launches` array — the full
+/// `--stats-json` document of a persistent-engine run.
+pub fn to_json_with_launches(a: &Analysis, launches: &[crate::engine::LaunchSummary]) -> String {
+    let mut s = to_json(a);
+    let closing = s.pop();
+    debug_assert_eq!(closing, Some('}'));
+    s.push_str(",\"launches\":");
+    s.push_str(&launches_to_json(launches));
+    s.push('}');
     s
 }
 
@@ -477,6 +519,55 @@ mod tests {
             Some("lost_records")
         );
         assert_eq!(diags[1].get("dropped").and_then(Json::as_u64), Some(6));
+    }
+
+    #[test]
+    fn race_classes_include_engine_classes() {
+        let j = parse(&to_json(&sample_analysis())).unwrap();
+        let classes = j.get("race_classes").expect("race_classes object");
+        assert_eq!(classes.get("inter_kernel").and_then(Json::as_u64), Some(0));
+        assert_eq!(classes.get("host_device").and_then(Json::as_u64), Some(0));
+        assert_eq!(classes.get("inter_block").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn launches_array_round_trips() {
+        use crate::engine::LaunchSummary;
+        let launches = vec![
+            LaunchSummary {
+                epoch: 0,
+                stream: 0,
+                kernel: "k\"q\"".to_string(),
+                races: 2,
+                records: 100,
+                events: 99,
+            },
+            LaunchSummary {
+                epoch: 1,
+                stream: 3,
+                kernel: "other".to_string(),
+                races: 0,
+                records: 5,
+                events: 5,
+            },
+        ];
+        let j = parse(&launches_to_json(&launches)).expect("valid json");
+        let arr = j.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("kernel").and_then(Json::as_str), Some("k\"q\""));
+        assert_eq!(arr[0].get("races").and_then(Json::as_u64), Some(2));
+        assert_eq!(arr[1].get("stream").and_then(Json::as_u64), Some(3));
+        assert_eq!(arr[1].get("epoch").and_then(Json::as_u64), Some(1));
+        assert_eq!(parse(&launches_to_json(&[])).unwrap(), Json::Arr(vec![]));
+
+        let doc = parse(&to_json_with_launches(&sample_analysis(), &launches)).unwrap();
+        assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("race"));
+        assert_eq!(
+            doc.get("launches")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Happens-before litmus tests for the persistent engine's CUDA-style
+//! host API: stream ordering, synchronization edges, and host↔device
+//! memcpy races — checked end-to-end through real PTX launches.
+
+use barracuda::{Engine, GridDims, KernelRun, ParamValue, RaceClass, StreamId};
+
+const HEADER: &str = ".version 4.3\n.target sm_35\n.address_size 64\n";
+
+/// One thread stores 1 to `[p]`.
+fn writer() -> String {
+    format!(
+        "{HEADER}.visible .entry k(.param .u64 p)\n{{\n\
+         .reg .b64 %rd<2>;\n\
+         ld.param.u64 %rd1, [p];\n\
+         st.global.u32 [%rd1], 1;\n\
+         ret;\n}}"
+    )
+}
+
+/// One thread loads from `[p]`.
+fn reader() -> String {
+    format!(
+        "{HEADER}.visible .entry k(.param .u64 p)\n{{\n\
+         .reg .b32 %r<2>;\n.reg .b64 %rd<2>;\n\
+         ld.param.u64 %rd1, [p];\n\
+         ld.global.u32 %r1, [%rd1];\n\
+         ret;\n}}"
+    )
+}
+
+fn run<'a>(source: &'a str, params: &'a [ParamValue]) -> KernelRun<'a> {
+    KernelRun {
+        source,
+        kernel: "k",
+        dims: GridDims::new(1u32, 1u32),
+        params,
+    }
+}
+
+#[test]
+fn same_stream_launches_are_ordered() {
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let params = [ParamValue::Ptr(buf)];
+    let a1 = eng
+        .launch_async(StreamId::DEFAULT, &run(&src, &params))
+        .unwrap();
+    let a2 = eng
+        .launch_async(StreamId::DEFAULT, &run(&src, &params))
+        .unwrap();
+    assert_eq!(a1.race_count(), 0);
+    assert_eq!(a2.race_count(), 0, "{:?}", a2.races());
+}
+
+#[test]
+fn cross_stream_conflict_is_an_inter_kernel_race() {
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let params = [ParamValue::Ptr(buf)];
+    let s1 = eng.create_stream();
+    let a1 = eng
+        .launch_async(StreamId::DEFAULT, &run(&src, &params))
+        .unwrap();
+    let a2 = eng.launch_async(s1, &run(&src, &params)).unwrap();
+    assert_eq!(a1.race_count(), 0);
+    assert_eq!(a2.race_count(), 1, "{:?}", a2.races());
+    assert_eq!(a2.races()[0].class, RaceClass::InterKernel);
+}
+
+#[test]
+fn cross_stream_disjoint_addresses_are_clean() {
+    let mut eng = Engine::new();
+    let a = eng.gpu_mut().malloc(4);
+    let b = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let pa = [ParamValue::Ptr(a)];
+    let pb = [ParamValue::Ptr(b)];
+    let s1 = eng.create_stream();
+    let a1 = eng
+        .launch_async(StreamId::DEFAULT, &run(&src, &pa))
+        .unwrap();
+    let a2 = eng.launch_async(s1, &run(&src, &pb)).unwrap();
+    assert_eq!(a1.race_count() + a2.race_count(), 0);
+}
+
+#[test]
+fn device_synchronize_cuts_the_cross_stream_race() {
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let params = [ParamValue::Ptr(buf)];
+    let s1 = eng.create_stream();
+    eng.launch_async(StreamId::DEFAULT, &run(&src, &params))
+        .unwrap();
+    eng.device_synchronize();
+    let a2 = eng.launch_async(s1, &run(&src, &params)).unwrap();
+    assert_eq!(a2.race_count(), 0, "{:?}", a2.races());
+}
+
+#[test]
+fn stream_synchronize_cuts_the_cross_stream_race() {
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let params = [ParamValue::Ptr(buf)];
+    let s1 = eng.create_stream();
+    eng.launch_async(StreamId::DEFAULT, &run(&src, &params))
+        .unwrap();
+    eng.stream_synchronize(StreamId::DEFAULT);
+    let a2 = eng.launch_async(s1, &run(&src, &params)).unwrap();
+    assert_eq!(a2.race_count(), 0, "{:?}", a2.races());
+}
+
+#[test]
+fn h2d_memcpy_races_with_inflight_kernel() {
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let params = [ParamValue::Ptr(buf)];
+    let s1 = eng.create_stream();
+    // Kernel writes buf on stream 1; the host memcpy on the default
+    // stream does not wait for stream 1.
+    eng.launch_async(s1, &run(&src, &params)).unwrap();
+    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes());
+    assert_eq!(races.len(), 1, "{races:?}");
+    assert_eq!(races[0].class, RaceClass::HostDevice);
+}
+
+#[test]
+fn d2h_memcpy_races_with_inflight_kernel_write() {
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let params = [ParamValue::Ptr(buf)];
+    let s1 = eng.create_stream();
+    eng.launch_async(s1, &run(&src, &params)).unwrap();
+    let mut out = [0u8; 4];
+    let races = eng.memcpy_d2h(StreamId::DEFAULT, buf, &mut out);
+    assert_eq!(races.len(), 1, "{races:?}");
+    assert_eq!(races[0].class, RaceClass::HostDevice);
+}
+
+#[test]
+fn memcpy_after_stream_synchronize_is_clean() {
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let params = [ParamValue::Ptr(buf)];
+    let s1 = eng.create_stream();
+    eng.launch_async(s1, &run(&src, &params)).unwrap();
+    eng.stream_synchronize(s1);
+    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes());
+    assert!(races.is_empty(), "{races:?}");
+    assert_eq!(eng.gpu().read_u32(buf), 7);
+}
+
+#[test]
+fn same_stream_memcpy_is_ordered_with_its_kernel() {
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let params = [ParamValue::Ptr(buf)];
+    // Same stream: the copy waits for the kernel (stream order), no race.
+    eng.launch_async(StreamId::DEFAULT, &run(&src, &params))
+        .unwrap();
+    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes());
+    assert!(races.is_empty(), "{races:?}");
+}
+
+#[test]
+fn kernel_after_h2d_sees_the_host_write() {
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = reader();
+    let params = [ParamValue::Ptr(buf)];
+    let s1 = eng.create_stream();
+    // Launches are ordered after all prior host operations, on any stream.
+    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes());
+    assert!(races.is_empty());
+    let a = eng.launch_async(s1, &run(&src, &params)).unwrap();
+    assert_eq!(a.race_count(), 0, "{:?}", a.races());
+}
+
+#[test]
+fn host_trace_records_the_device_lifetime() {
+    use barracuda::HostOp;
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let params = [ParamValue::Ptr(buf)];
+    eng.memcpy_h2d(StreamId::DEFAULT, buf, &0u32.to_le_bytes());
+    eng.launch_async(StreamId::DEFAULT, &run(&src, &params))
+        .unwrap();
+    eng.stream_synchronize(StreamId::DEFAULT);
+    let mut out = [0u8; 4];
+    eng.memcpy_d2h(StreamId::DEFAULT, buf, &mut out);
+    eng.device_synchronize();
+    let trace = eng.host_trace();
+    assert!(matches!(
+        trace[0],
+        HostOp::MemcpyH2D {
+            stream: 0,
+            len: 4,
+            ..
+        }
+    ));
+    assert!(matches!(
+        trace[1],
+        HostOp::LaunchKernel {
+            stream: 0,
+            epoch: 0
+        }
+    ));
+    assert!(matches!(trace[2], HostOp::StreamSynchronize { stream: 0 }));
+    assert!(matches!(
+        trace[3],
+        HostOp::MemcpyD2H {
+            stream: 0,
+            len: 4,
+            ..
+        }
+    ));
+    assert!(matches!(trace[4], HostOp::DeviceSynchronize));
+    assert_eq!(eng.launches().len(), 1);
+    assert_eq!(eng.launches()[0].kernel, "k");
+}
+
+#[test]
+fn module_cache_reuses_one_instrumentation() {
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let params = [ParamValue::Ptr(buf)];
+    eng.check(&run(&src, &params)).unwrap();
+    eng.check(&run(&src, &params)).unwrap();
+    eng.check(&run(&src, &params)).unwrap();
+    assert_eq!(eng.module_cache_len(), 1, "one source → one rewrite");
+    assert_eq!(eng.module_cache_hits(), 2);
+    // A different module is a different cache entry.
+    let src2 = reader();
+    eng.check(&run(&src2, &params)).unwrap();
+    assert_eq!(eng.module_cache_len(), 2);
+}
+
+#[test]
+fn warp_size_sweep_reuses_the_cached_module() {
+    let mut eng = Engine::new();
+    let buf = eng.gpu_mut().malloc(4);
+    let src = writer();
+    let params = [ParamValue::Ptr(buf)];
+    let results = eng
+        .check_warp_sizes(&run(&src, &params), &[32, 16, 8, 4])
+        .unwrap();
+    assert_eq!(results.len(), 4);
+    assert_eq!(eng.module_cache_len(), 1);
+    assert_eq!(eng.module_cache_hits(), 3);
+}

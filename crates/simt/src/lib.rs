@@ -9,7 +9,7 @@
 //!   warp at a time; per-lane effects happen "concurrently" within the
 //!   instruction (paper §3.1);
 //! * **branch divergence** via a SIMT reconvergence stack using
-//!   immediate-post-dominator reconvergence (paper reference [24]);
+//!   immediate-post-dominator reconvergence (paper reference \[24\]);
 //! * **block-wide barriers** (`bar.sync`) with barrier-divergence
 //!   detection;
 //! * **atomics and scoped memory fences** over a configurable weak memory

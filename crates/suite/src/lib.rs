@@ -20,7 +20,13 @@ mod branch;
 mod global;
 mod locks;
 mod misc;
+mod multi;
 mod shared;
+
+pub use multi::{
+    multi_program, multi_programs, run_multi, run_multi_races, MultiArg, MultiKernel, MultiProgram,
+    MultiStep,
+};
 
 use barracuda::{Barracuda, BarracudaConfig, Error, KernelRun, SimError};
 use barracuda_simt::ParamValue;

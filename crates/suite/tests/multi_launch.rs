@@ -1,0 +1,54 @@
+//! Verdicts for the multi-launch / host-interaction program family: every
+//! program must match its ground truth, and every reported race must carry
+//! the engine's new inter-kernel or host-device classification.
+
+use barracuda_suite::{multi_programs, run_multi, run_multi_races, Expectation, Verdict};
+
+#[test]
+fn multi_family_has_racy_and_race_free_programs() {
+    let ps = multi_programs();
+    assert!(ps.len() >= 8, "family has {} programs", ps.len());
+    let racy = ps
+        .iter()
+        .filter(|p| p.expected == Expectation::Race)
+        .count();
+    let clean = ps
+        .iter()
+        .filter(|p| p.expected == Expectation::NoRace)
+        .count();
+    assert!(racy >= 3, "{racy} racy programs");
+    assert!(clean >= 3, "{clean} race-free programs");
+    let names: std::collections::HashSet<_> = ps.iter().map(|p| p.name).collect();
+    assert_eq!(names.len(), ps.len(), "names are unique");
+}
+
+#[test]
+fn all_multi_programs_match_their_expectation() {
+    let mut failures = Vec::new();
+    for p in multi_programs() {
+        let got = run_multi(&p);
+        let ok = matches!(
+            (&got, p.expected),
+            (Verdict::Race, Expectation::Race) | (Verdict::NoRace, Expectation::NoRace)
+        );
+        if !ok {
+            failures.push(format!(
+                "{}: expected {:?}, got {:?}",
+                p.name, p.expected, got
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn racy_multi_programs_carry_the_expected_class() {
+    for p in multi_programs() {
+        let Some(class) = p.class else { continue };
+        let races = run_multi_races(&p).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        assert!(!races.is_empty(), "{} reported no races", p.name);
+        for r in &races {
+            assert_eq!(r.class, class, "{}: {r}", p.name);
+        }
+    }
+}

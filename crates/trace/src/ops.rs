@@ -125,6 +125,53 @@ pub enum TraceOp {
     },
 }
 
+/// A host-side operation on a device-lifetime trace. These never travel
+/// through the 272-byte device record format (their [`RecordKind`] space
+/// is pinned by the decoder tests); they are produced directly by the
+/// host API shims — `cudaMemcpy`, launch calls and synchronization — and
+/// consumed by the persistent engine to build host↔device happens-before
+/// edges.
+///
+/// [`RecordKind`]: crate::record::RecordKind
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostOp {
+    /// Host-to-device copy: a host *write* of device memory, stream-ordered
+    /// on `stream` and blocking the host thread.
+    MemcpyH2D {
+        /// Stream the copy is ordered on.
+        stream: u32,
+        /// Destination device address.
+        dst: u64,
+        /// Copy length in bytes.
+        len: u64,
+    },
+    /// Device-to-host copy: a host *read* of device memory.
+    MemcpyD2H {
+        /// Stream the copy is ordered on.
+        stream: u32,
+        /// Source device address.
+        src: u64,
+        /// Copy length in bytes.
+        len: u64,
+    },
+    /// An asynchronous kernel launch on `stream`, assigned launch `epoch`
+    /// by the engine.
+    LaunchKernel {
+        /// Stream the launch is ordered on.
+        stream: u32,
+        /// Launch epoch assigned by the engine's registry.
+        epoch: u32,
+    },
+    /// `cudaStreamSynchronize`: the host waits for every operation
+    /// previously enqueued on `stream`.
+    StreamSynchronize {
+        /// The synchronized stream.
+        stream: u32,
+    },
+    /// `cudaDeviceSynchronize`: the host waits for every stream.
+    DeviceSynchronize,
+}
+
 /// A warp-level event: the logical content of one 272-byte log record.
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // variants are self-describing

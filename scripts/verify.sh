@@ -15,8 +15,18 @@ cargo test -q
 echo "==> lint: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> docs: cargo doc --no-deps (warnings denied, first-party crates)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+  -p barracuda -p barracuda-core -p barracuda-trace -p barracuda-simt \
+  -p barracuda-ptx -p barracuda-instrument -p barracuda-suite \
+  -p barracuda-racecheck -p barracuda-workloads -p barracuda-bench
+
 echo "==> bench smoke: bench_interp --quick"
 ./target/release/bench_interp --quick --out /tmp/bench_interp_smoke.json
 rm -f /tmp/bench_interp_smoke.json
+
+echo "==> bench smoke: bench_engine --quick"
+./target/release/bench_engine --quick --out /tmp/bench_engine_smoke.json
+rm -f /tmp/bench_engine_smoke.json
 
 echo "verify: OK"
