@@ -1,0 +1,151 @@
+//! Detection-server throughput/latency harness.
+//!
+//! Drives the in-process [`Server`] with 1, 4 and 16 concurrent clients
+//! (one isolated session each, retrying rejections with the standard
+//! backoff policy) and reports aggregate requests per second plus p50
+//! and p99 request latency — once fault-free and once with a per-request
+//! stall-injection seed (`chaos_stalls`), so the cost of surviving
+//! chaos is a measured number rather than a claim. Writes
+//! machine-readable results to `BENCH_serve.json` (current directory
+//! unless `--out <path>` is given). `--quick` runs a couple of requests
+//! per client for CI smoke.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use barracuda_serve::{CheckRequest, Client, ParamSpec, Response, RetryPolicy, Server};
+
+/// Requests issued by each client in full mode (percentile resolution).
+const REQUESTS_FULL: usize = 40;
+/// Requests issued by each client in `--quick` mode.
+const REQUESTS_QUICK: usize = 3;
+
+/// A small race-free kernel: every thread writes its own slot (one
+/// block, so `%tid.x` is globally unique), so the bench measures
+/// serving overhead, not race triage.
+fn source() -> String {
+    ".version 4.3\n.target sm_35\n.address_size 64\n\
+     .visible .entry k(.param .u64 out)\n{\n\
+     .reg .b32 %r<4>;\n.reg .b64 %rd<4>;\n\
+     mov.u32 %r1, %tid.x;\n\
+     ld.param.u64 %rd1, [out];\n\
+     mul.wide.u32 %rd2, %r1, 4;\n\
+     add.s64 %rd3, %rd1, %rd2;\n\
+     st.global.u32 [%rd3], %r1;\n\
+     ret;\n}"
+        .to_string()
+}
+
+fn request(chaos_seed: Option<u64>) -> CheckRequest {
+    let mut req = CheckRequest::new(&source(), "k", 1, 32);
+    req.params.push(ParamSpec::Buf(32 * 4));
+    req.chaos_stalls = chaos_seed;
+    req
+}
+
+struct Measurement {
+    requests_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx].as_micros() as u64
+}
+
+/// One scenario: `clients` concurrent sessions, `requests` each,
+/// optionally with per-request stall faults.
+fn run_scenario(clients: usize, requests: usize, faults: bool) -> Measurement {
+    let server = Server::with_defaults();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let session = server.session().expect("session");
+            std::thread::spawn(move || {
+                let mut client = Client::new(
+                    session,
+                    RetryPolicy {
+                        seed: 0xbe7 ^ c as u64,
+                        ..RetryPolicy::default()
+                    },
+                );
+                let mut latencies = Vec::with_capacity(requests);
+                for i in 0..requests {
+                    let seed = faults.then_some(0x5eed ^ ((c as u64) << 16) ^ i as u64);
+                    let req = request(seed);
+                    let t = Instant::now();
+                    match client.check(&req) {
+                        Response::Done(body) => {
+                            assert_eq!(body.races, 0, "bench kernel must be race-free");
+                            assert!(!body.degraded, "stall faults are lossless");
+                        }
+                        other => panic!("bench request failed: {other:?}"),
+                    }
+                    latencies.push(t.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+    server.shutdown();
+    latencies.sort_unstable();
+    Measurement {
+        requests_per_sec: latencies.len() as f64 / wall,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_serve.json", |s| s.as_str());
+
+    let requests = if quick { REQUESTS_QUICK } else { REQUESTS_FULL };
+    let mut rows = String::new();
+    let mut first = true;
+    for &clients in &[1usize, 4, 16] {
+        for &faults in &[false, true] {
+            let m = run_scenario(clients, requests, faults);
+            println!(
+                "{:>2} client(s) {:<9} {:>8.0} req/s   p50 {:>7} us   p99 {:>7} us",
+                clients,
+                if faults { "faulted" } else { "clean" },
+                m.requests_per_sec,
+                m.p50_us,
+                m.p99_us
+            );
+            if !first {
+                rows.push_str(",\n");
+            }
+            first = false;
+            write!(
+                rows,
+                "    {{\n      \"clients\": {},\n      \"faults\": {},\n      \
+                 \"requests_per_sec\": {:.0},\n      \"p50_us\": {},\n      \
+                 \"p99_us\": {}\n    }}",
+                clients, faults, m.requests_per_sec, m.p50_us, m.p99_us
+            )
+            .expect("write to string");
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"description\": \"in-process detection server: \
+         concurrent sessions submitting race-free launches, with and without per-request \
+         stall-fault injection\",\n  \"unit\": \"requests per second; latency in \
+         microseconds\",\n  \"quick\": {quick},\n  \"requests_per_client\": {requests},\n  \
+         \"scenarios\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+}

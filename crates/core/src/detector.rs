@@ -22,7 +22,7 @@ use crate::report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};
 use crate::shadow::{GlobalShadow, ReadMeta, ShadowCell, SharedShadow};
 use barracuda_trace::ops::{AccessKind, Event, Scope};
 use barracuda_trace::record::Record;
-use barracuda_trace::{GridDims, MemSpace, Tid};
+use barracuda_trace::{CancelToken, GridDims, MemSpace, Tid};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -115,6 +115,10 @@ pub struct Detector {
     sync_locs: Arc<SyncMap>,
     races: Arc<RaceSink>,
     scope: LaunchScope,
+    /// Cooperative cancellation: worker drain loops poll this between
+    /// records and stop early once it fires (deadline watchdog, server
+    /// shutdown). A standalone detector's token never fires.
+    cancel: CancelToken,
 }
 
 impl Detector {
@@ -161,7 +165,21 @@ impl Detector {
             sync_locs,
             races,
             scope,
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// Attaches the engine's cancellation token (builder style, used by
+    /// [`EngineCore`](crate::EngineCore) when minting a launch detector).
+    pub(crate) fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// True once this launch was cancelled: worker loops draining records
+    /// for this detector should stop at the next record boundary.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
     }
 
     /// Launch dimensions.

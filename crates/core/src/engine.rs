@@ -32,7 +32,7 @@ use crate::hclock::HClock;
 use crate::launch::{LaunchRegistry, HOST_TID, HOST_TID_KEY};
 use crate::report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};
 use crate::shadow::GlobalShadow;
-use barracuda_trace::{GridDims, MemSpace, Tid};
+use barracuda_trace::{CancelToken, GridDims, MemSpace, Tid};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -53,6 +53,9 @@ pub struct EngineCore {
     /// What the host has synchronized with (stream/device syncs and
     /// blocking memcpys join launch frontiers in here).
     host_view: HClock,
+    /// Engine-lifetime cancellation token, cloned into every launch's
+    /// detector so a deadline watchdog reaches the worker loops.
+    cancel: CancelToken,
 }
 
 impl Default for EngineCore {
@@ -72,7 +75,15 @@ impl EngineCore {
             epoch_preds: Vec::new(),
             host_clock: 1,
             host_view: HClock::new(),
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// The engine's cancellation token: cancelling it stops the detector
+    /// workers of the launch in flight; [`CancelToken::reset`] re-arms it
+    /// for the next launch.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Registers a launch and returns its detector. `pred_epoch` is the
@@ -114,6 +125,7 @@ impl EngineCore {
             Arc::clone(&self.races),
             scope,
         )
+        .with_cancel(self.cancel.clone())
     }
 
     /// Marks a launch finished: shared-memory synchronization locations

@@ -22,6 +22,27 @@ pub struct WorkerTelemetry {
     pub panicked: bool,
 }
 
+/// Cumulative pipeline telemetry of one stream, engine-lifetime. All
+/// counters except `peak_depth` are per-launch deltas summed per stream;
+/// `peak_depth` is the engine-lifetime queue high-water observed as of
+/// the stream's most recent launch (queue depth maxima are monotonic and
+/// cannot be attributed to a single launch).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamTelemetry {
+    /// Stream id (0 = the default stream).
+    pub stream: u32,
+    /// Launches this stream has run.
+    pub launches: u64,
+    /// Device log records its launches produced.
+    pub records: u64,
+    /// Records shed or fault-dropped during its launches.
+    pub dropped: u64,
+    /// Producer stall cycles paid during its launches.
+    pub stall_cycles: u64,
+    /// Engine-lifetime peak queue depth as of this stream's last launch.
+    pub peak_depth: u64,
+}
+
 /// Queue and worker telemetry of the host-side pipeline (§4.2–4.3): the
 /// observability layer for backpressure, degradation and load balance.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -41,6 +62,10 @@ pub struct PipelineStats {
     pub worker_panics: u64,
     /// Per-worker event/census tallies, ordered by worker index.
     pub per_worker: Vec<WorkerTelemetry>,
+    /// Per-stream cumulative depth/drop counters, ordered by stream id
+    /// (empty in synchronous mode and in one-shot sessions that never
+    /// created a stream beyond the default).
+    pub per_stream: Vec<StreamTelemetry>,
 }
 
 impl PipelineStats {

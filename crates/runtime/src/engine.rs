@@ -19,7 +19,7 @@
 //! one-shot [`Barracuda`](crate::Barracuda) session is a thin facade over
 //! an engine's default stream.
 
-use crate::analysis::{Analysis, AnalysisStats, PipelineStats, WorkerTelemetry};
+use crate::analysis::{Analysis, AnalysisStats, PipelineStats, StreamTelemetry, WorkerTelemetry};
 use crate::config::{BarracudaConfig, DetectionMode};
 use crate::device::{StreamId, StreamState};
 use crate::session::KernelRun;
@@ -29,7 +29,7 @@ use barracuda_core::{Detector, Diagnostic, EngineCore, Worker};
 use barracuda_instrument::{instrument_module, InstrumentStats};
 use barracuda_ptx::ast::Module;
 use barracuda_simt::{Gpu, LaunchStats, LoadedKernel, ParamValue, VecSink};
-use barracuda_trace::{FaultPlan, GridDims, HostOp, QueueSet, SyncOrder};
+use barracuda_trace::{CancelToken, FaultPlan, GridDims, HostOp, QueueSet, SyncOrder};
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -163,6 +163,8 @@ pub struct Engine {
     module_cache: HashMap<u64, CachedModule>,
     cache_hits: u64,
     pool: Option<WorkerPool>,
+    /// Cumulative per-stream pipeline telemetry, indexed by stream id.
+    stream_stats: Vec<StreamTelemetry>,
 }
 
 impl Default for Engine {
@@ -179,18 +181,48 @@ impl Engine {
 
     /// An engine with explicit configuration.
     pub fn with_config(config: BarracudaConfig) -> Self {
-        let gpu = Gpu::new(config.gpu.clone());
+        let core = EngineCore::new();
+        let mut gpu = Gpu::new(config.gpu.clone());
+        // One token spans the whole pipeline: the simulator polls it at
+        // scheduler slice boundaries, detector workers between records.
+        gpu.set_cancel_token(Some(core.cancel_token()));
         Engine {
             config,
             gpu,
-            core: EngineCore::new(),
+            core,
             streams: vec![StreamState::default()], // the default stream
             host_trace: Vec::new(),
             launches: Vec::new(),
             module_cache: HashMap::new(),
             cache_hits: 0,
             pool: None,
+            stream_stats: Vec::new(),
         }
+    }
+
+    /// A clone of the engine's cancel token. Cancelling it makes the
+    /// launch in flight (if any) stop cooperatively — the simulator at
+    /// its next scheduler slice, the detector workers at their next
+    /// record — and fail with [`Error::Sim`] /
+    /// [`SimError::Cancelled`](barracuda_simt::SimError::Cancelled). The
+    /// engine remains usable: each launch entry point re-arms the token,
+    /// so a cancellation that lands after its launch completed is
+    /// harmless.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.core.cancel_token()
+    }
+
+    /// Replaces the fault-injection plan for subsequent launches (chaos
+    /// testing; `None` restores lossless operation).
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.config.fault_plan = plan;
+    }
+
+    /// Sets the step budget for subsequent launches (per-request
+    /// deadlines; `u64::MAX` disables).
+    pub fn set_max_steps(&mut self, max_steps: u64) {
+        self.config.gpu.max_steps = max_steps;
+        self.gpu.set_max_steps(max_steps);
     }
 
     /// The simulated device, for allocating and initializing buffers.
@@ -240,6 +272,7 @@ impl Engine {
     ///
     /// Returns [`Error`] on parse or simulation failure.
     pub fn run_native(&mut self, run: &KernelRun<'_>) -> Result<LaunchStats, Error> {
+        self.core.cancel_token().reset();
         let module = barracuda_ptx::parse(run.source)?;
         Ok(self.gpu.launch(&module, run.kernel, run.dims, run.params)?)
     }
@@ -358,6 +391,10 @@ impl Engine {
         params: &[ParamValue],
     ) -> Result<Analysis, Error> {
         let shared_size = lk.kernel.shared_size();
+        // Re-arm the cancel token: a cancellation aimed at a *previous*
+        // launch (e.g. a watchdog firing after completion) must not kill
+        // this one.
+        self.core.cancel_token().reset();
         let pred = self.streams[stream.index()].last_epoch;
         let det = Arc::new(self.core.begin_launch(dims, shared_size, pred));
         let epoch = det.epoch();
@@ -371,7 +408,7 @@ impl Engine {
         // Whatever happened, the launch epoch is over: shared-memory sync
         // state dies with it.
         self.core.finish_launch();
-        let (launch, records, events, census, pipeline) = match result {
+        let (launch, records, events, census, mut pipeline) = match result {
             Ok(t) => t,
             Err(e) => {
                 // Partial reports of a failed launch must not leak into
@@ -381,6 +418,22 @@ impl Engine {
             }
         };
         self.streams[stream.index()].last_epoch = Some(epoch);
+
+        // Per-stream cumulative telemetry (the serving path's fairness
+        // observability): indexed by stream id, grown on first use.
+        let si = stream.index();
+        if self.stream_stats.len() <= si {
+            self.stream_stats
+                .resize_with(si + 1, StreamTelemetry::default);
+        }
+        let ss = &mut self.stream_stats[si];
+        ss.stream = stream.0;
+        ss.launches += 1;
+        ss.records += records;
+        ss.dropped += pipeline.records_dropped;
+        ss.stall_cycles += pipeline.producer_stall_cycles;
+        ss.peak_depth = ss.peak_depth.max(pipeline.queue_high_water);
+        pipeline.per_stream = self.stream_stats.clone();
 
         let stats = AnalysisStats {
             instrument: istats,
@@ -478,6 +531,7 @@ impl Engine {
             plan.as_deref(),
             self.config.push_stall_budget,
             &order,
+            det.epoch(),
         );
         let launch_res = self.gpu.launch_loaded(lk, dims, params, Some(&sink));
         done.store(true, Ordering::Release);
@@ -557,6 +611,8 @@ impl Engine {
                 .filter(|d| matches!(d, Diagnostic::WorkerPanic { .. }))
                 .count() as u64,
             per_worker,
+            // Filled by `run_launch` once the stream tallies are updated.
+            per_stream: Vec::new(),
         };
         // `records` counts what the device logger produced, whether or
         // not it survived the trip to a worker.

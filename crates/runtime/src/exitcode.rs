@@ -1,0 +1,110 @@
+//! The process exit-code contract, pinned in one place.
+//!
+//! Every BARRACUDA entry point that reports a verdict through a process
+//! exit status — the one-shot CLI, the server's per-request verdicts as
+//! surfaced by the CLI client, CI scripts — uses this taxonomy. Codes
+//! must agree across modes: `barracuda check foo.ptx` and the same
+//! request served by `barracuda serve` map the same analysis to the same
+//! code (pinned by the serve crate's CLI tests).
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | clean: no races, no diagnostics, pipeline lossless |
+//! | 1    | races (or non-degradation diagnostics) found |
+//! | 2    | usage error (bad arguments, unreadable input) |
+//! | 3    | timeout or cancellation: the run did not complete |
+//! | 4    | degraded but completed: the pipeline lost records or a worker died, and the surviving analysis found nothing — a sound lower bound, **not** a clean bill |
+//!
+//! Races dominate degradation: a degraded run that still found races
+//! exits 1 (the finding is real regardless of what was lost). Degradation
+//! dominates cleanliness: a lossy run that found nothing must not exit 0,
+//! because the evidence for "clean" is incomplete.
+
+use crate::analysis::Analysis;
+use crate::Error;
+use barracuda_simt::SimError;
+
+/// No races, no diagnostics, lossless pipeline.
+pub const CLEAN: u8 = 0;
+/// Races (or non-degradation diagnostics) were found.
+pub const RACES: u8 = 1;
+/// Usage error: bad arguments or unreadable input.
+pub const USAGE: u8 = 2;
+/// The run did not complete: step-budget timeout, wall-clock deadline,
+/// or cooperative cancellation.
+pub const TIMEOUT: u8 = 3;
+/// The run completed degraded (lost records / dead worker) and found no
+/// races: a sound lower bound, not a clean verdict.
+pub const DEGRADED: u8 = 4;
+
+/// The exit code for a completed analysis.
+pub fn for_analysis(analysis: &Analysis) -> u8 {
+    if analysis.race_count() > 0 {
+        RACES
+    } else if analysis.is_degraded() {
+        DEGRADED
+    } else if analysis.is_clean() {
+        CLEAN
+    } else {
+        // Diagnostics that are findings (not degradation), e.g. barrier
+        // divergence surfaced as a diagnostic.
+        RACES
+    }
+}
+
+/// The exit code for a run that failed with `err`.
+pub fn for_error(err: &Error) -> u8 {
+    match err {
+        Error::Sim(SimError::Timeout { .. }) | Error::Sim(SimError::Cancelled { .. }) => TIMEOUT,
+        _ => USAGE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalysisStats;
+    use barracuda_core::{AccessType, Diagnostic, RaceClass, RaceReport};
+    use barracuda_trace::{MemSpace, Tid};
+
+    fn a(races: usize, diags: Vec<Diagnostic>) -> Analysis {
+        let race = RaceReport {
+            space: MemSpace::Global,
+            block: None,
+            addr: 0,
+            current: (Tid(0), AccessType::Write),
+            previous: (Tid(1), AccessType::Write),
+            class: RaceClass::InterBlock,
+        };
+        Analysis::new(vec![race; races], diags, AnalysisStats::default())
+    }
+
+    #[test]
+    fn taxonomy() {
+        assert_eq!(for_analysis(&a(0, vec![])), CLEAN);
+        assert_eq!(for_analysis(&a(2, vec![])), RACES);
+        let lost = Diagnostic::LostRecords {
+            dropped: 5,
+            corrupt: 0,
+        };
+        assert_eq!(for_analysis(&a(0, vec![lost.clone()])), DEGRADED);
+        // Races dominate degradation.
+        assert_eq!(for_analysis(&a(1, vec![lost])), RACES);
+    }
+
+    #[test]
+    fn error_codes() {
+        assert_eq!(
+            for_error(&Error::Sim(SimError::Timeout { steps: 9 })),
+            TIMEOUT
+        );
+        assert_eq!(
+            for_error(&Error::Sim(SimError::Cancelled { steps: 9 })),
+            TIMEOUT
+        );
+        assert_eq!(
+            for_error(&Error::Sim(SimError::UnknownKernel("k".into()))),
+            USAGE
+        );
+    }
+}

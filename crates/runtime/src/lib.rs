@@ -55,11 +55,12 @@ mod analysis;
 mod config;
 mod device;
 mod engine;
+pub mod exitcode;
 mod session;
 mod sink;
 pub mod statsjson;
 
-pub use analysis::{Analysis, AnalysisStats, PipelineStats, WorkerTelemetry};
+pub use analysis::{Analysis, AnalysisStats, PipelineStats, StreamTelemetry, WorkerTelemetry};
 pub use config::{BarracudaConfig, DetectionMode};
 pub use device::StreamId;
 pub use engine::{Engine, LaunchSummary};
@@ -68,7 +69,7 @@ pub use session::{Barracuda, KernelRun};
 pub use barracuda_core::{Diagnostic, RaceClass, RaceReport};
 pub use barracuda_instrument::{InstrumentOptions, InstrumentStats};
 pub use barracuda_simt::{DevicePtr, GpuConfig, MemoryModel, ParamValue, SimError};
-pub use barracuda_trace::{ConsumerStall, FaultPlan, GridDims, HostOp, WorkerPanic};
+pub use barracuda_trace::{CancelToken, ConsumerStall, FaultPlan, GridDims, HostOp, WorkerPanic};
 
 use std::fmt;
 

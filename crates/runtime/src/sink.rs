@@ -20,6 +20,10 @@ pub(crate) struct PipelineSink<'a> {
     queues: &'a QueueSet,
     plan: Option<&'a FaultPlan>,
     stall_budget: u64,
+    /// Launch epoch, mixed into the queue-affinity hash so consecutive
+    /// launches spread their blocks across different queues (per-stream
+    /// fairness under the serving workload; see [`QueueSet::index_for`]).
+    epoch: u32,
     /// Cross-queue ordering of synchronization records: a ticket is
     /// issued for every global-sync record that actually enqueues, so
     /// workers apply them in emission order.
@@ -38,11 +42,13 @@ impl<'a> PipelineSink<'a> {
         plan: Option<&'a FaultPlan>,
         stall_budget: u64,
         order: &'a SyncOrder,
+        epoch: u32,
     ) -> Self {
         PipelineSink {
             queues,
             plan,
             stall_budget,
+            epoch,
             order,
             seq: (0..queues.len()).map(|_| AtomicU64::new(0)).collect(),
             wedged: (0..queues.len()).map(|_| AtomicBool::new(false)).collect(),
@@ -58,7 +64,7 @@ impl<'a> PipelineSink<'a> {
 
 impl EventSink for PipelineSink<'_> {
     fn emit(&self, block: u64, mut record: Record) {
-        let qi = (block % self.queues.len() as u64) as usize;
+        let qi = self.queues.index_for(self.epoch, block);
         if let Some(plan) = self.plan {
             let seq = self.seq[qi].fetch_add(1, Ordering::Relaxed);
             if plan.should_drop(qi as u64, seq) {
@@ -116,6 +122,13 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// synchronization map in device emission order no matter how consumers
 /// are scheduled (or chaos-stalled).
 ///
+/// The loop polls the detector's cancel token between records (and inside
+/// every spin-wait, where a cancelled producer would otherwise leave it
+/// spinning forever). A cancelled worker marks its queue dead in the sync
+/// order before leaving so surviving workers are not wedged on its
+/// tickets, then returns its partial tallies; the launch itself fails
+/// with `Cancelled`, so the partial state is drained by the engine.
+///
 /// Returns `(events, format census, corrupt records skipped)`.
 pub(crate) fn drain_queue(
     qi: usize,
@@ -132,7 +145,11 @@ pub(crate) fn drain_queue(
     let mut corrupt = 0u64;
     let mut sync_idx = 0usize;
     let panic_at = plan.and_then(|p| p.panic_after(qi, nworkers));
-    loop {
+    'drain: loop {
+        if detector.is_cancelled() {
+            order.mark_dead(qi);
+            break 'drain;
+        }
         if let Some(rec) = q.try_pop() {
             processed += 1;
             if panic_at.is_some_and(|at| processed > at) {
@@ -150,11 +167,21 @@ pub(crate) fn drain_queue(
                     if let Some(t) = order.ticket(qi, sync_idx) {
                         break t;
                     }
+                    if detector.is_cancelled() {
+                        order.mark_dead(qi);
+                        break 'drain;
+                    }
                     std::hint::spin_loop();
                     std::thread::yield_now();
                 };
                 sync_idx += 1;
                 while !order.is_turn(ticket) {
+                    if detector.is_cancelled() {
+                        // mark_dead skips the held ticket too, so the
+                        // turn we abandon cannot wedge a peer.
+                        order.mark_dead(qi);
+                        break 'drain;
+                    }
                     std::hint::spin_loop();
                     std::thread::yield_now();
                 }

@@ -199,6 +199,18 @@ pub fn to_json(a: &Analysis) -> String {
             w.panicked,
         );
     }
+    s.push_str("],\"per_stream\":[");
+    for (i, t) in p.per_stream.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"stream\":{},\"launches\":{},\"records\":{},\"dropped\":{},\
+             \"stall_cycles\":{},\"peak_depth\":{}}}",
+            t.stream, t.launches, t.records, t.dropped, t.stall_cycles, t.peak_depth,
+        );
+    }
     s.push_str("]}}}");
     s
 }
@@ -410,7 +422,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::{AnalysisStats, PipelineStats, WorkerTelemetry};
+    use crate::analysis::{AnalysisStats, PipelineStats, StreamTelemetry, WorkerTelemetry};
     use crate::Analysis;
     use barracuda_core::{AccessType, RaceReport};
     use barracuda_trace::{MemSpace, Tid};
@@ -452,6 +464,14 @@ mod tests {
                         ..WorkerTelemetry::default()
                     },
                 ],
+                per_stream: vec![StreamTelemetry {
+                    stream: 0,
+                    launches: 2,
+                    records: 128,
+                    dropped: 6,
+                    stall_cycles: 991,
+                    peak_depth: 37,
+                }],
             },
             ..AnalysisStats::default()
         };
@@ -503,6 +523,15 @@ mod tests {
         assert_eq!(workers.len(), 2);
         assert_eq!(workers[0].get("events").and_then(Json::as_u64), Some(120));
         assert_eq!(workers[1].get("panicked"), Some(&Json::Bool(true)));
+        let streams = p.get("per_stream").and_then(Json::as_arr).unwrap();
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].get("stream").and_then(Json::as_u64), Some(0));
+        assert_eq!(streams[0].get("launches").and_then(Json::as_u64), Some(2));
+        assert_eq!(streams[0].get("dropped").and_then(Json::as_u64), Some(6));
+        assert_eq!(
+            streams[0].get("peak_depth").and_then(Json::as_u64),
+            Some(37)
+        );
         let diags = j.get("diagnostics").and_then(Json::as_arr).unwrap();
         assert_eq!(diags.len(), 2);
         assert_eq!(

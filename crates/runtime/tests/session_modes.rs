@@ -379,4 +379,100 @@ fn persistent_pool_survives_a_panicked_launch() {
     let second = run(&mut bar, ctr);
     assert_eq!(second.stats().pipeline.worker_panics, 1);
     assert!(second.stats().pipeline.per_worker[1].events > 0);
+
+    // Stronger than liveness: with the faults cleared, the *same* engine
+    // must produce the exact verdict a fresh engine produces — the
+    // panicked launches left no queue residue, no stale sync tickets and
+    // no poisoned shadow behind. (A fresh buffer avoids carryover from
+    // the degraded launches; same-stream ordering covers the rest.)
+    bar.engine_mut().set_fault_plan(None);
+    let fresh_ctr = bar.gpu_mut().malloc(4);
+    let healed = bar
+        .check(&KernelRun {
+            source: &source,
+            kernel: "k",
+            dims: GridDims::new(32u32, 32u32),
+            params: &[ParamValue::Ptr(fresh_ctr)],
+        })
+        .unwrap();
+    assert!(!healed.is_degraded(), "{:?}", healed.diagnostics());
+    assert_eq!(healed.stats().pipeline.worker_panics, 0);
+    assert_eq!(healed.stats().pipeline.records_dropped, 0);
+
+    let mut baseline_cfg = chaos_config(FaultPlan::none());
+    baseline_cfg.fault_plan = None;
+    baseline_cfg.queue_capacity = 8;
+    baseline_cfg.push_stall_budget = 512;
+    let mut fresh = Barracuda::with_config(baseline_cfg);
+    let ctr2 = fresh.gpu_mut().malloc(4);
+    let baseline = fresh
+        .check(&KernelRun {
+            source: &source,
+            kernel: "k",
+            dims: GridDims::new(32u32, 32u32),
+            params: &[ParamValue::Ptr(ctr2)],
+        })
+        .unwrap();
+    assert_eq!(
+        healed.race_count(),
+        baseline.race_count(),
+        "post-panic engine must match a fresh engine's verdict"
+    );
+}
+
+#[test]
+fn per_stream_telemetry_tracks_each_streams_launches() {
+    use barracuda::{Engine, StreamId};
+    let source = racy_counter_src();
+    let mut cfg = chaos_config(FaultPlan::none());
+    cfg.fault_plan = None;
+    let mut eng = Engine::with_config(cfg);
+    let a_buf = eng.gpu_mut().malloc(4);
+    let b_buf = eng.gpu_mut().malloc(4);
+    let s1 = eng.create_stream();
+    let mut launch = |eng: &mut Engine, sid: StreamId, buf| {
+        eng.launch_async(
+            sid,
+            &KernelRun {
+                source: &source,
+                kernel: "k",
+                dims: GridDims::new(4u32, 32u32),
+                params: &[ParamValue::Ptr(buf)],
+            },
+        )
+        .unwrap()
+    };
+    // Two launches on the default stream, one on stream 1.
+    launch(&mut eng, StreamId::DEFAULT, a_buf);
+    launch(&mut eng, StreamId::DEFAULT, a_buf);
+    let last = launch(&mut eng, s1, b_buf);
+
+    let streams = &last.stats().pipeline.per_stream;
+    assert_eq!(streams.len(), 2, "{streams:?}");
+    assert_eq!(streams[0].stream, 0);
+    assert_eq!(streams[0].launches, 2);
+    assert!(streams[0].records > 0);
+    assert_eq!(streams[1].stream, s1.0);
+    assert_eq!(streams[1].launches, 1);
+    assert!(streams[1].records > 0);
+    // Lossless run: per-stream drop counters stay zero, and the peak
+    // depth observed by the later launch can only grow.
+    assert_eq!(streams[0].dropped + streams[1].dropped, 0);
+    assert!(streams[1].peak_depth >= 1);
+
+    // The JSON schema carries the same counters.
+    let doc = barracuda::statsjson::parse(&barracuda::statsjson::to_json(&last)).unwrap();
+    let js = doc
+        .get("stats")
+        .and_then(|s| s.get("pipeline"))
+        .and_then(|p| p.get("per_stream"))
+        .and_then(barracuda::statsjson::Json::as_arr)
+        .expect("per_stream array");
+    assert_eq!(js.len(), 2);
+    assert_eq!(
+        js[1]
+            .get("launches")
+            .and_then(barracuda::statsjson::Json::as_u64),
+        Some(1)
+    );
 }

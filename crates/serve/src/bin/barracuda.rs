@@ -7,16 +7,23 @@
 //!                 [--memory-model sc|kepler|maxwell] [--seed N]
 //!                 [--max-steps N] [--stats-json] [--chaos-stalls SEED]
 //! barracuda instrument <file.ptx> [--no-prune]
+//! barracuda serve --socket <path> [--queue-depth N] [--retry-after-ms N]
+//!                 [--default-deadline-ms N] [--chaos-panic-kernel NAME]
+//! barracuda client --socket <path> (<file.ptx> [check options]
+//!                 [--deadline-ms N] | --shutdown)
 //! ```
 //!
 //! `check` instruments the module, executes the kernel on the SIMT
 //! simulator and reports data races; `instrument` prints the rewritten
 //! PTX and the instrumentation statistics (the Fig. 9 numbers for one
-//! file).
+//! file). `serve` runs the detection server on a Unix socket; `client`
+//! submits one request to it (with rejected-submission retry) and exits
+//! with the verdict's code.
 //!
-//! Exit codes of `check`: `0` clean, `1` race or diagnostic, `2` usage /
-//! parse / simulation error, `3` simulation timeout (`--max-steps`
-//! exceeded).
+//! Exit codes follow the [`barracuda::exitcode`] taxonomy in **every**
+//! mode — `0` clean, `1` races/diagnostics, `2` usage error, `3`
+//! timeout or cancellation, `4` degraded-but-clean — so `barracuda
+//! check` and the same request served over a socket always agree.
 //!
 //! `--stats-json` prints one machine-readable JSON object (see
 //! `barracuda::statsjson`) with the verdict and the full pipeline
@@ -25,8 +32,8 @@
 //! synchronous mode, making it a quick self-check of pipeline robustness.
 
 use barracuda::{
-    Barracuda, BarracudaConfig, DetectionMode, FaultPlan, GpuConfig, InstrumentOptions, KernelRun,
-    MemoryModel,
+    exitcode, Barracuda, BarracudaConfig, DetectionMode, FaultPlan, GpuConfig, InstrumentOptions,
+    KernelRun, MemoryModel,
 };
 use barracuda_simt::ParamValue;
 use barracuda_trace::{Dim3, GridDims};
@@ -38,15 +45,20 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..], false),
         Some("trace") => cmd_check(&args[1..], true),
         Some("instrument") => cmd_instrument(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         _ => {
-            eprintln!("usage: barracuda <check|trace|instrument> <file.ptx> [options]");
+            eprintln!("usage: barracuda <check|trace|instrument|serve|client> [options]");
             eprintln!(
                 "       barracuda check k.ptx --kernel k --grid 2 --block 64 --param buf:1024"
             );
             eprintln!(
                 "       barracuda trace k.ptx ...   # print the decoded trace-operation stream"
             );
-            ExitCode::from(2)
+            eprintln!("       barracuda serve --socket /tmp/barracuda.sock");
+            eprintln!("       barracuda client --socket /tmp/barracuda.sock k.ptx --kernel k");
+            eprintln!("       barracuda client --socket /tmp/barracuda.sock --shutdown");
+            ExitCode::from(exitcode::USAGE)
         }
     }
 }
@@ -224,21 +236,21 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(exitcode::USAGE);
         }
     };
     let source = match std::fs::read_to_string(&cfg.file) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot read {}: {e}", cfg.file);
-            return ExitCode::from(2);
+            return ExitCode::from(exitcode::USAGE);
         }
     };
     let module = match barracuda_ptx::parse(&source) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(exitcode::USAGE);
         }
     };
     let kernel = if cfg.kernel.is_empty() {
@@ -246,7 +258,7 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
             Some(k) => k.name.clone(),
             None => {
                 eprintln!("error: module contains no kernels");
-                return ExitCode::from(2);
+                return ExitCode::from(exitcode::USAGE);
             }
         }
     } else {
@@ -278,19 +290,19 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
                 Ok(bytes) => params.push(ParamValue::Ptr(bar.gpu_mut().malloc(bytes))),
                 Err(e) => {
                     eprintln!("error: bad buffer size '{size}': {e}");
-                    return ExitCode::from(2);
+                    return ExitCode::from(exitcode::USAGE);
                 }
             },
             Some(("u32", v)) => match v.parse::<u32>() {
                 Ok(v) => params.push(ParamValue::U32(v)),
                 Err(e) => {
                     eprintln!("error: bad u32 '{v}': {e}");
-                    return ExitCode::from(2);
+                    return ExitCode::from(exitcode::USAGE);
                 }
             },
             _ => {
                 eprintln!("error: bad --param '{p}' (expected buf:<bytes> or u32:<value>)");
-                return ExitCode::from(2);
+                return ExitCode::from(exitcode::USAGE);
             }
         }
     }
@@ -308,7 +320,7 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::from(2)
+                ExitCode::from(exitcode::USAGE)
             }
         };
     }
@@ -330,7 +342,7 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(exitcode::USAGE);
             }
         }
     }
@@ -344,7 +356,7 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
                     "{}",
                     barracuda::statsjson::to_json_with_launches(&analysis, bar.engine().launches())
                 );
-                return ExitCode::from(u8::from(!analysis.is_clean()));
+                return ExitCode::from(exitcode::for_analysis(&analysis));
             }
             for d in analysis.diagnostics() {
                 println!("diagnostic: {d}");
@@ -374,15 +386,19 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
                     s.pipeline.worker_panics
                 );
             }
-            ExitCode::from(u8::from(!analysis.is_clean()))
+            ExitCode::from(exitcode::for_analysis(&analysis))
         }
-        Err(barracuda::Error::Sim(barracuda::SimError::Timeout { steps })) => {
-            eprintln!("error: timeout — execution exceeded {steps} steps");
-            ExitCode::from(3)
+        Err(
+            e @ barracuda::Error::Sim(
+                barracuda::SimError::Timeout { .. } | barracuda::SimError::Cancelled { .. },
+            ),
+        ) => {
+            eprintln!("error: timeout — {e}");
+            ExitCode::from(exitcode::for_error(&e))
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            ExitCode::from(exitcode::USAGE)
         }
     }
 }
@@ -396,26 +412,26 @@ fn cmd_instrument(args: &[String]) -> ExitCode {
             other if !other.starts_with("--") => file = other.to_string(),
             other => {
                 eprintln!("error: unknown argument '{other}'");
-                return ExitCode::from(2);
+                return ExitCode::from(exitcode::USAGE);
             }
         }
     }
     if file.is_empty() {
         eprintln!("error: missing PTX file");
-        return ExitCode::from(2);
+        return ExitCode::from(exitcode::USAGE);
     }
     let source = match std::fs::read_to_string(&file) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot read {file}: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(exitcode::USAGE);
         }
     };
     let module = match barracuda_ptx::parse(&source) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(exitcode::USAGE);
         }
     };
     let opts = if prune {
@@ -439,4 +455,207 @@ fn cmd_instrument(args: &[String]) -> ExitCode {
         stats.standalone_atomics
     );
     ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use barracuda_serve::{serve_socket, ServerConfig};
+    let mut socket = String::new();
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let r: Result<(), String> = (|| {
+            match a.as_str() {
+                "--socket" => socket = value("--socket")?,
+                "--queue-depth" => {
+                    config.queue_depth = value("--queue-depth")?
+                        .parse()
+                        .map_err(|e| format!("bad queue depth: {e}"))?;
+                }
+                "--retry-after-ms" => {
+                    config.retry_after_ms = value("--retry-after-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad retry-after: {e}"))?;
+                }
+                "--default-deadline-ms" => {
+                    config.default_deadline_ms = Some(
+                        value("--default-deadline-ms")?
+                            .parse()
+                            .map_err(|e| format!("bad deadline: {e}"))?,
+                    );
+                }
+                "--chaos-panic-kernel" => {
+                    config.chaos_panic_kernel = Some(value("--chaos-panic-kernel")?);
+                }
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("error: {e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    }
+    if socket.is_empty() {
+        eprintln!("error: serve requires --socket <path>");
+        return ExitCode::from(exitcode::USAGE);
+    }
+    match serve_socket(std::path::Path::new(&socket), config) {
+        Ok(stats) => {
+            eprintln!(
+                "server: {} session(s), {} accepted, {} completed, {} rejected, \
+                 {} timeout(s), {} quarantine(s), {} dropped at shutdown",
+                stats.sessions,
+                stats.accepted,
+                stats.completed,
+                stats.rejected,
+                stats.timeouts,
+                stats.quarantines,
+                stats.dropped_on_shutdown
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(exitcode::USAGE)
+        }
+    }
+}
+
+fn cmd_client(args: &[String]) -> ExitCode {
+    use barracuda_serve::{
+        CheckRequest, Client, ParamSpec, Request, Response, RetryPolicy, SocketClient,
+    };
+    let mut socket = String::new();
+    let mut shutdown = false;
+    let mut deadline_ms: Option<u64> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(v) => socket = v.clone(),
+                None => {
+                    eprintln!("error: --socket requires a value");
+                    return ExitCode::from(exitcode::USAGE);
+                }
+            },
+            "--shutdown" => shutdown = true,
+            "--deadline-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => deadline_ms = Some(v),
+                None => {
+                    eprintln!("error: --deadline-ms requires a number");
+                    return ExitCode::from(exitcode::USAGE);
+                }
+            },
+            other => rest.push(other.to_string()),
+        }
+    }
+    if socket.is_empty() {
+        eprintln!("error: client requires --socket <path>");
+        return ExitCode::from(exitcode::USAGE);
+    }
+    let mut conn = match SocketClient::connect(std::path::Path::new(&socket)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {socket}: {e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    if shutdown {
+        return match conn.roundtrip(&Request::Shutdown) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(exitcode::USAGE)
+            }
+        };
+    }
+    // Reuse the one-shot parser for the kernel/grid/param flags.
+    let cfg = match parse_check_args(&rest) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let source = match std::fs::read_to_string(&cfg.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", cfg.file);
+            return ExitCode::from(exitcode::USAGE);
+        }
+    };
+    let mut params = Vec::new();
+    for p in &cfg.params {
+        match p.split_once(':') {
+            Some(("buf", size)) => match size.parse::<u64>() {
+                Ok(bytes) => params.push(ParamSpec::Buf(bytes)),
+                Err(e) => {
+                    eprintln!("error: bad buffer size '{size}': {e}");
+                    return ExitCode::from(exitcode::USAGE);
+                }
+            },
+            Some(("u32", v)) => match v.parse::<u32>() {
+                Ok(v) => params.push(ParamSpec::U32(v)),
+                Err(e) => {
+                    eprintln!("error: bad u32 '{v}': {e}");
+                    return ExitCode::from(exitcode::USAGE);
+                }
+            },
+            _ => {
+                eprintln!("error: bad --param '{p}' (expected buf:<bytes> or u32:<value>)");
+                return ExitCode::from(exitcode::USAGE);
+            }
+        }
+    }
+    let req = CheckRequest {
+        source,
+        kernel: cfg.kernel,
+        grid: (cfg.grid.x, cfg.grid.y, cfg.grid.z),
+        block: (cfg.block.x, cfg.block.y, cfg.block.z),
+        params,
+        max_steps: cfg.max_steps,
+        deadline_ms,
+        chaos_stalls: cfg.chaos_stalls,
+    };
+    let mut client = Client::new(conn, RetryPolicy::default());
+    let resp = client.check(&req);
+    match &resp {
+        Response::Done(b) => {
+            for r in &b.reports {
+                println!("{r}");
+            }
+            println!(
+                "{} race(s); {} records, {} events{}",
+                b.races,
+                b.records,
+                b.events,
+                if b.degraded { " (degraded)" } else { "" }
+            );
+        }
+        Response::Timeout { deadline, steps } => {
+            eprintln!(
+                "error: {} after {steps} steps",
+                if *deadline {
+                    "deadline exceeded"
+                } else {
+                    "step budget exceeded"
+                }
+            );
+        }
+        Response::Degraded { message } => {
+            eprintln!("error: engine quarantined: {message}");
+        }
+        Response::Error { message } => eprintln!("error: {message}"),
+        Response::Rejected { retry_after_ms } => {
+            eprintln!("error: overloaded (retry after {retry_after_ms} ms)");
+        }
+        Response::ShuttingDown => eprintln!("error: server is shutting down"),
+    }
+    ExitCode::from(resp.exit_code())
 }

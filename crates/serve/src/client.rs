@@ -1,0 +1,198 @@
+//! Client-side retry with exponential backoff and deterministic jitter.
+//!
+//! [`Response::Rejected`] is the server shedding load; a well-behaved
+//! client backs off and resubmits rather than hammering the admission
+//! queue. [`Client`] wraps any transport (an in-process [`Session`] or
+//! the Unix-socket connection) and retries rejected submissions under a
+//! [`RetryPolicy`]: delay `max(retry_after, base × 2^attempt)` capped at
+//! `cap`, plus up to 50% deterministic jitter derived from the policy
+//! seed and the attempt number (SplitMix64, the repo's standard PRNG),
+//! so a fleet of clients born at the same instant does not retry in
+//! lockstep — and a test replaying the same seed sees the same delays.
+
+use crate::proto::{CheckRequest, Response};
+use crate::server::Session;
+use std::time::Duration;
+
+/// Retry policy for rejected submissions.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// First-retry backoff, in milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub cap_ms: u64,
+    /// Submission attempts before giving up and returning the last
+    /// rejection (1 = no retries).
+    pub max_attempts: u32,
+    /// Jitter seed; same seed, same delays.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_ms: 5,
+            cap_ms: 500,
+            max_attempts: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based), honouring the
+    /// server's `retry_after_ms` hint as a floor.
+    pub fn delay(&self, attempt: u32, retry_after_ms: u64) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(self.cap_ms)
+            .max(retry_after_ms);
+        // Up to 50% additive jitter, deterministic in (seed, attempt).
+        let jitter = splitmix(self.seed ^ u64::from(attempt)) % (exp / 2).max(1);
+        Duration::from_millis(exp + jitter)
+    }
+}
+
+/// Anything a request can be submitted to: the in-process session or a
+/// socket connection.
+pub trait Transport {
+    /// Submits one request and blocks for its verdict.
+    fn submit(&mut self, req: &CheckRequest) -> Response;
+}
+
+impl Transport for Session {
+    fn submit(&mut self, req: &CheckRequest) -> Response {
+        Session::submit(self, req.clone())
+    }
+}
+
+/// A retrying client over any [`Transport`].
+#[derive(Debug)]
+pub struct Client<T> {
+    transport: T,
+    policy: RetryPolicy,
+    retries: u64,
+}
+
+impl<T: Transport> Client<T> {
+    /// A client over `transport` with the given retry policy.
+    pub fn new(transport: T, policy: RetryPolicy) -> Self {
+        Client {
+            transport,
+            policy,
+            retries: 0,
+        }
+    }
+
+    /// Submits, retrying rejections with exponential backoff + jitter.
+    /// Every non-`Rejected` response returns immediately; after
+    /// `max_attempts` rejections the last one is returned so the caller
+    /// sees the overload instead of a fabricated verdict.
+    pub fn check(&mut self, req: &CheckRequest) -> Response {
+        let mut last = Response::Rejected { retry_after_ms: 0 };
+        for attempt in 0..self.policy.max_attempts {
+            match self.transport.submit(req) {
+                Response::Rejected { retry_after_ms } => {
+                    last = Response::Rejected { retry_after_ms };
+                    self.retries += 1;
+                    if attempt + 1 < self.policy.max_attempts {
+                        std::thread::sleep(self.policy.delay(attempt, retry_after_ms));
+                    }
+                }
+                resp => return resp,
+            }
+        }
+        last
+    }
+
+    /// Rejections retried so far (backoff telemetry).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The underlying transport.
+    pub fn into_inner(self) -> T {
+        self.transport
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_are_capped_and_honour_the_hint() {
+        let p = RetryPolicy {
+            base_ms: 4,
+            cap_ms: 64,
+            max_attempts: 8,
+            seed: 1,
+        };
+        let d0 = p.delay(0, 0).as_millis();
+        let d3 = p.delay(3, 0).as_millis();
+        assert!(d0 >= 4 && d0 < 8, "base + <50% jitter, got {d0}");
+        assert!(d3 >= 32 && d3 < 48, "4*2^3 + jitter, got {d3}");
+        // The cap bounds the exponent; jitter stays proportional.
+        assert!(p.delay(20, 0).as_millis() < 96);
+        // The server hint floors the delay.
+        assert!(p.delay(0, 40).as_millis() >= 40);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay(2, 0), p.delay(2, 0));
+        let q = RetryPolicy {
+            seed: p.seed + 1,
+            ..p.clone()
+        };
+        // Different seeds almost surely jitter differently at some attempt.
+        assert!((0..8).any(|a| p.delay(a, 0) != q.delay(a, 0)));
+    }
+
+    struct Flaky {
+        rejections_left: u32,
+    }
+
+    impl Transport for Flaky {
+        fn submit(&mut self, _req: &CheckRequest) -> Response {
+            if self.rejections_left > 0 {
+                self.rejections_left -= 1;
+                Response::Rejected { retry_after_ms: 0 }
+            } else {
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    #[test]
+    fn client_retries_until_accepted_or_exhausted() {
+        let policy = RetryPolicy {
+            base_ms: 0,
+            cap_ms: 0,
+            max_attempts: 5,
+            seed: 9,
+        };
+        let mut c = Client::new(Flaky { rejections_left: 3 }, policy.clone());
+        let req = CheckRequest::new("", "", 1, 32);
+        assert_eq!(c.check(&req), Response::ShuttingDown);
+        assert_eq!(c.retries(), 3);
+
+        let mut c = Client::new(
+            Flaky {
+                rejections_left: 99,
+            },
+            policy,
+        );
+        assert!(matches!(c.check(&req), Response::Rejected { .. }));
+        assert_eq!(c.retries(), 5, "every attempt was rejected");
+    }
+}

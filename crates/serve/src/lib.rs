@@ -1,0 +1,37 @@
+//! BARRACUDA as a service: a long-running detection server over
+//! persistent [`Engine`](barracuda::Engine)s.
+//!
+//! The paper's tool attaches to one CUDA process; this crate serves
+//! *many* clients from one resident process, the way a CI fleet or an
+//! IDE integration would use a race detector. The pieces:
+//!
+//! * [`server`] — per-client session isolation (an engine per session),
+//!   bounded admission queues with `Retry-After`-style load shedding,
+//!   wall-clock deadlines enforced by a watchdog that cancels launches
+//!   *cooperatively*, panic quarantine that rebuilds a poisoned engine,
+//!   and graceful shutdown that reports dropped work honestly.
+//! * [`proto`] — the typed request/verdict protocol and its
+//!   newline-JSON wire encoding (no external dependencies).
+//! * [`client`] — retry with exponential backoff and deterministic
+//!   jitter for rejected submissions.
+//! * [`socket`] — a Unix-socket transport (one connection = one
+//!   session) used by the `barracuda serve` / `barracuda client`
+//!   subcommands.
+//!
+//! Faults are first-class: requests can carry a stall-only
+//! [`FaultPlan`](barracuda::FaultPlan) seed (lossless by construction,
+//! so verdicts must not change — the chaos soak test pins parity
+//! against direct engine calls), and the server config can inject
+//! worker-level panics to exercise quarantine deterministically.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod socket;
+
+pub use client::{Client, RetryPolicy, Transport};
+pub use proto::{CheckRequest, DoneBody, ParamSpec, Request, Response};
+pub use server::{Server, ServerConfig, ServerStats, Session};
+pub use socket::{serve_socket, SocketClient};

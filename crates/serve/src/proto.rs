@@ -1,0 +1,454 @@
+//! The request/response protocol of the detection service.
+//!
+//! One request checks one kernel launch; the response is the *verdict*
+//! of that launch — completed analysis, structured refusal (queue full,
+//! shutting down), or structured failure (deadline exceeded, engine
+//! quarantined). Every outcome a client can observe is a typed variant:
+//! the server never answers with a bare error string for conditions a
+//! client is expected to handle programmatically.
+//!
+//! The wire encoding (used by the Unix-socket transport and the CLI
+//! client) is newline-delimited JSON, hand-rolled over
+//! [`barracuda::statsjson`]'s emitter/parser in the same no-external-deps
+//! spirit as the rest of the repo. In-process clients skip the encoding
+//! entirely and exchange these types over channels.
+
+use barracuda::statsjson::{parse, Json};
+use std::fmt::Write as _;
+
+/// A kernel parameter, by value or as a server-allocated device buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamSpec {
+    /// Allocate a zero-initialized device buffer of this many bytes and
+    /// pass its address.
+    Buf(u64),
+    /// Pass a `u32` scalar.
+    U32(u32),
+}
+
+/// A request to check one kernel launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckRequest {
+    /// PTX source of the module.
+    pub source: String,
+    /// Kernel entry name; empty selects the module's first kernel.
+    pub kernel: String,
+    /// Grid dimensions `(x, y, z)`.
+    pub grid: (u32, u32, u32),
+    /// Block dimensions `(x, y, z)`.
+    pub block: (u32, u32, u32),
+    /// Kernel parameters.
+    pub params: Vec<ParamSpec>,
+    /// Step budget for this request (`None` = the server's default).
+    pub max_steps: Option<u64>,
+    /// Wall-clock deadline in milliseconds (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
+    /// Stall-only chaos seed for this request (`None` = no injection).
+    /// Stall-only plans are lossless, so a seeded request must still
+    /// produce the fault-free verdict — the soak test pins this.
+    pub chaos_stalls: Option<u64>,
+}
+
+impl CheckRequest {
+    /// A minimal request with 1-D grid/block and no limits.
+    pub fn new(source: &str, kernel: &str, grid_x: u32, block_x: u32) -> Self {
+        CheckRequest {
+            source: source.to_string(),
+            kernel: kernel.to_string(),
+            grid: (grid_x, 1, 1),
+            block: (block_x, 1, 1),
+            params: Vec::new(),
+            max_steps: None,
+            deadline_ms: None,
+            chaos_stalls: None,
+        }
+    }
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Check one kernel launch.
+    Check(CheckRequest),
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// The completed-analysis payload of [`Response::Done`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoneBody {
+    /// Distinct racing locations found.
+    pub races: u64,
+    /// True when the pipeline lost records or a worker died — the
+    /// verdict is a sound lower bound, not a complete analysis.
+    pub degraded: bool,
+    /// Human-readable race reports and diagnostics.
+    pub reports: Vec<String>,
+    /// The exit-code taxonomy verdict ([`barracuda::exitcode`]): the
+    /// one-shot CLI and the server agree by construction because both
+    /// call the same mapping.
+    pub exit_code: u8,
+    /// Device log records the launch produced.
+    pub records: u64,
+    /// Events the detector processed.
+    pub events: u64,
+}
+
+/// A server→client verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The analysis completed (possibly degraded — see the body).
+    Done(DoneBody),
+    /// Admission control refused the request: the session's queue is
+    /// full. Retry after the hinted delay.
+    Rejected {
+        /// Backoff hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request was cancelled before completing: wall-clock deadline
+    /// (`deadline = true`) or step budget (`deadline = false`).
+    Timeout {
+        /// True for a wall-clock deadline, false for a step budget.
+        deadline: bool,
+        /// Steps executed before the run stopped.
+        steps: u64,
+    },
+    /// The engine crashed serving this request and was quarantined and
+    /// rebuilt; the session stays usable. The analysis was lost.
+    Degraded {
+        /// The panic message, for diagnostics.
+        message: String,
+    },
+    /// Usage-class failure (parse error, unknown kernel, bad launch).
+    Error {
+        /// The failure description.
+        message: String,
+    },
+    /// The server is shutting down and did not run the request.
+    ShuttingDown,
+}
+
+impl Response {
+    /// The exit-code taxonomy verdict for this response (what the CLI
+    /// client exits with).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Response::Done(b) => b.exit_code,
+            Response::Timeout { .. } => barracuda::exitcode::TIMEOUT,
+            Response::Degraded { .. } => barracuda::exitcode::DEGRADED,
+            Response::Rejected { .. } | Response::Error { .. } | Response::ShuttingDown => {
+                barracuda::exitcode::USAGE
+            }
+        }
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Encodes a request as one line of JSON (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    let mut s = String::with_capacity(256);
+    match req {
+        Request::Shutdown => s.push_str("{\"op\":\"shutdown\"}"),
+        Request::Check(c) => {
+            s.push_str("{\"op\":\"check\",\"source\":");
+            escape(&c.source, &mut s);
+            s.push_str(",\"kernel\":");
+            escape(&c.kernel, &mut s);
+            let _ = write!(
+                s,
+                ",\"grid\":[{},{},{}],\"block\":[{},{},{}],\"params\":[",
+                c.grid.0, c.grid.1, c.grid.2, c.block.0, c.block.1, c.block.2
+            );
+            for (i, p) in c.params.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                match p {
+                    ParamSpec::Buf(bytes) => {
+                        let _ = write!(s, "{{\"buf\":{bytes}}}");
+                    }
+                    ParamSpec::U32(v) => {
+                        let _ = write!(s, "{{\"u32\":{v}}}");
+                    }
+                }
+            }
+            s.push(']');
+            if let Some(ms) = c.max_steps {
+                let _ = write!(s, ",\"max_steps\":{ms}");
+            }
+            if let Some(ms) = c.deadline_ms {
+                let _ = write!(s, ",\"deadline_ms\":{ms}");
+            }
+            if let Some(seed) = c.chaos_stalls {
+                let _ = write!(s, ",\"chaos_stalls\":{seed}");
+            }
+            s.push('}');
+        }
+    }
+    s
+}
+
+/// Encodes a response as one line of JSON (no trailing newline).
+pub fn encode_response(resp: &Response) -> String {
+    let mut s = String::with_capacity(128);
+    match resp {
+        Response::Done(b) => {
+            let _ = write!(
+                s,
+                "{{\"verdict\":\"done\",\"races\":{},\"degraded\":{},\"exit_code\":{},\
+                 \"records\":{},\"events\":{},\"reports\":[",
+                b.races, b.degraded, b.exit_code, b.records, b.events
+            );
+            for (i, r) in b.reports.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                escape(r, &mut s);
+            }
+            s.push_str("]}");
+        }
+        Response::Rejected { retry_after_ms } => {
+            let _ = write!(
+                s,
+                "{{\"verdict\":\"rejected\",\"retry_after_ms\":{retry_after_ms}}}"
+            );
+        }
+        Response::Timeout { deadline, steps } => {
+            let _ = write!(
+                s,
+                "{{\"verdict\":\"timeout\",\"deadline\":{deadline},\"steps\":{steps}}}"
+            );
+        }
+        Response::Degraded { message } => {
+            s.push_str("{\"verdict\":\"degraded\",\"message\":");
+            escape(message, &mut s);
+            s.push('}');
+        }
+        Response::Error { message } => {
+            s.push_str("{\"verdict\":\"error\",\"message\":");
+            escape(message, &mut s);
+            s.push('}');
+        }
+        Response::ShuttingDown => s.push_str("{\"verdict\":\"shutting_down\"}"),
+    }
+    s
+}
+
+fn dim3(j: &Json, key: &str) -> Result<(u32, u32, u32), String> {
+    let arr = j
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array '{key}'"))?;
+    let get = |i: usize| -> Result<u32, String> {
+        arr.get(i)
+            .and_then(Json::as_u64)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| format!("bad '{key}[{i}]'"))
+    };
+    Ok((get(0)?, get(1)?, get(2)?))
+}
+
+/// Decodes one line of JSON into a request.
+///
+/// # Errors
+///
+/// Returns a message for syntactically valid JSON that is not a
+/// well-formed request, and for syntax errors.
+pub fn decode_request(line: &str) -> Result<Request, String> {
+    let j = parse(line)?;
+    match j.get("op").and_then(Json::as_str) {
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some("check") => {
+            let field = |k: &str| {
+                j.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("missing string '{k}'"))
+            };
+            let mut params = Vec::new();
+            for p in j.get("params").and_then(Json::as_arr).unwrap_or(&[]) {
+                if let Some(bytes) = p.get("buf").and_then(Json::as_u64) {
+                    params.push(ParamSpec::Buf(bytes));
+                } else if let Some(v) = p.get("u32").and_then(Json::as_u64) {
+                    let v = u32::try_from(v).map_err(|_| "u32 param out of range".to_string())?;
+                    params.push(ParamSpec::U32(v));
+                } else {
+                    return Err("bad param (expected {\"buf\":N} or {\"u32\":N})".to_string());
+                }
+            }
+            Ok(Request::Check(CheckRequest {
+                source: field("source")?,
+                kernel: field("kernel")?,
+                grid: dim3(&j, "grid")?,
+                block: dim3(&j, "block")?,
+                params,
+                max_steps: j.get("max_steps").and_then(Json::as_u64),
+                deadline_ms: j.get("deadline_ms").and_then(Json::as_u64),
+                chaos_stalls: j.get("chaos_stalls").and_then(Json::as_u64),
+            }))
+        }
+        _ => Err("missing or unknown 'op'".to_string()),
+    }
+}
+
+/// Decodes one line of JSON into a response.
+///
+/// # Errors
+///
+/// Returns a message for syntactically valid JSON that is not a
+/// well-formed response, and for syntax errors.
+pub fn decode_response(line: &str) -> Result<Response, String> {
+    let j = parse(line)?;
+    let num = |k: &str| -> Result<u64, String> {
+        j.get(k)
+            .and_then(Json::as_u64)
+            .ok_or(format!("missing number '{k}'"))
+    };
+    match j.get("verdict").and_then(Json::as_str) {
+        Some("done") => {
+            let mut reports = Vec::new();
+            for r in j.get("reports").and_then(Json::as_arr).unwrap_or(&[]) {
+                reports.push(
+                    r.as_str()
+                        .ok_or_else(|| "bad report entry".to_string())?
+                        .to_string(),
+                );
+            }
+            Ok(Response::Done(DoneBody {
+                races: num("races")?,
+                degraded: j
+                    .get("degraded")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing 'degraded'")?,
+                reports,
+                exit_code: u8::try_from(num("exit_code")?).map_err(|_| "bad exit_code")?,
+                records: num("records")?,
+                events: num("events")?,
+            }))
+        }
+        Some("rejected") => Ok(Response::Rejected {
+            retry_after_ms: num("retry_after_ms")?,
+        }),
+        Some("timeout") => Ok(Response::Timeout {
+            deadline: j
+                .get("deadline")
+                .and_then(Json::as_bool)
+                .ok_or("missing 'deadline'")?,
+            steps: num("steps")?,
+        }),
+        Some("degraded") => Ok(Response::Degraded {
+            message: j
+                .get("message")
+                .and_then(Json::as_str)
+                .ok_or("missing 'message'")?
+                .to_string(),
+        }),
+        Some("error") => Ok(Response::Error {
+            message: j
+                .get("message")
+                .and_then(Json::as_str)
+                .ok_or("missing 'message'")?
+                .to_string(),
+        }),
+        Some("shutting_down") => Ok(Response::ShuttingDown),
+        _ => Err("missing or unknown 'verdict'".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let req = Request::Check(CheckRequest {
+            source: ".version 4.3\n// \"quoted\"".to_string(),
+            kernel: "k".to_string(),
+            grid: (2, 1, 1),
+            block: (64, 2, 1),
+            params: vec![ParamSpec::Buf(1024), ParamSpec::U32(7)],
+            max_steps: Some(10_000),
+            deadline_ms: Some(250),
+            chaos_stalls: Some(42),
+        });
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        let s = Request::Shutdown;
+        assert_eq!(decode_request(&encode_request(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let all = [
+            Response::Done(DoneBody {
+                races: 3,
+                degraded: true,
+                reports: vec!["race at 0x40\nline2".to_string()],
+                exit_code: 1,
+                records: 100,
+                events: 99,
+            }),
+            Response::Rejected { retry_after_ms: 25 },
+            Response::Timeout {
+                deadline: true,
+                steps: 4096,
+            },
+            Response::Degraded {
+                message: "worker died: \"chaos\"".to_string(),
+            },
+            Response::Error {
+                message: "unknown kernel 'x'".to_string(),
+            },
+            Response::ShuttingDown,
+        ];
+        for r in all {
+            assert_eq!(decode_response(&encode_response(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(decode_request("{}").is_err());
+        assert!(decode_request("{\"op\":\"check\"}").is_err());
+        assert!(decode_request("not json").is_err());
+        assert!(decode_response("{\"verdict\":\"done\"}").is_err());
+        assert!(decode_response("{}").is_err());
+    }
+
+    #[test]
+    fn exit_codes_follow_the_taxonomy() {
+        use barracuda::exitcode;
+        assert_eq!(
+            Response::Timeout {
+                deadline: false,
+                steps: 1
+            }
+            .exit_code(),
+            exitcode::TIMEOUT
+        );
+        assert_eq!(
+            Response::Degraded {
+                message: String::new()
+            }
+            .exit_code(),
+            exitcode::DEGRADED
+        );
+        assert_eq!(Response::ShuttingDown.exit_code(), exitcode::USAGE);
+    }
+}

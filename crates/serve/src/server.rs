@@ -1,0 +1,552 @@
+//! The detection server: persistent [`Engine`]s behind admission control,
+//! per-request deadlines, crash quarantine and graceful shutdown.
+//!
+//! # Architecture
+//!
+//! Each [`Session`] owns a dedicated worker thread with its **own**
+//! [`Engine`]: sessions are fully isolated — one client's shadow state,
+//! module cache, streams and faults can never leak into another's
+//! verdicts. A session admits requests through a *bounded* queue; when
+//! the queue is full the request is refused immediately with
+//! [`Response::Rejected`] and a retry hint instead of queueing without
+//! bound (load shedding — the serving-path analogue of the record
+//! queues' bounded-stall `push_bounded`).
+//!
+//! A single **watchdog** thread enforces wall-clock deadlines: arming
+//! registers `(deadline, cancel token)` in a min-heap; when a deadline
+//! passes before the worker disarms it, the watchdog cancels the
+//! engine's token and the launch stops *cooperatively* — the simulator
+//! at its next scheduler slice, the detector workers between records —
+//! and the request resolves to [`Response::Timeout`]. The engine
+//! survives and serves the next request (each launch re-arms the token).
+//!
+//! A panic that escapes the engine during a request **quarantines** it:
+//! the worker catches the unwind, replaces the poisoned engine with a
+//! fresh one built from the same configuration, and answers
+//! [`Response::Degraded`] with the panic message. The session keeps
+//! serving; instrumentation caches rewarm on the next request.
+//!
+//! [`Server::shutdown`] is graceful and honest: new submissions are
+//! refused, the launch in flight on each session completes, and
+//! admitted-but-unstarted requests are answered
+//! [`Response::ShuttingDown`] and counted in
+//! [`ServerStats::dropped_on_shutdown`] — never silently discarded.
+
+use crate::proto::{CheckRequest, DoneBody, ParamSpec, Response};
+use barracuda::{BarracudaConfig, Engine, Error, FaultPlan, KernelRun, SimError};
+use barracuda_simt::ParamValue;
+use barracuda_trace::{CancelToken, Dim3, GridDims};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Engine configuration used by every session (each session gets its
+    /// own engine built from this template).
+    pub engine: BarracudaConfig,
+    /// Bounded depth of each session's admission queue; a full queue
+    /// refuses requests with [`Response::Rejected`].
+    pub queue_depth: usize,
+    /// The retry hint returned with a rejection, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Step budget applied when a request does not set one.
+    pub default_max_steps: u64,
+    /// Wall-clock deadline applied when a request does not set one
+    /// (`None` = no default deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// Server-level chaos hook: a request for this kernel name panics
+    /// inside the worker before launching, exercising the quarantine
+    /// path deterministically (the serving-layer counterpart of
+    /// [`FaultPlan`]'s worker panics, which the engine contains itself).
+    pub chaos_panic_kernel: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            engine: BarracudaConfig::default(),
+            queue_depth: 4,
+            retry_after_ms: 10,
+            default_max_steps: u64::MAX,
+            default_deadline_ms: None,
+            chaos_panic_kernel: None,
+        }
+    }
+}
+
+/// A snapshot of the server's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sessions created over the server's lifetime.
+    pub sessions: u64,
+    /// Requests admitted to a session queue.
+    pub accepted: u64,
+    /// Requests that completed with a verdict (including degraded ones).
+    pub completed: u64,
+    /// Requests refused by admission control (queue full).
+    pub rejected: u64,
+    /// Requests that timed out (step budget or wall-clock deadline).
+    pub timeouts: u64,
+    /// Engines quarantined and rebuilt after a panic.
+    pub quarantines: u64,
+    /// Admitted requests answered `ShuttingDown` during shutdown.
+    pub dropped_on_shutdown: u64,
+    /// Deadlines the watchdog actually fired (a deadline that resolves
+    /// after its launch completed is disarmed, not fired).
+    pub deadlines_fired: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    sessions: AtomicU64,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    timeouts: AtomicU64,
+    quarantines: AtomicU64,
+    dropped_on_shutdown: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    stats: Counters,
+}
+
+enum Job {
+    Check {
+        req: Box<CheckRequest>,
+        reply: mpsc::Sender<Response>,
+    },
+    /// Shutdown marker: drain the queue with `ShuttingDown` answers and
+    /// exit the worker loop.
+    Poison,
+}
+
+// ---------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct WatchState {
+    heap: BinaryHeap<Reverse<(Instant, u64)>>,
+    armed: HashMap<u64, CancelToken>,
+    next_id: u64,
+    fired: u64,
+    shutdown: bool,
+}
+
+/// The deadline watchdog: one thread, a min-heap of deadlines, and the
+/// cancel tokens to fire when they pass.
+#[derive(Debug)]
+struct Watchdog {
+    state: Arc<(Mutex<WatchState>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn spawn() -> Self {
+        let state = Arc::new((
+            Mutex::new(WatchState {
+                heap: BinaryHeap::new(),
+                armed: HashMap::new(),
+                next_id: 0,
+                fired: 0,
+                shutdown: false,
+            }),
+            Condvar::new(),
+        ));
+        let st = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*st;
+            let mut g = lock.lock().expect("watchdog state");
+            loop {
+                if g.shutdown {
+                    break;
+                }
+                let due = g.heap.peek().map(|Reverse((t, id))| (*t, *id));
+                match due {
+                    None => g = cv.wait(g).expect("watchdog state"),
+                    Some((t, id)) => {
+                        let now = Instant::now();
+                        if t <= now {
+                            g.heap.pop();
+                            // Disarmed entries stay in the heap as
+                            // tombstones; only armed ones fire.
+                            if let Some(tok) = g.armed.remove(&id) {
+                                tok.cancel();
+                                g.fired += 1;
+                            }
+                        } else {
+                            let (ng, _) = cv.wait_timeout(g, t - now).expect("watchdog state");
+                            g = ng;
+                        }
+                    }
+                }
+            }
+        });
+        Watchdog {
+            state,
+            handle: Some(handle),
+        }
+    }
+
+    /// Arms a deadline `after` from now for `token`; returns the guard
+    /// id to pass to [`Watchdog::disarm`].
+    fn arm(&self, after: Duration, token: CancelToken) -> u64 {
+        let (lock, cv) = &*self.state;
+        let mut g = lock.lock().expect("watchdog state");
+        let id = g.next_id;
+        g.next_id += 1;
+        g.heap.push(Reverse((Instant::now() + after, id)));
+        g.armed.insert(id, token);
+        cv.notify_one();
+        id
+    }
+
+    /// Disarms a deadline; returns true when it had not fired yet.
+    fn disarm(&self, id: u64) -> bool {
+        let (lock, _) = &*self.state;
+        lock.lock()
+            .expect("watchdog state")
+            .armed
+            .remove(&id)
+            .is_some()
+    }
+
+    fn fired(&self) -> u64 {
+        let (lock, _) = &*self.state;
+        lock.lock().expect("watchdog state").fired
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.state;
+        lock.lock().expect("watchdog state").shutdown = true;
+        cv.notify_one();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------
+
+/// A client handle to one isolated session (its own engine, queue and
+/// worker thread). Cheap to clone; all clones share the session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    tx: mpsc::SyncSender<Job>,
+    shared: Arc<Shared>,
+}
+
+impl Session {
+    /// Submits a request and blocks for its verdict. Admission is
+    /// non-blocking: a full session queue refuses immediately with
+    /// [`Response::Rejected`] and a retry hint rather than stalling the
+    /// caller (clients with a retry policy back off and resubmit —
+    /// see [`crate::client::Client`]).
+    pub fn submit(&self, req: CheckRequest) -> Response {
+        if self.shared.shutting_down.load(Ordering::Acquire) {
+            return Response::ShuttingDown;
+        }
+        let (reply, verdict) = mpsc::channel();
+        match self.tx.try_send(Job::Check {
+            req: Box::new(req),
+            reply,
+        }) {
+            Ok(()) => {
+                self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                verdict.recv().unwrap_or(Response::ShuttingDown)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Response::Rejected {
+                    retry_after_ms: self.shared.config.retry_after_ms,
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => Response::ShuttingDown,
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Runs one admitted request on the session's engine. Never panics
+/// outward on its own: engine panics are the caller's `catch_unwind`.
+fn run_check(engine: &mut Engine, shared: &Shared, req: &CheckRequest) -> Response {
+    if shared
+        .config
+        .chaos_panic_kernel
+        .as_deref()
+        .is_some_and(|k| k == req.kernel)
+    {
+        panic!("chaos: injected server panic for kernel '{}'", req.kernel);
+    }
+    let kernel = if req.kernel.is_empty() {
+        match barracuda_ptx::parse(&req.source) {
+            Ok(m) => match m.kernels.first() {
+                Some(k) => k.name.clone(),
+                None => {
+                    return Response::Error {
+                        message: "module contains no kernels".to_string(),
+                    }
+                }
+            },
+            Err(e) => {
+                return Response::Error {
+                    message: e.to_string(),
+                }
+            }
+        }
+    } else {
+        req.kernel.clone()
+    };
+    let mut params = Vec::with_capacity(req.params.len());
+    for p in &req.params {
+        match p {
+            ParamSpec::Buf(bytes) => params.push(ParamValue::Ptr(engine.gpu_mut().malloc(*bytes))),
+            ParamSpec::U32(v) => params.push(ParamValue::U32(*v)),
+        }
+    }
+    let (gx, gy, gz) = req.grid;
+    let (bx, by, bz) = req.block;
+    let dims = GridDims::new(
+        Dim3 {
+            x: gx,
+            y: gy,
+            z: gz,
+        },
+        Dim3 {
+            x: bx,
+            y: by,
+            z: bz,
+        },
+    );
+    let run = KernelRun {
+        source: &req.source,
+        kernel: &kernel,
+        dims,
+        params: &params,
+    };
+    match engine.check(&run) {
+        Ok(analysis) => {
+            let mut reports: Vec<String> = analysis
+                .diagnostics()
+                .iter()
+                .map(|d| d.to_string())
+                .collect();
+            reports.extend(analysis.races().iter().map(|r| r.to_string()));
+            Response::Done(DoneBody {
+                races: analysis.race_count() as u64,
+                degraded: analysis.is_degraded(),
+                reports,
+                exit_code: barracuda::exitcode::for_analysis(&analysis),
+                records: analysis.stats().records,
+                events: analysis.stats().events,
+            })
+        }
+        Err(Error::Sim(SimError::Timeout { steps })) => Response::Timeout {
+            deadline: false,
+            steps,
+        },
+        Err(Error::Sim(SimError::Cancelled { steps })) => Response::Timeout {
+            deadline: true,
+            steps,
+        },
+        Err(e) => Response::Error {
+            message: e.to_string(),
+        },
+    }
+}
+
+fn serve_one(
+    engine: &mut Engine,
+    shared: &Shared,
+    watchdog: &Watchdog,
+    req: &CheckRequest,
+) -> Response {
+    engine.set_max_steps(req.max_steps.unwrap_or(shared.config.default_max_steps));
+    engine.set_fault_plan(req.chaos_stalls.map(FaultPlan::stalls_only));
+    let deadline_ms = req.deadline_ms.or(shared.config.default_deadline_ms);
+    let guard =
+        deadline_ms.map(|ms| watchdog.arm(Duration::from_millis(ms), engine.cancel_token()));
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_check(engine, shared, req)));
+    if let Some(id) = guard {
+        watchdog.disarm(id);
+    }
+    let resp = match outcome {
+        Ok(resp) => resp,
+        Err(payload) => {
+            // Quarantine: the engine's internal state is unknowable after
+            // an unwind tore through it. Replace it wholesale; the module
+            // cache rewarms on the next request.
+            *engine = Engine::with_config(shared.config.engine.clone());
+            shared.stats.quarantines.fetch_add(1, Ordering::Relaxed);
+            Response::Degraded {
+                message: panic_text(payload.as_ref()),
+            }
+        }
+    };
+    match &resp {
+        Response::Timeout { .. } => {
+            shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        Response::Done(_) | Response::Degraded { .. } | Response::Error { .. } => {}
+        _ => {}
+    }
+    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+    resp
+}
+
+fn session_worker(shared: Arc<Shared>, watchdog: Arc<Watchdog>, rx: mpsc::Receiver<Job>) {
+    let mut engine = Engine::with_config(shared.config.engine.clone());
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Poison => {
+                // Graceful drain: everything still queued was admitted
+                // but will not run — say so, count it, and leave.
+                while let Ok(j) = rx.try_recv() {
+                    if let Job::Check { reply, .. } = j {
+                        shared
+                            .stats
+                            .dropped_on_shutdown
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = reply.send(Response::ShuttingDown);
+                    }
+                }
+                break;
+            }
+            Job::Check { req, reply } => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    shared
+                        .stats
+                        .dropped_on_shutdown
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(Response::ShuttingDown);
+                    continue;
+                }
+                let resp = serve_one(&mut engine, &shared, &watchdog, &req);
+                let _ = reply.send(resp);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+struct SessionSlot {
+    tx: mpsc::SyncSender<Job>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// The detection server (see the module docs).
+pub struct Server {
+    shared: Arc<Shared>,
+    watchdog: Arc<Watchdog>,
+    slots: Mutex<Vec<SessionSlot>>,
+}
+
+impl Server {
+    /// A server with the given configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        Server {
+            shared: Arc::new(Shared {
+                config,
+                shutting_down: AtomicBool::new(false),
+                stats: Counters::default(),
+            }),
+            watchdog: Arc::new(Watchdog::spawn()),
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A server with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ServerConfig::default())
+    }
+
+    /// Opens a new isolated session (its own engine and worker thread).
+    /// Returns `None` once shutdown has begun.
+    pub fn session(&self) -> Option<Session> {
+        if self.shared.shutting_down.load(Ordering::Acquire) {
+            return None;
+        }
+        let (tx, rx) = mpsc::sync_channel(self.shared.config.queue_depth);
+        let shared = Arc::clone(&self.shared);
+        let watchdog = Arc::clone(&self.watchdog);
+        let handle = std::thread::spawn(move || session_worker(shared, watchdog, rx));
+        self.shared.stats.sessions.fetch_add(1, Ordering::Relaxed);
+        self.slots.lock().expect("session table").push(SessionSlot {
+            tx: tx.clone(),
+            handle,
+        });
+        Some(Session {
+            tx,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.stats;
+        ServerStats {
+            sessions: c.sessions.load(Ordering::Relaxed),
+            accepted: c.accepted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            quarantines: c.quarantines.load(Ordering::Relaxed),
+            dropped_on_shutdown: c.dropped_on_shutdown.load(Ordering::Relaxed),
+            deadlines_fired: self.watchdog.fired(),
+        }
+    }
+
+    /// Graceful shutdown: refuses new work, lets the launch in flight on
+    /// each session complete, answers queued-but-unstarted requests with
+    /// [`Response::ShuttingDown`], joins every session worker, and
+    /// returns the final counters — including how much admitted work was
+    /// dropped, reported honestly rather than silently discarded.
+    pub fn shutdown(self) -> ServerStats {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        let slots = std::mem::take(&mut *self.slots.lock().expect("session table"));
+        for slot in &slots {
+            // A full queue still accepts the poison eventually: send
+            // blocks until the worker drains ahead of it, which it does
+            // promptly because the flag short-circuits every queued job.
+            let _ = slot.tx.send(Job::Poison);
+        }
+        for slot in slots {
+            let _ = slot.handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}

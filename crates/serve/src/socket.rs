@@ -1,0 +1,164 @@
+//! Unix-socket transport: newline-delimited JSON over a local socket.
+//!
+//! One connection = one [`Session`] (so socket clients get the same
+//! isolation as in-process ones): each request line is answered with
+//! exactly one response line, in order. A `{"op":"shutdown"}` line asks
+//! the server to stop: the accept loop closes, in-flight work drains per
+//! [`Server::shutdown`]'s contract, and the serve call returns the final
+//! stats.
+
+use crate::proto::{self, Request, Response};
+use crate::server::{Server, ServerConfig, ServerStats, Session};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn handle_connection(
+    stream: UnixStream,
+    session: &Session,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    // Timed reads so an idle handler notices a shutdown initiated on
+    // another connection instead of blocking in read forever. A timeout
+    // mid-line leaves the partial line accumulated in `line`; the next
+    // read appends the rest.
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) if line.ends_with('\n') => {}
+            Ok(_) => continue, // partial line before EOF; next read settles it
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            let resp = match proto::decode_request(trimmed) {
+                Ok(Request::Shutdown) => {
+                    stop.store(true, Ordering::Release);
+                    Response::ShuttingDown
+                }
+                Ok(Request::Check(req)) => session.submit(req),
+                Err(e) => Response::Error {
+                    message: format!("bad request: {e}"),
+                },
+            };
+            writeln!(writer, "{}", proto::encode_response(&resp))?;
+            writer.flush()?;
+            if stop.load(Ordering::Acquire) {
+                return Ok(());
+            }
+        }
+        line.clear();
+    }
+}
+
+/// Serves connections on a Unix socket at `path` until a client sends
+/// `{"op":"shutdown"}`, then shuts the server down gracefully and
+/// returns its final stats. The socket file is created fresh (an
+/// existing one is removed first) and unlinked on return.
+///
+/// # Errors
+///
+/// Returns an I/O error if the socket cannot be bound.
+pub fn serve_socket(path: &Path, config: ServerConfig) -> std::io::Result<ServerStats> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    // Poll-accept so the loop notices the stop flag set by a handler
+    // thread; a blocking accept would wait for a connection that may
+    // never come.
+    listener.set_nonblocking(true)?;
+    let server = Server::new(config);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handlers = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let Some(session) = server.session() else {
+                    break;
+                };
+                let stop = Arc::clone(&stop);
+                handlers.push(std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &session, &stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    let stats = server.shutdown();
+    let _ = std::fs::remove_file(path);
+    Ok(stats)
+}
+
+/// A socket client: one connection, one session on the server side.
+#[derive(Debug)]
+pub struct SocketClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl SocketClient {
+    /// Connects to the server at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the socket is absent or refuses.
+    pub fn connect(path: &Path) -> std::io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        Ok(SocketClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and blocks for the response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on a broken connection, and `InvalidData`
+    /// for an undecodable response.
+    pub fn roundtrip(&mut self, req: &Request) -> std::io::Result<Response> {
+        writeln!(self.writer, "{}", proto::encode_request(req))?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        proto::decode_response(line.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl crate::client::Transport for SocketClient {
+    fn submit(&mut self, req: &crate::proto::CheckRequest) -> Response {
+        match self.roundtrip(&Request::Check(req.clone())) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error {
+                message: format!("transport: {e}"),
+            },
+        }
+    }
+}

@@ -297,6 +297,80 @@ fn chaos_stalls_flag_preserves_verdict_and_reports_telemetry() {
 }
 
 #[test]
+fn serve_and_one_shot_exit_codes_agree() {
+    // The exit-code taxonomy is one contract (barracuda::exitcode):
+    // the same request must produce the same code whether it runs
+    // one-shot or through the server. Pinned for clean (0), races (1)
+    // and timeout (3).
+    let spin = "\n.version 4.3\n.target sm_35\n.address_size 64\n.visible .entry k()\n{\nL:\n    bra L;\n}\n";
+    let clean_src = RACY.replace(
+        "ld.global.u32 %r1, [%rd1];\n    add.s32 %r1, %r1, 1;\n    st.global.u32 [%rd1], %r1;",
+        "atom.global.add.u32 %r1, [%rd1], 1;",
+    );
+    let racy_ptx = write_temp("agree_racy", RACY);
+    let clean_ptx = write_temp("agree_clean", &clean_src);
+    let spin_ptx = write_temp("agree_spin", spin);
+    let sock = std::env::temp_dir().join(format!("barracuda_agree_{}.sock", std::process::id()));
+    let sock_s = sock.to_str().expect("utf8").to_string();
+
+    let mut server = Command::new(BIN)
+        .args(["serve", "--socket", &sock_s])
+        .spawn()
+        .expect("spawn server");
+    // Wait for the socket to come up.
+    for _ in 0..200 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(sock.exists(), "server socket never appeared");
+
+    let code = |args: &[&str]| {
+        Command::new(BIN)
+            .args(args)
+            .output()
+            .expect("run cli")
+            .status
+            .code()
+    };
+    let cases: &[(&std::path::PathBuf, &[&str], i32)] = &[
+        (
+            &racy_ptx,
+            &["--grid", "2", "--block", "32", "--param", "buf:4"],
+            1,
+        ),
+        (
+            &clean_ptx,
+            &["--grid", "2", "--block", "32", "--param", "buf:4"],
+            0,
+        ),
+        (&spin_ptx, &["--max-steps", "10000"], 3),
+    ];
+    for (ptx, extra, want) in cases {
+        let p = ptx.to_str().expect("utf8");
+        let mut one_shot = vec!["check", p];
+        one_shot.extend_from_slice(extra);
+        let mut served = vec!["client", "--socket", &sock_s, p];
+        served.extend_from_slice(extra);
+        let direct = code(&one_shot);
+        let via_server = code(&served);
+        assert_eq!(direct, Some(*want), "one-shot {p}");
+        assert_eq!(via_server, direct, "serve and one-shot disagree on {p}");
+    }
+
+    assert_eq!(
+        code(&["client", "--socket", &sock_s, "--shutdown"]),
+        Some(0)
+    );
+    let status = server.wait().expect("server exits");
+    assert!(
+        status.success(),
+        "server must shut down cleanly: {status:?}"
+    );
+}
+
+#[test]
 fn trace_subcommand_prints_trace_operations() {
     let ptx = write_temp("trace", RACY);
     let out = Command::new(BIN)

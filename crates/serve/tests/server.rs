@@ -1,0 +1,302 @@
+//! Integration tests of the detection server: verdict parity with a
+//! direct engine, cooperative deadlines, step budgets, panic quarantine,
+//! admission control and graceful shutdown.
+
+use barracuda::{BarracudaConfig, Engine, KernelRun};
+use barracuda_serve::{
+    CheckRequest, Client, ParamSpec, Response, RetryPolicy, Server, ServerConfig,
+};
+use barracuda_simt::ParamValue;
+use barracuda_trace::GridDims;
+use std::time::{Duration, Instant};
+
+const RACY: &str = r#"
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry k(.param .u64 buf)
+{
+    .reg .b32 %r<4>;
+    .reg .b64 %rd<4>;
+    ld.param.u64 %rd1, [buf];
+    ld.global.u32 %r1, [%rd1];
+    add.s32 %r1, %r1, 1;
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+"#;
+
+/// A kernel that never terminates: only a deadline or step budget stops it.
+const SPIN: &str = r#"
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry k()
+{
+L:
+    bra L;
+}
+"#;
+
+fn clean_ptx() -> String {
+    RACY.replace(
+        "ld.global.u32 %r1, [%rd1];\n    add.s32 %r1, %r1, 1;\n    st.global.u32 [%rd1], %r1;",
+        "atom.global.add.u32 %r1, [%rd1], 1;",
+    )
+}
+
+fn racy_request() -> CheckRequest {
+    let mut req = CheckRequest::new(RACY, "k", 2, 32);
+    req.params.push(ParamSpec::Buf(4));
+    req
+}
+
+fn spin_request() -> CheckRequest {
+    CheckRequest::new(SPIN, "k", 1, 32)
+}
+
+/// The direct-engine verdict for the same launch a request describes.
+fn direct_verdict(source: &str) -> (u64, bool, u8) {
+    let mut engine = Engine::with_config(BarracudaConfig::default());
+    let buf = engine.gpu_mut().malloc(4);
+    let analysis = engine
+        .check(&KernelRun {
+            source,
+            kernel: "k",
+            dims: GridDims::new(2u32, 32u32),
+            params: &[ParamValue::Ptr(buf)],
+        })
+        .expect("direct check");
+    (
+        analysis.race_count() as u64,
+        analysis.is_degraded(),
+        barracuda::exitcode::for_analysis(&analysis),
+    )
+}
+
+#[test]
+fn served_verdicts_match_a_direct_engine() {
+    let server = Server::with_defaults();
+    let session = server.session().expect("session");
+
+    for source in [RACY.to_string(), clean_ptx()] {
+        let mut req = CheckRequest::new(&source, "k", 2, 32);
+        req.params.push(ParamSpec::Buf(4));
+        let (races, degraded, code) = direct_verdict(&source);
+        match session.submit(req) {
+            Response::Done(body) => {
+                assert_eq!(body.races, races, "race count parity");
+                assert_eq!(body.degraded, degraded, "degradation parity");
+                assert_eq!(body.exit_code, code, "taxonomy parity");
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.quarantines, 0);
+}
+
+#[test]
+fn deadline_cancels_cooperatively_and_the_worker_is_reusable() {
+    let server = Server::with_defaults();
+    let session = server.session().expect("session");
+
+    // No step budget: only the wall-clock watchdog can stop this kernel.
+    let mut spin = spin_request();
+    spin.deadline_ms = Some(100);
+    let started = Instant::now();
+    match session.submit(spin) {
+        Response::Timeout { deadline, steps } => {
+            assert!(deadline, "wall-clock deadline, not a step budget");
+            assert!(steps > 0, "the launch made progress before cancelling");
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "cancellation must be prompt, not a hang"
+    );
+
+    // The same session (same engine, same worker thread) keeps serving:
+    // cancellation poisons nothing.
+    match session.submit(racy_request()) {
+        Response::Done(body) => assert!(body.races > 0, "racy kernel after a timeout"),
+        other => panic!("expected Done after timeout, got {other:?}"),
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(stats.deadlines_fired, 1);
+    assert_eq!(stats.quarantines, 0, "a deadline is not a crash");
+}
+
+#[test]
+fn step_budget_timeouts_are_distinguished_from_deadlines() {
+    let server = Server::with_defaults();
+    let session = server.session().expect("session");
+
+    let mut spin = spin_request();
+    spin.max_steps = Some(10_000);
+    match session.submit(spin) {
+        Response::Timeout { deadline, steps } => {
+            assert!(!deadline, "step budget, not a wall-clock deadline");
+            assert!(steps >= 10_000);
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(stats.deadlines_fired, 0, "no deadline was armed or fired");
+}
+
+#[test]
+fn a_panicking_request_quarantines_the_engine_and_the_session_survives() {
+    let config = ServerConfig {
+        chaos_panic_kernel: Some("boom".to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::new(config);
+    let session = server.session().expect("session");
+
+    // Warm the session with a real verdict first so the quarantine
+    // replaces an engine that has served work.
+    match session.submit(racy_request()) {
+        Response::Done(body) => assert!(body.races > 0),
+        other => panic!("expected Done, got {other:?}"),
+    }
+
+    let poisoned = CheckRequest::new(RACY, "boom", 1, 32);
+    match session.submit(poisoned) {
+        Response::Degraded { message } => {
+            assert!(
+                message.contains("chaos"),
+                "panic message surfaced: {message}"
+            );
+        }
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+
+    // The rebuilt engine serves the same verdict as before the crash.
+    match session.submit(racy_request()) {
+        Response::Done(body) => {
+            assert!(body.races > 0, "verdict after quarantine");
+            assert_eq!(body.exit_code, barracuda::exitcode::RACES);
+        }
+        other => panic!("expected Done after quarantine, got {other:?}"),
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.quarantines, 1);
+    assert_eq!(stats.completed, 3, "the degraded answer still completed");
+}
+
+#[test]
+fn full_queues_shed_load_and_a_retrying_client_eventually_lands() {
+    let config = ServerConfig {
+        queue_depth: 1,
+        retry_after_ms: 5,
+        ..ServerConfig::default()
+    };
+    let server = Server::new(config);
+    let session = server.session().expect("session");
+
+    // Occupy the worker with a deadline-bounded spin, and fill the
+    // one-slot queue behind it.
+    let mut long = spin_request();
+    long.deadline_ms = Some(400);
+    let occupant = {
+        let s = session.clone();
+        std::thread::spawn(move || s.submit(long))
+    };
+    // Wait for the worker to pick the spin up, then stuff the queue.
+    std::thread::sleep(Duration::from_millis(50));
+    let queued = {
+        let s = session.clone();
+        std::thread::spawn(move || s.submit(racy_request()))
+    };
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Worker busy + queue full: admission control must refuse, not block.
+    match session.submit(racy_request()) {
+        Response::Rejected { retry_after_ms } => assert_eq!(retry_after_ms, 5),
+        other => panic!("expected Rejected under load, got {other:?}"),
+    }
+
+    // A retrying client outlasts the 400ms spin and lands its request.
+    let mut client = Client::new(
+        session.clone(),
+        RetryPolicy {
+            base_ms: 20,
+            cap_ms: 200,
+            max_attempts: 64,
+            seed: 7,
+        },
+    );
+    match client.check(&racy_request()) {
+        Response::Done(body) => assert!(body.races > 0),
+        other => panic!("retrying client expected Done, got {other:?}"),
+    }
+    assert!(
+        client.retries() > 0,
+        "the client had to back off at least once"
+    );
+
+    assert!(matches!(
+        occupant.join().expect("occupant"),
+        Response::Timeout { deadline: true, .. }
+    ));
+    assert!(matches!(queued.join().expect("queued"), Response::Done(_)));
+
+    let stats = server.shutdown();
+    assert!(stats.rejected >= 1 + client.retries());
+    assert_eq!(stats.timeouts, 1);
+}
+
+#[test]
+fn graceful_shutdown_answers_queued_work_and_counts_it() {
+    let config = ServerConfig {
+        queue_depth: 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::new(config);
+    let session = server.session().expect("session");
+
+    // Occupy the worker so follow-up submissions stay queued.
+    let mut long = spin_request();
+    long.deadline_ms = Some(300);
+    let occupant = {
+        let s = session.clone();
+        std::thread::spawn(move || s.submit(long))
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    let queued: Vec<_> = (0..2)
+        .map(|_| {
+            let s = session.clone();
+            std::thread::spawn(move || s.submit(racy_request()))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let stats = server.shutdown();
+
+    // The in-flight launch resolved (its deadline fired); everything
+    // admitted-but-unstarted was answered honestly, not dropped.
+    assert!(matches!(
+        occupant.join().expect("occupant"),
+        Response::Timeout { deadline: true, .. }
+    ));
+    for q in queued {
+        assert_eq!(q.join().expect("queued"), Response::ShuttingDown);
+    }
+    assert_eq!(stats.dropped_on_shutdown, 2);
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.completed, 1, "only the in-flight launch completed");
+
+    // Clones of the session refuse new work after shutdown.
+    assert_eq!(session.submit(racy_request()), Response::ShuttingDown);
+}

@@ -133,6 +133,9 @@ pub enum SimError {
     BarrierDivergence { block: u64 },
     /// Execution exceeded [`GpuConfig::max_steps`].
     Timeout { steps: u64 },
+    /// Execution was cancelled cooperatively (deadline watchdog or
+    /// shutdown) via [`Gpu::set_cancel_token`](crate::Gpu::set_cancel_token).
+    Cancelled { steps: u64 },
     /// Access to an unallocated global address.
     InvalidAccess { addr: u64 },
     /// Access beyond the block's shared segment.
@@ -165,6 +168,9 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Timeout { steps } => write!(f, "execution exceeded {steps} steps"),
+            SimError::Cancelled { steps } => {
+                write!(f, "execution cancelled after {steps} steps")
+            }
             SimError::InvalidAccess { addr } => {
                 write!(f, "invalid global memory access at {addr:#x}")
             }

@@ -1,7 +1,7 @@
 //! The device: memory, warp scheduling and kernel launch.
 
 use barracuda_ptx::ast::Module;
-use barracuda_trace::{GridDims, HostOp};
+use barracuda_trace::{CancelToken, GridDims, HostOp};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -66,6 +66,7 @@ pub struct Gpu {
     config: GpuConfig,
     global: GlobalMemory,
     rng: StdRng,
+    cancel: Option<CancelToken>,
 }
 
 impl Gpu {
@@ -77,12 +78,26 @@ impl Gpu {
             config,
             global,
             rng,
+            cancel: None,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.config
+    }
+
+    /// Attaches a cooperative cancellation token: the scheduler checks it
+    /// at every slice boundary and aborts the launch with
+    /// [`SimError::Cancelled`] once it fires. `None` detaches.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// Overrides the step budget ([`GpuConfig::max_steps`]) for future
+    /// launches — the per-request deadline knob of a serving engine.
+    pub fn set_max_steps(&mut self, max_steps: u64) {
+        self.config.max_steps = max_steps;
     }
 
     /// Reseeds the scheduler / weak-memory RNG (for litmus campaigns).
@@ -262,6 +277,7 @@ impl Gpu {
             config,
             global,
             rng,
+            cancel,
         } = self;
 
         global.begin_kernel(num_blocks);
@@ -295,6 +311,13 @@ impl Gpu {
                 ExecMode::AstWalk => exec_ast::step,
             };
         let outcome = loop {
+            // Cooperative cancellation: checked once per scheduling slice
+            // (not per instruction) to keep the hot loop unaffected.
+            if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                break Err(SimError::Cancelled {
+                    steps: stats.instructions,
+                });
+            }
             if ready.is_empty() {
                 if warps.iter().all(|w| w.status == WarpStatus::Done) {
                     break Ok(());

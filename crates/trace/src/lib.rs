@@ -15,10 +15,13 @@
 //!   synchronization records (§4.3): consumer timing must never change
 //!   which happens-before edges the detector sees;
 //! * [`chaos`] — deterministic fault injection (stalled consumers, worker
-//!   panics, dropped/corrupted records) for hardening the pipeline.
+//!   panics, dropped/corrupted records) for hardening the pipeline;
+//! * [`cancel`] — the cooperative cancellation token shared by the
+//!   interpreter and the detector workers (deadline enforcement).
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod chaos;
 pub mod ids;
 pub mod ops;
@@ -26,6 +29,7 @@ pub mod order;
 pub mod queue;
 pub mod record;
 
+pub use cancel::CancelToken;
 pub use chaos::{ConsumerStall, FaultPlan, WorkerPanic};
 pub use ids::{Dim3, GridDims, Tid};
 pub use ops::{AccessKind, Event, HostOp, MemSpace, Scope, TraceOp};

@@ -319,6 +319,18 @@ impl std::fmt::Debug for Queue {
     }
 }
 
+/// SplitMix64 finalizer over `(epoch, block)`: the queue-affinity hash.
+/// Deterministic (replayable chaos plans depend on stable routing) and
+/// cheap enough for the producer hot path.
+#[inline]
+pub fn launch_block_hash(epoch: u32, block: u64) -> u64 {
+    let mut z = (u64::from(epoch) << 32) ^ block;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A set of queues with thread-block affinity (§4.2): "Each thread block
 /// sends events to a single queue, though multiple thread blocks may use
 /// the same queue." Shared-memory events of a block therefore always reach
@@ -355,6 +367,23 @@ impl QueueSet {
     /// The queue that thread block `block` logs to.
     pub fn for_block(&self, block: u64) -> &Arc<Queue> {
         &self.queues[(block % self.queues.len() as u64) as usize]
+    }
+
+    /// Queue index for `block` of launch `epoch` — the serving-path
+    /// affinity. Hashing `(epoch, block)` instead of `block` alone keeps
+    /// the per-launch invariant (one block, one queue: shared-memory
+    /// events of a block always reach one worker) while decorrelating
+    /// *launches*: consecutive launches spread their blocks differently,
+    /// so one stream's burst of small grids cannot pin every record to
+    /// the same few queues and starve another stream's workers.
+    pub fn index_for(&self, epoch: u32, block: u64) -> usize {
+        (launch_block_hash(epoch, block) % self.queues.len() as u64) as usize
+    }
+
+    /// The queue that `block` of launch `epoch` logs to (see
+    /// [`QueueSet::index_for`]).
+    pub fn for_launch_block(&self, epoch: u32, block: u64) -> &Arc<Queue> {
+        &self.queues[self.index_for(epoch, block)]
     }
 
     /// Queue `i`.
@@ -699,5 +728,41 @@ mod tests {
         assert_eq!(q.pop_batch(&mut out, 4), 4);
         assert_eq!(q.pop_batch(&mut out, 100), 6);
         assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn launch_affinity_is_stable_within_a_launch() {
+        // The per-launch invariant the detector depends on: one block,
+        // one queue — every lookup of (epoch, block) must agree.
+        let qs = QueueSet::new(3, 8);
+        for epoch in [0u32, 1, 7, 1000] {
+            for block in 0..64u64 {
+                let qi = qs.index_for(epoch, block);
+                assert!(qi < 3);
+                assert_eq!(qi, qs.index_for(epoch, block));
+                assert!(Arc::ptr_eq(
+                    qs.for_launch_block(epoch, block),
+                    &qs.queues[qi]
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn launch_affinity_decorrelates_consecutive_epochs() {
+        // Routing must not be epoch-invariant (that was the old
+        // block-only scheme): across epochs, some block lands on a
+        // different queue, so back-to-back launches spread differently.
+        let qs = QueueSet::new(4, 8);
+        let moved = (0..32u64).any(|b| qs.index_for(0, b) != qs.index_for(1, b));
+        assert!(moved, "epoch must influence queue routing");
+        // And each single launch still uses every queue eventually.
+        for epoch in 0..4u32 {
+            let mut used = [false; 4];
+            for block in 0..256u64 {
+                used[qs.index_for(epoch, block)] = true;
+            }
+            assert!(used.iter().all(|&u| u), "epoch {epoch}: {used:?}");
+        }
     }
 }

@@ -12,6 +12,12 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> workspace: cargo build --release --workspace (bench + server binaries)"
+cargo build --release --workspace
+
+echo "==> workspace: cargo test -q --workspace"
+cargo test -q --workspace
+
 echo "==> lint: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -19,7 +25,8 @@ echo "==> docs: cargo doc --no-deps (warnings denied, first-party crates)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p barracuda -p barracuda-core -p barracuda-trace -p barracuda-simt \
   -p barracuda-ptx -p barracuda-instrument -p barracuda-suite \
-  -p barracuda-racecheck -p barracuda-workloads -p barracuda-bench
+  -p barracuda-racecheck -p barracuda-workloads -p barracuda-bench \
+  -p barracuda-serve
 
 echo "==> bench smoke: bench_interp --quick"
 ./target/release/bench_interp --quick --out /tmp/bench_interp_smoke.json
@@ -28,5 +35,53 @@ rm -f /tmp/bench_interp_smoke.json
 echo "==> bench smoke: bench_engine --quick"
 ./target/release/bench_engine --quick --out /tmp/bench_engine_smoke.json
 rm -f /tmp/bench_engine_smoke.json
+
+echo "==> bench smoke: bench_serve --quick"
+./target/release/bench_serve --quick --out /tmp/bench_serve_smoke.json
+rm -f /tmp/bench_serve_smoke.json
+
+echo "==> server smoke: serve/client over a unix socket"
+SOCK="/tmp/barracuda_verify_$$.sock"
+RACY_PTX="/tmp/barracuda_verify_racy_$$.ptx"
+CLEAN_PTX="/tmp/barracuda_verify_clean_$$.ptx"
+cat > "$RACY_PTX" <<'EOF'
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry k(.param .u64 buf)
+{
+    .reg .b32 %r<4>;
+    .reg .b64 %rd<4>;
+    ld.param.u64 %rd1, [buf];
+    ld.global.u32 %r1, [%rd1];
+    add.s32 %r1, %r1, 1;
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+EOF
+sed 's/ld.global.u32 %r1, \[%rd1\];/atom.global.add.u32 %r1, [%rd1], 1;/; /add.s32 %r1, %r1, 1;/d; /st.global.u32 \[%rd1\], %r1;/d' \
+  "$RACY_PTX" > "$CLEAN_PTX"
+timeout 60 ./target/release/barracuda serve --socket "$SOCK" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
+[ -S "$SOCK" ] || { echo "verify: server socket never appeared"; exit 1; }
+set +e
+./target/release/barracuda client --socket "$SOCK" "$RACY_PTX" \
+  --kernel k --grid 2 --block 32 --param buf:4 > /dev/null
+RACY_CODE=$?
+./target/release/barracuda client --socket "$SOCK" "$CLEAN_PTX" \
+  --kernel k --grid 2 --block 32 --param buf:4 > /dev/null
+CLEAN_CODE=$?
+./target/release/barracuda client --socket "$SOCK" --shutdown
+SHUTDOWN_CODE=$?
+set -e
+wait "$SERVER_PID"
+rm -f "$RACY_PTX" "$CLEAN_PTX"
+[ "$RACY_CODE" -eq 1 ] || { echo "verify: racy request exit $RACY_CODE, want 1"; exit 1; }
+[ "$CLEAN_CODE" -eq 0 ] || { echo "verify: clean request exit $CLEAN_CODE, want 0"; exit 1; }
+[ "$SHUTDOWN_CODE" -eq 0 ] || { echo "verify: shutdown exit $SHUTDOWN_CODE, want 0"; exit 1; }
+
+echo "==> chaos soak: fixed-seed server soak test"
+cargo test -q -p barracuda-serve --test soak
 
 echo "verify: OK"
