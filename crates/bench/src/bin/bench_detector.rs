@@ -1,0 +1,305 @@
+//! Detector-core perf harness: warp-coalesced fast path vs the
+//! paper-literal per-byte sweep.
+//!
+//! Drives `Worker::process_event` directly on synthetic warp-level event
+//! streams — no parsing, instrumentation, or simulation — so the numbers
+//! isolate the shadow-check hot loop. Four access patterns:
+//!
+//! * `coalesced` — all 32 lanes at consecutive word addresses: one page
+//!   lock covers the whole record on the fast path, vs 128 lock
+//!   acquisitions (32 lanes × 4 bytes) on the slow path;
+//! * `strided` — lanes 512 bytes apart, spreading one record over
+//!   several shadow pages (page batching still coalesces lanes that
+//!   share a page);
+//! * `divergent` — accesses under half-warp branches, which disable the
+//!   converged-warp uniform clock view;
+//! * `atomic` — whole-warp atomics contending on one word.
+//!
+//! Each pattern runs in two worker modes: `sync` (one worker processes
+//! every block's stream in order) and `threaded` (one worker thread per
+//! block, sharing the detector's global shadow — the contention case the
+//! one-lock-per-record design targets). Fast and slow configurations run
+//! on the same streams; the slow path is selected with
+//! `Detector::with_fast_paths(false)`.
+//!
+//! Writes machine-readable results to `BENCH_detector.json` (current
+//! directory unless `--out <path>` is given), reporting access records
+//! per second and the fast-over-slow speedup per (pattern, mode).
+//! `--quick` runs one pass per measurement for CI smoke.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use barracuda_core::{Detector, Worker};
+use barracuda_trace::ops::{AccessKind, Event, MemSpace};
+use barracuda_trace::GridDims;
+
+/// Minimum wall-clock time per measurement in full mode.
+const MIN_MEASURE_SECS: f64 = 0.3;
+
+/// Measurement rounds per configuration; the best round is reported
+/// (interference only slows rounds down, so max-of-N is noise-robust).
+const ROUNDS: usize = 5;
+
+/// Access records per warp per pass.
+const RECORDS_PER_WARP: usize = 256;
+
+struct Pattern {
+    name: &'static str,
+    /// Event streams, one per block (all of a block's events must be
+    /// processed by one worker, in order — the pipeline's block-affinity
+    /// invariant).
+    per_block: Vec<Vec<Event>>,
+    /// Access records in one pass over all blocks.
+    records_per_pass: u64,
+}
+
+fn count_records(per_block: &[Vec<Event>]) -> u64 {
+    per_block
+        .iter()
+        .flatten()
+        .filter(|e| matches!(e, Event::Access { .. }))
+        .count() as u64
+}
+
+fn patterns(dims: &GridDims) -> Vec<Pattern> {
+    let wpb = dims.num_warps() / dims.num_blocks();
+    let mut out = Vec::new();
+    for name in ["coalesced", "strided", "divergent", "atomic"] {
+        let mut per_block = Vec::new();
+        for b in 0..dims.num_blocks() {
+            let mut evs = Vec::new();
+            for wib in 0..wpb {
+                let w = b * wpb + wib;
+                let mask = dims.initial_mask(w);
+                // Disjoint per-warp regions: the bench must stay
+                // race-free so report handling never enters the loop.
+                let region = w * 0x10_0000;
+                for i in 0..RECORDS_PER_WARP as u64 {
+                    match name {
+                        "coalesced" => {
+                            // Consecutive words; the base rotates through
+                            // a couple of pages so the page table is
+                            // exercised, not just one hot page.
+                            let base = region + (i % 64) * 128;
+                            let mut addrs = [0u64; 32];
+                            for l in 0..32u64 {
+                                addrs[l as usize] = base + l * 4;
+                            }
+                            evs.push(Event::Access {
+                                warp: w,
+                                kind: AccessKind::Write,
+                                space: MemSpace::Global,
+                                mask,
+                                addrs,
+                                size: 4,
+                            });
+                        }
+                        "strided" => {
+                            let base = region + (i % 8) * 4;
+                            let mut addrs = [0u64; 32];
+                            for l in 0..32u64 {
+                                addrs[l as usize] = base + l * 512;
+                            }
+                            evs.push(Event::Access {
+                                warp: w,
+                                kind: AccessKind::Write,
+                                space: MemSpace::Global,
+                                mask,
+                                addrs,
+                                size: 4,
+                            });
+                        }
+                        "divergent" => {
+                            let half = mask & 0xFFFF;
+                            let other = mask & !half;
+                            let base = region + (i % 64) * 128;
+                            let mut addrs = [0u64; 32];
+                            for l in 0..32u64 {
+                                addrs[l as usize] = base + l * 4;
+                            }
+                            evs.push(Event::If {
+                                warp: w,
+                                then_mask: half,
+                                else_mask: other,
+                            });
+                            evs.push(Event::Access {
+                                warp: w,
+                                kind: AccessKind::Write,
+                                space: MemSpace::Global,
+                                mask: half,
+                                addrs,
+                                size: 4,
+                            });
+                            evs.push(Event::Else { warp: w });
+                            evs.push(Event::Access {
+                                warp: w,
+                                kind: AccessKind::Write,
+                                space: MemSpace::Global,
+                                mask: other,
+                                addrs,
+                                size: 4,
+                            });
+                            evs.push(Event::Fi { warp: w });
+                        }
+                        _ => {
+                            // Whole warp atomically updating one counter.
+                            let addrs = [region + (i % 16) * 4; 32];
+                            evs.push(Event::Access {
+                                warp: w,
+                                kind: AccessKind::Atomic,
+                                space: MemSpace::Global,
+                                mask,
+                                addrs,
+                                size: 4,
+                            });
+                        }
+                    }
+                }
+            }
+            per_block.push(evs);
+        }
+        let records_per_pass = count_records(&per_block);
+        out.push(Pattern {
+            name,
+            per_block,
+            records_per_pass,
+        });
+    }
+    out
+}
+
+/// One measurement: repeated passes over the pattern's streams until the
+/// deadline, single worker, emission order. Returns records per second.
+fn run_sync(dims: GridDims, p: &Pattern, fast: bool, quick: bool) -> f64 {
+    let det = Detector::new(dims, 64).with_fast_paths(fast);
+    let mut worker = Worker::new(&det);
+    let start = Instant::now();
+    let mut passes = 0u64;
+    loop {
+        for evs in &p.per_block {
+            for ev in evs {
+                worker.process_event(ev);
+            }
+        }
+        passes += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if quick || elapsed >= MIN_MEASURE_SECS {
+            assert_eq!(
+                det.races().race_count(),
+                0,
+                "bench stream must be race-free"
+            );
+            break (passes * p.records_per_pass) as f64 / elapsed;
+        }
+    }
+}
+
+/// One measurement: one worker thread per block, all sharing the
+/// detector's global shadow, each looping passes until the deadline.
+/// Returns aggregate records per second.
+fn run_threaded(dims: GridDims, p: &Pattern, fast: bool, quick: bool) -> f64 {
+    let det = Detector::new(dims, 64).with_fast_paths(fast);
+    let deadline = Instant::now() + Duration::from_secs_f64(MIN_MEASURE_SECS);
+    let start = Instant::now();
+    let total: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = p
+            .per_block
+            .iter()
+            .map(|evs| {
+                let det = &det;
+                s.spawn(move || {
+                    let mut worker = Worker::new(det);
+                    let mut records = 0u64;
+                    loop {
+                        for ev in evs {
+                            worker.process_event(ev);
+                        }
+                        records += count_records(std::slice::from_ref(evs));
+                        if quick || Instant::now() >= deadline {
+                            break records;
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        det.races().race_count(),
+        0,
+        "bench stream must be race-free"
+    );
+    total as f64 / elapsed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_detector.json", |s| s.as_str());
+
+    // 4 blocks × 2 full warps of 32: enough parallelism for the threaded
+    // mode without swamping a small CI machine.
+    let dims = GridDims::with_warp_size(4u32, 64u32, 32);
+    let rounds = if quick { 1 } else { ROUNDS };
+    let mut rows = String::new();
+    let mut first = true;
+    let mut coalesced_sync_speedup = 0.0f64;
+    for p in &patterns(&dims) {
+        for mode in ["sync", "threaded"] {
+            let mut fast = 0.0f64;
+            let mut slow = 0.0f64;
+            for _ in 0..rounds {
+                // Interleave fast/slow rounds so both see similar
+                // machine conditions.
+                if mode == "sync" {
+                    fast = fast.max(run_sync(dims, p, true, quick));
+                    slow = slow.max(run_sync(dims, p, false, quick));
+                } else {
+                    fast = fast.max(run_threaded(dims, p, true, quick));
+                    slow = slow.max(run_threaded(dims, p, false, quick));
+                }
+            }
+            let speedup = fast / slow;
+            if p.name == "coalesced" && mode == "sync" {
+                coalesced_sync_speedup = speedup;
+            }
+            println!(
+                "{:<10} {:<9} fast {:>11.0} records/s   slow {:>11.0} records/s   speedup {:.2}x",
+                p.name, mode, fast, slow, speedup
+            );
+            if !first {
+                rows.push_str(",\n");
+            }
+            first = false;
+            write!(
+                rows,
+                "    {{\n      \"pattern\": \"{}\",\n      \"mode\": \"{}\",\n      \
+                 \"fast_records_per_sec\": {:.0},\n      \"slow_records_per_sec\": {:.0},\n      \
+                 \"speedup\": {:.3}\n    }}",
+                p.name, mode, fast, slow, speedup
+            )
+            .expect("write to string");
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"detector\",\n  \"description\": \"warp-level access records \
+         through the detector hot loop: warp-coalesced shadow fast path (one page lock per \
+         record, word-granularity cell checks, converged-warp clock views) vs the \
+         paper-literal per-lane per-byte sweep\",\n  \"unit\": \"records per second\",\n  \
+         \"quick\": {quick},\n  \"patterns\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_detector.json");
+    println!("wrote {out_path}");
+    if !quick {
+        assert!(
+            coalesced_sync_speedup >= 2.0,
+            "coalesced fast path speedup {coalesced_sync_speedup:.2}x below the 2x target"
+        );
+    }
+}

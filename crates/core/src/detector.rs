@@ -19,7 +19,7 @@ use crate::hclock::HClock;
 use crate::launch::{LaunchRegistry, HOST_TID_KEY};
 use crate::ptvc::{PtvcFormat, WarpClocks};
 use crate::report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};
-use crate::shadow::{GlobalShadow, ReadMeta, ShadowCell, SharedShadow};
+use crate::shadow::{GlobalShadow, ReadMeta, ShadowCell, SharedShadow, SHADOW_PAGE_SIZE};
 use barracuda_trace::ops::{AccessKind, Event, Scope};
 use barracuda_trace::record::Record;
 use barracuda_trace::{CancelToken, GridDims, MemSpace, Tid};
@@ -103,6 +103,44 @@ impl LaunchScope {
     }
 }
 
+/// Counters for the detector's shadow fast paths, kept per worker and
+/// merged for telemetry (`--stats-json`). "Fast" is the warp-coalesced
+/// path (one page lock per record, word-granularity merges, uniform
+/// converged clock views); "slow" is the paper-literal per-byte sweep
+/// kept as the differential baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Plain-access records processed through the batched fast path.
+    pub batched_records: u64,
+    /// Plain-access records processed through the per-byte slow path.
+    pub slow_records: u64,
+    /// Global-shadow page-lock acquisitions.
+    pub page_locks: u64,
+    /// Word-granularity merges: the state machine ran once for a whole
+    /// multi-byte span whose cells carried identical metadata.
+    pub word_merges: u64,
+    /// Multi-byte spans whose cells disagreed, falling back to per-byte.
+    pub word_fallbacks: u64,
+    /// Records whose converged PTVC allowed a shared structural clock
+    /// view across all active lanes.
+    pub uniform_records: u64,
+    /// Individual Fig. 2–3 state-machine executions.
+    pub cell_checks: u64,
+}
+
+impl PathStats {
+    /// Accumulates another worker's counters into this one.
+    pub fn merge(&mut self, o: &PathStats) {
+        self.batched_records += o.batched_records;
+        self.slow_records += o.slow_records;
+        self.page_locks += o.page_locks;
+        self.word_merges += o.word_merges;
+        self.word_fallbacks += o.word_fallbacks;
+        self.uniform_records += o.uniform_records;
+        self.cell_checks += o.cell_checks;
+    }
+}
+
 /// Detector state shared across worker threads: the global-memory
 /// shadow, the synchronization-location map `S`, and the race sink. One
 /// `Detector` checks one kernel launch; in engine mode the `Arc`-shared
@@ -119,6 +157,9 @@ pub struct Detector {
     /// records and stop early once it fires (deadline watchdog, server
     /// shutdown). A standalone detector's token never fires.
     cancel: CancelToken,
+    /// Warp-coalesced shadow fast paths (on by default); off forces the
+    /// paper-literal per-byte sweep used as differential baseline.
+    fast_paths: bool,
 }
 
 impl Detector {
@@ -166,7 +207,23 @@ impl Detector {
             races,
             scope,
             cancel: CancelToken::new(),
+            fast_paths: true,
         }
+    }
+
+    /// Enables or disables the warp-coalesced shadow fast paths (builder
+    /// style). They are on by default; disabling forces the per-byte,
+    /// lock-per-byte slow path — kept as the differential-testing and
+    /// benchmarking baseline.
+    #[must_use]
+    pub fn with_fast_paths(mut self, on: bool) -> Self {
+        self.fast_paths = on;
+        self
+    }
+
+    /// True when the warp-coalesced shadow fast paths are enabled.
+    pub fn fast_paths(&self) -> bool {
+        self.fast_paths
     }
 
     /// Attaches the engine's cancellation token (builder style, used by
@@ -260,6 +317,8 @@ pub struct Worker<'d> {
     blocks: HashMap<u64, BlockState>,
     /// Census of PTVC formats observed at access events.
     format_census: [u64; 4],
+    /// Shadow fast-path/slow-path hit counters.
+    path_stats: PathStats,
     events: u64,
 }
 
@@ -270,6 +329,7 @@ impl<'d> Worker<'d> {
             det,
             blocks: HashMap::new(),
             format_census: [0; 4],
+            path_stats: PathStats::default(),
             events: 0,
         }
     }
@@ -283,6 +343,12 @@ impl<'d> Worker<'d> {
     /// events (the Fig. 7 format distribution).
     pub fn format_census(&self) -> [u64; 4] {
         self.format_census
+    }
+
+    /// Shadow fast-path/slow-path hit counters accumulated by this
+    /// worker.
+    pub fn path_stats(&self) -> PathStats {
+        self.path_stats
     }
 
     /// Per-block state (for tests/inspection), if this worker has seen the
@@ -332,20 +398,36 @@ impl<'d> Worker<'d> {
                             AccessKind::Write => AccessType::Write,
                             _ => AccessType::Atomic,
                         };
-                        for lane in 0..dims.warp_size {
-                            if mask & (1 << lane) == 0 {
-                                continue;
-                            }
-                            check_lane_access(
+                        if self.det.fast_paths {
+                            check_warp_access(
                                 self.det,
                                 &mut bs.shared_shadow,
                                 &bs.warps[wib],
-                                lane,
+                                *mask,
                                 *space,
-                                addrs[lane as usize],
+                                addrs,
                                 *size,
                                 atype,
+                                &mut self.path_stats,
                             );
+                        } else {
+                            self.path_stats.slow_records += 1;
+                            for lane in 0..dims.warp_size {
+                                if mask & (1 << lane) == 0 {
+                                    continue;
+                                }
+                                check_lane_access(
+                                    self.det,
+                                    &mut bs.shared_shadow,
+                                    &bs.warps[wib],
+                                    lane,
+                                    *space,
+                                    addrs[lane as usize],
+                                    *size,
+                                    atype,
+                                    &mut self.path_stats,
+                                );
+                            }
                         }
                         bs.warps[wib].endi();
                     }
@@ -393,7 +475,9 @@ impl<'d> Worker<'d> {
 /// Checks one lane's plain access (read / write / standalone atomic) at
 /// byte granularity and updates the shadow metadata per the Fig. 2–3
 /// rules. Reports at most one race per lane access, keyed to the base
-/// address.
+/// address. This is the slow path: one page lock per byte, one state-
+/// machine run per byte — kept as the differential-testing baseline for
+/// [`check_warp_access`].
 #[allow(clippy::too_many_arguments)]
 fn check_lane_access(
     det: &Detector,
@@ -404,6 +488,7 @@ fn check_lane_access(
     addr: u64,
     size: u8,
     atype: AccessType,
+    stats: &mut PathStats,
 ) {
     let dims = &det.dims;
     let scope = &det.scope;
@@ -431,6 +516,7 @@ fn check_lane_access(
         MemSpace::Shared => {
             for b in addr..addr + u64::from(size) {
                 let cell = shared_shadow.cell_mut(b);
+                stats.cell_checks += 1;
                 let race = check_cell(cell, e, &clock_of, atype);
                 if first_race.is_none() {
                     first_race = race;
@@ -441,6 +527,8 @@ fn check_lane_access(
             // An access never spans shadow pages beyond two; lock per byte
             // via with_page for simplicity (pages cache well).
             for b in addr..addr + u64::from(size) {
+                stats.page_locks += 1;
+                stats.cell_checks += 1;
                 let race = det
                     .global_shadow
                     .with_page(b, |page| check_cell(page.cell_mut(b), e, &clock_of, atype));
@@ -460,6 +548,214 @@ fn check_lane_access(
             previous: (Tid(u64::from(prev_tid)), prev_type),
             class,
         });
+    }
+}
+
+/// One lane's slice of a warp access record, precomputed for the batched
+/// sweep.
+#[derive(Debug, Clone, Copy)]
+struct LaneAcc {
+    lane: u32,
+    tid: Tid,
+    gt: u64,
+    addr: u64,
+}
+
+/// Runs the Fig. 2–3 state machine over the consecutive cells covered by
+/// one lane access. When every covered cell carries identical metadata,
+/// the machine runs once and the resulting state is replicated to the
+/// remaining cells (word-granularity fast path) — sound because
+/// `check_cell` reads and writes nothing outside its own cell, so equal
+/// inputs under one `(epoch, clock view, access type)` produce equal
+/// outputs and the same race verdict as the per-byte sweep. Mismatched
+/// metadata falls back to the paper's byte-granularity loop.
+pub(crate) fn check_cells_run<F: Fn(u32) -> Clock>(
+    cells: &mut [ShadowCell],
+    e: Epoch,
+    clock_of: &F,
+    atype: AccessType,
+    stats: &mut PathStats,
+) -> Option<(u32, AccessType)> {
+    if cells.len() > 1 {
+        let (first, rest) = cells.split_first_mut().expect("non-empty");
+        if rest.iter().all(|c| c == &*first) {
+            stats.word_merges += 1;
+            stats.cell_checks += 1;
+            let race = check_cell(first, e, clock_of, atype);
+            for c in rest {
+                c.clone_from(first);
+            }
+            return race;
+        }
+        stats.word_fallbacks += 1;
+    }
+    let mut first_race: Option<(u32, AccessType)> = None;
+    for cell in cells {
+        stats.cell_checks += 1;
+        let race = check_cell(cell, e, clock_of, atype);
+        if first_race.is_none() {
+            first_race = race;
+        }
+    }
+    first_race
+}
+
+/// Checks every active lane of one plain access record against the
+/// shadow, acquiring each global-shadow page lock once per *record*
+/// instead of once per byte per lane, and reusing the held guard for
+/// every lane-byte that lands on the page.
+///
+/// Verdict-equivalent to running [`check_lane_access`] per lane: cells
+/// are visited page-major / lane-minor, which preserves the slow path's
+/// per-cell check order (two paths only reorder checks of *disjoint*
+/// cells, and `check_cell` touches nothing outside its own cell), each
+/// lane still meets its own bytes in ascending address order (a
+/// straddling lane's low page sorts first), and race reports are emitted
+/// in lane order after the sweep (reporting never feeds back into cell
+/// state). On top of the batching it applies the word-granularity merge
+/// ([`check_cells_run`]) and, for converged warps, computes the
+/// structural component of `clock_of` once per record
+/// ([`WarpClocks::uniform_view`]).
+#[allow(clippy::too_many_arguments)]
+fn check_warp_access(
+    det: &Detector,
+    shared_shadow: &mut SharedShadow,
+    wc: &WarpClocks,
+    mask: u32,
+    space: MemSpace,
+    addrs: &[u64; 32],
+    size: u8,
+    atype: AccessType,
+    stats: &mut PathStats,
+) {
+    if size == 0 {
+        return;
+    }
+    let dims = &det.dims;
+    let scope = &det.scope;
+    stats.batched_records += 1;
+    let own = wc.own_clock();
+    let ext = wc.active().external.as_ref();
+    let uniform = wc.uniform_view(dims);
+    if uniform.is_some() {
+        stats.uniform_records += 1;
+    }
+    // A lane's view of a global TID; the converged-warp fast path swaps
+    // the per-lane structural lookup for the record-wide uniform view.
+    let clock_for = |lane: u32, t: u32| -> Clock {
+        let key = u64::from(t);
+        let mut c = match scope.local_of(key) {
+            Some(local) => match &uniform {
+                Some(u) => u.get(local, dims),
+                None => wc.clock_of_structural(lane, local, dims),
+            },
+            None => scope.preds.get_scoped(key, &scope.registry),
+        };
+        if let Some(eh) = ext {
+            c = c.max(eh.get_scoped(key, &scope.registry));
+        }
+        c
+    };
+
+    let mut lanes = [LaneAcc {
+        lane: 0,
+        tid: Tid(0),
+        gt: 0,
+        addr: 0,
+    }; 32];
+    let mut n = 0usize;
+    for lane in 0..dims.warp_size {
+        if mask & (1 << lane) == 0 {
+            continue;
+        }
+        let tid = dims.tid_of_lane(wc.warp, lane);
+        lanes[n] = LaneAcc {
+            lane,
+            tid,
+            gt: scope.tid_base + tid.0,
+            addr: addrs[lane as usize],
+        };
+        n += 1;
+    }
+    let lanes = &lanes[..n];
+    let mut first_race = [None::<(u32, AccessType)>; 32];
+
+    match space {
+        MemSpace::Shared => {
+            for (li, la) in lanes.iter().enumerate() {
+                #[allow(clippy::cast_possible_truncation)] // registry caps TIDs below u32::MAX
+                let e = Epoch::new(own, la.gt as u32);
+                let lane = la.lane;
+                let clock_of = |t: u32| clock_for(lane, t);
+                let cells = shared_shadow.range_mut(la.addr, u64::from(size));
+                first_race[li] = check_cells_run(cells, e, &clock_of, atype, stats);
+            }
+        }
+        MemSpace::Global => {
+            // Split each lane access into page-local segments — at most
+            // two per lane, since accesses (≤ 8 bytes) are smaller than a
+            // shadow page — tagged with the owning lane's index.
+            let mut segs = [(0u64, 0u8, 0u64, 0u8); 64];
+            let mut ns = 0usize;
+            for (li, la) in lanes.iter().enumerate() {
+                #[allow(clippy::cast_possible_truncation)] // li < 32, segment lengths ≤ size
+                let li = li as u8;
+                let end = la.addr + u64::from(size);
+                let first_page = la.addr / SHADOW_PAGE_SIZE;
+                let last_page = (end - 1) / SHADOW_PAGE_SIZE;
+                if first_page == last_page {
+                    segs[ns] = (first_page, li, la.addr, size);
+                    ns += 1;
+                } else {
+                    let split = last_page * SHADOW_PAGE_SIZE;
+                    #[allow(clippy::cast_possible_truncation)]
+                    let low_len = (split - la.addr) as u8;
+                    segs[ns] = (first_page, li, la.addr, low_len);
+                    segs[ns + 1] = (last_page, li, split, size - low_len);
+                    ns += 2;
+                }
+            }
+            let segs = &mut segs[..ns];
+            segs.sort_unstable_by_key(|s| (s.0, s.1));
+            let mut i = 0;
+            while i < ns {
+                let page_key = segs[i].0;
+                let page = det.global_shadow.page_by_key(page_key);
+                let mut guard = page.lock();
+                stats.page_locks += 1;
+                while i < ns && segs[i].0 == page_key {
+                    let (_, li, start, len) = segs[i];
+                    let la = &lanes[li as usize];
+                    #[allow(clippy::cast_possible_truncation)] // registry caps TIDs below u32::MAX
+                    let e = Epoch::new(own, la.gt as u32);
+                    let lane = la.lane;
+                    let clock_of = |t: u32| clock_for(lane, t);
+                    #[allow(clippy::cast_possible_truncation)] // page offsets < 4096
+                    let off = (start % SHADOW_PAGE_SIZE) as usize;
+                    let cells = &mut guard.cells[off..off + len as usize];
+                    let race = check_cells_run(cells, e, &clock_of, atype, stats);
+                    let slot = &mut first_race[li as usize];
+                    if slot.is_none() {
+                        *slot = race;
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    for (li, la) in lanes.iter().enumerate() {
+        if let Some((prev_tid, prev_type)) = first_race[li] {
+            let class = classify(scope, dims, wc, la.tid, u64::from(prev_tid));
+            det.races.report(RaceReport {
+                space,
+                block: (space == MemSpace::Shared).then(|| dims.block_of(la.tid)),
+                addr: la.addr,
+                current: (Tid(la.gt), atype),
+                previous: (Tid(u64::from(prev_tid)), prev_type),
+                class,
+            });
+        }
     }
 }
 

@@ -60,10 +60,10 @@ pub mod report;
 pub mod shadow;
 
 pub use clock::{Clock, Epoch, VectorClock};
-pub use detector::{BlockState, Detector, Worker};
+pub use detector::{BlockState, Detector, PathStats, Worker};
 pub use engine::EngineCore;
 pub use hclock::HClock;
 pub use launch::{LaunchInfo, LaunchRegistry, HOST_TID, HOST_TID_KEY};
-pub use ptvc::{PtvcFormat, WarpClocks};
+pub use ptvc::{PtvcFormat, UniformView, WarpClocks};
 pub use reference::ReferenceDetector;
 pub use report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};

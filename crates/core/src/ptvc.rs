@@ -474,6 +474,61 @@ impl WarpClocks {
             (WarpView::Uniform(_), _) => PtvcFormat::Diverged,
         }
     }
+
+    /// A lane-independent view of [`WarpClocks::clock_of_structural`] for
+    /// a CONVERGED warp, or `None` when the warp is diverged or carries an
+    /// external clock.
+    ///
+    /// When the format is [`PtvcFormat::Converged`] the active group is
+    /// the sole frame, its mask covers every live lane, and there is no
+    /// external [`HClock`] — so the structural clock a lane observes for
+    /// any *other* thread does not depend on which lane is asking: warp
+    /// mates sit at `own - 1`, in-block threads at `block_clock`, everyone
+    /// else at 0. The detector computes this view once per warp record
+    /// instead of rebuilding the per-lane closure context `lanes × bytes`
+    /// times. The view is only valid for targets that differ from the
+    /// querying thread (the detector's state machine resolves
+    /// same-thread comparisons before consulting any clock).
+    pub fn uniform_view(&self, dims: &GridDims) -> Option<UniformView> {
+        if self.stack.len() != 1 {
+            return None;
+        }
+        let g = self.active();
+        if g.external.is_some() || !matches!(g.warp_view, WarpView::Uniform(_)) {
+            return None;
+        }
+        Some(UniformView {
+            warp: self.warp,
+            block: dims.block_of_warp(self.warp),
+            mate_clock: g.own.saturating_sub(1),
+            block_clock: g.block_clock,
+        })
+    }
+}
+
+/// The shared structural clock view of a CONVERGED warp (see
+/// [`WarpClocks::uniform_view`]): every active lane observes the same
+/// clock for any thread other than itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformView {
+    warp: u64,
+    block: u64,
+    mate_clock: Clock,
+    block_clock: Clock,
+}
+
+impl UniformView {
+    /// The structural clock any active lane observes for `target`, which
+    /// must be a thread other than the querying lane's own.
+    pub fn get(&self, target: Tid, dims: &GridDims) -> Clock {
+        if dims.warp_of(target) == self.warp {
+            self.mate_clock
+        } else if dims.block_of(target) == self.block {
+            self.block_clock
+        } else {
+            0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -556,6 +611,65 @@ mod tests {
         assert_eq!(w.format(), PtvcFormat::SparseVc);
         assert_eq!(w.clock_of(1, Tid(7), &d), 6);
         assert_eq!(w.clock_of(1, Tid(8), &d), 0);
+    }
+
+    #[test]
+    fn uniform_view_matches_structural_clocks_when_converged() {
+        let d = dims3();
+        // Live mask must match the dims, as BlockState guarantees.
+        let mut w = WarpClocks::new(0, d.initial_mask(0));
+        w.endi();
+        w.endi();
+        assert_eq!(w.format(), PtvcFormat::Converged);
+        let u = w.uniform_view(&d).expect("converged warp has uniform view");
+        // Every active lane sees the same structural clock for every other
+        // thread: warp mates, in-block threads, foreign-block threads.
+        for lane in 0..d.lanes_in_warp(0) {
+            let self_tid = d.tid_of_lane(0, lane);
+            for t in 0..d.total_threads() {
+                let t = Tid(t);
+                if t == self_tid {
+                    continue;
+                }
+                assert_eq!(
+                    u.get(t, &d),
+                    w.clock_of_structural(lane, t, &d),
+                    "lane {lane} target {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_view_absent_when_diverged_or_external() {
+        let d = dims3();
+        let mut w = WarpClocks::new(0, 0b111);
+        assert!(w.uniform_view(&d).is_some());
+        w.branch_if(0b011, 0b100);
+        assert!(w.uniform_view(&d).is_none(), "diverged warp");
+        w.branch_else();
+        w.branch_fi();
+        assert!(w.uniform_view(&d).is_some(), "reconverged warp");
+        let mut h = HClock::new();
+        h.set_thread(9, 4);
+        w.acquire(&h);
+        assert!(w.uniform_view(&d).is_none(), "external clock present");
+    }
+
+    #[test]
+    fn uniform_view_after_barrier_reset() {
+        let d = dims();
+        let mut w = WarpClocks::new(0, 0b11);
+        w.branch_if(0b01, 0b10);
+        w.branch_else();
+        w.branch_fi();
+        w.barrier_reset(7, None);
+        let u = w.uniform_view(&d).expect("barrier reconverges the warp");
+        // Warp mates at own-1 = block_clock + 1 - 1; in-block at the
+        // broadcast clock; other blocks unseen.
+        assert_eq!(u.get(Tid(1), &d), 7);
+        assert_eq!(u.get(Tid(2), &d), 7);
+        assert_eq!(u.get(Tid(6), &d), 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::clock::{Clock, Epoch};
 use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -93,17 +94,41 @@ impl GlobalShadow {
         Self::default()
     }
 
-    /// Locks the page covering `addr`, allocating it on first touch.
+    /// The page covering `addr`, allocating it on first touch.
     pub fn page(&self, addr: u64) -> Arc<Mutex<ShadowPage>> {
-        let key = addr / SHADOW_PAGE_SIZE;
+        self.page_by_key(addr / SHADOW_PAGE_SIZE)
+    }
+
+    /// The page with table key `key` (`addr / SHADOW_PAGE_SIZE`),
+    /// allocating it on first touch. The (large) zero-filled page is
+    /// allocated *before* the root write lock is taken so concurrent
+    /// detector threads are never stalled behind a page zero-fill; a
+    /// thread that loses the insertion race drops its allocation. The
+    /// re-check under the write lock goes through `entry`, so the key is
+    /// hashed once on the upgrade path.
+    pub fn page_by_key(&self, key: u64) -> Arc<Mutex<ShadowPage>> {
         if let Some(p) = self.pages.read().get(&key) {
             return Arc::clone(p);
         }
-        let mut w = self.pages.write();
-        Arc::clone(
-            w.entry(key)
-                .or_insert_with(|| Arc::new(Mutex::new(ShadowPage::new()))),
-        )
+        let fresh = Arc::new(Mutex::new(ShadowPage::new()));
+        match self.pages.write().entry(key) {
+            Entry::Occupied(o) => Arc::clone(o.get()),
+            Entry::Vacant(v) => Arc::clone(v.insert(fresh)),
+        }
+    }
+
+    /// The pages covering `len` bytes starting at `addr`, in ascending
+    /// address order, allocating on first touch. Each entry pairs the page
+    /// key (`addr / SHADOW_PAGE_SIZE`) with the page, so callers can lock
+    /// each page exactly once and sweep every byte of the range that lands
+    /// on it under the single guard.
+    pub fn pages_for_range(&self, addr: u64, len: u64) -> Vec<(u64, Arc<Mutex<ShadowPage>>)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let first = addr / SHADOW_PAGE_SIZE;
+        let last = (addr + len - 1) / SHADOW_PAGE_SIZE;
+        (first..=last).map(|k| (k, self.page_by_key(k))).collect()
     }
 
     /// Number of allocated pages.
@@ -139,11 +164,27 @@ impl SharedShadow {
     /// ran past the declared segment (the simulator bounds-checks real
     /// accesses; this keeps the detector total).
     pub fn cell_mut(&mut self, offset: u64) -> &mut ShadowCell {
-        if offset >= self.cells.len() as u64 {
-            self.cells
-                .resize(offset as usize + 1, ShadowCell::default());
-        }
+        self.ensure(offset + 1);
         &mut self.cells[offset as usize]
+    }
+
+    /// The `len` cells starting at byte `offset`, growing the table as
+    /// `cell_mut` does. Lets callers sweep a multi-byte access as one
+    /// slice instead of `len` independent lookups.
+    pub fn range_mut(&mut self, offset: u64, len: u64) -> &mut [ShadowCell] {
+        self.ensure(offset + len);
+        &mut self.cells[offset as usize..(offset + len) as usize]
+    }
+
+    /// Grows the table to at least `needed` cells, at least doubling so
+    /// repeated small overruns stay amortized O(1) per byte instead of
+    /// quadratic.
+    fn ensure(&mut self, needed: u64) {
+        if needed > self.cells.len() as u64 {
+            let doubled = (self.cells.len() as u64).saturating_mul(2);
+            self.cells
+                .resize(needed.max(doubled) as usize, ShadowCell::default());
+        }
     }
 
     /// Segment size covered.
@@ -206,6 +247,58 @@ mod tests {
         assert_eq!(s.len(), 16);
         s.cell_mut(20).write = Epoch::new(1, 0);
         assert!(s.len() >= 21);
+    }
+
+    #[test]
+    fn shared_shadow_grows_geometrically() {
+        // Regression: the defensive growth used to resize to exactly
+        // `offset + 1`, reallocating (and copying the whole table) on
+        // every out-of-range byte. Growth must at least double.
+        let mut s = SharedShadow::new(16);
+        s.cell_mut(16).write = Epoch::new(1, 0);
+        assert_eq!(s.len(), 32);
+        s.cell_mut(32).write = Epoch::new(1, 0);
+        assert_eq!(s.len(), 64);
+        // In-range touches never grow.
+        s.cell_mut(63).write = Epoch::new(1, 0);
+        assert_eq!(s.len(), 64);
+        // A far jump lands exactly on the requested size when doubling
+        // would not reach it.
+        s.cell_mut(1000).write = Epoch::new(1, 0);
+        assert_eq!(s.len(), 1001);
+    }
+
+    #[test]
+    fn shared_shadow_range_mut_grows_and_slices() {
+        let mut s = SharedShadow::new(8);
+        {
+            let cells = s.range_mut(6, 4);
+            assert_eq!(cells.len(), 4);
+            for c in cells.iter_mut() {
+                c.write = Epoch::new(2, 7);
+            }
+        }
+        assert!(s.len() >= 10);
+        assert_eq!(s.cell_mut(9).write, Epoch::new(2, 7));
+        assert!(s.cell_mut(5).write.is_bottom());
+    }
+
+    #[test]
+    fn pages_for_range_spans_boundaries() {
+        let g = GlobalShadow::new();
+        assert!(g.pages_for_range(0x1000, 0).is_empty());
+        let one = g.pages_for_range(SHADOW_PAGE_SIZE - 4, 4);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].0, 0);
+        let two = g.pages_for_range(SHADOW_PAGE_SIZE - 4, 8);
+        assert_eq!(two.len(), 2);
+        assert_eq!((two[0].0, two[1].0), (0, 1));
+        // Keys match what `page` would resolve, and the pages are shared.
+        two[0].1.lock().cell_mut(SHADOW_PAGE_SIZE - 1).write = Epoch::new(5, 3);
+        g.with_page(SHADOW_PAGE_SIZE - 1, |p| {
+            assert_eq!(p.cell_mut(SHADOW_PAGE_SIZE - 1).write, Epoch::new(5, 3));
+        });
+        assert_eq!(g.page_count(), 2);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Analysis results returned by a detection run.
 
-use barracuda_core::{Diagnostic, RaceClass, RaceReport};
+use barracuda_core::{Diagnostic, PathStats, RaceClass, RaceReport};
 use barracuda_instrument::InstrumentStats;
 use barracuda_simt::LaunchStats;
 use std::time::Duration;
@@ -95,6 +95,9 @@ pub struct AnalysisStats {
     pub shadow_pages: usize,
     /// Approximate global shadow metadata bytes (~32× tracked bytes, Fig. 8).
     pub shadow_bytes: u64,
+    /// Shadow fast-path vs slow-path hit counters, merged across all
+    /// detector workers of the launch.
+    pub shadow_paths: PathStats,
     /// Wall-clock time of the instrumented, detected run.
     pub detection_time: Duration,
     /// Queue and worker telemetry of the detection pipeline.

@@ -25,7 +25,7 @@ use crate::device::{StreamId, StreamState};
 use crate::session::KernelRun;
 use crate::sink::{drain_queue, panic_message, PipelineSink, WorkerOutcome};
 use crate::Error;
-use barracuda_core::{Detector, Diagnostic, EngineCore, Worker};
+use barracuda_core::{Detector, Diagnostic, EngineCore, PathStats, Worker};
 use barracuda_instrument::{instrument_module, InstrumentStats};
 use barracuda_ptx::ast::Module;
 use barracuda_simt::{Gpu, LaunchStats, LoadedKernel, ParamValue, VecSink};
@@ -37,6 +37,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
+
+/// Per-launch tallies a pipeline run hands back for [`AnalysisStats`]:
+/// `(launch, records, events, format census, shadow path counters,
+/// pipeline telemetry)`.
+type LaunchTallies = (LaunchStats, u64, u64, [u64; 4], PathStats, PipelineStats);
 
 /// Per-launch summary of a device-lifetime run (the `--stats-json`
 /// `launches` array).
@@ -114,7 +119,7 @@ impl WorkerPool {
                         )
                     }));
                     let outcome = match r {
-                        Ok((e, c, bad)) => WorkerOutcome::Finished(e, c, bad),
+                        Ok((e, c, bad, p)) => WorkerOutcome::Finished(e, c, bad, p),
                         Err(payload) => {
                             // A dead worker must not wedge the sync order
                             // for the survivors of this launch.
@@ -181,7 +186,8 @@ impl Engine {
 
     /// An engine with explicit configuration.
     pub fn with_config(config: BarracudaConfig) -> Self {
-        let core = EngineCore::new();
+        let mut core = EngineCore::new();
+        core.set_fast_paths(config.detector_fast_paths);
         let mut gpu = Gpu::new(config.gpu.clone());
         // One token spans the whole pipeline: the simulator polls it at
         // scheduler slice boundaries, detector workers between records.
@@ -408,7 +414,7 @@ impl Engine {
         // Whatever happened, the launch epoch is over: shared-memory sync
         // state dies with it.
         self.core.finish_launch();
-        let (launch, records, events, census, mut pipeline) = match result {
+        let (launch, records, events, census, shadow_paths, mut pipeline) = match result {
             Ok(t) => t,
             Err(e) => {
                 // Partial reports of a failed launch must not leak into
@@ -444,6 +450,7 @@ impl Engine {
             sync_locations: self.core.sync_location_count(),
             shadow_pages: self.core.shadow_page_count(),
             shadow_bytes: det.shadow_bytes(),
+            shadow_paths,
             detection_time: start.elapsed(),
             pipeline,
         };
@@ -471,7 +478,7 @@ impl Engine {
         dims: GridDims,
         params: &[ParamValue],
         det: &Arc<Detector>,
-    ) -> Result<(LaunchStats, u64, u64, [u64; 4], PipelineStats), Error> {
+    ) -> Result<LaunchTallies, Error> {
         let sink = VecSink::new();
         let launch = self.gpu.launch_loaded(lk, dims, params, Some(&sink))?;
         let recs = sink.take();
@@ -482,6 +489,7 @@ impl Engine {
         }
         let events = worker.event_count();
         let census = worker.format_census();
+        let paths = worker.path_stats();
         let pipeline = PipelineStats {
             queues: 0,
             per_worker: vec![WorkerTelemetry {
@@ -493,7 +501,7 @@ impl Engine {
             }],
             ..PipelineStats::default()
         };
-        Ok((launch, nrecs, events, census, pipeline))
+        Ok((launch, nrecs, events, census, paths, pipeline))
     }
 
     /// Threaded path: the persistent worker pool drains the queues while
@@ -505,7 +513,7 @@ impl Engine {
         params: &[ParamValue],
         det: &Arc<Detector>,
         degradation: &mut Vec<Diagnostic>,
-    ) -> Result<(LaunchStats, u64, u64, [u64; 4], PipelineStats), Error> {
+    ) -> Result<LaunchTallies, Error> {
         let nqueues = self.config.num_queues();
         if self.pool.is_none() {
             self.pool = Some(WorkerPool::spawn(nqueues, self.config.queue_capacity));
@@ -566,15 +574,17 @@ impl Engine {
         let mut events = 0u64;
         let mut census = [0u64; 4];
         let mut corrupt = 0u64;
+        let mut paths = PathStats::default();
         let mut per_worker = Vec::with_capacity(nqueues);
         for (qi, outcome) in slots.into_iter().enumerate() {
             match outcome.expect("one outcome per worker") {
-                WorkerOutcome::Finished(e, c, bad) => {
+                WorkerOutcome::Finished(e, c, bad, p) => {
                     events += e;
                     for i in 0..4 {
                         census[i] += c[i];
                     }
                     corrupt += bad;
+                    paths.merge(&p);
                     per_worker.push(WorkerTelemetry {
                         worker: qi,
                         events: e,
@@ -616,7 +626,7 @@ impl Engine {
         };
         // `records` counts what the device logger produced, whether or
         // not it survived the trip to a worker.
-        Ok((launch, committed + dropped, events, census, pipeline))
+        Ok((launch, committed + dropped, events, census, paths, pipeline))
     }
 }
 

@@ -2,7 +2,7 @@
 //! producer-side record sink, the consumer worker loop, and the host-op
 //! buffer used by the CUDA-style host API.
 
-use barracuda_core::{Detector, Worker};
+use barracuda_core::{Detector, PathStats, Worker};
 use barracuda_simt::EventSink;
 use barracuda_trace::{FaultPlan, HostOp, PushOutcome, QueueSet, Record, SyncOrder};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -94,8 +94,9 @@ impl EventSink for PipelineSink<'_> {
 
 /// What one detector worker came back with.
 pub(crate) enum WorkerOutcome {
-    /// `(events, format census, corrupt records skipped)`.
-    Finished(u64, [u64; 4], u64),
+    /// `(events, format census, corrupt records skipped, shadow path
+    /// counters)`.
+    Finished(u64, [u64; 4], u64, PathStats),
     /// The worker panicked; the payload's message.
     Panicked(String),
 }
@@ -129,7 +130,8 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// tickets, then returns its partial tallies; the launch itself fails
 /// with `Cancelled`, so the partial state is drained by the engine.
 ///
-/// Returns `(events, format census, corrupt records skipped)`.
+/// Returns `(events, format census, corrupt records skipped, shadow path
+/// counters)`.
 pub(crate) fn drain_queue(
     qi: usize,
     nworkers: usize,
@@ -138,7 +140,7 @@ pub(crate) fn drain_queue(
     plan: Option<&FaultPlan>,
     done: &AtomicBool,
     order: &SyncOrder,
-) -> (u64, [u64; 4], u64) {
+) -> (u64, [u64; 4], u64, PathStats) {
     let q = queues.queue(qi);
     let mut worker = Worker::new(detector);
     let mut processed = 0u64;
@@ -209,7 +211,12 @@ pub(crate) fn drain_queue(
             std::thread::yield_now();
         }
     }
-    (worker.event_count(), worker.format_census(), corrupt)
+    (
+        worker.event_count(),
+        worker.format_census(),
+        corrupt,
+        worker.path_stats(),
+    )
 }
 
 /// An [`EventSink`] that captures only host-side operations: the engine

@@ -147,13 +147,20 @@ pub fn to_json(a: &Analysis) -> String {
     let _ = write!(
         s,
         "],\"stats\":{{\"records\":{},\"events\":{},\
-         \"format_census\":[{},{},{},{}],\"sync_locations\":{},\"shadow_pages\":{},\
+         \"format_census\":[{},{},{},{}],\
+         \"ptvc_histogram\":{{\"converged\":{},\"diverged\":{},\
+         \"nested_diverged\":{},\"sparse_vc\":{}}},\
+         \"sync_locations\":{},\"shadow_pages\":{},\
          \"shadow_bytes\":{},\"detection_time_us\":{},\
          \"launch\":{{\"instructions\":{},\"barriers\":{}}},\
          \"instrument\":{{\"static_instructions\":{},\"instrumented_instructions\":{},\
          \"log_calls\":{},\"pruned\":{}}}",
         st.records,
         st.events,
+        st.format_census[0],
+        st.format_census[1],
+        st.format_census[2],
+        st.format_census[3],
         st.format_census[0],
         st.format_census[1],
         st.format_census[2],
@@ -168,6 +175,20 @@ pub fn to_json(a: &Analysis) -> String {
         st.instrument.instrumented_instructions,
         st.instrument.log_calls,
         st.instrument.pruned,
+    );
+    let sp = &st.shadow_paths;
+    let _ = write!(
+        s,
+        ",\"shadow_fast_path\":{{\"batched_records\":{},\"slow_records\":{},\
+         \"page_locks\":{},\"word_merges\":{},\"word_fallbacks\":{},\
+         \"uniform_records\":{},\"cell_checks\":{}}}",
+        sp.batched_records,
+        sp.slow_records,
+        sp.page_locks,
+        sp.word_merges,
+        sp.word_fallbacks,
+        sp.uniform_records,
+        sp.cell_checks,
     );
     let _ = write!(
         s,
@@ -424,7 +445,7 @@ mod tests {
     use super::*;
     use crate::analysis::{AnalysisStats, PipelineStats, StreamTelemetry, WorkerTelemetry};
     use crate::Analysis;
-    use barracuda_core::{AccessType, RaceReport};
+    use barracuda_core::{AccessType, PathStats, RaceReport};
     use barracuda_trace::{MemSpace, Tid};
 
     fn sample_analysis() -> Analysis {
@@ -443,6 +464,15 @@ mod tests {
             sync_locations: 2,
             shadow_pages: 1,
             shadow_bytes: 4096,
+            shadow_paths: PathStats {
+                batched_records: 40,
+                slow_records: 1,
+                page_locks: 44,
+                word_merges: 30,
+                word_fallbacks: 3,
+                uniform_records: 38,
+                cell_checks: 55,
+            },
             pipeline: PipelineStats {
                 queues: 4,
                 queue_high_water: 37,
@@ -509,6 +539,21 @@ mod tests {
         let census = stats.get("format_census").and_then(Json::as_arr).unwrap();
         let census: Vec<u64> = census.iter().map(|c| c.as_u64().unwrap()).collect();
         assert_eq!(census, vec![100, 12, 5, 3]);
+        let hist = stats.get("ptvc_histogram").expect("ptvc_histogram object");
+        assert_eq!(hist.get("converged").and_then(Json::as_u64), Some(100));
+        assert_eq!(hist.get("diverged").and_then(Json::as_u64), Some(12));
+        assert_eq!(hist.get("nested_diverged").and_then(Json::as_u64), Some(5));
+        assert_eq!(hist.get("sparse_vc").and_then(Json::as_u64), Some(3));
+        let sp = stats
+            .get("shadow_fast_path")
+            .expect("shadow_fast_path object");
+        assert_eq!(sp.get("batched_records").and_then(Json::as_u64), Some(40));
+        assert_eq!(sp.get("slow_records").and_then(Json::as_u64), Some(1));
+        assert_eq!(sp.get("page_locks").and_then(Json::as_u64), Some(44));
+        assert_eq!(sp.get("word_merges").and_then(Json::as_u64), Some(30));
+        assert_eq!(sp.get("word_fallbacks").and_then(Json::as_u64), Some(3));
+        assert_eq!(sp.get("uniform_records").and_then(Json::as_u64), Some(38));
+        assert_eq!(sp.get("cell_checks").and_then(Json::as_u64), Some(55));
         let p = stats.get("pipeline").expect("pipeline object");
         assert_eq!(p.get("queues").and_then(Json::as_u64), Some(4));
         assert_eq!(p.get("queue_high_water").and_then(Json::as_u64), Some(37));

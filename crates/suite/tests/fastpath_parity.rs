@@ -1,0 +1,56 @@
+//! Fast-path parity over the full verdict suite: every one of the 66
+//! single-kernel programs must produce its expected verdict with the
+//! warp-coalesced shadow fast paths *disabled* (`detector_fast_paths:
+//! false`, the paper-literal per-byte sweep), in both pipeline modes.
+//!
+//! Together with `engine_backcompat` (which pins the same 66 verdicts on
+//! the default fast-path configuration), this asserts end-to-end that the
+//! batched and per-byte detectors agree on every program in the suite.
+
+use barracuda::{BarracudaConfig, DetectionMode};
+use barracuda_suite::{all_programs, run_program_with, Expectation, Verdict};
+
+fn expectation_matches(v: &Verdict, e: Expectation) -> bool {
+    matches!(
+        (v, e),
+        (Verdict::Race, Expectation::Race)
+            | (Verdict::NoRace, Expectation::NoRace)
+            | (Verdict::BarrierDivergence, Expectation::BarrierDivergence)
+    )
+}
+
+fn pin_all_slow(mode: DetectionMode) {
+    let ps = all_programs();
+    assert_eq!(ps.len(), 66);
+    let mut failures = Vec::new();
+    for p in &ps {
+        let config = BarracudaConfig {
+            mode,
+            detector_fast_paths: false,
+            ..BarracudaConfig::default()
+        };
+        let got = run_program_with(p, config);
+        if !expectation_matches(&got, p.expected) {
+            failures.push(format!(
+                "{}: expected {:?}, got {:?}",
+                p.name, p.expected, got
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "slow-path detector changed {} suite verdicts ({mode:?}):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn all_66_verdicts_unchanged_with_fast_paths_off_sync() {
+    pin_all_slow(DetectionMode::Synchronous);
+}
+
+#[test]
+fn all_66_verdicts_unchanged_with_fast_paths_off_threaded() {
+    pin_all_slow(DetectionMode::Threaded);
+}

@@ -40,6 +40,14 @@ echo "==> bench smoke: bench_serve --quick"
 ./target/release/bench_serve --quick --out /tmp/bench_serve_smoke.json
 rm -f /tmp/bench_serve_smoke.json
 
+echo "==> bench smoke: bench_detector --quick"
+./target/release/bench_detector --quick --out /tmp/bench_detector_smoke.json
+rm -f /tmp/bench_detector_smoke.json
+
+echo "==> shadow fast-path differential: core proptests + 66-program parity (both pipeline modes)"
+cargo test -q -p barracuda-core --test shadow_fastpath
+cargo test -q -p barracuda-suite --test fastpath_parity
+
 echo "==> server smoke: serve/client over a unix socket"
 SOCK="/tmp/barracuda_verify_$$.sock"
 RACY_PTX="/tmp/barracuda_verify_racy_$$.ptx"
