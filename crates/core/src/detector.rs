@@ -19,9 +19,11 @@ use crate::hclock::HClock;
 use crate::launch::{LaunchRegistry, HOST_TID_KEY};
 use crate::ptvc::{PtvcFormat, WarpClocks};
 use crate::report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};
-use crate::shadow::{GlobalShadow, ReadMeta, ShadowCell, SharedShadow, SHADOW_PAGE_SIZE};
+use crate::shadow::{
+    GlobalShadow, ReadMeta, ShadowCell, ShadowPage, SharedShadow, SHADOW_PAGE_SIZE,
+};
 use barracuda_trace::ops::{AccessKind, Event, Scope};
-use barracuda_trace::record::Record;
+use barracuda_trace::record::{Record, RecordKind};
 use barracuda_trace::{CancelToken, GridDims, MemSpace, Tid};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -74,9 +76,58 @@ impl SyncLoc {
     }
 }
 
+/// Number of independent [`SyncMap`] shards. Sync traffic is orders of
+/// magnitude rarer than plain accesses, so a modest shard count is
+/// enough to keep barrier-heavy workloads from serializing on one lock.
+const SYNC_SHARDS: usize = 16;
+
 /// The shared synchronization-location map `S` (persistent in engine
-/// mode).
-pub(crate) type SyncMap = Mutex<HashMap<SyncKey, SyncLoc>>;
+/// mode), sharded by key hash so concurrent workers touching *different*
+/// sync locations never contend on one map lock. Each per-key
+/// transaction locks exactly one shard; no operation ever holds two
+/// shard locks at once, so lock order cannot deadlock.
+#[derive(Debug)]
+pub(crate) struct SyncMap {
+    shards: Box<[Mutex<HashMap<SyncKey, SyncLoc>>]>,
+}
+
+impl SyncMap {
+    /// An empty map.
+    pub(crate) fn new() -> Self {
+        SyncMap {
+            shards: (0..SYNC_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    fn shard(&self, key: &SyncKey) -> &Mutex<HashMap<SyncKey, SyncLoc>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SYNC_SHARDS]
+    }
+
+    /// Runs `f` with the (default-inserted) location for `key` under its
+    /// shard lock.
+    pub(crate) fn with_loc<R>(&self, key: SyncKey, f: impl FnOnce(&mut SyncLoc) -> R) -> R {
+        let mut shard = self.shard(&key).lock();
+        f(shard.entry(key).or_default())
+    }
+
+    /// Total locations across all shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Retains locations satisfying `f` (shard by shard).
+    pub(crate) fn retain(&self, mut f: impl FnMut(&SyncKey, &mut SyncLoc) -> bool) {
+        for s in self.shards.iter() {
+            s.lock().retain(|k, v| f(k, v));
+        }
+    }
+}
 
 /// How one launch's detector maps into an engine's global id space: its
 /// epoch, TID/block offsets, the frozen predecessor frontier (everything
@@ -176,7 +227,7 @@ impl Detector {
             dims,
             shared_size,
             Arc::new(GlobalShadow::new()),
-            Arc::new(Mutex::new(HashMap::new())),
+            Arc::new(SyncMap::new()),
             Arc::new(RaceSink::new()),
             LaunchScope {
                 epoch,
@@ -257,7 +308,7 @@ impl Detector {
 
     /// Number of distinct synchronization locations observed.
     pub fn sync_location_count(&self) -> usize {
-        self.sync_locs.lock().len()
+        self.sync_locs.len()
     }
 
     /// Allocated global shadow pages (memory accounting).
@@ -283,6 +334,9 @@ pub struct BlockState {
     shared_shadow: SharedShadow,
     arrived: Vec<Option<u32>>,
     exited: Vec<bool>,
+    /// Highest per-warp sequence stamp fast-forwarded so far (sharded
+    /// pipeline only; see [`Worker::process_sharded_record`]).
+    seen: Vec<Clock>,
 }
 
 impl BlockState {
@@ -300,6 +354,7 @@ impl BlockState {
             shared_shadow: SharedShadow::new(shared_size),
             arrived: vec![None; wpb as usize],
             exited: vec![false; wpb as usize],
+            seen: vec![0; wpb as usize],
         }
     }
 
@@ -320,6 +375,10 @@ pub struct Worker<'d> {
     /// Shadow fast-path/slow-path hit counters.
     path_stats: PathStats,
     events: u64,
+    /// `Some((index, count))` when this worker is the exclusive owner of
+    /// page partition `index` of `count` in the sharded pipeline (see
+    /// [`Self::process_sharded_record`]); `None` in unified mode.
+    shard: Option<(usize, usize)>,
 }
 
 impl<'d> Worker<'d> {
@@ -331,7 +390,23 @@ impl<'d> Worker<'d> {
             format_census: [0; 4],
             path_stats: PathStats::default(),
             events: 0,
+            shard: None,
         }
+    }
+
+    /// A worker owning global-shadow page partition `index` of `count`
+    /// in the sharded (page-hash-routed) pipeline. The caller must
+    /// guarantee the routing contract: every plain global access this
+    /// worker receives lands entirely on pages with
+    /// `page_partition(page_key, count) == index`, and no other thread
+    /// touches those pages' cells while the sharded run is live — the
+    /// worker then updates its partition's cells without taking page
+    /// locks.
+    pub fn new_sharded(det: &'d Detector, index: usize, count: usize) -> Self {
+        assert!(index < count, "shard index out of range");
+        let mut w = Worker::new(det);
+        w.shard = Some((index, count));
+        w
     }
 
     /// Events processed so far.
@@ -408,6 +483,8 @@ impl<'d> Worker<'d> {
                                 addrs,
                                 *size,
                                 atype,
+                                (0, 0),
+                                false,
                                 &mut self.path_stats,
                             );
                         } else {
@@ -425,6 +502,8 @@ impl<'d> Worker<'d> {
                                     addrs[lane as usize],
                                     *size,
                                     atype,
+                                    (0, 0),
+                                    false,
                                     &mut self.path_stats,
                                 );
                             }
@@ -462,13 +541,186 @@ impl<'d> Worker<'d> {
             Event::Fi { .. } => bs.warps[wib].branch_fi(),
             Event::Bar { mask, .. } => {
                 bs.arrived[wib] = Some(*mask);
-                try_barrier(self.det, bs);
+                try_barrier(self.det, bs, true);
             }
             Event::Exit { .. } => {
                 bs.exited[wib] = true;
-                try_barrier(self.det, bs);
+                try_barrier(self.det, bs, true);
             }
         }
+    }
+
+    /// Decodes and processes one record of the sharded (page-hash-routed)
+    /// pipeline. Returns `false` when the record fails to decode
+    /// (corrupt) — the caller counts it and moves on.
+    ///
+    /// Differences from the unified [`Self::process_record`] path:
+    ///
+    /// * **Fast-forward instead of local `endi`.** A sharded worker sees
+    ///   only the plain accesses routed to its partition, but every
+    ///   record carries the warp's plain-access sequence stamp
+    ///   ([`Record::seq`]); before processing, the warp clock advances by
+    ///   the stamp gap, so each access is checked at exactly the clock
+    ///   the unified detector would use. Plain accesses therefore do
+    ///   *not* `endi` here (their increment is folded into the next
+    ///   record's gap); sync and control records are replicated to every
+    ///   worker and keep their local clock effects.
+    /// * **Fragment windows.** A plain global access that straddled a
+    ///   shadow-page boundary arrives as fragments carrying the original
+    ///   lane addresses plus a `(frag_off, frag_len)` byte window; only
+    ///   the windowed bytes are checked, and races still report at the
+    ///   lane base address.
+    /// * **Lock-free page access.** Plain global accesses touch this
+    ///   worker's own partition's cells through the owner fast path — no
+    ///   page mutex (see [`Self::new_sharded`]'s contract).
+    /// * **Owner-gated diagnostics.** Every worker replays control
+    ///   records, so barrier divergence is diagnosed only by the block's
+    ///   owner shard to avoid duplicate reports.
+    pub fn process_sharded_record(&mut self, rec: &Record) -> bool {
+        let (index, count) = self.shard.expect("worker was not created with new_sharded");
+        if rec.kind > RecordKind::Exit as u8 {
+            return false;
+        }
+        self.events += 1;
+        let dims = self.det.dims;
+        let warp = rec.warp;
+        let block = dims.block_of_warp(warp);
+        let wib = (warp % dims.warps_per_block()) as usize;
+        let shared_size = self.det.shared_size;
+        let bs = self
+            .blocks
+            .entry(block)
+            .or_insert_with(|| BlockState::new(&dims, block, shared_size));
+        // Fast-forward: account for the warp's plain accesses that routed
+        // to other partitions. The stamp can also *trail* `seen`
+        // (fragments of one access share a stamp; benchmarks replay
+        // streams) — never rewind.
+        if rec.seq > bs.seen[wib] {
+            bs.warps[wib].advance(rec.seq - bs.seen[wib]);
+            bs.seen[wib] = rec.seq;
+        }
+        // This shard owns the block's control/shared stream (and its
+        // barrier diagnostics) iff the block hashes to it. Only the
+        // barrier arms care; keep the hash off the plain-access hot path.
+        let owner = || {
+            barracuda_trace::queue::launch_block_hash(self.det.scope.epoch, block) % count as u64
+                == index as u64
+        };
+        // Plain accesses are the hot path: handled straight off the wire
+        // (no `Event` materialization — the 32 lane address slots are
+        // borrowed from the record in place).
+        if rec.kind <= RecordKind::Atomic as u8 {
+            let atype = match rec.kind {
+                k if k == RecordKind::Read as u8 => AccessType::Read,
+                k if k == RecordKind::Write as u8 => AccessType::Write,
+                _ => AccessType::Atomic,
+            };
+            let space = if rec.space == 0 {
+                MemSpace::Global
+            } else {
+                MemSpace::Shared
+            };
+            {
+                let wc = &bs.warps[wib];
+                self.format_census[match wc.format() {
+                    PtvcFormat::Converged => 0,
+                    PtvcFormat::Diverged => 1,
+                    PtvcFormat::NestedDiverged => 2,
+                    PtvcFormat::SparseVc => 3,
+                }] += 1;
+            }
+            let window = (rec.frag_off, rec.frag_len);
+            // Global plain accesses were routed here by page hash: this
+            // worker owns every covered page.
+            let owned = space == MemSpace::Global;
+            if self.det.fast_paths {
+                check_warp_access(
+                    self.det,
+                    &mut bs.shared_shadow,
+                    &bs.warps[wib],
+                    rec.mask,
+                    space,
+                    &rec.addrs,
+                    rec.size,
+                    atype,
+                    window,
+                    owned,
+                    &mut self.path_stats,
+                );
+            } else {
+                self.path_stats.slow_records += 1;
+                for lane in 0..dims.warp_size {
+                    if rec.mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    check_lane_access(
+                        self.det,
+                        &mut bs.shared_shadow,
+                        &bs.warps[wib],
+                        lane,
+                        space,
+                        rec.addrs[lane as usize],
+                        rec.size,
+                        atype,
+                        window,
+                        owned,
+                        &mut self.path_stats,
+                    );
+                }
+            }
+            // No endi: the seq fast-forward accounts for it.
+            return true;
+        }
+        let ev = rec.decode();
+        match &ev {
+            Event::Access {
+                kind,
+                space,
+                mask,
+                addrs,
+                ..
+            } => match kind {
+                AccessKind::Acquire(scope) => {
+                    process_sync(self.det, bs, wib, *space, *mask, addrs, Some(*scope), None);
+                }
+                AccessKind::Release(scope) => {
+                    process_sync(self.det, bs, wib, *space, *mask, addrs, None, Some(*scope));
+                }
+                AccessKind::AcquireRelease(scope) => {
+                    process_sync(
+                        self.det,
+                        bs,
+                        wib,
+                        *space,
+                        *mask,
+                        addrs,
+                        Some(*scope),
+                        Some(*scope),
+                    );
+                }
+                AccessKind::Read | AccessKind::Write | AccessKind::Atomic => {
+                    unreachable!("plain accesses are handled off the wire above")
+                }
+            },
+            Event::If {
+                then_mask,
+                else_mask,
+                ..
+            } => {
+                bs.warps[wib].branch_if(*then_mask, *else_mask);
+            }
+            Event::Else { .. } => bs.warps[wib].branch_else(),
+            Event::Fi { .. } => bs.warps[wib].branch_fi(),
+            Event::Bar { mask, .. } => {
+                bs.arrived[wib] = Some(*mask);
+                try_barrier(self.det, bs, owner());
+            }
+            Event::Exit { .. } => {
+                bs.exited[wib] = true;
+                try_barrier(self.det, bs, owner());
+            }
+        }
+        true
     }
 }
 
@@ -478,6 +730,14 @@ impl<'d> Worker<'d> {
 /// address. This is the slow path: one page lock per byte, one state-
 /// machine run per byte — kept as the differential-testing baseline for
 /// [`check_warp_access`].
+///
+/// `window = (off, len)` restricts the checked bytes to
+/// `[addr + off, addr + off + len)` (`len == 0` means the whole access);
+/// fragments of a page-straddling access in the sharded pipeline use it
+/// so each owner checks only its own page's bytes while races still
+/// report at the lane base address. `owned` selects the sharded owner
+/// fast path: global-shadow cells are touched without page locks (the
+/// caller guarantees partition exclusivity).
 #[allow(clippy::too_many_arguments)]
 fn check_lane_access(
     det: &Detector,
@@ -488,6 +748,8 @@ fn check_lane_access(
     addr: u64,
     size: u8,
     atype: AccessType,
+    window: (u8, u8),
+    owned: bool,
     stats: &mut PathStats,
 ) {
     let dims = &det.dims;
@@ -512,9 +774,11 @@ fn check_lane_access(
         c
     };
     let mut first_race: Option<(u32, AccessType)> = None;
+    let lo = addr + u64::from(window.0);
+    let hi = lo + u64::from(if window.1 == 0 { size } else { window.1 });
     match space {
         MemSpace::Shared => {
-            for b in addr..addr + u64::from(size) {
+            for b in lo..hi {
                 let cell = shared_shadow.cell_mut(b);
                 stats.cell_checks += 1;
                 let race = check_cell(cell, e, &clock_of, atype);
@@ -526,12 +790,19 @@ fn check_lane_access(
         MemSpace::Global => {
             // An access never spans shadow pages beyond two; lock per byte
             // via with_page for simplicity (pages cache well).
-            for b in addr..addr + u64::from(size) {
-                stats.page_locks += 1;
+            for b in lo..hi {
                 stats.cell_checks += 1;
-                let race = det
-                    .global_shadow
-                    .with_page(b, |page| check_cell(page.cell_mut(b), e, &clock_of, atype));
+                let race = if owned {
+                    let page = det.global_shadow.page(b);
+                    // SAFETY: sharded routing gives this worker exclusive
+                    // ownership of the page (see `Worker::new_sharded`).
+                    let page = unsafe { page.owned_mut() };
+                    check_cell(page.cell_mut(b), e, &clock_of, atype)
+                } else {
+                    stats.page_locks += 1;
+                    det.global_shadow
+                        .with_page(b, |page| check_cell(page.cell_mut(b), e, &clock_of, atype))
+                };
                 if first_race.is_none() {
                     first_race = race;
                 }
@@ -562,13 +833,16 @@ struct LaneAcc {
 }
 
 /// Runs the Fig. 2–3 state machine over the consecutive cells covered by
-/// one lane access. When every covered cell carries identical metadata,
-/// the machine runs once and the resulting state is replicated to the
-/// remaining cells (word-granularity fast path) — sound because
+/// one lane access, vectorized over *maximal runs* of identical
+/// metadata: within each run the machine executes once on the head cell
+/// and the resulting state is replicated to the rest — sound because
 /// `check_cell` reads and writes nothing outside its own cell, so equal
 /// inputs under one `(epoch, clock view, access type)` produce equal
-/// outputs and the same race verdict as the per-byte sweep. Mismatched
-/// metadata falls back to the paper's byte-granularity loop.
+/// outputs and the same race verdict as the per-byte sweep. Runs are
+/// delimited on the pre-access state (replication only touches cells
+/// behind the scan cursor), and the first racing run's verdict equals
+/// the first racing cell's, so the reported race matches the paper's
+/// byte-granularity loop exactly.
 pub(crate) fn check_cells_run<F: Fn(u32) -> Clock>(
     cells: &mut [ShadowCell],
     e: Epoch,
@@ -576,26 +850,35 @@ pub(crate) fn check_cells_run<F: Fn(u32) -> Clock>(
     atype: AccessType,
     stats: &mut PathStats,
 ) -> Option<(u32, AccessType)> {
-    if cells.len() > 1 {
-        let (first, rest) = cells.split_first_mut().expect("non-empty");
-        if rest.iter().all(|c| c == &*first) {
-            stats.word_merges += 1;
-            stats.cell_checks += 1;
-            let race = check_cell(first, e, clock_of, atype);
-            for c in rest {
-                c.clone_from(first);
-            }
-            return race;
-        }
-        stats.word_fallbacks += 1;
-    }
+    let n = cells.len();
     let mut first_race: Option<(u32, AccessType)> = None;
-    for cell in cells {
+    let mut imperfect = false;
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && cells[j] == cells[i] {
+            j += 1;
+        }
+        let (head, rest) = cells[i..j].split_first_mut().expect("non-empty run");
         stats.cell_checks += 1;
-        let race = check_cell(cell, e, clock_of, atype);
+        let race = check_cell(head, e, clock_of, atype);
+        if rest.is_empty() {
+            // A lone cell inside a multi-byte span: the span's metadata
+            // was not fully mergeable.
+            imperfect = true;
+        } else {
+            stats.word_merges += 1;
+            for c in rest {
+                c.clone_from(head);
+            }
+        }
         if first_race.is_none() {
             first_race = race;
         }
+        i = j;
+    }
+    if imperfect && n > 1 {
+        stats.word_fallbacks += 1;
     }
     first_race
 }
@@ -616,6 +899,13 @@ pub(crate) fn check_cells_run<F: Fn(u32) -> Clock>(
 /// ([`check_cells_run`]) and, for converged warps, computes the
 /// structural component of `clock_of` once per record
 /// ([`WarpClocks::uniform_view`]).
+///
+/// `window = (off, len)` restricts every lane's checked bytes to
+/// `[addr + off, addr + off + len)` (`len == 0` means the whole access);
+/// races still report at the lane base address, so sharded fragments
+/// agree with the unified verdicts. `owned` selects the sharded owner
+/// fast path: pages are touched without locking (the caller guarantees
+/// partition exclusivity, see [`Worker::new_sharded`]).
 #[allow(clippy::too_many_arguments)]
 fn check_warp_access(
     det: &Detector,
@@ -626,9 +916,13 @@ fn check_warp_access(
     addrs: &[u64; 32],
     size: u8,
     atype: AccessType,
+    window: (u8, u8),
+    owned: bool,
     stats: &mut PathStats,
 ) {
-    if size == 0 {
+    let woff = u64::from(window.0);
+    let wlen = if window.1 == 0 { size } else { window.1 };
+    if wlen == 0 {
         return;
     }
     let dims = &det.dims;
@@ -687,31 +981,34 @@ fn check_warp_access(
                 let e = Epoch::new(own, la.gt as u32);
                 let lane = la.lane;
                 let clock_of = |t: u32| clock_for(lane, t);
-                let cells = shared_shadow.range_mut(la.addr, u64::from(size));
+                let cells = shared_shadow.range_mut(la.addr + woff, u64::from(wlen));
                 first_race[li] = check_cells_run(cells, e, &clock_of, atype, stats);
             }
         }
         MemSpace::Global => {
-            // Split each lane access into page-local segments — at most
-            // two per lane, since accesses (≤ 8 bytes) are smaller than a
-            // shadow page — tagged with the owning lane's index.
+            // Split each lane's (windowed) access into page-local
+            // segments — at most two per lane, since accesses (≤ 8 bytes)
+            // are smaller than a shadow page — tagged with the owning
+            // lane's index. Sharded fragments are page-local already and
+            // always produce one segment.
             let mut segs = [(0u64, 0u8, 0u64, 0u8); 64];
             let mut ns = 0usize;
             for (li, la) in lanes.iter().enumerate() {
                 #[allow(clippy::cast_possible_truncation)] // li < 32, segment lengths ≤ size
                 let li = li as u8;
-                let end = la.addr + u64::from(size);
-                let first_page = la.addr / SHADOW_PAGE_SIZE;
+                let start = la.addr + woff;
+                let end = start + u64::from(wlen);
+                let first_page = start / SHADOW_PAGE_SIZE;
                 let last_page = (end - 1) / SHADOW_PAGE_SIZE;
                 if first_page == last_page {
-                    segs[ns] = (first_page, li, la.addr, size);
+                    segs[ns] = (first_page, li, start, wlen);
                     ns += 1;
                 } else {
                     let split = last_page * SHADOW_PAGE_SIZE;
                     #[allow(clippy::cast_possible_truncation)]
-                    let low_len = (split - la.addr) as u8;
-                    segs[ns] = (first_page, li, la.addr, low_len);
-                    segs[ns + 1] = (last_page, li, split, size - low_len);
+                    let low_len = (split - start) as u8;
+                    segs[ns] = (first_page, li, start, low_len);
+                    segs[ns + 1] = (last_page, li, split, wlen - low_len);
                     ns += 2;
                 }
             }
@@ -720,9 +1017,19 @@ fn check_warp_access(
             let mut i = 0;
             while i < ns {
                 let page_key = segs[i].0;
-                let page = det.global_shadow.page_by_key(page_key);
-                let mut guard = page.lock();
-                stats.page_locks += 1;
+                let slot = det.global_shadow.page_by_key(page_key);
+                let mut guard = if owned {
+                    None
+                } else {
+                    stats.page_locks += 1;
+                    Some(slot.lock())
+                };
+                let page: &mut ShadowPage = match guard.as_mut() {
+                    Some(g) => g,
+                    // SAFETY: sharded routing gives this worker exclusive
+                    // ownership of the page (see `Worker::new_sharded`).
+                    None => unsafe { slot.owned_mut() },
+                };
                 while i < ns && segs[i].0 == page_key {
                     let (_, li, start, len) = segs[i];
                     let la = &lanes[li as usize];
@@ -732,11 +1039,11 @@ fn check_warp_access(
                     let clock_of = |t: u32| clock_for(lane, t);
                     #[allow(clippy::cast_possible_truncation)] // page offsets < 4096
                     let off = (start % SHADOW_PAGE_SIZE) as usize;
-                    let cells = &mut guard.cells[off..off + len as usize];
+                    let cells = &mut page.cells[off..off + len as usize];
                     let race = check_cells_run(cells, e, &clock_of, atype, stats);
-                    let slot = &mut first_race[li as usize];
-                    if slot.is_none() {
-                        *slot = race;
+                    let race_slot = &mut first_race[li as usize];
+                    if race_slot.is_none() {
+                        *race_slot = race;
                     }
                     i += 1;
                 }
@@ -898,7 +1205,6 @@ fn process_sync(
     // persistent map never aliases blocks of different launches.
     let gblock = lscope.block_base + bs.block;
     let wc = &mut bs.warps[wib];
-    let mut locs = det.sync_locs.lock();
     let mut acquired: Vec<HClock> = Vec::new();
     for lane in 0..dims.warp_size {
         if mask & (1 << lane) == 0 {
@@ -909,38 +1215,40 @@ fn process_sync(
             block: if space == MemSpace::Shared { gblock } else { 0 },
             addr: addrs[lane as usize],
         };
-        let loc = locs.entry(key).or_default();
-        let acquired_here = match acquire {
-            Some(Scope::Block) => loc.slot(gblock).cloned(),
-            Some(Scope::Global) => Some(loc.join_all()),
-            None => None,
-        };
-        if let Some(scope) = release {
-            // The released value is C_t — including the acquired component
-            // for acquire-release operations (ACQRELBLK / ACQRELGLB), and
-            // the launch's predecessor frontier, so transitive
-            // happens-before through persisted sync locations carries
-            // host/prior-kernel history to a later acquirer.
-            let mut snap =
-                wc.release_snapshot_scoped(lane, dims, lscope.tid_base, lscope.block_base);
-            if !lscope.preds.is_bottom() {
-                snap.join(&lscope.preds);
+        // One shard lock per lane key; never two shards at once.
+        det.sync_locs.with_loc(key, |loc| {
+            let acquired_here = match acquire {
+                Some(Scope::Block) => loc.slot(gblock).cloned(),
+                Some(Scope::Global) => Some(loc.join_all()),
+                None => None,
+            };
+            if let Some(scope) = release {
+                // The released value is C_t — including the acquired
+                // component for acquire-release operations (ACQRELBLK /
+                // ACQRELGLB), and the launch's predecessor frontier, so
+                // transitive happens-before through persisted sync
+                // locations carries host/prior-kernel history to a later
+                // acquirer.
+                let mut snap =
+                    wc.release_snapshot_scoped(lane, dims, lscope.tid_base, lscope.block_base);
+                if !lscope.preds.is_bottom() {
+                    snap.join(&lscope.preds);
+                }
+                if let Some(h) = &acquired_here {
+                    snap.join(h);
+                }
+                match scope {
+                    Scope::Block => loc.set_block(gblock, snap),
+                    Scope::Global => loc.set_all(snap),
+                }
             }
-            if let Some(h) = &acquired_here {
-                snap.join(h);
+            if let Some(h) = acquired_here {
+                if !h.is_bottom() {
+                    acquired.push(h);
+                }
             }
-            match scope {
-                Scope::Block => loc.set_block(gblock, snap),
-                Scope::Global => loc.set_all(snap),
-            }
-        }
-        if let Some(h) = acquired_here {
-            if !h.is_bottom() {
-                acquired.push(h);
-            }
-        }
+        });
     }
-    drop(locs);
     for h in &acquired {
         wc.acquire(h);
     }
@@ -950,8 +1258,11 @@ fn process_sync(
 }
 
 /// Completes a block barrier once every live warp has arrived (BAR rule +
-/// §4.3.2 broadcast), diagnosing barrier divergence.
-fn try_barrier(det: &Detector, bs: &mut BlockState) {
+/// §4.3.2 broadcast), diagnosing barrier divergence when `diagnose` is
+/// set — sharded workers replay every block's control stream, so only
+/// the block's owner shard diagnoses (clock effects still apply
+/// everywhere).
+fn try_barrier(det: &Detector, bs: &mut BlockState, diagnose: bool) {
     let dims = &det.dims;
     let wpb = dims.warps_per_block() as usize;
     let complete = (0..wpb).all(|i| bs.exited[i] || bs.arrived[i].is_some());
@@ -972,7 +1283,7 @@ fn try_barrier(det: &Detector, bs: &mut BlockState) {
             _ => {}
         }
     }
-    if divergence {
+    if divergence && diagnose {
         det.races
             .diagnose(Diagnostic::BarrierDivergence { block: bs.block });
     }

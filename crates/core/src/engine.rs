@@ -33,8 +33,6 @@ use crate::launch::{LaunchRegistry, HOST_TID, HOST_TID_KEY};
 use crate::report::{AccessType, Diagnostic, RaceClass, RaceReport, RaceSink};
 use crate::shadow::GlobalShadow;
 use barracuda_trace::{CancelToken, GridDims, MemSpace, Tid};
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The persistent half of a detection engine: shadow memory, sync map,
@@ -75,7 +73,7 @@ impl EngineCore {
     pub fn new() -> Self {
         EngineCore {
             global_shadow: Arc::new(GlobalShadow::new()),
-            sync_locs: Arc::new(Mutex::new(HashMap::new())),
+            sync_locs: Arc::new(SyncMap::new()),
             races: Arc::new(RaceSink::new()),
             registry: Arc::new(LaunchRegistry::new()),
             epoch_preds: Vec::new(),
@@ -159,7 +157,7 @@ impl EngineCore {
     /// dropped from the persistent map. Global locations persist — they
     /// are what lets a later launch acquire a flag released here.
     pub fn finish_launch(&mut self) {
-        self.sync_locs.lock().retain(|k, _| !k.shared);
+        self.sync_locs.retain(|k, _| !k.shared);
     }
 
     /// A host write of `len` bytes at `addr` (H2D memcpy destination).
@@ -277,7 +275,7 @@ impl EngineCore {
 
     /// Distinct synchronization locations currently tracked.
     pub fn sync_location_count(&self) -> usize {
-        self.sync_locs.lock().len()
+        self.sync_locs.len()
     }
 
     /// Allocated global shadow pages.

@@ -4,15 +4,20 @@
 //! last-write epoch with an atomic bit, a last-read epoch that inflates to
 //! a sparse reader map under concurrent readers, and attribute flags.
 //! Shared-memory shadow is preallocated per block (its size is known at
-//! launch); global-memory shadow is allocated on demand through a page
-//! table, with a root lock and per-page locks for the concurrent detector
-//! threads.
+//! launch); global-memory shadow is allocated on demand through a
+//! fixed-stripe sharded page table: lookups are lock-free (append-only
+//! atomic probe segments), a stripe-local mutex is taken only to insert a
+//! new page, and each page carries its own lock for callers that share
+//! pages across threads. Workers that *own* a page partition (the sharded
+//! page-hash pipeline) skip the page lock entirely via
+//! [`ShadowPageSlot::owned_mut`].
 
 use crate::clock::{Clock, Epoch};
-use parking_lot::{Mutex, MutexGuard, RwLock};
-use std::collections::hash_map::Entry;
+use parking_lot::{Mutex, MutexGuard};
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 /// Read metadata: an epoch for totally-ordered readers, inflated to a
 /// sparse map (TID → clock) under concurrent readers.
@@ -57,8 +62,10 @@ impl Default for ShadowCell {
     }
 }
 
-/// Bytes of tracked memory per shadow page.
-pub const SHADOW_PAGE_SIZE: u64 = 4096;
+/// Bytes of tracked memory per shadow page. Aliases the canonical
+/// constant in `barracuda-trace` so the producer-side page router and the
+/// detector-side shadow can never disagree on page geometry.
+pub const SHADOW_PAGE_SIZE: u64 = barracuda_trace::route::SHADOW_PAGE_SIZE;
 
 /// One page of global-memory shadow.
 #[derive(Debug)]
@@ -80,67 +87,353 @@ impl ShadowPage {
     }
 }
 
+/// An allocated shadow page plus its lock. Pages live as long as the
+/// owning [`GlobalShadow`] (the table is append-only), so the table hands
+/// out plain `&ShadowPageSlot` borrows — no reference counting on the
+/// hot path.
+///
+/// Two access disciplines coexist:
+///
+/// * [`ShadowPageSlot::lock`] — mutual exclusion via the page lock, used
+///   by the host sweep, the single-threaded sync mode, the per-byte slow
+///   path, and block-affinity threaded workers (any worker may touch any
+///   page there);
+/// * [`ShadowPageSlot::owned_mut`] — lock-free access for the sharded
+///   pipeline, where the page-hash router makes one worker the exclusive
+///   owner of every page in its partition.
+pub struct ShadowPageSlot {
+    lock: Mutex<()>,
+    data: UnsafeCell<ShadowPage>,
+}
+
+// SAFETY: all mutable access to `data` goes through either the page lock
+// (`lock()`) or the partition-ownership contract of `owned_mut()`; both
+// guarantee exclusive access (see `owned_mut` for the contract).
+unsafe impl Send for ShadowPageSlot {}
+unsafe impl Sync for ShadowPageSlot {}
+
+impl ShadowPageSlot {
+    fn new() -> Self {
+        ShadowPageSlot {
+            lock: Mutex::new(()),
+            data: UnsafeCell::new(ShadowPage::new()),
+        }
+    }
+
+    /// Locks the page for exclusive access.
+    pub fn lock(&self) -> PageGuard<'_> {
+        PageGuard {
+            _guard: self.lock.lock(),
+            page: self.data.get(),
+        }
+    }
+
+    /// Lock-free exclusive access for the page's partition owner.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the sole thread accessing this page's cells for
+    /// the duration of the borrow. The sharded pipeline guarantees this
+    /// by construction: every plain global access is routed to the worker
+    /// owning the page (`page_partition`), sync records never touch
+    /// shadow cells, and host sweeps never overlap a running launch (the
+    /// engine API is sequential `&mut self`).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn owned_mut(&self) -> &mut ShadowPage {
+        &mut *self.data.get()
+    }
+}
+
+impl std::fmt::Debug for ShadowPageSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowPageSlot").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for a locked [`ShadowPageSlot`]; derefs to the page.
+pub struct PageGuard<'a> {
+    _guard: MutexGuard<'a, ()>,
+    page: *mut ShadowPage,
+}
+
+impl Deref for PageGuard<'_> {
+    type Target = ShadowPage;
+    fn deref(&self) -> &ShadowPage {
+        // SAFETY: the page lock is held for the guard's lifetime.
+        unsafe { &*self.page }
+    }
+}
+
+impl DerefMut for PageGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ShadowPage {
+        // SAFETY: the page lock is held for the guard's lifetime.
+        unsafe { &mut *self.page }
+    }
+}
+
+/// One slot of a probe segment: `key + 1` (0 = empty) and the page
+/// pointer, published page-first so a reader that observes the key also
+/// observes the page.
+struct TableSlot {
+    key: AtomicU64,
+    page: AtomicPtr<ShadowPageSlot>,
+}
+
+/// A fixed-capacity open-addressed probe array. Segments are append-only:
+/// once superseded by a larger head they are frozen (no further inserts),
+/// but remain in the lookup chain — entries are never migrated or
+/// removed, which is what makes lock-free reads safe without any
+/// reclamation scheme.
+struct Segment {
+    mask: u64,
+    slots: Box<[TableSlot]>,
+    prev: *mut Segment,
+}
+
+impl Segment {
+    fn alloc(capacity: usize, prev: *mut Segment) -> *mut Segment {
+        let slots = (0..capacity)
+            .map(|_| TableSlot {
+                key: AtomicU64::new(0),
+                page: AtomicPtr::new(std::ptr::null_mut()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::into_raw(Box::new(Segment {
+            mask: capacity as u64 - 1,
+            slots,
+            prev,
+        }))
+    }
+}
+
+/// Number of independent stripes; inserts in different stripes never
+/// contend, and lookups take no lock at all.
+const STRIPES: usize = 64;
+/// Slots in a stripe's first probe segment (doubles on growth).
+const FIRST_SEGMENT_SLOTS: usize = 8;
+/// Grow the head segment when it would exceed 3/4 occupancy — keeps an
+/// empty slot in every segment, which terminates lock-free probes.
+const MAX_FILL_NUM: usize = 3;
+const MAX_FILL_DEN: usize = 4;
+
+/// Insert-side state of one stripe, guarded by the stripe mutex.
+struct StripeInner {
+    /// Owning storage for this stripe's pages (box addresses are stable;
+    /// the probe slots hold raw pointers into these boxes).
+    #[allow(clippy::vec_box)] // the Box is what makes addresses stable
+    pages: Vec<Box<ShadowPageSlot>>,
+    /// Filled slots in the current head segment.
+    head_len: usize,
+}
+
+struct Stripe {
+    /// Lock-free lookup chain: newest (largest) segment first.
+    head: AtomicPtr<Segment>,
+    writer: Mutex<StripeInner>,
+}
+
+/// SplitMix64 finalizer shared with the record router: stripe and probe
+/// position both derive from it so adjacent page keys spread out.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// On-demand paged shadow for global memory, safe for concurrent detector
-/// threads: a root-locked page table plus per-page locks (the paper uses a
-/// page-table root lock and per-location spinlocks).
-#[derive(Debug, Default)]
+/// threads. The paper uses a page-table root lock and per-location
+/// spinlocks; we sharpen that to a fixed-stripe table whose *lookups* are
+/// lock-free (append-only atomic probe segments) and whose stripe mutex
+/// is taken only to insert a page that does not exist yet — page lookup
+/// never serializes workers.
 pub struct GlobalShadow {
-    pages: RwLock<HashMap<u64, Arc<Mutex<ShadowPage>>>>,
+    stripes: Box<[Stripe]>,
+    count: AtomicUsize,
+}
+
+// SAFETY: `Segment` raw pointers are published via Release stores and
+// only ever freed in `Drop` (exclusive access); slots and pages are
+// individually synchronized as documented on their types.
+unsafe impl Send for GlobalShadow {}
+unsafe impl Sync for GlobalShadow {}
+
+impl Default for GlobalShadow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for GlobalShadow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalShadow")
+            .field("pages", &self.page_count())
+            .finish()
+    }
 }
 
 impl GlobalShadow {
     /// An empty shadow.
     pub fn new() -> Self {
-        Self::default()
+        let stripes = (0..STRIPES)
+            .map(|_| Stripe {
+                head: AtomicPtr::new(std::ptr::null_mut()),
+                writer: Mutex::new(StripeInner {
+                    pages: Vec::new(),
+                    head_len: 0,
+                }),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        GlobalShadow {
+            stripes,
+            count: AtomicUsize::new(0),
+        }
     }
 
     /// The page covering `addr`, allocating it on first touch.
-    pub fn page(&self, addr: u64) -> Arc<Mutex<ShadowPage>> {
+    pub fn page(&self, addr: u64) -> &ShadowPageSlot {
         self.page_by_key(addr / SHADOW_PAGE_SIZE)
     }
 
     /// The page with table key `key` (`addr / SHADOW_PAGE_SIZE`),
-    /// allocating it on first touch. The (large) zero-filled page is
-    /// allocated *before* the root write lock is taken so concurrent
-    /// detector threads are never stalled behind a page zero-fill; a
-    /// thread that loses the insertion race drops its allocation. The
-    /// re-check under the write lock goes through `entry`, so the key is
-    /// hashed once on the upgrade path.
-    pub fn page_by_key(&self, key: u64) -> Arc<Mutex<ShadowPage>> {
-        if let Some(p) = self.pages.read().get(&key) {
-            return Arc::clone(p);
+    /// allocating it on first touch. The fast path is a lock-free probe
+    /// of the stripe's segment chain; only a miss takes the stripe mutex,
+    /// and the (large) zero-filled page is allocated *before* the lock so
+    /// concurrent inserts in the same stripe are never stalled behind a
+    /// page zero-fill. Every caller observes the same page for a key —
+    /// entries are never moved or replaced.
+    pub fn page_by_key(&self, key: u64) -> &ShadowPageSlot {
+        let h = mix64(key);
+        let stripe = &self.stripes[(h as usize) % STRIPES];
+        if let Some(p) = Self::probe(stripe, key, h) {
+            return p;
         }
-        let fresh = Arc::new(Mutex::new(ShadowPage::new()));
-        match self.pages.write().entry(key) {
-            Entry::Occupied(o) => Arc::clone(o.get()),
-            Entry::Vacant(v) => Arc::clone(v.insert(fresh)),
+        self.insert(stripe, key, h)
+    }
+
+    /// Lock-free lookup: walk the segment chain newest-first, probing
+    /// each segment linearly from the key's hash position. An empty slot
+    /// ends the probe of a segment (segments never exceed 3/4 fill, and
+    /// frozen segments never gain entries).
+    fn probe(stripe: &Stripe, key: u64, h: u64) -> Option<&ShadowPageSlot> {
+        let mut seg = stripe.head.load(Ordering::Acquire);
+        while !seg.is_null() {
+            // SAFETY: segments are freed only in Drop (`&self` borrows
+            // outlive no drop) and published fully initialized.
+            let s = unsafe { &*seg };
+            let mut idx = h & s.mask;
+            loop {
+                let k = s.slots[idx as usize].key.load(Ordering::Acquire);
+                if k == key + 1 {
+                    let p = s.slots[idx as usize].page.load(Ordering::Acquire);
+                    // SAFETY: a published key implies a published page
+                    // (stored before the key with Release ordering);
+                    // pages live until the table drops.
+                    return Some(unsafe { &*p });
+                }
+                if k == 0 {
+                    break;
+                }
+                idx = (idx + 1) & s.mask;
+            }
+            seg = s.prev;
         }
+        None
+    }
+
+    /// Miss path: take the stripe lock, re-probe (another thread may have
+    /// inserted while we allocated), grow the head segment if needed, and
+    /// publish the new page.
+    fn insert<'s>(&'s self, stripe: &'s Stripe, key: u64, h: u64) -> &'s ShadowPageSlot {
+        let fresh = Box::new(ShadowPageSlot::new());
+        let mut inner = stripe.writer.lock();
+        if let Some(p) = Self::probe(stripe, key, h) {
+            return p; // lost the race; `fresh` is dropped
+        }
+        let mut head = stripe.head.load(Ordering::Relaxed);
+        let capacity = if head.is_null() {
+            0
+        } else {
+            // SAFETY: head segments are freed only in Drop.
+            unsafe { (*head).mask as usize + 1 }
+        };
+        if capacity == 0 || (inner.head_len + 1) * MAX_FILL_DEN > capacity * MAX_FILL_NUM {
+            let grown = Segment::alloc(capacity.max(FIRST_SEGMENT_SLOTS / 2) * 2, head);
+            stripe.head.store(grown, Ordering::Release);
+            inner.head_len = 0;
+            head = grown;
+        }
+        let page_ptr: *mut ShadowPageSlot = {
+            inner.pages.push(fresh);
+            let stable: &ShadowPageSlot = inner.pages.last().unwrap();
+            stable as *const ShadowPageSlot as *mut ShadowPageSlot
+        };
+        // SAFETY: `head` is this stripe's live head segment; we hold the
+        // stripe lock, so no other thread writes slots concurrently.
+        let s = unsafe { &*head };
+        let mut idx = h & s.mask;
+        while s.slots[idx as usize].key.load(Ordering::Relaxed) != 0 {
+            idx = (idx + 1) & s.mask;
+        }
+        // Publish page before key: a reader that sees the key must see
+        // the page.
+        s.slots[idx as usize]
+            .page
+            .store(page_ptr, Ordering::Release);
+        s.slots[idx as usize].key.store(key + 1, Ordering::Release);
+        inner.head_len += 1;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the box address is stable in `inner.pages` and lives
+        // until the table drops.
+        unsafe { &*page_ptr }
     }
 
     /// The pages covering `len` bytes starting at `addr`, in ascending
-    /// address order, allocating on first touch. Each entry pairs the page
+    /// address order, allocating on first touch. Each item pairs the page
     /// key (`addr / SHADOW_PAGE_SIZE`) with the page, so callers can lock
-    /// each page exactly once and sweep every byte of the range that lands
-    /// on it under the single guard.
-    pub fn pages_for_range(&self, addr: u64, len: u64) -> Vec<(u64, Arc<Mutex<ShadowPage>>)> {
-        if len == 0 {
-            return Vec::new();
-        }
-        let first = addr / SHADOW_PAGE_SIZE;
-        let last = (addr + len - 1) / SHADOW_PAGE_SIZE;
-        (first..=last).map(|k| (k, self.page_by_key(k))).collect()
+    /// each page exactly once and sweep every byte of the range that
+    /// lands on it under the single guard. Returns a lazy iterator — no
+    /// allocation per call, no matter how many pages the range covers.
+    pub fn pages_for_range(
+        &self,
+        addr: u64,
+        len: u64,
+    ) -> impl Iterator<Item = (u64, &ShadowPageSlot)> + '_ {
+        let (first, last) = if len == 0 {
+            (1, 0) // empty range
+        } else {
+            (addr / SHADOW_PAGE_SIZE, (addr + len - 1) / SHADOW_PAGE_SIZE)
+        };
+        (first..=last).map(move |k| (k, self.page_by_key(k)))
     }
 
     /// Number of allocated pages.
     pub fn page_count(&self) -> usize {
-        self.pages.read().len()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Runs `f` with the locked page for `addr`.
     pub fn with_page<R>(&self, addr: u64, f: impl FnOnce(&mut ShadowPage) -> R) -> R {
-        let page = self.page(addr);
-        let mut guard: MutexGuard<'_, ShadowPage> = page.lock();
+        let mut guard = self.page(addr).lock();
         f(&mut guard)
+    }
+}
+
+impl Drop for GlobalShadow {
+    fn drop(&mut self) {
+        for stripe in self.stripes.iter() {
+            let mut seg = stripe.head.load(Ordering::Acquire);
+            while !seg.is_null() {
+                // SAFETY: `&mut self` — no concurrent readers; each
+                // segment was created by `Segment::alloc` and is freed
+                // exactly once.
+                let boxed = unsafe { Box::from_raw(seg) };
+                seg = boxed.prev;
+            }
+            // Pages are dropped with the stripe's `pages` vector.
+        }
     }
 }
 
@@ -286,11 +579,11 @@ mod tests {
     #[test]
     fn pages_for_range_spans_boundaries() {
         let g = GlobalShadow::new();
-        assert!(g.pages_for_range(0x1000, 0).is_empty());
-        let one = g.pages_for_range(SHADOW_PAGE_SIZE - 4, 4);
+        assert_eq!(g.pages_for_range(0x1000, 0).count(), 0);
+        let one: Vec<_> = g.pages_for_range(SHADOW_PAGE_SIZE - 4, 4).collect();
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].0, 0);
-        let two = g.pages_for_range(SHADOW_PAGE_SIZE - 4, 8);
+        let two: Vec<_> = g.pages_for_range(SHADOW_PAGE_SIZE - 4, 8).collect();
         assert_eq!(two.len(), 2);
         assert_eq!((two[0].0, two[1].0), (0, 1));
         // Keys match what `page` would resolve, and the pages are shared.
@@ -302,23 +595,87 @@ mod tests {
     }
 
     #[test]
+    fn page_identity_is_stable_across_lookups_and_growth() {
+        let g = GlobalShadow::new();
+        // Force several head-segment growths in each stripe and check
+        // that every key keeps resolving to the very same slot.
+        let keys: Vec<u64> = (0..2048u64).collect();
+        let first: Vec<*const ShadowPageSlot> =
+            keys.iter().map(|&k| g.page_by_key(k) as *const _).collect();
+        assert_eq!(g.page_count(), keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            assert!(
+                std::ptr::eq(g.page_by_key(k), first[i]),
+                "key {k} moved after growth"
+            );
+        }
+        assert_eq!(g.page_count(), keys.len(), "lookups never re-insert");
+    }
+
+    #[test]
+    fn owned_mut_sees_locked_writes() {
+        let g = GlobalShadow::new();
+        let slot = g.page(0x5000);
+        slot.lock().cell_mut(0x5000).write = Epoch::new(9, 2);
+        // Exclusive-owner access observes the same cells.
+        // SAFETY: single-threaded test — trivially the sole accessor.
+        let page = unsafe { slot.owned_mut() };
+        assert_eq!(page.cell_mut(0x5000).write, Epoch::new(9, 2));
+    }
+
+    #[test]
     fn concurrent_page_access() {
-        let g = Arc::new(GlobalShadow::new());
-        let mut handles = Vec::new();
-        for t in 0..4u32 {
-            let g = Arc::clone(&g);
-            handles.push(std::thread::spawn(move || {
-                for i in 0..100u64 {
-                    g.with_page(0x1000_0000 + i * 64, |p| {
-                        let c = p.cell_mut(0x1000_0000 + i * 64);
-                        c.write = Epoch::new(i as Clock + 1, t);
-                    });
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+        let g = GlobalShadow::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let g = &g;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        g.with_page(0x1000_0000 + i * 64, |p| {
+                            let c = p.cell_mut(0x1000_0000 + i * 64);
+                            c.write = Epoch::new(i as Clock + 1, t);
+                        });
+                    }
+                });
+            }
+        });
         assert!(g.page_count() >= 1);
+    }
+
+    /// Satellite: N threads hammering `page_by_key` insertions must all
+    /// observe the same `ShadowPage` identity for every key.
+    #[test]
+    fn concurrent_inserts_agree_on_page_identity() {
+        let g = GlobalShadow::new();
+        let per_thread: Vec<Vec<(u64, usize)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let g = &g;
+                    s.spawn(move || {
+                        // Every thread visits the same keys, in a
+                        // thread-dependent order, racing the inserts.
+                        (0..512u64)
+                            .map(|i| {
+                                let k = (i * 31 + t * 7) % 512;
+                                (k, g.page_by_key(k) as *const ShadowPageSlot as usize)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut identity = std::collections::HashMap::new();
+        for obs in &per_thread {
+            for &(k, p) in obs {
+                let prev = identity.insert(k, p);
+                assert!(
+                    prev.is_none() || prev == Some(p),
+                    "threads disagree on the page for key {k}"
+                );
+            }
+        }
+        assert_eq!(identity.len(), 512);
+        assert_eq!(g.page_count(), 512, "losing racers must not double-insert");
     }
 }

@@ -9,213 +9,21 @@
 //! * the uncompressed reference detector (dense vector clocks, literal
 //!   Fig. 2–3 semantics).
 //!
-//! The generators deliberately stress the cases where batching could go
-//! wrong: unaligned accesses of sizes 1/2/4/8 placed at offsets that
-//! straddle `SHADOW_PAGE_SIZE` boundaries (a single access split across
-//! two page locks), lanes of one warp hitting different pages, and
-//! divergent masks that disable the uniform-view path mid-stream.
+//! The generators (see `common`) deliberately stress the cases where
+//! batching could go wrong: unaligned accesses of sizes 1/2/4/8 placed at
+//! offsets that straddle `SHADOW_PAGE_SIZE` boundaries (a single access
+//! split across two page locks), lanes of one warp hitting different
+//! pages, and divergent masks that disable the uniform-view path
+//! mid-stream.
+
+mod common;
 
 use barracuda_core::shadow::SHADOW_PAGE_SIZE;
-use barracuda_core::{Detector, ReferenceDetector, Worker};
-use barracuda_trace::ops::{AccessKind, Event, MemSpace, Scope};
+use barracuda_core::{Detector, Worker};
+use barracuda_trace::ops::{AccessKind, Event, MemSpace};
 use barracuda_trace::GridDims;
+use common::{gen_stream, run_config, run_reference};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use std::collections::BTreeSet;
-
-/// Picks a base address near a shadow page boundary: for size `s`, the
-/// offsets `boundary - s .. boundary + 1` cover fully-before, straddling
-/// (every split point), and fully-after placements.
-fn boundary_addr(rng: &mut StdRng, size: u8) -> u64 {
-    let page = 1 + rng.random_range(0..3); // pages 1..=3
-    let boundary = page * SHADOW_PAGE_SIZE;
-    let lo = boundary - u64::from(size);
-    lo + rng.random_range(0..u64::from(size) + 1)
-}
-
-fn random_scope(rng: &mut StdRng) -> Scope {
-    if rng.random::<bool>() {
-        Scope::Block
-    } else {
-        Scope::Global
-    }
-}
-
-/// One access event with lane addresses clustered around page boundaries.
-///
-/// Three layouts:
-/// * **coalesced** — consecutive lanes at `base + lane*size`, so the warp
-///   window itself may cross the boundary;
-/// * **shared-word** — all lanes at one (possibly straddling) address,
-///   maximising same-cell conflicts under a single page sweep;
-/// * **scattered** — each lane draws its own boundary-straddling address,
-///   possibly on different pages.
-fn gen_access(rng: &mut StdRng, warp: u64, mask: u32) -> Event {
-    let kind = match rng.random_range(0..10) {
-        0..=3 => AccessKind::Read,
-        4..=6 => AccessKind::Write,
-        7 => AccessKind::Atomic,
-        8 => {
-            if rng.random::<bool>() {
-                AccessKind::Acquire(random_scope(rng))
-            } else {
-                AccessKind::Release(random_scope(rng))
-            }
-        }
-        _ => AccessKind::AcquireRelease(random_scope(rng)),
-    };
-    let space = if rng.random_range(0..4) == 0 {
-        MemSpace::Shared
-    } else {
-        MemSpace::Global
-    };
-    let size = [1u8, 2, 4, 8][rng.random_range(0..4)];
-    let mut addrs = [0u64; 32];
-    match rng.random_range(0..3) {
-        0 => {
-            let base = boundary_addr(rng, size);
-            for l in 0..32u32 {
-                if mask & (1 << l) != 0 {
-                    addrs[l as usize] = base + u64::from(l) * u64::from(size);
-                }
-            }
-        }
-        1 => {
-            let base = boundary_addr(rng, size);
-            for l in 0..32u32 {
-                if mask & (1 << l) != 0 {
-                    addrs[l as usize] = base;
-                }
-            }
-        }
-        _ => {
-            for l in 0..32u32 {
-                if mask & (1 << l) != 0 {
-                    addrs[l as usize] = boundary_addr(rng, size);
-                }
-            }
-        }
-    }
-    Event::Access {
-        warp,
-        kind,
-        space,
-        mask,
-        addrs,
-        size,
-    }
-}
-
-/// Balanced per-warp program: straight-line accesses with occasional
-/// divergent branches (which force the detector off the uniform-view
-/// path and back on again at `Fi`).
-fn gen_body(rng: &mut StdRng, warp: u64, mask: u32, depth: u32, out: &mut Vec<Event>) {
-    let steps = rng.random_range(1..4);
-    for _ in 0..steps {
-        if depth < 2 && mask.count_ones() >= 2 && rng.random::<f64>() < 0.3 {
-            let mut then_mask = 0u32;
-            for l in 0..32 {
-                if mask & (1 << l) != 0 && rng.random::<bool>() {
-                    then_mask |= 1 << l;
-                }
-            }
-            let else_mask = mask & !then_mask;
-            out.push(Event::If {
-                warp,
-                then_mask,
-                else_mask,
-            });
-            if then_mask != 0 {
-                gen_body(rng, warp, then_mask, depth + 1, out);
-            }
-            out.push(Event::Else { warp });
-            if else_mask != 0 {
-                gen_body(rng, warp, else_mask, depth + 1, out);
-            }
-            out.push(Event::Fi { warp });
-        } else {
-            out.push(gen_access(rng, warp, mask));
-        }
-    }
-}
-
-/// Well-formed multi-warp stream: interleaved per-warp programs with
-/// barrier rounds, ending in `Exit`.
-fn gen_stream(seed: u64, dims: &GridDims, rounds: usize) -> Vec<Event> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::new();
-    for round in 0..rounds {
-        let mut programs: Vec<Vec<Event>> = (0..dims.num_warps())
-            .map(|w| {
-                let mut p = Vec::new();
-                gen_body(&mut rng, w, dims.initial_mask(w), 0, &mut p);
-                p.reverse();
-                p
-            })
-            .collect();
-        loop {
-            let alive: Vec<usize> = (0..programs.len())
-                .filter(|&i| !programs[i].is_empty())
-                .collect();
-            if alive.is_empty() {
-                break;
-            }
-            let w = alive[rng.random_range(0..alive.len())];
-            out.push(programs[w].pop().expect("non-empty"));
-        }
-        if round + 1 < rounds || rng.random::<bool>() {
-            for w in 0..dims.num_warps() {
-                out.push(Event::Bar {
-                    warp: w,
-                    mask: dims.initial_mask(w),
-                });
-            }
-        }
-    }
-    for w in 0..dims.num_warps() {
-        out.push(Event::Exit {
-            warp: w,
-            mask: dims.initial_mask(w),
-        });
-    }
-    out
-}
-
-type RaceKey = (u8, u64, u64);
-
-fn race_set(reports: &[barracuda_core::RaceReport]) -> BTreeSet<RaceKey> {
-    reports
-        .iter()
-        .map(|r| {
-            (
-                match r.space {
-                    MemSpace::Global => 0u8,
-                    MemSpace::Shared => 1,
-                },
-                r.block.unwrap_or(0),
-                r.addr,
-            )
-        })
-        .collect()
-}
-
-fn run_config(dims: GridDims, stream: &[Event], fast: bool) -> BTreeSet<RaceKey> {
-    let det = Detector::new(dims, 64).with_fast_paths(fast);
-    let mut worker = Worker::new(&det);
-    for ev in stream {
-        worker.process_event(ev);
-    }
-    race_set(&det.races().reports())
-}
-
-fn run_reference(dims: GridDims, stream: &[Event]) -> BTreeSet<RaceKey> {
-    let mut reference = ReferenceDetector::new(dims);
-    for ev in stream {
-        reference.process_event(ev);
-    }
-    race_set(&reference.races().reports())
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(80))]

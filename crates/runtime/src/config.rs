@@ -46,6 +46,14 @@ pub struct BarracudaConfig {
     /// Off forces the paper-literal per-byte, lock-per-byte sweep — the
     /// differential-testing and benchmarking baseline.
     pub detector_fast_paths: bool,
+    /// Sharded (page-hash) record routing for [`DetectionMode::Threaded`]
+    /// (off by default). Plain global accesses route to workers by shadow
+    ///-page hash — splitting page-straddling accesses into per-page
+    /// fragments — and each worker updates its exclusive page partition
+    /// without page locks; sync and control records are replicated to
+    /// every queue so each worker keeps an exact copy of every warp's
+    /// clocks. Ignored in [`DetectionMode::Synchronous`].
+    pub sharded_routing: bool,
 }
 
 impl Default for BarracudaConfig {
@@ -59,6 +67,7 @@ impl Default for BarracudaConfig {
             push_stall_budget: 1 << 18,
             fault_plan: None,
             detector_fast_paths: true,
+            sharded_routing: false,
         }
     }
 }

@@ -76,6 +76,9 @@ struct LaunchCmd {
     plan: Option<Arc<FaultPlan>>,
     order: Arc<SyncOrder>,
     done: Arc<AtomicBool>,
+    /// Page-hash routing for this launch (see
+    /// [`BarracudaConfig::sharded_routing`]).
+    sharded: bool,
 }
 
 /// Long-lived detector workers, one per queue, reused across launches.
@@ -116,6 +119,7 @@ impl WorkerPool {
                             cmd.plan.as_deref(),
                             &cmd.done,
                             &cmd.order,
+                            cmd.sharded,
                         )
                     }));
                     let outcome = match r {
@@ -529,6 +533,7 @@ impl Engine {
                     plan: plan.clone(),
                     order: Arc::clone(&order),
                     done: Arc::clone(&done),
+                    sharded: self.config.sharded_routing,
                 })
                 .expect("pool worker alive");
             }
@@ -540,6 +545,7 @@ impl Engine {
             self.config.push_stall_budget,
             &order,
             det.epoch(),
+            self.config.sharded_routing,
         );
         let launch_res = self.gpu.launch_loaded(lk, dims, params, Some(&sink));
         done.store(true, Ordering::Release);

@@ -3,7 +3,7 @@
 //! This facade crate wires the full pipeline of the paper together
 //! (Fig. 5): PTX is parsed and **instrumented** (`barracuda-instrument`),
 //! executed on the **SIMT simulator** (`barracuda-simt`) whose device-side
-//! logger streams 272-byte records through lock-free **queues**
+//! logger streams fixed-size records through lock-free **queues**
 //! (`barracuda-trace`) to host-side **detector** workers
 //! (`barracuda-core`).
 //!

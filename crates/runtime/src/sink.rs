@@ -4,18 +4,40 @@
 
 use barracuda_core::{Detector, PathStats, Worker};
 use barracuda_simt::EventSink;
+use barracuda_trace::route::{route_class, split_global_access, RouteClass, SeqStamper};
 use barracuda_trace::{FaultPlan, HostOp, PushOutcome, QueueSet, Record, SyncOrder};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Producer-side state of the sharded (page-hash) routing mode.
+struct ShardedRouting {
+    /// Per-warp plain-access sequence stamps (the fast-forward trailer).
+    stamper: Mutex<SeqStamper>,
+    /// Held across *stamp → push-to-every-queue → issue ticket* for sync
+    /// records, so each queue's FIFO receives ticketed sync records in
+    /// ticket-issue order — the consumer pairs the k-th sync record it
+    /// pops with the k-th ticket naming its queue, which deadlocks if two
+    /// broadcasts can cross on the way in.
+    broadcast: Mutex<()>,
+}
 
 /// The producer-side sink of the threaded pipeline: routes records to
 /// their block's queue with bounded-stall backpressure, and applies the
 /// producer-side faults of a [`FaultPlan`] (drops, corruption).
 ///
+/// In sharded mode ([`BarracudaConfig::sharded_routing`]) records route
+/// by *shadow-page hash* instead: plain global accesses split into
+/// page-local fragments, each sent to the page's owner queue; plain
+/// shared accesses go to their block's queue; sync and control records
+/// are replicated to every queue so each worker keeps an exact copy of
+/// every warp's clock state.
+///
 /// A queue whose bounded push ever times out is marked *wedged*: its
 /// consumer is presumed dead or badly stalled, and later records for it
 /// pay at most one fast full-check instead of the whole stall budget
 /// again, so a single dead worker cannot slow the simulation to a crawl.
+///
+/// [`BarracudaConfig::sharded_routing`]: crate::BarracudaConfig::sharded_routing
 pub(crate) struct PipelineSink<'a> {
     queues: &'a QueueSet,
     plan: Option<&'a FaultPlan>,
@@ -25,9 +47,11 @@ pub(crate) struct PipelineSink<'a> {
     /// fairness under the serving workload; see [`QueueSet::index_for`]).
     epoch: u32,
     /// Cross-queue ordering of synchronization records: a ticket is
-    /// issued for every global-sync record that actually enqueues, so
-    /// workers apply them in emission order.
+    /// issued for every sync record that actually enqueues, so workers
+    /// apply them in emission order.
     order: &'a SyncOrder,
+    /// `Some` when page-hash routing is on.
+    sharded: Option<ShardedRouting>,
     /// Per-queue producer sequence numbers (fault-decision coordinates).
     seq: Vec<AtomicU64>,
     /// Queues that exhausted a stall budget once.
@@ -43,6 +67,7 @@ impl<'a> PipelineSink<'a> {
         stall_budget: u64,
         order: &'a SyncOrder,
         epoch: u32,
+        sharded: bool,
     ) -> Self {
         PipelineSink {
             queues,
@@ -50,6 +75,10 @@ impl<'a> PipelineSink<'a> {
             stall_budget,
             epoch,
             order,
+            sharded: sharded.then(|| ShardedRouting {
+                stamper: Mutex::new(SeqStamper::new()),
+                broadcast: Mutex::new(()),
+            }),
             seq: (0..queues.len()).map(|_| AtomicU64::new(0)).collect(),
             wedged: (0..queues.len()).map(|_| AtomicBool::new(false)).collect(),
             injected_drops: AtomicU64::new(0),
@@ -60,16 +89,16 @@ impl<'a> PipelineSink<'a> {
     pub(crate) fn injected_drops(&self) -> u64 {
         self.injected_drops.load(Ordering::Relaxed)
     }
-}
 
-impl EventSink for PipelineSink<'_> {
-    fn emit(&self, block: u64, mut record: Record) {
-        let qi = self.queues.index_for(self.epoch, block);
+    /// Applies the fault plan and bounded-stall backpressure, then pushes
+    /// to queue `qi`. Returns the record as pushed (kind possibly
+    /// corrupted), or `None` when it was dropped — injected or shed.
+    fn try_push(&self, qi: usize, mut record: Record) -> Option<Record> {
         if let Some(plan) = self.plan {
             let seq = self.seq[qi].fetch_add(1, Ordering::Relaxed);
             if plan.should_drop(qi as u64, seq) {
                 self.injected_drops.fetch_add(1, Ordering::Relaxed);
-                return;
+                return None;
             }
             if let Some(kind) = plan.corrupt_kind(qi as u64, seq) {
                 record.kind = kind;
@@ -84,10 +113,62 @@ impl EventSink for PipelineSink<'_> {
         };
         if q.push_bounded(record, budget) == PushOutcome::Dropped {
             self.wedged[qi].store(true, Ordering::Relaxed);
-        } else if record.is_global_sync() {
-            // Only records that made it into a queue get a ticket — a
-            // ticket must never wait on a record that is not coming.
-            self.order.issue(qi);
+            return None;
+        }
+        Some(record)
+    }
+
+    /// Sharded emission: stamp the fast-forward trailer, then route by
+    /// class (see the type docs).
+    fn emit_sharded(&self, sh: &ShardedRouting, block: u64, mut record: Record) {
+        let n = self.queues.len();
+        sh.stamper
+            .lock()
+            .expect("seq stamper poisoned")
+            .stamp(&mut record);
+        match route_class(&record) {
+            RouteClass::PlainShared => {
+                let _ = self.try_push(self.queues.index_for(self.epoch, block), record);
+            }
+            RouteClass::PlainGlobal => {
+                split_global_access(&record, n, |qi, frag| {
+                    let _ = self.try_push(qi, frag);
+                });
+            }
+            RouteClass::Sync => {
+                // All pushes and the ticket are one atomic step w.r.t.
+                // other sync broadcasts (see `ShardedRouting::broadcast`).
+                let _b = sh.broadcast.lock().expect("broadcast lock poisoned");
+                // A copy is a ticket member iff it enqueued *and* still
+                // classifies as sync after per-queue corruption — exactly
+                // the test its consumer applies when pairing tickets.
+                let mask: Vec<bool> = (0..n)
+                    .map(|qi| self.try_push(qi, record).is_some_and(|r| r.is_sync()))
+                    .collect();
+                self.order.issue_broadcast(&mask);
+            }
+            RouteClass::Control => {
+                for qi in 0..n {
+                    let _ = self.try_push(qi, record);
+                }
+            }
+        }
+    }
+}
+
+impl EventSink for PipelineSink<'_> {
+    fn emit(&self, block: u64, record: Record) {
+        if let Some(sh) = &self.sharded {
+            self.emit_sharded(sh, block, record);
+            return;
+        }
+        let qi = self.queues.index_for(self.epoch, block);
+        if let Some(rec) = self.try_push(qi, record) {
+            if rec.is_global_sync() {
+                // Only records that made it into a queue get a ticket — a
+                // ticket must never wait on a record that is not coming.
+                self.order.issue(qi);
+            }
         }
     }
 }
@@ -123,6 +204,15 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// synchronization map in device emission order no matter how consumers
 /// are scheduled (or chaos-stalled).
 ///
+/// In sharded mode every sync record is broadcast to every queue and
+/// ticketed once with per-queue membership: the worker pairs the k-th
+/// sync record it pops with the k-th ticket naming its queue, waits for
+/// its *sub-turn* (sub-turns of one ticket ascend by queue index),
+/// applies the record — every replica performs the full sync-map
+/// transaction; the writes are idempotent because replicas hold
+/// identical clock state — and completes the sub-turn. All other records
+/// go through [`Worker::process_sharded_record`] directly.
+///
 /// The loop polls the detector's cancel token between records (and inside
 /// every spin-wait, where a cancelled producer would otherwise leave it
 /// spinning forever). A cancelled worker marks its queue dead in the sync
@@ -132,6 +222,7 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 ///
 /// Returns `(events, format census, corrupt records skipped, shadow path
 /// counters)`.
+#[allow(clippy::too_many_arguments)] // one call site, in WorkerPool::spawn
 pub(crate) fn drain_queue(
     qi: usize,
     nworkers: usize,
@@ -140,9 +231,14 @@ pub(crate) fn drain_queue(
     plan: Option<&FaultPlan>,
     done: &AtomicBool,
     order: &SyncOrder,
+    sharded: bool,
 ) -> (u64, [u64; 4], u64, PathStats) {
     let q = queues.queue(qi);
-    let mut worker = Worker::new(detector);
+    let mut worker = if sharded {
+        Worker::new_sharded(detector, qi, nworkers)
+    } else {
+        Worker::new(detector)
+    };
     let mut processed = 0u64;
     let mut corrupt = 0u64;
     let mut sync_idx = 0usize;
@@ -162,7 +258,38 @@ pub(crate) fn drain_queue(
                     at = panic_at.unwrap_or(0)
                 )));
             }
-            if rec.is_global_sync() {
+            if sharded {
+                if rec.is_sync() {
+                    // Same pairing as the unified branch below, but on the
+                    // broadcast ticket's per-queue sub-turn.
+                    let ticket = loop {
+                        if let Some(t) = order.ticket(qi, sync_idx) {
+                            break t;
+                        }
+                        if detector.is_cancelled() {
+                            order.mark_dead(qi);
+                            break 'drain;
+                        }
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    };
+                    sync_idx += 1;
+                    while !order.is_sub_turn(ticket, qi) {
+                        if detector.is_cancelled() {
+                            order.mark_dead(qi);
+                            break 'drain;
+                        }
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                    if !worker.process_sharded_record(&rec) {
+                        corrupt += 1;
+                    }
+                    order.complete_sub(ticket, qi);
+                } else if !worker.process_sharded_record(&rec) {
+                    corrupt += 1;
+                }
+            } else if rec.is_global_sync() {
                 // The producer issues the ticket right after the push;
                 // spin out the tiny window where it is not visible yet.
                 let ticket = loop {

@@ -1,0 +1,59 @@
+//! Sharded-routing parity over the full verdict suite: every one of the
+//! 66 single-kernel programs must produce its expected verdict with
+//! page-hash record routing enabled (`sharded_routing: true` — plain
+//! global accesses page-partitioned across owner workers, sync/control
+//! records replicated to every queue), with the shadow fast paths both
+//! on and off.
+//!
+//! Together with `fastpath_parity` and `engine_backcompat`, this pins
+//! end-to-end that the sharded and unified pipelines agree on every
+//! program in the suite.
+
+use barracuda::{BarracudaConfig, DetectionMode};
+use barracuda_suite::{all_programs, run_program_with, Expectation, Verdict};
+
+fn expectation_matches(v: &Verdict, e: Expectation) -> bool {
+    matches!(
+        (v, e),
+        (Verdict::Race, Expectation::Race)
+            | (Verdict::NoRace, Expectation::NoRace)
+            | (Verdict::BarrierDivergence, Expectation::BarrierDivergence)
+    )
+}
+
+fn pin_all_sharded(fast_paths: bool) {
+    let ps = all_programs();
+    assert_eq!(ps.len(), 66);
+    let mut failures = Vec::new();
+    for p in &ps {
+        let config = BarracudaConfig {
+            mode: DetectionMode::Threaded,
+            sharded_routing: true,
+            detector_fast_paths: fast_paths,
+            ..BarracudaConfig::default()
+        };
+        let got = run_program_with(p, config);
+        if !expectation_matches(&got, p.expected) {
+            failures.push(format!(
+                "{}: expected {:?}, got {:?}",
+                p.name, p.expected, got
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "sharded routing changed {} suite verdicts (fast_paths={fast_paths}):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn all_66_verdicts_unchanged_with_sharded_routing() {
+    pin_all_sharded(true);
+}
+
+#[test]
+fn all_66_verdicts_unchanged_with_sharded_routing_slow_paths() {
+    pin_all_sharded(false);
+}

@@ -44,9 +44,16 @@ echo "==> bench smoke: bench_detector --quick"
 ./target/release/bench_detector --quick --out /tmp/bench_detector_smoke.json
 rm -f /tmp/bench_detector_smoke.json
 
+echo "==> worker-scaling gate: bench_detector --gate (sharded threaded >= sync on coalesced)"
+./target/release/bench_detector --gate
+
 echo "==> shadow fast-path differential: core proptests + 66-program parity (both pipeline modes)"
 cargo test -q -p barracuda-core --test shadow_fastpath
 cargo test -q -p barracuda-suite --test fastpath_parity
+
+echo "==> sharded routing differential: core proptests + 66-program parity (sharded pipeline)"
+cargo test -q -p barracuda-core --test sharded_routing
+cargo test -q -p barracuda-suite --test sharded_parity
 
 echo "==> server smoke: serve/client over a unix socket"
 SOCK="/tmp/barracuda_verify_$$.sock"

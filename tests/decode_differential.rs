@@ -242,7 +242,7 @@ fn random_kernel(seed: u64) -> barracuda_ptx::ast::Module {
 }
 
 /// A comparable projection of one log record (Record itself is a raw
-/// 272-byte struct without PartialEq).
+/// fixed-size struct without PartialEq).
 type RecordKey = (u64, u8, u8, u8, u32, [u64; 32]);
 
 /// Runs the instrumented kernel in one mode, returning (stats, final
