@@ -284,6 +284,16 @@ impl Detector {
         self
     }
 
+    /// Re-points the launch scope's registry snapshot. Deferred
+    /// (co-resident) launches mint their detector at registration time,
+    /// but later registrations clone-on-write the engine's registry — so
+    /// a detector held across registrations would keep a snapshot that
+    /// cannot resolve its group peers' thread ids. The engine calls this
+    /// on every deferred detector right before the group executes.
+    pub(crate) fn set_registry(&mut self, registry: Arc<LaunchRegistry>) {
+        self.scope.registry = registry;
+    }
+
     /// True once this launch was cancelled: worker loops draining records
     /// for this detector should stop at the next record boundary.
     pub fn is_cancelled(&self) -> bool {

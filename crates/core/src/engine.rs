@@ -152,6 +152,22 @@ impl EngineCore {
         .with_fast_paths(self.fast_paths)
     }
 
+    /// Re-points a deferred launch detector at the engine's current
+    /// registry. [`EngineCore::begin_launch`] clones the registry on
+    /// write, so a detector minted before its group peers registered
+    /// holds a snapshot missing their thread-id ranges; calling this for
+    /// every deferred detector once the whole group is registered lets
+    /// co-resident detectors classify races against each other's threads.
+    pub fn refresh_registry(&self, det: &mut Detector) {
+        det.set_registry(Arc::clone(&self.registry));
+    }
+
+    /// The launch epoch owning global thread id `t`, if any (used to
+    /// attribute a group's races back to individual launches).
+    pub fn epoch_of_tid(&self, t: u64) -> Option<u32> {
+        self.registry.lookup(t).map(|info| info.epoch)
+    }
+
     /// Marks a launch finished: shared-memory synchronization locations
     /// die with the launch (shared memory resets), so their entries are
     /// dropped from the persistent map. Global locations persist — they

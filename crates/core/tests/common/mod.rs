@@ -208,3 +208,61 @@ pub fn run_reference(dims: GridDims, stream: &[Event]) -> BTreeSet<RaceKey> {
     }
     race_set(&reference.races().reports())
 }
+
+/// Shifts every warp id in `ev` by `offset` — the remapping the
+/// co-resident scheduler's demux applies when two kernels are folded
+/// into one logical launch (kernel B's warps land in later blocks).
+pub fn offset_warps(ev: &Event, offset: u64) -> Event {
+    let mut out = ev.clone();
+    match &mut out {
+        Event::Access { warp, .. }
+        | Event::If { warp, .. }
+        | Event::Else { warp }
+        | Event::Fi { warp }
+        | Event::Bar { warp, .. }
+        | Event::Exit { warp, .. } => *warp += offset,
+    }
+    out
+}
+
+/// A two-stream workload folded into one logical launch: two
+/// independently generated kernels, each a block of `per_kernel` dims,
+/// with kernel B's warps offset into block 1. Returned per-kernel
+/// streams are valid inputs for [`interleave_two`].
+pub fn gen_two_stream(
+    seed: u64,
+    per_kernel: &GridDims,
+    rounds: usize,
+) -> (GridDims, Vec<Event>, Vec<Event>) {
+    assert_eq!(per_kernel.num_blocks(), 1, "one block per kernel");
+    let combined = GridDims::with_warp_size(2u32, per_kernel.block, per_kernel.warp_size);
+    let a = gen_stream(seed, per_kernel, rounds);
+    let b: Vec<Event> = gen_stream(seed.wrapping_add(0x9e37_79b9), per_kernel, rounds)
+        .iter()
+        .map(|ev| offset_warps(ev, per_kernel.num_warps()))
+        .collect();
+    (combined, a, b)
+}
+
+/// Deterministically interleaves two event streams, preserving each
+/// stream's internal order — the schedule a co-resident warp scheduler
+/// would produce. `seed = 0` concatenates (fully serial schedule).
+pub fn interleave_two(seed: u64, a: &[Event], b: &[Event]) -> Vec<Event> {
+    if seed == 0 {
+        return a.iter().chain(b).cloned().collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut ia, mut ib) = (0, 0);
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    while ia < a.len() || ib < b.len() {
+        let take_a = ia < a.len() && (ib == b.len() || rng.random::<bool>());
+        if take_a {
+            out.push(a[ia].clone());
+            ia += 1;
+        } else {
+            out.push(b[ib].clone());
+            ib += 1;
+        }
+    }
+    out
+}

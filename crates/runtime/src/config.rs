@@ -1,7 +1,7 @@
 //! Session and engine configuration.
 
 use barracuda_instrument::InstrumentOptions;
-use barracuda_simt::GpuConfig;
+use barracuda_simt::{GpuConfig, SchedPolicy};
 use barracuda_trace::FaultPlan;
 
 /// How detector workers consume the device-side queues.
@@ -54,6 +54,20 @@ pub struct BarracudaConfig {
     /// every queue so each worker keeps an exact copy of every warp's
     /// clocks. Ignored in [`DetectionMode::Synchronous`].
     pub sharded_routing: bool,
+    /// Co-resident kernel interleaving (off by default). When on,
+    /// [`launch_async`](crate::Engine::launch_async) *defers* the launch:
+    /// kernels accumulate until a synchronization point (a memcpy,
+    /// `stream_synchronize`, `device_synchronize`, or an explicit
+    /// [`flush_pending`](crate::Engine::flush_pending)) and then execute
+    /// as one co-resident group whose warps genuinely interleave under
+    /// [`scheduler`](BarracudaConfig::scheduler). Same-stream launches
+    /// keep their order inside the group; verdicts are
+    /// schedule-independent because happens-before edges are fixed at
+    /// registration time, before any schedule is chosen.
+    pub interleave_kernels: bool,
+    /// Warp-scheduling policy for co-resident groups (ignored unless
+    /// [`interleave_kernels`](BarracudaConfig::interleave_kernels) is on).
+    pub scheduler: SchedPolicy,
 }
 
 impl Default for BarracudaConfig {
@@ -68,6 +82,8 @@ impl Default for BarracudaConfig {
             fault_plan: None,
             detector_fast_paths: true,
             sharded_routing: false,
+            interleave_kernels: false,
+            scheduler: SchedPolicy::RoundRobin,
         }
     }
 }

@@ -89,23 +89,45 @@ impl Engine {
     /// Host-to-device copy on `stream` (`cudaMemcpy` H2D): waits for the
     /// stream's previous work, then writes `data` at `dst` as the host
     /// thread. Returns the races the copy exposed — conflicts with
-    /// kernels still in flight on *other* streams.
+    /// kernels still in flight on *other* streams. In interleave mode
+    /// the copy is a barrier: it first flushes every deferred launch
+    /// (the host thread blocks, so nothing stays co-resident past it)
+    /// and includes the group's races in its report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when flushing a deferred co-resident group
+    /// fails (interleave mode only; eager copies cannot fail).
     ///
     /// # Panics
     ///
     /// Panics on an unknown stream or an unallocated destination.
-    pub fn memcpy_h2d(&mut self, stream: StreamId, dst: DevicePtr, data: &[u8]) -> Vec<RaceReport> {
+    pub fn memcpy_h2d(
+        &mut self,
+        stream: StreamId,
+        dst: DevicePtr,
+        data: &[u8],
+    ) -> Result<Vec<RaceReport>, Error> {
+        let mut races = self.flush_pending()?;
         self.join_stream(stream);
         let buf = HostOpBuffer::new();
         self.gpu.write_bytes_traced(dst, data, stream.0, &buf);
         self.host_trace.extend(buf.take());
         self.core.host_write(dst.0, data.len() as u64);
-        self.core.drain().0
+        races.extend(self.core.drain().0);
+        Ok(races)
     }
 
     /// Device-to-host copy on `stream` (`cudaMemcpy` D2H): waits for the
     /// stream's previous work, then reads `len = out.len()` bytes at
     /// `src` as the host thread. Returns the races the copy exposed.
+    /// A barrier for deferred co-resident launches, exactly like
+    /// [`memcpy_h2d`](Engine::memcpy_h2d).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when flushing a deferred co-resident group
+    /// fails (interleave mode only; eager copies cannot fail).
     ///
     /// # Panics
     ///
@@ -115,32 +137,52 @@ impl Engine {
         stream: StreamId,
         src: DevicePtr,
         out: &mut [u8],
-    ) -> Vec<RaceReport> {
+    ) -> Result<Vec<RaceReport>, Error> {
+        let mut races = self.flush_pending()?;
         self.join_stream(stream);
         let buf = HostOpBuffer::new();
         self.gpu.read_bytes_traced(src, out, stream.0, &buf);
         self.host_trace.extend(buf.take());
         self.core.host_read(src.0, out.len() as u64);
-        self.core.drain().0
+        races.extend(self.core.drain().0);
+        Ok(races)
     }
 
     /// `cudaStreamSynchronize`: the host waits for everything previously
     /// enqueued on `stream`; later host operations are ordered after it.
+    /// A barrier for deferred co-resident launches: the whole pending
+    /// group executes first and its races are returned (empty in eager
+    /// mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when flushing a deferred co-resident group
+    /// fails (interleave mode only).
     ///
     /// # Panics
     ///
     /// Panics on an unknown stream.
-    pub fn stream_synchronize(&mut self, stream: StreamId) {
+    pub fn stream_synchronize(&mut self, stream: StreamId) -> Result<Vec<RaceReport>, Error> {
+        let races = self.flush_pending()?;
         self.join_stream(stream);
         self.host_trace
             .push(HostOp::StreamSynchronize { stream: stream.0 });
+        Ok(races)
     }
 
     /// `cudaDeviceSynchronize`: the host waits for every launch on every
-    /// stream.
-    pub fn device_synchronize(&mut self) {
+    /// stream. A barrier for deferred co-resident launches, like
+    /// [`stream_synchronize`](Engine::stream_synchronize).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when flushing a deferred co-resident group
+    /// fails (interleave mode only).
+    pub fn device_synchronize(&mut self) -> Result<Vec<RaceReport>, Error> {
+        let races = self.flush_pending()?;
         self.core.join_all();
         self.host_trace.push(HostOp::DeviceSynchronize);
+        Ok(races)
     }
 
     /// Joins the stream's most recent launch (and, transitively, all its

@@ -25,10 +25,12 @@ use crate::device::{StreamId, StreamState};
 use crate::session::KernelRun;
 use crate::sink::{drain_queue, panic_message, PipelineSink, WorkerOutcome};
 use crate::Error;
-use barracuda_core::{Detector, Diagnostic, EngineCore, PathStats, Worker};
+use barracuda_core::{Detector, Diagnostic, EngineCore, PathStats, RaceReport, Worker};
 use barracuda_instrument::{instrument_module, InstrumentStats};
 use barracuda_ptx::ast::Module;
-use barracuda_simt::{Gpu, LaunchStats, LoadedKernel, ParamValue, VecSink};
+use barracuda_simt::{
+    Gpu, GroupLaunch, LaunchStats, LoadedKernel, ParamValue, VecSink, MAX_GROUP_SLOTS,
+};
 use barracuda_trace::{CancelToken, FaultPlan, GridDims, HostOp, QueueSet, SyncOrder};
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
@@ -61,6 +63,64 @@ pub struct LaunchSummary {
     pub events: u64,
 }
 
+/// A deferred launch awaiting its co-resident group
+/// ([`BarracudaConfig::interleave_kernels`]): everything needed to
+/// execute and detect it at the next flush. Its epoch, happens-before
+/// edges and detector were fixed at registration time — deferral changes
+/// *when* the kernel runs, never what it is ordered against.
+struct PendingLaunch {
+    stream: StreamId,
+    epoch: u32,
+    /// Detector frozen at registration; its registry snapshot is
+    /// refreshed at flush time so it can classify races against launches
+    /// registered after it.
+    det: Detector,
+    lk: LoadedKernel,
+    dims: GridDims,
+    params: Vec<ParamValue>,
+    /// Group index of the same-stream predecessor, when that predecessor
+    /// is still pending (same group ⇒ the scheduler orders them).
+    dep: Option<usize>,
+    /// Index of the launch's placeholder [`LaunchSummary`], filled in at
+    /// flush time.
+    summary_index: usize,
+}
+
+impl std::fmt::Debug for PendingLaunch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingLaunch")
+            .field("stream", &self.stream)
+            .field("epoch", &self.epoch)
+            .field("dims", &self.dims)
+            .field("dep", &self.dep)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-slot tallies of one flushed co-resident group, plus the group-wide
+/// census/path/pipeline aggregates.
+#[derive(Debug, Default)]
+struct GroupTallies {
+    stats: Vec<LaunchStats>,
+    records: Vec<u64>,
+    events: Vec<u64>,
+    dropped: Vec<u64>,
+    census: [u64; 4],
+    paths: PathStats,
+    pipeline: PipelineStats,
+}
+
+/// Everything one flush produced: the drained races and diagnostics plus
+/// the group tallies (slot-indexed in flush order).
+#[derive(Debug, Default)]
+struct FlushOutcome {
+    races: Vec<RaceReport>,
+    diagnostics: Vec<Diagnostic>,
+    tallies: GroupTallies,
+    detection_time: std::time::Duration,
+    shadow_bytes: u64,
+}
+
 /// One instrumented module, cached so repeated checks of the same source
 /// reuse the rewrite and the per-kernel load (CFG construction, decode).
 #[derive(Debug)]
@@ -70,9 +130,12 @@ struct CachedModule {
     kernels: HashMap<String, LoadedKernel>,
 }
 
-/// Work order for one pool worker: drain your queue for this launch.
+/// Work order for one pool worker: drain your queue for this launch (or
+/// co-resident launch group — one detector per group slot, records
+/// dispatched by their [`Record::slot`](barracuda_trace::Record::slot)
+/// byte; eager launches pass a single detector).
 struct LaunchCmd {
-    det: Arc<Detector>,
+    dets: Vec<Arc<Detector>>,
     plan: Option<Arc<FaultPlan>>,
     order: Arc<SyncOrder>,
     done: Arc<AtomicBool>,
@@ -115,7 +178,7 @@ impl WorkerPool {
                             qi,
                             nqueues,
                             &q,
-                            &cmd.det,
+                            &cmd.dets,
                             cmd.plan.as_deref(),
                             &cmd.done,
                             &cmd.order,
@@ -123,7 +186,7 @@ impl WorkerPool {
                         )
                     }));
                     let outcome = match r {
-                        Ok((e, c, bad, p)) => WorkerOutcome::Finished(e, c, bad, p),
+                        Ok(t) => WorkerOutcome::Finished(t),
                         Err(payload) => {
                             // A dead worker must not wedge the sync order
                             // for the survivors of this launch.
@@ -174,6 +237,9 @@ pub struct Engine {
     pool: Option<WorkerPool>,
     /// Cumulative per-stream pipeline telemetry, indexed by stream id.
     stream_stats: Vec<StreamTelemetry>,
+    /// Deferred launches awaiting their co-resident group
+    /// ([`BarracudaConfig::interleave_kernels`]); empty in eager mode.
+    pending: Vec<PendingLaunch>,
 }
 
 impl Default for Engine {
@@ -207,6 +273,7 @@ impl Engine {
             cache_hits: 0,
             pool: None,
             stream_stats: Vec::new(),
+            pending: Vec::new(),
         }
     }
 
@@ -299,7 +366,8 @@ impl Engine {
     /// Returns [`Error`] on parse or simulation failure (including barrier
     /// divergence hangs and timeouts).
     pub fn check(&mut self, run: &KernelRun<'_>) -> Result<Analysis, Error> {
-        self.launch_async(StreamId::DEFAULT, run)
+        let analysis = self.launch_async(StreamId::DEFAULT, run)?;
+        self.flush_for_check(analysis)
     }
 
     /// Like [`Engine::check`] for an already-parsed module. The cache key
@@ -319,7 +387,8 @@ impl Engine {
         let key = hash_key(1, &barracuda_ptx::printer::print_module(module));
         let (lk, istats) =
             self.cached_kernel(key, |opts| Ok(instrument_module(module, opts)), kernel)?;
-        self.run_launch(StreamId::DEFAULT, kernel, &lk, istats, dims, params)
+        let analysis = self.run_launch(StreamId::DEFAULT, kernel, &lk, istats, dims, params)?;
+        self.flush_for_check(analysis)
     }
 
     /// Warp-size portability sweep: checks the kernel under several
@@ -400,6 +469,9 @@ impl Engine {
         dims: GridDims,
         params: &[ParamValue],
     ) -> Result<Analysis, Error> {
+        if self.config.interleave_kernels {
+            return self.defer_launch(stream, kernel, lk, istats, dims, params);
+        }
         let shared_size = lk.kernel.shared_size();
         // Re-arm the cancel token: a cancellation aimed at a *previous*
         // launch (e.g. a watchdog firing after completion) must not kill
@@ -529,7 +601,7 @@ impl Engine {
             let pool = self.pool.as_ref().expect("spawned above");
             for tx in &pool.txs {
                 tx.send(LaunchCmd {
-                    det: Arc::clone(det),
+                    dets: vec![Arc::clone(det)],
                     plan: plan.clone(),
                     order: Arc::clone(&order),
                     done: Arc::clone(&done),
@@ -584,18 +656,18 @@ impl Engine {
         let mut per_worker = Vec::with_capacity(nqueues);
         for (qi, outcome) in slots.into_iter().enumerate() {
             match outcome.expect("one outcome per worker") {
-                WorkerOutcome::Finished(e, c, bad, p) => {
-                    events += e;
-                    for i in 0..4 {
-                        census[i] += c[i];
+                WorkerOutcome::Finished(t) => {
+                    events += t.events;
+                    for (c, n) in census.iter_mut().zip(t.census) {
+                        *c += n;
                     }
-                    corrupt += bad;
-                    paths.merge(&p);
+                    corrupt += t.corrupt;
+                    paths.merge(&t.paths);
                     per_worker.push(WorkerTelemetry {
                         worker: qi,
-                        events: e,
-                        format_census: c,
-                        corrupt_records: bad,
+                        events: t.events,
+                        format_census: t.census,
+                        corrupt_records: t.corrupt,
                         panicked: false,
                     });
                 }
@@ -633,6 +705,416 @@ impl Engine {
         // `records` counts what the device logger produced, whether or
         // not it survived the trip to a worker.
         Ok((launch, committed + dropped, events, census, paths, pipeline))
+    }
+
+    /// Defers the launch into the pending co-resident group
+    /// ([`BarracudaConfig::interleave_kernels`]): the epoch, its
+    /// happens-before edges and its detector are fixed *now*, execution
+    /// happens at the next flush. The returned analysis is a stub (races
+    /// surface at the synchronization point that flushes the group) —
+    /// unless the group was full, in which case the forced flush's races
+    /// ride along.
+    fn defer_launch(
+        &mut self,
+        stream: StreamId,
+        kernel: &str,
+        lk: &LoadedKernel,
+        istats: InstrumentStats,
+        dims: GridDims,
+        params: &[ParamValue],
+    ) -> Result<Analysis, Error> {
+        assert!(stream.index() < self.streams.len(), "unknown stream");
+        // The record slot byte caps co-residency.
+        let (mut races, mut diagnostics) = (Vec::new(), Vec::new());
+        if self.pending.len() >= MAX_GROUP_SLOTS {
+            let out = self.flush_pending_inner()?;
+            races = out.races;
+            diagnostics = out.diagnostics;
+        }
+        let shared_size = lk.kernel.shared_size();
+        let pred = self.streams[stream.index()].last_epoch;
+        let det = self.core.begin_launch(dims, shared_size, pred);
+        let epoch = det.epoch();
+        // Same-stream order inside one group is the scheduler's job; a
+        // predecessor that already flushed needs no gate (it has run).
+        let dep = pred.and_then(|p| self.pending.iter().position(|pl| pl.epoch == p));
+        self.streams[stream.index()].last_epoch = Some(epoch);
+        self.host_trace.push(HostOp::LaunchKernel {
+            stream: stream.0,
+            epoch,
+        });
+        let summary_index = self.launches.len();
+        self.launches.push(LaunchSummary {
+            epoch,
+            stream: stream.0,
+            kernel: kernel.to_string(),
+            races: 0,
+            records: 0,
+            events: 0,
+        });
+        self.pending.push(PendingLaunch {
+            stream,
+            epoch,
+            det,
+            lk: lk.clone(),
+            dims,
+            params: params.to_vec(),
+            dep,
+            summary_index,
+        });
+        let stats = AnalysisStats {
+            instrument: istats,
+            ..AnalysisStats::default()
+        };
+        Ok(Analysis::new(races, diagnostics, stats))
+    }
+
+    /// Executes every deferred launch as one co-resident group under the
+    /// configured [`scheduler`](BarracudaConfig::scheduler) and returns
+    /// the races the group exposed. A no-op returning no races in eager
+    /// mode (or with nothing pending). The synchronization entry points
+    /// ([`memcpy_h2d`](Engine::memcpy_h2d),
+    /// [`stream_synchronize`](Engine::stream_synchronize),
+    /// [`device_synchronize`](Engine::device_synchronize)) call this
+    /// before joining, so a barrier on *any* stream drains *all* pending
+    /// work — exactly the co-residency window real hardware would have
+    /// closed by then.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the group's simulation fails (barrier
+    /// divergence, timeout, cancellation); the pending set is consumed
+    /// either way.
+    pub fn flush_pending(&mut self) -> Result<Vec<RaceReport>, Error> {
+        Ok(self.flush_pending_inner()?.races)
+    }
+
+    /// Launches deferred and not yet flushed (always 0 in eager mode).
+    pub fn pending_launches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `check`/`check_module` epilogue in interleave mode: flush the
+    /// group the checked launch just joined and rebuild a full analysis
+    /// for *its* slot from the group tallies, so one-shot checks are
+    /// indistinguishable from eager mode apart from scheduling.
+    fn flush_for_check(&mut self, deferred: Analysis) -> Result<Analysis, Error> {
+        if !self.config.interleave_kernels {
+            return Ok(deferred);
+        }
+        let slot = self
+            .pending
+            .len()
+            .checked_sub(1)
+            .expect("check just deferred a launch");
+        let istats = deferred.stats().instrument;
+        let out = self.flush_pending_inner()?;
+        let stats = AnalysisStats {
+            instrument: istats,
+            launch: out.tallies.stats[slot],
+            records: out.tallies.records[slot],
+            events: out.tallies.events[slot],
+            format_census: out.tallies.census,
+            sync_locations: self.core.sync_location_count(),
+            shadow_pages: self.core.shadow_page_count(),
+            shadow_bytes: out.shadow_bytes,
+            shadow_paths: out.tallies.paths,
+            detection_time: out.detection_time,
+            pipeline: out.tallies.pipeline,
+        };
+        Ok(Analysis::new(out.races, out.diagnostics, stats))
+    }
+
+    /// The group flush pipeline: refresh registries, execute co-resident,
+    /// demultiplex detection by slot, attribute telemetry and races back
+    /// to the individual launches.
+    fn flush_pending_inner(&mut self) -> Result<FlushOutcome, Error> {
+        if self.pending.is_empty() {
+            return Ok(FlushOutcome::default());
+        }
+        let pending = std::mem::take(&mut self.pending);
+        // Re-arm the cancel token once for the whole group.
+        self.core.cancel_token().reset();
+        let start = Instant::now();
+        let n = pending.len();
+        let mut dets: Vec<Arc<Detector>> = Vec::with_capacity(n);
+        let mut meta: Vec<(StreamId, u32, usize)> = Vec::with_capacity(n);
+        let mut bodies: Vec<(LoadedKernel, GridDims, Vec<ParamValue>, Option<usize>)> =
+            Vec::with_capacity(n);
+        for p in pending {
+            let mut det = p.det;
+            // The registry snapshot frozen at registration does not know
+            // launches registered after it; refresh so races against a
+            // younger sibling still classify by epoch.
+            self.core.refresh_registry(&mut det);
+            dets.push(Arc::new(det));
+            meta.push((p.stream, p.epoch, p.summary_index));
+            bodies.push((p.lk, p.dims, p.params, p.dep));
+        }
+        let gls: Vec<GroupLaunch<'_>> = bodies
+            .iter()
+            .map(|(lk, dims, params, dep)| GroupLaunch {
+                lk,
+                dims: *dims,
+                params,
+                dep: *dep,
+            })
+            .collect();
+
+        let mut degradation: Vec<Diagnostic> = Vec::new();
+        let result = match self.config.mode {
+            DetectionMode::Synchronous => self.run_group_sync(&gls, &dets),
+            DetectionMode::Threaded => self.run_group_threaded(&gls, &dets, &mut degradation),
+        };
+        // The group's epochs are over: shared-memory sync state dies with
+        // them.
+        self.core.finish_launch();
+        let mut tallies = match result {
+            Ok(t) => t,
+            Err(e) => {
+                // Partial reports of a failed group must not leak into
+                // the next operation's analysis.
+                let _ = self.core.drain();
+                return Err(e);
+            }
+        };
+
+        // Per-stream telemetry, attributed slot-by-slot so interleaved
+        // epochs do not cross-pollute: records and drops carry the
+        // emitting launch's slot byte. Stall cycles and queue depth are
+        // properties of the *shared* queues, unattributable to one
+        // stream of an interleaved group; they stay on the group's
+        // pipeline stats.
+        for &(stream, _, _) in &meta {
+            let si = stream.index();
+            if self.stream_stats.len() <= si {
+                self.stream_stats
+                    .resize_with(si + 1, StreamTelemetry::default);
+            }
+        }
+        for (slot, &(stream, _, _)) in meta.iter().enumerate() {
+            let ss = &mut self.stream_stats[stream.index()];
+            ss.stream = stream.0;
+            ss.launches += 1;
+            ss.records += tallies.records[slot];
+            ss.dropped += tallies.dropped[slot];
+        }
+        tallies.pipeline.per_stream = self.stream_stats.clone();
+
+        let (races, mut diagnostics) = self.core.drain();
+        diagnostics.append(&mut degradation);
+        // Attribute each race to the slot whose epoch performed the
+        // detecting access (host-side detections attribute to no slot).
+        let mut race_counts = vec![0usize; n];
+        for r in &races {
+            if let Some(e) = self.core.epoch_of_tid(r.current.0 .0) {
+                if let Some(slot) = meta.iter().position(|&(_, ep, _)| ep == e) {
+                    race_counts[slot] += 1;
+                }
+            }
+        }
+        for (slot, &(_, _, sidx)) in meta.iter().enumerate() {
+            let s = &mut self.launches[sidx];
+            s.races = race_counts[slot];
+            s.records = tallies.records[slot];
+            s.events = tallies.events[slot];
+        }
+        let shadow_bytes = dets[0].shadow_bytes();
+        Ok(FlushOutcome {
+            races,
+            diagnostics,
+            tallies,
+            detection_time: start.elapsed(),
+            shadow_bytes,
+        })
+    }
+
+    /// Synchronous group path: run co-resident into one record vector,
+    /// then demultiplex to per-slot workers in emission order — the
+    /// interleaving is preserved exactly as the scheduler produced it.
+    fn run_group_sync(
+        &mut self,
+        gls: &[GroupLaunch<'_>],
+        dets: &[Arc<Detector>],
+    ) -> Result<GroupTallies, Error> {
+        let sink = VecSink::new();
+        let outcome = self
+            .gpu
+            .launch_group(gls, self.config.scheduler, Some(&sink))?;
+        let recs = sink.take();
+        let mut workers: Vec<Worker<'_>> = dets.iter().map(|d| Worker::new(d)).collect();
+        for r in &recs {
+            workers[usize::from(r.slot)].process_record(r);
+        }
+        let mut tallies = GroupTallies {
+            stats: outcome.stats,
+            records: outcome.records,
+            dropped: vec![0; dets.len()],
+            ..GroupTallies::default()
+        };
+        let mut per_worker = Vec::with_capacity(dets.len());
+        for (si, w) in workers.iter().enumerate() {
+            let events = w.event_count();
+            tallies.events.push(events);
+            let c = w.format_census();
+            for (acc, n) in tallies.census.iter_mut().zip(c) {
+                *acc += n;
+            }
+            tallies.paths.merge(&w.path_stats());
+            per_worker.push(WorkerTelemetry {
+                worker: si,
+                events,
+                format_census: c,
+                corrupt_records: 0,
+                panicked: false,
+            });
+        }
+        tallies.pipeline = PipelineStats {
+            queues: 0,
+            per_worker,
+            ..PipelineStats::default()
+        };
+        Ok(tallies)
+    }
+
+    /// Threaded group path: the persistent worker pool drains the shared
+    /// queues while the co-resident simulation produces into them; every
+    /// worker demultiplexes records to per-slot detectors by the slot
+    /// byte.
+    fn run_group_threaded(
+        &mut self,
+        gls: &[GroupLaunch<'_>],
+        dets: &[Arc<Detector>],
+        degradation: &mut Vec<Diagnostic>,
+    ) -> Result<GroupTallies, Error> {
+        let nslots = dets.len();
+        let nqueues = self.config.num_queues();
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::spawn(nqueues, self.config.queue_capacity));
+        }
+        let plan = self.config.fault_plan.clone().map(Arc::new);
+        let order = Arc::new(SyncOrder::new(nqueues));
+        let done = Arc::new(AtomicBool::new(false));
+        let queues = {
+            let pool = self.pool.as_ref().expect("spawned above");
+            for tx in &pool.txs {
+                tx.send(LaunchCmd {
+                    dets: dets.to_vec(),
+                    plan: plan.clone(),
+                    order: Arc::clone(&order),
+                    done: Arc::clone(&done),
+                    sharded: self.config.sharded_routing,
+                })
+                .expect("pool worker alive");
+            }
+            Arc::clone(&pool.queues)
+        };
+        let sink = PipelineSink::new(
+            &queues,
+            plan.as_deref(),
+            self.config.push_stall_budget,
+            &order,
+            dets[0].epoch(),
+            self.config.sharded_routing,
+        );
+        let launch_res = self.gpu.launch_group(gls, self.config.scheduler, Some(&sink));
+        done.store(true, Ordering::Release);
+        let injected = sink.injected_drops();
+        let dropped_per_slot: Vec<u64> = (0..nslots)
+            .map(|si| sink.dropped_for_slot(si as u8))
+            .collect();
+
+        // Collect exactly one outcome per worker, indexed by queue.
+        let pool = self.pool.as_mut().expect("spawned above");
+        let mut slots: Vec<Option<WorkerOutcome>> = (0..nqueues).map(|_| None).collect();
+        for _ in 0..nqueues {
+            let (qi, outcome) = pool.rx.recv().expect("pool worker alive");
+            slots[qi] = Some(outcome);
+        }
+        // Purge anything a dead worker left behind so the next group
+        // starts with empty queues.
+        for q in pool.queues.iter() {
+            while q.try_pop().is_some() {}
+        }
+        // Per-group queue telemetry: deltas of the monotonic counters.
+        let committed_now = pool.queues.total_committed();
+        let dropped_now = pool.queues.total_dropped();
+        let stalls_now = pool.queues.total_stall_cycles();
+        let shed = dropped_now - pool.dropped;
+        let stall_cycles = stalls_now - pool.stalls;
+        pool.committed = committed_now;
+        pool.dropped = dropped_now;
+        pool.stalls = stalls_now;
+        let high_water = pool.queues.max_high_water();
+        let outcome = launch_res?;
+
+        // Merge worker outcomes deterministically, in queue order.
+        let mut events_per_slot = vec![0u64; nslots];
+        let mut census = [0u64; 4];
+        let mut corrupt = 0u64;
+        let mut paths = PathStats::default();
+        let mut per_worker = Vec::with_capacity(nqueues);
+        for (qi, outcome) in slots.into_iter().enumerate() {
+            match outcome.expect("one outcome per worker") {
+                WorkerOutcome::Finished(t) => {
+                    for (si, e) in t.slot_events.iter().enumerate() {
+                        events_per_slot[si] += e;
+                    }
+                    for (c, n) in census.iter_mut().zip(t.census) {
+                        *c += n;
+                    }
+                    corrupt += t.corrupt;
+                    paths.merge(&t.paths);
+                    per_worker.push(WorkerTelemetry {
+                        worker: qi,
+                        events: t.events,
+                        format_census: t.census,
+                        corrupt_records: t.corrupt,
+                        panicked: false,
+                    });
+                }
+                WorkerOutcome::Panicked(message) => {
+                    degradation.push(Diagnostic::WorkerPanic {
+                        worker: qi as u64,
+                        message,
+                    });
+                    per_worker.push(WorkerTelemetry {
+                        worker: qi,
+                        panicked: true,
+                        ..WorkerTelemetry::default()
+                    });
+                }
+            }
+        }
+        let dropped = shed + injected;
+        if dropped > 0 || corrupt > 0 {
+            degradation.push(Diagnostic::LostRecords { dropped, corrupt });
+        }
+        let pipeline = PipelineStats {
+            queues: nqueues,
+            queue_high_water: high_water,
+            producer_stall_cycles: stall_cycles,
+            records_dropped: dropped,
+            records_corrupt: corrupt,
+            worker_panics: degradation
+                .iter()
+                .filter(|d| matches!(d, Diagnostic::WorkerPanic { .. }))
+                .count() as u64,
+            per_worker,
+            // Filled by `flush_pending_inner` once stream tallies update.
+            per_stream: Vec::new(),
+        };
+        Ok(GroupTallies {
+            stats: outcome.stats,
+            // Device-side per-slot emission counts: what the logger
+            // produced, whether or not it survived the trip to a worker.
+            records: outcome.records,
+            events: events_per_slot,
+            dropped: dropped_per_slot,
+            census,
+            paths,
+            pipeline,
+        })
     }
 }
 

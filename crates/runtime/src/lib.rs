@@ -68,7 +68,7 @@ pub use session::{Barracuda, KernelRun};
 
 pub use barracuda_core::{Diagnostic, RaceClass, RaceReport};
 pub use barracuda_instrument::{InstrumentOptions, InstrumentStats};
-pub use barracuda_simt::{DevicePtr, GpuConfig, MemoryModel, ParamValue, SimError};
+pub use barracuda_simt::{DevicePtr, GpuConfig, MemoryModel, ParamValue, SchedPolicy, SimError};
 pub use barracuda_trace::{CancelToken, ConsumerStall, FaultPlan, GridDims, HostOp, WorkerPanic};
 
 use std::fmt;

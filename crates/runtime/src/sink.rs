@@ -7,7 +7,7 @@ use barracuda_simt::EventSink;
 use barracuda_trace::route::{route_class, split_global_access, RouteClass, SeqStamper};
 use barracuda_trace::{FaultPlan, HostOp, PushOutcome, QueueSet, Record, SyncOrder};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Producer-side state of the sharded (page-hash) routing mode.
 struct ShardedRouting {
@@ -58,6 +58,10 @@ pub(crate) struct PipelineSink<'a> {
     wedged: Vec<AtomicBool>,
     /// Records dropped by fault injection (not by backpressure).
     injected_drops: AtomicU64,
+    /// Records lost (shed *or* injected), indexed by [`Record::slot`] —
+    /// the per-launch drop attribution of a co-resident group. Sized for
+    /// every possible slot byte, so no bounds check on the hot drop path.
+    dropped_per_slot: Vec<AtomicU64>,
 }
 
 impl<'a> PipelineSink<'a> {
@@ -82,12 +86,18 @@ impl<'a> PipelineSink<'a> {
             seq: (0..queues.len()).map(|_| AtomicU64::new(0)).collect(),
             wedged: (0..queues.len()).map(|_| AtomicBool::new(false)).collect(),
             injected_drops: AtomicU64::new(0),
+            dropped_per_slot: (0..=usize::from(u8::MAX)).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
     /// Records dropped by fault injection so far.
     pub(crate) fn injected_drops(&self) -> u64 {
         self.injected_drops.load(Ordering::Relaxed)
+    }
+
+    /// Records lost (shed or injected) whose [`Record::slot`] was `slot`.
+    pub(crate) fn dropped_for_slot(&self, slot: u8) -> u64 {
+        self.dropped_per_slot[usize::from(slot)].load(Ordering::Relaxed)
     }
 
     /// Applies the fault plan and bounded-stall backpressure, then pushes
@@ -98,6 +108,7 @@ impl<'a> PipelineSink<'a> {
             let seq = self.seq[qi].fetch_add(1, Ordering::Relaxed);
             if plan.should_drop(qi as u64, seq) {
                 self.injected_drops.fetch_add(1, Ordering::Relaxed);
+                self.dropped_per_slot[usize::from(record.slot)].fetch_add(1, Ordering::Relaxed);
                 return None;
             }
             if let Some(kind) = plan.corrupt_kind(qi as u64, seq) {
@@ -113,6 +124,7 @@ impl<'a> PipelineSink<'a> {
         };
         if q.push_bounded(record, budget) == PushOutcome::Dropped {
             self.wedged[qi].store(true, Ordering::Relaxed);
+            self.dropped_per_slot[usize::from(record.slot)].fetch_add(1, Ordering::Relaxed);
             return None;
         }
         Some(record)
@@ -173,11 +185,26 @@ impl EventSink for PipelineSink<'_> {
     }
 }
 
+/// What one finished detector worker tallied.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerTallies {
+    /// Events applied across every slot's detector.
+    pub(crate) events: u64,
+    /// Census of PTVC formats observed at access events.
+    pub(crate) census: [u64; 4],
+    /// Corrupt records skipped (undecodable kind or out-of-range slot).
+    pub(crate) corrupt: u64,
+    /// Shadow fast-path/slow-path hit counters, merged across slots.
+    pub(crate) paths: PathStats,
+    /// Events applied per group slot — one entry per detector handed to
+    /// the worker (a single entry for eager launches). Sums to `events`.
+    pub(crate) slot_events: Vec<u64>,
+}
+
 /// What one detector worker came back with.
 pub(crate) enum WorkerOutcome {
-    /// `(events, format census, corrupt records skipped, shadow path
-    /// counters)`.
-    Finished(u64, [u64; 4], u64, PathStats),
+    /// The worker drained its queue; its tallies.
+    Finished(WorkerTallies),
     /// The worker panicked; the payload's message.
     Panicked(String),
 }
@@ -213,38 +240,42 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// identical clock state — and completes the sub-turn. All other records
 /// go through [`Worker::process_sharded_record`] directly.
 ///
-/// The loop polls the detector's cancel token between records (and inside
-/// every spin-wait, where a cancelled producer would otherwise leave it
+/// The loop polls the cancel token between records (and inside every
+/// spin-wait, where a cancelled producer would otherwise leave it
 /// spinning forever). A cancelled worker marks its queue dead in the sync
 /// order before leaving so surviving workers are not wedged on its
 /// tickets, then returns its partial tallies; the launch itself fails
 /// with `Cancelled`, so the partial state is drained by the engine.
 ///
-/// Returns `(events, format census, corrupt records skipped, shadow path
-/// counters)`.
+/// `dets` holds one detector per group slot: every record dispatches to
+/// the worker of its [`Record::slot`] byte (eager launches pass a single
+/// detector and every record carries slot 0). Per-slot workers are
+/// created lazily — a slot whose records all routed elsewhere costs
+/// nothing. A record whose slot byte is out of range counts as corrupt,
+/// but a *sync* record still pairs and completes its ticket so the
+/// cross-queue ordering never wedges on it.
 #[allow(clippy::too_many_arguments)] // one call site, in WorkerPool::spawn
 pub(crate) fn drain_queue(
     qi: usize,
     nworkers: usize,
     queues: &QueueSet,
-    detector: &Detector,
+    dets: &[Arc<Detector>],
     plan: Option<&FaultPlan>,
     done: &AtomicBool,
     order: &SyncOrder,
     sharded: bool,
-) -> (u64, [u64; 4], u64, PathStats) {
+) -> WorkerTallies {
     let q = queues.queue(qi);
-    let mut worker = if sharded {
-        Worker::new_sharded(detector, qi, nworkers)
-    } else {
-        Worker::new(detector)
-    };
+    // Every detector of a group shares the engine's cancel token, so
+    // polling any one of them observes cancellation for the whole group.
+    let cancel = dets.first().expect("at least one detector per launch");
+    let mut workers: Vec<Option<Worker<'_>>> = (0..dets.len()).map(|_| None).collect();
     let mut processed = 0u64;
     let mut corrupt = 0u64;
     let mut sync_idx = 0usize;
     let panic_at = plan.and_then(|p| p.panic_after(qi, nworkers));
     'drain: loop {
-        if detector.is_cancelled() {
+        if cancel.is_cancelled() {
             order.mark_dead(qi);
             break 'drain;
         }
@@ -258,6 +289,8 @@ pub(crate) fn drain_queue(
                     at = panic_at.unwrap_or(0)
                 )));
             }
+            let si = usize::from(rec.slot);
+            let known_slot = si < workers.len();
             if sharded {
                 if rec.is_sync() {
                     // Same pairing as the unified branch below, but on the
@@ -266,7 +299,7 @@ pub(crate) fn drain_queue(
                         if let Some(t) = order.ticket(qi, sync_idx) {
                             break t;
                         }
-                        if detector.is_cancelled() {
+                        if cancel.is_cancelled() {
                             order.mark_dead(qi);
                             break 'drain;
                         }
@@ -275,18 +308,24 @@ pub(crate) fn drain_queue(
                     };
                     sync_idx += 1;
                     while !order.is_sub_turn(ticket, qi) {
-                        if detector.is_cancelled() {
+                        if cancel.is_cancelled() {
                             order.mark_dead(qi);
                             break 'drain;
                         }
                         std::hint::spin_loop();
                         std::thread::yield_now();
                     }
-                    if !worker.process_sharded_record(&rec) {
+                    if !known_slot
+                        || !slot_worker(&mut workers, dets, si, qi, nworkers, sharded)
+                            .process_sharded_record(&rec)
+                    {
                         corrupt += 1;
                     }
                     order.complete_sub(ticket, qi);
-                } else if !worker.process_sharded_record(&rec) {
+                } else if !known_slot
+                    || !slot_worker(&mut workers, dets, si, qi, nworkers, sharded)
+                        .process_sharded_record(&rec)
+                {
                     corrupt += 1;
                 }
             } else if rec.is_global_sync() {
@@ -296,7 +335,7 @@ pub(crate) fn drain_queue(
                     if let Some(t) = order.ticket(qi, sync_idx) {
                         break t;
                     }
-                    if detector.is_cancelled() {
+                    if cancel.is_cancelled() {
                         order.mark_dead(qi);
                         break 'drain;
                     }
@@ -305,7 +344,7 @@ pub(crate) fn drain_queue(
                 };
                 sync_idx += 1;
                 while !order.is_turn(ticket) {
-                    if detector.is_cancelled() {
+                    if cancel.is_cancelled() {
                         // mark_dead skips the held ticket too, so the
                         // turn we abandon cannot wedge a peer.
                         order.mark_dead(qi);
@@ -314,15 +353,21 @@ pub(crate) fn drain_queue(
                     std::hint::spin_loop();
                     std::thread::yield_now();
                 }
-                match rec.try_decode() {
-                    Some(ev) => worker.process_event(&ev),
-                    None => corrupt += 1,
+                match (known_slot, rec.try_decode()) {
+                    (true, Some(ev)) => {
+                        slot_worker(&mut workers, dets, si, qi, nworkers, sharded)
+                            .process_event(&ev);
+                    }
+                    _ => corrupt += 1,
                 }
                 order.complete(ticket);
             } else {
-                match rec.try_decode() {
-                    Some(ev) => worker.process_event(&ev),
-                    None => corrupt += 1,
+                match (known_slot, rec.try_decode()) {
+                    (true, Some(ev)) => {
+                        slot_worker(&mut workers, dets, si, qi, nworkers, sharded)
+                            .process_event(&ev);
+                    }
+                    _ => corrupt += 1,
                 }
             }
             if let Some(p) = plan {
@@ -338,12 +383,41 @@ pub(crate) fn drain_queue(
             std::thread::yield_now();
         }
     }
-    (
-        worker.event_count(),
-        worker.format_census(),
+    let mut tallies = WorkerTallies {
         corrupt,
-        worker.path_stats(),
-    )
+        slot_events: vec![0; dets.len()],
+        ..WorkerTallies::default()
+    };
+    for (si, w) in workers.iter().enumerate() {
+        let Some(w) = w else { continue };
+        let events = w.event_count();
+        tallies.events += events;
+        tallies.slot_events[si] = events;
+        let c = w.format_census();
+        for (acc, n) in tallies.census.iter_mut().zip(c) {
+            *acc += n;
+        }
+        tallies.paths.merge(&w.path_stats());
+    }
+    tallies
+}
+
+/// The lazily-created worker for group slot `si` (see [`drain_queue`]).
+fn slot_worker<'w, 'd>(
+    workers: &'w mut [Option<Worker<'d>>],
+    dets: &'d [Arc<Detector>],
+    si: usize,
+    qi: usize,
+    nworkers: usize,
+    sharded: bool,
+) -> &'w mut Worker<'d> {
+    workers[si].get_or_insert_with(|| {
+        if sharded {
+            Worker::new_sharded(&dets[si], qi, nworkers)
+        } else {
+            Worker::new(&dets[si])
+        }
+    })
 }
 
 /// An [`EventSink`] that captures only host-side operations: the engine

@@ -94,7 +94,7 @@ fn device_synchronize_cuts_the_cross_stream_race() {
     let s1 = eng.create_stream();
     eng.launch_async(StreamId::DEFAULT, &run(&src, &params))
         .unwrap();
-    eng.device_synchronize();
+    eng.device_synchronize().unwrap();
     let a2 = eng.launch_async(s1, &run(&src, &params)).unwrap();
     assert_eq!(a2.race_count(), 0, "{:?}", a2.races());
 }
@@ -108,7 +108,7 @@ fn stream_synchronize_cuts_the_cross_stream_race() {
     let s1 = eng.create_stream();
     eng.launch_async(StreamId::DEFAULT, &run(&src, &params))
         .unwrap();
-    eng.stream_synchronize(StreamId::DEFAULT);
+    eng.stream_synchronize(StreamId::DEFAULT).unwrap();
     let a2 = eng.launch_async(s1, &run(&src, &params)).unwrap();
     assert_eq!(a2.race_count(), 0, "{:?}", a2.races());
 }
@@ -123,7 +123,7 @@ fn h2d_memcpy_races_with_inflight_kernel() {
     // Kernel writes buf on stream 1; the host memcpy on the default
     // stream does not wait for stream 1.
     eng.launch_async(s1, &run(&src, &params)).unwrap();
-    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes());
+    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes()).unwrap();
     assert_eq!(races.len(), 1, "{races:?}");
     assert_eq!(races[0].class, RaceClass::HostDevice);
 }
@@ -137,7 +137,7 @@ fn d2h_memcpy_races_with_inflight_kernel_write() {
     let s1 = eng.create_stream();
     eng.launch_async(s1, &run(&src, &params)).unwrap();
     let mut out = [0u8; 4];
-    let races = eng.memcpy_d2h(StreamId::DEFAULT, buf, &mut out);
+    let races = eng.memcpy_d2h(StreamId::DEFAULT, buf, &mut out).unwrap();
     assert_eq!(races.len(), 1, "{races:?}");
     assert_eq!(races[0].class, RaceClass::HostDevice);
 }
@@ -150,8 +150,8 @@ fn memcpy_after_stream_synchronize_is_clean() {
     let params = [ParamValue::Ptr(buf)];
     let s1 = eng.create_stream();
     eng.launch_async(s1, &run(&src, &params)).unwrap();
-    eng.stream_synchronize(s1);
-    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes());
+    eng.stream_synchronize(s1).unwrap();
+    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes()).unwrap();
     assert!(races.is_empty(), "{races:?}");
     assert_eq!(eng.gpu().read_u32(buf), 7);
 }
@@ -165,7 +165,7 @@ fn same_stream_memcpy_is_ordered_with_its_kernel() {
     // Same stream: the copy waits for the kernel (stream order), no race.
     eng.launch_async(StreamId::DEFAULT, &run(&src, &params))
         .unwrap();
-    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes());
+    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes()).unwrap();
     assert!(races.is_empty(), "{races:?}");
 }
 
@@ -177,7 +177,7 @@ fn kernel_after_h2d_sees_the_host_write() {
     let params = [ParamValue::Ptr(buf)];
     let s1 = eng.create_stream();
     // Launches are ordered after all prior host operations, on any stream.
-    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes());
+    let races = eng.memcpy_h2d(StreamId::DEFAULT, buf, &7u32.to_le_bytes()).unwrap();
     assert!(races.is_empty());
     let a = eng.launch_async(s1, &run(&src, &params)).unwrap();
     assert_eq!(a.race_count(), 0, "{:?}", a.races());
@@ -190,13 +190,13 @@ fn host_trace_records_the_device_lifetime() {
     let buf = eng.gpu_mut().malloc(4);
     let src = writer();
     let params = [ParamValue::Ptr(buf)];
-    eng.memcpy_h2d(StreamId::DEFAULT, buf, &0u32.to_le_bytes());
+    eng.memcpy_h2d(StreamId::DEFAULT, buf, &0u32.to_le_bytes()).unwrap();
     eng.launch_async(StreamId::DEFAULT, &run(&src, &params))
         .unwrap();
-    eng.stream_synchronize(StreamId::DEFAULT);
+    eng.stream_synchronize(StreamId::DEFAULT).unwrap();
     let mut out = [0u8; 4];
-    eng.memcpy_d2h(StreamId::DEFAULT, buf, &mut out);
-    eng.device_synchronize();
+    eng.memcpy_d2h(StreamId::DEFAULT, buf, &mut out).unwrap();
+    eng.device_synchronize().unwrap();
     let trace = eng.host_trace();
     assert!(matches!(
         trace[0],

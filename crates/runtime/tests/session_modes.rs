@@ -430,7 +430,7 @@ fn per_stream_telemetry_tracks_each_streams_launches() {
     let a_buf = eng.gpu_mut().malloc(4);
     let b_buf = eng.gpu_mut().malloc(4);
     let s1 = eng.create_stream();
-    let mut launch = |eng: &mut Engine, sid: StreamId, buf| {
+    let launch = |eng: &mut Engine, sid: StreamId, buf| {
         eng.launch_async(
             sid,
             &KernelRun {

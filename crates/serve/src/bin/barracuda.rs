@@ -6,6 +6,7 @@
 //!                 [--warp-size N] [--warp-sweep] [--threaded] [--sharded]
 //!                 [--memory-model sc|kepler|maxwell] [--seed N]
 //!                 [--max-steps N] [--stats-json] [--chaos-stalls SEED]
+//!                 [--interleave] [--sched-policy rr|random|starve] [--sched-seed N]
 //! barracuda instrument <file.ptx> [--no-prune]
 //! barracuda serve --socket <path> [--queue-depth N] [--retry-after-ms N]
 //!                 [--default-deadline-ms N] [--chaos-panic-kernel NAME]
@@ -32,10 +33,17 @@
 //! synchronous mode, making it a quick self-check of pipeline robustness.
 //! `--sharded` (implies `--threaded`) routes records by shadow-page hash
 //! to owner-partitioned lock-free detector workers instead of by block.
+//! `--interleave` defers launches into the co-resident warp scheduler
+//! (they execute as one interleaved group at the next synchronization
+//! point); `--sched-policy` picks the deterministic schedule — `rr`
+//! round-robin (default), `random` a seeded uniform pick, `starve` the
+//! adversarial starve-one-kernel policy — and `--sched-seed` seeds the
+//! seeded policies (both imply `--interleave`). Verdicts are
+//! schedule-independent; the flags only change the trace interleaving.
 
 use barracuda::{
     exitcode, Barracuda, BarracudaConfig, DetectionMode, FaultPlan, GpuConfig, InstrumentOptions,
-    KernelRun, MemoryModel,
+    KernelRun, MemoryModel, SchedPolicy,
 };
 use barracuda_simt::ParamValue;
 use barracuda_trace::{Dim3, GridDims};
@@ -99,6 +107,9 @@ struct CheckArgs {
     max_steps: Option<u64>,
     stats_json: bool,
     chaos_stalls: Option<u64>,
+    interleave: bool,
+    sched_policy: String,
+    sched_seed: u64,
     params: Vec<String>,
 }
 
@@ -117,6 +128,9 @@ fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
         max_steps: None,
         stats_json: false,
         chaos_stalls: None,
+        interleave: false,
+        sched_policy: "rr".to_string(),
+        sched_seed: 0,
         params: Vec::new(),
     };
     let mut it = args.iter();
@@ -161,6 +175,23 @@ fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
                 out.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--interleave" => out.interleave = true,
+            "--sched-policy" => {
+                out.sched_policy = value("--sched-policy")?;
+                if !matches!(out.sched_policy.as_str(), "rr" | "random" | "starve") {
+                    return Err(format!(
+                        "unknown scheduling policy '{}' (expected rr, random or starve)",
+                        out.sched_policy
+                    ));
+                }
+                out.interleave = true;
+            }
+            "--sched-seed" => {
+                out.sched_seed = value("--sched-seed")?
+                    .parse()
+                    .map_err(|e| format!("bad scheduler seed: {e}"))?;
+                out.interleave = true;
             }
             "--memory-model" => {
                 out.model = match value("--memory-model")?.as_str() {
@@ -290,6 +321,12 @@ fn cmd_check(args: &[String], trace: bool) -> ExitCode {
         },
         sharded_routing: cfg.sharded,
         fault_plan: cfg.chaos_stalls.map(FaultPlan::stalls_only),
+        interleave_kernels: cfg.interleave,
+        scheduler: match cfg.sched_policy.as_str() {
+            "random" => SchedPolicy::Random(cfg.sched_seed),
+            "starve" => SchedPolicy::StarveOne(cfg.sched_seed),
+            _ => SchedPolicy::RoundRobin,
+        },
         ..BarracudaConfig::default()
     });
     let mut params = Vec::new();

@@ -138,8 +138,8 @@ mod tests {
         };
         let d0 = p.delay(0, 0).as_millis();
         let d3 = p.delay(3, 0).as_millis();
-        assert!(d0 >= 4 && d0 < 8, "base + <50% jitter, got {d0}");
-        assert!(d3 >= 32 && d3 < 48, "4*2^3 + jitter, got {d3}");
+        assert!((4..8).contains(&d0), "base + <50% jitter, got {d0}");
+        assert!((32..48).contains(&d3), "4*2^3 + jitter, got {d3}");
         // The cap bounds the exponent; jitter stays proportional.
         assert!(p.delay(20, 0).as_millis() < 96);
         // The server hint floors the delay.

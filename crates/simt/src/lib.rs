@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod coresident;
 mod decode;
 mod exec;
 mod exec_ast;
@@ -76,6 +77,7 @@ pub mod value;
 pub mod warp;
 
 pub use config::{ExecMode, GpuConfig, MemoryModel, SimError};
+pub use coresident::{GroupLaunch, GroupOutcome, SchedPolicy, MAX_GROUP_SLOTS};
 pub use kernel::LoadedKernel;
 pub use machine::{DevicePtr, Gpu, LaunchStats, ParamValue};
 pub use sink::{EventSink, VecSink};

@@ -63,10 +63,10 @@ pub struct LaunchStats {
 /// The simulated GPU: global memory plus the warp scheduler.
 #[derive(Debug)]
 pub struct Gpu {
-    config: GpuConfig,
-    global: GlobalMemory,
-    rng: StdRng,
-    cancel: Option<CancelToken>,
+    pub(crate) config: GpuConfig,
+    pub(crate) global: GlobalMemory,
+    pub(crate) rng: StdRng,
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl Gpu {
@@ -411,7 +411,7 @@ impl Gpu {
     }
 }
 
-enum BarrierResolution {
+pub(crate) enum BarrierResolution {
     /// `n` warps were released back to Ready.
     Released(u64),
     /// Every warp of the block is Done (normal completion).
@@ -422,8 +422,14 @@ enum BarrierResolution {
 
 /// Attempts to complete a block barrier once every warp of the block has
 /// stopped running. Per the paper (§3.3.2) a barrier is only well-formed
-/// when *all* threads of the block are active at it.
-fn resolve_barrier(warps: &mut [WarpState], block: u64, warps_per_block: u64) -> BarrierResolution {
+/// when *all* threads of the block are active at it. `warps` may be the
+/// whole grid (eager launches) or one co-resident launch's slice (group
+/// launches) — `block` indexes it launch-locally either way.
+pub(crate) fn resolve_barrier(
+    warps: &mut [WarpState],
+    block: u64,
+    warps_per_block: u64,
+) -> BarrierResolution {
     let base = (block * warps_per_block) as usize;
     let ws = &mut warps[base..base + warps_per_block as usize];
     if ws.iter().all(|w| w.status == WarpStatus::Done) {

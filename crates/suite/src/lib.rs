@@ -24,8 +24,8 @@ mod multi;
 mod shared;
 
 pub use multi::{
-    multi_program, multi_programs, run_multi, run_multi_races, MultiArg, MultiKernel, MultiProgram,
-    MultiStep,
+    multi_program, multi_programs, run_multi, run_multi_races, run_multi_races_with, MultiArg,
+    MultiKernel, MultiProgram, MultiStep,
 };
 
 use barracuda::{Barracuda, BarracudaConfig, Error, KernelRun, SimError};

@@ -10,7 +10,7 @@
 //! flag handoffs whose release happened in an *earlier* launch.
 
 use crate::{module_src, Expectation, KERNEL, LIN_TID};
-use barracuda::{Engine, Error, KernelRun, RaceClass, RaceReport, StreamId};
+use barracuda::{BarracudaConfig, Engine, Error, KernelRun, RaceClass, RaceReport, StreamId};
 use barracuda_simt::ParamValue;
 use barracuda_trace::GridDims;
 
@@ -95,7 +95,17 @@ pub struct MultiProgram {
 /// Runs a multi-launch program on one persistent engine and returns every
 /// race reported across the whole host timeline.
 pub fn run_multi_races(p: &MultiProgram) -> Result<Vec<RaceReport>, Error> {
-    let mut eng = Engine::new();
+    run_multi_races_with(p, BarracudaConfig::default())
+}
+
+/// Like [`run_multi_races`] with an explicit engine configuration — the
+/// entry point of the interleave-parity harness, which replays every
+/// program under co-resident scheduling and compares race sets against
+/// the eager default. A trailing [`Engine::flush_pending`] picks up
+/// launches still deferred when the timeline ends (programs that end
+/// without a synchronization step).
+pub fn run_multi_races_with(p: &MultiProgram, config: BarracudaConfig) -> Result<Vec<RaceReport>, Error> {
+    let mut eng = Engine::with_config(config);
     for _ in 0..p.extra_streams {
         eng.create_stream();
     }
@@ -123,16 +133,19 @@ pub fn run_multi_races(p: &MultiProgram) -> Result<Vec<RaceReport>, Error> {
             }
             MultiStep::H2D { stream, buf, bytes } => {
                 let data = vec![0xabu8; bytes as usize];
-                races.extend(eng.memcpy_h2d(StreamId(stream), bufs[buf], &data));
+                races.extend(eng.memcpy_h2d(StreamId(stream), bufs[buf], &data)?);
             }
             MultiStep::D2H { stream, buf, bytes } => {
                 let mut out = vec![0u8; bytes as usize];
-                races.extend(eng.memcpy_d2h(StreamId(stream), bufs[buf], &mut out));
+                races.extend(eng.memcpy_d2h(StreamId(stream), bufs[buf], &mut out)?);
             }
-            MultiStep::SyncStream { stream } => eng.stream_synchronize(StreamId(stream)),
-            MultiStep::SyncDevice => eng.device_synchronize(),
+            MultiStep::SyncStream { stream } => {
+                races.extend(eng.stream_synchronize(StreamId(stream))?);
+            }
+            MultiStep::SyncDevice => races.extend(eng.device_synchronize()?),
         }
     }
+    races.extend(eng.flush_pending()?);
     Ok(races)
 }
 

@@ -53,7 +53,12 @@ pub struct Record {
     pub space: u8,
     /// Access width in bytes; meaningful for accesses only.
     pub size: u8,
-    _pad: u8,
+    /// Co-resident launch slot: which kernel of an interleaved launch
+    /// group emitted this record. Zero for eager (single-kernel) runs, so
+    /// the classic pipeline never looks at it. Stamped device-side by the
+    /// group scheduler's per-slot sink wrapper; groups are capped at 255
+    /// launches so the slot always fits.
+    pub slot: u8,
     /// Active-lane mask.
     pub mask: u32,
     /// Per-lane addresses for memory operations.
@@ -79,6 +84,7 @@ impl std::fmt::Debug for Record {
             .field("kind", &self.kind)
             .field("space", &self.space)
             .field("size", &self.size)
+            .field("slot", &self.slot)
             .field("mask", &format_args!("{:#x}", self.mask))
             .finish_non_exhaustive()
     }

@@ -111,7 +111,10 @@ pub fn is_plain_access_kind(kind: u8) -> bool {
 /// their clock effects are applied by every replica directly.
 #[derive(Debug, Default)]
 pub struct SeqStamper {
-    counters: std::collections::HashMap<u64, u32>,
+    /// Keyed by `(slot, warp)`: warp ids are launch-local, so records
+    /// from co-resident kernels in an interleaved group reuse the same
+    /// warp numbers and must keep independent counters.
+    counters: std::collections::HashMap<(u8, u64), u32>,
 }
 
 impl SeqStamper {
@@ -123,7 +126,7 @@ impl SeqStamper {
     /// Stamps `rec.seq` and advances the warp's counter for plain
     /// accesses.
     pub fn stamp(&mut self, rec: &mut Record) {
-        let c = self.counters.entry(rec.warp).or_insert(0);
+        let c = self.counters.entry((rec.slot, rec.warp)).or_insert(0);
         rec.seq = *c;
         if is_plain_access_kind(rec.kind) {
             *c += 1;
@@ -333,6 +336,21 @@ mod tests {
         let mut w0c = access(0, 1, 4, |_| 16);
         st.stamp(&mut w0c);
         assert_eq!(w0c.seq, 2, "sync/control do not consume seq numbers");
+    }
+
+    #[test]
+    fn seq_stamper_keeps_slots_independent() {
+        // Co-resident kernels reuse launch-local warp ids; the stamper
+        // must not let slot 1's accesses consume slot 0's seq numbers.
+        let mut st = SeqStamper::new();
+        let mut a0 = access(0, 1, 4, |_| 0);
+        let mut b0 = access(0, 1, 4, |_| 0);
+        b0.slot = 1;
+        let mut a1 = access(0, 1, 4, |_| 8);
+        st.stamp(&mut a0);
+        st.stamp(&mut b0);
+        st.stamp(&mut a1);
+        assert_eq!((a0.seq, b0.seq, a1.seq), (0, 0, 1));
     }
 
     #[test]

@@ -27,9 +27,11 @@
 #![warn(missing_docs)]
 
 mod gen;
+pub mod litmus;
 mod rows;
 
 pub use gen::{GenCfg, RaceSite, WorkloadInstance};
+pub use litmus::{inter_kernel_litmus, InterKernelLitmus, LitmusKernel, LitmusStep};
 pub use rows::{all_workloads, workload, PaperRow, Workload};
 
 /// Scaling knobs for workload generation.

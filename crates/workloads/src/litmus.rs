@@ -1,0 +1,203 @@
+//! Inter-kernel litmus programs: planted cross-kernel races and their
+//! synchronized twins.
+//!
+//! Each program is a short host script over one device buffer — launches
+//! on one or two streams with optional synchronization between them.
+//! The racy variants are built so the conflict only exists *between* two
+//! kernels (flag handoffs without a device-wide sync, two kernels
+//! striding the same buffer); run under the co-resident interleaving
+//! scheduler they must report [`InterKernel`] races from a genuinely
+//! interleaved trace, while the synchronized twins stay clean under
+//! every scheduling policy.
+//!
+//! [`InterKernel`]: https://docs.rs/barracuda-core (RaceClass::InterKernel)
+
+use barracuda_trace::GridDims;
+
+const HEADER: &str = ".version 4.3\n.target sm_35\n.address_size 64\n";
+
+/// One kernel of a litmus program.
+#[derive(Debug, Clone)]
+pub struct LitmusKernel {
+    /// Entry name (always `k`, kernels live in separate modules).
+    pub entry: &'static str,
+    /// Full PTX module source.
+    pub source: String,
+    /// Launch dimensions.
+    pub dims: GridDims,
+}
+
+/// One host-side step of a litmus program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitmusStep {
+    /// Launch `kernels[kernel]` on `stream` (0 = default stream; other
+    /// ids must be created in ascending order).
+    Launch {
+        /// Stream ordinal.
+        stream: u32,
+        /// Index into [`InterKernelLitmus::kernels`].
+        kernel: usize,
+    },
+    /// `cudaStreamSynchronize(stream)`.
+    SyncStream {
+        /// Stream ordinal.
+        stream: u32,
+    },
+    /// `cudaDeviceSynchronize()`.
+    SyncDevice,
+}
+
+/// A litmus program plus its expected verdict.
+#[derive(Debug, Clone)]
+pub struct InterKernelLitmus {
+    /// Stable program name.
+    pub name: &'static str,
+    /// Whether the program plants an inter-kernel race.
+    pub expect_race: bool,
+    /// Bytes of device memory the program needs (passed as the single
+    /// `.u64` kernel parameter).
+    pub buf_bytes: u64,
+    /// The kernels the steps launch.
+    pub kernels: Vec<LitmusKernel>,
+    /// Host script.
+    pub steps: Vec<LitmusStep>,
+}
+
+fn module(body: &str) -> String {
+    format!("{HEADER}.visible .entry k(.param .u64 buf)\n{{\n{body}\n}}")
+}
+
+/// Unfenced flag-handoff producer: `buf[0] = 42; buf[1] = 1`.
+fn producer() -> LitmusKernel {
+    LitmusKernel {
+        entry: "k",
+        source: module(
+            ".reg .b64 %rd<2>;\n\
+             ld.param.u64 %rd1, [buf];\n\
+             st.global.u32 [%rd1], 42;\n\
+             st.global.u32 [%rd1+4], 1;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 1u32),
+    }
+}
+
+/// Spin-wait flag-handoff consumer: poll `buf[1]`, then read `buf[0]`
+/// and publish to `buf[2]`. Terminates only if the producer already ran
+/// or runs co-resident with it.
+fn consumer() -> LitmusKernel {
+    LitmusKernel {
+        entry: "k",
+        source: module(
+            ".reg .pred %p1;\n.reg .b32 %r<4>;\n.reg .b64 %rd<2>;\n\
+             ld.param.u64 %rd1, [buf];\n\
+             L_wait:\n\
+             ld.global.u32 %r1, [%rd1+4];\n\
+             setp.eq.s32 %p1, %r1, 0;\n\
+             @%p1 bra L_wait;\n\
+             ld.global.u32 %r2, [%rd1];\n\
+             st.global.u32 [%rd1+8], %r2;\n\
+             ret;",
+        ),
+        dims: GridDims::new(1u32, 1u32),
+    }
+}
+
+/// Grid-stride writer over 64 words starting `word_off` words into the
+/// buffer: thread `t` stores to `buf[word_off + t]`.
+fn strider(word_off: u32) -> LitmusKernel {
+    let byte_off = word_off * 4;
+    LitmusKernel {
+        entry: "k",
+        source: module(&format!(
+            ".reg .b32 %r<8>;\n.reg .b64 %rd<4>;\n\
+             mov.u32 %r1, %tid.x;\n\
+             mov.u32 %r2, %ctaid.x;\n\
+             mov.u32 %r3, %ntid.x;\n\
+             mad.lo.s32 %r4, %r2, %r3, %r1;\n\
+             add.s32 %r4, %r4, {word_off};\n\
+             ld.param.u64 %rd1, [buf];\n\
+             mul.wide.s32 %rd2, %r4, 4;\n\
+             add.s64 %rd3, %rd1, %rd2;\n\
+             st.global.u32 [%rd3], %r4;\n\
+             ret;\n// byte offset {byte_off}",
+        )),
+        dims: GridDims::new(2u32, 32u32),
+    }
+}
+
+/// The litmus set: racy programs paired with synchronized (or disjoint)
+/// twins.
+pub fn inter_kernel_litmus() -> Vec<InterKernelLitmus> {
+    use LitmusStep::{Launch, SyncDevice, SyncStream};
+    vec![
+        InterKernelLitmus {
+            name: "flag_handoff_no_sync_racy",
+            expect_race: true,
+            buf_bytes: 12,
+            kernels: vec![producer(), consumer()],
+            steps: vec![
+                Launch { stream: 0, kernel: 0 },
+                Launch { stream: 1, kernel: 1 },
+            ],
+        },
+        InterKernelLitmus {
+            name: "flag_handoff_device_sync_clean",
+            expect_race: false,
+            buf_bytes: 12,
+            kernels: vec![producer(), consumer()],
+            steps: vec![
+                Launch { stream: 0, kernel: 0 },
+                SyncDevice,
+                Launch { stream: 1, kernel: 1 },
+            ],
+        },
+        InterKernelLitmus {
+            name: "flag_handoff_stream_sync_clean",
+            expect_race: false,
+            buf_bytes: 12,
+            kernels: vec![producer(), consumer()],
+            steps: vec![
+                Launch { stream: 0, kernel: 0 },
+                SyncStream { stream: 0 },
+                Launch { stream: 1, kernel: 1 },
+            ],
+        },
+        InterKernelLitmus {
+            name: "stride_overlap_racy",
+            expect_race: true,
+            buf_bytes: 256,
+            kernels: vec![strider(0), strider(0)],
+            steps: vec![
+                Launch { stream: 0, kernel: 0 },
+                Launch { stream: 1, kernel: 1 },
+            ],
+        },
+        InterKernelLitmus {
+            name: "stride_overlap_device_sync_clean",
+            expect_race: false,
+            buf_bytes: 256,
+            kernels: vec![strider(0), strider(0)],
+            steps: vec![
+                Launch { stream: 0, kernel: 0 },
+                SyncDevice,
+                Launch { stream: 1, kernel: 1 },
+            ],
+        },
+        InterKernelLitmus {
+            name: "stride_disjoint_clean",
+            expect_race: false,
+            buf_bytes: 512,
+            kernels: vec![strider(0), strider(64)],
+            steps: vec![
+                Launch { stream: 0, kernel: 0 },
+                Launch { stream: 1, kernel: 1 },
+            ],
+        },
+    ]
+}
+
+/// Looks a litmus program up by name.
+pub fn litmus_program(name: &str) -> Option<InterKernelLitmus> {
+    inter_kernel_litmus().into_iter().find(|p| p.name == name)
+}

@@ -1,0 +1,190 @@
+//! Verdicts and trace shape of the inter-kernel litmus programs: racy
+//! variants must report `RaceClass::InterKernel` from a genuinely
+//! interleaved trace under every scheduling policy; the synchronized
+//! twins must stay clean. Eager (run-to-completion) execution must agree
+//! on every verdict.
+
+use barracuda::{
+    BarracudaConfig, DetectionMode, Engine, KernelRun, ParamValue, RaceClass, RaceReport,
+    SchedPolicy, StreamId,
+};
+use barracuda_simt::{Gpu, GpuConfig, GroupLaunch, LoadedKernel, VecSink};
+use barracuda_workloads::{inter_kernel_litmus, InterKernelLitmus, LitmusStep};
+
+const POLICIES: [SchedPolicy; 5] = [
+    SchedPolicy::RoundRobin,
+    SchedPolicy::Random(7),
+    SchedPolicy::Random(99),
+    SchedPolicy::StarveOne(0),
+    SchedPolicy::StarveOne(1),
+];
+
+/// Runs a litmus program on an engine with the given config and returns
+/// every race it reported.
+fn run_litmus(p: &InterKernelLitmus, config: BarracudaConfig) -> Vec<RaceReport> {
+    let mut eng = Engine::with_config(config);
+    let buf = eng.gpu_mut().malloc(p.buf_bytes);
+    let params = [ParamValue::Ptr(buf)];
+    let max_stream = p
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            LitmusStep::Launch { stream, .. } | LitmusStep::SyncStream { stream } => Some(*stream),
+            LitmusStep::SyncDevice => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut streams = vec![StreamId::DEFAULT];
+    for _ in 0..max_stream {
+        streams.push(eng.create_stream());
+    }
+    let mut races = Vec::new();
+    for step in &p.steps {
+        match *step {
+            LitmusStep::Launch { stream, kernel } => {
+                let k = &p.kernels[kernel];
+                let a = eng
+                    .launch_async(
+                        streams[stream as usize],
+                        &KernelRun {
+                            source: &k.source,
+                            kernel: k.entry,
+                            dims: k.dims,
+                            params: &params,
+                        },
+                    )
+                    .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+                races.extend(a.races().iter().cloned());
+            }
+            LitmusStep::SyncStream { stream } => {
+                races.extend(eng.stream_synchronize(streams[stream as usize]).unwrap());
+            }
+            LitmusStep::SyncDevice => races.extend(eng.device_synchronize().unwrap()),
+        }
+    }
+    races.extend(eng.device_synchronize().unwrap());
+    races
+}
+
+fn interleave_config(policy: SchedPolicy, mode: DetectionMode) -> BarracudaConfig {
+    let mut cfg = BarracudaConfig {
+        interleave_kernels: true,
+        scheduler: policy,
+        mode,
+        ..BarracudaConfig::default()
+    };
+    cfg.gpu.num_sms = 4;
+    cfg
+}
+
+#[test]
+fn litmus_verdicts_hold_under_every_policy() {
+    for p in inter_kernel_litmus() {
+        for policy in POLICIES {
+            for mode in [DetectionMode::Synchronous, DetectionMode::Threaded] {
+                let races = run_litmus(&p, interleave_config(policy, mode));
+                if p.expect_race {
+                    assert!(!races.is_empty(), "{} under {policy:?}/{mode:?}", p.name);
+                    for r in &races {
+                        assert_eq!(
+                            r.class,
+                            RaceClass::InterKernel,
+                            "{} under {policy:?}/{mode:?}: {r:?}",
+                            p.name
+                        );
+                    }
+                } else {
+                    assert!(
+                        races.is_empty(),
+                        "{} under {policy:?}/{mode:?}: {races:?}",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn eager_execution_agrees_on_every_verdict() {
+    for p in inter_kernel_litmus() {
+        let races = run_litmus(&p, BarracudaConfig::default());
+        assert_eq!(
+            !races.is_empty(),
+            p.expect_race,
+            "{} eager verdict: {races:?}",
+            p.name
+        );
+        if p.expect_race {
+            assert!(races.iter().all(|r| r.class == RaceClass::InterKernel));
+        }
+    }
+}
+
+#[test]
+fn racy_conflicts_manifest_in_a_genuinely_interleaved_trace() {
+    // Trace inspection, not happens-before inference: run the striding
+    // racy pair co-resident and require that records from both kernels
+    // touching the *same address* appear in both orders — each kernel
+    // accesses contested bytes while the other is still live.
+    let p = barracuda_workloads::litmus::litmus_program("stride_overlap_racy").unwrap();
+    let cfg = GpuConfig {
+        native_access_logging: true,
+        ..GpuConfig::default()
+    };
+    let mut gpu = Gpu::new(cfg);
+    let buf = gpu.malloc(p.buf_bytes);
+    let params = [ParamValue::Ptr(buf)];
+    let modules: Vec<_> = p
+        .kernels
+        .iter()
+        .map(|k| barracuda_ptx::parse(&k.source).unwrap())
+        .collect();
+    let loaded: Vec<_> = modules
+        .iter()
+        .zip(&p.kernels)
+        .map(|(m, k)| LoadedKernel::load(m, k.entry).unwrap())
+        .collect();
+    let launches: Vec<GroupLaunch<'_>> = loaded
+        .iter()
+        .zip(&p.kernels)
+        .map(|(lk, k)| GroupLaunch {
+            lk,
+            dims: k.dims,
+            params: &params,
+            dep: None,
+        })
+        .collect();
+    let sink = VecSink::new();
+    gpu.launch_group(&launches, SchedPolicy::RoundRobin, Some(&sink))
+        .unwrap();
+    let recs = sink.take();
+
+    // (address touched, slot, position) for every lane of every record.
+    let mut touches: Vec<(u64, u8, usize)> = Vec::new();
+    for (pos, r) in recs.iter().enumerate() {
+        for lane in 0..32 {
+            if r.mask & (1 << lane) != 0 {
+                touches.push((r.addrs[lane], r.slot, pos));
+            }
+        }
+    }
+    let mut zero_then_one = false;
+    let mut one_then_zero = false;
+    for &(addr, slot, pos) in &touches {
+        for &(addr2, slot2, pos2) in &touches {
+            if addr == addr2 && slot == 0 && slot2 == 1 {
+                if pos < pos2 {
+                    zero_then_one = true;
+                } else {
+                    one_then_zero = true;
+                }
+            }
+        }
+    }
+    assert!(
+        zero_then_one && one_then_zero,
+        "conflicting accesses must interleave in both orders \
+         (0→1: {zero_then_one}, 1→0: {one_then_zero})"
+    );
+}

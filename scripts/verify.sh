@@ -55,6 +55,47 @@ echo "==> sharded routing differential: core proptests + 66-program parity (shar
 cargo test -q -p barracuda-core --test sharded_routing
 cargo test -q -p barracuda-suite --test sharded_parity
 
+echo "==> interleave parity: 66 verdicts + 11 multi race sets under co-resident scheduling (all policies x seeds x pipelines)"
+cargo test -q -p barracuda-suite --test interleave_parity
+cargo test -q -p barracuda-core --test two_stream_diff
+cargo test -q -p barracuda-simt --test coresident_props
+
+echo "==> interleave seed sweep: litmus set under 3 seeds x 2 seeded policies (+ round-robin)"
+cargo test -q -p barracuda-workloads --test interkernel_litmus
+INTERLEAVE_PTX="/tmp/barracuda_verify_interleave_$$.ptx"
+cat > "$INTERLEAVE_PTX" <<'EOF'
+.version 4.3
+.target sm_35
+.address_size 64
+.visible .entry k(.param .u64 buf)
+{
+    .reg .b32 %r<4>;
+    .reg .b64 %rd<4>;
+    ld.param.u64 %rd1, [buf];
+    ld.global.u32 %r1, [%rd1];
+    add.s32 %r1, %r1, 1;
+    st.global.u32 [%rd1], %r1;
+    ret;
+}
+EOF
+for POLICY in random starve; do
+  for SEED in 1 7 42; do
+    set +e
+    ./target/release/barracuda check "$INTERLEAVE_PTX" --kernel k --grid 2 --block 32 \
+      --param buf:4 --interleave --sched-policy "$POLICY" --sched-seed "$SEED" > /dev/null
+    CODE=$?
+    set -e
+    [ "$CODE" -eq 1 ] || { echo "verify: interleave $POLICY/$SEED exit $CODE, want 1 (racy)"; exit 1; }
+  done
+done
+set +e
+./target/release/barracuda check "$INTERLEAVE_PTX" --kernel k --grid 2 --block 32 \
+  --param buf:4 --interleave > /dev/null
+CODE=$?
+set -e
+[ "$CODE" -eq 1 ] || { echo "verify: interleave round-robin exit $CODE, want 1 (racy)"; exit 1; }
+rm -f "$INTERLEAVE_PTX"
+
 echo "==> server smoke: serve/client over a unix socket"
 SOCK="/tmp/barracuda_verify_$$.sock"
 RACY_PTX="/tmp/barracuda_verify_racy_$$.ptx"
